@@ -1,0 +1,65 @@
+// Extra ablation (not a paper table): the patch length P, the design choice
+// DESIGN.md highlights as TimeDRL's efficiency mechanism. Sweeps P and
+// reports forecasting MSE together with pre-training wall-clock, exposing
+// the accuracy/cost trade-off the paper's Section IV-A describes
+// qualitatively (context length L -> L/P + 1 tokens).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace timedrl::bench {
+namespace {
+
+void Run() {
+  Settings settings = Settings::FromEnv();
+  Rng rng(20240615);
+  std::printf("== Extra: patching ablation (patch length P, stride = P) ==\n");
+  std::printf("Tokens per window = L/P + 1 (with L=%lld); smaller P means a "
+              "longer Transformer context.\n\n",
+              static_cast<long long>(settings.input_length));
+  Stopwatch total;
+
+  std::vector<ForecastData> suite =
+      PrepareForecastSuite(settings, /*univariate=*/false, rng);
+  const ForecastData& data = suite[0];  // ETTh1-like
+  const int64_t horizon = data.horizons[2];
+
+  TablePrinter table({"P", "Tokens", "Pretrain s", "MSE", "MAE"});
+  for (int64_t patch : {2, 4, 8, 16, 24}) {
+    if (settings.input_length % patch != 0) continue;
+    Settings local = settings;
+    local.patch_length = patch;
+    local.patch_stride = patch;
+
+    Rng local_rng(77);
+    Stopwatch stopwatch;
+    std::unique_ptr<core::TimeDrlModel> model =
+        PretrainTimeDrlForecast(data, local, local_rng);
+    const double pretrain_seconds = stopwatch.ElapsedSeconds();
+    ForecastCell cell =
+        EvalTimeDrlForecast(model.get(), data, horizon, local, local_rng);
+
+    table.AddRow({std::to_string(patch),
+                  std::to_string(settings.input_length / patch + 1),
+                  TablePrinter::Num(pretrain_seconds, 1),
+                  TablePrinter::Num(cell.mse), TablePrinter::Num(cell.mae)});
+  }
+  table.Print();
+  std::printf("\nExpected: pre-training cost falls sharply as P grows "
+              "(quadratic attention over fewer tokens); accuracy is flat "
+              "through moderate P and degrades once patches blur the "
+              "dynamics. Wall clock %.1fs\n",
+              total.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace timedrl::bench
+
+int main() {
+  timedrl::bench::Run();
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "bench/forecast_table.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace timedrl::bench {
+
+void RunForecastTable(bool univariate, const char* table_name) {
+  Settings settings = Settings::FromEnv();
+  Rng rng(20240607);
+
+  std::printf("== %s: linear evaluation on %s time-series forecasting ==\n",
+              table_name, univariate ? "univariate" : "multivariate");
+  std::printf(
+      "(synthetic stand-ins for the paper's datasets; shapes, not absolute "
+      "values, are the reproduction target)\n\n");
+
+  const std::vector<std::string> ssl_names = SslForecastBaselineNames();
+  const std::vector<std::string> e2e_names = {"Informer", "TCN"};
+
+  std::vector<std::string> header = {"Dataset", "T"};
+  for (const std::string& method :
+       std::vector<std::string>{"TimeDRL", "SimTS", "TS2Vec", "TNC", "CoST",
+                                "Informer", "TCN"}) {
+    header.push_back(method + " MSE");
+    header.push_back(method + " MAE");
+  }
+  TablePrinter table(header);
+
+  int64_t cells = 0;
+  int64_t timedrl_best_mse = 0;
+  Stopwatch stopwatch;
+
+  std::vector<ForecastData> suite =
+      PrepareForecastSuite(settings, univariate, rng);
+  for (const ForecastData& data : suite) {
+    // SSL encoders are horizon-independent: pre-train once per dataset.
+    std::unique_ptr<core::TimeDrlModel> timedrl =
+        PretrainTimeDrlForecast(data, settings, rng);
+    std::map<std::string, std::unique_ptr<baselines::SslBaseline>> ssl;
+    for (const std::string& name : ssl_names) {
+      ssl[name] = PretrainBaselineForecast(name, data, settings, rng);
+    }
+
+    for (int64_t horizon : data.horizons) {
+      std::vector<std::string> row = {data.name, std::to_string(horizon)};
+      std::vector<double> mses;
+
+      ForecastCell ours =
+          EvalTimeDrlForecast(timedrl.get(), data, horizon, settings, rng);
+      row.push_back(TablePrinter::Num(ours.mse));
+      row.push_back(TablePrinter::Num(ours.mae));
+      mses.push_back(ours.mse);
+
+      for (const std::string& name : ssl_names) {
+        ForecastCell cell =
+            EvalBaselineForecast(ssl[name].get(), data, horizon, settings,
+                                 rng);
+        row.push_back(TablePrinter::Num(cell.mse));
+        row.push_back(TablePrinter::Num(cell.mae));
+        mses.push_back(cell.mse);
+      }
+      for (const std::string& name : e2e_names) {
+        ForecastCell cell =
+            EvalEndToEndForecast(name, data, horizon, settings, rng);
+        row.push_back(TablePrinter::Num(cell.mse));
+        row.push_back(TablePrinter::Num(cell.mae));
+        mses.push_back(cell.mse);
+      }
+
+      bool ours_best = true;
+      for (size_t m = 1; m < mses.size(); ++m) {
+        if (mses[m] < mses[0]) ours_best = false;
+      }
+      ++cells;
+      if (ours_best) ++timedrl_best_mse;
+      table.AddRow(row);
+    }
+    table.AddSeparator();
+  }
+
+  table.Print();
+  std::printf(
+      "\nTimeDRL best-in-row (MSE): %lld / %lld cells  |  wall clock %.1fs\n",
+      static_cast<long long>(timedrl_best_mse), static_cast<long long>(cells),
+      stopwatch.ElapsedSeconds());
+  std::printf("Paper's shape: TimeDRL best or tied-best in nearly all cells "
+              "(avg MSE improvement %s).\n",
+              univariate ? "29.09%" : "58.02%");
+}
+
+}  // namespace timedrl::bench

@@ -1,0 +1,17 @@
+// Shared driver for the Table III (multivariate) and Table IV (univariate)
+// forecasting benches.
+
+#ifndef TIMEDRL_BENCH_FORECAST_TABLE_H_
+#define TIMEDRL_BENCH_FORECAST_TABLE_H_
+
+namespace timedrl::bench {
+
+/// Reproduces one of the paper's linear-evaluation forecasting tables:
+/// every dataset x horizon x {TimeDRL, SimTS, TS2Vec, TNC, CoST, Informer,
+/// TCN}, reporting MSE/MAE. Prints paper-style rows plus a summary of how
+/// often TimeDRL wins.
+void RunForecastTable(bool univariate, const char* table_name);
+
+}  // namespace timedrl::bench
+
+#endif  // TIMEDRL_BENCH_FORECAST_TABLE_H_

@@ -1,0 +1,311 @@
+#include "bench/harness.h"
+
+#include <cstdlib>
+
+#include "baselines/clustering.h"
+#include "baselines/contrastive_cv.h"
+#include "baselines/cost.h"
+#include "baselines/end_to_end.h"
+#include "baselines/simts.h"
+#include "baselines/tloss.h"
+#include "baselines/tnc.h"
+#include "baselines/ts2vec.h"
+#include "baselines/tstcc.h"
+#include "util/check.h"
+
+namespace timedrl::bench {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  return std::atof(value);
+}
+
+}  // namespace
+
+Settings Settings::FromEnv() {
+  Settings settings;
+  settings.data_scale *= EnvDouble("TIMEDRL_BENCH_SCALE", 1.0);
+  settings.epoch_scale *= EnvDouble("TIMEDRL_BENCH_EPOCHS", 1.0);
+  return settings;
+}
+
+data::ForecastingWindows ForecastData::TrainWindows(
+    int64_t horizon, const Settings& settings) const {
+  return data::ForecastingWindows(train, settings.input_length, horizon,
+                                  settings.window_stride);
+}
+
+data::ForecastingWindows ForecastData::TestWindows(
+    int64_t horizon, const Settings& settings) const {
+  return data::ForecastingWindows(test, settings.input_length, horizon,
+                                  settings.window_stride);
+}
+
+data::ForecastingWindows ForecastData::PretrainWindows(
+    const Settings& settings) const {
+  return data::ForecastingWindows(train, settings.input_length, /*horizon=*/0,
+                                  settings.window_stride);
+}
+
+ForecastData PrepareForecast(const data::ForecastingBenchDataset& dataset,
+                             const Settings& settings, bool univariate) {
+  data::TimeSeries series =
+      univariate ? dataset.series.Channel(dataset.target_channel)
+                 : dataset.series;
+  data::ForecastingSplits splits = data::ChronologicalSplit(series);
+
+  data::StandardScaler scaler;
+  scaler.Fit(splits.train);
+
+  ForecastData prepared;
+  prepared.name = dataset.name;
+  prepared.channels = series.channels;
+  // Clamp horizons to what the scaled test split can support.
+  const int64_t max_horizon =
+      splits.test.length() - settings.input_length - 8;
+  for (int64_t horizon : dataset.horizons) {
+    if (horizon <= max_horizon) prepared.horizons.push_back(horizon);
+  }
+  TIMEDRL_CHECK(!prepared.horizons.empty())
+      << dataset.name << ": test split too short for any horizon";
+  prepared.train = scaler.Transform(splits.train);
+  prepared.test = scaler.Transform(splits.test);
+  return prepared;
+}
+
+std::vector<ForecastData> PrepareForecastSuite(const Settings& settings,
+                                               bool univariate, Rng& rng) {
+  std::vector<ForecastData> prepared;
+  for (const auto& dataset :
+       data::StandardForecastingSuite(settings.data_scale, rng)) {
+    prepared.push_back(PrepareForecast(dataset, settings, univariate));
+  }
+  return prepared;
+}
+
+// ---- TimeDRL -------------------------------------------------------------------
+
+core::TimeDrlConfig MakeTimeDrlConfig(const Settings& settings,
+                                      int64_t input_channels,
+                                      int64_t input_length) {
+  core::TimeDrlConfig config;
+  config.input_channels = input_channels;
+  config.input_length = input_length;
+  config.patch_length = settings.patch_length;
+  config.patch_stride = settings.patch_stride;
+  config.d_model = settings.d_model;
+  config.num_heads = settings.num_heads;
+  config.ff_dim = settings.ff_dim;
+  config.num_layers = settings.num_layers;
+  return config;
+}
+
+std::unique_ptr<core::TimeDrlModel> PretrainTimeDrlForecast(
+    const ForecastData& data, const Settings& settings, Rng& rng) {
+  core::TimeDrlConfig config =
+      MakeTimeDrlConfig(settings, /*input_channels=*/1, settings.input_length);
+  auto model = std::make_unique<core::TimeDrlModel>(config, rng);
+
+  data::ForecastingWindows windows = data.PretrainWindows(settings);
+  core::ForecastingSource source(&windows, /*channel_independent=*/true);
+  core::PretrainConfig pretrain_config;
+  pretrain_config.epochs = settings.SslEpochs();
+  pretrain_config.batch_size = settings.batch_size;
+  core::Pretrain(model.get(), source, pretrain_config, rng);
+  return model;
+}
+
+ForecastCell EvalTimeDrlForecast(core::TimeDrlModel* model,
+                                 const ForecastData& data, int64_t horizon,
+                                 const Settings& settings, Rng& rng) {
+  core::ForecastingPipeline pipeline(model, horizon, data.channels,
+                                     /*channel_independent=*/true, rng);
+  core::DownstreamConfig config;
+  config.epochs = settings.ProbeEpochs();
+  config.batch_size = settings.batch_size;
+  data::ForecastingWindows train = data.TrainWindows(horizon, settings);
+  data::ForecastingWindows test = data.TestWindows(horizon, settings);
+  pipeline.Train(train, config, rng);
+  core::ForecastMetrics metrics = pipeline.Evaluate(test);
+  return {metrics.mse, metrics.mae};
+}
+
+// ---- Baselines ------------------------------------------------------------------
+
+std::vector<std::string> SslForecastBaselineNames() {
+  return {"SimTS", "TS2Vec", "TNC", "CoST"};
+}
+
+std::vector<std::string> SslClassifyBaselineNames() {
+  return {"MHCCL", "CCL", "SimCLR", "BYOL", "TS2Vec", "TS-TCC", "T-Loss"};
+}
+
+std::unique_ptr<baselines::SslBaseline> MakeSslBaseline(
+    const std::string& name, int64_t channels, int64_t num_classes,
+    const Settings& settings, Rng& rng) {
+  const int64_t hidden = settings.baseline_hidden;
+  const int64_t blocks = settings.baseline_blocks;
+  if (name == "SimTS") {
+    return std::make_unique<baselines::SimTs>(channels, hidden, blocks, rng);
+  }
+  if (name == "TS2Vec") {
+    return std::make_unique<baselines::Ts2Vec>(channels, hidden, blocks, rng);
+  }
+  if (name == "TNC") {
+    return std::make_unique<baselines::Tnc>(channels, hidden, blocks, rng);
+  }
+  if (name == "CoST") {
+    return std::make_unique<baselines::CoSt>(channels, hidden, blocks, rng);
+  }
+  if (name == "SimCLR") {
+    return std::make_unique<baselines::SimClr>(channels, hidden, blocks, rng);
+  }
+  if (name == "BYOL") {
+    return std::make_unique<baselines::Byol>(channels, hidden, blocks, rng);
+  }
+  if (name == "TS-TCC") {
+    return std::make_unique<baselines::TsTcc>(channels, hidden, blocks, rng);
+  }
+  if (name == "T-Loss") {
+    return std::make_unique<baselines::TLoss>(channels, hidden, blocks, rng);
+  }
+  if (name == "CCL") {
+    return std::make_unique<baselines::Ccl>(channels, hidden, blocks,
+                                            num_classes, rng);
+  }
+  if (name == "MHCCL") {
+    return std::make_unique<baselines::MhcclLite>(channels, hidden, blocks,
+                                                  num_classes, rng);
+  }
+  TIMEDRL_CHECK(false) << "unknown baseline: " << name;
+  return nullptr;
+}
+
+std::unique_ptr<baselines::SslBaseline> PretrainBaselineForecast(
+    const std::string& name, const ForecastData& data,
+    const Settings& settings, Rng& rng) {
+  std::unique_ptr<baselines::SslBaseline> model =
+      MakeSslBaseline(name, data.channels, /*num_classes=*/0, settings, rng);
+  data::ForecastingWindows windows = data.PretrainWindows(settings);
+  core::ForecastingSource source(&windows, /*channel_independent=*/false);
+  core::PretrainConfig config;
+  config.epochs = settings.SslEpochs();
+  config.batch_size = settings.batch_size;
+  baselines::TrainSslBaseline(model.get(), source, config, rng);
+  return model;
+}
+
+ForecastCell EvalBaselineForecast(baselines::SslBaseline* model,
+                                  const ForecastData& data, int64_t horizon,
+                                  const Settings& settings, Rng& rng) {
+  baselines::BaselineForecastProbe probe(model, horizon, data.channels, rng);
+  core::DownstreamConfig config;
+  config.epochs = settings.ProbeEpochs();
+  config.batch_size = settings.batch_size;
+  data::ForecastingWindows train = data.TrainWindows(horizon, settings);
+  data::ForecastingWindows test = data.TestWindows(horizon, settings);
+  probe.Train(train, config, rng);
+  core::ForecastMetrics metrics = probe.Evaluate(test);
+  return {metrics.mse, metrics.mae};
+}
+
+ForecastCell EvalEndToEndForecast(const std::string& name,
+                                  const ForecastData& data, int64_t horizon,
+                                  const Settings& settings, Rng& rng) {
+  std::unique_ptr<baselines::EndToEndForecaster> model;
+  if (name == "Informer") {
+    model = std::make_unique<baselines::InformerLite>(
+        data.channels, horizon, settings.d_model, settings.num_layers, rng);
+  } else if (name == "TCN") {
+    model = std::make_unique<baselines::TcnForecaster>(
+        data.channels, horizon, settings.baseline_hidden,
+        settings.baseline_blocks, rng);
+  } else {
+    TIMEDRL_CHECK(false) << "unknown end-to-end baseline: " << name;
+  }
+  core::DownstreamConfig config;
+  config.epochs = settings.E2eEpochs();
+  config.batch_size = settings.batch_size;
+  data::ForecastingWindows train = data.TrainWindows(horizon, settings);
+  data::ForecastingWindows test = data.TestWindows(horizon, settings);
+  baselines::TrainEndToEnd(model.get(), train, config, rng);
+  core::ForecastMetrics metrics = baselines::EvaluateEndToEnd(model.get(),
+                                                              test);
+  return {metrics.mse, metrics.mae};
+}
+
+// ---- Classification --------------------------------------------------------------
+
+std::vector<ClassifyData> PrepareClassifySuite(const Settings& settings,
+                                               Rng& rng) {
+  std::vector<ClassifyData> prepared;
+  for (auto& dataset :
+       data::StandardClassificationSuite(settings.data_scale * 4.0, rng)) {
+    data::ClassificationSplits splits =
+        data::StratifiedSplit(dataset.dataset, 0.7, rng);
+    prepared.push_back(
+        {dataset.name, std::move(splits.train), std::move(splits.test)});
+  }
+  return prepared;
+}
+
+std::unique_ptr<core::TimeDrlModel> PretrainTimeDrlClassify(
+    const ClassifyData& data, const Settings& settings, Rng& rng,
+    float lambda_weight, bool stop_gradient) {
+  core::TimeDrlConfig config = MakeTimeDrlConfig(
+      settings, data.train.channels, data.train.window_length);
+  // Short windows (e.g. PenDigits' 8 points) need a smaller patch.
+  while (config.patch_length > data.train.window_length) {
+    config.patch_length /= 2;
+    config.patch_stride = config.patch_length;
+  }
+  config.lambda_weight = lambda_weight;
+  config.stop_gradient = stop_gradient;
+  auto model = std::make_unique<core::TimeDrlModel>(config, rng);
+
+  core::ClassificationSource source(&data.train);
+  core::PretrainConfig pretrain_config;
+  pretrain_config.epochs = settings.SslEpochs();
+  pretrain_config.batch_size = settings.batch_size;
+  core::Pretrain(model.get(), source, pretrain_config, rng);
+  return model;
+}
+
+core::ClassificationMetrics EvalTimeDrlClassify(core::TimeDrlModel* model,
+                                                const ClassifyData& data,
+                                                core::Pooling pooling,
+                                                const Settings& settings,
+                                                Rng& rng) {
+  core::ClassificationPipeline pipeline(model, data.train.num_classes,
+                                        pooling, rng);
+  core::DownstreamConfig config;
+  config.epochs = settings.ProbeEpochs();
+  config.batch_size = settings.batch_size;
+  pipeline.Train(data.train, config, rng);
+  return pipeline.Evaluate(data.test);
+}
+
+core::ClassificationMetrics EvalBaselineClassify(const std::string& name,
+                                                 const ClassifyData& data,
+                                                 const Settings& settings,
+                                                 Rng& rng) {
+  std::unique_ptr<baselines::SslBaseline> model = MakeSslBaseline(
+      name, data.train.channels, data.train.num_classes, settings, rng);
+  core::ClassificationSource source(&data.train);
+  core::PretrainConfig pretrain_config;
+  pretrain_config.epochs = settings.SslEpochs();
+  pretrain_config.batch_size = settings.batch_size;
+  baselines::TrainSslBaseline(model.get(), source, pretrain_config, rng);
+
+  baselines::BaselineClassifyProbe probe(model.get(), data.train.num_classes,
+                                         rng);
+  core::DownstreamConfig config;
+  config.epochs = settings.ProbeEpochs();
+  config.batch_size = settings.batch_size;
+  probe.Train(data.train, config, rng);
+  return probe.Evaluate(data.test);
+}
+
+}  // namespace timedrl::bench

@@ -1,0 +1,172 @@
+// Shared experiment harness for the paper-reproduction benches.
+//
+// Each bench binary (one per paper table/figure) composes these runners.
+// Scale knobs come from the environment so the same binaries serve both
+// quick smoke runs and fuller reproductions:
+//   TIMEDRL_BENCH_SCALE  - multiplies dataset sizes   (default 1.0)
+//   TIMEDRL_BENCH_EPOCHS - multiplies epoch counts    (default 1.0)
+
+#ifndef TIMEDRL_BENCH_HARNESS_H_
+#define TIMEDRL_BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/model.h"
+#include "core/pipelines.h"
+#include "core/pretrainer.h"
+#include "data/scaler.h"
+#include "data/synthetic.h"
+#include "data/windows.h"
+#include "util/rng.h"
+
+namespace timedrl::bench {
+
+/// Global knobs for all bench binaries.
+struct Settings {
+  double data_scale = 0.15;
+  double epoch_scale = 1.0;
+
+  int64_t input_length = 48;   // lookback window L
+  int64_t window_stride = 3;   // stride between training windows
+  int64_t batch_size = 32;
+
+  // TimeDRL model size.
+  int64_t d_model = 32;
+  int64_t num_heads = 4;
+  int64_t ff_dim = 64;
+  int64_t num_layers = 2;
+  int64_t patch_length = 8;
+  int64_t patch_stride = 8;
+
+  // Baseline conv encoders.
+  int64_t baseline_hidden = 32;
+  int64_t baseline_blocks = 3;
+
+  int64_t ssl_epochs = 6;
+  int64_t probe_epochs = 8;
+  int64_t e2e_epochs = 8;
+  int64_t finetune_epochs = 8;
+
+  /// Reads TIMEDRL_BENCH_SCALE / TIMEDRL_BENCH_EPOCHS from the environment.
+  static Settings FromEnv();
+
+  int64_t SslEpochs() const { return ScaledEpochs(ssl_epochs); }
+  int64_t ProbeEpochs() const { return ScaledEpochs(probe_epochs); }
+  int64_t E2eEpochs() const { return ScaledEpochs(e2e_epochs); }
+  int64_t FinetuneEpochs() const { return ScaledEpochs(finetune_epochs); }
+
+ private:
+  int64_t ScaledEpochs(int64_t base) const {
+    const int64_t scaled = static_cast<int64_t>(base * epoch_scale);
+    return scaled < 1 ? 1 : scaled;
+  }
+};
+
+/// One (MSE, MAE) table cell.
+struct ForecastCell {
+  double mse = 0.0;
+  double mae = 0.0;
+};
+
+/// A forecasting dataset prepared for benching: scaled splits in
+/// train-statistics z-score space.
+struct ForecastData {
+  std::string name;
+  int64_t channels = 0;
+  std::vector<int64_t> horizons;
+  data::TimeSeries train;
+  data::TimeSeries test;
+
+  data::ForecastingWindows TrainWindows(int64_t horizon,
+                                        const Settings& settings) const;
+  data::ForecastingWindows TestWindows(int64_t horizon,
+                                       const Settings& settings) const;
+  /// Horizon-free windows for SSL pre-training.
+  data::ForecastingWindows PretrainWindows(const Settings& settings) const;
+};
+
+/// Scales, splits (60/20/20; val merged into train for probes) and z-scores
+/// a suite dataset. `univariate` keeps only the target channel (Table IV).
+ForecastData PrepareForecast(const data::ForecastingBenchDataset& dataset,
+                             const Settings& settings, bool univariate);
+
+/// The paper's six forecasting datasets, prepared.
+std::vector<ForecastData> PrepareForecastSuite(const Settings& settings,
+                                               bool univariate, Rng& rng);
+
+// ---- TimeDRL runners -----------------------------------------------------------
+
+/// TimeDRL config for forecasting (channel-independent) or classification.
+core::TimeDrlConfig MakeTimeDrlConfig(const Settings& settings,
+                                      int64_t input_channels,
+                                      int64_t input_length);
+
+/// Pre-trains TimeDRL on a forecasting dataset (channel independence on).
+std::unique_ptr<core::TimeDrlModel> PretrainTimeDrlForecast(
+    const ForecastData& data, const Settings& settings, Rng& rng);
+
+/// Linear probe + evaluation for one horizon.
+ForecastCell EvalTimeDrlForecast(core::TimeDrlModel* model,
+                                 const ForecastData& data, int64_t horizon,
+                                 const Settings& settings, Rng& rng);
+
+// ---- Baseline runners ------------------------------------------------------------
+
+/// SSL forecasting baselines of Table III/IV: SimTS, TS2Vec, TNC, CoST.
+std::vector<std::string> SslForecastBaselineNames();
+
+std::unique_ptr<baselines::SslBaseline> MakeSslBaseline(
+    const std::string& name, int64_t channels, int64_t num_classes,
+    const Settings& settings, Rng& rng);
+
+/// Pre-trains one SSL baseline on a forecasting dataset.
+std::unique_ptr<baselines::SslBaseline> PretrainBaselineForecast(
+    const std::string& name, const ForecastData& data,
+    const Settings& settings, Rng& rng);
+
+ForecastCell EvalBaselineForecast(baselines::SslBaseline* model,
+                                  const ForecastData& data, int64_t horizon,
+                                  const Settings& settings, Rng& rng);
+
+/// End-to-end baselines (Informer, TCN): trained per horizon.
+ForecastCell EvalEndToEndForecast(const std::string& name,
+                                  const ForecastData& data, int64_t horizon,
+                                  const Settings& settings, Rng& rng);
+
+// ---- Classification runners ---------------------------------------------------------
+
+/// Train/test split of one classification suite dataset.
+struct ClassifyData {
+  std::string name;
+  data::ClassificationDataset train;
+  data::ClassificationDataset test;
+};
+
+std::vector<ClassifyData> PrepareClassifySuite(const Settings& settings,
+                                               Rng& rng);
+
+/// Pre-trains TimeDRL on classification windows (no channel independence).
+std::unique_ptr<core::TimeDrlModel> PretrainTimeDrlClassify(
+    const ClassifyData& data, const Settings& settings, Rng& rng,
+    float lambda_weight = 1.0f, bool stop_gradient = true);
+
+core::ClassificationMetrics EvalTimeDrlClassify(core::TimeDrlModel* model,
+                                                const ClassifyData& data,
+                                                core::Pooling pooling,
+                                                const Settings& settings,
+                                                Rng& rng);
+
+/// SSL classification baselines of Table V.
+std::vector<std::string> SslClassifyBaselineNames();
+
+core::ClassificationMetrics EvalBaselineClassify(const std::string& name,
+                                                 const ClassifyData& data,
+                                                 const Settings& settings,
+                                                 Rng& rng);
+
+}  // namespace timedrl::bench
+
+#endif  // TIMEDRL_BENCH_HARNESS_H_

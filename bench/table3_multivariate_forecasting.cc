@@ -1,0 +1,8 @@
+// Reproduces paper Table III: linear evaluation on multivariate forecasting.
+
+#include "bench/forecast_table.h"
+
+int main() {
+  timedrl::bench::RunForecastTable(/*univariate=*/false, "Table III");
+  return 0;
+}

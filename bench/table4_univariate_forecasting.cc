@@ -1,0 +1,9 @@
+// Reproduces paper Table IV: linear evaluation on univariate forecasting
+// (target channel only).
+
+#include "bench/forecast_table.h"
+
+int main() {
+  timedrl::bench::RunForecastTable(/*univariate=*/true, "Table IV");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Reproduces paper Table V: linear evaluation on time-series classification
+// across five datasets and eight methods (ACC / MF1 / Cohen's kappa).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace timedrl::bench {
+namespace {
+
+void Run() {
+  Settings settings = Settings::FromEnv();
+  // The Transformer needs a longer self-supervised schedule than the conv
+  // baselines to reach its asymptote; every method gets the same budget.
+  settings.ssl_epochs = 20;
+  settings.probe_epochs = 12;
+  settings.data_scale *= 0.75;
+  Rng rng(20240608);
+
+  std::printf("== Table V: linear evaluation on time-series classification ==\n");
+  std::printf(
+      "(synthetic stand-ins for the paper's datasets; shapes, not absolute "
+      "values, are the reproduction target)\n\n");
+
+  const std::vector<std::string> baseline_names = SslClassifyBaselineNames();
+  std::vector<std::string> header = {"Dataset", "Metric", "TimeDRL"};
+  for (const std::string& name : baseline_names) header.push_back(name);
+  TablePrinter table(header);
+
+  Stopwatch stopwatch;
+  int64_t datasets = 0;
+  int64_t timedrl_best_acc = 0;
+
+  for (const ClassifyData& data : PrepareClassifySuite(settings, rng)) {
+    std::unique_ptr<core::TimeDrlModel> model =
+        PretrainTimeDrlClassify(data, settings, rng);
+    core::ClassificationMetrics ours =
+        EvalTimeDrlClassify(model.get(), data, core::Pooling::kCls, settings,
+                            rng);
+
+    std::vector<core::ClassificationMetrics> results;
+    for (const std::string& name : baseline_names) {
+      results.push_back(EvalBaselineClassify(name, data, settings, rng));
+    }
+
+    auto add_metric_row = [&](const std::string& metric,
+                              auto select) {
+      std::vector<std::string> row = {data.name, metric,
+                                      TablePrinter::Num(select(ours) * 100.0,
+                                                        2)};
+      for (const auto& result : results) {
+        row.push_back(TablePrinter::Num(select(result) * 100.0, 2));
+      }
+      table.AddRow(row);
+    };
+    add_metric_row("ACC", [](const core::ClassificationMetrics& m) {
+      return m.accuracy;
+    });
+    add_metric_row("MF1", [](const core::ClassificationMetrics& m) {
+      return m.macro_f1;
+    });
+    add_metric_row("KAPPA", [](const core::ClassificationMetrics& m) {
+      return m.kappa;
+    });
+    table.AddSeparator();
+
+    ++datasets;
+    bool best = true;
+    for (const auto& result : results) {
+      if (result.accuracy > ours.accuracy) best = false;
+    }
+    if (best) ++timedrl_best_acc;
+  }
+
+  table.Print();
+  std::printf(
+      "\nTimeDRL best accuracy on %lld / %lld datasets  |  wall clock %.1fs\n",
+      static_cast<long long>(timedrl_best_acc),
+      static_cast<long long>(datasets), stopwatch.ElapsedSeconds());
+  std::printf("Paper's shape: TimeDRL top-tier on all five, with the largest "
+              "margin on FingerMovements.\n");
+}
+
+}  // namespace
+}  // namespace timedrl::bench
+
+int main() {
+  timedrl::bench::Run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces paper Table IX: ablation on the stop-gradient operation in the
+// instance-contrastive task. Removing it allows representational collapse.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace timedrl::bench {
+namespace {
+
+void Run() {
+  Settings settings = Settings::FromEnv();
+  Rng rng(20240614);
+  std::printf("== Table IX: ablation on the stop-gradient operation "
+              "(accuracy) ==\n\n");
+  Stopwatch stopwatch;
+
+  std::vector<ClassifyData> suite = PrepareClassifySuite(settings, rng);
+  const ClassifyData* finger = nullptr;
+  const ClassifyData* epilepsy = nullptr;
+  for (const auto& data : suite) {
+    if (data.name == "FingerMovements") finger = &data;
+    if (data.name == "Epilepsy") epilepsy = &data;
+  }
+
+  auto run = [&](const ClassifyData& data, bool stop_gradient) {
+    Rng local_rng(131);
+    std::unique_ptr<core::TimeDrlModel> model = PretrainTimeDrlClassify(
+        data, settings, local_rng, /*lambda_weight=*/1.0f, stop_gradient);
+    return EvalTimeDrlClassify(model.get(), data, core::Pooling::kCls,
+                               settings, local_rng)
+               .accuracy *
+           100.0;
+  };
+
+  const double with_sg_finger = run(*finger, true);
+  const double with_sg_epilepsy = run(*epilepsy, true);
+  const double without_sg_finger = run(*finger, false);
+  const double without_sg_epilepsy = run(*epilepsy, false);
+
+  TablePrinter table(
+      {"Stop Gradient", "FingerMovements-like", "Epilepsy-like"});
+  table.AddRow({"w/ SG (Ours)", TablePrinter::Num(with_sg_finger, 2),
+                TablePrinter::Num(with_sg_epilepsy, 2)});
+  table.AddRow(
+      {"w/o SG",
+       TablePrinter::Num(without_sg_finger, 2) + " (" +
+           TablePrinter::Pct(without_sg_finger / with_sg_finger - 1.0) + ")",
+       TablePrinter::Num(without_sg_epilepsy, 2) + " (" +
+           TablePrinter::Pct(without_sg_epilepsy / with_sg_epilepsy - 1.0) +
+           ")"});
+  table.Print();
+  std::printf("\nPaper's shape: removing stop-gradient lets the siamese "
+              "branches collapse, dropping accuracy. Wall clock %.1fs\n",
+              stopwatch.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace timedrl::bench
+
+int main() {
+  timedrl::bench::Run();
+  return 0;
+}

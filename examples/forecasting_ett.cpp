@@ -1,0 +1,116 @@
+// Electricity-transformer forecasting, end to end: the paper's flagship
+// downstream task (intro: "forecasting for electric power").
+//
+//   build/examples/forecasting_ett
+//
+// Compares three ways to forecast the same series:
+//   (a) TimeDRL linear evaluation  (frozen SSL encoder + linear head)
+//   (b) TimeDRL fine-tuned         (encoder updated with the head)
+//   (c) supervised-from-scratch    (same architecture, no pre-training)
+// across two horizons, and round-trips the dataset through CSV to show the
+// I/O path a real deployment would use.
+
+#include <cstdio>
+
+#include "core/model.h"
+#include "core/pipelines.h"
+#include "core/pretrainer.h"
+#include "core/sources.h"
+#include "data/csv.h"
+#include "data/scaler.h"
+#include "data/synthetic.h"
+#include "data/windows.h"
+
+using namespace timedrl;  // NOLINT: example brevity
+
+namespace {
+
+constexpr int64_t kInputLength = 48;
+
+core::TimeDrlConfig ModelConfig() {
+  core::TimeDrlConfig config;
+  config.input_channels = 1;  // channel independence
+  config.input_length = kInputLength;
+  config.patch_length = 8;
+  config.patch_stride = 8;
+  config.d_model = 32;
+  config.num_heads = 4;
+  config.num_layers = 2;
+  return config;
+}
+
+double RunProbe(core::TimeDrlModel* model, const data::TimeSeries& train,
+                const data::TimeSeries& test, int64_t horizon,
+                bool fine_tune, Rng& rng) {
+  data::ForecastingWindows train_windows(train, kInputLength, horizon, 2);
+  data::ForecastingWindows test_windows(test, kInputLength, horizon, 2);
+  core::ForecastingPipeline pipeline(model, horizon, train.channels,
+                                     /*channel_independent=*/true, rng);
+  core::DownstreamConfig config;
+  config.epochs = 8;
+  config.fine_tune_encoder = fine_tune;
+  pipeline.Train(train_windows, config, rng);
+  return pipeline.Evaluate(test_windows).mse;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(7);
+
+  // Generate the ETT-like benchmark series and persist it as CSV — the same
+  // format the real ETTh1.csv ships in.
+  data::TimeSeries generated =
+      data::MakeEttLike(2500, /*period=*/24, /*variant=*/1, rng);
+  const char* path = "/tmp/etth1_like.csv";
+  if (!data::SaveCsv(generated, path,
+                     {"HUFL", "HULL", "MUFL", "MULL", "LUFL", "LULL", "OT"})) {
+    return 1;
+  }
+  data::TimeSeries series;
+  if (!data::LoadCsv(path, &series)) return 1;
+  std::printf("loaded %s: %lld rows x %lld channels\n", path,
+              static_cast<long long>(series.length()),
+              static_cast<long long>(series.channels));
+
+  data::ForecastingSplits splits = data::ChronologicalSplit(series);
+  data::StandardScaler scaler;
+  scaler.Fit(splits.train);
+  data::TimeSeries train = scaler.Transform(splits.train);
+  data::TimeSeries test = scaler.Transform(splits.test);
+
+  // Pre-train once; reuse the encoder for both horizons (timestamp-level
+  // embeddings are horizon-agnostic).
+  data::ForecastingWindows unlabeled(train, kInputLength, 0, 2);
+  core::ForecastingSource source(&unlabeled, /*channel_independent=*/true);
+  core::PretrainConfig pretrain;
+  pretrain.epochs = 10;
+  pretrain.verbose = false;
+
+  std::printf("\n%-10s %-12s %-12s %-12s\n", "Horizon", "LinearEval",
+              "FineTuned", "Scratch");
+  for (int64_t horizon : {12, 24}) {
+    Rng probe_rng(100 + horizon);
+
+    core::TimeDrlModel linear_model(ModelConfig(), probe_rng);
+    core::Pretrain(&linear_model, source, pretrain, probe_rng);
+    const double linear_mse =
+        RunProbe(&linear_model, train, test, horizon, false, probe_rng);
+
+    core::TimeDrlModel finetune_model(ModelConfig(), probe_rng);
+    core::Pretrain(&finetune_model, source, pretrain, probe_rng);
+    const double finetune_mse =
+        RunProbe(&finetune_model, train, test, horizon, true, probe_rng);
+
+    core::TimeDrlModel scratch_model(ModelConfig(), probe_rng);
+    const double scratch_mse =
+        RunProbe(&scratch_model, train, test, horizon, true, probe_rng);
+
+    std::printf("%-10lld %-12.3f %-12.3f %-12.3f\n",
+                static_cast<long long>(horizon), linear_mse, finetune_mse,
+                scratch_mse);
+  }
+  std::printf("\nExpected: pre-trained variants beat training from scratch; "
+              "fine-tuning edges out the frozen probe.\n");
+  return 0;
+}

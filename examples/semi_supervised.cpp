@@ -1,0 +1,88 @@
+// Semi-supervised learning: the paper's headline real-world scenario
+// (Section V-C) — lots of unlabeled data, few labels.
+//
+//   build/examples/semi_supervised
+//
+// Sweeps the labeled fraction of an epilepsy-detection dataset and compares
+// supervised-only training against TimeDRL pre-training + fine-tuning.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/model.h"
+#include "core/pipelines.h"
+#include "core/pretrainer.h"
+#include "core/sources.h"
+#include "data/synthetic.h"
+
+using namespace timedrl;  // NOLINT: example brevity
+
+namespace {
+
+core::TimeDrlConfig ModelConfig(const data::ClassificationDataset& dataset) {
+  core::TimeDrlConfig config;
+  config.input_channels = dataset.channels;
+  config.input_length = dataset.window_length;
+  config.patch_length = 8;
+  config.patch_stride = 8;
+  config.d_model = 32;
+  config.num_heads = 4;
+  config.num_layers = 2;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(33);
+  data::ClassificationDataset dataset = data::MakeEpilepsyLike(700, 96, rng);
+  data::ClassificationSplits splits = data::StratifiedSplit(dataset, 0.7, rng);
+  std::printf("Epilepsy-like EEG: %lld train / %lld test windows\n",
+              static_cast<long long>(splits.train.size()),
+              static_cast<long long>(splits.test.size()));
+
+  core::DownstreamConfig finetune;
+  finetune.epochs = 12;
+  finetune.fine_tune_encoder = true;
+
+  std::printf("\n%-10s %-16s %-16s\n", "Labels", "Supervised ACC",
+              "TimeDRL(FT) ACC");
+  for (double fraction : {0.05, 0.10, 0.25, 0.50, 1.00}) {
+    const int64_t labeled_count =
+        std::max<int64_t>(8, static_cast<int64_t>(splits.train.size() *
+                                                  fraction));
+    std::vector<int64_t> indices(labeled_count);
+    for (int64_t i = 0; i < labeled_count; ++i) indices[i] = i;
+    data::ClassificationDataset labeled = splits.train.Subset(indices);
+
+    // Supervised: labeled subset only, random init.
+    Rng supervised_rng(201);
+    core::TimeDrlModel supervised_model(ModelConfig(dataset), supervised_rng);
+    core::ClassificationPipeline supervised(&supervised_model,
+                                            dataset.num_classes,
+                                            core::Pooling::kCls,
+                                            supervised_rng);
+    supervised.Train(labeled, finetune, supervised_rng);
+    const double supervised_acc =
+        supervised.Evaluate(splits.test).accuracy * 100;
+
+    // TimeDRL (FT): pre-train on ALL unlabeled windows, fine-tune on the
+    // labeled subset.
+    Rng ours_rng(202);
+    core::TimeDrlModel model(ModelConfig(dataset), ours_rng);
+    core::ClassificationSource source(&splits.train);  // labels unused
+    core::PretrainConfig pretrain;
+    pretrain.epochs = 15;
+    core::Pretrain(&model, source, pretrain, ours_rng);
+    core::ClassificationPipeline ours(&model, dataset.num_classes,
+                                      core::Pooling::kCls, ours_rng);
+    ours.Train(labeled, finetune, ours_rng);
+    const double ours_acc = ours.Evaluate(splits.test).accuracy * 100;
+
+    std::printf("%-10.0f %-16.2f %-16.2f\n", fraction * 100, supervised_acc,
+                ours_acc);
+  }
+  std::printf("\nExpected: the pre-trained model holds up as labels shrink; "
+              "the supervised model degrades faster.\n");
+  return 0;
+}

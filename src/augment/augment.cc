@@ -1,0 +1,163 @@
+#include "augment/augment.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace timedrl::augment {
+namespace {
+
+// Checks the batch is [B, T, C] and returns its dims.
+void BatchDims(const Tensor& batch, int64_t* b, int64_t* t, int64_t* c) {
+  TIMEDRL_CHECK_EQ(batch.dim(), 3) << "augmentations expect [B, T, C]";
+  *b = batch.size(0);
+  *t = batch.size(1);
+  *c = batch.size(2);
+}
+
+}  // namespace
+
+std::string KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kNone:
+      return "None";
+    case Kind::kJitter:
+      return "Jitter";
+    case Kind::kScaling:
+      return "Scaling";
+    case Kind::kRotation:
+      return "Rotation";
+    case Kind::kPermutation:
+      return "Permutation";
+    case Kind::kMasking:
+      return "Masking";
+    case Kind::kCropping:
+      return "Cropping";
+  }
+  return "?";
+}
+
+std::vector<Kind> AllKinds() {
+  return {Kind::kNone,        Kind::kJitter,  Kind::kScaling,
+          Kind::kRotation,    Kind::kPermutation, Kind::kMasking,
+          Kind::kCropping};
+}
+
+Tensor Apply(Kind kind, const Tensor& batch, const AugmentConfig& config,
+             Rng& rng) {
+  switch (kind) {
+    case Kind::kNone:
+      return batch;
+    case Kind::kJitter:
+      return Jitter(batch, config.jitter_sigma, rng);
+    case Kind::kScaling:
+      return Scaling(batch, config.scaling_sigma, rng);
+    case Kind::kRotation:
+      return Rotation(batch, rng);
+    case Kind::kPermutation:
+      return Permutation(batch, config.permutation_segments, rng);
+    case Kind::kMasking:
+      return Masking(batch, config.masking_ratio, rng);
+    case Kind::kCropping:
+      return Cropping(batch, config.cropping_ratio, rng);
+  }
+  TIMEDRL_CHECK(false) << "unknown augmentation";
+  return batch;
+}
+
+Tensor Jitter(const Tensor& batch, float sigma, Rng& rng) {
+  std::vector<float> out = batch.data();
+  for (float& v : out) v += rng.Normal(0.0f, sigma);
+  return Tensor::FromVector(batch.shape(), std::move(out));
+}
+
+Tensor Scaling(const Tensor& batch, float sigma, Rng& rng) {
+  int64_t b, t, c;
+  BatchDims(batch, &b, &t, &c);
+  std::vector<float> out = batch.data();
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t j = 0; j < c; ++j) {
+      const float factor = rng.Normal(1.0f, sigma);
+      for (int64_t k = 0; k < t; ++k) out[(i * t + k) * c + j] *= factor;
+    }
+  }
+  return Tensor::FromVector(batch.shape(), std::move(out));
+}
+
+Tensor Rotation(const Tensor& batch, Rng& rng) {
+  int64_t b, t, c;
+  BatchDims(batch, &b, &t, &c);
+  const std::vector<float>& in = batch.data();
+  std::vector<float> out(in.size());
+  for (int64_t i = 0; i < b; ++i) {
+    const std::vector<int64_t> perm = rng.Permutation(c);
+    std::vector<float> sign(c);
+    for (int64_t j = 0; j < c; ++j) sign[j] = rng.Bernoulli(0.5f) ? -1.0f : 1.0f;
+    for (int64_t k = 0; k < t; ++k) {
+      for (int64_t j = 0; j < c; ++j) {
+        out[(i * t + k) * c + j] = sign[j] * in[(i * t + k) * c + perm[j]];
+      }
+    }
+  }
+  return Tensor::FromVector(batch.shape(), std::move(out));
+}
+
+Tensor Permutation(const Tensor& batch, int64_t max_segments, Rng& rng) {
+  int64_t b, t, c;
+  BatchDims(batch, &b, &t, &c);
+  TIMEDRL_CHECK_GE(max_segments, 2);
+  const std::vector<float>& in = batch.data();
+  std::vector<float> out(in.size());
+  for (int64_t i = 0; i < b; ++i) {
+    const int64_t segments =
+        std::min<int64_t>(rng.UniformInt(2, max_segments), t);
+    // Equal-ish segment boundaries, then shuffled order.
+    std::vector<int64_t> bounds(segments + 1);
+    for (int64_t s = 0; s <= segments; ++s) bounds[s] = s * t / segments;
+    std::vector<int64_t> order = rng.Permutation(segments);
+    int64_t write = 0;
+    for (int64_t s = 0; s < segments; ++s) {
+      for (int64_t k = bounds[order[s]]; k < bounds[order[s] + 1]; ++k) {
+        for (int64_t j = 0; j < c; ++j) {
+          out[(i * t + write) * c + j] = in[(i * t + k) * c + j];
+        }
+        ++write;
+      }
+    }
+  }
+  return Tensor::FromVector(batch.shape(), std::move(out));
+}
+
+Tensor Masking(const Tensor& batch, float ratio, Rng& rng) {
+  int64_t b, t, c;
+  BatchDims(batch, &b, &t, &c);
+  std::vector<float> out = batch.data();
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t k = 0; k < t; ++k) {
+      if (rng.Bernoulli(ratio)) {
+        for (int64_t j = 0; j < c; ++j) out[(i * t + k) * c + j] = 0.0f;
+      }
+    }
+  }
+  return Tensor::FromVector(batch.shape(), std::move(out));
+}
+
+Tensor Cropping(const Tensor& batch, float ratio, Rng& rng) {
+  int64_t b, t, c;
+  BatchDims(batch, &b, &t, &c);
+  std::vector<float> out = batch.data();
+  for (int64_t i = 0; i < b; ++i) {
+    const int64_t total = static_cast<int64_t>(ratio * t);
+    const int64_t left = total > 0 ? rng.UniformInt(0, total) : 0;
+    const int64_t right = total - left;
+    for (int64_t k = 0; k < left; ++k) {
+      for (int64_t j = 0; j < c; ++j) out[(i * t + k) * c + j] = 0.0f;
+    }
+    for (int64_t k = t - right; k < t; ++k) {
+      for (int64_t j = 0; j < c; ++j) out[(i * t + k) * c + j] = 0.0f;
+    }
+  }
+  return Tensor::FromVector(batch.shape(), std::move(out));
+}
+
+}  // namespace timedrl::augment

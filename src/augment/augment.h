@@ -1,0 +1,60 @@
+// Time-series data augmentations.
+//
+// TimeDRL deliberately uses NO augmentation; these six transforms exist only
+// to reproduce the paper's Table VI ablation, which quantifies the inductive
+// bias each one introduces. All operate on [B, T, C] batches and return new
+// (non-differentiable) tensors: they are applied to raw inputs before the
+// model, as the baselines do.
+
+#ifndef TIMEDRL_AUGMENT_AUGMENT_H_
+#define TIMEDRL_AUGMENT_AUGMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace timedrl::augment {
+
+/// The paper's Table VI augmentations. kNone is TimeDRL's default.
+enum class Kind {
+  kNone,
+  kJitter,       // additive Gaussian noise
+  kScaling,      // multiply by one random scalar per (sample, channel)
+  kRotation,     // permute channels and randomly flip signs
+  kPermutation,  // slice into segments and shuffle them in time
+  kMasking,      // zero out random timesteps
+  kCropping,     // zero out the left/right margins
+};
+
+/// Display name matching the paper's rows ("Jitter", "Scaling", ...).
+std::string KindName(Kind kind);
+
+/// All kinds including kNone, in the paper's Table VI order.
+std::vector<Kind> AllKinds();
+
+/// Hyperparameters for the individual transforms.
+struct AugmentConfig {
+  float jitter_sigma = 0.1f;
+  float scaling_sigma = 0.3f;
+  int64_t permutation_segments = 4;
+  float masking_ratio = 0.15f;
+  float cropping_ratio = 0.25f;  // total fraction zeroed at the two ends
+};
+
+/// Applies `kind` to a [B, T, C] batch. kNone returns the input unchanged.
+Tensor Apply(Kind kind, const Tensor& batch, const AugmentConfig& config,
+             Rng& rng);
+
+// Individual transforms (exposed for tests).
+Tensor Jitter(const Tensor& batch, float sigma, Rng& rng);
+Tensor Scaling(const Tensor& batch, float sigma, Rng& rng);
+Tensor Rotation(const Tensor& batch, Rng& rng);
+Tensor Permutation(const Tensor& batch, int64_t max_segments, Rng& rng);
+Tensor Masking(const Tensor& batch, float ratio, Rng& rng);
+Tensor Cropping(const Tensor& batch, float ratio, Rng& rng);
+
+}  // namespace timedrl::augment
+
+#endif  // TIMEDRL_AUGMENT_AUGMENT_H_

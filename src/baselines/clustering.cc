@@ -1,0 +1,114 @@
+#include "baselines/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace timedrl::baselines {
+
+Ccl::Ccl(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks,
+         int64_t num_clusters, Rng& rng)
+    : encoder_(in_channels, hidden_dim, num_blocks, rng),
+      num_clusters_(num_clusters),
+      cluster_rng_(rng.Fork()) {
+  RegisterModule("encoder", &encoder_);
+}
+
+Tensor Ccl::EncodeSequence(const Tensor& x) { return encoder_.Forward(x); }
+
+Tensor Ccl::EncodeInstance(const Tensor& x) {
+  return encoder_.PoolInstance(encoder_.Forward(x));
+}
+
+Tensor Ccl::ClusterLoss(const Tensor& embeddings, int64_t num_clusters,
+                        float outlier_fraction) {
+  const int64_t batch = embeddings.size(0);
+  const int64_t dim = embeddings.size(1);
+  const int64_t k = std::min<int64_t>(num_clusters, batch / 2);
+  TIMEDRL_CHECK_GE(k, 1);
+
+  // k-means on the detached embeddings gives pseudo-labels + prototypes.
+  std::vector<std::vector<float>> rows(batch, std::vector<float>(dim));
+  const std::vector<float>& values = embeddings.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    std::copy(values.begin() + b * dim, values.begin() + (b + 1) * dim,
+              rows[b].begin());
+  }
+  std::vector<std::vector<float>> centroids;
+  std::vector<int64_t> assignment =
+      KMeans(rows, k, /*iterations=*/8, cluster_rng_, &centroids);
+
+  // Optionally drop the farthest `outlier_fraction` of rows.
+  std::vector<int64_t> keep;
+  if (outlier_fraction > 0.0f) {
+    std::vector<std::pair<double, int64_t>> by_distance;
+    by_distance.reserve(batch);
+    for (int64_t b = 0; b < batch; ++b) {
+      double distance = 0.0;
+      for (int64_t d = 0; d < dim; ++d) {
+        const double diff =
+            double{rows[b][d]} - double{centroids[assignment[b]][d]};
+        distance += diff * diff;
+      }
+      by_distance.emplace_back(distance, b);
+    }
+    std::sort(by_distance.begin(), by_distance.end());
+    const int64_t keep_count = std::max<int64_t>(
+        2, batch - static_cast<int64_t>(outlier_fraction * batch));
+    for (int64_t i = 0; i < keep_count; ++i) {
+      keep.push_back(by_distance[i].second);
+    }
+    std::sort(keep.begin(), keep.end());
+  } else {
+    keep.resize(batch);
+    for (int64_t b = 0; b < batch; ++b) keep[b] = b;
+  }
+
+  // Prototype logits: cosine similarity to the (constant) centroids.
+  std::vector<float> centroid_values;
+  centroid_values.reserve(k * dim);
+  for (const auto& centroid : centroids) {
+    centroid_values.insert(centroid_values.end(), centroid.begin(),
+                           centroid.end());
+  }
+  Tensor prototypes = L2NormalizeRows(
+      Tensor::FromVector({k, dim}, std::move(centroid_values)));
+
+  std::vector<Tensor> kept_rows;
+  std::vector<int64_t> kept_labels;
+  kept_rows.reserve(keep.size());
+  for (int64_t b : keep) {
+    kept_rows.push_back(Slice(embeddings, 0, b, 1));
+    kept_labels.push_back(assignment[b]);
+  }
+  Tensor kept = L2NormalizeRows(
+      Reshape(Concat(kept_rows, 0), {static_cast<int64_t>(keep.size()), dim}));
+  Tensor logits =
+      MatMul(kept, Transpose(prototypes, 0, 1)) * (1.0f / temperature_);
+  return CrossEntropy(logits, kept_labels);
+}
+
+Tensor Ccl::PretextLoss(const Tensor& x) {
+  TIMEDRL_CHECK(training());
+  Tensor embeddings = EncodeInstance(x);
+  return ClusterLoss(embeddings, num_clusters_, /*outlier_fraction=*/0.0f);
+}
+
+MhcclLite::MhcclLite(int64_t in_channels, int64_t hidden_dim,
+                     int64_t num_blocks, int64_t num_clusters, Rng& rng)
+    : Ccl(in_channels, hidden_dim, num_blocks, num_clusters, rng) {}
+
+Tensor MhcclLite::PretextLoss(const Tensor& x) {
+  TIMEDRL_CHECK(training());
+  Tensor embeddings = EncodeInstance(x);
+  // Two granularity levels with upward masking of outlier members — the
+  // "masked hierarchical" mechanism at bench scale.
+  Tensor fine =
+      ClusterLoss(embeddings, 2 * num_clusters_, /*outlier_fraction=*/0.1f);
+  Tensor coarse =
+      ClusterLoss(embeddings, num_clusters_, /*outlier_fraction=*/0.1f);
+  return 0.5f * (fine + coarse);
+}
+
+}  // namespace timedrl::baselines

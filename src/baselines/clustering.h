@@ -1,0 +1,55 @@
+// Clustering-based contrastive baselines: CCL and MHCCL-lite.
+
+#ifndef TIMEDRL_BASELINES_CLUSTERING_H_
+#define TIMEDRL_BASELINES_CLUSTERING_H_
+
+#include <string>
+
+#include "baselines/common.h"
+#include "baselines/conv_backbone.h"
+
+namespace timedrl::baselines {
+
+/// Compact CCL (Sharma et al., 2020): per batch, k-means clusters the
+/// (detached) instance embeddings; pseudo-labels then drive a prototype
+/// softmax loss that pulls embeddings toward their cluster centroid.
+class Ccl : public SslBaseline {
+ public:
+  Ccl(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks,
+      int64_t num_clusters, Rng& rng);
+
+  Tensor PretextLoss(const Tensor& x) override;
+  Tensor EncodeSequence(const Tensor& x) override;
+  Tensor EncodeInstance(const Tensor& x) override;
+  int64_t representation_dim() const override {
+    return encoder_.hidden_dim();
+  }
+  std::string name() const override { return "CCL"; }
+
+ protected:
+  /// Prototype-softmax loss against k-means pseudo-labels computed on the
+  /// batch; rows whose distance to their centroid is in the top
+  /// `outlier_fraction` are dropped (0 disables masking).
+  Tensor ClusterLoss(const Tensor& embeddings, int64_t num_clusters,
+                     float outlier_fraction);
+
+  DilatedConvEncoder encoder_;
+  int64_t num_clusters_;
+  float temperature_ = 0.2f;
+  Rng cluster_rng_;
+};
+
+/// MHCCL-lite (Meng et al., AAAI 2023): adds a second, coarser clustering
+/// level and masks outlier members when forming prototypes.
+class MhcclLite : public Ccl {
+ public:
+  MhcclLite(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks,
+            int64_t num_clusters, Rng& rng);
+
+  Tensor PretextLoss(const Tensor& x) override;
+  std::string name() const override { return "MHCCL"; }
+};
+
+}  // namespace timedrl::baselines
+
+#endif  // TIMEDRL_BASELINES_CLUSTERING_H_

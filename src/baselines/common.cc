@@ -1,0 +1,328 @@
+#include "baselines/common.h"
+
+#include <cmath>
+#include <limits>
+
+#include "data/loader.h"
+#include "optim/optimizer.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace timedrl::baselines {
+
+std::vector<double> TrainSslBaseline(SslBaseline* model,
+                                     const core::UnlabeledWindowSource& source,
+                                     const core::PretrainConfig& config,
+                                     Rng& rng) {
+  TIMEDRL_CHECK(model != nullptr);
+  TIMEDRL_CHECK_GT(source.size(), 0);
+  optim::AdamW optimizer(model->TrainableParameters(), config.learning_rate,
+                         config.weight_decay);
+  data::BatchIterator batches(source.size(), config.batch_size,
+                              /*shuffle=*/true, rng);
+  std::vector<double> history;
+  model->Train();
+  std::vector<int64_t> indices;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double total = 0.0;
+    int64_t steps = 0;
+    batches.Reset();
+    while (batches.Next(&indices)) {
+      if (static_cast<int64_t>(indices.size()) < 2) continue;
+      Tensor loss = model->PretextLoss(source.GetWindows(indices));
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optim::ClipGradNorm(optimizer.parameters(), config.clip_norm);
+      optimizer.Step();
+      total += loss.item();
+      ++steps;
+    }
+    TIMEDRL_CHECK_GT(steps, 0);
+    model->OnEpochEnd();
+    history.push_back(total / steps);
+    if (config.verbose) {
+      TIMEDRL_LOG_INFO << model->name() << " epoch " << epoch + 1 << "/"
+                       << config.epochs << " loss=" << history.back();
+    }
+  }
+  model->Eval();
+  return history;
+}
+
+void TrainEndToEnd(EndToEndForecaster* model,
+                   const data::ForecastingWindows& train,
+                   const core::DownstreamConfig& config, Rng& rng) {
+  optim::AdamW optimizer(model->Parameters(), config.learning_rate,
+                         config.weight_decay);
+  data::BatchIterator batches(train.size(), config.batch_size,
+                              /*shuffle=*/true, rng);
+  model->Train();
+  std::vector<int64_t> indices;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    batches.Reset();
+    while (batches.Next(&indices)) {
+      auto [x, y] = train.GetBatch(indices);
+      Tensor loss = MseLoss(model->Forecast(x), y);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optim::ClipGradNorm(optimizer.parameters(), config.clip_norm);
+      optimizer.Step();
+    }
+  }
+  model->Eval();
+}
+
+core::ForecastMetrics EvaluateEndToEnd(EndToEndForecaster* model,
+                                       const data::ForecastingWindows& test) {
+  model->Eval();
+  NoGradGuard guard;
+  double squared = 0.0;
+  double absolute = 0.0;
+  int64_t count = 0;
+  Rng throwaway(0);
+  data::BatchIterator batches(test.size(), 64, /*shuffle=*/false, throwaway);
+  std::vector<int64_t> indices;
+  while (batches.Next(&indices)) {
+    auto [x, y] = test.GetBatch(indices);
+    Tensor prediction = model->Forecast(x);
+    const std::vector<float>& p = prediction.data();
+    const std::vector<float>& t = y.data();
+    for (size_t i = 0; i < p.size(); ++i) {
+      const double d = double{p[i]} - double{t[i]};
+      squared += d * d;
+      absolute += std::abs(d);
+    }
+    count += static_cast<int64_t>(p.size());
+  }
+  TIMEDRL_CHECK_GT(count, 0);
+  return {squared / count, absolute / count};
+}
+
+// ---- Probes ------------------------------------------------------------------------
+
+BaselineForecastProbe::BaselineForecastProbe(RepresentationModel* model,
+                                             int64_t horizon, int64_t channels,
+                                             Rng& rng)
+    : model_(model), horizon_(horizon), channels_(channels) {
+  head_ = std::make_unique<nn::Linear>(model->representation_dim(),
+                                       horizon * channels, rng);
+}
+
+Tensor BaselineForecastProbe::Predict(const Tensor& x) {
+  Tensor features;
+  {
+    NoGradGuard guard;
+    Tensor sequence = model_->EncodeSequence(x);  // [B, T, D]
+    // TS2Vec linear-eval protocol: forecast from the final timestamp's
+    // representation.
+    features = Reshape(Slice(sequence, 1, sequence.size(1) - 1, 1),
+                       {x.size(0), model_->representation_dim()});
+  }
+  return Reshape(head_->Forward(features), {x.size(0), horizon_, channels_});
+}
+
+void BaselineForecastProbe::Train(const data::ForecastingWindows& train,
+                                  const core::DownstreamConfig& config,
+                                  Rng& rng) {
+  optim::AdamW optimizer(head_->Parameters(), config.learning_rate,
+                         config.weight_decay);
+  data::BatchIterator batches(train.size(), config.batch_size,
+                              /*shuffle=*/true, rng);
+  model_->Eval();
+  head_->Train();
+  std::vector<int64_t> indices;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    batches.Reset();
+    while (batches.Next(&indices)) {
+      auto [x, y] = train.GetBatch(indices);
+      Tensor loss = MseLoss(Predict(x), y);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+  head_->Eval();
+}
+
+core::ForecastMetrics BaselineForecastProbe::Evaluate(
+    const data::ForecastingWindows& test) {
+  model_->Eval();
+  head_->Eval();
+  NoGradGuard guard;
+  double squared = 0.0;
+  double absolute = 0.0;
+  int64_t count = 0;
+  Rng throwaway(0);
+  data::BatchIterator batches(test.size(), 64, /*shuffle=*/false, throwaway);
+  std::vector<int64_t> indices;
+  while (batches.Next(&indices)) {
+    auto [x, y] = test.GetBatch(indices);
+    Tensor prediction = Predict(x);
+    const std::vector<float>& p = prediction.data();
+    const std::vector<float>& t = y.data();
+    for (size_t i = 0; i < p.size(); ++i) {
+      const double d = double{p[i]} - double{t[i]};
+      squared += d * d;
+      absolute += std::abs(d);
+    }
+    count += static_cast<int64_t>(p.size());
+  }
+  TIMEDRL_CHECK_GT(count, 0);
+  return {squared / count, absolute / count};
+}
+
+BaselineClassifyProbe::BaselineClassifyProbe(RepresentationModel* model,
+                                             int64_t num_classes, Rng& rng)
+    : model_(model), num_classes_(num_classes) {
+  head_ = std::make_unique<nn::Linear>(model->representation_dim(),
+                                       num_classes, rng);
+}
+
+void BaselineClassifyProbe::Train(const data::ClassificationDataset& train,
+                                  const core::DownstreamConfig& config,
+                                  Rng& rng) {
+  optim::AdamW optimizer(head_->Parameters(), config.learning_rate,
+                         config.weight_decay);
+  data::BatchIterator batches(train.size(), config.batch_size,
+                              /*shuffle=*/true, rng);
+  model_->Eval();
+  head_->Train();
+  std::vector<int64_t> indices;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    batches.Reset();
+    while (batches.Next(&indices)) {
+      auto [x, labels] = train.GetBatch(indices);
+      Tensor features;
+      {
+        NoGradGuard guard;
+        features = model_->EncodeInstance(x);
+      }
+      Tensor loss = CrossEntropy(head_->Forward(features), labels);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+  head_->Eval();
+}
+
+core::ClassificationMetrics BaselineClassifyProbe::Evaluate(
+    const data::ClassificationDataset& test) {
+  model_->Eval();
+  head_->Eval();
+  NoGradGuard guard;
+  std::vector<int64_t> predictions;
+  Rng throwaway(0);
+  data::BatchIterator batches(test.size(), 64, /*shuffle=*/false, throwaway);
+  std::vector<int64_t> indices;
+  while (batches.Next(&indices)) {
+    auto [x, labels] = test.GetBatch(indices);
+    (void)labels;
+    std::vector<int64_t> batch_predictions =
+        ArgMax(head_->Forward(model_->EncodeInstance(x)), 1);
+    predictions.insert(predictions.end(), batch_predictions.begin(),
+                       batch_predictions.end());
+  }
+  core::ClassificationMetrics result;
+  result.accuracy = metrics::Accuracy(predictions, test.labels);
+  result.macro_f1 = metrics::MacroF1(predictions, test.labels, num_classes_);
+  result.kappa = metrics::CohenKappa(predictions, test.labels, num_classes_);
+  return result;
+}
+
+// ---- Loss helpers --------------------------------------------------------------------
+
+Tensor L2NormalizeRows(const Tensor& x) {
+  TIMEDRL_CHECK_EQ(x.dim(), 2);
+  Tensor norm = Sqrt(Sum(x * x, {1}, /*keepdim=*/true) + 1e-8f);
+  return x / norm;
+}
+
+Tensor DiagonalContrast(const Tensor& logits) {
+  TIMEDRL_CHECK_EQ(logits.dim(), 2);
+  TIMEDRL_CHECK_EQ(logits.size(0), logits.size(1));
+  std::vector<int64_t> labels(logits.size(0));
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = i;
+  return CrossEntropy(logits, labels);
+}
+
+Tensor NtXentLoss(const Tensor& a, const Tensor& b, float temperature) {
+  TIMEDRL_CHECK(a.shape() == b.shape());
+  const int64_t batch = a.size(0);
+  Tensor z = L2NormalizeRows(Concat({a, b}, 0));  // [2B, D]
+  Tensor sims = MatMul(z, Transpose(z, 0, 1)) * (1.0f / temperature);
+
+  // Remove self-similarity from the denominator.
+  std::vector<float> eye(4 * batch * batch, 0.0f);
+  for (int64_t i = 0; i < 2 * batch; ++i) eye[i * 2 * batch + i] = 1.0f;
+  sims = MaskedFill(sims, Tensor::FromVector({2 * batch, 2 * batch}, eye),
+                    -1e9f);
+
+  std::vector<int64_t> labels(2 * batch);
+  for (int64_t i = 0; i < batch; ++i) {
+    labels[i] = batch + i;  // positive of a_i is b_i
+    labels[batch + i] = i;
+  }
+  return CrossEntropy(sims, labels);
+}
+
+Tensor BceWithLogits(const Tensor& logits, float target) {
+  // softplus(x) = max(x, 0) + log(1 + exp(-|x|)) is stable for both signs.
+  Tensor softplus = ClampMin(logits, 0.0f) + Log(Exp(Neg(Abs(logits))) + 1.0f);
+  // BCE(x, y) = softplus(x) - y*x for constant y.
+  return Mean(softplus - target * logits);
+}
+
+std::vector<int64_t> KMeans(const std::vector<std::vector<float>>& rows,
+                            int64_t k, int64_t iterations, Rng& rng,
+                            std::vector<std::vector<float>>* centroids_out) {
+  TIMEDRL_CHECK(!rows.empty());
+  TIMEDRL_CHECK_GT(k, 0);
+  const int64_t n = static_cast<int64_t>(rows.size());
+  const int64_t dim = static_cast<int64_t>(rows[0].size());
+  k = std::min(k, n);
+
+  // Init centroids from distinct random rows.
+  std::vector<int64_t> seeds = rng.Permutation(n);
+  std::vector<std::vector<float>> centroids(k);
+  for (int64_t c = 0; c < k; ++c) centroids[c] = rows[seeds[c]];
+
+  std::vector<int64_t> assignment(n, 0);
+  for (int64_t iteration = 0; iteration < iterations; ++iteration) {
+    // Assign.
+    for (int64_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int64_t c = 0; c < k; ++c) {
+        double distance = 0.0;
+        for (int64_t d = 0; d < dim; ++d) {
+          const double diff = double{rows[i][d]} - double{centroids[c][d]};
+          distance += diff * diff;
+        }
+        if (distance < best) {
+          best = distance;
+          assignment[i] = c;
+        }
+      }
+    }
+    // Update.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<int64_t> counts(k, 0);
+    for (int64_t i = 0; i < n; ++i) {
+      ++counts[assignment[i]];
+      for (int64_t d = 0; d < dim; ++d) sums[assignment[i]][d] += rows[i][d];
+    }
+    for (int64_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        centroids[c] = rows[rng.UniformInt(0, n - 1)];  // re-seed empty
+        continue;
+      }
+      for (int64_t d = 0; d < dim; ++d) {
+        centroids[c][d] = static_cast<float>(sums[c][d] / counts[c]);
+      }
+    }
+  }
+  if (centroids_out != nullptr) *centroids_out = std::move(centroids);
+  return assignment;
+}
+
+}  // namespace timedrl::baselines

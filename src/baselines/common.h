@@ -1,0 +1,138 @@
+// Shared infrastructure for baseline methods: interfaces, the generic SSL
+// pre-training loop, linear probes, and loss-building-block helpers.
+
+#ifndef TIMEDRL_BASELINES_COMMON_H_
+#define TIMEDRL_BASELINES_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipelines.h"
+#include "core/pretrainer.h"
+#include "core/sources.h"
+#include "metrics/metrics.h"
+#include "data/time_series.h"
+#include "data/windows.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace timedrl::baselines {
+
+/// A representation model over raw windows: timestamp-level [B, T, D] and
+/// instance-level [B, D] encodings.
+class RepresentationModel : public nn::Module {
+ public:
+  virtual Tensor EncodeSequence(const Tensor& x) = 0;
+  virtual Tensor EncodeInstance(const Tensor& x) = 0;
+  virtual int64_t representation_dim() const = 0;
+};
+
+/// A self-supervised baseline: adds the method's pretext loss.
+class SslBaseline : public RepresentationModel {
+ public:
+  /// One pretext loss over a raw batch x [B, T, C]. Stochastic (views,
+  /// augmentations) and called in training mode.
+  virtual Tensor PretextLoss(const Tensor& x) = 0;
+
+  /// Called once at the end of each pre-training epoch (e.g. to refresh
+  /// cluster assignments or EMA targets). Default: no-op.
+  virtual void OnEpochEnd() {}
+
+  /// Parameters the optimizer should update. Defaults to all parameters;
+  /// BYOL overrides this to exclude its EMA target network.
+  virtual std::vector<Tensor> TrainableParameters() { return Parameters(); }
+
+  virtual std::string name() const = 0;
+};
+
+/// Generic SSL pre-training loop (mirrors core::Pretrain). Returns per-epoch
+/// mean losses; leaves the model in eval mode.
+std::vector<double> TrainSslBaseline(SslBaseline* model,
+                                     const core::UnlabeledWindowSource& source,
+                                     const core::PretrainConfig& config,
+                                     Rng& rng);
+
+/// An end-to-end forecaster (Informer-lite, TCN): maps x [B, L, C] directly
+/// to predictions [B, H, C].
+class EndToEndForecaster : public nn::Module {
+ public:
+  virtual Tensor Forecast(const Tensor& x) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Supervised training of an end-to-end forecaster.
+void TrainEndToEnd(EndToEndForecaster* model,
+                   const data::ForecastingWindows& train,
+                   const core::DownstreamConfig& config, Rng& rng);
+
+/// MSE/MAE of an end-to-end forecaster over a window set.
+core::ForecastMetrics EvaluateEndToEnd(EndToEndForecaster* model,
+                                       const data::ForecastingWindows& test);
+
+/// Linear probe for forecasting on a frozen baseline representation,
+/// following the TS2Vec protocol: the last timestamp's representation feeds
+/// a linear layer producing the full horizon.
+class BaselineForecastProbe {
+ public:
+  BaselineForecastProbe(RepresentationModel* model, int64_t horizon,
+                        int64_t channels, Rng& rng);
+
+  void Train(const data::ForecastingWindows& train,
+             const core::DownstreamConfig& config, Rng& rng);
+  core::ForecastMetrics Evaluate(const data::ForecastingWindows& test);
+  Tensor Predict(const Tensor& x);
+
+ private:
+  RepresentationModel* model_;
+  int64_t horizon_;
+  int64_t channels_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+/// Linear probe for classification on a frozen baseline instance embedding.
+class BaselineClassifyProbe {
+ public:
+  BaselineClassifyProbe(RepresentationModel* model, int64_t num_classes,
+                        Rng& rng);
+
+  void Train(const data::ClassificationDataset& train,
+             const core::DownstreamConfig& config, Rng& rng);
+  core::ClassificationMetrics Evaluate(
+      const data::ClassificationDataset& test);
+
+ private:
+  RepresentationModel* model_;
+  int64_t num_classes_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+// ---- Loss building blocks ---------------------------------------------------------
+
+/// Rows scaled to unit L2 norm. x: [N, D].
+Tensor L2NormalizeRows(const Tensor& x);
+
+/// NT-Xent (SimCLR) over two aligned views a, b: [B, D]. Positives are
+/// (a_i, b_i); negatives are every other row of the concatenated 2B batch.
+Tensor NtXentLoss(const Tensor& a, const Tensor& b, float temperature);
+
+/// Numerically-stable binary cross-entropy with logits against a constant
+/// target (0 or 1), averaged over elements.
+Tensor BceWithLogits(const Tensor& logits, float target);
+
+/// Dual-view softmax contrast along `dim` pairs: given similarity logits
+/// [N, N] whose diagonal holds positives, returns mean CE toward the
+/// diagonal (one direction).
+Tensor DiagonalContrast(const Tensor& logits);
+
+/// Lloyd's k-means on row vectors. Returns per-row assignments and writes
+/// centroids [k, D] to `centroids` if non-null.
+std::vector<int64_t> KMeans(const std::vector<std::vector<float>>& rows,
+                            int64_t k, int64_t iterations, Rng& rng,
+                            std::vector<std::vector<float>>* centroids);
+
+}  // namespace timedrl::baselines
+
+#endif  // TIMEDRL_BASELINES_COMMON_H_

@@ -1,0 +1,127 @@
+#include "baselines/contrastive_cv.h"
+
+#include "augment/augment.h"
+#include "core/model.h"
+#include "util/check.h"
+
+namespace timedrl::baselines {
+
+// ---- SimCLR ------------------------------------------------------------------------
+
+SimClr::SimClr(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks,
+               Rng& rng)
+    : encoder_(in_channels, hidden_dim, num_blocks, rng),
+      projector_(hidden_dim, hidden_dim, hidden_dim / 2, rng),
+      view_rng_(rng.Fork()) {
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("projector", &projector_);
+}
+
+Tensor SimClr::EncodeSequence(const Tensor& x) { return encoder_.Forward(x); }
+
+Tensor SimClr::EncodeInstance(const Tensor& x) {
+  return encoder_.PoolInstance(encoder_.Forward(x));
+}
+
+Tensor SimClr::AugmentView(const Tensor& x) {
+  // The classic strong recipe transplanted to time-series: jitter + scaling
+  // + segment permutation.
+  Tensor view = augment::Jitter(x, 0.1f, view_rng_);
+  view = augment::Scaling(view, 0.3f, view_rng_);
+  return augment::Permutation(view, 4, view_rng_);
+}
+
+Tensor SimClr::PretextLoss(const Tensor& x) {
+  TIMEDRL_CHECK(training());
+  Tensor z1 = projector_.Forward(EncodeInstance(AugmentView(x)));
+  Tensor z2 = projector_.Forward(EncodeInstance(AugmentView(x)));
+  return NtXentLoss(z1, z2, temperature_);
+}
+
+// ---- BYOL --------------------------------------------------------------------------
+
+Byol::Byol(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks,
+           Rng& rng)
+    : online_encoder_(in_channels, hidden_dim, num_blocks, rng),
+      online_projector_(hidden_dim, hidden_dim, hidden_dim / 2, rng),
+      predictor_(hidden_dim / 2, hidden_dim, hidden_dim / 2, rng),
+      target_encoder_(in_channels, hidden_dim, num_blocks, rng),
+      target_projector_(hidden_dim, hidden_dim, hidden_dim / 2, rng),
+      view_rng_(rng.Fork()) {
+  RegisterModule("online_encoder", &online_encoder_);
+  RegisterModule("online_projector", &online_projector_);
+  RegisterModule("predictor", &predictor_);
+  RegisterModule("target_encoder", &target_encoder_);
+  RegisterModule("target_projector", &target_projector_);
+}
+
+Tensor Byol::EncodeSequence(const Tensor& x) {
+  return online_encoder_.Forward(x);
+}
+
+Tensor Byol::EncodeInstance(const Tensor& x) {
+  return online_encoder_.PoolInstance(online_encoder_.Forward(x));
+}
+
+std::vector<Tensor> Byol::TrainableParameters() {
+  std::vector<Tensor> parameters = online_encoder_.Parameters();
+  std::vector<Tensor> projector_parameters = online_projector_.Parameters();
+  std::vector<Tensor> predictor_parameters = predictor_.Parameters();
+  parameters.insert(parameters.end(), projector_parameters.begin(),
+                    projector_parameters.end());
+  parameters.insert(parameters.end(), predictor_parameters.begin(),
+                    predictor_parameters.end());
+  return parameters;
+}
+
+Tensor Byol::AugmentView(const Tensor& x) {
+  Tensor view = augment::Jitter(x, 0.1f, view_rng_);
+  return augment::Scaling(view, 0.3f, view_rng_);
+}
+
+void Byol::UpdateTarget() {
+  auto blend = [this](nn::Module& online, nn::Module& target) {
+    std::vector<Tensor> online_parameters = online.Parameters();
+    std::vector<Tensor> target_parameters = target.Parameters();
+    TIMEDRL_CHECK_EQ(online_parameters.size(), target_parameters.size());
+    const float m = target_initialized_ ? momentum_ : 0.0f;
+    for (size_t i = 0; i < online_parameters.size(); ++i) {
+      std::vector<float>& target_values = target_parameters[i].data();
+      const std::vector<float>& online_values = online_parameters[i].data();
+      for (size_t j = 0; j < target_values.size(); ++j) {
+        target_values[j] = m * target_values[j] + (1.0f - m) * online_values[j];
+      }
+    }
+  };
+  blend(online_encoder_, target_encoder_);
+  blend(online_projector_, target_projector_);
+  target_initialized_ = true;
+}
+
+Tensor Byol::PretextLoss(const Tensor& x) {
+  TIMEDRL_CHECK(training());
+  // EMA tracks the online network with a one-step lag (updated before the
+  // loss is built, i.e. after the previous optimizer step has landed).
+  UpdateTarget();
+
+  Tensor v1 = AugmentView(x);
+  Tensor v2 = AugmentView(x);
+
+  auto online_branch = [this](const Tensor& view) {
+    Tensor pooled = online_encoder_.PoolInstance(online_encoder_.Forward(view));
+    return predictor_.Forward(online_projector_.Forward(pooled));
+  };
+  Tensor target1;
+  Tensor target2;
+  {
+    NoGradGuard guard;
+    target1 = target_projector_.Forward(
+        target_encoder_.PoolInstance(target_encoder_.Forward(v1)));
+    target2 = target_projector_.Forward(
+        target_encoder_.PoolInstance(target_encoder_.Forward(v2)));
+  }
+  return core::NegativeCosineSimilarity(online_branch(v1), target2) +
+         core::NegativeCosineSimilarity(online_branch(v2), target1);
+}
+
+}  // namespace timedrl::baselines

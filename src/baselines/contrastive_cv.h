@@ -1,0 +1,72 @@
+// SimCLR and BYOL adapted to time-series windows, as used in the paper's
+// classification comparison (Table V).
+
+#ifndef TIMEDRL_BASELINES_CONTRASTIVE_CV_H_
+#define TIMEDRL_BASELINES_CONTRASTIVE_CV_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/common.h"
+#include "baselines/conv_backbone.h"
+
+namespace timedrl::baselines {
+
+/// SimCLR (Chen et al., 2020): two augmented views, projection head,
+/// NT-Xent with in-batch negatives.
+class SimClr : public SslBaseline {
+ public:
+  SimClr(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks,
+         Rng& rng);
+
+  Tensor PretextLoss(const Tensor& x) override;
+  Tensor EncodeSequence(const Tensor& x) override;
+  Tensor EncodeInstance(const Tensor& x) override;
+  int64_t representation_dim() const override {
+    return encoder_.hidden_dim();
+  }
+  std::string name() const override { return "SimCLR"; }
+
+ private:
+  Tensor AugmentView(const Tensor& x);
+
+  DilatedConvEncoder encoder_;
+  ProjectionMlp projector_;
+  float temperature_ = 0.2f;
+  Rng view_rng_;
+};
+
+/// BYOL (Grill et al., 2020): online and EMA-target networks, predictor
+/// head, no negatives.
+class Byol : public SslBaseline {
+ public:
+  Byol(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks, Rng& rng);
+
+  Tensor PretextLoss(const Tensor& x) override;
+  Tensor EncodeSequence(const Tensor& x) override;
+  Tensor EncodeInstance(const Tensor& x) override;
+  int64_t representation_dim() const override {
+    return online_encoder_.hidden_dim();
+  }
+  /// The EMA target network is excluded from optimization.
+  std::vector<Tensor> TrainableParameters() override;
+  std::string name() const override { return "BYOL"; }
+
+ private:
+  Tensor AugmentView(const Tensor& x);
+  /// target <- m*target + (1-m)*online for every parameter pair.
+  void UpdateTarget();
+
+  DilatedConvEncoder online_encoder_;
+  ProjectionMlp online_projector_;
+  ProjectionMlp predictor_;
+  DilatedConvEncoder target_encoder_;
+  ProjectionMlp target_projector_;
+  float momentum_ = 0.99f;
+  bool target_initialized_ = false;
+  Rng view_rng_;
+};
+
+}  // namespace timedrl::baselines
+
+#endif  // TIMEDRL_BASELINES_CONTRASTIVE_CV_H_

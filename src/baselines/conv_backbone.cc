@@ -1,0 +1,51 @@
+#include "baselines/conv_backbone.h"
+
+#include <string>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace timedrl::baselines {
+
+DilatedConvEncoder::DilatedConvEncoder(int64_t in_channels,
+                                       int64_t hidden_dim, int64_t num_blocks,
+                                       Rng& rng)
+    : hidden_dim_(hidden_dim), input_proj_(in_channels, hidden_dim, rng) {
+  RegisterModule("input_proj", &input_proj_);
+  int64_t dilation = 1;
+  for (int64_t i = 0; i < num_blocks; ++i) {
+    // Same-length dilated conv: padding = dilation for kernel 3.
+    convs_.push_back(std::make_unique<nn::Conv1dLayer>(
+        hidden_dim, hidden_dim, /*kernel=*/3, rng, /*stride=*/1,
+        /*padding=*/dilation, dilation));
+    RegisterModule("conv" + std::to_string(i), convs_.back().get());
+    dilation *= 2;
+  }
+}
+
+Tensor DilatedConvEncoder::Forward(const Tensor& x) {
+  TIMEDRL_CHECK_EQ(x.dim(), 3) << "expects [B, T, C]";
+  Tensor h = Transpose(input_proj_.Forward(x), 1, 2);  // [B, D, T]
+  for (auto& conv : convs_) {
+    h = Gelu(conv->Forward(h)) + h;  // residual dilated block
+  }
+  return Transpose(h, 1, 2);  // [B, T, D]
+}
+
+Tensor DilatedConvEncoder::PoolInstance(const Tensor& sequence_repr) {
+  TIMEDRL_CHECK_EQ(sequence_repr.dim(), 3);
+  return Max(sequence_repr, /*dim=*/1);
+}
+
+ProjectionMlp::ProjectionMlp(int64_t in_dim, int64_t hidden_dim,
+                             int64_t out_dim, Rng& rng)
+    : fc1_(in_dim, hidden_dim, rng), fc2_(hidden_dim, out_dim, rng) {
+  RegisterModule("fc1", &fc1_);
+  RegisterModule("fc2", &fc2_);
+}
+
+Tensor ProjectionMlp::Forward(const Tensor& x) {
+  return fc2_.Forward(Relu(fc1_.Forward(x)));
+}
+
+}  // namespace timedrl::baselines

@@ -1,0 +1,53 @@
+// The dilated convolutional encoder shared by the conv-based SSL baselines
+// (TS2Vec, SimTS, TNC, CoST, T-Loss, TS-TCC, SimCLR, BYOL, CCL, MHCCL).
+
+#ifndef TIMEDRL_BASELINES_CONV_BACKBONE_H_
+#define TIMEDRL_BASELINES_CONV_BACKBONE_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/conv_encoders.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace timedrl::baselines {
+
+/// Input projection + stack of residual dilated conv blocks (GELU), the
+/// standard encoder design of TS2Vec and its successors.
+/// Maps [B, T, C] -> per-timestep representations [B, T, D].
+class DilatedConvEncoder : public nn::Module {
+ public:
+  DilatedConvEncoder(int64_t in_channels, int64_t hidden_dim,
+                     int64_t num_blocks, Rng& rng);
+
+  /// Timestamp-level representations [B, T, D].
+  Tensor Forward(const Tensor& x);
+
+  /// Instance-level representation: max-pool over time (TS2Vec protocol).
+  Tensor PoolInstance(const Tensor& sequence_repr);
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  nn::Linear input_proj_;
+  std::vector<std::unique_ptr<nn::Conv1dLayer>> convs_;
+};
+
+/// Two-layer projection MLP used by SimCLR/BYOL-style heads.
+class ProjectionMlp : public nn::Module {
+ public:
+  ProjectionMlp(int64_t in_dim, int64_t hidden_dim, int64_t out_dim, Rng& rng);
+
+  Tensor Forward(const Tensor& x);
+
+ private:
+  nn::Linear fc1_;
+  nn::Linear fc2_;
+};
+
+}  // namespace timedrl::baselines
+
+#endif  // TIMEDRL_BASELINES_CONV_BACKBONE_H_

@@ -1,0 +1,73 @@
+#include "baselines/cost.h"
+
+#include <cmath>
+
+#include "augment/augment.h"
+#include "util/check.h"
+
+namespace timedrl::baselines {
+
+CoSt::CoSt(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks,
+           Rng& rng)
+    : encoder_(in_channels, hidden_dim, num_blocks, rng),
+      projector_(hidden_dim, hidden_dim, hidden_dim / 2, rng),
+      view_rng_(rng.Fork()) {
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("projector", &projector_);
+}
+
+Tensor CoSt::EncodeSequence(const Tensor& x) { return encoder_.Forward(x); }
+
+Tensor CoSt::EncodeInstance(const Tensor& x) {
+  return encoder_.PoolInstance(encoder_.Forward(x));
+}
+
+Tensor CoSt::AmplitudeSpectrum(const Tensor& z) {
+  const int64_t length = z.size(1);
+  const int64_t bins = length / 2 + 1;
+  // Constant DFT bases [T, bins].
+  std::vector<float> cos_values(length * bins);
+  std::vector<float> sin_values(length * bins);
+  for (int64_t t = 0; t < length; ++t) {
+    for (int64_t f = 0; f < bins; ++f) {
+      const float angle = -2.0f * 3.14159265358979f * t * f / length;
+      cos_values[t * bins + f] = std::cos(angle);
+      sin_values[t * bins + f] = std::sin(angle);
+    }
+  }
+  Tensor cos_basis = Tensor::FromVector({length, bins}, std::move(cos_values));
+  Tensor sin_basis = Tensor::FromVector({length, bins}, std::move(sin_values));
+  Tensor zt = Transpose(z, 1, 2);  // [B, D, T]
+  Tensor real = MatMul(zt, cos_basis);
+  Tensor imaginary = MatMul(zt, sin_basis);
+  return Sqrt(real * real + imaginary * imaginary + 1e-8f);
+}
+
+Tensor CoSt::PretextLoss(const Tensor& x) {
+  TIMEDRL_CHECK(training());
+  augment::AugmentConfig config;
+  config.jitter_sigma = 0.1f;
+  config.scaling_sigma = 0.2f;
+  Tensor v1 = augment::Scaling(augment::Jitter(x, config.jitter_sigma,
+                                               view_rng_),
+                               config.scaling_sigma, view_rng_);
+  Tensor v2 = augment::Scaling(augment::Jitter(x, config.jitter_sigma,
+                                               view_rng_),
+                               config.scaling_sigma, view_rng_);
+
+  Tensor z1 = encoder_.Forward(v1);
+  Tensor z2 = encoder_.Forward(v2);
+
+  // Trend branch: NT-Xent over projected instance embeddings.
+  Tensor time_loss =
+      NtXentLoss(projector_.Forward(encoder_.PoolInstance(z1)),
+                 projector_.Forward(encoder_.PoolInstance(z2)), temperature_);
+
+  // Seasonal branch: amplitude-spectrum consistency across the two views.
+  Tensor frequency_loss =
+      MseLoss(AmplitudeSpectrum(z1), AmplitudeSpectrum(z2));
+
+  return time_loss + frequency_weight_ * frequency_loss;
+}
+
+}  // namespace timedrl::baselines

@@ -1,0 +1,44 @@
+// CoST (Woo et al., ICLR 2022): contrastive learning of seasonal-trend
+// representations with time-domain and frequency-domain losses.
+
+#ifndef TIMEDRL_BASELINES_COST_H_
+#define TIMEDRL_BASELINES_COST_H_
+
+#include <string>
+
+#include "baselines/common.h"
+#include "baselines/conv_backbone.h"
+
+namespace timedrl::baselines {
+
+/// Compact CoST: two jittered/scaled views of each window are encoded; the
+/// trend branch contrasts pooled instance embeddings across the batch
+/// (NT-Xent), and the seasonal branch enforces consistency of the DFT
+/// amplitude spectra of the timestamp representations. The DFT is realized
+/// as a pair of constant cos/sin matrices so it stays differentiable.
+class CoSt : public SslBaseline {
+ public:
+  CoSt(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks, Rng& rng);
+
+  Tensor PretextLoss(const Tensor& x) override;
+  Tensor EncodeSequence(const Tensor& x) override;
+  Tensor EncodeInstance(const Tensor& x) override;
+  int64_t representation_dim() const override {
+    return encoder_.hidden_dim();
+  }
+  std::string name() const override { return "CoST"; }
+
+ private:
+  /// DFT amplitude spectrum of [B, T, D] along time -> [B, D, T/2+1].
+  Tensor AmplitudeSpectrum(const Tensor& z);
+
+  DilatedConvEncoder encoder_;
+  ProjectionMlp projector_;
+  float temperature_ = 0.2f;
+  float frequency_weight_ = 0.5f;
+  Rng view_rng_;
+};
+
+}  // namespace timedrl::baselines
+
+#endif  // TIMEDRL_BASELINES_COST_H_

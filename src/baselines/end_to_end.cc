@@ -1,0 +1,63 @@
+#include "baselines/end_to_end.h"
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace timedrl::baselines {
+
+InformerLite::InformerLite(int64_t channels, int64_t horizon, int64_t d_model,
+                           int64_t num_layers, Rng& rng)
+    : channels_(channels),
+      horizon_(horizon),
+      d_model_(d_model),
+      input_proj_(channels, d_model, rng),
+      positional_(/*max_len=*/2048, d_model, rng),
+      head_(d_model, horizon * channels, rng) {
+  nn::TransformerConfig config;
+  config.d_model = d_model;
+  config.num_heads = 4;
+  config.ff_dim = 2 * d_model;
+  config.num_layers = num_layers;
+  config.dropout = 0.1f;
+  encoder_ = std::make_unique<nn::TransformerEncoder>(config, rng);
+  RegisterModule("input_proj", &input_proj_);
+  RegisterModule("positional", &positional_);
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("head", &head_);
+}
+
+Tensor InformerLite::Forecast(const Tensor& x) {
+  TIMEDRL_CHECK_EQ(x.dim(), 3);
+  TIMEDRL_CHECK_EQ(x.size(2), channels_);
+  const int64_t batch = x.size(0);
+  Tensor tokens = positional_.Forward(input_proj_.Forward(x));
+  Tensor encoded = encoder_->Encode(tokens);
+  Tensor last = Reshape(Slice(encoded, 1, encoded.size(1) - 1, 1),
+                        {batch, d_model_});
+  return Reshape(head_.Forward(last), {batch, horizon_, channels_});
+}
+
+TcnForecaster::TcnForecaster(int64_t channels, int64_t horizon,
+                             int64_t d_model, int64_t num_blocks, Rng& rng)
+    : channels_(channels),
+      horizon_(horizon),
+      d_model_(d_model),
+      input_proj_(channels, d_model, rng),
+      encoder_(d_model, num_blocks, /*kernel=*/3, /*dropout=*/0.1f, rng),
+      head_(d_model, horizon * channels, rng) {
+  RegisterModule("input_proj", &input_proj_);
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("head", &head_);
+}
+
+Tensor TcnForecaster::Forecast(const Tensor& x) {
+  TIMEDRL_CHECK_EQ(x.dim(), 3);
+  TIMEDRL_CHECK_EQ(x.size(2), channels_);
+  const int64_t batch = x.size(0);
+  Tensor encoded = encoder_.Encode(input_proj_.Forward(x));
+  Tensor last = Reshape(Slice(encoded, 1, encoded.size(1) - 1, 1),
+                        {batch, d_model_});
+  return Reshape(head_.Forward(last), {batch, horizon_, channels_});
+}
+
+}  // namespace timedrl::baselines

@@ -1,0 +1,59 @@
+// End-to-end forecasting baselines: Informer-lite and a TCN forecaster.
+
+#ifndef TIMEDRL_BASELINES_END_TO_END_H_
+#define TIMEDRL_BASELINES_END_TO_END_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/common.h"
+#include "nn/conv_encoders.h"
+#include "nn/layers.h"
+#include "nn/transformer.h"
+
+namespace timedrl::baselines {
+
+/// Informer-lite: an end-to-end Transformer forecaster. At this scale full
+/// attention replaces ProbSparse attention (ProbSparse is an efficiency
+/// approximation for very long sequences, not an accuracy mechanism) and a
+/// linear readout from the final token replaces the generative decoder.
+class InformerLite : public EndToEndForecaster {
+ public:
+  InformerLite(int64_t channels, int64_t horizon, int64_t d_model,
+               int64_t num_layers, Rng& rng);
+
+  Tensor Forecast(const Tensor& x) override;
+  std::string name() const override { return "Informer"; }
+
+ private:
+  int64_t channels_;
+  int64_t horizon_;
+  int64_t d_model_;
+  nn::Linear input_proj_;
+  nn::LearnablePositionalEncoding positional_;
+  std::unique_ptr<nn::TransformerEncoder> encoder_;
+  nn::Linear head_;
+};
+
+/// End-to-end TCN forecaster (Bai et al., 2018): dilated causal conv stack,
+/// linear readout from the last timestep.
+class TcnForecaster : public EndToEndForecaster {
+ public:
+  TcnForecaster(int64_t channels, int64_t horizon, int64_t d_model,
+                int64_t num_blocks, Rng& rng);
+
+  Tensor Forecast(const Tensor& x) override;
+  std::string name() const override { return "TCN"; }
+
+ private:
+  int64_t channels_;
+  int64_t horizon_;
+  int64_t d_model_;
+  nn::Linear input_proj_;
+  nn::TcnEncoder encoder_;
+  nn::Linear head_;
+};
+
+}  // namespace timedrl::baselines
+
+#endif  // TIMEDRL_BASELINES_END_TO_END_H_

@@ -1,0 +1,44 @@
+#include "baselines/simts.h"
+
+#include "core/model.h"
+#include "util/check.h"
+
+namespace timedrl::baselines {
+
+SimTs::SimTs(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks,
+             Rng& rng)
+    : encoder_(in_channels, hidden_dim, num_blocks, rng),
+      predictor_(hidden_dim, hidden_dim / 2, hidden_dim, rng) {
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("predictor", &predictor_);
+}
+
+Tensor SimTs::EncodeSequence(const Tensor& x) { return encoder_.Forward(x); }
+
+Tensor SimTs::EncodeInstance(const Tensor& x) {
+  return encoder_.PoolInstance(encoder_.Forward(x));
+}
+
+Tensor SimTs::PretextLoss(const Tensor& x) {
+  TIMEDRL_CHECK(training());
+  const int64_t length = x.size(1);
+  TIMEDRL_CHECK_GE(length, 4);
+  const int64_t half = length / 2;
+
+  Tensor history = Slice(x, 1, 0, half);
+  Tensor future = Slice(x, 1, half, length - half);
+
+  // Last history timestamp summarizes the past.
+  Tensor z_history = encoder_.Forward(history);
+  Tensor last =
+      Reshape(Slice(z_history, 1, half - 1, 1), {x.size(0), representation_dim()});
+  Tensor predicted = predictor_.Forward(last);
+
+  // Pooled future representation, gradient-stopped (target branch).
+  Tensor z_future = encoder_.Forward(future);
+  Tensor target = Mean(z_future, {1}).Detach();
+
+  return core::NegativeCosineSimilarity(predicted, target);
+}
+
+}  // namespace timedrl::baselines

@@ -1,0 +1,36 @@
+// SimTS (Zheng et al., 2023): predict the future in latent space from the
+// past, siamese-style, without negative pairs.
+
+#ifndef TIMEDRL_BASELINES_SIMTS_H_
+#define TIMEDRL_BASELINES_SIMTS_H_
+
+#include <string>
+
+#include "baselines/common.h"
+#include "baselines/conv_backbone.h"
+
+namespace timedrl::baselines {
+
+/// Compact SimTS: the window is split into history/future halves; a
+/// predictor MLP maps the last history representation to the (stop-gradient)
+/// pooled future representation; negative cosine similarity is minimized.
+class SimTs : public SslBaseline {
+ public:
+  SimTs(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks, Rng& rng);
+
+  Tensor PretextLoss(const Tensor& x) override;
+  Tensor EncodeSequence(const Tensor& x) override;
+  Tensor EncodeInstance(const Tensor& x) override;
+  int64_t representation_dim() const override {
+    return encoder_.hidden_dim();
+  }
+  std::string name() const override { return "SimTS"; }
+
+ private:
+  DilatedConvEncoder encoder_;
+  ProjectionMlp predictor_;
+};
+
+}  // namespace timedrl::baselines
+
+#endif  // TIMEDRL_BASELINES_SIMTS_H_

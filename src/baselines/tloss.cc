@@ -1,0 +1,85 @@
+#include "baselines/tloss.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace timedrl::baselines {
+namespace {
+
+/// Per-row subseries (same length, per-row starts), concatenated back into a
+/// batch.
+Tensor SliceRows(const Tensor& x, const std::vector<int64_t>& starts,
+                 int64_t length) {
+  std::vector<Tensor> rows;
+  rows.reserve(starts.size());
+  for (size_t b = 0; b < starts.size(); ++b) {
+    rows.push_back(Slice(Slice(x, 0, static_cast<int64_t>(b), 1), 1,
+                         starts[b], length));
+  }
+  return Concat(rows, 0);
+}
+
+}  // namespace
+
+TLoss::TLoss(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks,
+             Rng& rng)
+    : encoder_(in_channels, hidden_dim, num_blocks, rng),
+      sample_rng_(rng.Fork()) {
+  RegisterModule("encoder", &encoder_);
+}
+
+Tensor TLoss::EncodeSequence(const Tensor& x) { return encoder_.Forward(x); }
+
+Tensor TLoss::EncodeInstance(const Tensor& x) {
+  return encoder_.PoolInstance(encoder_.Forward(x));
+}
+
+Tensor TLoss::PretextLoss(const Tensor& x) {
+  TIMEDRL_CHECK(training());
+  const int64_t batch = x.size(0);
+  const int64_t length = x.size(1);
+  TIMEDRL_CHECK_GE(length, 8);
+
+  // Anchor subseries: one length for the batch, independent starts per row.
+  const int64_t anchor_length = sample_rng_.UniformInt(length / 2, length);
+  std::vector<int64_t> anchor_starts(batch);
+  for (int64_t b = 0; b < batch; ++b) {
+    anchor_starts[b] = sample_rng_.UniformInt(0, length - anchor_length);
+  }
+  Tensor anchor = SliceRows(x, anchor_starts, anchor_length);
+
+  // Positive: sub-subseries of each anchor.
+  const int64_t positive_length = std::max<int64_t>(2, anchor_length / 2);
+  std::vector<int64_t> positive_starts(batch);
+  for (int64_t b = 0; b < batch; ++b) {
+    positive_starts[b] = anchor_starts[b] + sample_rng_.UniformInt(
+                             0, anchor_length - positive_length);
+  }
+  Tensor positive = SliceRows(x, positive_starts, positive_length);
+
+  Tensor anchor_repr = encoder_.PoolInstance(encoder_.Forward(anchor));
+  Tensor positive_repr = encoder_.PoolInstance(encoder_.Forward(positive));
+
+  // -log s(a*p)
+  Tensor loss = BceWithLogits(Sum(anchor_repr * positive_repr, {1}), 1.0f);
+
+  // Negatives: subseries of *other* windows (rotate the batch).
+  for (int64_t k = 1; k <= num_negatives_; ++k) {
+    const int64_t shift = 1 + (k - 1) % std::max<int64_t>(1, batch - 1);
+    Tensor rotated = Concat(
+        {Slice(x, 0, shift, batch - shift), Slice(x, 0, 0, shift)}, 0);
+    std::vector<int64_t> negative_starts(batch);
+    for (int64_t b = 0; b < batch; ++b) {
+      negative_starts[b] =
+          sample_rng_.UniformInt(0, length - positive_length);
+    }
+    Tensor negative = SliceRows(rotated, negative_starts, positive_length);
+    Tensor negative_repr = encoder_.PoolInstance(encoder_.Forward(negative));
+    // -log s(-a*n)
+    loss = loss + BceWithLogits(Sum(anchor_repr * negative_repr, {1}), 0.0f);
+  }
+  return loss;
+}
+
+}  // namespace timedrl::baselines

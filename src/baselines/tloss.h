@@ -1,0 +1,38 @@
+// T-Loss (Franceschi et al., NeurIPS 2019): triplet loss with time-based
+// negative sampling over subseries.
+
+#ifndef TIMEDRL_BASELINES_TLOSS_H_
+#define TIMEDRL_BASELINES_TLOSS_H_
+
+#include <string>
+
+#include "baselines/common.h"
+#include "baselines/conv_backbone.h"
+
+namespace timedrl::baselines {
+
+/// Compact T-Loss: the anchor is a random subseries of each window, the
+/// positive a sub-subseries of the anchor, and negatives are subseries of
+/// other windows in the batch. Representations are max-pooled encoder
+/// outputs; loss = -log s(a*p) - sum_k log s(-a*n_k).
+class TLoss : public SslBaseline {
+ public:
+  TLoss(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks, Rng& rng);
+
+  Tensor PretextLoss(const Tensor& x) override;
+  Tensor EncodeSequence(const Tensor& x) override;
+  Tensor EncodeInstance(const Tensor& x) override;
+  int64_t representation_dim() const override {
+    return encoder_.hidden_dim();
+  }
+  std::string name() const override { return "T-Loss"; }
+
+ private:
+  DilatedConvEncoder encoder_;
+  int64_t num_negatives_ = 4;
+  Rng sample_rng_;
+};
+
+}  // namespace timedrl::baselines
+
+#endif  // TIMEDRL_BASELINES_TLOSS_H_

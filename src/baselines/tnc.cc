@@ -1,0 +1,77 @@
+#include "baselines/tnc.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace timedrl::baselines {
+
+Tnc::Tnc(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks,
+         Rng& rng)
+    : encoder_(in_channels, hidden_dim, num_blocks, rng),
+      discriminator_(2 * hidden_dim, hidden_dim, 1, rng),
+      sample_rng_(rng.Fork()) {
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("discriminator", &discriminator_);
+}
+
+Tensor Tnc::EncodeSequence(const Tensor& x) { return encoder_.Forward(x); }
+
+Tensor Tnc::EncodeInstance(const Tensor& x) {
+  return encoder_.PoolInstance(encoder_.Forward(x));
+}
+
+Tensor Tnc::EncodeSubwindows(const Tensor& x,
+                             const std::vector<int64_t>& starts,
+                             int64_t sub_length) {
+  std::vector<Tensor> rows;
+  rows.reserve(starts.size());
+  for (size_t b = 0; b < starts.size(); ++b) {
+    Tensor row = Slice(x, 0, static_cast<int64_t>(b), 1);  // [1, T, C]
+    rows.push_back(Slice(row, 1, starts[b], sub_length));
+  }
+  Tensor sub = Concat(rows, 0);  // [B, sub, C]
+  return encoder_.PoolInstance(encoder_.Forward(sub));
+}
+
+Tensor Tnc::PretextLoss(const Tensor& x) {
+  TIMEDRL_CHECK(training());
+  const int64_t batch = x.size(0);
+  const int64_t length = x.size(1);
+  const int64_t sub_length = std::max<int64_t>(4, length / 4);
+  const int64_t max_start = length - sub_length;
+  TIMEDRL_CHECK_GT(max_start, 0) << "window too short for TNC sub-windows";
+
+  std::vector<int64_t> anchor_starts(batch);
+  std::vector<int64_t> neighbor_starts(batch);
+  std::vector<int64_t> distant_starts(batch);
+  for (int64_t b = 0; b < batch; ++b) {
+    anchor_starts[b] = sample_rng_.UniformInt(0, max_start);
+    // Neighbor: Gaussian jitter of about half a sub-window.
+    const int64_t jitter = static_cast<int64_t>(
+        sample_rng_.Normal(0.0f, static_cast<float>(sub_length) / 2.0f));
+    neighbor_starts[b] =
+        std::clamp<int64_t>(anchor_starts[b] + jitter, 0, max_start);
+    distant_starts[b] = sample_rng_.UniformInt(0, max_start);
+  }
+
+  Tensor anchor = EncodeSubwindows(x, anchor_starts, sub_length);
+  Tensor neighbor = EncodeSubwindows(x, neighbor_starts, sub_length);
+  // Distant: sub-window of a *different* batch item (rotate by one).
+  Tensor rotated =
+      Concat({Slice(x, 0, 1, batch - 1), Slice(x, 0, 0, 1)}, 0);
+  Tensor distant = EncodeSubwindows(rotated, distant_starts, sub_length);
+
+  Tensor positive_logits =
+      discriminator_.Forward(Concat({anchor, neighbor}, 1));
+  Tensor unlabeled_logits =
+      discriminator_.Forward(Concat({anchor, distant}, 1));
+
+  // PU weighting: distant samples are mostly negatives but occasionally
+  // belong to the same regime.
+  return BceWithLogits(positive_logits, 1.0f) +
+         (1.0f - pu_weight_) * BceWithLogits(unlabeled_logits, 0.0f) +
+         pu_weight_ * BceWithLogits(unlabeled_logits, 1.0f);
+}
+
+}  // namespace timedrl::baselines

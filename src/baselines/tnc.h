@@ -1,0 +1,45 @@
+// TNC (Tonekaboni et al., 2021): temporal neighborhood coding with a learned
+// discriminator and Positive-Unlabeled weighting.
+
+#ifndef TIMEDRL_BASELINES_TNC_H_
+#define TIMEDRL_BASELINES_TNC_H_
+
+#include <string>
+
+#include "baselines/common.h"
+#include "baselines/conv_backbone.h"
+
+namespace timedrl::baselines {
+
+/// Compact TNC: for each window, sample an anchor sub-window, a temporal
+/// neighbor, and a distant sub-window (from another batch item). A
+/// discriminator MLP is trained to tell neighbors from non-neighbors; PU
+/// weighting (w) treats distant samples as unlabeled rather than negative.
+/// (The paper selects the neighborhood radius with an ADF test; on fixed
+/// windows we use a fixed radius, which plays the same role.)
+class Tnc : public SslBaseline {
+ public:
+  Tnc(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks, Rng& rng);
+
+  Tensor PretextLoss(const Tensor& x) override;
+  Tensor EncodeSequence(const Tensor& x) override;
+  Tensor EncodeInstance(const Tensor& x) override;
+  int64_t representation_dim() const override {
+    return encoder_.hidden_dim();
+  }
+  std::string name() const override { return "TNC"; }
+
+ private:
+  /// Pooled representation of sub-windows starting at `starts`.
+  Tensor EncodeSubwindows(const Tensor& x, const std::vector<int64_t>& starts,
+                          int64_t sub_length);
+
+  DilatedConvEncoder encoder_;
+  ProjectionMlp discriminator_;  // on concatenated pair embeddings
+  float pu_weight_ = 0.05f;
+  Rng sample_rng_;
+};
+
+}  // namespace timedrl::baselines
+
+#endif  // TIMEDRL_BASELINES_TNC_H_

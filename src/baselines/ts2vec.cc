@@ -1,0 +1,93 @@
+#include "baselines/ts2vec.h"
+
+#include "augment/augment.h"
+#include "util/check.h"
+
+namespace timedrl::baselines {
+
+Ts2Vec::Ts2Vec(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks,
+               Rng& rng)
+    : encoder_(in_channels, hidden_dim, num_blocks, rng),
+      view_rng_(rng.Fork()) {
+  RegisterModule("encoder", &encoder_);
+}
+
+Tensor Ts2Vec::EncodeSequence(const Tensor& x) { return encoder_.Forward(x); }
+
+Tensor Ts2Vec::EncodeInstance(const Tensor& x) {
+  return encoder_.PoolInstance(encoder_.Forward(x));
+}
+
+Tensor Ts2Vec::HierarchicalLoss(Tensor z1, Tensor z2) {
+  Tensor total = Tensor::Scalar(0.0f);
+  int64_t scales = 0;
+  while (true) {
+    const int64_t batch = z1.size(0);
+    const int64_t length = z1.size(1);
+
+    // Instance-wise: at each timestamp, contrast across the batch.
+    if (batch > 1) {
+      Tensor a = Permute(z1, {1, 0, 2});  // [T, B, D]
+      Tensor b = Permute(z2, {1, 0, 2});
+      Tensor sims = MatMul(a, Transpose(b, -2, -1));  // [T, B, B]
+      Tensor flat = Reshape(sims, {length * batch, batch});
+      std::vector<int64_t> labels(length * batch);
+      for (int64_t i = 0; i < length * batch; ++i) labels[i] = i % batch;
+      Tensor fwd = CrossEntropy(flat, labels);
+      Tensor bwd = CrossEntropy(
+          Reshape(MatMul(b, Transpose(a, -2, -1)), {length * batch, batch}),
+          labels);
+      total = total + 0.5f * (fwd + bwd);
+    }
+
+    // Temporal: within each instance, contrast across timestamps.
+    if (length > 1) {
+      Tensor sims = MatMul(z1, Transpose(z2, -2, -1));  // [B, T, T]
+      Tensor flat = Reshape(sims, {batch * length, length});
+      std::vector<int64_t> labels(batch * length);
+      for (int64_t i = 0; i < batch * length; ++i) labels[i] = i % length;
+      Tensor fwd = CrossEntropy(flat, labels);
+      Tensor bwd = CrossEntropy(
+          Reshape(MatMul(z2, Transpose(z1, -2, -1)), {batch * length, length}),
+          labels);
+      total = total + 0.5f * (fwd + bwd);
+    }
+
+    ++scales;
+    if (length <= 1) break;
+    // Next scale: halve the temporal resolution.
+    z1 = Transpose(MaxPool1d(Transpose(z1, 1, 2), 2, 2), 1, 2);
+    z2 = Transpose(MaxPool1d(Transpose(z2, 1, 2), 2, 2), 1, 2);
+  }
+  return total * (1.0f / static_cast<float>(scales));
+}
+
+Tensor Ts2Vec::PretextLoss(const Tensor& x) {
+  TIMEDRL_CHECK(training());
+  const int64_t length = x.size(1);
+  TIMEDRL_CHECK_GE(length, 8) << "window too short for cropping";
+
+  // Two overlapping crops: left covers [0, c2), right covers [c1, T).
+  const int64_t c1 = view_rng_.UniformInt(0, length / 4);
+  const int64_t c2 =
+      view_rng_.UniformInt(length - length / 4, length);
+  Tensor left = Slice(x, 1, 0, c2);
+  Tensor right = Slice(x, 1, c1, length - c1);
+
+  // Timestamp masking on the crop inputs.
+  augment::AugmentConfig config;
+  config.masking_ratio = mask_ratio_;
+  left = augment::Masking(left, mask_ratio_, view_rng_);
+  right = augment::Masking(right, mask_ratio_, view_rng_);
+
+  Tensor z_left = encoder_.Forward(left);
+  Tensor z_right = encoder_.Forward(right);
+
+  // Overlap region is [c1, c2).
+  const int64_t overlap = c2 - c1;
+  Tensor z1 = Slice(z_left, 1, c1, overlap);
+  Tensor z2 = Slice(z_right, 1, 0, overlap);
+  return HierarchicalLoss(z1, z2);
+}
+
+}  // namespace timedrl::baselines

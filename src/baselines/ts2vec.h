@@ -1,0 +1,45 @@
+// TS2Vec (Yue et al., AAAI 2022): hierarchical contrastive learning over
+// overlapping random crops with timestamp masking.
+
+#ifndef TIMEDRL_BASELINES_TS2VEC_H_
+#define TIMEDRL_BASELINES_TS2VEC_H_
+
+#include <string>
+
+#include "baselines/common.h"
+#include "baselines/conv_backbone.h"
+
+namespace timedrl::baselines {
+
+/// Compact TS2Vec: dilated conv encoder; two overlapping crops of each
+/// window are encoded and contrasted on their overlap, instance-wise (across
+/// the batch at each timestamp) and temporally (across time within each
+/// instance), at multiple max-pooled scales. Random timestamp masking is
+/// applied to the crop inputs (the augmentations TimeDRL's Table VI calls
+/// out as TS2Vec's residual inductive bias).
+class Ts2Vec : public SslBaseline {
+ public:
+  Ts2Vec(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks,
+         Rng& rng);
+
+  Tensor PretextLoss(const Tensor& x) override;
+  Tensor EncodeSequence(const Tensor& x) override;
+  Tensor EncodeInstance(const Tensor& x) override;
+  int64_t representation_dim() const override {
+    return encoder_.hidden_dim();
+  }
+  std::string name() const override { return "TS2Vec"; }
+
+ private:
+  /// Instance + temporal contrast of two aligned views, summed over
+  /// max-pooled scales.
+  Tensor HierarchicalLoss(Tensor z1, Tensor z2);
+
+  DilatedConvEncoder encoder_;
+  float mask_ratio_ = 0.15f;
+  Rng view_rng_;
+};
+
+}  // namespace timedrl::baselines
+
+#endif  // TIMEDRL_BASELINES_TS2VEC_H_

@@ -1,0 +1,68 @@
+#include "baselines/tstcc.h"
+
+#include "augment/augment.h"
+#include "util/check.h"
+
+namespace timedrl::baselines {
+
+TsTcc::TsTcc(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks,
+             Rng& rng)
+    : encoder_(in_channels, hidden_dim, num_blocks, rng),
+      summarizer_(hidden_dim, hidden_dim, hidden_dim, rng),
+      future_predictor_(hidden_dim, hidden_dim, rng),
+      view_rng_(rng.Fork()) {
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("summarizer", &summarizer_);
+  RegisterModule("future_predictor", &future_predictor_);
+}
+
+Tensor TsTcc::EncodeSequence(const Tensor& x) { return encoder_.Forward(x); }
+
+Tensor TsTcc::EncodeInstance(const Tensor& x) {
+  return encoder_.PoolInstance(encoder_.Forward(x));
+}
+
+Tensor TsTcc::Context(const Tensor& sequence_repr) {
+  const int64_t half = sequence_repr.size(1) / 2;
+  Tensor first_half = Slice(sequence_repr, 1, 0, half);
+  return summarizer_.Forward(Mean(first_half, {1}));
+}
+
+Tensor TsTcc::PretextLoss(const Tensor& x) {
+  TIMEDRL_CHECK(training());
+  const int64_t length = x.size(1);
+  TIMEDRL_CHECK_GE(length, 4);
+  const int64_t half = length / 2;
+
+  Tensor strong = augment::Jitter(augment::Permutation(x, 4, view_rng_), 0.1f,
+                                  view_rng_);
+  Tensor weak =
+      augment::Jitter(augment::Scaling(x, 0.2f, view_rng_), 0.05f, view_rng_);
+
+  Tensor z_strong = encoder_.Forward(strong);
+  Tensor z_weak = encoder_.Forward(weak);
+  Tensor c_strong = Context(z_strong);
+  Tensor c_weak = Context(z_weak);
+
+  // Temporal contrasting: each view's context predicts the *other* view's
+  // future summary; in-batch items are the negatives.
+  Tensor future_strong = Mean(Slice(z_strong, 1, half, length - half), {1});
+  Tensor future_weak = Mean(Slice(z_weak, 1, half, length - half), {1});
+  Tensor predicted_from_strong = future_predictor_.Forward(c_strong);
+  Tensor predicted_from_weak = future_predictor_.Forward(c_weak);
+  Tensor temporal_1 = DiagonalContrast(
+      MatMul(L2NormalizeRows(predicted_from_strong),
+             Transpose(L2NormalizeRows(future_weak), 0, 1)) *
+      (1.0f / temperature_));
+  Tensor temporal_2 = DiagonalContrast(
+      MatMul(L2NormalizeRows(predicted_from_weak),
+             Transpose(L2NormalizeRows(future_strong), 0, 1)) *
+      (1.0f / temperature_));
+
+  // Contextual contrasting between the two views' contexts.
+  Tensor contextual = NtXentLoss(c_strong, c_weak, temperature_);
+
+  return 0.5f * (temporal_1 + temporal_2) + contextual;
+}
+
+}  // namespace timedrl::baselines

@@ -1,0 +1,44 @@
+// TS-TCC (Eldele et al., IJCAI 2021): temporal and contextual contrasting
+// over strong/weak augmented views.
+
+#ifndef TIMEDRL_BASELINES_TSTCC_H_
+#define TIMEDRL_BASELINES_TSTCC_H_
+
+#include <string>
+
+#include "baselines/common.h"
+#include "baselines/conv_backbone.h"
+
+namespace timedrl::baselines {
+
+/// Compact TS-TCC: a strong view (permutation + jitter) and a weak view
+/// (scaling + jitter) are encoded; a context vector summarizing each view's
+/// first half cross-predicts the other view's second-half latents (temporal
+/// contrasting, with in-batch negatives), and the two context vectors are
+/// aligned with NT-Xent (contextual contrasting).
+class TsTcc : public SslBaseline {
+ public:
+  TsTcc(int64_t in_channels, int64_t hidden_dim, int64_t num_blocks, Rng& rng);
+
+  Tensor PretextLoss(const Tensor& x) override;
+  Tensor EncodeSequence(const Tensor& x) override;
+  Tensor EncodeInstance(const Tensor& x) override;
+  int64_t representation_dim() const override {
+    return encoder_.hidden_dim();
+  }
+  std::string name() const override { return "TS-TCC"; }
+
+ private:
+  /// Context of a view: mean of first-half latents through the summarizer.
+  Tensor Context(const Tensor& sequence_repr);
+
+  DilatedConvEncoder encoder_;
+  ProjectionMlp summarizer_;
+  nn::Linear future_predictor_;
+  float temperature_ = 0.2f;
+  Rng view_rng_;
+};
+
+}  // namespace timedrl::baselines
+
+#endif  // TIMEDRL_BASELINES_TSTCC_H_

@@ -1,0 +1,59 @@
+// TimeDRL model/training configuration.
+
+#ifndef TIMEDRL_CORE_CONFIG_H_
+#define TIMEDRL_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "nn/backbone.h"
+
+namespace timedrl::core {
+
+/// How an instance-level embedding is derived from the encoder output.
+/// kCls is TimeDRL's choice; the others reproduce the Table VII ablation.
+enum class Pooling {
+  kCls,   // dedicated [CLS] token (ours)
+  kLast,  // last timestamp embedding
+  kGap,   // global average pooling over timestamp embeddings
+  kAll,   // flatten all timestamp embeddings
+};
+
+/// Hyperparameters of the TimeDRL model and its two pretext tasks.
+struct TimeDrlConfig {
+  // ---- Input geometry ----
+  /// Channels of the raw input windows (1 under channel independence).
+  int64_t input_channels = 1;
+  /// Timesteps per input window.
+  int64_t input_length = 64;
+
+  // ---- Patching (PatchTST-style) ----
+  int64_t patch_length = 8;
+  int64_t patch_stride = 8;
+
+  // ---- Encoder ----
+  nn::BackboneKind backbone = nn::BackboneKind::kTransformerEncoder;
+  int64_t d_model = 64;
+  int64_t num_heads = 4;
+  int64_t ff_dim = 128;
+  int64_t num_layers = 2;
+  float dropout = 0.1f;
+
+  // ---- Pretext tasks ----
+  /// λ in L = L_P + λ·L_C (paper Eq. 19).
+  float lambda_weight = 1.0f;
+  /// Stop-gradient on the target branch of the contrastive task (Table IX
+  /// ablation switches this off).
+  bool stop_gradient = true;
+
+  /// Token dimensionality fed to the encoder: C·P (paper Eq. 1-2).
+  int64_t token_dim() const { return input_channels * patch_length; }
+
+  /// Number of patch tokens T_p.
+  int64_t num_patches() const {
+    return (input_length - patch_length) / patch_stride + 1;
+  }
+};
+
+}  // namespace timedrl::core
+
+#endif  // TIMEDRL_CORE_CONFIG_H_

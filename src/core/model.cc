@@ -1,0 +1,178 @@
+#include "core/model.h"
+
+#include "data/patching.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace timedrl::core {
+
+Tensor NegativeCosineSimilarity(const Tensor& a, const Tensor& b) {
+  TIMEDRL_CHECK_EQ(a.dim(), 2);
+  TIMEDRL_CHECK(a.shape() == b.shape());
+  Tensor dot = Sum(a * b, {1});
+  Tensor norm_a = Sqrt(Sum(a * a, {1}) + 1e-8f);
+  Tensor norm_b = Sqrt(Sum(b * b, {1}) + 1e-8f);
+  return Neg(Mean(dot / (norm_a * norm_b)));
+}
+
+TimeDrlModel::TimeDrlModel(const TimeDrlConfig& config, Rng& rng)
+    : config_(config),
+      token_embedding_(config.token_dim(), config.d_model, rng),
+      positional_(1 + config.num_patches(), config.d_model, rng),
+      embedding_dropout_(config.dropout, rng),
+      predictive_head_(config.d_model, config.token_dim(), rng),
+      contrastive_fc1_(config.d_model, config.d_model / 2, rng),
+      contrastive_bn_(config.d_model / 2),
+      contrastive_fc2_(config.d_model / 2, config.d_model, rng) {
+  TIMEDRL_CHECK_GE(config.input_length, config.patch_length);
+  TIMEDRL_CHECK_GE(config.d_model, 2);
+  cls_token_ = RegisterParameter(
+      "cls_token", Tensor::Randn({config.token_dim()}, rng, 0.0f, 0.02f,
+                                 /*requires_grad=*/true));
+
+  nn::BackboneConfig backbone_config;
+  backbone_config.kind = config.backbone;
+  backbone_config.d_model = config.d_model;
+  backbone_config.num_layers = config.num_layers;
+  backbone_config.num_heads = config.num_heads;
+  backbone_config.ff_dim = config.ff_dim;
+  backbone_config.dropout = config.dropout;
+  backbone_ = nn::MakeBackbone(backbone_config, rng);
+
+  RegisterModule("token_embedding", &token_embedding_);
+  RegisterModule("positional", &positional_);
+  RegisterModule("embedding_dropout", &embedding_dropout_);
+  RegisterModule("backbone", backbone_.get());
+  RegisterModule("predictive_head", &predictive_head_);
+  RegisterModule("contrastive_fc1", &contrastive_fc1_);
+  RegisterModule("contrastive_bn", &contrastive_bn_);
+  RegisterModule("contrastive_fc2", &contrastive_fc2_);
+}
+
+TimeDrlModel::Patched TimeDrlModel::Prepare(const Tensor& x) {
+  TIMEDRL_CHECK_EQ(x.dim(), 3) << "expects [B, T, C]";
+  TIMEDRL_CHECK_EQ(x.size(1), config_.input_length);
+  TIMEDRL_CHECK_EQ(x.size(2), config_.input_channels);
+  data::InstanceNormResult in = data::InstanceNormalize(x);
+  Patched patched;
+  patched.tokens = data::Patchify(in.normalized, config_.patch_length,
+                                  config_.patch_stride);
+  patched.mean = in.mean;
+  patched.std_dev = in.std_dev;
+  return patched;
+}
+
+Tensor TimeDrlModel::EncodeTokens(const Tensor& x_patched) {
+  const int64_t batch = x_patched.size(0);
+  // Broadcast the learnable [CLS] token to [B, 1, C*P] and prepend (Eq. 2).
+  Tensor cls = BroadcastTo(Reshape(cls_token_, {1, 1, config_.token_dim()}),
+                           {batch, 1, config_.token_dim()});
+  Tensor enc_in = Concat({cls, x_patched}, /*dim=*/1);
+  Tensor tokens = token_embedding_.Forward(enc_in);   // x W_token^T
+  tokens = positional_.Forward(tokens);               // + PE
+  tokens = embedding_dropout_.Forward(tokens);
+  return backbone_->Encode(tokens);                   // TBs(...)
+}
+
+TimeDrlModel::PretextOutput TimeDrlModel::PretextStep(const Tensor& x) {
+  return PretextStepViews(x, x);
+}
+
+TimeDrlModel::PretextOutput TimeDrlModel::PretextStepViews(const Tensor& x1,
+                                                           const Tensor& x2) {
+  TIMEDRL_CHECK(training())
+      << "PretextStep requires training mode: the contrastive views come "
+         "from dropout randomness";
+  Patched patched1 = Prepare(x1);
+  Patched patched2 = Prepare(x2);
+
+  // Two views: identical inputs differ only through dropout randomness
+  // (TimeDRL proper, Eq. 10-11); augmented inputs add view-level variation
+  // (Table VI ablation).
+  Tensor z1 = EncodeTokens(patched1.tokens);
+  Tensor z2 = EncodeTokens(patched2.tokens);
+
+  const int64_t num_patches = config_.num_patches();
+  Tensor z1_t = Slice(z1, 1, 1, num_patches);
+  Tensor z2_t = Slice(z2, 1, 1, num_patches);
+  Tensor z1_i = Reshape(Slice(z1, 1, 0, 1), {z1.size(0), config_.d_model});
+  Tensor z2_i = Reshape(Slice(z2, 1, 0, 1), {z2.size(0), config_.d_model});
+
+  // Timestamp-predictive task (Eq. 7-9): each view reconstructs its own
+  // patched input, without any masking. The instance embedding is excluded
+  // by construction.
+  Tensor loss_p1 =
+      MseLoss(predictive_head_.Forward(z1_t), patched1.tokens.Detach());
+  Tensor loss_p2 =
+      MseLoss(predictive_head_.Forward(z2_t), patched2.tokens.Detach());
+  Tensor loss_p = 0.5f * loss_p1 + 0.5f * loss_p2;
+
+  // Instance-contrastive task (Eq. 14-18): SimSiam-style asymmetric heads
+  // with stop-gradient; no negatives, no augmentations.
+  auto contrastive_head = [this](const Tensor& z) {
+    Tensor h = contrastive_fc1_.Forward(z);
+    h = Relu(contrastive_bn_.Forward(h));
+    return contrastive_fc2_.Forward(h);
+  };
+  Tensor p1 = contrastive_head(z1_i);
+  Tensor p2 = contrastive_head(z2_i);
+  Tensor target1 = config_.stop_gradient ? z2_i.Detach() : z2_i;
+  Tensor target2 = config_.stop_gradient ? z1_i.Detach() : z1_i;
+  Tensor loss_c = 0.5f * NegativeCosineSimilarity(p1, target1) +
+                  0.5f * NegativeCosineSimilarity(p2, target2);
+
+  PretextOutput output;
+  output.predictive = loss_p;
+  output.contrastive = loss_c;
+  output.total = loss_p + config_.lambda_weight * loss_c;
+  return output;
+}
+
+TimeDrlModel::Encoded TimeDrlModel::Encode(const Tensor& x) {
+  Patched patched = Prepare(x);
+  Tensor z = EncodeTokens(patched.tokens);
+  Encoded encoded;
+  const int64_t num_patches = config_.num_patches();
+  encoded.instance =
+      Reshape(Slice(z, 1, 0, 1), {z.size(0), config_.d_model});
+  encoded.timestamp = Slice(z, 1, 1, num_patches);
+  encoded.mean = patched.mean;
+  encoded.std_dev = patched.std_dev;
+  return encoded;
+}
+
+Tensor TimeDrlModel::PooledInstance(const Encoded& encoded,
+                                    Pooling pooling) const {
+  const int64_t batch = encoded.timestamp.size(0);
+  const int64_t num_patches = encoded.timestamp.size(1);
+  switch (pooling) {
+    case Pooling::kCls:
+      return encoded.instance;
+    case Pooling::kLast:
+      return Reshape(Slice(encoded.timestamp, 1, num_patches - 1, 1),
+                     {batch, config_.d_model});
+    case Pooling::kGap:
+      return Mean(encoded.timestamp, {1});
+    case Pooling::kAll:
+      return Reshape(encoded.timestamp,
+                     {batch, num_patches * config_.d_model});
+  }
+  TIMEDRL_CHECK(false) << "unknown pooling";
+  return Tensor();
+}
+
+Tensor TimeDrlModel::ReconstructionError(const Tensor& x) {
+  Patched patched = Prepare(x);
+  Tensor z = EncodeTokens(patched.tokens);
+  Tensor z_t = Slice(z, 1, 1, config_.num_patches());
+  Tensor reconstruction = predictive_head_.Forward(z_t);
+  Tensor diff = reconstruction - patched.tokens;
+  return Mean(diff * diff, {2});  // [B, T_p]
+}
+
+int64_t TimeDrlModel::PooledDim(Pooling pooling) const {
+  return pooling == Pooling::kAll ? config_.num_patches() * config_.d_model
+                                  : config_.d_model;
+}
+
+}  // namespace timedrl::core

@@ -1,0 +1,113 @@
+// The TimeDRL model: disentangled dual-level representation learning for
+// multivariate time-series (paper Section IV).
+//
+// Pipeline (Eq. 1-5):
+//   x [B, T, C] --IN--> --patching--> x_patched [B, T_p, C*P]
+//   x_enc_in = concat([CLS], x_patched)            (CLS is learnable)
+//   z = Backbone(x_enc_in W_token^T + PE)          [B, 1+T_p, D]
+//   z_i = z[:, 0, :]   (instance-level)            [B, D]
+//   z_t = z[:, 1:, :]  (timestamp-level)           [B, T_p, D]
+//
+// Pretext tasks:
+//   timestamp-predictive (Eq. 6-9): linear head p reconstructs x_patched
+//   from z_t, with NO masking of the input;
+//   instance-contrastive (Eq. 10-18): two dropout-induced views, SimSiam-
+//   style bottleneck head c, negative cosine similarity with stop-gradient,
+//   NO augmentations and NO negative pairs.
+
+#ifndef TIMEDRL_CORE_MODEL_H_
+#define TIMEDRL_CORE_MODEL_H_
+
+#include <memory>
+
+#include "core/config.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/sequence_encoder.h"
+#include "util/rng.h"
+
+namespace timedrl::core {
+
+/// Full TimeDRL model: encoder f, predictive head p, contrastive head c.
+class TimeDrlModel : public nn::Module {
+ public:
+  TimeDrlModel(const TimeDrlConfig& config, Rng& rng);
+
+  /// Instance + timestamp embeddings of a raw window batch, together with
+  /// the instance-normalization statistics needed to de-normalize
+  /// predictions (RevIN-style).
+  struct Encoded {
+    Tensor instance;   // [B, D]
+    Tensor timestamp;  // [B, T_p, D]
+    Tensor mean;       // [B, 1, C]
+    Tensor std_dev;    // [B, 1, C]
+  };
+
+  /// Losses of one pretext step (paper Eq. 9, 18, 19).
+  struct PretextOutput {
+    Tensor total;        // L = L_P + λ·L_C
+    Tensor predictive;   // L_P
+    Tensor contrastive;  // L_C
+  };
+
+  /// Runs both pretext tasks on a raw batch x [B, T, C]. Requires training
+  /// mode (the two views come from dropout randomness).
+  PretextOutput PretextStep(const Tensor& x);
+
+  /// Pretext step over two externally-created views of the same batch (the
+  /// Table VI ablation: views produced by a data augmentation instead of by
+  /// dropout alone). Each view reconstructs its own patched input; the
+  /// contrastive task aligns the two views, injecting the augmentation's
+  /// transformation-invariance — the inductive bias TimeDRL avoids.
+  PretextOutput PretextStepViews(const Tensor& x1, const Tensor& x2);
+
+  /// Encodes a raw batch for downstream use. Deterministic in eval mode.
+  Encoded Encode(const Tensor& x);
+
+  /// Instance-level representation under a pooling strategy (Table VII).
+  /// kAll returns [B, T_p*D]; the others return [B, D].
+  Tensor PooledInstance(const Encoded& encoded, Pooling pooling) const;
+
+  /// Per-patch reconstruction error of the timestamp-predictive head:
+  /// [B, T_p]. After pre-training, large values flag windows whose local
+  /// dynamics the model cannot explain — the anomaly-detection use of
+  /// timestamp-level embeddings the paper's introduction motivates.
+  Tensor ReconstructionError(const Tensor& x);
+
+  /// Width of PooledInstance's output for `pooling`.
+  int64_t PooledDim(Pooling pooling) const;
+
+  const TimeDrlConfig& config() const { return config_; }
+
+ private:
+  /// IN + patching (Eq. 1). Returns x_patched plus the IN statistics.
+  struct Patched {
+    Tensor tokens;  // [B, T_p, C*P]
+    Tensor mean;
+    Tensor std_dev;
+  };
+  Patched Prepare(const Tensor& x);
+
+  /// CLS concat, token embedding, positional encoding, backbone (Eq. 2-3).
+  Tensor EncodeTokens(const Tensor& x_patched);
+
+  TimeDrlConfig config_;
+  Tensor cls_token_;  // [C*P], learnable
+  nn::Linear token_embedding_;
+  nn::LearnablePositionalEncoding positional_;
+  nn::Dropout embedding_dropout_;
+  std::unique_ptr<nn::SequenceEncoder> backbone_;
+  nn::Linear predictive_head_;  // p: D -> C*P, no activation (Eq. 6)
+  // c: two-layer bottleneck MLP with BatchNorm + ReLU in the middle.
+  nn::Linear contrastive_fc1_;
+  nn::BatchNorm1d contrastive_bn_;
+  nn::Linear contrastive_fc2_;
+};
+
+/// Negative mean cosine similarity between row vectors (Eq. 16-17 building
+/// block). a, b: [B, D]; returns a scalar tensor.
+Tensor NegativeCosineSimilarity(const Tensor& a, const Tensor& b);
+
+}  // namespace timedrl::core
+
+#endif  // TIMEDRL_CORE_MODEL_H_

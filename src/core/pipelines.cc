@@ -1,0 +1,247 @@
+#include "core/pipelines.h"
+
+#include "data/loader.h"
+#include "data/patching.h"
+#include "metrics/metrics.h"
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace timedrl::core {
+namespace {
+
+/// Parameters to optimize for a downstream run: the head, plus the encoder
+/// when fine-tuning.
+std::vector<Tensor> CollectParameters(nn::Module* head, TimeDrlModel* model,
+                                      bool fine_tune_encoder) {
+  std::vector<Tensor> parameters = head->Parameters();
+  if (fine_tune_encoder) {
+    std::vector<Tensor> encoder_parameters = model->Parameters();
+    parameters.insert(parameters.end(), encoder_parameters.begin(),
+                      encoder_parameters.end());
+  }
+  return parameters;
+}
+
+}  // namespace
+
+// ---- ForecastingPipeline ---------------------------------------------------------
+
+ForecastingPipeline::ForecastingPipeline(TimeDrlModel* model, int64_t horizon,
+                                         int64_t channels,
+                                         bool channel_independent, Rng& rng)
+    : model_(model),
+      horizon_(horizon),
+      channels_(channels),
+      channel_independent_(channel_independent) {
+  TIMEDRL_CHECK(model != nullptr);
+  TIMEDRL_CHECK_EQ(model->config().input_channels,
+                   channel_independent ? 1 : channels)
+      << "model channel setup does not match the pipeline";
+  const int64_t feature_dim =
+      model->config().num_patches() * model->config().d_model;
+  const int64_t out_dim = horizon * (channel_independent ? 1 : channels);
+  head_ = std::make_unique<nn::Linear>(feature_dim, out_dim, rng);
+}
+
+Tensor ForecastingPipeline::Predict(const Tensor& x, bool with_grad) {
+  TIMEDRL_CHECK_EQ(x.dim(), 3);
+  const int64_t batch = x.size(0);
+  Tensor model_in =
+      channel_independent_ ? data::ToChannelIndependent(x) : x;
+
+  TimeDrlModel::Encoded encoded;
+  if (with_grad) {
+    encoded = model_->Encode(model_in);
+  } else {
+    NoGradGuard guard;
+    encoded = model_->Encode(model_in);
+  }
+
+  const int64_t rows = encoded.timestamp.size(0);
+  Tensor features = Reshape(
+      encoded.timestamp,
+      {rows, model_->config().num_patches() * model_->config().d_model});
+  const int64_t out_channels = channel_independent_ ? 1 : channels_;
+  Tensor prediction =
+      Reshape(head_->Forward(features), {rows, horizon_, out_channels});
+  // De-normalize with the input window's RevIN statistics so predictions
+  // live on the data scale.
+  prediction = prediction * encoded.std_dev + encoded.mean;
+  if (channel_independent_) {
+    prediction = data::FromChannelIndependent(prediction, batch, channels_);
+  }
+  return prediction;
+}
+
+void ForecastingPipeline::Train(const data::ForecastingWindows& train,
+                                const DownstreamConfig& config, Rng& rng) {
+  TIMEDRL_CHECK_EQ(train.horizon(), horizon_);
+  TIMEDRL_CHECK_EQ(train.channels(), channels_);
+  optim::AdamW optimizer(
+      CollectParameters(head_.get(), model_, config.fine_tune_encoder),
+      config.learning_rate, config.weight_decay);
+  data::BatchIterator batches(train.size(), config.batch_size,
+                              /*shuffle=*/true, rng);
+
+  if (config.fine_tune_encoder) {
+    model_->Train();
+  } else {
+    model_->Eval();
+  }
+  head_->Train();
+
+  std::vector<int64_t> indices;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double total = 0.0;
+    int64_t steps = 0;
+    batches.Reset();
+    while (batches.Next(&indices)) {
+      auto [x, y] = train.GetBatch(indices);
+      Tensor prediction = Predict(x, config.fine_tune_encoder);
+      Tensor loss = MseLoss(prediction, y);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optim::ClipGradNorm(optimizer.parameters(), config.clip_norm);
+      optimizer.Step();
+      total += loss.item();
+      ++steps;
+    }
+    if (config.verbose) {
+      TIMEDRL_LOG_INFO << "forecast head epoch " << epoch + 1 << "/"
+                       << config.epochs << " mse=" << total / steps;
+    }
+  }
+  model_->Eval();
+  head_->Eval();
+}
+
+ForecastMetrics ForecastingPipeline::Evaluate(
+    const data::ForecastingWindows& test) {
+  model_->Eval();
+  head_->Eval();
+  NoGradGuard guard;
+
+  double squared = 0.0;
+  double absolute = 0.0;
+  int64_t count = 0;
+  Rng throwaway(0);
+  data::BatchIterator batches(test.size(), /*batch_size=*/64,
+                              /*shuffle=*/false, throwaway);
+  std::vector<int64_t> indices;
+  while (batches.Next(&indices)) {
+    auto [x, y] = test.GetBatch(indices);
+    Tensor prediction = Predict(x, /*with_grad=*/false);
+    const std::vector<float>& p = prediction.data();
+    const std::vector<float>& t = y.data();
+    for (size_t i = 0; i < p.size(); ++i) {
+      const double d = double{p[i]} - double{t[i]};
+      squared += d * d;
+      absolute += std::abs(d);
+    }
+    count += static_cast<int64_t>(p.size());
+  }
+  TIMEDRL_CHECK_GT(count, 0) << "empty test set";
+  return {squared / count, absolute / count};
+}
+
+// ---- ClassificationPipeline --------------------------------------------------------
+
+ClassificationPipeline::ClassificationPipeline(TimeDrlModel* model,
+                                               int64_t num_classes,
+                                               Pooling pooling, Rng& rng)
+    : model_(model), num_classes_(num_classes), pooling_(pooling) {
+  TIMEDRL_CHECK(model != nullptr);
+  head_ = std::make_unique<nn::Linear>(model->PooledDim(pooling), num_classes,
+                                       rng);
+}
+
+Tensor ClassificationPipeline::Logits(const Tensor& x, bool with_grad) {
+  TimeDrlModel::Encoded encoded;
+  Tensor pooled;
+  if (with_grad) {
+    encoded = model_->Encode(x);
+    pooled = model_->PooledInstance(encoded, pooling_);
+  } else {
+    NoGradGuard guard;
+    encoded = model_->Encode(x);
+    pooled = model_->PooledInstance(encoded, pooling_);
+  }
+  return head_->Forward(pooled);
+}
+
+void ClassificationPipeline::Train(const data::ClassificationDataset& train,
+                                   const DownstreamConfig& config, Rng& rng) {
+  TIMEDRL_CHECK_EQ(train.num_classes, num_classes_);
+  optim::AdamW optimizer(
+      CollectParameters(head_.get(), model_, config.fine_tune_encoder),
+      config.learning_rate, config.weight_decay);
+  data::BatchIterator batches(train.size(), config.batch_size,
+                              /*shuffle=*/true, rng);
+
+  if (config.fine_tune_encoder) {
+    model_->Train();
+  } else {
+    model_->Eval();
+  }
+  head_->Train();
+
+  std::vector<int64_t> indices;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double total = 0.0;
+    int64_t steps = 0;
+    batches.Reset();
+    while (batches.Next(&indices)) {
+      auto [x, labels] = train.GetBatch(indices);
+      Tensor loss =
+          CrossEntropy(Logits(x, config.fine_tune_encoder), labels);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optim::ClipGradNorm(optimizer.parameters(), config.clip_norm);
+      optimizer.Step();
+      total += loss.item();
+      ++steps;
+    }
+    if (config.verbose) {
+      TIMEDRL_LOG_INFO << "classify head epoch " << epoch + 1 << "/"
+                       << config.epochs << " ce=" << total / steps;
+    }
+  }
+  model_->Eval();
+  head_->Eval();
+}
+
+std::vector<int64_t> ClassificationPipeline::Predict(
+    const data::ClassificationDataset& dataset) {
+  model_->Eval();
+  head_->Eval();
+  NoGradGuard guard;
+  std::vector<int64_t> predictions;
+  predictions.reserve(dataset.size());
+  Rng throwaway(0);
+  data::BatchIterator batches(dataset.size(), /*batch_size=*/64,
+                              /*shuffle=*/false, throwaway);
+  std::vector<int64_t> indices;
+  while (batches.Next(&indices)) {
+    auto [x, labels] = dataset.GetBatch(indices);
+    (void)labels;
+    Tensor logits = Logits(x, /*with_grad=*/false);
+    std::vector<int64_t> batch_predictions = ArgMax(logits, 1);
+    predictions.insert(predictions.end(), batch_predictions.begin(),
+                       batch_predictions.end());
+  }
+  return predictions;
+}
+
+ClassificationMetrics ClassificationPipeline::Evaluate(
+    const data::ClassificationDataset& test) {
+  const std::vector<int64_t> predictions = Predict(test);
+  ClassificationMetrics result;
+  result.accuracy = metrics::Accuracy(predictions, test.labels);
+  result.macro_f1 = metrics::MacroF1(predictions, test.labels, num_classes_);
+  result.kappa = metrics::CohenKappa(predictions, test.labels, num_classes_);
+  return result;
+}
+
+}  // namespace timedrl::core

@@ -1,0 +1,101 @@
+// Downstream task pipelines: linear evaluation and semi-supervised
+// fine-tuning for forecasting and classification (paper Sections V-A/B/C).
+
+#ifndef TIMEDRL_CORE_PIPELINES_H_
+#define TIMEDRL_CORE_PIPELINES_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/model.h"
+#include "data/time_series.h"
+#include "data/windows.h"
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace timedrl::core {
+
+/// Hyperparameters shared by downstream training loops.
+struct DownstreamConfig {
+  int64_t epochs = 10;
+  int64_t batch_size = 32;
+  float learning_rate = 1e-3f;
+  float weight_decay = 0.0f;
+  float clip_norm = 5.0f;
+  /// false = linear evaluation (frozen encoder); true = fine-tuning
+  /// (encoder updated jointly with the head, as in Fig. 5).
+  bool fine_tune_encoder = false;
+  bool verbose = false;
+};
+
+struct ForecastMetrics {
+  double mse = 0.0;
+  double mae = 0.0;
+};
+
+struct ClassificationMetrics {
+  double accuracy = 0.0;
+  double macro_f1 = 0.0;
+  double kappa = 0.0;
+};
+
+/// Forecasting head + training/eval around a TimeDRL encoder.
+///
+/// The head is a single linear layer on flattened timestamp-level embeddings
+/// (the paper's linear evaluation protocol). Under channel independence the
+/// same head maps each univariate channel's embeddings to its own horizon,
+/// and predictions are de-normalized with the window's RevIN statistics.
+class ForecastingPipeline {
+ public:
+  /// `channels` is the raw channel count of the data; `channel_independent`
+  /// selects the PatchTST-style univariate decomposition (the model must
+  /// have input_channels == 1 in that case, == channels otherwise).
+  ForecastingPipeline(TimeDrlModel* model, int64_t horizon, int64_t channels,
+                      bool channel_independent, Rng& rng);
+
+  /// Trains the head (and optionally the encoder) on `train`.
+  void Train(const data::ForecastingWindows& train,
+             const DownstreamConfig& config, Rng& rng);
+
+  /// MSE/MAE over every window of `test` (paper Eq. 20-21).
+  ForecastMetrics Evaluate(const data::ForecastingWindows& test);
+
+  /// Predictions for one raw batch x [B, L, C] -> [B, H, C].
+  Tensor Predict(const Tensor& x, bool with_grad);
+
+ private:
+  TimeDrlModel* model_;
+  int64_t horizon_;
+  int64_t channels_;
+  bool channel_independent_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+/// Classification head + training/eval around a TimeDRL encoder. The head is
+/// a single linear layer on the pooled instance-level embedding.
+class ClassificationPipeline {
+ public:
+  ClassificationPipeline(TimeDrlModel* model, int64_t num_classes,
+                         Pooling pooling, Rng& rng);
+
+  void Train(const data::ClassificationDataset& train,
+             const DownstreamConfig& config, Rng& rng);
+
+  ClassificationMetrics Evaluate(const data::ClassificationDataset& test);
+
+  /// Class logits for a raw batch x [B, T, C].
+  Tensor Logits(const Tensor& x, bool with_grad);
+
+  /// Argmax predictions for a dataset.
+  std::vector<int64_t> Predict(const data::ClassificationDataset& dataset);
+
+ private:
+  TimeDrlModel* model_;
+  int64_t num_classes_;
+  Pooling pooling_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace timedrl::core
+
+#endif  // TIMEDRL_CORE_PIPELINES_H_

@@ -1,0 +1,73 @@
+#include "core/pretrainer.h"
+
+#include "data/loader.h"
+#include "optim/optimizer.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace timedrl::core {
+
+PretrainHistory Pretrain(TimeDrlModel* model,
+                         const UnlabeledWindowSource& source,
+                         const PretrainConfig& config, Rng& rng) {
+  TIMEDRL_CHECK(model != nullptr);
+  TIMEDRL_CHECK_GT(source.size(), 0) << "empty pre-training source";
+
+  optim::AdamW optimizer(model->Parameters(), config.learning_rate,
+                         config.weight_decay);
+  data::BatchIterator batches(source.size(), config.batch_size,
+                              /*shuffle=*/true, rng, /*drop_last=*/false);
+  Rng augment_rng = rng.Fork();
+
+  PretrainHistory history;
+  model->Train();
+  std::vector<int64_t> indices;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double total = 0.0;
+    double predictive = 0.0;
+    double contrastive = 0.0;
+    int64_t steps = 0;
+    batches.Reset();
+    while (batches.Next(&indices)) {
+      // BatchNorm in the contrastive head needs at least two samples.
+      if (static_cast<int64_t>(indices.size()) < 2) continue;
+      Tensor x = source.GetWindows(indices);
+      TimeDrlModel::PretextOutput output;
+      if (config.augmentation != augment::Kind::kNone) {
+        // Ablation path: the augmentation creates the two views (each draw
+        // is independent), injecting its transformation-invariance into the
+        // contrastive task — exactly the inductive bias TimeDRL avoids.
+        Tensor view1 = augment::Apply(config.augmentation, x,
+                                      config.augment_config, augment_rng);
+        Tensor view2 = augment::Apply(config.augmentation, x,
+                                      config.augment_config, augment_rng);
+        output = model->PretextStepViews(view1, view2);
+      } else {
+        output = model->PretextStep(x);
+      }
+      optimizer.ZeroGrad();
+      output.total.Backward();
+      optim::ClipGradNorm(optimizer.parameters(), config.clip_norm);
+      optimizer.Step();
+
+      total += output.total.item();
+      predictive += output.predictive.item();
+      contrastive += output.contrastive.item();
+      ++steps;
+    }
+    TIMEDRL_CHECK_GT(steps, 0) << "no usable batches";
+    history.total.push_back(total / steps);
+    history.predictive.push_back(predictive / steps);
+    history.contrastive.push_back(contrastive / steps);
+    if (config.verbose) {
+      TIMEDRL_LOG_INFO << "pretrain epoch " << epoch + 1 << "/"
+                       << config.epochs << " L=" << history.total.back()
+                       << " L_P=" << history.predictive.back()
+                       << " L_C=" << history.contrastive.back();
+    }
+  }
+  model->Eval();
+  return history;
+}
+
+}  // namespace timedrl::core

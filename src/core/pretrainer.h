@@ -1,0 +1,44 @@
+// Self-supervised pre-training loop for TimeDRL.
+
+#ifndef TIMEDRL_CORE_PRETRAINER_H_
+#define TIMEDRL_CORE_PRETRAINER_H_
+
+#include <vector>
+
+#include "augment/augment.h"
+#include "core/model.h"
+#include "core/sources.h"
+#include "util/rng.h"
+
+namespace timedrl::core {
+
+/// Pre-training hyperparameters. The paper uses AdamW with weight decay.
+struct PretrainConfig {
+  int64_t epochs = 10;
+  int64_t batch_size = 32;
+  float learning_rate = 1e-3f;
+  float weight_decay = 1e-4f;
+  float clip_norm = 5.0f;
+  /// Augmentation applied to raw windows before the model — kNone for
+  /// TimeDRL proper; other kinds exist only for the Table VI ablation.
+  augment::Kind augmentation = augment::Kind::kNone;
+  augment::AugmentConfig augment_config;
+  bool verbose = false;
+};
+
+/// Per-epoch averages of the pretext losses.
+struct PretrainHistory {
+  std::vector<double> total;
+  std::vector<double> predictive;
+  std::vector<double> contrastive;
+};
+
+/// Runs TimeDRL pre-training on unlabeled windows; the model ends in eval
+/// mode. Deterministic given `rng`.
+PretrainHistory Pretrain(TimeDrlModel* model,
+                         const UnlabeledWindowSource& source,
+                         const PretrainConfig& config, Rng& rng);
+
+}  // namespace timedrl::core
+
+#endif  // TIMEDRL_CORE_PRETRAINER_H_

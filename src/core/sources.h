@@ -1,0 +1,101 @@
+// Adapters exposing datasets as unlabeled window sources for pre-training.
+
+#ifndef TIMEDRL_CORE_SOURCES_H_
+#define TIMEDRL_CORE_SOURCES_H_
+
+#include <vector>
+
+#include "data/patching.h"
+#include "data/time_series.h"
+#include "data/windows.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace timedrl::core {
+
+/// Uniform view over any dataset that can hand out raw [B, T, C] windows.
+class UnlabeledWindowSource {
+ public:
+  virtual ~UnlabeledWindowSource() = default;
+  virtual int64_t size() const = 0;
+  virtual Tensor GetWindows(const std::vector<int64_t>& indices) const = 0;
+};
+
+/// Forecasting windows; optionally applies the channel-independence
+/// transform ([B, T, C] -> [B*C, T, 1]) used for forecasting experiments.
+class ForecastingSource : public UnlabeledWindowSource {
+ public:
+  ForecastingSource(const data::ForecastingWindows* windows,
+                    bool channel_independent)
+      : windows_(windows), channel_independent_(channel_independent) {}
+
+  int64_t size() const override { return windows_->size(); }
+
+  Tensor GetWindows(const std::vector<int64_t>& indices) const override {
+    Tensor x = windows_->GetInputs(indices);
+    return channel_independent_ ? data::ToChannelIndependent(x) : x;
+  }
+
+ private:
+  const data::ForecastingWindows* windows_;
+  bool channel_independent_;
+};
+
+/// Classification windows (labels ignored during pre-training).
+class ClassificationSource : public UnlabeledWindowSource {
+ public:
+  explicit ClassificationSource(const data::ClassificationDataset* dataset)
+      : dataset_(dataset) {}
+
+  int64_t size() const override { return dataset_->size(); }
+
+  Tensor GetWindows(const std::vector<int64_t>& indices) const override {
+    return dataset_->GetBatch(indices).first;
+  }
+
+ private:
+  const data::ClassificationDataset* dataset_;
+};
+
+/// Union of several sources (multi-dataset pre-training — the direction the
+/// paper's future work sketches for a "more comprehensive foundation
+/// model"). All sources must produce windows of identical [T, C] geometry.
+class ConcatSource : public UnlabeledWindowSource {
+ public:
+  explicit ConcatSource(std::vector<const UnlabeledWindowSource*> sources)
+      : sources_(std::move(sources)) {
+    int64_t offset = 0;
+    for (const UnlabeledWindowSource* source : sources_) {
+      offset += source->size();
+      offsets_.push_back(offset);
+    }
+  }
+
+  int64_t size() const override {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+
+  Tensor GetWindows(const std::vector<int64_t>& indices) const override {
+    // Dispatch each index to its source, then reassemble in order.
+    std::vector<Tensor> rows;
+    rows.reserve(indices.size());
+    for (int64_t index : indices) {
+      size_t which = 0;
+      int64_t base = 0;
+      while (index >= offsets_[which]) {
+        base = offsets_[which];
+        ++which;
+      }
+      rows.push_back(sources_[which]->GetWindows({index - base}));
+    }
+    return Concat(rows, 0);
+  }
+
+ private:
+  std::vector<const UnlabeledWindowSource*> sources_;
+  std::vector<int64_t> offsets_;  // cumulative sizes
+};
+
+}  // namespace timedrl::core
+
+#endif  // TIMEDRL_CORE_SOURCES_H_

@@ -1,0 +1,81 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace timedrl::data {
+
+bool SaveCsv(const TimeSeries& series, const std::string& path,
+             const std::vector<std::string>& header) {
+  std::ofstream out(path);
+  if (!out) {
+    TIMEDRL_LOG_ERROR << "cannot open " << path << " for writing";
+    return false;
+  }
+  for (int64_t c = 0; c < series.channels; ++c) {
+    if (c > 0) out << ",";
+    if (c < static_cast<int64_t>(header.size())) {
+      out << header[c];
+    } else {
+      out << "c" << c;
+    }
+  }
+  out << "\n";
+  for (int64_t t = 0; t < series.length(); ++t) {
+    for (int64_t c = 0; c < series.channels; ++c) {
+      if (c > 0) out << ",";
+      out << series.at(t, c);
+    }
+    out << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadCsv(const std::string& path, TimeSeries* series,
+             std::vector<std::string>* header) {
+  std::ifstream in(path);
+  if (!in) {
+    TIMEDRL_LOG_ERROR << "cannot open " << path;
+    return false;
+  }
+  std::string line;
+  if (!std::getline(in, line)) return false;
+
+  std::vector<std::string> columns;
+  {
+    std::stringstream row(line);
+    std::string cell;
+    while (std::getline(row, cell, ',')) columns.push_back(cell);
+  }
+  if (columns.empty()) return false;
+  if (header != nullptr) *header = columns;
+
+  const int64_t channels = static_cast<int64_t>(columns.size());
+  std::vector<float> values;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream row(line);
+    std::string cell;
+    int64_t count = 0;
+    while (std::getline(row, cell, ',')) {
+      try {
+        values.push_back(std::stof(cell));
+      } catch (...) {
+        TIMEDRL_LOG_ERROR << "bad numeric cell '" << cell << "' in " << path;
+        return false;
+      }
+      ++count;
+    }
+    if (count != channels) {
+      TIMEDRL_LOG_ERROR << "ragged row in " << path;
+      return false;
+    }
+  }
+  series->channels = channels;
+  series->values = std::move(values);
+  return true;
+}
+
+}  // namespace timedrl::data

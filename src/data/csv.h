@@ -1,0 +1,25 @@
+// CSV persistence for time-series (used by examples and round-trip tests).
+
+#ifndef TIMEDRL_DATA_CSV_H_
+#define TIMEDRL_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "data/time_series.h"
+
+namespace timedrl::data {
+
+/// Writes `series` as CSV with one row per timestep. `header` (optional)
+/// provides column names; defaults to c0, c1, ...
+bool SaveCsv(const TimeSeries& series, const std::string& path,
+             const std::vector<std::string>& header = {});
+
+/// Reads a CSV written by SaveCsv (or any numeric CSV with a header row).
+/// Returns false on I/O or parse failure.
+bool LoadCsv(const std::string& path, TimeSeries* series,
+             std::vector<std::string>* header = nullptr);
+
+}  // namespace timedrl::data
+
+#endif  // TIMEDRL_DATA_CSV_H_

@@ -1,0 +1,44 @@
+#include "data/loader.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace timedrl::data {
+
+BatchIterator::BatchIterator(int64_t dataset_size, int64_t batch_size,
+                             bool shuffle, Rng& rng, bool drop_last)
+    : dataset_size_(dataset_size),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      drop_last_(drop_last),
+      rng_(rng.Fork()) {
+  TIMEDRL_CHECK_GE(dataset_size, 0);
+  TIMEDRL_CHECK_GT(batch_size, 0);
+  order_.resize(dataset_size);
+  for (int64_t i = 0; i < dataset_size; ++i) order_[i] = i;
+  Reset();
+}
+
+void BatchIterator::Reset() {
+  cursor_ = 0;
+  if (shuffle_) rng_.Shuffle(order_);
+}
+
+bool BatchIterator::Next(std::vector<int64_t>* batch) {
+  batch->clear();
+  if (cursor_ >= dataset_size_) return false;
+  const int64_t remaining = dataset_size_ - cursor_;
+  const int64_t take = std::min(batch_size_, remaining);
+  if (drop_last_ && take < batch_size_) return false;
+  batch->assign(order_.begin() + cursor_, order_.begin() + cursor_ + take);
+  cursor_ += take;
+  return true;
+}
+
+int64_t BatchIterator::NumBatches() const {
+  if (drop_last_) return dataset_size_ / batch_size_;
+  return (dataset_size_ + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace timedrl::data

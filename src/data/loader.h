@@ -1,0 +1,42 @@
+// Minibatch index iteration with optional shuffling.
+
+#ifndef TIMEDRL_DATA_LOADER_H_
+#define TIMEDRL_DATA_LOADER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace timedrl::data {
+
+/// Yields index batches over [0, dataset_size). With `shuffle`, the order is
+/// re-randomized by each Reset(). The final short batch is kept unless
+/// `drop_last` is set.
+class BatchIterator {
+ public:
+  BatchIterator(int64_t dataset_size, int64_t batch_size, bool shuffle,
+                Rng& rng, bool drop_last = false);
+
+  /// Starts a new epoch (reshuffles when enabled).
+  void Reset();
+
+  /// Fills `batch` with the next index set; false at epoch end.
+  bool Next(std::vector<int64_t>* batch);
+
+  /// Batches per epoch.
+  int64_t NumBatches() const;
+
+ private:
+  int64_t dataset_size_;
+  int64_t batch_size_;
+  bool shuffle_;
+  bool drop_last_;
+  Rng rng_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace timedrl::data
+
+#endif  // TIMEDRL_DATA_LOADER_H_

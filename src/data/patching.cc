@@ -1,0 +1,97 @@
+#include "data/patching.h"
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace timedrl::data {
+
+InstanceNormResult InstanceNormalize(const Tensor& x, float eps) {
+  TIMEDRL_CHECK_EQ(x.dim(), 3) << "expects [B, T, C]";
+  InstanceNormResult result;
+  result.mean = Mean(x, {1}, /*keepdim=*/true);
+  Tensor centered = x - result.mean;
+  result.std_dev =
+      Sqrt(Mean(centered * centered, {1}, /*keepdim=*/true) + eps);
+  result.normalized = centered / result.std_dev;
+  return result;
+}
+
+int64_t NumPatches(int64_t series_length, int64_t patch_length,
+                   int64_t patch_stride) {
+  TIMEDRL_CHECK_GE(series_length, patch_length);
+  return (series_length - patch_length) / patch_stride + 1;
+}
+
+Tensor Patchify(const Tensor& x, int64_t patch_length, int64_t patch_stride) {
+  TIMEDRL_CHECK_EQ(x.dim(), 3) << "expects [B, T, C]";
+  TIMEDRL_CHECK_GT(patch_length, 0);
+  TIMEDRL_CHECK_GT(patch_stride, 0);
+  const int64_t batch = x.size(0);
+  const int64_t series_length = x.size(1);
+  const int64_t channels = x.size(2);
+  const int64_t num_patches =
+      NumPatches(series_length, patch_length, patch_stride);
+
+  std::vector<float> out(batch * num_patches * channels * patch_length);
+  const std::vector<float>& in = x.data();
+  // Captured by value: these are reused inside the backward closure, which
+  // outlives this stack frame.
+  auto in_index = [=](int64_t b, int64_t t, int64_t c) {
+    return (b * series_length + t) * channels + c;
+  };
+  auto out_index = [=](int64_t b, int64_t p, int64_t c, int64_t k) {
+    return (b * num_patches + p) * channels * patch_length + c * patch_length +
+           k;
+  };
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t p = 0; p < num_patches; ++p) {
+      for (int64_t c = 0; c < channels; ++c) {
+        for (int64_t k = 0; k < patch_length; ++k) {
+          out[out_index(b, p, c, k)] =
+              in[in_index(b, p * patch_stride + k, c)];
+        }
+      }
+    }
+  }
+
+  auto x_impl = x.impl();
+  auto backward = [x_impl, batch, series_length, channels, num_patches,
+                   patch_length, patch_stride, in_index,
+                   out_index](TensorImpl& node) {
+    if (!x_impl->requires_grad) return;
+    std::vector<float>& gx = x_impl->MutableGrad();
+    const std::vector<float>& g = node.grad;
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t p = 0; p < num_patches; ++p) {
+        for (int64_t c = 0; c < channels; ++c) {
+          for (int64_t k = 0; k < patch_length; ++k) {
+            gx[in_index(b, p * patch_stride + k, c)] +=
+                g[out_index(b, p, c, k)];
+          }
+        }
+      }
+    }
+  };
+  return internal::MakeOpResult({batch, num_patches, channels * patch_length},
+                                std::move(out), {x.impl()},
+                                std::move(backward));
+}
+
+Tensor ToChannelIndependent(const Tensor& x) {
+  TIMEDRL_CHECK_EQ(x.dim(), 3) << "expects [B, T, C]";
+  const int64_t batch = x.size(0);
+  const int64_t length = x.size(1);
+  const int64_t channels = x.size(2);
+  return Reshape(Permute(x, {0, 2, 1}), {batch * channels, length, 1});
+}
+
+Tensor FromChannelIndependent(const Tensor& x, int64_t batch,
+                              int64_t channels) {
+  TIMEDRL_CHECK_EQ(x.dim(), 3);
+  TIMEDRL_CHECK_EQ(x.size(0), batch * channels);
+  TIMEDRL_CHECK_EQ(x.size(2), 1);
+  const int64_t length = x.size(1);
+  return Permute(Reshape(x, {batch, channels, length}), {0, 2, 1});
+}
+
+}  // namespace timedrl::data

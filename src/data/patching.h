@@ -1,0 +1,45 @@
+// The paper's input pipeline transforms: instance normalization (Eq. 1),
+// patching (PatchTST-style), and the channel-independence mapping.
+
+#ifndef TIMEDRL_DATA_PATCHING_H_
+#define TIMEDRL_DATA_PATCHING_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace timedrl::data {
+
+/// Result of instance normalization; mean/std are kept for de-normalization
+/// of model outputs (RevIN without the learnable affine).
+struct InstanceNormResult {
+  Tensor normalized;  // [B, T, C]
+  Tensor mean;        // [B, 1, C]
+  Tensor std_dev;     // [B, 1, C]
+};
+
+/// Normalizes each (sample, channel) series to zero mean / unit variance
+/// across the time axis. Differentiable.
+InstanceNormResult InstanceNormalize(const Tensor& x, float eps = 1e-5f);
+
+/// Number of patches produced by Patchify for a given length.
+int64_t NumPatches(int64_t series_length, int64_t patch_length,
+                   int64_t patch_stride);
+
+/// Aggregates adjacent timesteps into patch tokens (paper Eq. 1):
+/// [B, T, C] -> [B, T_p, C*P], with T_p = (T - P)/S + 1.
+/// out[b, p, c*P + k] = x[b, p*S + k, c]. Differentiable.
+Tensor Patchify(const Tensor& x, int64_t patch_length, int64_t patch_stride);
+
+/// PatchTST channel independence: [B, T, C] -> [B*C, T, 1]; each channel
+/// becomes an independent univariate sample sharing model weights.
+Tensor ToChannelIndependent(const Tensor& x);
+
+/// Inverse of ToChannelIndependent for model outputs:
+/// [B*C, H, 1] -> [B, H, C].
+Tensor FromChannelIndependent(const Tensor& x, int64_t batch,
+                              int64_t channels);
+
+}  // namespace timedrl::data
+
+#endif  // TIMEDRL_DATA_PATCHING_H_

@@ -1,0 +1,55 @@
+#include "data/scaler.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace timedrl::data {
+
+void StandardScaler::Fit(const TimeSeries& series) {
+  const int64_t n = series.length();
+  const int64_t channels = series.channels;
+  TIMEDRL_CHECK_GT(n, 1) << "scaler needs at least 2 rows";
+  mean_.assign(channels, 0.0f);
+  std_.assign(channels, 0.0f);
+  for (int64_t t = 0; t < n; ++t) {
+    for (int64_t c = 0; c < channels; ++c) mean_[c] += series.at(t, c);
+  }
+  for (int64_t c = 0; c < channels; ++c) mean_[c] /= static_cast<float>(n);
+  for (int64_t t = 0; t < n; ++t) {
+    for (int64_t c = 0; c < channels; ++c) {
+      const float d = series.at(t, c) - mean_[c];
+      std_[c] += d * d;
+    }
+  }
+  for (int64_t c = 0; c < channels; ++c) {
+    std_[c] = std::sqrt(std_[c] / static_cast<float>(n));
+    if (std_[c] < 1e-8f) std_[c] = 1.0f;  // constant channel: pass through
+  }
+}
+
+TimeSeries StandardScaler::Transform(const TimeSeries& series) const {
+  TIMEDRL_CHECK(fitted());
+  TIMEDRL_CHECK_EQ(series.channels, static_cast<int64_t>(mean_.size()));
+  TimeSeries out = series;
+  for (int64_t t = 0; t < out.length(); ++t) {
+    for (int64_t c = 0; c < out.channels; ++c) {
+      out.at(t, c) = (out.at(t, c) - mean_[c]) / std_[c];
+    }
+  }
+  return out;
+}
+
+TimeSeries StandardScaler::InverseTransform(const TimeSeries& series) const {
+  TIMEDRL_CHECK(fitted());
+  TIMEDRL_CHECK_EQ(series.channels, static_cast<int64_t>(mean_.size()));
+  TimeSeries out = series;
+  for (int64_t t = 0; t < out.length(); ++t) {
+    for (int64_t c = 0; c < out.channels; ++c) {
+      out.at(t, c) = out.at(t, c) * std_[c] + mean_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace timedrl::data

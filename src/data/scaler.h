@@ -1,0 +1,38 @@
+// Per-channel standardization fit on training data.
+
+#ifndef TIMEDRL_DATA_SCALER_H_
+#define TIMEDRL_DATA_SCALER_H_
+
+#include <vector>
+
+#include "data/time_series.h"
+
+namespace timedrl::data {
+
+/// z-score scaler: fit per-channel mean/std on the training split, apply to
+/// all splits, invert for reporting in original units.
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Computes per-channel statistics from `series`.
+  void Fit(const TimeSeries& series);
+
+  /// (x - mean) / std per channel. Requires Fit().
+  TimeSeries Transform(const TimeSeries& series) const;
+
+  /// x * std + mean per channel. Requires Fit().
+  TimeSeries InverseTransform(const TimeSeries& series) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& std_dev() const { return std_; }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> std_;
+};
+
+}  // namespace timedrl::data
+
+#endif  // TIMEDRL_DATA_SCALER_H_

@@ -1,0 +1,411 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/check.h"
+
+namespace timedrl::data {
+namespace {
+
+constexpr float kTwoPi = 6.28318530717958647692f;
+
+/// First-order autoregressive noise: x_t = phi * x_{t-1} + sigma * eps_t.
+class Ar1 {
+ public:
+  Ar1(float phi, float sigma, Rng& rng) : phi_(phi), sigma_(sigma), rng_(rng) {}
+  float Next() {
+    state_ = phi_ * state_ + sigma_ * rng_.Normal();
+    return state_;
+  }
+
+ private:
+  float phi_;
+  float sigma_;
+  Rng& rng_;
+  float state_ = 0.0f;
+};
+
+}  // namespace
+
+// ---- Forecasting ----------------------------------------------------------------
+
+TimeSeries MakeEttLike(int64_t length, int64_t period, int variant, Rng& rng) {
+  TIMEDRL_CHECK_GT(length, 0);
+  TIMEDRL_CHECK_GT(period, 1);
+  constexpr int64_t kChannels = 7;  // 6 loads + oil temperature target
+  TimeSeries series(length, kChannels);
+
+  // Per-variant phases and couplings.
+  std::vector<float> phase(6), daily_amp(6), weekly_amp(6), trend(6);
+  std::vector<Ar1> noise;
+  noise.reserve(7);
+  for (int64_t c = 0; c < 6; ++c) {
+    phase[c] = rng.Uniform(0.0f, kTwoPi) + 0.37f * static_cast<float>(variant);
+    daily_amp[c] = rng.Uniform(0.6f, 1.4f);
+    weekly_amp[c] = rng.Uniform(0.15f, 0.35f);
+    trend[c] = rng.Uniform(-0.15f, 0.15f);
+    noise.emplace_back(0.8f, 0.25f, rng);
+  }
+  noise.emplace_back(0.7f, 0.1f, rng);  // oil-temperature noise
+
+  // Secondary slow cycle. At bench scale the series covers only a few
+  // "weeks", so the real 7x ratio would leave the slow cycle unobservable
+  // (pure level drift across the chronological split); 3.5x keeps several
+  // full cycles inside every split.
+  const float weekly_period = static_cast<float>(period) * 3.5f;
+  for (int64_t t = 0; t < length; ++t) {
+    const float day = kTwoPi * static_cast<float>(t) / period;
+    const float week = kTwoPi * static_cast<float>(t) / weekly_period;
+    const float progress = static_cast<float>(t) / length;
+    for (int64_t c = 0; c < 6; ++c) {
+      series.at(t, c) = daily_amp[c] * std::sin(day + phase[c]) +
+                        weekly_amp[c] * std::sin(week + 0.5f * phase[c]) +
+                        trend[c] * progress + noise[c].Next();
+    }
+  }
+  // Oil temperature: smoothed lagged combination of the loads + slow cycle.
+  const int64_t lag = period / 4 + 1;
+  float oil = 0.0f;
+  for (int64_t t = 0; t < length; ++t) {
+    float load_sum = 0.0f;
+    for (int64_t c = 0; c < 6; ++c) {
+      load_sum += series.at(std::max<int64_t>(0, t - lag), c);
+    }
+    // Mostly intra-window (daily) dynamics with a mild weekly component, as
+    // in the real OT channel: keeps the series predictable from a lookback
+    // window rather than from absolute calendar position.
+    const float drive = 0.12f * load_sum +
+                        0.25f * std::sin(kTwoPi * t / weekly_period + 1.1f) +
+                        0.9f * std::sin(kTwoPi * t / period + 0.7f);
+    oil = 0.9f * oil + 0.1f * drive;
+    series.at(t, 6) = oil + noise[6].Next();
+  }
+  return series;
+}
+
+TimeSeries MakeExchangeLike(int64_t length, Rng& rng) {
+  constexpr int64_t kChannels = 8;
+  TimeSeries series(length, kChannels);
+  // One global market factor plus idiosyncratic shocks gives correlated
+  // near-random walks, like co-moving currencies.
+  std::vector<float> level(kChannels);
+  std::vector<float> beta(kChannels);
+  std::vector<float> drift(kChannels);
+  for (int64_t c = 0; c < kChannels; ++c) {
+    level[c] = rng.Uniform(0.5f, 1.5f);
+    beta[c] = rng.Uniform(0.3f, 1.0f);
+    drift[c] = rng.Normal(0.0f, 2e-5f);
+  }
+  for (int64_t t = 0; t < length; ++t) {
+    const float market = rng.Normal(0.0f, 0.004f);
+    for (int64_t c = 0; c < kChannels; ++c) {
+      level[c] += drift[c] + beta[c] * market + rng.Normal(0.0f, 0.003f);
+      series.at(t, c) = level[c];
+    }
+  }
+  return series;
+}
+
+TimeSeries MakeWeatherLike(int64_t length, Rng& rng) {
+  constexpr int64_t kChannels = 21;
+  constexpr int64_t kFactors = 3;
+  TimeSeries series(length, kChannels);
+
+  // Latent seasonal drivers (e.g. temperature, pressure, humidity cycles).
+  // Periods sized so the dominant cycle fits inside bench lookback windows.
+  std::vector<float> factor_period = {48.0f, 336.0f, 16.0f};
+  std::vector<float> factor_phase(kFactors);
+  for (int64_t f = 0; f < kFactors; ++f) {
+    factor_phase[f] = rng.Uniform(0.0f, kTwoPi);
+  }
+  std::vector<std::vector<float>> loading(
+      kChannels, std::vector<float>(kFactors));
+  std::vector<Ar1> noise;
+  noise.reserve(kChannels);
+  for (int64_t c = 0; c < kChannels; ++c) {
+    for (int64_t f = 0; f < kFactors; ++f) {
+      loading[c][f] = rng.Normal(0.0f, 0.7f);
+    }
+    noise.emplace_back(0.7f, 0.2f, rng);
+  }
+
+  // Regime switching: noise variance doubles in sporadic stormy stretches.
+  bool stormy = false;
+  for (int64_t t = 0; t < length; ++t) {
+    if (rng.Bernoulli(0.002f)) stormy = !stormy;
+    const float noise_scale = stormy ? 2.0f : 1.0f;
+    for (int64_t c = 0; c < kChannels; ++c) {
+      float value = 0.0f;
+      for (int64_t f = 0; f < kFactors; ++f) {
+        value += loading[c][f] *
+                 std::sin(kTwoPi * t / factor_period[f] + factor_phase[f]);
+      }
+      series.at(t, c) = value + noise_scale * noise[c].Next();
+    }
+  }
+  return series;
+}
+
+// ---- Classification ------------------------------------------------------------
+
+namespace {
+
+/// Allocates a balanced dataset shell and invokes `fill(sample, label)`.
+ClassificationDataset MakeBalanced(
+    int64_t samples, int64_t window_length, int64_t channels,
+    int64_t num_classes, Rng& rng,
+    const std::function<void(std::vector<float>&, int64_t, Rng&)>& fill) {
+  ClassificationDataset dataset;
+  dataset.window_length = window_length;
+  dataset.channels = channels;
+  dataset.num_classes = num_classes;
+  dataset.windows.reserve(samples);
+  dataset.labels.reserve(samples);
+  for (int64_t i = 0; i < samples; ++i) {
+    const int64_t label = i % num_classes;
+    std::vector<float> window(window_length * channels, 0.0f);
+    fill(window, label, rng);
+    dataset.windows.push_back(std::move(window));
+    dataset.labels.push_back(label);
+  }
+  // Randomize ordering so contiguous batches are label-mixed.
+  std::vector<int64_t> order = rng.Permutation(samples);
+  return dataset.Subset(order);
+}
+
+}  // namespace
+
+ClassificationDataset MakeHarLike(int64_t samples, int64_t window_length,
+                                  Rng& rng) {
+  constexpr int64_t kChannels = 9;
+  constexpr int64_t kClasses = 6;
+  return MakeBalanced(
+      samples, window_length, kChannels, kClasses, rng,
+      [window_length](std::vector<float>& window, int64_t label, Rng& rng) {
+        // Activity signature: class-specific base frequency & amplitude.
+        const float freq = 0.03f + 0.035f * static_cast<float>(label);
+        const float amp = 0.5f + 0.25f * static_cast<float>(label % 3);
+        const float phase = rng.Uniform(0.0f, kTwoPi);
+        for (int64_t c = 0; c < kChannels; ++c) {
+          // Gyro channels (6..8) carry a harmonic; accel carry the base.
+          const float mult = c < 6 ? 1.0f : 2.0f;
+          const float channel_gain = 0.6f + 0.1f * static_cast<float>(c % 3);
+          const float gravity = c % 3 == 2 ? 1.0f : 0.0f;
+          for (int64_t t = 0; t < window_length; ++t) {
+            window[t * kChannels + c] =
+                gravity +
+                amp * channel_gain *
+                    std::sin(kTwoPi * freq * mult * t + phase) +
+                rng.Normal(0.0f, 0.25f);
+          }
+        }
+      });
+}
+
+ClassificationDataset MakeWisdmLike(int64_t samples, int64_t window_length,
+                                    Rng& rng) {
+  constexpr int64_t kChannels = 3;
+  constexpr int64_t kClasses = 6;
+  return MakeBalanced(
+      samples, window_length, kChannels, kClasses, rng,
+      [window_length](std::vector<float>& window, int64_t label, Rng& rng) {
+        // Class-specific gait frequency; channel harmonics stay well below
+        // Nyquist. Smartwatch data is messier than HAR: more noise and
+        // occasional sensor dropouts.
+        const float freq = 0.025f + 0.02f * static_cast<float>(label);
+        const float amp = 0.6f + 0.2f * static_cast<float>(label % 3);
+        const float phase = rng.Uniform(0.0f, kTwoPi);
+        for (int64_t c = 0; c < kChannels; ++c) {
+          const float mult = 1.0f + 0.5f * static_cast<float>(c);
+          for (int64_t t = 0; t < window_length; ++t) {
+            float value = amp * std::sin(kTwoPi * freq * mult * t + phase) +
+                          rng.Normal(0.0f, 0.3f);
+            if (rng.Bernoulli(0.005f)) value = 0.0f;  // sensor dropout
+            window[t * kChannels + c] = value;
+          }
+        }
+      });
+}
+
+ClassificationDataset MakeEpilepsyLike(int64_t samples, int64_t window_length,
+                                       Rng& rng) {
+  return MakeBalanced(
+      samples, window_length, /*channels=*/1, /*num_classes=*/2, rng,
+      [window_length](std::vector<float>& window, int64_t label, Rng& rng) {
+        Ar1 background(0.9f, 0.3f, rng);
+        for (int64_t t = 0; t < window_length; ++t) {
+          window[t] = background.Next();
+        }
+        // Both classes carry the same number of identical spike-wave bursts;
+        // only the temporal arrangement differs. Epileptic windows (label 1)
+        // show the classic *rhythmic* spike-wave train, healthy windows show
+        // the same transients at irregular times. This makes the class
+        // signal a global property of the window (how bursts are arranged),
+        // not a local property of any patch.
+        const float burst_amp = rng.Uniform(2.0f, 3.0f);
+        const int64_t burst_period = 8 + rng.UniformInt(0, 3);
+        const int64_t num_bursts = window_length / burst_period;
+        std::vector<int64_t> positions;
+        if (label == 1) {
+          const int64_t offset = rng.UniformInt(0, burst_period - 1);
+          for (int64_t k = 0; k < num_bursts; ++k) {
+            positions.push_back(offset + k * burst_period);
+          }
+        } else {
+          // Irregular but non-colliding: bursts keep a minimum separation so
+          // no patch-local cue (e.g. merged double spikes) leaks the label.
+          std::vector<bool> taken(window_length, false);
+          for (int64_t k = 0; k < num_bursts; ++k) {
+            for (int64_t attempt = 0; attempt < 32; ++attempt) {
+              const int64_t t = rng.UniformInt(0, window_length - 2);
+              bool clear = true;
+              for (int64_t d = -3; d <= 3; ++d) {
+                const int64_t u = t + d;
+                if (u >= 0 && u < window_length && taken[u]) clear = false;
+              }
+              if (clear) {
+                taken[t] = true;
+                positions.push_back(t);
+                break;
+              }
+            }
+          }
+        }
+        for (int64_t t : positions) {
+          if (t + 1 >= window_length) continue;
+          window[t] += burst_amp;
+          window[t + 1] -= 0.6f * burst_amp;
+        }
+      });
+}
+
+ClassificationDataset MakePenDigitsLike(int64_t samples, Rng& rng) {
+  constexpr int64_t kPoints = 8;
+  // Hand-laid 8-point stroke skeletons for the digits 0-9 in [0, 1]^2.
+  static const float kStrokes[10][kPoints][2] = {
+      // 0: closed oval
+      {{0.5f, 0.9f}, {0.2f, 0.75f}, {0.15f, 0.4f}, {0.35f, 0.1f},
+       {0.65f, 0.1f}, {0.85f, 0.4f}, {0.8f, 0.75f}, {0.5f, 0.9f}},
+      // 1: downstroke
+      {{0.35f, 0.75f}, {0.5f, 0.9f}, {0.5f, 0.78f}, {0.5f, 0.62f},
+       {0.5f, 0.46f}, {0.5f, 0.3f}, {0.5f, 0.18f}, {0.5f, 0.1f}},
+      // 2: top curl, diagonal, base
+      {{0.2f, 0.75f}, {0.45f, 0.9f}, {0.75f, 0.8f}, {0.7f, 0.55f},
+       {0.45f, 0.35f}, {0.2f, 0.15f}, {0.5f, 0.1f}, {0.85f, 0.1f}},
+      // 3: double bump
+      {{0.2f, 0.85f}, {0.6f, 0.9f}, {0.75f, 0.7f}, {0.45f, 0.5f},
+       {0.75f, 0.35f}, {0.6f, 0.12f}, {0.3f, 0.1f}, {0.2f, 0.2f}},
+      // 4: diagonal, crossbar, downstroke
+      {{0.6f, 0.9f}, {0.35f, 0.6f}, {0.15f, 0.4f}, {0.5f, 0.4f},
+       {0.85f, 0.4f}, {0.6f, 0.6f}, {0.6f, 0.3f}, {0.6f, 0.1f}},
+      // 5: top bar, down, belly
+      {{0.8f, 0.9f}, {0.3f, 0.9f}, {0.28f, 0.6f}, {0.55f, 0.55f},
+       {0.8f, 0.4f}, {0.7f, 0.15f}, {0.4f, 0.1f}, {0.2f, 0.2f}},
+      // 6: sweep down into loop
+      {{0.7f, 0.9f}, {0.4f, 0.7f}, {0.22f, 0.45f}, {0.25f, 0.2f},
+       {0.5f, 0.1f}, {0.75f, 0.25f}, {0.6f, 0.45f}, {0.3f, 0.4f}},
+      // 7: top bar then diagonal
+      {{0.15f, 0.9f}, {0.5f, 0.9f}, {0.85f, 0.9f}, {0.7f, 0.65f},
+       {0.55f, 0.45f}, {0.45f, 0.3f}, {0.38f, 0.18f}, {0.32f, 0.1f}},
+      // 8: double loop
+      {{0.5f, 0.9f}, {0.25f, 0.72f}, {0.6f, 0.55f}, {0.8f, 0.35f},
+       {0.5f, 0.1f}, {0.2f, 0.32f}, {0.45f, 0.52f}, {0.72f, 0.72f}},
+      // 9: loop then tail
+      {{0.72f, 0.65f}, {0.45f, 0.85f}, {0.25f, 0.68f}, {0.4f, 0.5f},
+       {0.68f, 0.55f}, {0.68f, 0.35f}, {0.62f, 0.2f}, {0.55f, 0.1f}},
+  };
+  return MakeBalanced(
+      samples, kPoints, /*channels=*/2, /*num_classes=*/10, rng,
+      [](std::vector<float>& window, int64_t label, Rng& rng) {
+        // Writer variability: random shift/scale plus per-point jitter.
+        const float scale = rng.Uniform(0.85f, 1.15f);
+        const float dx = rng.Normal(0.0f, 0.04f);
+        const float dy = rng.Normal(0.0f, 0.04f);
+        for (int64_t p = 0; p < kPoints; ++p) {
+          window[p * 2 + 0] = scale * kStrokes[label][p][0] + dx +
+                              rng.Normal(0.0f, 0.025f);
+          window[p * 2 + 1] = scale * kStrokes[label][p][1] + dy +
+                              rng.Normal(0.0f, 0.025f);
+        }
+      });
+}
+
+ClassificationDataset MakeFingerMovementsLike(int64_t samples,
+                                              int64_t window_length,
+                                              Rng& rng) {
+  constexpr int64_t kChannels = 28;
+  return MakeBalanced(
+      samples, window_length, kChannels, /*num_classes=*/2, rng,
+      [window_length](std::vector<float>& window, int64_t label, Rng& rng) {
+        // Readiness potential: a weak drift over the final 40% of the
+        // window, lateralized by upcoming movement side. SNR is deliberately
+        // low; the real dataset keeps most methods near chance.
+        const int64_t onset = window_length * 3 / 5;
+        const float drift = rng.Uniform(0.1f, 0.22f);
+        for (int64_t c = 0; c < kChannels; ++c) {
+          Ar1 background(0.85f, 0.5f, rng);
+          const bool drifting =
+              label == 0 ? c < kChannels / 2 : c >= kChannels / 2;
+          for (int64_t t = 0; t < window_length; ++t) {
+            float value = background.Next();
+            if (drifting && t >= onset) {
+              value -= drift * static_cast<float>(t - onset) /
+                       static_cast<float>(window_length - onset);
+            }
+            window[t * kChannels + c] = value;
+          }
+        }
+      });
+}
+
+// ---- Suites ----------------------------------------------------------------------
+
+std::vector<ForecastingBenchDataset> StandardForecastingSuite(
+    double length_scale, Rng& rng) {
+  auto scaled = [length_scale](int64_t n) {
+    return std::max<int64_t>(256, static_cast<int64_t>(n * length_scale));
+  };
+  std::vector<ForecastingBenchDataset> suite;
+  // Horizons follow the paper's ratios, scaled to the synthetic lengths:
+  // {24, 48, 168, 336, 720} for hourly-like and {24, 48, 96, 288, 672} for
+  // minute-like data, compressed to keep CPU runs tractable.
+  const std::vector<int64_t> hourly = {6, 12, 24, 36, 48};
+  const std::vector<int64_t> minute = {6, 12, 24, 48, 72};
+  suite.push_back(
+      {"ETTh1", MakeEttLike(scaled(4096), /*period=*/24, /*variant=*/1, rng),
+       6, hourly});
+  suite.push_back(
+      {"ETTh2", MakeEttLike(scaled(4096), /*period=*/24, /*variant=*/2, rng),
+       6, hourly});
+  suite.push_back(
+      {"ETTm1", MakeEttLike(scaled(6144), /*period=*/48, /*variant=*/1, rng),
+       6, minute});
+  suite.push_back(
+      {"ETTm2", MakeEttLike(scaled(6144), /*period=*/48, /*variant=*/2, rng),
+       6, minute});
+  suite.push_back({"Exchange", MakeExchangeLike(scaled(4096), rng),
+                   /*target=*/7, hourly});
+  suite.push_back({"Weather", MakeWeatherLike(scaled(4096), rng),
+                   /*target=*/20, hourly});
+  return suite;
+}
+
+std::vector<ClassificationBenchDataset> StandardClassificationSuite(
+    double sample_scale, Rng& rng) {
+  auto scaled = [sample_scale](int64_t n) {
+    return std::max<int64_t>(40, static_cast<int64_t>(n * sample_scale));
+  };
+  std::vector<ClassificationBenchDataset> suite;
+  suite.push_back({"FingerMovements",
+                   MakeFingerMovementsLike(scaled(416), /*window=*/32, rng)});
+  suite.push_back({"PenDigits", MakePenDigitsLike(scaled(1200), rng)});
+  suite.push_back({"HAR", MakeHarLike(scaled(1200), /*window=*/64, rng)});
+  suite.push_back(
+      {"Epilepsy", MakeEpilepsyLike(scaled(1200), /*window=*/96, rng)});
+  suite.push_back({"WISDM", MakeWisdmLike(scaled(800), /*window=*/96, rng)});
+  return suite;
+}
+
+}  // namespace timedrl::data

@@ -1,0 +1,101 @@
+#include "data/time_series.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace timedrl::data {
+
+TimeSeries TimeSeries::Range(int64_t start, int64_t len) const {
+  TIMEDRL_CHECK(start >= 0 && len >= 0 && start + len <= length());
+  TimeSeries out(len, channels);
+  std::copy(values.begin() + start * channels,
+            values.begin() + (start + len) * channels, out.values.begin());
+  return out;
+}
+
+TimeSeries TimeSeries::Channel(int64_t c) const {
+  TIMEDRL_CHECK(c >= 0 && c < channels);
+  TimeSeries out(length(), 1);
+  for (int64_t t = 0; t < length(); ++t) out.at(t, 0) = at(t, c);
+  return out;
+}
+
+Tensor TimeSeries::ToTensor() const {
+  return Tensor::FromVector({length(), channels}, values);
+}
+
+std::pair<Tensor, std::vector<int64_t>> ClassificationDataset::GetBatch(
+    const std::vector<int64_t>& indices) const {
+  const int64_t batch = static_cast<int64_t>(indices.size());
+  std::vector<float> buffer;
+  buffer.reserve(batch * window_length * channels);
+  std::vector<int64_t> batch_labels;
+  batch_labels.reserve(batch);
+  for (int64_t index : indices) {
+    TIMEDRL_CHECK(index >= 0 && index < size());
+    const std::vector<float>& window = windows[index];
+    buffer.insert(buffer.end(), window.begin(), window.end());
+    batch_labels.push_back(labels[index]);
+  }
+  return {Tensor::FromVector({batch, window_length, channels},
+                             std::move(buffer)),
+          std::move(batch_labels)};
+}
+
+ClassificationDataset ClassificationDataset::Subset(
+    const std::vector<int64_t>& indices) const {
+  ClassificationDataset out;
+  out.window_length = window_length;
+  out.channels = channels;
+  out.num_classes = num_classes;
+  for (int64_t index : indices) {
+    TIMEDRL_CHECK(index >= 0 && index < size());
+    out.windows.push_back(windows[index]);
+    out.labels.push_back(labels[index]);
+  }
+  return out;
+}
+
+ForecastingSplits ChronologicalSplit(const TimeSeries& series,
+                                     double train_fraction,
+                                     double val_fraction) {
+  TIMEDRL_CHECK(train_fraction > 0 && val_fraction >= 0 &&
+                train_fraction + val_fraction < 1.0);
+  const int64_t n = series.length();
+  const int64_t train_len = static_cast<int64_t>(n * train_fraction);
+  const int64_t val_len = static_cast<int64_t>(n * val_fraction);
+  ForecastingSplits splits;
+  splits.train = series.Range(0, train_len);
+  splits.val = series.Range(train_len, val_len);
+  splits.test = series.Range(train_len + val_len, n - train_len - val_len);
+  return splits;
+}
+
+ClassificationSplits StratifiedSplit(const ClassificationDataset& dataset,
+                                     double train_fraction, Rng& rng) {
+  TIMEDRL_CHECK(train_fraction > 0 && train_fraction < 1.0);
+  std::vector<std::vector<int64_t>> by_class(dataset.num_classes);
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    TIMEDRL_CHECK(dataset.labels[i] >= 0 &&
+                  dataset.labels[i] < dataset.num_classes);
+    by_class[dataset.labels[i]].push_back(i);
+  }
+  std::vector<int64_t> train_indices;
+  std::vector<int64_t> test_indices;
+  for (auto& members : by_class) {
+    rng.Shuffle(members);
+    const int64_t train_count =
+        static_cast<int64_t>(members.size() * train_fraction);
+    for (size_t j = 0; j < members.size(); ++j) {
+      (static_cast<int64_t>(j) < train_count ? train_indices : test_indices)
+          .push_back(members[j]);
+    }
+  }
+  // Shuffle across classes so batches are not class-sorted.
+  rng.Shuffle(train_indices);
+  rng.Shuffle(test_indices);
+  return {dataset.Subset(train_indices), dataset.Subset(test_indices)};
+}
+
+}  // namespace timedrl::data

@@ -1,0 +1,86 @@
+// Core dataset containers for multivariate time-series.
+
+#ifndef TIMEDRL_DATA_TIME_SERIES_H_
+#define TIMEDRL_DATA_TIME_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace timedrl::data {
+
+/// A single multivariate series stored row-major as [length, channels].
+struct TimeSeries {
+  int64_t channels = 0;
+  std::vector<float> values;
+
+  TimeSeries() = default;
+  TimeSeries(int64_t length, int64_t channels_in)
+      : channels(channels_in),
+        values(static_cast<size_t>(length * channels_in), 0.0f) {}
+
+  int64_t length() const {
+    return channels == 0 ? 0 : static_cast<int64_t>(values.size()) / channels;
+  }
+
+  float& at(int64_t t, int64_t c) { return values[t * channels + c]; }
+  float at(int64_t t, int64_t c) const { return values[t * channels + c]; }
+
+  /// Copy of rows [start, start+len).
+  TimeSeries Range(int64_t start, int64_t len) const;
+
+  /// A single-channel view (copy) of column `c`.
+  TimeSeries Channel(int64_t c) const;
+
+  /// Whole series as a [length, channels] tensor.
+  Tensor ToTensor() const;
+};
+
+/// A labeled set of fixed-length windows for classification.
+/// Windows are stored row-major as [length, channels] each.
+struct ClassificationDataset {
+  int64_t window_length = 0;
+  int64_t channels = 0;
+  int64_t num_classes = 0;
+  std::vector<std::vector<float>> windows;
+  std::vector<int64_t> labels;
+
+  int64_t size() const { return static_cast<int64_t>(windows.size()); }
+
+  /// Materializes the selected windows as [B, T, C] plus their labels.
+  std::pair<Tensor, std::vector<int64_t>> GetBatch(
+      const std::vector<int64_t>& indices) const;
+
+  /// Subset by index list.
+  ClassificationDataset Subset(const std::vector<int64_t>& indices) const;
+};
+
+/// Chronological (train, val, test) split of a series.
+struct ForecastingSplits {
+  TimeSeries train;
+  TimeSeries val;
+  TimeSeries test;
+};
+
+/// Splits a series 60/20/20 (or custom fractions) preserving time order —
+/// the split the paper uses when no predefined split exists.
+ForecastingSplits ChronologicalSplit(const TimeSeries& series,
+                                     double train_fraction = 0.6,
+                                     double val_fraction = 0.2);
+
+/// Stratified (train, test) split of a classification dataset.
+struct ClassificationSplits {
+  ClassificationDataset train;
+  ClassificationDataset test;
+};
+
+/// Splits per-class so label proportions are preserved. Deterministic given
+/// the rng state.
+ClassificationSplits StratifiedSplit(const ClassificationDataset& dataset,
+                                     double train_fraction, Rng& rng);
+
+}  // namespace timedrl::data
+
+#endif  // TIMEDRL_DATA_TIME_SERIES_H_

@@ -1,0 +1,59 @@
+#include "data/windows.h"
+
+#include "util/check.h"
+
+namespace timedrl::data {
+
+ForecastingWindows::ForecastingWindows(const TimeSeries& series,
+                                       int64_t input_length, int64_t horizon,
+                                       int64_t stride)
+    : series_(series),
+      input_length_(input_length),
+      horizon_(horizon),
+      stride_(stride) {
+  TIMEDRL_CHECK_GT(input_length, 0);
+  TIMEDRL_CHECK_GE(horizon, 0);
+  TIMEDRL_CHECK_GT(stride, 0);
+  const int64_t usable = series.length() - input_length - horizon;
+  count_ = usable >= 0 ? usable / stride + 1 : 0;
+}
+
+std::pair<Tensor, Tensor> ForecastingWindows::GetBatch(
+    const std::vector<int64_t>& indices) const {
+  TIMEDRL_CHECK_GT(horizon_, 0) << "dataset was built without a horizon";
+  const int64_t batch = static_cast<int64_t>(indices.size());
+  const int64_t channels = series_.channels;
+  std::vector<float> x_buffer;
+  x_buffer.reserve(batch * input_length_ * channels);
+  std::vector<float> y_buffer;
+  y_buffer.reserve(batch * horizon_ * channels);
+  for (int64_t index : indices) {
+    TIMEDRL_CHECK(index >= 0 && index < count_);
+    const int64_t start = index * stride_;
+    const float* base = series_.values.data() + start * channels;
+    x_buffer.insert(x_buffer.end(), base, base + input_length_ * channels);
+    const float* target = base + input_length_ * channels;
+    y_buffer.insert(y_buffer.end(), target, target + horizon_ * channels);
+  }
+  return {Tensor::FromVector({batch, input_length_, channels},
+                             std::move(x_buffer)),
+          Tensor::FromVector({batch, horizon_, channels},
+                             std::move(y_buffer))};
+}
+
+Tensor ForecastingWindows::GetInputs(
+    const std::vector<int64_t>& indices) const {
+  const int64_t batch = static_cast<int64_t>(indices.size());
+  const int64_t channels = series_.channels;
+  std::vector<float> buffer;
+  buffer.reserve(batch * input_length_ * channels);
+  for (int64_t index : indices) {
+    TIMEDRL_CHECK(index >= 0 && index < count_);
+    const float* base = series_.values.data() + index * stride_ * channels;
+    buffer.insert(buffer.end(), base, base + input_length_ * channels);
+  }
+  return Tensor::FromVector({batch, input_length_, channels},
+                            std::move(buffer));
+}
+
+}  // namespace timedrl::data

@@ -1,0 +1,46 @@
+// Sliding-window sampling for forecasting.
+
+#ifndef TIMEDRL_DATA_WINDOWS_H_
+#define TIMEDRL_DATA_WINDOWS_H_
+
+#include <utility>
+#include <vector>
+
+#include "data/time_series.h"
+#include "tensor/tensor.h"
+
+namespace timedrl::data {
+
+/// Enumerates (input window, future horizon) pairs over a series.
+///
+/// Sample i covers input rows [i*stride, i*stride + input_length) and target
+/// rows [i*stride + input_length, ... + horizon).
+class ForecastingWindows {
+ public:
+  ForecastingWindows(const TimeSeries& series, int64_t input_length,
+                     int64_t horizon, int64_t stride = 1);
+
+  /// Number of available samples.
+  int64_t size() const { return count_; }
+  int64_t input_length() const { return input_length_; }
+  int64_t horizon() const { return horizon_; }
+  int64_t channels() const { return series_.channels; }
+
+  /// Materializes x: [B, input_length, C] and y: [B, horizon, C].
+  std::pair<Tensor, Tensor> GetBatch(
+      const std::vector<int64_t>& indices) const;
+
+  /// Materializes only the inputs (for self-supervised pre-training).
+  Tensor GetInputs(const std::vector<int64_t>& indices) const;
+
+ private:
+  TimeSeries series_;
+  int64_t input_length_;
+  int64_t horizon_;
+  int64_t stride_;
+  int64_t count_;
+};
+
+}  // namespace timedrl::data
+
+#endif  // TIMEDRL_DATA_WINDOWS_H_

@@ -1,0 +1,100 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace timedrl::metrics {
+
+double Mse(const Tensor& prediction, const Tensor& target) {
+  TIMEDRL_CHECK(prediction.shape() == target.shape());
+  const std::vector<float>& p = prediction.data();
+  const std::vector<float>& t = target.data();
+  double total = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double d = double{p[i]} - double{t[i]};
+    total += d * d;
+  }
+  return p.empty() ? 0.0 : total / static_cast<double>(p.size());
+}
+
+double Mae(const Tensor& prediction, const Tensor& target) {
+  TIMEDRL_CHECK(prediction.shape() == target.shape());
+  const std::vector<float>& p = prediction.data();
+  const std::vector<float>& t = target.data();
+  double total = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    total += std::fabs(double{p[i]} - double{t[i]});
+  }
+  return p.empty() ? 0.0 : total / static_cast<double>(p.size());
+}
+
+std::vector<int64_t> ConfusionMatrix(const std::vector<int64_t>& predictions,
+                                     const std::vector<int64_t>& labels,
+                                     int64_t num_classes) {
+  TIMEDRL_CHECK_EQ(predictions.size(), labels.size());
+  std::vector<int64_t> matrix(num_classes * num_classes, 0);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    TIMEDRL_CHECK(labels[i] >= 0 && labels[i] < num_classes);
+    TIMEDRL_CHECK(predictions[i] >= 0 && predictions[i] < num_classes);
+    ++matrix[labels[i] * num_classes + predictions[i]];
+  }
+  return matrix;
+}
+
+double Accuracy(const std::vector<int64_t>& predictions,
+                const std::vector<int64_t>& labels) {
+  TIMEDRL_CHECK_EQ(predictions.size(), labels.size());
+  TIMEDRL_CHECK(!labels.empty());
+  int64_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double MacroF1(const std::vector<int64_t>& predictions,
+               const std::vector<int64_t>& labels, int64_t num_classes) {
+  const std::vector<int64_t> cm =
+      ConfusionMatrix(predictions, labels, num_classes);
+  double f1_total = 0.0;
+  for (int64_t k = 0; k < num_classes; ++k) {
+    int64_t tp = cm[k * num_classes + k];
+    int64_t fp = 0;
+    int64_t fn = 0;
+    for (int64_t j = 0; j < num_classes; ++j) {
+      if (j == k) continue;
+      fp += cm[j * num_classes + k];  // predicted k, true j
+      fn += cm[k * num_classes + j];  // true k, predicted j
+    }
+    const double denominator = 2.0 * tp + fp + fn;
+    f1_total += denominator > 0 ? 2.0 * tp / denominator : 0.0;
+  }
+  return f1_total / static_cast<double>(num_classes);
+}
+
+double CohenKappa(const std::vector<int64_t>& predictions,
+                  const std::vector<int64_t>& labels, int64_t num_classes) {
+  const std::vector<int64_t> cm =
+      ConfusionMatrix(predictions, labels, num_classes);
+  const double n = static_cast<double>(labels.size());
+  TIMEDRL_CHECK_GT(n, 0);
+  double observed = 0.0;
+  double expected = 0.0;
+  for (int64_t k = 0; k < num_classes; ++k) {
+    observed += cm[k * num_classes + k];
+    double row_total = 0.0;  // true class k count
+    double col_total = 0.0;  // predicted class k count
+    for (int64_t j = 0; j < num_classes; ++j) {
+      row_total += cm[k * num_classes + j];
+      col_total += cm[j * num_classes + k];
+    }
+    expected += row_total * col_total;
+  }
+  observed /= n;
+  expected /= n * n;
+  if (expected >= 1.0) return 0.0;  // degenerate single-class case
+  return (observed - expected) / (1.0 - expected);
+}
+
+}  // namespace timedrl::metrics

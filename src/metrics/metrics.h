@@ -1,0 +1,40 @@
+// Evaluation metrics (paper Eq. 20-27).
+
+#ifndef TIMEDRL_METRICS_METRICS_H_
+#define TIMEDRL_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace timedrl::metrics {
+
+/// Mean squared error over all elements (Eq. 20).
+double Mse(const Tensor& prediction, const Tensor& target);
+
+/// Mean absolute error over all elements (Eq. 21).
+double Mae(const Tensor& prediction, const Tensor& target);
+
+/// Row-major [num_classes x num_classes] confusion matrix;
+/// entry (i, j) counts true class i predicted as j.
+std::vector<int64_t> ConfusionMatrix(const std::vector<int64_t>& predictions,
+                                     const std::vector<int64_t>& labels,
+                                     int64_t num_classes);
+
+/// Fraction of correct predictions (Eq. 22).
+double Accuracy(const std::vector<int64_t>& predictions,
+                const std::vector<int64_t>& labels);
+
+/// Macro-averaged F1: per-class F1 averaged over classes (Eq. 23-25).
+/// Classes absent from both predictions and labels contribute F1 = 0.
+double MacroF1(const std::vector<int64_t>& predictions,
+               const std::vector<int64_t>& labels, int64_t num_classes);
+
+/// Cohen's kappa via the multi-class chance-agreement formula (Eq. 26-27).
+double CohenKappa(const std::vector<int64_t>& predictions,
+                  const std::vector<int64_t>& labels, int64_t num_classes);
+
+}  // namespace timedrl::metrics
+
+#endif  // TIMEDRL_METRICS_METRICS_H_

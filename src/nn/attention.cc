@@ -1,0 +1,67 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace timedrl::nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t d_model,
+                                               int64_t num_heads,
+                                               float dropout, Rng& rng,
+                                               bool causal)
+    : d_model_(d_model),
+      num_heads_(num_heads),
+      head_dim_(d_model / num_heads),
+      causal_(causal),
+      q_proj_(d_model, d_model, rng),
+      k_proj_(d_model, d_model, rng),
+      v_proj_(d_model, d_model, rng),
+      out_proj_(d_model, d_model, rng),
+      attn_dropout_(dropout, rng) {
+  TIMEDRL_CHECK_EQ(head_dim_ * num_heads, d_model)
+      << "d_model must be divisible by num_heads";
+  RegisterModule("q_proj", &q_proj_);
+  RegisterModule("k_proj", &k_proj_);
+  RegisterModule("v_proj", &v_proj_);
+  RegisterModule("out_proj", &out_proj_);
+  RegisterModule("attn_dropout", &attn_dropout_);
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& input) {
+  TIMEDRL_CHECK_EQ(input.dim(), 3) << "attention expects [B, T, D]";
+  TIMEDRL_CHECK_EQ(input.size(2), d_model_);
+  const int64_t batch = input.size(0);
+  const int64_t seq_len = input.size(1);
+
+  auto split_heads = [&](const Tensor& t) {
+    // [B, T, D] -> [B, H, T, head_dim]
+    return Permute(Reshape(t, {batch, seq_len, num_heads_, head_dim_}),
+                   {0, 2, 1, 3});
+  };
+  Tensor q = split_heads(q_proj_.Forward(input));
+  Tensor k = split_heads(k_proj_.Forward(input));
+  Tensor v = split_heads(v_proj_.Forward(input));
+
+  // [B, H, T, T]
+  Tensor scores = MatMul(q, Transpose(k, -2, -1)) *
+                  (1.0f / std::sqrt(static_cast<float>(head_dim_)));
+
+  if (causal_) {
+    std::vector<float> mask(seq_len * seq_len, 0.0f);
+    for (int64_t i = 0; i < seq_len; ++i) {
+      for (int64_t j = i + 1; j < seq_len; ++j) mask[i * seq_len + j] = 1.0f;
+    }
+    scores = MaskedFill(scores, Tensor::FromVector({seq_len, seq_len}, mask),
+                        -1e9f);
+  }
+
+  Tensor attn = attn_dropout_.Forward(Softmax(scores, -1));
+  Tensor context = MatMul(attn, v);  // [B, H, T, head_dim]
+  Tensor merged = Reshape(Permute(context, {0, 2, 1, 3}),
+                          {batch, seq_len, d_model_});
+  return out_proj_.Forward(merged);
+}
+
+}  // namespace timedrl::nn

@@ -1,0 +1,38 @@
+// Multi-head self-attention.
+
+#ifndef TIMEDRL_NN_ATTENTION_H_
+#define TIMEDRL_NN_ATTENTION_H_
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace timedrl::nn {
+
+/// Scaled dot-product multi-head self-attention over [B, T, D] sequences.
+///
+/// With `causal` set, position i attends only to positions <= i (the
+/// "Transformer decoder" variant in the paper's backbone ablation).
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int64_t d_model, int64_t num_heads, float dropout,
+                         Rng& rng, bool causal = false);
+
+  Tensor Forward(const Tensor& input);
+
+  int64_t num_heads() const { return num_heads_; }
+
+ private:
+  int64_t d_model_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  bool causal_;
+  Linear q_proj_;
+  Linear k_proj_;
+  Linear v_proj_;
+  Linear out_proj_;
+  Dropout attn_dropout_;
+};
+
+}  // namespace timedrl::nn
+
+#endif  // TIMEDRL_NN_ATTENTION_H_

@@ -1,0 +1,59 @@
+#include "nn/backbone.h"
+
+#include "nn/conv_encoders.h"
+#include "nn/lstm.h"
+#include "nn/transformer.h"
+#include "util/check.h"
+
+namespace timedrl::nn {
+
+std::unique_ptr<SequenceEncoder> MakeBackbone(const BackboneConfig& config,
+                                              Rng& rng) {
+  switch (config.kind) {
+    case BackboneKind::kTransformerEncoder:
+    case BackboneKind::kTransformerDecoder: {
+      TransformerConfig tc;
+      tc.d_model = config.d_model;
+      tc.num_heads = config.num_heads;
+      tc.ff_dim = config.ff_dim;
+      tc.num_layers = config.num_layers;
+      tc.dropout = config.dropout;
+      tc.causal = config.kind == BackboneKind::kTransformerDecoder;
+      return std::make_unique<TransformerEncoder>(tc, rng);
+    }
+    case BackboneKind::kResNet:
+      return std::make_unique<ResNetEncoder>(config.d_model,
+                                             config.num_layers, rng);
+    case BackboneKind::kTcn:
+      return std::make_unique<TcnEncoder>(config.d_model, config.num_layers,
+                                          /*kernel=*/3, config.dropout, rng);
+    case BackboneKind::kLstm:
+      return std::make_unique<LstmEncoder>(config.d_model,
+                                           /*bidirectional=*/false, rng);
+    case BackboneKind::kBiLstm:
+      return std::make_unique<LstmEncoder>(config.d_model,
+                                           /*bidirectional=*/true, rng);
+  }
+  TIMEDRL_CHECK(false) << "unknown backbone kind";
+  return nullptr;
+}
+
+std::string BackboneName(BackboneKind kind) {
+  switch (kind) {
+    case BackboneKind::kTransformerEncoder:
+      return "Transformer Encoder";
+    case BackboneKind::kTransformerDecoder:
+      return "Transformer Decoder";
+    case BackboneKind::kResNet:
+      return "ResNet";
+    case BackboneKind::kTcn:
+      return "TCN";
+    case BackboneKind::kLstm:
+      return "LSTM";
+    case BackboneKind::kBiLstm:
+      return "Bi-LSTM";
+  }
+  return "?";
+}
+
+}  // namespace timedrl::nn

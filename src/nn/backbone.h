@@ -1,0 +1,44 @@
+// Factory over the paper's backbone-ablation architectures (Table VIII).
+
+#ifndef TIMEDRL_NN_BACKBONE_H_
+#define TIMEDRL_NN_BACKBONE_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/sequence_encoder.h"
+#include "util/rng.h"
+
+namespace timedrl::nn {
+
+/// The encoder architectures compared in the paper's Table VIII.
+enum class BackboneKind {
+  kTransformerEncoder,  // bidirectional self-attention (TimeDRL default)
+  kTransformerDecoder,  // masked/causal self-attention
+  kResNet,
+  kTcn,
+  kLstm,
+  kBiLstm,
+};
+
+/// Hyperparameters shared by all backbones.
+struct BackboneConfig {
+  BackboneKind kind = BackboneKind::kTransformerEncoder;
+  int64_t d_model = 64;
+  int64_t num_layers = 2;
+  /// Attention-only knobs (ignored by conv/recurrent backbones).
+  int64_t num_heads = 4;
+  int64_t ff_dim = 128;
+  float dropout = 0.1f;
+};
+
+/// Builds the requested shape-preserving [B, T, D] -> [B, T, D] encoder.
+std::unique_ptr<SequenceEncoder> MakeBackbone(const BackboneConfig& config,
+                                              Rng& rng);
+
+/// Display name matching the paper's Table VIII rows.
+std::string BackboneName(BackboneKind kind);
+
+}  // namespace timedrl::nn
+
+#endif  // TIMEDRL_NN_BACKBONE_H_

@@ -1,0 +1,122 @@
+#include "nn/conv_encoders.h"
+
+#include <string>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace timedrl::nn {
+
+// ---- Conv1dLayer -------------------------------------------------------------
+
+Conv1dLayer::Conv1dLayer(int64_t in_channels, int64_t out_channels,
+                         int64_t kernel, Rng& rng, int64_t stride,
+                         int64_t padding, int64_t dilation, bool bias)
+    : out_channels_(out_channels),
+      stride_(stride),
+      padding_(padding),
+      dilation_(dilation) {
+  const int64_t fan_in = in_channels * kernel;
+  weight_ = RegisterParameter(
+      "weight",
+      KaimingUniform({out_channels, in_channels, kernel}, fan_in, rng));
+  if (bias) {
+    bias_ = RegisterParameter("bias",
+                              KaimingUniform({out_channels}, fan_in, rng));
+  }
+}
+
+Tensor Conv1dLayer::Forward(const Tensor& input) {
+  return Conv1d(input, weight_, bias_, stride_, padding_, dilation_);
+}
+
+// ---- TcnBlock ----------------------------------------------------------------
+
+TcnBlock::TcnBlock(int64_t in_channels, int64_t out_channels, int64_t kernel,
+                   int64_t dilation, float dropout, Rng& rng)
+    : kernel_(kernel),
+      dilation_(dilation),
+      // Symmetric padding of (K-1)*d is applied by Conv1d; CausalConv() then
+      // trims the future-looking tail so the block is strictly causal.
+      conv1_(in_channels, out_channels, kernel, rng, /*stride=*/1,
+             /*padding=*/(kernel - 1) * dilation, dilation),
+      conv2_(out_channels, out_channels, kernel, rng, /*stride=*/1,
+             /*padding=*/(kernel - 1) * dilation, dilation),
+      dropout1_(dropout, rng),
+      dropout2_(dropout, rng) {
+  if (in_channels != out_channels) {
+    residual_proj_ = std::make_unique<Conv1dLayer>(in_channels, out_channels,
+                                                   /*kernel=*/1, rng);
+    RegisterModule("residual_proj", residual_proj_.get());
+  }
+  RegisterModule("conv1", &conv1_);
+  RegisterModule("conv2", &conv2_);
+  RegisterModule("dropout1", &dropout1_);
+  RegisterModule("dropout2", &dropout2_);
+}
+
+Tensor TcnBlock::CausalConv(Conv1dLayer& conv, const Tensor& input) {
+  const int64_t length = input.size(2);
+  Tensor padded = conv.Forward(input);  // length + (K-1)*d
+  return Slice(padded, 2, 0, length);   // keep the causal prefix
+}
+
+Tensor TcnBlock::Forward(const Tensor& input) {
+  Tensor h = dropout1_.Forward(Relu(CausalConv(conv1_, input)));
+  h = dropout2_.Forward(Relu(CausalConv(conv2_, h)));
+  Tensor skip = residual_proj_ ? residual_proj_->Forward(input) : input;
+  return Relu(h + skip);
+}
+
+// ---- TcnEncoder ----------------------------------------------------------------
+
+TcnEncoder::TcnEncoder(int64_t d_model, int64_t num_blocks, int64_t kernel,
+                       float dropout, Rng& rng) {
+  int64_t dilation = 1;
+  for (int64_t i = 0; i < num_blocks; ++i) {
+    blocks_.push_back(std::make_unique<TcnBlock>(d_model, d_model, kernel,
+                                                 dilation, dropout, rng));
+    RegisterModule("block" + std::to_string(i), blocks_.back().get());
+    dilation *= 2;
+  }
+}
+
+Tensor TcnEncoder::Encode(const Tensor& tokens) {
+  Tensor h = Transpose(tokens, 1, 2);  // [B, D, T]
+  for (auto& block : blocks_) h = block->Forward(h);
+  return Transpose(h, 1, 2);
+}
+
+// ---- ResNet ----------------------------------------------------------------------
+
+ResNetBlock1d::ResNetBlock1d(int64_t channels, int64_t kernel, Rng& rng)
+    : conv1_(channels, channels, kernel, rng, /*stride=*/1,
+             /*padding=*/(kernel - 1) / 2),
+      conv2_(channels, channels, kernel, rng, /*stride=*/1,
+             /*padding=*/(kernel - 1) / 2) {
+  TIMEDRL_CHECK_EQ(kernel % 2, 1) << "ResNetBlock1d needs an odd kernel";
+  RegisterModule("conv1", &conv1_);
+  RegisterModule("conv2", &conv2_);
+}
+
+Tensor ResNetBlock1d::Forward(const Tensor& input) {
+  Tensor h = conv2_.Forward(Relu(conv1_.Forward(input)));
+  return Relu(h + input);
+}
+
+ResNetEncoder::ResNetEncoder(int64_t d_model, int64_t num_blocks, Rng& rng) {
+  for (int64_t i = 0; i < num_blocks; ++i) {
+    blocks_.push_back(
+        std::make_unique<ResNetBlock1d>(d_model, /*kernel=*/3, rng));
+    RegisterModule("block" + std::to_string(i), blocks_.back().get());
+  }
+}
+
+Tensor ResNetEncoder::Encode(const Tensor& tokens) {
+  Tensor h = Transpose(tokens, 1, 2);
+  for (auto& block : blocks_) h = block->Forward(h);
+  return Transpose(h, 1, 2);
+}
+
+}  // namespace timedrl::nn

@@ -1,0 +1,98 @@
+// Convolutional sequence backbones: a wrapped Conv1d layer, dilated-causal
+// TCN blocks, and a norm-free 1-D ResNet.
+
+#ifndef TIMEDRL_NN_CONV_ENCODERS_H_
+#define TIMEDRL_NN_CONV_ENCODERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/sequence_encoder.h"
+
+namespace timedrl::nn {
+
+/// Conv1d with owned weights. Input [B, C_in, L] -> [B, C_out, L_out].
+class Conv1dLayer : public Module {
+ public:
+  Conv1dLayer(int64_t in_channels, int64_t out_channels, int64_t kernel,
+              Rng& rng, int64_t stride = 1, int64_t padding = 0,
+              int64_t dilation = 1, bool bias = true);
+
+  Tensor Forward(const Tensor& input);
+
+  int64_t out_channels() const { return out_channels_; }
+
+ private:
+  int64_t out_channels_;
+  int64_t stride_;
+  int64_t padding_;
+  int64_t dilation_;
+  Tensor weight_;
+  Tensor bias_;
+};
+
+/// Temporal convolutional network block (Bai et al. 2018): two dilated causal
+/// convolutions with ReLU + dropout and a residual connection.
+/// Shape-preserving on [B, C, L].
+class TcnBlock : public Module {
+ public:
+  TcnBlock(int64_t in_channels, int64_t out_channels, int64_t kernel,
+           int64_t dilation, float dropout, Rng& rng);
+
+  Tensor Forward(const Tensor& input);
+
+ private:
+  /// Applies `conv` with left-only (causal) padding.
+  Tensor CausalConv(Conv1dLayer& conv, const Tensor& input);
+
+  int64_t kernel_;
+  int64_t dilation_;
+  Conv1dLayer conv1_;
+  Conv1dLayer conv2_;
+  std::unique_ptr<Conv1dLayer> residual_proj_;  // 1x1 when channels change
+  Dropout dropout1_;
+  Dropout dropout2_;
+};
+
+/// Shape-preserving TCN backbone: [B, T, D] -> [B, T, D], with exponentially
+/// increasing dilation per block.
+class TcnEncoder : public SequenceEncoder {
+ public:
+  TcnEncoder(int64_t d_model, int64_t num_blocks, int64_t kernel,
+             float dropout, Rng& rng);
+
+  Tensor Encode(const Tensor& tokens) override;
+
+ private:
+  std::vector<std::unique_ptr<TcnBlock>> blocks_;
+};
+
+/// Basic 1-D residual block: conv-ReLU-conv plus identity skip, then ReLU.
+/// Norm-free (suits the tiny widths used here). Shape-preserving on [B, C, L].
+class ResNetBlock1d : public Module {
+ public:
+  ResNetBlock1d(int64_t channels, int64_t kernel, Rng& rng);
+
+  Tensor Forward(const Tensor& input);
+
+ private:
+  Conv1dLayer conv1_;
+  Conv1dLayer conv2_;
+};
+
+/// Shape-preserving 1-D ResNet backbone: [B, T, D] -> [B, T, D].
+class ResNetEncoder : public SequenceEncoder {
+ public:
+  ResNetEncoder(int64_t d_model, int64_t num_blocks, Rng& rng);
+
+  Tensor Encode(const Tensor& tokens) override;
+
+ private:
+  std::vector<std::unique_ptr<ResNetBlock1d>> blocks_;
+};
+
+}  // namespace timedrl::nn
+
+#endif  // TIMEDRL_NN_CONV_ENCODERS_H_

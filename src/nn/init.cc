@@ -1,0 +1,22 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace timedrl::nn {
+
+Tensor KaimingUniform(const Shape& shape, int64_t fan_in, Rng& rng) {
+  TIMEDRL_CHECK_GT(fan_in, 0);
+  const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  return Tensor::Rand(shape, rng, -bound, bound, /*requires_grad=*/true);
+}
+
+Tensor XavierUniform(const Shape& shape, int64_t fan_in, int64_t fan_out,
+                     Rng& rng) {
+  TIMEDRL_CHECK_GT(fan_in + fan_out, 0);
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Rand(shape, rng, -bound, bound, /*requires_grad=*/true);
+}
+
+}  // namespace timedrl::nn

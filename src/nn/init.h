@@ -1,0 +1,21 @@
+// Weight initialization schemes.
+
+#ifndef TIMEDRL_NN_INIT_H_
+#define TIMEDRL_NN_INIT_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace timedrl::nn {
+
+/// Kaiming/He uniform: U(-sqrt(1/fan_in), sqrt(1/fan_in)); the PyTorch
+/// default for Linear and Conv layers.
+Tensor KaimingUniform(const Shape& shape, int64_t fan_in, Rng& rng);
+
+/// Xavier/Glorot uniform: U(-sqrt(6/(fan_in+fan_out)), +...).
+Tensor XavierUniform(const Shape& shape, int64_t fan_in, int64_t fan_out,
+                     Rng& rng);
+
+}  // namespace timedrl::nn
+
+#endif  // TIMEDRL_NN_INIT_H_

@@ -1,0 +1,141 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "util/check.h"
+
+namespace timedrl::nn {
+
+// ---- Linear -----------------------------------------------------------------
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
+    : in_features_(in_features) {
+  weight_ = RegisterParameter(
+      "weight", KaimingUniform({in_features, out_features}, in_features, rng));
+  if (bias) {
+    bias_ = RegisterParameter(
+        "bias", KaimingUniform({out_features}, in_features, rng));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& input) {
+  TIMEDRL_CHECK_EQ(input.size(-1), in_features_)
+      << "Linear expects last dim " << in_features_ << ", got "
+      << ShapeToString(input.shape());
+  Tensor out;
+  if (input.dim() == 1) {
+    out = MatMul(Reshape(input, {1, in_features_}), weight_);
+    out = Reshape(out, {out.size(-1)});
+  } else {
+    out = MatMul(input, weight_);
+  }
+  if (bias_.defined()) out = out + bias_;
+  return out;
+}
+
+// ---- Dropout ----------------------------------------------------------------
+
+Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(rng.Fork()) {
+  TIMEDRL_CHECK(p >= 0.0f && p < 1.0f) << "dropout p=" << p;
+}
+
+Tensor Dropout::Forward(const Tensor& input) {
+  if (!training() || p_ == 0.0f) return input;
+  const float scale = 1.0f / (1.0f - p_);
+  std::vector<float> mask(input.numel());
+  for (float& m : mask) m = rng_.Bernoulli(p_) ? 0.0f : scale;
+  // Mask is a constant; multiplication routes gradients correctly.
+  return input * Tensor::FromVector(input.shape(), std::move(mask));
+}
+
+// ---- LayerNorm ---------------------------------------------------------------
+
+LayerNorm::LayerNorm(int64_t features, float eps)
+    : features_(features), eps_(eps) {
+  gamma_ = RegisterParameter("gamma",
+                             Tensor::Ones({features}, /*requires_grad=*/true));
+  beta_ = RegisterParameter("beta",
+                            Tensor::Zeros({features}, /*requires_grad=*/true));
+}
+
+Tensor LayerNorm::Forward(const Tensor& input) {
+  TIMEDRL_CHECK_EQ(input.size(-1), features_);
+  Tensor mu = Mean(input, {-1}, /*keepdim=*/true);
+  Tensor centered = input - mu;
+  Tensor var = Mean(centered * centered, {-1}, /*keepdim=*/true);
+  Tensor normalized = centered / Sqrt(var + eps_);
+  return normalized * gamma_ + beta_;
+}
+
+// ---- BatchNorm1d ----------------------------------------------------------------
+
+BatchNorm1d::BatchNorm1d(int64_t features, float eps, float momentum)
+    : features_(features), eps_(eps), momentum_(momentum) {
+  gamma_ = RegisterParameter("gamma",
+                             Tensor::Ones({features}, /*requires_grad=*/true));
+  beta_ = RegisterParameter("beta",
+                            Tensor::Zeros({features}, /*requires_grad=*/true));
+  running_mean_ = Tensor::Zeros({features});
+  running_var_ = Tensor::Ones({features});
+}
+
+Tensor BatchNorm1d::Forward(const Tensor& input) {
+  TIMEDRL_CHECK_EQ(input.dim(), 2) << "BatchNorm1d expects [N, F]";
+  TIMEDRL_CHECK_EQ(input.size(1), features_);
+  if (training()) {
+    const int64_t n = input.size(0);
+    TIMEDRL_CHECK_GT(n, 1) << "BatchNorm1d training needs batch size > 1";
+    Tensor mu = Mean(input, {0}, /*keepdim=*/true);
+    Tensor centered = input - mu;
+    Tensor var = Mean(centered * centered, {0}, /*keepdim=*/true);
+    Tensor normalized = centered / Sqrt(var + eps_);
+
+    // Update running statistics (EMA over detached batch stats, with the
+    // unbiased variance correction PyTorch applies).
+    {
+      NoGradGuard guard;
+      const float unbias = static_cast<float>(n) / static_cast<float>(n - 1);
+      for (int64_t f = 0; f < features_; ++f) {
+        float bm = mu.data()[f];
+        float bv = var.data()[f] * unbias;
+        if (!stats_initialized_) {
+          running_mean_.data()[f] = bm;
+          running_var_.data()[f] = bv;
+        } else {
+          running_mean_.data()[f] =
+              (1.0f - momentum_) * running_mean_.data()[f] + momentum_ * bm;
+          running_var_.data()[f] =
+              (1.0f - momentum_) * running_var_.data()[f] + momentum_ * bv;
+        }
+      }
+      stats_initialized_ = true;
+    }
+    return normalized * gamma_ + beta_;
+  }
+  Tensor normalized =
+      (input - running_mean_) / Sqrt(running_var_ + eps_);
+  return normalized * gamma_ + beta_;
+}
+
+// ---- LearnablePositionalEncoding ---------------------------------------------------
+
+LearnablePositionalEncoding::LearnablePositionalEncoding(int64_t max_len,
+                                                         int64_t dim, Rng& rng)
+    : max_len_(max_len) {
+  // Small-magnitude init, as in PatchTST's learnable positional embedding.
+  table_ = RegisterParameter(
+      "table", Tensor::Randn({max_len, dim}, rng, 0.0f, 0.02f,
+                             /*requires_grad=*/true));
+}
+
+Tensor LearnablePositionalEncoding::Forward(const Tensor& input) {
+  TIMEDRL_CHECK_EQ(input.dim(), 3) << "expects [B, T, D]";
+  const int64_t seq_len = input.size(1);
+  TIMEDRL_CHECK_LE(seq_len, max_len_)
+      << "sequence length " << seq_len << " exceeds max_len " << max_len_;
+  Tensor pe = Slice(table_, 0, 0, seq_len);  // [T, D] broadcasts over batch
+  return input + pe;
+}
+
+}  // namespace timedrl::nn

@@ -1,0 +1,101 @@
+// Basic layers: Linear, Dropout, LayerNorm, BatchNorm1d, and a learnable
+// positional encoding.
+
+#ifndef TIMEDRL_NN_LAYERS_H_
+#define TIMEDRL_NN_LAYERS_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace timedrl::nn {
+
+/// Affine map y = x W + b applied to the last dimension.
+/// x: [..., in_features] -> y: [..., out_features].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  Tensor Forward(const Tensor& input);
+
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  int64_t in_features_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] or undefined
+};
+
+/// Inverted dropout: active in training mode only. Keeps E[output] = input by
+/// scaling surviving activations by 1/(1-p).
+///
+/// TimeDRL relies on this layer's randomness to form its two encoder views,
+/// so Forward() with the same input yields different masks on each call.
+class Dropout : public Module {
+ public:
+  /// `p` is the drop probability; `rng` seeds this layer's private stream.
+  Dropout(float p, Rng& rng);
+
+  Tensor Forward(const Tensor& input);
+
+  float p() const { return p_; }
+
+ private:
+  float p_;
+  Rng rng_;
+};
+
+/// Layer normalization over the last dimension with learnable gain/bias.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t features, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& input);
+
+ private:
+  int64_t features_;
+  float eps_;
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+/// Batch normalization for [N, F] inputs with running statistics.
+class BatchNorm1d : public Module {
+ public:
+  explicit BatchNorm1d(int64_t features, float eps = 1e-5f,
+                       float momentum = 0.1f);
+
+  /// Training mode: normalizes by batch stats and updates running stats.
+  /// Eval mode: normalizes by running stats.
+  Tensor Forward(const Tensor& input);
+
+ private:
+  int64_t features_;
+  float eps_;
+  float momentum_;
+  Tensor gamma_;
+  Tensor beta_;
+  Tensor running_mean_;  // buffers, not parameters
+  Tensor running_var_;
+  bool stats_initialized_ = false;
+};
+
+/// Learnable additive positional encoding for [B, T, D] token sequences.
+class LearnablePositionalEncoding : public Module {
+ public:
+  LearnablePositionalEncoding(int64_t max_len, int64_t dim, Rng& rng);
+
+  /// Adds PE[0:T] to the input ([B, T, D], T <= max_len).
+  Tensor Forward(const Tensor& input);
+
+ private:
+  int64_t max_len_;
+  Tensor table_;  // [max_len, dim]
+};
+
+}  // namespace timedrl::nn
+
+#endif  // TIMEDRL_NN_LAYERS_H_

@@ -1,0 +1,66 @@
+#include "nn/lstm.h"
+
+#include <vector>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace timedrl::nn {
+
+Lstm::Lstm(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  w_ih_ = RegisterParameter(
+      "w_ih", KaimingUniform({input_size, 4 * hidden_size}, hidden_size, rng));
+  w_hh_ = RegisterParameter(
+      "w_hh",
+      KaimingUniform({hidden_size, 4 * hidden_size}, hidden_size, rng));
+  bias_ = RegisterParameter(
+      "bias", KaimingUniform({4 * hidden_size}, hidden_size, rng));
+}
+
+Tensor Lstm::Forward(const Tensor& input, bool reverse) {
+  TIMEDRL_CHECK_EQ(input.dim(), 3) << "LSTM expects [B, T, F]";
+  TIMEDRL_CHECK_EQ(input.size(2), input_size_);
+  const int64_t batch = input.size(0);
+  const int64_t seq_len = input.size(1);
+  const int64_t h = hidden_size_;
+
+  Tensor hidden = Tensor::Zeros({batch, h});
+  Tensor cell = Tensor::Zeros({batch, h});
+  std::vector<Tensor> outputs(seq_len);
+  for (int64_t step = 0; step < seq_len; ++step) {
+    const int64_t t = reverse ? seq_len - 1 - step : step;
+    Tensor x_t = Reshape(Slice(input, 1, t, 1), {batch, input_size_});
+    Tensor gates = MatMul(x_t, w_ih_) + MatMul(hidden, w_hh_) + bias_;
+    Tensor i_gate = Sigmoid(Slice(gates, 1, 0, h));
+    Tensor f_gate = Sigmoid(Slice(gates, 1, h, h));
+    Tensor g_gate = Tanh(Slice(gates, 1, 2 * h, h));
+    Tensor o_gate = Sigmoid(Slice(gates, 1, 3 * h, h));
+    cell = f_gate * cell + i_gate * g_gate;
+    hidden = o_gate * Tanh(cell);
+    outputs[t] = hidden;
+  }
+  return Stack(outputs, /*dim=*/1);  // [B, T, H]
+}
+
+LstmEncoder::LstmEncoder(int64_t d_model, bool bidirectional, Rng& rng)
+    : bidirectional_(bidirectional),
+      forward_(d_model, bidirectional ? d_model / 2 : d_model, rng) {
+  if (bidirectional) {
+    TIMEDRL_CHECK_EQ(d_model % 2, 0)
+        << "bidirectional LSTM needs an even d_model";
+    backward_ = std::make_unique<Lstm>(d_model, d_model / 2, rng);
+    RegisterModule("backward", backward_.get());
+  }
+  RegisterModule("forward", &forward_);
+}
+
+Tensor LstmEncoder::Encode(const Tensor& tokens) {
+  Tensor fwd = forward_.Forward(tokens, /*reverse=*/false);
+  if (!bidirectional_) return fwd;
+  Tensor bwd = backward_->Forward(tokens, /*reverse=*/true);
+  return Concat({fwd, bwd}, /*dim=*/2);
+}
+
+}  // namespace timedrl::nn

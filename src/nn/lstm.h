@@ -1,0 +1,53 @@
+// LSTM recurrent layers (uni- and bi-directional).
+
+#ifndef TIMEDRL_NN_LSTM_H_
+#define TIMEDRL_NN_LSTM_H_
+
+#include "nn/module.h"
+#include "nn/sequence_encoder.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace timedrl::nn {
+
+/// Single-direction LSTM cell unrolled over time.
+/// Input [B, T, F] -> hidden sequence [B, T, H].
+class Lstm : public Module {
+ public:
+  Lstm(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+  /// Runs the recurrence; `reverse` processes the sequence right-to-left
+  /// (output remains in input time order).
+  Tensor Forward(const Tensor& input, bool reverse = false);
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  Tensor w_ih_;  // [F, 4H] gate order: i, f, g, o
+  Tensor w_hh_;  // [H, 4H]
+  Tensor bias_;  // [4H]
+};
+
+/// Shape-preserving LSTM backbone: [B, T, D] -> [B, T, D].
+/// Unidirectional uses hidden size D; bidirectional uses D/2 per direction
+/// and concatenates, matching the output width.
+class LstmEncoder : public SequenceEncoder {
+ public:
+  LstmEncoder(int64_t d_model, bool bidirectional, Rng& rng);
+
+  Tensor Encode(const Tensor& tokens) override;
+
+  bool bidirectional() const { return bidirectional_; }
+
+ private:
+  bool bidirectional_;
+  Lstm forward_;
+  // Only constructed for the bidirectional variant.
+  std::unique_ptr<Lstm> backward_;
+};
+
+}  // namespace timedrl::nn
+
+#endif  // TIMEDRL_NN_LSTM_H_

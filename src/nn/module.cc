@@ -1,0 +1,77 @@
+#include "nn/module.h"
+
+#include "util/check.h"
+
+namespace timedrl::nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> params;
+  for (const auto& [name, tensor] : NamedParameters()) params.push_back(tensor);
+  return params;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  CollectParameters("", &out);
+  return out;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const Tensor& parameter : Parameters()) total += parameter.numel();
+  return total;
+}
+
+void Module::ZeroGrad() {
+  for (Tensor parameter : Parameters()) parameter.ZeroGrad();
+}
+
+void Module::CopyParametersFrom(const Module& source) {
+  std::vector<std::pair<std::string, Tensor>> mine = NamedParameters();
+  std::vector<std::pair<std::string, Tensor>> theirs =
+      source.NamedParameters();
+  TIMEDRL_CHECK_EQ(mine.size(), theirs.size())
+      << "CopyParametersFrom: parameter count mismatch";
+  for (size_t i = 0; i < mine.size(); ++i) {
+    TIMEDRL_CHECK(mine[i].first == theirs[i].first)
+        << "parameter name mismatch: " << mine[i].first << " vs "
+        << theirs[i].first;
+    TIMEDRL_CHECK(mine[i].second.shape() == theirs[i].second.shape())
+        << "parameter shape mismatch for " << mine[i].first;
+    mine[i].second.data() = theirs[i].second.data();
+  }
+}
+
+Tensor Module::RegisterParameter(std::string name, Tensor parameter) {
+  TIMEDRL_CHECK(parameter.defined());
+  TIMEDRL_CHECK(parameter.requires_grad())
+      << "parameter '" << name << "' must require grad";
+  parameters_.emplace_back(std::move(name), parameter);
+  return parameter;
+}
+
+void Module::RegisterModule(std::string name, Module* child) {
+  TIMEDRL_CHECK(child != nullptr);
+  children_.emplace_back(std::move(name), child);
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  OnModeChange();
+  for (auto& [name, child] : children_) {
+    child->SetTraining(training);
+  }
+}
+
+void Module::CollectParameters(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Tensor>>* out) const {
+  for (const auto& [name, tensor] : parameters_) {
+    out->emplace_back(prefix.empty() ? name : prefix + "." + name, tensor);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectParameters(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+}  // namespace timedrl::nn

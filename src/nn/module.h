@@ -1,0 +1,75 @@
+// Base class for neural network modules: parameter registration, recursive
+// parameter collection, and train/eval mode propagation.
+
+#ifndef TIMEDRL_NN_MODULE_H_
+#define TIMEDRL_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace timedrl::nn {
+
+/// Base class for all layers and models.
+///
+/// Subclasses register their trainable tensors with RegisterParameter() and
+/// their child layers with RegisterModule(); Parameters() then walks the tree.
+/// Modules are neither copyable nor movable: children are registered by
+/// pointer-to-member, which moving would invalidate.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters in this module and its children.
+  std::vector<Tensor> Parameters() const;
+
+  /// (dotted name, parameter) pairs, for inspection and tests.
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+
+  /// Total number of trainable scalars.
+  int64_t NumParameters() const;
+
+  /// Switches this module and all children to training mode.
+  void Train() { SetTraining(true); }
+  /// Switches this module and all children to inference mode.
+  void Eval() { SetTraining(false); }
+  bool training() const { return training_; }
+
+  /// Clears gradients of every parameter.
+  void ZeroGrad();
+
+  /// Copies parameter values from a structurally identical module (same
+  /// architecture and registration order). Used to fork pre-trained weights
+  /// into a fresh model before fine-tuning.
+  void CopyParametersFrom(const Module& source);
+
+ protected:
+  /// Registers `parameter` (must require grad) under `name`; returns it.
+  Tensor RegisterParameter(std::string name, Tensor parameter);
+
+  /// Registers a child module. `child` must outlive this module (it is
+  /// normally a data member of the subclass).
+  void RegisterModule(std::string name, Module* child);
+
+  /// Hook for modules that need to react to mode changes.
+  virtual void OnModeChange() {}
+
+ private:
+  void SetTraining(bool training);
+  void CollectParameters(
+      const std::string& prefix,
+      std::vector<std::pair<std::string, Tensor>>* out) const;
+
+  bool training_ = true;
+  std::vector<std::pair<std::string, Tensor>> parameters_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace timedrl::nn
+
+#endif  // TIMEDRL_NN_MODULE_H_

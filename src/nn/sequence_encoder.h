@@ -1,0 +1,23 @@
+// Interface for token-sequence backbones used by TimeDRL and baselines.
+
+#ifndef TIMEDRL_NN_SEQUENCE_ENCODER_H_
+#define TIMEDRL_NN_SEQUENCE_ENCODER_H_
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace timedrl::nn {
+
+/// A shape-preserving sequence encoder: [B, T, D] -> [B, T, D].
+///
+/// All of the paper's backbone-ablation architectures (Transformer encoder /
+/// decoder, ResNet, TCN, LSTM, Bi-LSTM) implement this interface so the
+/// TimeDRL model can swap them freely.
+class SequenceEncoder : public Module {
+ public:
+  virtual Tensor Encode(const Tensor& tokens) = 0;
+};
+
+}  // namespace timedrl::nn
+
+#endif  // TIMEDRL_NN_SEQUENCE_ENCODER_H_

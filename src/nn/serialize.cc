@@ -1,0 +1,110 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace timedrl::nn {
+namespace {
+
+constexpr char kMagic[4] = {'T', 'D', 'R', 'L'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WriteScalar(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadScalar(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    TIMEDRL_LOG_ERROR << "cannot open " << path << " for writing";
+    return false;
+  }
+  out.write(kMagic, sizeof(kMagic));
+  WriteScalar(out, kVersion);
+
+  const auto named = module.NamedParameters();
+  WriteScalar(out, static_cast<uint64_t>(named.size()));
+  for (const auto& [name, tensor] : named) {
+    WriteScalar(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const Shape& shape = tensor.shape();
+    WriteScalar(out, static_cast<uint32_t>(shape.size()));
+    for (int64_t dim : shape) WriteScalar(out, dim);
+    const std::vector<float>& data = tensor.data();
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadParameters(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    TIMEDRL_LOG_ERROR << "cannot open " << path;
+    return false;
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    TIMEDRL_LOG_ERROR << path << " is not a TimeDRL checkpoint";
+    return false;
+  }
+  uint32_t version = 0;
+  if (!ReadScalar(in, &version) || version != kVersion) {
+    TIMEDRL_LOG_ERROR << "unsupported checkpoint version " << version;
+    return false;
+  }
+
+  auto named = module->NamedParameters();
+  uint64_t count = 0;
+  if (!ReadScalar(in, &count) || count != named.size()) {
+    TIMEDRL_LOG_ERROR << "checkpoint has " << count << " parameters, module "
+                      << "has " << named.size();
+    return false;
+  }
+  for (auto& [name, tensor] : named) {
+    uint32_t name_length = 0;
+    if (!ReadScalar(in, &name_length)) return false;
+    std::string stored_name(name_length, '\0');
+    in.read(stored_name.data(), name_length);
+    if (!in || stored_name != name) {
+      TIMEDRL_LOG_ERROR << "parameter name mismatch: checkpoint '"
+                        << stored_name << "' vs module '" << name << "'";
+      return false;
+    }
+    uint32_t rank = 0;
+    if (!ReadScalar(in, &rank)) return false;
+    Shape shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      if (!ReadScalar(in, &shape[d])) return false;
+    }
+    if (shape != tensor.shape()) {
+      TIMEDRL_LOG_ERROR << "shape mismatch for " << name << ": checkpoint "
+                        << ShapeToString(shape) << " vs module "
+                        << ShapeToString(tensor.shape());
+      return false;
+    }
+    std::vector<float>& data = tensor.data();
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!in) {
+      TIMEDRL_LOG_ERROR << "truncated checkpoint at " << name;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace timedrl::nn

@@ -1,0 +1,30 @@
+// Checkpointing: save/load module parameters to a simple binary format.
+//
+// Format (little-endian):
+//   magic "TDRL" | uint32 version | uint64 count |
+//   repeated: uint32 name_len | name bytes | uint32 rank | int64 dims[rank] |
+//             float data[numel]
+//
+// Loading is strict: names, order, and shapes must match the module exactly,
+// which catches architecture drift between save and load.
+
+#ifndef TIMEDRL_NN_SERIALIZE_H_
+#define TIMEDRL_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace timedrl::nn {
+
+/// Writes all named parameters of `module` to `path`. Returns false on I/O
+/// failure.
+bool SaveParameters(const Module& module, const std::string& path);
+
+/// Reads parameters written by SaveParameters into `module`. Returns false
+/// on I/O failure or any structural mismatch (count, name, shape).
+bool LoadParameters(Module* module, const std::string& path);
+
+}  // namespace timedrl::nn
+
+#endif  // TIMEDRL_NN_SERIALIZE_H_

@@ -1,0 +1,54 @@
+#include "nn/transformer.h"
+
+#include <string>
+
+#include "tensor/ops.h"
+
+namespace timedrl::nn {
+
+TransformerBlock::TransformerBlock(int64_t d_model, int64_t num_heads,
+                                   int64_t ff_dim, float dropout, Rng& rng,
+                                   bool causal)
+    : attention_(d_model, num_heads, dropout, rng, causal),
+      ff1_(d_model, ff_dim, rng),
+      ff2_(ff_dim, d_model, rng),
+      norm1_(d_model),
+      norm2_(d_model),
+      dropout1_(dropout, rng),
+      dropout2_(dropout, rng),
+      ff_dropout_(dropout, rng) {
+  RegisterModule("attention", &attention_);
+  RegisterModule("ff1", &ff1_);
+  RegisterModule("ff2", &ff2_);
+  RegisterModule("norm1", &norm1_);
+  RegisterModule("norm2", &norm2_);
+  RegisterModule("dropout1", &dropout1_);
+  RegisterModule("dropout2", &dropout2_);
+  RegisterModule("ff_dropout", &ff_dropout_);
+}
+
+Tensor TransformerBlock::Forward(const Tensor& input) {
+  Tensor attended =
+      norm1_.Forward(input + dropout1_.Forward(attention_.Forward(input)));
+  Tensor ff = ff2_.Forward(ff_dropout_.Forward(Gelu(ff1_.Forward(attended))));
+  return norm2_.Forward(attended + dropout2_.Forward(ff));
+}
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig& config,
+                                       Rng& rng)
+    : config_(config) {
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    blocks_.push_back(std::make_unique<TransformerBlock>(
+        config.d_model, config.num_heads, config.ff_dim, config.dropout, rng,
+        config.causal));
+    RegisterModule("block" + std::to_string(i), blocks_.back().get());
+  }
+}
+
+Tensor TransformerEncoder::Encode(const Tensor& tokens) {
+  Tensor hidden = tokens;
+  for (auto& block : blocks_) hidden = block->Forward(hidden);
+  return hidden;
+}
+
+}  // namespace timedrl::nn

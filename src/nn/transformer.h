@@ -1,0 +1,64 @@
+// Transformer encoder stack (optionally causal, i.e. "decoder"-style).
+
+#ifndef TIMEDRL_NN_TRANSFORMER_H_
+#define TIMEDRL_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/sequence_encoder.h"
+
+namespace timedrl::nn {
+
+/// One post-norm Transformer block: self-attention and a GELU feed-forward
+/// network, each wrapped in residual + LayerNorm (as in torch.nn.
+/// TransformerEncoderLayer with activation="gelu").
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(int64_t d_model, int64_t num_heads, int64_t ff_dim,
+                   float dropout, Rng& rng, bool causal = false);
+
+  Tensor Forward(const Tensor& input);
+
+ private:
+  MultiHeadSelfAttention attention_;
+  Linear ff1_;
+  Linear ff2_;
+  LayerNorm norm1_;
+  LayerNorm norm2_;
+  Dropout dropout1_;
+  Dropout dropout2_;
+  Dropout ff_dropout_;
+};
+
+/// Configuration for TransformerEncoder.
+struct TransformerConfig {
+  int64_t d_model = 64;
+  int64_t num_heads = 4;
+  int64_t ff_dim = 128;
+  int64_t num_layers = 2;
+  float dropout = 0.1f;
+  /// When true every block uses masked (causal) self-attention; this is the
+  /// "Transformer Decoder" variant of the paper's backbone ablation.
+  bool causal = false;
+};
+
+/// A stack of TransformerBlocks; shape-preserving [B, T, D] -> [B, T, D].
+class TransformerEncoder : public SequenceEncoder {
+ public:
+  TransformerEncoder(const TransformerConfig& config, Rng& rng);
+
+  Tensor Encode(const Tensor& tokens) override;
+
+  const TransformerConfig& config() const { return config_; }
+
+ private:
+  TransformerConfig config_;
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+};
+
+}  // namespace timedrl::nn
+
+#endif  // TIMEDRL_NN_TRANSFORMER_H_

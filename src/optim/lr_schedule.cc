@@ -1,0 +1,45 @@
+#include "optim/lr_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace timedrl::optim {
+
+LrSchedule::LrSchedule(Optimizer* optimizer)
+    : optimizer_(optimizer),
+      base_learning_rate_(optimizer->learning_rate()) {
+  TIMEDRL_CHECK(optimizer != nullptr);
+}
+
+void LrSchedule::Step() {
+  ++step_count_;
+  optimizer_->set_learning_rate(LearningRateAt(step_count_));
+}
+
+StepDecaySchedule::StepDecaySchedule(Optimizer* optimizer, int64_t step_size,
+                                     float gamma)
+    : LrSchedule(optimizer), step_size_(step_size), gamma_(gamma) {
+  TIMEDRL_CHECK_GT(step_size, 0);
+}
+
+float StepDecaySchedule::LearningRateAt(int64_t step) {
+  return base_learning_rate_ *
+         std::pow(gamma_, static_cast<float>(step / step_size_));
+}
+
+CosineSchedule::CosineSchedule(Optimizer* optimizer, int64_t total_steps,
+                               float min_lr)
+    : LrSchedule(optimizer), total_steps_(total_steps), min_lr_(min_lr) {
+  TIMEDRL_CHECK_GT(total_steps, 0);
+}
+
+float CosineSchedule::LearningRateAt(int64_t step) {
+  const float progress = std::min(
+      1.0f, static_cast<float>(step) / static_cast<float>(total_steps_));
+  const float cosine = 0.5f * (1.0f + std::cos(progress * 3.14159265358979f));
+  return min_lr_ + (base_learning_rate_ - min_lr_) * cosine;
+}
+
+}  // namespace timedrl::optim

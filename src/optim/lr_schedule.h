@@ -1,0 +1,63 @@
+// Learning-rate schedules.
+
+#ifndef TIMEDRL_OPTIM_LR_SCHEDULE_H_
+#define TIMEDRL_OPTIM_LR_SCHEDULE_H_
+
+#include <cstdint>
+
+#include "optim/optimizer.h"
+
+namespace timedrl::optim {
+
+/// Base schedule: call Step() once per epoch (or per iteration, by choice)
+/// to update the attached optimizer's learning rate.
+class LrSchedule {
+ public:
+  explicit LrSchedule(Optimizer* optimizer);
+  virtual ~LrSchedule() = default;
+
+  void Step();
+  int64_t step_count() const { return step_count_; }
+
+ protected:
+  /// Learning rate to apply at `step` (0-based, incremented before use).
+  virtual float LearningRateAt(int64_t step) = 0;
+
+  Optimizer* optimizer_;
+  float base_learning_rate_;
+
+ private:
+  int64_t step_count_ = 0;
+};
+
+/// Multiplies the learning rate by `gamma` every `step_size` steps.
+class StepDecaySchedule : public LrSchedule {
+ public:
+  StepDecaySchedule(Optimizer* optimizer, int64_t step_size, float gamma);
+
+ protected:
+  float LearningRateAt(int64_t step) override;
+
+ private:
+  int64_t step_size_;
+  float gamma_;
+};
+
+/// Cosine annealing from the base learning rate to `min_lr` over
+/// `total_steps` steps.
+class CosineSchedule : public LrSchedule {
+ public:
+  CosineSchedule(Optimizer* optimizer, int64_t total_steps,
+                 float min_lr = 0.0f);
+
+ protected:
+  float LearningRateAt(int64_t step) override;
+
+ private:
+  int64_t total_steps_;
+  float min_lr_;
+};
+
+}  // namespace timedrl::optim
+
+#endif  // TIMEDRL_OPTIM_LR_SCHEDULE_H_

@@ -1,0 +1,115 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace timedrl::optim {
+
+Optimizer::Optimizer(std::vector<Tensor> parameters, float learning_rate)
+    : parameters_(std::move(parameters)), learning_rate_(learning_rate) {
+  for (const Tensor& parameter : parameters_) {
+    TIMEDRL_CHECK(parameter.defined() && parameter.requires_grad());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& parameter : parameters_) parameter.ZeroGrad();
+}
+
+// ---- SGD ---------------------------------------------------------------------
+
+Sgd::Sgd(std::vector<Tensor> parameters, float learning_rate, float momentum)
+    : Optimizer(std::move(parameters), learning_rate), momentum_(momentum) {
+  velocity_.resize(parameters_.size());
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    velocity_[i].assign(parameters_[i].numel(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Tensor& parameter = parameters_[i];
+    if (!parameter.has_grad()) continue;
+    const std::vector<float>& grad = parameter.grad();
+    std::vector<float>& value = parameter.data();
+    std::vector<float>& velocity = velocity_[i];
+    for (size_t j = 0; j < value.size(); ++j) {
+      velocity[j] = momentum_ * velocity[j] + grad[j];
+      value[j] -= learning_rate_ * velocity[j];
+    }
+  }
+}
+
+// ---- Adam / AdamW ---------------------------------------------------------------
+
+Adam::Adam(std::vector<Tensor> parameters, float learning_rate, float beta1,
+           float beta2, float eps, float coupled_weight_decay)
+    : Optimizer(std::move(parameters), learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(coupled_weight_decay) {
+  m_.resize(parameters_.size());
+  v_.resize(parameters_.size());
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    m_[i].assign(parameters_[i].numel(), 0.0f);
+    v_[i].assign(parameters_[i].numel(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Tensor& parameter = parameters_[i];
+    if (!parameter.has_grad()) continue;
+    const std::vector<float>& grad = parameter.grad();
+    std::vector<float>& value = parameter.data();
+    std::vector<float>& m = m_[i];
+    std::vector<float>& v = v_[i];
+    for (size_t j = 0; j < value.size(); ++j) {
+      float g = grad[j];
+      if (!decoupled_decay_ && weight_decay_ != 0.0f) g += weight_decay_ * value[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      if (decoupled_decay_ && weight_decay_ != 0.0f) {
+        value[j] -= learning_rate_ * weight_decay_ * value[j];
+      }
+      value[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+AdamW::AdamW(std::vector<Tensor> parameters, float learning_rate,
+             float weight_decay, float beta1, float beta2, float eps)
+    : Adam(std::move(parameters), learning_rate, beta1, beta2, eps,
+           /*coupled_weight_decay=*/0.0f) {
+  weight_decay_ = weight_decay;
+  decoupled_decay_ = true;
+}
+
+float ClipGradNorm(const std::vector<Tensor>& parameters, float max_norm) {
+  TIMEDRL_CHECK_GT(max_norm, 0.0f);
+  double total_sq = 0.0;
+  for (const Tensor& parameter : parameters) {
+    if (!parameter.has_grad()) continue;
+    for (float g : parameter.grad()) total_sq += double{g} * double{g};
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-6f);
+    for (const Tensor& parameter : parameters) {
+      if (!parameter.has_grad()) continue;
+      // grad() is const-view; scale through the impl's buffer.
+      auto& grad = const_cast<std::vector<float>&>(parameter.grad());
+      for (float& g : grad) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace timedrl::optim

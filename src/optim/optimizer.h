@@ -1,0 +1,89 @@
+// Gradient-descent optimizers: SGD (+momentum), Adam, AdamW.
+
+#ifndef TIMEDRL_OPTIM_OPTIMIZER_H_
+#define TIMEDRL_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace timedrl::optim {
+
+/// Base optimizer over a fixed parameter list.
+///
+/// Usage per training step:
+///   optimizer.ZeroGrad(); loss.Backward(); optimizer.Step();
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> parameters, float learning_rate);
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the parameters' accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  float learning_rate() const { return learning_rate_; }
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+
+  const std::vector<Tensor>& parameters() const { return parameters_; }
+
+ protected:
+  std::vector<Tensor> parameters_;
+  float learning_rate_;
+};
+
+/// Stochastic gradient descent with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> parameters, float learning_rate,
+      float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba). `coupled_weight_decay` adds L2 into the gradient.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> parameters, float learning_rate,
+       float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f,
+       float coupled_weight_decay = 0.0f);
+
+  void Step() override;
+
+ protected:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+
+  /// When true, decay is decoupled (AdamW); otherwise coupled (classic Adam).
+  bool decoupled_decay_ = false;
+};
+
+/// AdamW (Loshchilov & Hutter): Adam with decoupled weight decay, the
+/// optimizer the paper uses for all experiments.
+class AdamW : public Adam {
+ public:
+  AdamW(std::vector<Tensor> parameters, float learning_rate,
+        float weight_decay = 1e-4f, float beta1 = 0.9f, float beta2 = 0.999f,
+        float eps = 1e-8f);
+};
+
+/// Scales gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<Tensor>& parameters, float max_norm);
+
+}  // namespace timedrl::optim
+
+#endif  // TIMEDRL_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,51 @@
+// Internal helper: iterate an output shape while tracking the corresponding
+// (possibly broadcast) offsets into one or two input buffers.
+
+#ifndef TIMEDRL_TENSOR_BROADCAST_ITER_H_
+#define TIMEDRL_TENSOR_BROADCAST_ITER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace timedrl::internal {
+
+/// Calls fn(out_index, a_offset, b_offset) for every element of `out_shape`,
+/// where a/b offsets follow `sa`/`sb` (zero stride on broadcast dims).
+template <typename Fn>
+void ForEachBroadcast2(const Shape& out_shape, const std::vector<int64_t>& sa,
+                       const std::vector<int64_t>& sb, Fn&& fn) {
+  const int64_t rank = static_cast<int64_t>(out_shape.size());
+  const int64_t total = NumElements(out_shape);
+  if (total == 0) return;
+  std::vector<int64_t> coord(rank, 0);
+  int64_t oa = 0;
+  int64_t ob = 0;
+  for (int64_t i = 0; i < total; ++i) {
+    fn(i, oa, ob);
+    // Odometer increment from the innermost dimension.
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      ++coord[d];
+      oa += sa[d];
+      ob += sb[d];
+      if (coord[d] < out_shape[d]) break;
+      coord[d] = 0;
+      oa -= sa[d] * out_shape[d];
+      ob -= sb[d] * out_shape[d];
+    }
+  }
+}
+
+/// Single-input variant: fn(out_index, a_offset).
+template <typename Fn>
+void ForEachBroadcast1(const Shape& out_shape, const std::vector<int64_t>& sa,
+                       Fn&& fn) {
+  std::vector<int64_t> zero(out_shape.size(), 0);
+  ForEachBroadcast2(out_shape, sa, zero,
+                    [&fn](int64_t i, int64_t oa, int64_t) { fn(i, oa); });
+}
+
+}  // namespace timedrl::internal
+
+#endif  // TIMEDRL_TENSOR_BROADCAST_ITER_H_

@@ -1,0 +1,143 @@
+// Differentiable tensor operations.
+//
+// All functions return fresh tensors and record autograd edges when gradient
+// recording is active (see GradEnabled()). Binary elementwise ops broadcast
+// with NumPy semantics.
+
+#ifndef TIMEDRL_TENSOR_OPS_H_
+#define TIMEDRL_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace timedrl {
+
+// ---- Elementwise binary (broadcasting) ---------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+/// Elementwise maximum of two tensors.
+Tensor Maximum(const Tensor& a, const Tensor& b);
+
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return Add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return Sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return Mul(a, b); }
+inline Tensor operator/(const Tensor& a, const Tensor& b) { return Div(a, b); }
+
+// Scalar-tensor conveniences (scalar is a constant, not a graph node).
+Tensor Add(const Tensor& a, float b);
+Tensor Sub(const Tensor& a, float b);
+Tensor Sub(float a, const Tensor& b);
+Tensor Mul(const Tensor& a, float b);
+Tensor Div(const Tensor& a, float b);
+Tensor Div(float a, const Tensor& b);
+
+inline Tensor operator+(const Tensor& a, float b) { return Add(a, b); }
+inline Tensor operator+(float a, const Tensor& b) { return Add(b, a); }
+inline Tensor operator-(const Tensor& a, float b) { return Sub(a, b); }
+inline Tensor operator-(float a, const Tensor& b) { return Sub(a, b); }
+inline Tensor operator*(const Tensor& a, float b) { return Mul(a, b); }
+inline Tensor operator*(float a, const Tensor& b) { return Mul(b, a); }
+inline Tensor operator/(const Tensor& a, float b) { return Div(a, b); }
+inline Tensor operator/(float a, const Tensor& b) { return Div(a, b); }
+
+// ---- Elementwise unary --------------------------------------------------------
+
+Tensor Neg(const Tensor& a);
+inline Tensor operator-(const Tensor& a) { return Neg(a); }
+Tensor Abs(const Tensor& a);
+Tensor Exp(const Tensor& a);
+/// Natural log; input must be positive.
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Relu(const Tensor& a);
+/// Tanh-approximation GELU (as used by BERT/GPT implementations).
+Tensor Gelu(const Tensor& a);
+/// max(x, alpha*x) with alpha in (0, 1).
+Tensor LeakyRelu(const Tensor& a, float alpha = 0.01f);
+/// Numerically stable log(1 + exp(x)).
+Tensor Softplus(const Tensor& a);
+/// x * sigmoid(x) (SiLU / Swish).
+Tensor Silu(const Tensor& a);
+/// x for x >= 0, alpha*(exp(x)-1) otherwise.
+Tensor Elu(const Tensor& a, float alpha = 1.0f);
+/// Elementwise power with constant exponent.
+Tensor Pow(const Tensor& a, float exponent);
+/// max(a, floor) elementwise; gradient flows where a > floor.
+Tensor ClampMin(const Tensor& a, float floor);
+
+// ---- Shape ---------------------------------------------------------------------
+
+/// Reinterprets the (contiguous) data with a new shape of equal numel.
+/// One dimension may be -1 (inferred).
+Tensor Reshape(const Tensor& a, Shape shape);
+/// Generalized transpose: output dim i is input dim perm[i].
+Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm);
+/// Swaps two dimensions.
+Tensor Transpose(const Tensor& a, int64_t dim0, int64_t dim1);
+/// Copies `len` entries of dimension `dim` starting at `start`.
+Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t len);
+/// Concatenates along `dim`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& tensors, int64_t dim);
+/// Stacks equal-shaped tensors along a new leading `dim`.
+Tensor Stack(const std::vector<Tensor>& tensors, int64_t dim);
+/// Materializes `a` broadcast to `shape`.
+Tensor BroadcastTo(const Tensor& a, const Shape& shape);
+
+// ---- Matmul --------------------------------------------------------------------
+
+/// Batched matrix product: a [..., m, k] x b [..., k, n] -> [..., m, n].
+/// Batch dims must match exactly, or either operand may be rank-2 (shared).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// ---- Reductions ------------------------------------------------------------------
+
+/// Sum of all elements -> shape [1].
+Tensor Sum(const Tensor& a);
+/// Sum over `dims` (each unique); result keeps reduced dims as size-1 when
+/// `keepdim`, otherwise drops them.
+Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim = false);
+Tensor Mean(const Tensor& a);
+Tensor Mean(const Tensor& a, std::vector<int64_t> dims, bool keepdim = false);
+/// Max over one dimension (values only; gradient routed to the argmax).
+Tensor Max(const Tensor& a, int64_t dim, bool keepdim = false);
+/// Argmax over one dimension; plain indices, no gradient.
+std::vector<int64_t> ArgMax(const Tensor& a, int64_t dim);
+
+// ---- Fused NN primitives ----------------------------------------------------------
+
+/// Softmax along `dim` (numerically stabilized).
+Tensor Softmax(const Tensor& a, int64_t dim);
+/// Log-softmax along `dim`.
+Tensor LogSoftmax(const Tensor& a, int64_t dim);
+/// Mean negative log-likelihood of `labels` under softmax(logits).
+/// logits: [N, K]; labels: N entries in [0, K).
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int64_t>& labels);
+/// Mean squared error over all elements.
+Tensor MseLoss(const Tensor& prediction, const Tensor& target);
+/// Mean absolute error over all elements.
+Tensor L1Loss(const Tensor& prediction, const Tensor& target);
+/// Replaces entries where mask != 0 with `value` (mask is a constant).
+Tensor MaskedFill(const Tensor& a, const Tensor& mask, float value);
+
+// ---- Convolution / pooling ----------------------------------------------------------
+
+/// 1-D convolution.
+/// input [B, C_in, L], weight [C_out, C_in, K], optional bias [C_out].
+/// Zero padding on both sides. Output length: (L + 2p - d*(K-1) - 1)/s + 1.
+Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int64_t stride = 1, int64_t padding = 0, int64_t dilation = 1);
+/// Max pooling over the last dimension of [B, C, L].
+Tensor MaxPool1d(const Tensor& input, int64_t kernel, int64_t stride);
+/// Average pooling over the last dimension of [B, C, L].
+Tensor AvgPool1d(const Tensor& input, int64_t kernel, int64_t stride);
+
+}  // namespace timedrl
+
+#endif  // TIMEDRL_TENSOR_OPS_H_

@@ -1,0 +1,200 @@
+// 1-D convolution and pooling.
+
+#include <limits>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace timedrl {
+
+Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int64_t stride, int64_t padding, int64_t dilation) {
+  TIMEDRL_CHECK_EQ(input.dim(), 3) << "Conv1d input must be [B, C_in, L]";
+  TIMEDRL_CHECK_EQ(weight.dim(), 3) << "Conv1d weight must be [C_out, C_in, K]";
+  TIMEDRL_CHECK_GE(stride, 1);
+  TIMEDRL_CHECK_GE(dilation, 1);
+  TIMEDRL_CHECK_GE(padding, 0);
+
+  const int64_t batch = input.size(0);
+  const int64_t c_in = input.size(1);
+  const int64_t length = input.size(2);
+  const int64_t c_out = weight.size(0);
+  const int64_t kernel = weight.size(2);
+  TIMEDRL_CHECK_EQ(weight.size(1), c_in);
+  if (bias.defined()) {
+    TIMEDRL_CHECK(bias.shape() == Shape{c_out});
+  }
+
+  const int64_t out_length =
+      (length + 2 * padding - dilation * (kernel - 1) - 1) / stride + 1;
+  TIMEDRL_CHECK_GT(out_length, 0)
+      << "Conv1d produces empty output for L=" << length << " K=" << kernel;
+
+  std::vector<float> out(batch * c_out * out_length, 0.0f);
+  const std::vector<float>& x = input.data();
+  const std::vector<float>& w = weight.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t co = 0; co < c_out; ++co) {
+      float* orow = out.data() + (b * c_out + co) * out_length;
+      if (bias.defined()) {
+        const float bv = bias.data()[co];
+        for (int64_t l = 0; l < out_length; ++l) orow[l] = bv;
+      }
+      for (int64_t ci = 0; ci < c_in; ++ci) {
+        const float* xrow = x.data() + (b * c_in + ci) * length;
+        const float* wrow = w.data() + (co * c_in + ci) * kernel;
+        for (int64_t l = 0; l < out_length; ++l) {
+          const int64_t base = l * stride - padding;
+          float acc = 0.0f;
+          for (int64_t kk = 0; kk < kernel; ++kk) {
+            const int64_t pos = base + kk * dilation;
+            if (pos >= 0 && pos < length) acc += wrow[kk] * xrow[pos];
+          }
+          orow[l] += acc;
+        }
+      }
+    }
+  }
+
+  auto x_impl = input.impl();
+  auto w_impl = weight.impl();
+  std::shared_ptr<TensorImpl> b_impl = bias.defined() ? bias.impl() : nullptr;
+  std::vector<std::shared_ptr<TensorImpl>> parents = {input.impl(),
+                                                      weight.impl()};
+  if (b_impl) parents.push_back(b_impl);
+
+  auto backward = [x_impl, w_impl, b_impl, batch, c_in, c_out, length, kernel,
+                   out_length, stride, padding, dilation](TensorImpl& node) {
+    const std::vector<float>& g = node.grad;
+    const std::vector<float>& x = x_impl->data;
+    const std::vector<float>& w = w_impl->data;
+    const bool need_x = x_impl->requires_grad;
+    const bool need_w = w_impl->requires_grad;
+    const bool need_b = b_impl && b_impl->requires_grad;
+    std::vector<float>* gx = need_x ? &x_impl->MutableGrad() : nullptr;
+    std::vector<float>* gw = need_w ? &w_impl->MutableGrad() : nullptr;
+    std::vector<float>* gb = need_b ? &b_impl->MutableGrad() : nullptr;
+
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t co = 0; co < c_out; ++co) {
+        const float* grow = g.data() + (b * c_out + co) * out_length;
+        if (need_b) {
+          float acc = 0.0f;
+          for (int64_t l = 0; l < out_length; ++l) acc += grow[l];
+          (*gb)[co] += acc;
+        }
+        for (int64_t ci = 0; ci < c_in; ++ci) {
+          const float* xrow = x.data() + (b * c_in + ci) * length;
+          const float* wrow = w.data() + (co * c_in + ci) * kernel;
+          float* gxrow = need_x ? gx->data() + (b * c_in + ci) * length
+                                : nullptr;
+          float* gwrow = need_w ? gw->data() + (co * c_in + ci) * kernel
+                                : nullptr;
+          for (int64_t l = 0; l < out_length; ++l) {
+            const float gv = grow[l];
+            if (gv == 0.0f) continue;
+            const int64_t base = l * stride - padding;
+            for (int64_t kk = 0; kk < kernel; ++kk) {
+              const int64_t pos = base + kk * dilation;
+              if (pos < 0 || pos >= length) continue;
+              if (need_x) gxrow[pos] += gv * wrow[kk];
+              if (need_w) gwrow[kk] += gv * xrow[pos];
+            }
+          }
+        }
+      }
+    }
+  };
+  return internal::MakeOpResult({batch, c_out, out_length}, std::move(out),
+                                std::move(parents), std::move(backward));
+}
+
+Tensor MaxPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
+  TIMEDRL_CHECK_EQ(input.dim(), 3) << "MaxPool1d input must be [B, C, L]";
+  TIMEDRL_CHECK_GE(kernel, 1);
+  TIMEDRL_CHECK_GE(stride, 1);
+  const int64_t batch = input.size(0);
+  const int64_t channels = input.size(1);
+  const int64_t length = input.size(2);
+  const int64_t out_length = (length - kernel) / stride + 1;
+  TIMEDRL_CHECK_GT(out_length, 0);
+
+  std::vector<float> out(batch * channels * out_length);
+  std::vector<int64_t> argmax(out.size());
+  const std::vector<float>& x = input.data();
+  for (int64_t bc = 0; bc < batch * channels; ++bc) {
+    const float* xrow = x.data() + bc * length;
+    for (int64_t l = 0; l < out_length; ++l) {
+      float best = -std::numeric_limits<float>::infinity();
+      int64_t best_pos = l * stride;
+      for (int64_t kk = 0; kk < kernel; ++kk) {
+        const int64_t pos = l * stride + kk;
+        if (xrow[pos] > best) {
+          best = xrow[pos];
+          best_pos = pos;
+        }
+      }
+      out[bc * out_length + l] = best;
+      argmax[bc * out_length + l] = best_pos;
+    }
+  }
+
+  auto x_impl = input.impl();
+  auto backward = [x_impl, argmax, batch, channels, length,
+                   out_length](TensorImpl& node) {
+    if (!x_impl->requires_grad) return;
+    std::vector<float>& gx = x_impl->MutableGrad();
+    const std::vector<float>& g = node.grad;
+    for (int64_t bc = 0; bc < batch * channels; ++bc) {
+      for (int64_t l = 0; l < out_length; ++l) {
+        gx[bc * length + argmax[bc * out_length + l]] +=
+            g[bc * out_length + l];
+      }
+    }
+  };
+  return internal::MakeOpResult({batch, channels, out_length}, std::move(out),
+                                {input.impl()}, std::move(backward));
+}
+
+Tensor AvgPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
+  TIMEDRL_CHECK_EQ(input.dim(), 3) << "AvgPool1d input must be [B, C, L]";
+  TIMEDRL_CHECK_GE(kernel, 1);
+  TIMEDRL_CHECK_GE(stride, 1);
+  const int64_t batch = input.size(0);
+  const int64_t channels = input.size(1);
+  const int64_t length = input.size(2);
+  const int64_t out_length = (length - kernel) / stride + 1;
+  TIMEDRL_CHECK_GT(out_length, 0);
+
+  std::vector<float> out(batch * channels * out_length);
+  const std::vector<float>& x = input.data();
+  const float inv_kernel = 1.0f / static_cast<float>(kernel);
+  for (int64_t bc = 0; bc < batch * channels; ++bc) {
+    const float* xrow = x.data() + bc * length;
+    for (int64_t l = 0; l < out_length; ++l) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < kernel; ++kk) acc += xrow[l * stride + kk];
+      out[bc * out_length + l] = acc * inv_kernel;
+    }
+  }
+
+  auto x_impl = input.impl();
+  auto backward = [x_impl, batch, channels, length, out_length, kernel, stride,
+                   inv_kernel](TensorImpl& node) {
+    if (!x_impl->requires_grad) return;
+    std::vector<float>& gx = x_impl->MutableGrad();
+    const std::vector<float>& g = node.grad;
+    for (int64_t bc = 0; bc < batch * channels; ++bc) {
+      for (int64_t l = 0; l < out_length; ++l) {
+        const float gv = g[bc * out_length + l] * inv_kernel;
+        for (int64_t kk = 0; kk < kernel; ++kk) {
+          gx[bc * length + l * stride + kk] += gv;
+        }
+      }
+    }
+  };
+  return internal::MakeOpResult({batch, channels, out_length}, std::move(out),
+                                {input.impl()}, std::move(backward));
+}
+
+}  // namespace timedrl

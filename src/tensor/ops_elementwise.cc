@@ -1,0 +1,269 @@
+// Elementwise binary/unary operations with broadcasting and autograd.
+
+#include <cmath>
+
+#include "tensor/broadcast_iter.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace timedrl {
+namespace {
+
+// Shared implementation for broadcasting binary ops.
+//
+// `fwd(a, b)` computes the value; `dfda(a, b, out)` / `dfdb(a, b, out)` are
+// the local partial derivatives used by the backward closure.
+template <typename FwdFn, typename DaFn, typename DbFn>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn dfda,
+                DbFn dfdb) {
+  const Shape out_shape = BroadcastShape(a.shape(), b.shape());
+  const std::vector<int64_t> sa = BroadcastStrides(a.shape(), out_shape);
+  const std::vector<int64_t> sb = BroadcastStrides(b.shape(), out_shape);
+
+  std::vector<float> out(NumElements(out_shape));
+  const std::vector<float>& da = a.data();
+  const std::vector<float>& db = b.data();
+  if (a.shape() == b.shape()) {
+    for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(da[i], db[i]);
+  } else {
+    internal::ForEachBroadcast2(
+        out_shape, sa, sb,
+        [&](int64_t i, int64_t oa, int64_t ob) { out[i] = fwd(da[oa], db[ob]); });
+  }
+
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  auto backward = [a_impl, b_impl, sa, sb, dfda, dfdb](TensorImpl& node) {
+    const std::vector<float>& g = node.grad;
+    const std::vector<float>& va = a_impl->data;
+    const std::vector<float>& vb = b_impl->data;
+    const std::vector<float>& vo = node.data;
+    const bool need_a = a_impl->requires_grad;
+    const bool need_b = b_impl->requires_grad;
+    std::vector<float>* ga = need_a ? &a_impl->MutableGrad() : nullptr;
+    std::vector<float>* gb = need_b ? &b_impl->MutableGrad() : nullptr;
+    internal::ForEachBroadcast2(
+        node.shape, sa, sb, [&](int64_t i, int64_t oa, int64_t ob) {
+          if (need_a) (*ga)[oa] += g[i] * dfda(va[oa], vb[ob], vo[i]);
+          if (need_b) (*gb)[ob] += g[i] * dfdb(va[oa], vb[ob], vo[i]);
+        });
+  };
+  return internal::MakeOpResult(out_shape, std::move(out),
+                                {a.impl(), b.impl()}, std::move(backward));
+}
+
+// Shared implementation for unary ops. `dfda(a, out)` is the derivative.
+template <typename FwdFn, typename DaFn>
+Tensor UnaryOp(const Tensor& a, FwdFn fwd, DaFn dfda) {
+  std::vector<float> out(a.numel());
+  const std::vector<float>& da = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(da[i]);
+
+  auto a_impl = a.impl();
+  auto backward = [a_impl, dfda](TensorImpl& node) {
+    if (!a_impl->requires_grad) return;
+    std::vector<float>& ga = a_impl->MutableGrad();
+    const std::vector<float>& g = node.grad;
+    const std::vector<float>& va = a_impl->data;
+    const std::vector<float>& vo = node.data;
+    for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i] * dfda(va[i], vo[i]);
+  };
+  return internal::MakeOpResult(a.shape(), std::move(out), {a.impl()},
+                                std::move(backward));
+}
+
+}  // namespace
+
+// ---- Binary ------------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float, float) { return 1.0f; },
+      [](float, float, float) { return 1.0f; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float, float) { return 1.0f; },
+      [](float, float, float) { return -1.0f; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y, float) { return y; },
+      [](float x, float, float) { return x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y, float) { return 1.0f / y; },
+      [](float x, float y, float) { return -x / (y * y); });
+}
+
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x > y ? x : y; },
+      [](float x, float y, float) { return x > y ? 1.0f : 0.0f; },
+      [](float x, float y, float) { return x > y ? 0.0f : 1.0f; });
+}
+
+Tensor Add(const Tensor& a, float b) { return Add(a, Tensor::Scalar(b)); }
+Tensor Sub(const Tensor& a, float b) { return Sub(a, Tensor::Scalar(b)); }
+Tensor Sub(float a, const Tensor& b) { return Sub(Tensor::Scalar(a), b); }
+Tensor Mul(const Tensor& a, float b) { return Mul(a, Tensor::Scalar(b)); }
+Tensor Div(const Tensor& a, float b) { return Div(a, Tensor::Scalar(b)); }
+Tensor Div(float a, const Tensor& b) { return Div(Tensor::Scalar(a), b); }
+
+// ---- Unary -------------------------------------------------------------------
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return -x; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::fabs(x); },
+      [](float x, float) { return x >= 0.0f ? 1.0f : -1.0f; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sqrt(x); },
+      [](float, float y) { return 0.5f / y; });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Gelu(const Tensor& a) {
+  // gelu(x) ~= 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))
+  constexpr float kAlpha = 0.7978845608028654f;  // sqrt(2/pi)
+  constexpr float kBeta = 0.044715f;
+  return UnaryOp(
+      a,
+      [](float x) {
+        float inner = kAlpha * (x + kBeta * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(inner));
+      },
+      [](float x, float) {
+        float inner = kAlpha * (x + kBeta * x * x * x);
+        float t = std::tanh(inner);
+        float dinner = kAlpha * (1.0f + 3.0f * kBeta * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+      });
+}
+
+Tensor LeakyRelu(const Tensor& a, float alpha) {
+  return UnaryOp(
+      a, [alpha](float x) { return x > 0.0f ? x : alpha * x; },
+      [alpha](float x, float) { return x > 0.0f ? 1.0f : alpha; });
+}
+
+Tensor Softplus(const Tensor& a) {
+  // softplus(x) = max(x, 0) + log1p(exp(-|x|)) is stable for both signs.
+  return UnaryOp(
+      a,
+      [](float x) {
+        return (x > 0.0f ? x : 0.0f) + std::log1p(std::exp(-std::fabs(x)));
+      },
+      [](float x, float) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+Tensor Silu(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) { return x / (1.0f + std::exp(-x)); },
+      [](float x, float) {
+        const float s = 1.0f / (1.0f + std::exp(-x));
+        return s * (1.0f + x * (1.0f - s));
+      });
+}
+
+Tensor Elu(const Tensor& a, float alpha) {
+  return UnaryOp(
+      a,
+      [alpha](float x) { return x >= 0.0f ? x : alpha * (std::exp(x) - 1.0f); },
+      [alpha](float x, float y) {
+        return x >= 0.0f ? 1.0f : y + alpha;  // d/dx alpha(e^x - 1) = y+alpha
+      });
+}
+
+Tensor Pow(const Tensor& a, float exponent) {
+  return UnaryOp(
+      a, [exponent](float x) { return std::pow(x, exponent); },
+      [exponent](float x, float) {
+        return exponent * std::pow(x, exponent - 1.0f);
+      });
+}
+
+Tensor ClampMin(const Tensor& a, float floor) {
+  return UnaryOp(
+      a, [floor](float x) { return x > floor ? x : floor; },
+      [floor](float x, float) { return x > floor ? 1.0f : 0.0f; });
+}
+
+Tensor MaskedFill(const Tensor& a, const Tensor& mask, float value) {
+  TIMEDRL_CHECK(BroadcastCompatible(a.shape(), mask.shape()));
+  const Shape out_shape = BroadcastShape(a.shape(), mask.shape());
+  TIMEDRL_CHECK(out_shape == a.shape())
+      << "mask must broadcast to the input shape";
+  const std::vector<int64_t> sa = BroadcastStrides(a.shape(), out_shape);
+  const std::vector<int64_t> sm = BroadcastStrides(mask.shape(), out_shape);
+
+  std::vector<float> out(NumElements(out_shape));
+  const std::vector<float>& da = a.data();
+  const std::vector<float>& dm = mask.data();
+  internal::ForEachBroadcast2(out_shape, sa, sm,
+                              [&](int64_t i, int64_t oa, int64_t om) {
+                                out[i] = dm[om] != 0.0f ? value : da[oa];
+                              });
+
+  auto a_impl = a.impl();
+  auto m_impl = mask.impl();
+  auto backward = [a_impl, m_impl, sa, sm](TensorImpl& node) {
+    if (!a_impl->requires_grad) return;
+    std::vector<float>& ga = a_impl->MutableGrad();
+    const std::vector<float>& g = node.grad;
+    const std::vector<float>& dm = m_impl->data;
+    internal::ForEachBroadcast2(node.shape, sa, sm,
+                                [&](int64_t i, int64_t oa, int64_t om) {
+                                  if (dm[om] == 0.0f) ga[oa] += g[i];
+                                });
+  };
+  return internal::MakeOpResult(out_shape, std::move(out), {a.impl()},
+                                std::move(backward));
+}
+
+}  // namespace timedrl

@@ -1,0 +1,128 @@
+// Batched matrix multiplication.
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace timedrl {
+namespace {
+
+// C[m,n] += A[m,k] * B[k,n]
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C[m,k] += A[m,n] * B[k,n]^T  (i.e. C = A * B^T)
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
+            int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float* brow = b + p * n;
+      float acc = 0.0f;
+      for (int64_t j = 0; j < n; ++j) acc += arow[j] * brow[j];
+      c[i * k + p] += acc;
+    }
+  }
+}
+
+// C[k,n] += A[m,k]^T * B[m,n]  (i.e. C = A^T * B)
+void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* brow = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      float* crow = c + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TIMEDRL_CHECK_GE(a.dim(), 2);
+  TIMEDRL_CHECK_GE(b.dim(), 2);
+  const int64_t m = a.size(-2);
+  const int64_t k = a.size(-1);
+  const int64_t k2 = b.size(-2);
+  const int64_t n = b.size(-1);
+  TIMEDRL_CHECK_EQ(k, k2) << "matmul inner dims: " << ShapeToString(a.shape())
+                          << " x " << ShapeToString(b.shape());
+
+  // Batch handling: equal batch dims, or one operand is rank-2 and shared.
+  Shape a_batch(a.shape().begin(), a.shape().end() - 2);
+  Shape b_batch(b.shape().begin(), b.shape().end() - 2);
+  Shape batch;
+  bool a_shared = false;  // a is rank-2, reused across batches
+  bool b_shared = false;
+  if (a_batch == b_batch) {
+    batch = a_batch;
+  } else if (b_batch.empty()) {
+    batch = a_batch;
+    b_shared = true;
+  } else if (a_batch.empty()) {
+    batch = b_batch;
+    a_shared = true;
+  } else {
+    TIMEDRL_CHECK(false) << "matmul batch dims must match or one operand must "
+                            "be rank-2: "
+                         << ShapeToString(a.shape()) << " x "
+                         << ShapeToString(b.shape());
+  }
+  const int64_t num_batches = NumElements(batch);
+
+  Shape out_shape = batch;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+
+  std::vector<float> out(NumElements(out_shape), 0.0f);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  for (int64_t batch_index = 0; batch_index < num_batches; ++batch_index) {
+    const float* ab = pa + (a_shared ? 0 : batch_index * m * k);
+    const float* bb = pb + (b_shared ? 0 : batch_index * k * n);
+    GemmNN(ab, bb, out.data() + batch_index * m * n, m, k, n);
+  }
+
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  auto backward = [a_impl, b_impl, m, k, n, num_batches, a_shared,
+                   b_shared](TensorImpl& node) {
+    const float* g = node.grad.data();
+    const float* pa = a_impl->data.data();
+    const float* pb = b_impl->data.data();
+    if (a_impl->requires_grad) {
+      float* ga = a_impl->MutableGrad().data();
+      for (int64_t batch_index = 0; batch_index < num_batches; ++batch_index) {
+        // dA = dOut * B^T
+        GemmNT(g + batch_index * m * n,
+               pb + (b_shared ? 0 : batch_index * k * n),
+               ga + (a_shared ? 0 : batch_index * m * k), m, n, k);
+      }
+    }
+    if (b_impl->requires_grad) {
+      float* gb = b_impl->MutableGrad().data();
+      for (int64_t batch_index = 0; batch_index < num_batches; ++batch_index) {
+        // dB = A^T * dOut
+        GemmTN(pa + (a_shared ? 0 : batch_index * m * k),
+               g + batch_index * m * n,
+               gb + (b_shared ? 0 : batch_index * k * n), m, k, n);
+      }
+    }
+  };
+  return internal::MakeOpResult(std::move(out_shape), std::move(out),
+                                {a.impl(), b.impl()}, std::move(backward));
+}
+
+}  // namespace timedrl

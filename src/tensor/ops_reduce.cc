@@ -1,0 +1,305 @@
+// Reductions and fused loss/normalization primitives.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/broadcast_iter.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace timedrl {
+namespace {
+
+// Splits `shape` around `dim` into [outer, dim_size, inner].
+void OuterInner(const Shape& shape, int64_t dim, int64_t* outer,
+                int64_t* dim_size, int64_t* inner) {
+  *outer = 1;
+  *inner = 1;
+  for (int64_t d = 0; d < dim; ++d) *outer *= shape[d];
+  *dim_size = shape[dim];
+  for (int64_t d = dim + 1; d < static_cast<int64_t>(shape.size()); ++d) {
+    *inner *= shape[d];
+  }
+}
+
+// Sum over `dims`, always keeping reduced dims as size 1.
+Tensor SumKeepdim(const Tensor& a, const std::vector<int64_t>& dims) {
+  Shape out_shape = a.shape();
+  for (int64_t dim : dims) out_shape[NormalizeDim(dim, a.dim())] = 1;
+
+  // Reading the size-1 output with strides broadcast to the input shape maps
+  // every input element to its accumulator slot.
+  const std::vector<int64_t> acc_strides =
+      BroadcastStrides(out_shape, a.shape());
+
+  std::vector<float> out(NumElements(out_shape), 0.0f);
+  const std::vector<float>& da = a.data();
+  internal::ForEachBroadcast1(
+      a.shape(), acc_strides,
+      [&](int64_t i, int64_t slot) { out[slot] += da[i]; });
+
+  auto a_impl = a.impl();
+  Shape in_shape = a.shape();
+  auto backward = [a_impl, in_shape, acc_strides](TensorImpl& node) {
+    if (!a_impl->requires_grad) return;
+    std::vector<float>& ga = a_impl->MutableGrad();
+    const std::vector<float>& g = node.grad;
+    internal::ForEachBroadcast1(
+        in_shape, acc_strides,
+        [&](int64_t i, int64_t slot) { ga[i] += g[slot]; });
+  };
+  return internal::MakeOpResult(std::move(out_shape), std::move(out),
+                                {a.impl()}, std::move(backward));
+}
+
+Shape DropDims(const Shape& shape, const std::vector<int64_t>& dims,
+               int64_t rank) {
+  std::vector<bool> drop(rank, false);
+  for (int64_t dim : dims) drop[NormalizeDim(dim, rank)] = true;
+  Shape out;
+  for (int64_t d = 0; d < rank; ++d) {
+    if (!drop[d]) out.push_back(shape[d]);
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+}  // namespace
+
+Tensor Sum(const Tensor& a) {
+  std::vector<int64_t> dims(a.dim());
+  for (int64_t d = 0; d < a.dim(); ++d) dims[d] = d;
+  return Sum(a, dims, /*keepdim=*/false);
+}
+
+Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
+  Tensor kept = SumKeepdim(a, dims);
+  if (keepdim) return kept;
+  return Reshape(kept, DropDims(kept.shape(), dims, a.dim()));
+}
+
+Tensor Mean(const Tensor& a) {
+  return Mul(Sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor Mean(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
+  int64_t count = 1;
+  for (int64_t dim : dims) count *= a.size(dim);
+  return Mul(Sum(a, std::move(dims), keepdim),
+             1.0f / static_cast<float>(count));
+}
+
+Tensor Max(const Tensor& a, int64_t dim, bool keepdim) {
+  const int64_t rank = a.dim();
+  dim = NormalizeDim(dim, rank);
+  int64_t outer, dim_size, inner;
+  OuterInner(a.shape(), dim, &outer, &dim_size, &inner);
+  TIMEDRL_CHECK_GT(dim_size, 0);
+
+  Shape out_shape = a.shape();
+  out_shape[dim] = 1;
+  std::vector<float> out(outer * inner);
+  std::vector<int64_t> argmax(outer * inner);
+  const std::vector<float>& da = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      float best = -std::numeric_limits<float>::infinity();
+      int64_t best_index = 0;
+      for (int64_t d = 0; d < dim_size; ++d) {
+        float v = da[(o * dim_size + d) * inner + i];
+        if (v > best) {
+          best = v;
+          best_index = d;
+        }
+      }
+      out[o * inner + i] = best;
+      argmax[o * inner + i] = best_index;
+    }
+  }
+
+  auto a_impl = a.impl();
+  auto backward = [a_impl, argmax, outer, inner, dim_size](TensorImpl& node) {
+    if (!a_impl->requires_grad) return;
+    std::vector<float>& ga = a_impl->MutableGrad();
+    const std::vector<float>& g = node.grad;
+    for (int64_t o = 0; o < outer; ++o) {
+      for (int64_t i = 0; i < inner; ++i) {
+        int64_t d = argmax[o * inner + i];
+        ga[(o * dim_size + d) * inner + i] += g[o * inner + i];
+      }
+    }
+  };
+  Tensor kept = internal::MakeOpResult(std::move(out_shape), std::move(out),
+                                       {a.impl()}, std::move(backward));
+  if (keepdim) return kept;
+  return Reshape(kept, DropDims(kept.shape(), {dim}, rank));
+}
+
+std::vector<int64_t> ArgMax(const Tensor& a, int64_t dim) {
+  const int64_t rank = a.dim();
+  dim = NormalizeDim(dim, rank);
+  int64_t outer, dim_size, inner;
+  OuterInner(a.shape(), dim, &outer, &dim_size, &inner);
+  std::vector<int64_t> result(outer * inner, 0);
+  const std::vector<float>& da = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      float best = -std::numeric_limits<float>::infinity();
+      for (int64_t d = 0; d < dim_size; ++d) {
+        float v = da[(o * dim_size + d) * inner + i];
+        if (v > best) {
+          best = v;
+          result[o * inner + i] = d;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Tensor Softmax(const Tensor& a, int64_t dim) {
+  const int64_t rank = a.dim();
+  dim = NormalizeDim(dim, rank);
+  int64_t outer, dim_size, inner;
+  OuterInner(a.shape(), dim, &outer, &dim_size, &inner);
+
+  std::vector<float> out(a.numel());
+  const std::vector<float>& da = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      float max_value = -std::numeric_limits<float>::infinity();
+      for (int64_t d = 0; d < dim_size; ++d) {
+        max_value = std::max(max_value, da[(o * dim_size + d) * inner + i]);
+      }
+      float denom = 0.0f;
+      for (int64_t d = 0; d < dim_size; ++d) {
+        int64_t idx = (o * dim_size + d) * inner + i;
+        out[idx] = std::exp(da[idx] - max_value);
+        denom += out[idx];
+      }
+      for (int64_t d = 0; d < dim_size; ++d) {
+        out[(o * dim_size + d) * inner + i] /= denom;
+      }
+    }
+  }
+
+  auto a_impl = a.impl();
+  auto backward = [a_impl, outer, inner, dim_size](TensorImpl& node) {
+    if (!a_impl->requires_grad) return;
+    std::vector<float>& ga = a_impl->MutableGrad();
+    const std::vector<float>& g = node.grad;
+    const std::vector<float>& y = node.data;
+    for (int64_t o = 0; o < outer; ++o) {
+      for (int64_t i = 0; i < inner; ++i) {
+        float dot = 0.0f;
+        for (int64_t d = 0; d < dim_size; ++d) {
+          int64_t idx = (o * dim_size + d) * inner + i;
+          dot += g[idx] * y[idx];
+        }
+        for (int64_t d = 0; d < dim_size; ++d) {
+          int64_t idx = (o * dim_size + d) * inner + i;
+          ga[idx] += y[idx] * (g[idx] - dot);
+        }
+      }
+    }
+  };
+  return internal::MakeOpResult(a.shape(), std::move(out), {a.impl()},
+                                std::move(backward));
+}
+
+Tensor LogSoftmax(const Tensor& a, int64_t dim) {
+  const int64_t rank = a.dim();
+  dim = NormalizeDim(dim, rank);
+  int64_t outer, dim_size, inner;
+  OuterInner(a.shape(), dim, &outer, &dim_size, &inner);
+
+  std::vector<float> out(a.numel());
+  const std::vector<float>& da = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      float max_value = -std::numeric_limits<float>::infinity();
+      for (int64_t d = 0; d < dim_size; ++d) {
+        max_value = std::max(max_value, da[(o * dim_size + d) * inner + i]);
+      }
+      float denom = 0.0f;
+      for (int64_t d = 0; d < dim_size; ++d) {
+        denom += std::exp(da[(o * dim_size + d) * inner + i] - max_value);
+      }
+      const float log_denom = max_value + std::log(denom);
+      for (int64_t d = 0; d < dim_size; ++d) {
+        int64_t idx = (o * dim_size + d) * inner + i;
+        out[idx] = da[idx] - log_denom;
+      }
+    }
+  }
+
+  auto a_impl = a.impl();
+  auto backward = [a_impl, outer, inner, dim_size](TensorImpl& node) {
+    if (!a_impl->requires_grad) return;
+    std::vector<float>& ga = a_impl->MutableGrad();
+    const std::vector<float>& g = node.grad;
+    const std::vector<float>& y = node.data;  // log-probabilities
+    for (int64_t o = 0; o < outer; ++o) {
+      for (int64_t i = 0; i < inner; ++i) {
+        float g_sum = 0.0f;
+        for (int64_t d = 0; d < dim_size; ++d) {
+          g_sum += g[(o * dim_size + d) * inner + i];
+        }
+        for (int64_t d = 0; d < dim_size; ++d) {
+          int64_t idx = (o * dim_size + d) * inner + i;
+          ga[idx] += g[idx] - std::exp(y[idx]) * g_sum;
+        }
+      }
+    }
+  };
+  return internal::MakeOpResult(a.shape(), std::move(out), {a.impl()},
+                                std::move(backward));
+}
+
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  TIMEDRL_CHECK_EQ(logits.dim(), 2);
+  const int64_t n = logits.size(0);
+  const int64_t num_classes = logits.size(1);
+  TIMEDRL_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+  for (int64_t label : labels) {
+    TIMEDRL_CHECK(label >= 0 && label < num_classes)
+        << "label " << label << " outside [0, " << num_classes << ")";
+  }
+  Tensor log_probs = LogSoftmax(logits, 1);
+
+  // Gather -log p[label] and average; fused gather keeps this simple.
+  const std::vector<float>& lp = log_probs.data();
+  float loss = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    loss -= lp[i * num_classes + labels[i]];
+  }
+  loss /= static_cast<float>(n);
+
+  auto lp_impl = log_probs.impl();
+  auto backward = [lp_impl, labels, n, num_classes](TensorImpl& node) {
+    if (!lp_impl->requires_grad) return;
+    std::vector<float>& g_lp = lp_impl->MutableGrad();
+    const float g = node.grad[0];
+    for (int64_t i = 0; i < n; ++i) {
+      g_lp[i * num_classes + labels[i]] -= g / static_cast<float>(n);
+    }
+  };
+  return internal::MakeOpResult({1}, {loss}, {log_probs.impl()},
+                                std::move(backward));
+}
+
+Tensor MseLoss(const Tensor& prediction, const Tensor& target) {
+  TIMEDRL_CHECK(prediction.shape() == target.shape())
+      << "MseLoss shapes " << ShapeToString(prediction.shape()) << " vs "
+      << ShapeToString(target.shape());
+  Tensor diff = Sub(prediction, target);
+  return Mean(Mul(diff, diff));
+}
+
+Tensor L1Loss(const Tensor& prediction, const Tensor& target) {
+  TIMEDRL_CHECK(prediction.shape() == target.shape());
+  return Mean(Abs(Sub(prediction, target)));
+}
+
+}  // namespace timedrl

@@ -1,0 +1,230 @@
+// Shape-manipulation operations: reshape, permute, slice, concat, broadcast.
+
+#include <algorithm>
+
+#include "tensor/broadcast_iter.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace timedrl {
+
+Tensor Reshape(const Tensor& a, Shape shape) {
+  // Resolve a single -1 dimension.
+  int64_t known = 1;
+  int64_t infer_at = -1;
+  for (size_t d = 0; d < shape.size(); ++d) {
+    if (shape[d] == -1) {
+      TIMEDRL_CHECK_EQ(infer_at, -1) << "at most one -1 dim in Reshape";
+      infer_at = static_cast<int64_t>(d);
+    } else {
+      known *= shape[d];
+    }
+  }
+  if (infer_at >= 0) {
+    TIMEDRL_CHECK(known != 0 && a.numel() % known == 0)
+        << "cannot infer dim for reshape of " << ShapeToString(a.shape())
+        << " to " << ShapeToString(shape);
+    shape[infer_at] = a.numel() / known;
+  }
+  TIMEDRL_CHECK_EQ(NumElements(shape), a.numel())
+      << "reshape " << ShapeToString(a.shape()) << " -> "
+      << ShapeToString(shape);
+
+  std::vector<float> out = a.data();
+  auto a_impl = a.impl();
+  auto backward = [a_impl](TensorImpl& node) {
+    if (!a_impl->requires_grad) return;
+    std::vector<float>& ga = a_impl->MutableGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) ga[i] += node.grad[i];
+  };
+  return internal::MakeOpResult(std::move(shape), std::move(out), {a.impl()},
+                                std::move(backward));
+}
+
+Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
+  const int64_t rank = a.dim();
+  TIMEDRL_CHECK_EQ(static_cast<int64_t>(perm.size()), rank);
+  std::vector<bool> seen(rank, false);
+  Shape out_shape(rank);
+  for (int64_t d = 0; d < rank; ++d) {
+    int64_t p = NormalizeDim(perm[d], rank);
+    TIMEDRL_CHECK(!seen[p]) << "duplicate dim in permutation";
+    seen[p] = true;
+    out_shape[d] = a.size(p);
+  }
+
+  const std::vector<int64_t> in_strides = RowMajorStrides(a.shape());
+  // Stride of output dim d within the input buffer.
+  std::vector<int64_t> gather_strides(rank);
+  for (int64_t d = 0; d < rank; ++d) {
+    gather_strides[d] = in_strides[NormalizeDim(perm[d], rank)];
+  }
+
+  std::vector<float> out(a.numel());
+  const std::vector<float>& da = a.data();
+  internal::ForEachBroadcast1(out_shape, gather_strides,
+                              [&](int64_t i, int64_t oa) { out[i] = da[oa]; });
+
+  auto a_impl = a.impl();
+  auto backward = [a_impl, out_shape, gather_strides](TensorImpl& node) {
+    if (!a_impl->requires_grad) return;
+    std::vector<float>& ga = a_impl->MutableGrad();
+    const std::vector<float>& g = node.grad;
+    internal::ForEachBroadcast1(
+        out_shape, gather_strides,
+        [&](int64_t i, int64_t oa) { ga[oa] += g[i]; });
+  };
+  return internal::MakeOpResult(out_shape, std::move(out), {a.impl()},
+                                std::move(backward));
+}
+
+Tensor Transpose(const Tensor& a, int64_t dim0, int64_t dim1) {
+  const int64_t rank = a.dim();
+  dim0 = NormalizeDim(dim0, rank);
+  dim1 = NormalizeDim(dim1, rank);
+  std::vector<int64_t> perm(rank);
+  for (int64_t d = 0; d < rank; ++d) perm[d] = d;
+  std::swap(perm[dim0], perm[dim1]);
+  return Permute(a, perm);
+}
+
+Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t len) {
+  const int64_t rank = a.dim();
+  dim = NormalizeDim(dim, rank);
+  TIMEDRL_CHECK(start >= 0 && len >= 0 && start + len <= a.size(dim))
+      << "slice [" << start << ", " << start + len << ") of dim " << dim
+      << " in " << ShapeToString(a.shape());
+
+  Shape out_shape = a.shape();
+  out_shape[dim] = len;
+
+  // Copy as [outer, len, inner] from [outer, dim_size, inner].
+  int64_t outer = 1;
+  for (int64_t d = 0; d < dim; ++d) outer *= a.size(d);
+  int64_t inner = 1;
+  for (int64_t d = dim + 1; d < rank; ++d) inner *= a.size(d);
+  const int64_t dim_size = a.size(dim);
+
+  std::vector<float> out(NumElements(out_shape));
+  const std::vector<float>& da = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = da.data() + (o * dim_size + start) * inner;
+    float* dst = out.data() + o * len * inner;
+    std::copy(src, src + len * inner, dst);
+  }
+
+  auto a_impl = a.impl();
+  auto backward = [a_impl, outer, inner, len, dim_size, start](
+                      TensorImpl& node) {
+    if (!a_impl->requires_grad) return;
+    std::vector<float>& ga = a_impl->MutableGrad();
+    const std::vector<float>& g = node.grad;
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* src = g.data() + o * len * inner;
+      float* dst = ga.data() + (o * dim_size + start) * inner;
+      for (int64_t i = 0; i < len * inner; ++i) dst[i] += src[i];
+    }
+  };
+  return internal::MakeOpResult(out_shape, std::move(out), {a.impl()},
+                                std::move(backward));
+}
+
+Tensor Concat(const std::vector<Tensor>& tensors, int64_t dim) {
+  TIMEDRL_CHECK(!tensors.empty());
+  const int64_t rank = tensors[0].dim();
+  dim = NormalizeDim(dim, rank);
+
+  Shape out_shape = tensors[0].shape();
+  int64_t total_dim = 0;
+  for (const Tensor& t : tensors) {
+    TIMEDRL_CHECK_EQ(t.dim(), rank);
+    for (int64_t d = 0; d < rank; ++d) {
+      if (d != dim) {
+        TIMEDRL_CHECK_EQ(t.size(d), out_shape[d])
+            << "concat shape mismatch on dim " << d;
+      }
+    }
+    total_dim += t.size(dim);
+  }
+  out_shape[dim] = total_dim;
+
+  int64_t outer = 1;
+  for (int64_t d = 0; d < dim; ++d) outer *= out_shape[d];
+  int64_t inner = 1;
+  for (int64_t d = dim + 1; d < rank; ++d) inner *= out_shape[d];
+
+  std::vector<float> out(NumElements(out_shape));
+  int64_t offset = 0;  // running position along `dim`
+  for (const Tensor& t : tensors) {
+    const int64_t part = t.size(dim);
+    const std::vector<float>& dt = t.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* src = dt.data() + o * part * inner;
+      float* dst = out.data() + (o * total_dim + offset) * inner;
+      std::copy(src, src + part * inner, dst);
+    }
+    offset += part;
+  }
+
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::vector<int64_t> parts;
+  parents.reserve(tensors.size());
+  for (const Tensor& t : tensors) {
+    parents.push_back(t.impl());
+    parts.push_back(t.size(dim));
+  }
+  auto backward = [parents, parts, outer, inner, total_dim](TensorImpl& node) {
+    const std::vector<float>& g = node.grad;
+    int64_t offset = 0;
+    for (size_t k = 0; k < parents.size(); ++k) {
+      const int64_t part = parts[k];
+      if (parents[k]->requires_grad) {
+        std::vector<float>& ga = parents[k]->MutableGrad();
+        for (int64_t o = 0; o < outer; ++o) {
+          const float* src = g.data() + (o * total_dim + offset) * inner;
+          float* dst = ga.data() + o * part * inner;
+          for (int64_t i = 0; i < part * inner; ++i) dst[i] += src[i];
+        }
+      }
+      offset += part;
+    }
+  };
+  return internal::MakeOpResult(out_shape, std::move(out), std::move(parents),
+                                std::move(backward));
+}
+
+Tensor Stack(const std::vector<Tensor>& tensors, int64_t dim) {
+  TIMEDRL_CHECK(!tensors.empty());
+  const int64_t rank = tensors[0].dim();
+  TIMEDRL_CHECK(dim >= -(rank + 1) && dim <= rank);
+  if (dim < 0) dim += rank + 1;
+  std::vector<Tensor> expanded;
+  expanded.reserve(tensors.size());
+  for (const Tensor& t : tensors) {
+    Shape s = t.shape();
+    s.insert(s.begin() + dim, 1);
+    expanded.push_back(Reshape(t, s));
+  }
+  return Concat(expanded, dim);
+}
+
+Tensor BroadcastTo(const Tensor& a, const Shape& shape) {
+  const std::vector<int64_t> sa = BroadcastStrides(a.shape(), shape);
+  std::vector<float> out(NumElements(shape));
+  const std::vector<float>& da = a.data();
+  internal::ForEachBroadcast1(shape, sa,
+                              [&](int64_t i, int64_t oa) { out[i] = da[oa]; });
+  auto a_impl = a.impl();
+  Shape out_shape = shape;
+  auto backward = [a_impl, out_shape, sa](TensorImpl& node) {
+    if (!a_impl->requires_grad) return;
+    std::vector<float>& ga = a_impl->MutableGrad();
+    const std::vector<float>& g = node.grad;
+    internal::ForEachBroadcast1(
+        out_shape, sa, [&](int64_t i, int64_t oa) { ga[oa] += g[i]; });
+  };
+  return internal::MakeOpResult(out_shape, std::move(out), {a.impl()},
+                                std::move(backward));
+}
+
+}  // namespace timedrl

@@ -1,0 +1,89 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace timedrl {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    TIMEDRL_CHECK_GE(d, 0) << "negative dimension in " << ShapeToString(shape);
+    n *= d;
+  }
+  return n;
+}
+
+std::vector<int64_t> RowMajorStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size());
+  int64_t running = 1;
+  for (int64_t i = static_cast<int64_t>(shape.size()) - 1; i >= 0; --i) {
+    strides[i] = running;
+    running *= shape[i];
+  }
+  return strides;
+}
+
+bool BroadcastCompatible(const Shape& a, const Shape& b) {
+  size_t rank = std::max(a.size(), b.size());
+  for (size_t i = 0; i < rank; ++i) {
+    int64_t da = i < a.size() ? a[a.size() - 1 - i] : 1;
+    int64_t db = i < b.size() ? b[b.size() - 1 - i] : 1;
+    if (da != db && da != 1 && db != 1) return false;
+  }
+  return true;
+}
+
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  TIMEDRL_CHECK(BroadcastCompatible(a, b))
+      << "cannot broadcast " << ShapeToString(a) << " with "
+      << ShapeToString(b);
+  size_t rank = std::max(a.size(), b.size());
+  Shape out(rank);
+  for (size_t i = 0; i < rank; ++i) {
+    int64_t da = i < a.size() ? a[a.size() - 1 - i] : 1;
+    int64_t db = i < b.size() ? b[b.size() - 1 - i] : 1;
+    out[rank - 1 - i] = std::max(da, db);
+  }
+  return out;
+}
+
+std::vector<int64_t> BroadcastStrides(const Shape& from, const Shape& to) {
+  TIMEDRL_CHECK_GE(to.size(), from.size());
+  std::vector<int64_t> natural = RowMajorStrides(from);
+  std::vector<int64_t> strides(to.size(), 0);
+  for (size_t i = 0; i < from.size(); ++i) {
+    size_t from_dim = from.size() - 1 - i;
+    size_t to_dim = to.size() - 1 - i;
+    if (from[from_dim] == to[to_dim]) {
+      strides[to_dim] = natural[from_dim];
+    } else {
+      TIMEDRL_CHECK_EQ(from[from_dim], 1)
+          << "cannot view " << ShapeToString(from) << " as "
+          << ShapeToString(to);
+      strides[to_dim] = 0;
+    }
+  }
+  return strides;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+int64_t NormalizeDim(int64_t dim, int64_t rank) {
+  if (dim < 0) dim += rank;
+  TIMEDRL_CHECK(dim >= 0 && dim < rank)
+      << "dim " << dim << " out of range for rank " << rank;
+  return dim;
+}
+
+}  // namespace timedrl

@@ -1,0 +1,40 @@
+// Shape and stride arithmetic shared by all tensor kernels.
+
+#ifndef TIMEDRL_TENSOR_SHAPE_H_
+#define TIMEDRL_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace timedrl {
+
+/// Dimension sizes of a tensor, outermost first. Tensors are always dense
+/// and row-major; an empty shape denotes a scalar-like tensor of one element.
+using Shape = std::vector<int64_t>;
+
+/// Total element count of `shape` (1 for an empty shape).
+int64_t NumElements(const Shape& shape);
+
+/// Row-major strides of `shape` (same length as `shape`).
+std::vector<int64_t> RowMajorStrides(const Shape& shape);
+
+/// True when `a` and `b` can be broadcast together (NumPy semantics).
+bool BroadcastCompatible(const Shape& a, const Shape& b);
+
+/// The broadcast result shape of `a` and `b`. Dies if incompatible.
+Shape BroadcastShape(const Shape& a, const Shape& b);
+
+/// Strides for reading a tensor of shape `from` as if it had the broadcast
+/// shape `to`: broadcast dimensions get stride 0. `to.size() >= from.size()`.
+std::vector<int64_t> BroadcastStrides(const Shape& from, const Shape& to);
+
+/// Human-readable form, e.g. "[2, 3, 4]".
+std::string ShapeToString(const Shape& shape);
+
+/// Normalizes a possibly negative dimension index; dies if out of range.
+int64_t NormalizeDim(int64_t dim, int64_t rank);
+
+}  // namespace timedrl
+
+#endif  // TIMEDRL_TENSOR_SHAPE_H_

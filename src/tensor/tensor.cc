@@ -1,0 +1,283 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace timedrl {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+bool GradEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+std::vector<float>& TensorImpl::MutableGrad() {
+  if (grad.empty()) grad.assign(data.size(), 0.0f);
+  return grad;
+}
+
+// ---- Factories --------------------------------------------------------------
+
+Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
+  return Full(shape, 0.0f, requires_grad);
+}
+
+Tensor Tensor::Ones(const Shape& shape, bool requires_grad) {
+  return Full(shape, 1.0f, requires_grad);
+}
+
+Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(NumElements(shape), value);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
+                          bool requires_grad) {
+  TIMEDRL_CHECK_EQ(static_cast<int64_t>(values.size()), NumElements(shape))
+      << "FromVector: " << values.size() << " values for shape "
+      << ShapeToString(shape);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromVector({1}, {value}, requires_grad);
+}
+
+Tensor Tensor::Randn(const Shape& shape, Rng& rng, float mean, float stddev,
+                     bool requires_grad) {
+  std::vector<float> values(NumElements(shape));
+  for (float& v : values) v = rng.Normal(mean, stddev);
+  return FromVector(shape, std::move(values), requires_grad);
+}
+
+Tensor Tensor::Rand(const Shape& shape, Rng& rng, float lo, float hi,
+                    bool requires_grad) {
+  std::vector<float> values(NumElements(shape));
+  for (float& v : values) v = rng.Uniform(lo, hi);
+  return FromVector(shape, std::move(values), requires_grad);
+}
+
+// ---- Introspection -----------------------------------------------------------
+
+const Shape& Tensor::shape() const {
+  TIMEDRL_CHECK(defined());
+  return impl_->shape;
+}
+
+int64_t Tensor::numel() const {
+  TIMEDRL_CHECK(defined());
+  return impl_->numel();
+}
+
+int64_t Tensor::size(int64_t d) const {
+  return shape()[NormalizeDim(d, dim())];
+}
+
+bool Tensor::requires_grad() const {
+  TIMEDRL_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+void Tensor::set_requires_grad(bool value) {
+  TIMEDRL_CHECK(defined());
+  TIMEDRL_CHECK(impl_->parents.empty())
+      << "requires_grad may only be toggled on leaf tensors";
+  impl_->requires_grad = value;
+}
+
+std::vector<float>& Tensor::data() {
+  TIMEDRL_CHECK(defined());
+  return impl_->data;
+}
+
+const std::vector<float>& Tensor::data() const {
+  TIMEDRL_CHECK(defined());
+  return impl_->data;
+}
+
+const std::vector<float>& Tensor::grad() const {
+  TIMEDRL_CHECK(defined());
+  TIMEDRL_CHECK(!impl_->grad.empty()) << "tensor has no gradient";
+  return impl_->grad;
+}
+
+bool Tensor::has_grad() const { return defined() && !impl_->grad.empty(); }
+
+Tensor Tensor::GradTensor() const {
+  return Tensor::FromVector(shape(), grad());
+}
+
+float Tensor::item() const {
+  TIMEDRL_CHECK_EQ(numel(), 1) << "item() on tensor of shape "
+                               << ShapeToString(shape());
+  return impl_->data[0];
+}
+
+namespace {
+int64_t FlattenIndex(const Shape& shape,
+                     std::initializer_list<int64_t> index) {
+  TIMEDRL_CHECK_EQ(static_cast<int64_t>(index.size()),
+                   static_cast<int64_t>(shape.size()));
+  std::vector<int64_t> strides = RowMajorStrides(shape);
+  int64_t flat = 0;
+  size_t d = 0;
+  for (int64_t i : index) {
+    TIMEDRL_CHECK(i >= 0 && i < shape[d])
+        << "index " << i << " out of bounds for dim " << d << " of "
+        << ShapeToString(shape);
+    flat += i * strides[d];
+    ++d;
+  }
+  return flat;
+}
+}  // namespace
+
+float Tensor::at(std::initializer_list<int64_t> index) const {
+  return data()[FlattenIndex(shape(), index)];
+}
+
+float& Tensor::at(std::initializer_list<int64_t> index) {
+  return data()[FlattenIndex(shape(), index)];
+}
+
+std::string Tensor::ToString() const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(shape()) << " [";
+  int64_t n = std::min<int64_t>(numel(), 16);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << impl_->data[i];
+  }
+  if (numel() > n) out << ", ...";
+  out << "]";
+  return out.str();
+}
+
+// ---- Autograd ----------------------------------------------------------------
+
+namespace {
+
+/// Iterative post-order DFS producing a topological order of the autograd
+/// graph rooted at `root` (parents appear before children in the result).
+std::vector<TensorImpl*> TopologicalOrder(TensorImpl* root) {
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(root).second) stack.push_back({root, 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      TensorImpl* parent = frame.node->parents[frame.next_parent++].get();
+      if (visited.insert(parent).second) stack.push_back({parent, 0});
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+void Tensor::Backward() {
+  TIMEDRL_CHECK_EQ(numel(), 1)
+      << "Backward() without a seed requires a one-element tensor";
+  Backward(Tensor::Ones(shape()));
+}
+
+void Tensor::Backward(const Tensor& grad_seed) {
+  TIMEDRL_CHECK(defined());
+  TIMEDRL_CHECK(grad_seed.shape() == shape())
+      << "grad seed shape " << ShapeToString(grad_seed.shape())
+      << " != tensor shape " << ShapeToString(shape());
+
+  std::vector<float>& seed = impl_->MutableGrad();
+  const std::vector<float>& seed_values = grad_seed.data();
+  for (size_t i = 0; i < seed.size(); ++i) seed[i] += seed_values[i];
+
+  std::vector<TensorImpl*> order = TopologicalOrder(impl_.get());
+  // `order` is post-order (parents first); propagate children-to-parents by
+  // walking it in reverse.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn && !node->grad.empty()) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+void Tensor::ZeroGrad() {
+  TIMEDRL_CHECK(defined());
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+Tensor Tensor::Detach() const {
+  TIMEDRL_CHECK(defined());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;  // copy: detached view must not alias grads/graph
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Clone() const {
+  TIMEDRL_CHECK(defined());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = impl_->requires_grad;
+  return Tensor(std::move(impl));
+}
+
+const std::shared_ptr<TensorImpl>& Tensor::impl() const {
+  TIMEDRL_CHECK(defined());
+  return impl_;
+}
+
+namespace internal {
+
+Tensor MakeOpResult(Shape shape, std::vector<float> data,
+                    std::vector<std::shared_ptr<TensorImpl>> parents,
+                    std::function<void(TensorImpl&)> backward_fn) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+
+  bool any_parent_requires_grad = false;
+  for (const auto& parent : parents) {
+    if (parent->requires_grad) {
+      any_parent_requires_grad = true;
+      break;
+    }
+  }
+  if (GradEnabled() && any_parent_requires_grad) {
+    impl->requires_grad = true;
+    impl->parents = std::move(parents);
+    impl->backward_fn = std::move(backward_fn);
+  }
+  return Tensor(std::move(impl));
+}
+
+}  // namespace internal
+}  // namespace timedrl

@@ -1,0 +1,153 @@
+// A dense float32 CPU tensor with reverse-mode automatic differentiation.
+//
+// Design notes:
+//  - Tensors are always contiguous row-major buffers; every op materializes
+//    its result (no views). This keeps kernels and gradients simple and is
+//    plenty fast for the model sizes this project trains.
+//  - Autograd is tape-free: each op stores its parents and a backward closure
+//    on the result's TensorImpl. Tensor::Backward() topologically sorts the
+//    reachable graph and runs closures in reverse order.
+//  - Gradient recording is controlled by a thread-local flag (NoGradGuard)
+//    and per-tensor `requires_grad`; a result records a closure only when
+//    recording is enabled and at least one parent requires grad.
+
+#ifndef TIMEDRL_TENSOR_TENSOR_H_
+#define TIMEDRL_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/rng.h"
+
+namespace timedrl {
+
+/// Shared state behind a Tensor handle. Public members are for internal use
+/// by op kernels; library users interact through Tensor.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  /// Gradient buffer; empty until first accumulation.
+  std::vector<float> grad;
+  bool requires_grad = false;
+
+  /// Autograd graph edges: inputs that produced this tensor.
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  /// Propagates `this->grad` into `parents`' grads. Null for leaves.
+  std::function<void(TensorImpl&)> backward_fn;
+
+  int64_t numel() const { return NumElements(shape); }
+
+  /// Gradient buffer, allocated (zero-filled) on first use.
+  std::vector<float>& MutableGrad();
+};
+
+/// Returns true when ops should record autograd graph edges.
+bool GradEnabled();
+
+/// RAII scope that disables gradient recording (like torch.no_grad()).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Value-semantic handle to a shared TensorImpl.
+///
+/// Copying a Tensor aliases the same storage (like torch). Use Clone() for a
+/// deep copy. A default-constructed Tensor is "empty" (defined() == false).
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  // ---- Factories -----------------------------------------------------------
+
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  static Tensor Ones(const Shape& shape, bool requires_grad = false);
+  static Tensor Full(const Shape& shape, float value,
+                     bool requires_grad = false);
+  /// Takes ownership of `values`; dies unless values.size() == numel(shape).
+  static Tensor FromVector(const Shape& shape, std::vector<float> values,
+                           bool requires_grad = false);
+  /// Convenience scalar (shape [1]).
+  static Tensor Scalar(float value, bool requires_grad = false);
+  /// I.i.d. N(mean, stddev^2) entries.
+  static Tensor Randn(const Shape& shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f, bool requires_grad = false);
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor Rand(const Shape& shape, Rng& rng, float lo = 0.0f,
+                     float hi = 1.0f, bool requires_grad = false);
+
+  // ---- Introspection -------------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  int64_t dim() const { return static_cast<int64_t>(shape().size()); }
+  int64_t numel() const;
+  /// Size of dimension `d` (negative indices allowed).
+  int64_t size(int64_t d) const;
+  bool requires_grad() const;
+  void set_requires_grad(bool value);
+
+  std::vector<float>& data();
+  const std::vector<float>& data() const;
+  /// Accumulated gradient; dies if no gradient has been produced.
+  const std::vector<float>& grad() const;
+  bool has_grad() const;
+  /// Gradient as a (non-differentiable) Tensor of the same shape.
+  Tensor GradTensor() const;
+
+  /// The single element of a one-element tensor.
+  float item() const;
+  /// Element access by multi-dimensional index (bounds-checked).
+  float at(std::initializer_list<int64_t> index) const;
+  float& at(std::initializer_list<int64_t> index);
+
+  std::string ToString() const;
+
+  // ---- Autograd ------------------------------------------------------------
+
+  /// Runs backpropagation from this tensor. If `grad_seed` is not provided,
+  /// this tensor must hold a single element and is seeded with 1.
+  void Backward();
+  void Backward(const Tensor& grad_seed);
+
+  /// Clears this tensor's accumulated gradient.
+  void ZeroGrad();
+
+  /// A new leaf tensor sharing this tensor's storage but cut off from the
+  /// autograd graph (the paper's stop_gradient operation).
+  Tensor Detach() const;
+
+  /// Deep copy (fresh storage, leaf, same requires_grad).
+  Tensor Clone() const;
+
+  /// Internal: shared implementation pointer used by op kernels.
+  const std::shared_ptr<TensorImpl>& impl() const;
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+namespace internal {
+
+/// Builds an op result: wires parents and the backward closure when gradient
+/// recording is active and some parent requires grad.
+Tensor MakeOpResult(Shape shape, std::vector<float> data,
+                    std::vector<std::shared_ptr<TensorImpl>> parents,
+                    std::function<void(TensorImpl&)> backward_fn);
+
+}  // namespace internal
+}  // namespace timedrl
+
+#endif  // TIMEDRL_TENSOR_TENSOR_H_

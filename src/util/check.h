@@ -1,0 +1,55 @@
+// Lightweight CHECK macros for invariant enforcement.
+//
+// The library follows a fail-fast philosophy: violated preconditions abort
+// with a readable message rather than propagating exceptions (exceptions are
+// disabled per the project style).
+
+#ifndef TIMEDRL_UTIL_CHECK_H_
+#define TIMEDRL_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace timedrl::internal {
+
+/// Accumulates a failure message and aborts when destroyed.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "[CHECK FAILED] " << file << ":" << line << ": " << condition
+            << " ";
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace timedrl::internal
+
+/// Aborts with a message when `condition` is false. Extra context can be
+/// streamed: TIMEDRL_CHECK(a == b) << "a=" << a;
+#define TIMEDRL_CHECK(condition)                                          \
+  if (condition) {                                                        \
+  } else                                                                  \
+    ::timedrl::internal::CheckFailure(__FILE__, __LINE__, #condition)
+
+#define TIMEDRL_CHECK_EQ(a, b) TIMEDRL_CHECK((a) == (b))
+#define TIMEDRL_CHECK_NE(a, b) TIMEDRL_CHECK((a) != (b))
+#define TIMEDRL_CHECK_LT(a, b) TIMEDRL_CHECK((a) < (b))
+#define TIMEDRL_CHECK_LE(a, b) TIMEDRL_CHECK((a) <= (b))
+#define TIMEDRL_CHECK_GT(a, b) TIMEDRL_CHECK((a) > (b))
+#define TIMEDRL_CHECK_GE(a, b) TIMEDRL_CHECK((a) >= (b))
+
+#endif  // TIMEDRL_UTIL_CHECK_H_

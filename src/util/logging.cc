@@ -1,0 +1,50 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace timedrl {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level));
+}
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= g_log_level.load()) {
+  if (enabled_) {
+    const char* basename = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') basename = p + 1;
+    }
+    stream_ << "[" << LevelName(level) << " " << basename << ":" << line
+            << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) std::cerr << stream_.str() << std::endl;
+}
+
+}  // namespace internal
+}  // namespace timedrl

@@ -1,0 +1,53 @@
+// Minimal leveled logging to stderr.
+
+#ifndef TIMEDRL_UTIL_LOGGING_H_
+#define TIMEDRL_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace timedrl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Messages below this level are discarded. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Buffers a log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace timedrl
+
+#define TIMEDRL_LOG_DEBUG                                          \
+  ::timedrl::internal::LogMessage(::timedrl::LogLevel::kDebug,     \
+                                  __FILE__, __LINE__)
+#define TIMEDRL_LOG_INFO                                           \
+  ::timedrl::internal::LogMessage(::timedrl::LogLevel::kInfo,      \
+                                  __FILE__, __LINE__)
+#define TIMEDRL_LOG_WARNING                                        \
+  ::timedrl::internal::LogMessage(::timedrl::LogLevel::kWarning,   \
+                                  __FILE__, __LINE__)
+#define TIMEDRL_LOG_ERROR                                          \
+  ::timedrl::internal::LogMessage(::timedrl::LogLevel::kError,     \
+                                  __FILE__, __LINE__)
+
+#endif  // TIMEDRL_UTIL_LOGGING_H_

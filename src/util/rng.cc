@@ -1,0 +1,16 @@
+#include "util/rng.h"
+
+namespace timedrl {
+
+namespace {
+Rng* GlobalRngInstance() {
+  static Rng* rng = new Rng(42);
+  return rng;
+}
+}  // namespace
+
+Rng& GlobalRng() { return *GlobalRngInstance(); }
+
+void SeedGlobalRng(uint64_t seed) { *GlobalRngInstance() = Rng(seed); }
+
+}  // namespace timedrl

@@ -1,0 +1,31 @@
+// Wall-clock timing helper used by trainers and benches.
+
+#ifndef TIMEDRL_UTIL_STOPWATCH_H_
+#define TIMEDRL_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace timedrl {
+
+/// Measures elapsed wall-clock time from construction or the last Reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace timedrl
+
+#endif  // TIMEDRL_UTIL_STOPWATCH_H_

@@ -1,0 +1,75 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace timedrl {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  TIMEDRL_CHECK_EQ(row.size(), header_.size())
+      << "row has " << row.size() << " cells, header has " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::ostringstream out;
+    out << "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+    return out.str();
+  };
+  auto render_separator = [&] {
+    std::ostringstream out;
+    out << "+";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      out << std::string(widths[c] + 2, '-') << "+";
+    }
+    out << "\n";
+    return out.str();
+  };
+
+  std::ostringstream out;
+  out << render_separator() << render_line(header_) << render_separator();
+  for (const auto& row : rows_) {
+    out << (row.empty() ? render_separator() : render_line(row));
+  }
+  out << render_separator();
+  return out.str();
+}
+
+void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
+
+std::string TablePrinter::Num(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string TablePrinter::Pct(double fraction, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%+.*f%%", digits, fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace timedrl

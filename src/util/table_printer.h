@@ -1,0 +1,46 @@
+// ASCII table formatting for benchmark output.
+//
+// The bench binaries print rows in the same layout as the paper's tables;
+// this helper keeps column alignment and numeric formatting consistent.
+
+#ifndef TIMEDRL_UTIL_TABLE_PRINTER_H_
+#define TIMEDRL_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace timedrl {
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  /// `header` defines the column count; later rows must match it.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row. Dies if the cell count mismatches the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the full table.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  /// Formats a float with `digits` decimal places.
+  static std::string Num(double value, int digits = 3);
+
+  /// Formats a relative change as e.g. "+10.36%".
+  static std::string Pct(double fraction, int digits = 2);
+
+ private:
+  std::vector<std::string> header_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace timedrl
+
+#endif  // TIMEDRL_UTIL_TABLE_PRINTER_H_

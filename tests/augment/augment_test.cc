@@ -1,0 +1,161 @@
+#include "augment/augment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor.h"
+
+namespace timedrl::augment {
+namespace {
+
+Tensor TestBatch() {
+  // [2, 8, 2] ramp: distinguishable values everywhere.
+  std::vector<float> values(32);
+  for (size_t i = 0; i < values.size(); ++i) values[i] = 1.0f + i;
+  return Tensor::FromVector({2, 8, 2}, std::move(values));
+}
+
+TEST(AugmentTest, NoneIsIdentity) {
+  Rng rng(1);
+  Tensor x = TestBatch();
+  Tensor y = Apply(Kind::kNone, x, AugmentConfig{}, rng);
+  EXPECT_EQ(y.data(), x.data());
+}
+
+TEST(AugmentTest, JitterPerturbsEveryValueSlightly) {
+  Rng rng(2);
+  Tensor x = TestBatch();
+  Tensor y = Jitter(x, 0.05f, rng);
+  int64_t unchanged = 0;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(y.data()[i], x.data()[i], 0.5f);
+    if (y.data()[i] == x.data()[i]) ++unchanged;
+  }
+  EXPECT_EQ(unchanged, 0);
+}
+
+TEST(AugmentTest, ScalingIsPerSampleChannelMultiplicative) {
+  Rng rng(3);
+  Tensor x = TestBatch();
+  Tensor y = Scaling(x, 0.5f, rng);
+  // Within one (sample, channel), the ratio y/x is a single constant.
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t c = 0; c < 2; ++c) {
+      const float ratio = y.at({b, 0, c}) / x.at({b, 0, c});
+      for (int64_t t = 1; t < 8; ++t) {
+        EXPECT_NEAR(y.at({b, t, c}) / x.at({b, t, c}), ratio, 1e-4);
+      }
+    }
+  }
+}
+
+TEST(AugmentTest, RotationPermutesChannelsWithSigns) {
+  Rng rng(4);
+  Tensor x = TestBatch();
+  Tensor y = Rotation(x, rng);
+  // Every output channel equals +-(some input channel), consistently over t.
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t c = 0; c < 2; ++c) {
+      bool matched = false;
+      for (int64_t source = 0; source < 2 && !matched; ++source) {
+        for (float sign : {1.0f, -1.0f}) {
+          bool all = true;
+          for (int64_t t = 0; t < 8; ++t) {
+            if (std::abs(y.at({b, t, c}) - sign * x.at({b, t, source})) >
+                1e-5) {
+              all = false;
+              break;
+            }
+          }
+          if (all) matched = true;
+        }
+      }
+      EXPECT_TRUE(matched) << "sample " << b << " channel " << c;
+    }
+  }
+}
+
+TEST(AugmentTest, PermutationPreservesMultisetOfValues) {
+  Rng rng(5);
+  Tensor x = TestBatch();
+  Tensor y = Permutation(x, 4, rng);
+  for (int64_t b = 0; b < 2; ++b) {
+    std::vector<float> before;
+    std::vector<float> after;
+    for (int64_t t = 0; t < 8; ++t) {
+      for (int64_t c = 0; c < 2; ++c) {
+        before.push_back(x.at({b, t, c}));
+        after.push_back(y.at({b, t, c}));
+      }
+    }
+    std::sort(before.begin(), before.end());
+    std::sort(after.begin(), after.end());
+    EXPECT_EQ(before, after);
+  }
+}
+
+TEST(AugmentTest, PermutationReordersTime) {
+  Rng rng(6);
+  Tensor x = TestBatch();
+  bool any_moved = false;
+  for (int attempt = 0; attempt < 5 && !any_moved; ++attempt) {
+    Tensor y = Permutation(x, 4, rng);
+    if (y.data() != x.data()) any_moved = true;
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(AugmentTest, MaskingZeroesWholeTimesteps) {
+  Rng rng(7);
+  Tensor x = TestBatch();
+  Tensor y = Masking(x, 0.4f, rng);
+  int64_t masked = 0;
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t t = 0; t < 8; ++t) {
+      const bool zero0 = y.at({b, t, 0}) == 0.0f;
+      const bool zero1 = y.at({b, t, 1}) == 0.0f;
+      EXPECT_EQ(zero0, zero1) << "masking must zero all channels at once";
+      if (zero0) ++masked;
+    }
+  }
+  EXPECT_GT(masked, 0);
+  EXPECT_LT(masked, 16);
+}
+
+TEST(AugmentTest, CroppingZeroesMarginsOnly) {
+  Rng rng(8);
+  Tensor x = TestBatch();
+  Tensor y = Cropping(x, 0.5f, rng);
+  for (int64_t b = 0; b < 2; ++b) {
+    // Zeros form a (possibly empty) prefix and suffix.
+    int64_t first_nonzero = 8;
+    int64_t last_nonzero = -1;
+    for (int64_t t = 0; t < 8; ++t) {
+      if (y.at({b, t, 0}) != 0.0f) {
+        first_nonzero = std::min(first_nonzero, t);
+        last_nonzero = std::max(last_nonzero, t);
+      }
+    }
+    for (int64_t t = first_nonzero; t <= last_nonzero; ++t) {
+      EXPECT_NE(y.at({b, t, 0}), 0.0f) << "hole inside the kept region";
+    }
+  }
+}
+
+TEST(AugmentTest, AllKindsRoundTripThroughApplyAndNames) {
+  Rng rng(9);
+  Tensor x = TestBatch();
+  AugmentConfig config;
+  for (Kind kind : AllKinds()) {
+    Tensor y = Apply(kind, x, config, rng);
+    EXPECT_EQ(y.shape(), x.shape()) << KindName(kind);
+    EXPECT_FALSE(KindName(kind).empty());
+  }
+  EXPECT_EQ(AllKinds().size(), 7u);
+  EXPECT_EQ(KindName(Kind::kRotation), "Rotation");
+}
+
+}  // namespace
+}  // namespace timedrl::augment

@@ -1,0 +1,168 @@
+// Every baseline must train (loss decreases or stays finite) and produce
+// usable representations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "baselines/clustering.h"
+#include "baselines/common.h"
+#include "baselines/contrastive_cv.h"
+#include "baselines/cost.h"
+#include "baselines/end_to_end.h"
+#include "baselines/simts.h"
+#include "baselines/tloss.h"
+#include "baselines/tnc.h"
+#include "baselines/ts2vec.h"
+#include "baselines/tstcc.h"
+#include "data/synthetic.h"
+
+namespace timedrl::baselines {
+namespace {
+
+struct BaselineCase {
+  std::string name;
+  std::function<std::unique_ptr<SslBaseline>(int64_t, Rng&)> make;
+};
+
+class SslBaselineTest : public ::testing::TestWithParam<BaselineCase> {};
+
+TEST_P(SslBaselineTest, TrainsAndEncodes) {
+  Rng rng(11);
+  const int64_t channels = 3;
+  data::ClassificationDataset dataset = data::MakeWisdmLike(80, 32, rng);
+  std::unique_ptr<SslBaseline> model = GetParam().make(channels, rng);
+
+  core::ClassificationSource source(&dataset);
+  core::PretrainConfig config;
+  config.epochs = 3;
+  config.batch_size = 16;
+  std::vector<double> history = TrainSslBaseline(model.get(), source, config,
+                                                 rng);
+  ASSERT_EQ(history.size(), 3u);
+  for (double loss : history) EXPECT_TRUE(std::isfinite(loss));
+
+  // Representations have the advertised shapes and are deterministic in
+  // eval mode.
+  auto [x, labels] = dataset.GetBatch({0, 1, 2});
+  (void)labels;
+  NoGradGuard guard;
+  Tensor sequence = model->EncodeSequence(x);
+  EXPECT_EQ(sequence.shape(),
+            (Shape{3, 32, model->representation_dim()}));
+  Tensor instance_a = model->EncodeInstance(x);
+  Tensor instance_b = model->EncodeInstance(x);
+  EXPECT_EQ(instance_a.shape(), (Shape{3, model->representation_dim()}));
+  EXPECT_EQ(instance_a.data(), instance_b.data());
+}
+
+std::vector<BaselineCase> MakeCases() {
+  auto wrap = [](auto factory) {
+    return [factory](int64_t channels, Rng& rng) {
+      return factory(channels, rng);
+    };
+  };
+  return {
+      {"Ts2Vec", wrap([](int64_t c, Rng& rng) -> std::unique_ptr<SslBaseline> {
+         return std::make_unique<Ts2Vec>(c, 16, 2, rng);
+       })},
+      {"SimTs", wrap([](int64_t c, Rng& rng) -> std::unique_ptr<SslBaseline> {
+         return std::make_unique<SimTs>(c, 16, 2, rng);
+       })},
+      {"Tnc", wrap([](int64_t c, Rng& rng) -> std::unique_ptr<SslBaseline> {
+         return std::make_unique<Tnc>(c, 16, 2, rng);
+       })},
+      {"CoSt", wrap([](int64_t c, Rng& rng) -> std::unique_ptr<SslBaseline> {
+         return std::make_unique<CoSt>(c, 16, 2, rng);
+       })},
+      {"SimClr", wrap([](int64_t c, Rng& rng) -> std::unique_ptr<SslBaseline> {
+         return std::make_unique<SimClr>(c, 16, 2, rng);
+       })},
+      {"Byol", wrap([](int64_t c, Rng& rng) -> std::unique_ptr<SslBaseline> {
+         return std::make_unique<Byol>(c, 16, 2, rng);
+       })},
+      {"TsTcc", wrap([](int64_t c, Rng& rng) -> std::unique_ptr<SslBaseline> {
+         return std::make_unique<TsTcc>(c, 16, 2, rng);
+       })},
+      {"TLoss", wrap([](int64_t c, Rng& rng) -> std::unique_ptr<SslBaseline> {
+         return std::make_unique<TLoss>(c, 16, 2, rng);
+       })},
+      {"Ccl", wrap([](int64_t c, Rng& rng) -> std::unique_ptr<SslBaseline> {
+         return std::make_unique<Ccl>(c, 16, 2, 6, rng);
+       })},
+      {"MhcclLite",
+       wrap([](int64_t c, Rng& rng) -> std::unique_ptr<SslBaseline> {
+         return std::make_unique<MhcclLite>(c, 16, 2, 6, rng);
+       })},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, SslBaselineTest, ::testing::ValuesIn(MakeCases()),
+    [](const ::testing::TestParamInfo<BaselineCase>& info) {
+      return info.param.name;
+    });
+
+TEST(BaselineLossDecreasesTest, Ts2VecLossDecreases) {
+  Rng rng(13);
+  data::TimeSeries series = data::MakeEttLike(500, 24, 1, rng);
+  data::ForecastingWindows windows(series, 32, 0, /*stride=*/4);
+  core::ForecastingSource source(&windows, /*channel_independent=*/false);
+  Ts2Vec model(7, 16, 2, rng);
+  core::PretrainConfig config;
+  config.epochs = 5;
+  config.batch_size = 16;
+  std::vector<double> history =
+      TrainSslBaseline(&model, source, config, rng);
+  EXPECT_LT(history.back(), history.front());
+}
+
+TEST(EndToEndTest, InformerAndTcnLearnAR1) {
+  Rng rng(17);
+  // Highly predictable series: a clean sinusoid.
+  data::TimeSeries series(400, 2);
+  for (int64_t t = 0; t < 400; ++t) {
+    series.at(t, 0) = std::sin(0.3f * t);
+    series.at(t, 1) = std::cos(0.3f * t);
+  }
+  data::ForecastingWindows windows(series, 24, 8, /*stride=*/2);
+
+  core::DownstreamConfig config;
+  config.epochs = 12;
+  config.batch_size = 16;
+
+  InformerLite informer(2, 8, 16, 1, rng);
+  TrainEndToEnd(&informer, windows, config, rng);
+  core::ForecastMetrics informer_metrics = EvaluateEndToEnd(&informer, windows);
+  EXPECT_LT(informer_metrics.mse, 0.25);  // sinusoid variance is 0.5
+
+  TcnForecaster tcn(2, 8, 16, 2, rng);
+  TrainEndToEnd(&tcn, windows, config, rng);
+  core::ForecastMetrics tcn_metrics = EvaluateEndToEnd(&tcn, windows);
+  EXPECT_LT(tcn_metrics.mse, 0.25);
+}
+
+TEST(BaselineProbeTest, ProbesRun) {
+  Rng rng(19);
+  data::ClassificationDataset dataset = data::MakeEpilepsyLike(100, 48, rng);
+  data::ClassificationSplits splits = data::StratifiedSplit(dataset, 0.7, rng);
+
+  Ts2Vec model(1, 16, 2, rng);
+  core::ClassificationSource source(&splits.train);
+  core::PretrainConfig pretrain_config;
+  pretrain_config.epochs = 5;
+  pretrain_config.batch_size = 16;
+  TrainSslBaseline(&model, source, pretrain_config, rng);
+
+  BaselineClassifyProbe probe(&model, 2, rng);
+  core::DownstreamConfig downstream;
+  downstream.epochs = 10;
+  downstream.batch_size = 16;
+  probe.Train(splits.train, downstream, rng);
+  core::ClassificationMetrics result = probe.Evaluate(splits.test);
+  EXPECT_GE(result.accuracy, 0.5);  // two classes; must be at least chance
+}
+
+}  // namespace
+}  // namespace timedrl::baselines

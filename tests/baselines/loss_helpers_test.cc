@@ -1,0 +1,107 @@
+// Unit tests for the baseline loss building blocks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/common.h"
+
+namespace timedrl::baselines {
+namespace {
+
+TEST(L2NormalizeTest, RowsHaveUnitNorm) {
+  Rng rng(1);
+  Tensor x = Tensor::Randn({5, 7}, rng, 0.0f, 3.0f);
+  Tensor y = L2NormalizeRows(x);
+  for (int64_t r = 0; r < 5; ++r) {
+    double norm = 0;
+    for (int64_t c = 0; c < 7; ++c) norm += y.at({r, c}) * y.at({r, c});
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4);
+  }
+}
+
+TEST(NtXentTest, PerfectAlignmentGivesLowLoss) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({8, 16}, rng);
+  // Identical views: positives have similarity 1, everything else less (in
+  // general position), so the loss should be small at low temperature.
+  Tensor aligned_loss = NtXentLoss(a, a, 0.05f);
+  Tensor b = Tensor::Randn({8, 16}, rng);
+  Tensor random_loss = NtXentLoss(a, b, 0.05f);
+  EXPECT_LT(aligned_loss.item(), random_loss.item());
+  EXPECT_LT(aligned_loss.item(), 0.5f);
+}
+
+TEST(NtXentTest, GradientsFlowToBothViews) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({4, 8}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Randn({4, 8}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+  NtXentLoss(a, b, 0.2f).Backward();
+  EXPECT_TRUE(a.has_grad());
+  EXPECT_TRUE(b.has_grad());
+}
+
+TEST(DiagonalContrastTest, IdentityLogitsBeatShuffled) {
+  // Strong diagonal -> low CE; strong off-diagonal -> high CE.
+  Tensor good = Tensor::FromVector({2, 2}, {5, 0, 0, 5});
+  Tensor bad = Tensor::FromVector({2, 2}, {0, 5, 5, 0});
+  EXPECT_LT(DiagonalContrast(good).item(), 0.1f);
+  EXPECT_GT(DiagonalContrast(bad).item(), 3.0f);
+}
+
+TEST(BceWithLogitsTest, HandValues) {
+  // BCE(logit=0, target) = log(2) for either target.
+  Tensor zero = Tensor::Scalar(0.0f);
+  EXPECT_NEAR(BceWithLogits(zero, 1.0f).item(), std::log(2.0f), 1e-5);
+  EXPECT_NEAR(BceWithLogits(zero, 0.0f).item(), std::log(2.0f), 1e-5);
+  // Confident & correct -> near zero; confident & wrong -> near |logit|.
+  Tensor strong = Tensor::Scalar(10.0f);
+  EXPECT_NEAR(BceWithLogits(strong, 1.0f).item(), 0.0f, 1e-3);
+  EXPECT_NEAR(BceWithLogits(strong, 0.0f).item(), 10.0f, 1e-3);
+}
+
+TEST(BceWithLogitsTest, StableForLargeMagnitudes) {
+  Tensor large = Tensor::FromVector({2}, {500.0f, -500.0f});
+  Tensor loss = BceWithLogits(large, 1.0f);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  Rng rng(4);
+  std::vector<std::vector<float>> rows;
+  for (int i = 0; i < 20; ++i) {
+    rows.push_back({rng.Normal(0.0f, 0.1f), rng.Normal(0.0f, 0.1f)});
+  }
+  for (int i = 0; i < 20; ++i) {
+    rows.push_back({rng.Normal(10.0f, 0.1f), rng.Normal(10.0f, 0.1f)});
+  }
+  std::vector<std::vector<float>> centroids;
+  std::vector<int64_t> assignment = KMeans(rows, 2, 10, rng, &centroids);
+  ASSERT_EQ(centroids.size(), 2u);
+  // All points in the first half share a label, all in the second the other.
+  for (int i = 1; i < 20; ++i) EXPECT_EQ(assignment[i], assignment[0]);
+  for (int i = 21; i < 40; ++i) EXPECT_EQ(assignment[i], assignment[20]);
+  EXPECT_NE(assignment[0], assignment[20]);
+}
+
+TEST(KMeansTest, ClampsKToSampleCount) {
+  Rng rng(5);
+  std::vector<std::vector<float>> rows = {{0.0f}, {1.0f}};
+  std::vector<int64_t> assignment = KMeans(rows, 10, 5, rng, nullptr);
+  EXPECT_EQ(assignment.size(), 2u);
+  for (int64_t a : assignment) EXPECT_LT(a, 2);
+}
+
+TEST(KMeansTest, DeterministicGivenRngState) {
+  std::vector<std::vector<float>> rows;
+  Rng data_rng(6);
+  for (int i = 0; i < 30; ++i) {
+    rows.push_back({data_rng.Normal(), data_rng.Normal()});
+  }
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(KMeans(rows, 3, 5, a, nullptr), KMeans(rows, 3, 5, b, nullptr));
+}
+
+}  // namespace
+}  // namespace timedrl::baselines

@@ -1,0 +1,78 @@
+// ReconstructionError: the anomaly-scoring use of the predictive head.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.h"
+#include "core/pretrainer.h"
+#include "core/sources.h"
+#include "data/windows.h"
+
+namespace timedrl::core {
+namespace {
+
+TEST(ReconstructionErrorTest, ShapeAndNonNegativity) {
+  Rng rng(1);
+  TimeDrlConfig config;
+  config.input_channels = 2;
+  config.input_length = 16;
+  config.patch_length = 4;
+  config.patch_stride = 4;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.ff_dim = 16;
+  config.num_layers = 1;
+  TimeDrlModel model(config, rng);
+  model.Eval();
+  NoGradGuard guard;
+  Tensor x = Tensor::Randn({3, 16, 2}, rng);
+  Tensor errors = model.ReconstructionError(x);
+  EXPECT_EQ(errors.shape(), (Shape{3, 4}));
+  for (float e : errors.data()) EXPECT_GE(e, 0.0f);
+}
+
+TEST(ReconstructionErrorTest, PretrainedModelFlagsStructuralBreaks) {
+  // Pre-train on smooth sinusoids; a window with an injected spike should
+  // score higher than a clean one.
+  Rng rng(2);
+  const int64_t length = 400;
+  data::TimeSeries series(length, 1);
+  for (int64_t t = 0; t < length; ++t) {
+    series.at(t, 0) = std::sin(0.4f * t);
+  }
+  data::ForecastingWindows windows(series, 32, 0, 2);
+  ForecastingSource source(&windows, /*channel_independent=*/false);
+
+  TimeDrlConfig config;
+  config.input_channels = 1;
+  config.input_length = 32;
+  config.patch_length = 8;
+  config.patch_stride = 8;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.ff_dim = 32;
+  config.num_layers = 1;
+  TimeDrlModel model(config, rng);
+
+  PretrainConfig pretrain;
+  pretrain.epochs = 12;
+  pretrain.batch_size = 16;
+  Pretrain(&model, source, pretrain, rng);
+
+  NoGradGuard guard;
+  Tensor clean = windows.GetInputs({0});
+  Tensor corrupted = clean.Clone();
+  corrupted.at({0, 20, 0}) += 6.0f;  // spike in patch 2
+
+  auto max_error = [&](const Tensor& x) {
+    Tensor errors = model.ReconstructionError(x);
+    float best = 0.0f;
+    for (float e : errors.data()) best = std::max(best, e);
+    return best;
+  };
+  EXPECT_GT(max_error(corrupted), 2.0f * max_error(clean));
+}
+
+}  // namespace
+}  // namespace timedrl::core

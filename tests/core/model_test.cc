@@ -1,0 +1,263 @@
+// TimeDRL model internals: CLS wiring, disentangled losses, stop-gradient,
+// dropout views, pooling strategies.
+
+#include "core/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace timedrl::core {
+namespace {
+
+TimeDrlConfig SmallConfig() {
+  TimeDrlConfig config;
+  config.input_channels = 3;
+  config.input_length = 16;
+  config.patch_length = 4;
+  config.patch_stride = 4;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.ff_dim = 16;
+  config.num_layers = 1;
+  config.dropout = 0.1f;
+  return config;
+}
+
+TEST(TimeDrlConfigTest, DerivedQuantities) {
+  TimeDrlConfig config = SmallConfig();
+  EXPECT_EQ(config.token_dim(), 12);  // C * P = 3 * 4
+  EXPECT_EQ(config.num_patches(), 4);
+  config.patch_stride = 2;
+  EXPECT_EQ(config.num_patches(), 7);  // overlapping patches
+}
+
+TEST(TimeDrlModelTest, EncodeShapes) {
+  Rng rng(1);
+  TimeDrlModel model(SmallConfig(), rng);
+  model.Eval();
+  Tensor x = Tensor::Randn({5, 16, 3}, rng);
+  TimeDrlModel::Encoded encoded = model.Encode(x);
+  EXPECT_EQ(encoded.instance.shape(), (Shape{5, 8}));
+  EXPECT_EQ(encoded.timestamp.shape(), (Shape{5, 4, 8}));
+  EXPECT_EQ(encoded.mean.shape(), (Shape{5, 1, 3}));
+  EXPECT_EQ(encoded.std_dev.shape(), (Shape{5, 1, 3}));
+}
+
+TEST(TimeDrlModelTest, EvalEncodingIsDeterministic) {
+  Rng rng(2);
+  TimeDrlModel model(SmallConfig(), rng);
+  model.Eval();
+  Tensor x = Tensor::Randn({2, 16, 3}, rng);
+  Tensor a = model.Encode(x).instance;
+  Tensor b = model.Encode(x).instance;
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(TimeDrlModelTest, TrainEncodingVariesThroughDropout) {
+  Rng rng(3);
+  TimeDrlModel model(SmallConfig(), rng);
+  model.Train();
+  Tensor x = Tensor::Randn({2, 16, 3}, rng);
+  Tensor a = model.Encode(x).instance;
+  Tensor b = model.Encode(x).instance;
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(TimeDrlModelTest, InstanceEmbeddingDependsOnInput) {
+  Rng rng(4);
+  TimeDrlModel model(SmallConfig(), rng);
+  model.Eval();
+  Tensor x1 = Tensor::Randn({1, 16, 3}, rng);
+  Tensor x2 = Tensor::Randn({1, 16, 3}, rng);
+  EXPECT_NE(model.Encode(x1).instance.data(),
+            model.Encode(x2).instance.data());
+}
+
+TEST(TimeDrlModelTest, PretextStepProducesFiniteDisentangledLosses) {
+  Rng rng(5);
+  TimeDrlModel model(SmallConfig(), rng);
+  Tensor x = Tensor::Randn({4, 16, 3}, rng);
+  TimeDrlModel::PretextOutput output = model.PretextStep(x);
+  EXPECT_TRUE(std::isfinite(output.total.item()));
+  EXPECT_TRUE(std::isfinite(output.predictive.item()));
+  EXPECT_TRUE(std::isfinite(output.contrastive.item()));
+  // Contrastive loss is a negative mean cosine similarity: in [-1, 1].
+  EXPECT_GE(output.contrastive.item(), -1.0f - 1e-5f);
+  EXPECT_LE(output.contrastive.item(), 1.0f + 1e-5f);
+  // Predictive loss is an MSE: non-negative.
+  EXPECT_GE(output.predictive.item(), 0.0f);
+}
+
+TEST(TimeDrlModelTest, LambdaScalesContrastiveTerm) {
+  Rng rng(6);
+  TimeDrlConfig config = SmallConfig();
+  config.dropout = 0.0f;  // deterministic views so losses are comparable
+  config.lambda_weight = 2.0f;
+  TimeDrlModel model(config, rng);
+  Tensor x = Tensor::Randn({4, 16, 3}, rng);
+  TimeDrlModel::PretextOutput output = model.PretextStep(x);
+  EXPECT_NEAR(output.total.item(),
+              output.predictive.item() + 2.0f * output.contrastive.item(),
+              1e-5f);
+}
+
+TEST(TimeDrlModelTest, PretextStepRequiresTrainingMode) {
+  Rng rng(7);
+  TimeDrlModel model(SmallConfig(), rng);
+  model.Eval();
+  Tensor x = Tensor::Randn({4, 16, 3}, rng);
+  EXPECT_DEATH(model.PretextStep(x), "training mode");
+}
+
+TEST(TimeDrlModelTest, LossesAreDisentangledAcrossHeads) {
+  // Disentanglement (paper Section IV): each pretext loss optimizes its own
+  // head. L_P must send no gradient into the contrastive head c, and L_C
+  // must send no gradient into the predictive head p. (Both still update
+  // the shared encoder — including the [CLS] token via attention.)
+  Rng rng(8);
+  TimeDrlModel model(SmallConfig(), rng);
+  Tensor x = Tensor::Randn({4, 16, 3}, rng);
+
+  auto head_grad_magnitude = [&](const std::string& prefix) {
+    double total = 0.0;
+    for (const auto& [name, parameter] : model.NamedParameters()) {
+      if (name.rfind(prefix, 0) == 0 && parameter.has_grad()) {
+        for (float g : parameter.grad()) total += std::abs(g);
+      }
+    }
+    return total;
+  };
+
+  TimeDrlModel::PretextOutput predictive_pass = model.PretextStep(x);
+  model.ZeroGrad();
+  predictive_pass.predictive.Backward();
+  EXPECT_EQ(head_grad_magnitude("contrastive_"), 0.0);
+  EXPECT_GT(head_grad_magnitude("predictive_head"), 0.0);
+
+  TimeDrlModel::PretextOutput contrastive_pass = model.PretextStep(x);
+  model.ZeroGrad();
+  contrastive_pass.contrastive.Backward();
+  EXPECT_EQ(head_grad_magnitude("predictive_head"), 0.0);
+  EXPECT_GT(head_grad_magnitude("contrastive_"), 0.0);
+}
+
+TEST(TimeDrlModelTest, ContrastiveLossDoesTrainClsToken) {
+  Rng rng(9);
+  TimeDrlModel model(SmallConfig(), rng);
+  Tensor x = Tensor::Randn({4, 16, 3}, rng);
+  TimeDrlModel::PretextOutput output = model.PretextStep(x);
+  model.ZeroGrad();
+  output.contrastive.Backward();
+  bool cls_has_nonzero_grad = false;
+  for (const auto& [name, parameter] : model.NamedParameters()) {
+    if (name == "cls_token" && parameter.has_grad()) {
+      for (float g : parameter.grad()) {
+        if (g != 0.0f) cls_has_nonzero_grad = true;
+      }
+    }
+  }
+  EXPECT_TRUE(cls_has_nonzero_grad);
+}
+
+TEST(TimeDrlModelTest, PoolingShapes) {
+  Rng rng(10);
+  TimeDrlModel model(SmallConfig(), rng);
+  model.Eval();
+  Tensor x = Tensor::Randn({3, 16, 3}, rng);
+  TimeDrlModel::Encoded encoded = model.Encode(x);
+  EXPECT_EQ(model.PooledInstance(encoded, Pooling::kCls).shape(),
+            (Shape{3, 8}));
+  EXPECT_EQ(model.PooledInstance(encoded, Pooling::kLast).shape(),
+            (Shape{3, 8}));
+  EXPECT_EQ(model.PooledInstance(encoded, Pooling::kGap).shape(),
+            (Shape{3, 8}));
+  EXPECT_EQ(model.PooledInstance(encoded, Pooling::kAll).shape(),
+            (Shape{3, 32}));
+  EXPECT_EQ(model.PooledDim(Pooling::kCls), 8);
+  EXPECT_EQ(model.PooledDim(Pooling::kAll), 32);
+}
+
+TEST(TimeDrlModelTest, PoolingSemantics) {
+  Rng rng(11);
+  TimeDrlModel model(SmallConfig(), rng);
+  model.Eval();
+  Tensor x = Tensor::Randn({2, 16, 3}, rng);
+  TimeDrlModel::Encoded encoded = model.Encode(x);
+  Tensor last = model.PooledInstance(encoded, Pooling::kLast);
+  Tensor gap = model.PooledInstance(encoded, Pooling::kGap);
+  // Last equals the final timestamp row.
+  for (int64_t d = 0; d < 8; ++d) {
+    EXPECT_FLOAT_EQ(last.at({0, d}), encoded.timestamp.at({0, 3, d}));
+  }
+  // GAP equals the mean over timestamps.
+  for (int64_t d = 0; d < 8; ++d) {
+    float mean = 0;
+    for (int64_t t = 0; t < 4; ++t) mean += encoded.timestamp.at({0, t, d});
+    EXPECT_NEAR(gap.at({0, d}), mean / 4.0f, 1e-5f);
+  }
+}
+
+TEST(NegativeCosineTest, HandValues) {
+  Tensor a = Tensor::FromVector({1, 2}, {1.0f, 0.0f});
+  Tensor b = Tensor::FromVector({1, 2}, {1.0f, 0.0f});
+  EXPECT_NEAR(NegativeCosineSimilarity(a, b).item(), -1.0f, 1e-4f);
+  Tensor c = Tensor::FromVector({1, 2}, {-1.0f, 0.0f});
+  EXPECT_NEAR(NegativeCosineSimilarity(a, c).item(), 1.0f, 1e-4f);
+  Tensor d = Tensor::FromVector({1, 2}, {0.0f, 1.0f});
+  EXPECT_NEAR(NegativeCosineSimilarity(a, d).item(), 0.0f, 1e-4f);
+}
+
+TEST(NegativeCosineTest, ScaleInvariant) {
+  Rng rng(12);
+  Tensor a = Tensor::Randn({4, 8}, rng);
+  Tensor b = Tensor::Randn({4, 8}, rng);
+  const float base = NegativeCosineSimilarity(a, b).item();
+  EXPECT_NEAR(NegativeCosineSimilarity(a * 5.0f, b * 0.2f).item(), base,
+              1e-4f);
+}
+
+TEST(StopGradientTest, BlocksTargetBranchGradients) {
+  // With stop_gradient on, the contrastive target is detached: backprop of
+  // L_C1 = -cos(p1, sg(z2)) sends no gradient through the z2 branch. We
+  // check the aggregate effect: gradients still reach encoder parameters
+  // (through the prediction branch) in both settings, but the computation
+  // differs — verify by comparing grads with/without SG on identical
+  // dropout-free models.
+  Rng rng_a(13);
+  Rng rng_b(13);
+  TimeDrlConfig config = SmallConfig();
+  config.dropout = 0.0f;
+  config.stop_gradient = true;
+  TimeDrlModel with_sg(config, rng_a);
+  config.stop_gradient = false;
+  TimeDrlModel without_sg(config, rng_b);
+
+  Rng data_rng(14);
+  Tensor x = Tensor::Randn({4, 16, 3}, data_rng);
+
+  with_sg.ZeroGrad();
+  with_sg.PretextStep(x).contrastive.Backward();
+  without_sg.ZeroGrad();
+  without_sg.PretextStep(x).contrastive.Backward();
+
+  // Same initialization (same seed) but different gradient paths.
+  auto grads = [](TimeDrlModel& model) {
+    double total = 0.0;
+    for (const Tensor& parameter : model.Parameters()) {
+      if (!parameter.has_grad()) continue;
+      for (float g : parameter.grad()) total += std::abs(g);
+    }
+    return total;
+  };
+  const double g_with = grads(with_sg);
+  const double g_without = grads(without_sg);
+  EXPECT_GT(g_with, 0.0);
+  EXPECT_GT(g_without, 0.0);
+  EXPECT_NE(g_with, g_without);
+}
+
+}  // namespace
+}  // namespace timedrl::core

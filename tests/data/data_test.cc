@@ -1,0 +1,236 @@
+// Containers, splits, scalers, windows, loaders, CSV.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "data/csv.h"
+#include "data/loader.h"
+#include "data/scaler.h"
+#include "data/time_series.h"
+#include "data/windows.h"
+
+namespace timedrl::data {
+namespace {
+
+TimeSeries Ramp(int64_t length, int64_t channels) {
+  TimeSeries series(length, channels);
+  for (int64_t t = 0; t < length; ++t) {
+    for (int64_t c = 0; c < channels; ++c) {
+      series.at(t, c) = static_cast<float>(t * channels + c);
+    }
+  }
+  return series;
+}
+
+TEST(TimeSeriesTest, BasicAccessors) {
+  TimeSeries series = Ramp(5, 2);
+  EXPECT_EQ(series.length(), 5);
+  EXPECT_EQ(series.channels, 2);
+  EXPECT_FLOAT_EQ(series.at(3, 1), 7.0f);
+  Tensor t = series.ToTensor();
+  EXPECT_EQ(t.shape(), (Shape{5, 2}));
+}
+
+TEST(TimeSeriesTest, RangeAndChannel) {
+  TimeSeries series = Ramp(6, 2);
+  TimeSeries middle = series.Range(2, 3);
+  EXPECT_EQ(middle.length(), 3);
+  EXPECT_FLOAT_EQ(middle.at(0, 0), 4.0f);
+  TimeSeries col = series.Channel(1);
+  EXPECT_EQ(col.channels, 1);
+  EXPECT_FLOAT_EQ(col.at(5, 0), 11.0f);
+}
+
+TEST(SplitTest, ChronologicalFractionsAndOrder) {
+  TimeSeries series = Ramp(100, 1);
+  ForecastingSplits splits = ChronologicalSplit(series, 0.6, 0.2);
+  EXPECT_EQ(splits.train.length(), 60);
+  EXPECT_EQ(splits.val.length(), 20);
+  EXPECT_EQ(splits.test.length(), 20);
+  // No leakage: test strictly follows val strictly follows train.
+  EXPECT_FLOAT_EQ(splits.train.at(59, 0), 59.0f);
+  EXPECT_FLOAT_EQ(splits.val.at(0, 0), 60.0f);
+  EXPECT_FLOAT_EQ(splits.test.at(0, 0), 80.0f);
+}
+
+TEST(SplitTest, StratifiedPreservesClassBalance) {
+  ClassificationDataset dataset;
+  dataset.window_length = 2;
+  dataset.channels = 1;
+  dataset.num_classes = 2;
+  for (int64_t i = 0; i < 100; ++i) {
+    dataset.windows.push_back({0.0f, 1.0f});
+    dataset.labels.push_back(i < 80 ? 0 : 1);  // 80/20 imbalance
+  }
+  Rng rng(1);
+  ClassificationSplits splits = StratifiedSplit(dataset, 0.75, rng);
+  int64_t train_class1 = 0;
+  for (int64_t label : splits.train.labels) train_class1 += label;
+  int64_t test_class1 = 0;
+  for (int64_t label : splits.test.labels) test_class1 += label;
+  EXPECT_EQ(splits.train.size(), 75);
+  EXPECT_EQ(splits.test.size(), 25);
+  EXPECT_EQ(train_class1, 15);  // 75% of 20
+  EXPECT_EQ(test_class1, 5);
+}
+
+TEST(ScalerTest, TransformThenInverseRoundTrips) {
+  Rng rng(2);
+  TimeSeries series(50, 3);
+  for (float& v : series.values) v = rng.Normal(10.0f, 5.0f);
+  StandardScaler scaler;
+  scaler.Fit(series);
+  TimeSeries transformed = scaler.Transform(series);
+  TimeSeries restored = scaler.InverseTransform(transformed);
+  for (size_t i = 0; i < series.values.size(); ++i) {
+    EXPECT_NEAR(restored.values[i], series.values[i], 1e-3f);
+  }
+}
+
+TEST(ScalerTest, TransformedTrainHasZeroMeanUnitVar) {
+  Rng rng(3);
+  TimeSeries series(500, 2);
+  for (float& v : series.values) v = rng.Normal(-4.0f, 2.0f);
+  StandardScaler scaler;
+  scaler.Fit(series);
+  TimeSeries z = scaler.Transform(series);
+  for (int64_t c = 0; c < 2; ++c) {
+    double mean = 0;
+    double var = 0;
+    for (int64_t t = 0; t < 500; ++t) mean += z.at(t, c);
+    mean /= 500;
+    for (int64_t t = 0; t < 500; ++t) {
+      var += (z.at(t, c) - mean) * (z.at(t, c) - mean);
+    }
+    var /= 500;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(ScalerTest, ConstantChannelPassesThrough) {
+  TimeSeries series(10, 1);
+  for (float& v : series.values) v = 7.0f;
+  StandardScaler scaler;
+  scaler.Fit(series);
+  TimeSeries z = scaler.Transform(series);
+  for (float v : z.values) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(WindowsTest, CountsAndContents) {
+  TimeSeries series = Ramp(20, 1);
+  ForecastingWindows windows(series, /*input=*/5, /*horizon=*/3, /*stride=*/2);
+  // usable = 20 - 5 - 3 = 12 -> 12/2 + 1 = 7 samples
+  EXPECT_EQ(windows.size(), 7);
+  auto [x, y] = windows.GetBatch({0, 1});
+  EXPECT_EQ(x.shape(), (Shape{2, 5, 1}));
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 1}));
+  // Sample 1 starts at t=2.
+  EXPECT_FLOAT_EQ(x.at({1, 0, 0}), 2.0f);
+  // Its target starts right after the input window.
+  EXPECT_FLOAT_EQ(y.at({1, 0, 0}), 7.0f);
+}
+
+TEST(WindowsTest, ZeroHorizonForPretraining) {
+  TimeSeries series = Ramp(10, 2);
+  ForecastingWindows windows(series, 4, /*horizon=*/0, /*stride=*/1);
+  EXPECT_EQ(windows.size(), 7);
+  Tensor x = windows.GetInputs({6});
+  EXPECT_EQ(x.shape(), (Shape{1, 4, 2}));
+  EXPECT_FLOAT_EQ(x.at({0, 0, 0}), 12.0f);
+  EXPECT_DEATH(windows.GetBatch({0}), "without a horizon");
+}
+
+TEST(WindowsTest, TooShortSeriesYieldsNoSamples) {
+  TimeSeries series = Ramp(5, 1);
+  ForecastingWindows windows(series, 10, 2, 1);
+  EXPECT_EQ(windows.size(), 0);
+}
+
+TEST(BatchIteratorTest, CoversEveryIndexOnce) {
+  Rng rng(4);
+  BatchIterator iterator(10, 3, /*shuffle=*/true, rng);
+  std::vector<int64_t> batch;
+  std::set<int64_t> seen;
+  int64_t batches = 0;
+  while (iterator.Next(&batch)) {
+    for (int64_t index : batch) {
+      EXPECT_TRUE(seen.insert(index).second) << "duplicate " << index;
+    }
+    ++batches;
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(batches, 4);  // 3+3+3+1
+  EXPECT_EQ(iterator.NumBatches(), 4);
+}
+
+TEST(BatchIteratorTest, DropLastSkipsShortTail) {
+  Rng rng(4);
+  BatchIterator iterator(10, 3, false, rng, /*drop_last=*/true);
+  std::vector<int64_t> batch;
+  int64_t batches = 0;
+  while (iterator.Next(&batch)) {
+    EXPECT_EQ(batch.size(), 3u);
+    ++batches;
+  }
+  EXPECT_EQ(batches, 3);
+  EXPECT_EQ(iterator.NumBatches(), 3);
+}
+
+TEST(BatchIteratorTest, ShuffleChangesOrderAcrossEpochs) {
+  Rng rng(5);
+  BatchIterator iterator(64, 64, /*shuffle=*/true, rng);
+  std::vector<int64_t> first;
+  iterator.Next(&first);
+  iterator.Reset();
+  std::vector<int64_t> second;
+  iterator.Next(&second);
+  EXPECT_NE(first, second);
+}
+
+TEST(BatchIteratorTest, NoShuffleIsSequential) {
+  Rng rng(5);
+  BatchIterator iterator(5, 2, /*shuffle=*/false, rng);
+  std::vector<int64_t> batch;
+  iterator.Next(&batch);
+  EXPECT_EQ(batch, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(ClassificationDatasetTest, GetBatchShapesAndLabels) {
+  ClassificationDataset dataset;
+  dataset.window_length = 3;
+  dataset.channels = 2;
+  dataset.num_classes = 2;
+  dataset.windows = {{0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11}};
+  dataset.labels = {0, 1};
+  auto [x, labels] = dataset.GetBatch({1, 0});
+  EXPECT_EQ(x.shape(), (Shape{2, 3, 2}));
+  EXPECT_EQ(labels, (std::vector<int64_t>{1, 0}));
+  EXPECT_FLOAT_EQ(x.at({0, 0, 0}), 6.0f);
+}
+
+TEST(CsvTest, SaveLoadRoundTrip) {
+  TimeSeries series = Ramp(7, 3);
+  const char* path = "/tmp/timedrl_csv_test.csv";
+  ASSERT_TRUE(SaveCsv(series, path, {"a", "b", "c"}));
+  TimeSeries loaded;
+  std::vector<std::string> header;
+  ASSERT_TRUE(LoadCsv(path, &loaded, &header));
+  EXPECT_EQ(header, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(loaded.length(), 7);
+  EXPECT_EQ(loaded.channels, 3);
+  for (size_t i = 0; i < series.values.size(); ++i) {
+    EXPECT_FLOAT_EQ(loaded.values[i], series.values[i]);
+  }
+  std::remove(path);
+}
+
+TEST(CsvTest, MissingFileFails) {
+  TimeSeries series;
+  EXPECT_FALSE(LoadCsv("/tmp/does_not_exist_timedrl.csv", &series));
+}
+
+}  // namespace
+}  // namespace timedrl::data

@@ -1,0 +1,105 @@
+// Instance normalization, patching, channel independence (paper Eq. 1-2).
+
+#include <gtest/gtest.h>
+
+#include "data/patching.h"
+#include "tensor/ops.h"
+#include "testing/gradcheck.h"
+#include "util/rng.h"
+
+namespace timedrl::data {
+namespace {
+
+TEST(InstanceNormTest, PerSampleChannelStatistics) {
+  Rng rng(1);
+  Tensor x = Tensor::Randn({3, 20, 2}, rng, 4.0f, 2.0f);
+  InstanceNormResult result = InstanceNormalize(x);
+  EXPECT_EQ(result.normalized.shape(), x.shape());
+  EXPECT_EQ(result.mean.shape(), (Shape{3, 1, 2}));
+  EXPECT_EQ(result.std_dev.shape(), (Shape{3, 1, 2}));
+  for (int64_t b = 0; b < 3; ++b) {
+    for (int64_t c = 0; c < 2; ++c) {
+      double mean = 0;
+      for (int64_t t = 0; t < 20; ++t) mean += result.normalized.at({b, t, c});
+      EXPECT_NEAR(mean / 20.0, 0.0, 1e-4);
+    }
+  }
+}
+
+TEST(InstanceNormTest, DenormalizationRecoversInput) {
+  Rng rng(2);
+  Tensor x = Tensor::Randn({2, 10, 3}, rng, -1.0f, 3.0f);
+  InstanceNormResult result = InstanceNormalize(x);
+  Tensor restored = result.normalized * result.std_dev + result.mean;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(restored.data()[i], x.data()[i], 1e-3f);
+  }
+}
+
+TEST(PatchifyTest, ShapeMatchesPaperFormula) {
+  // T=48, P=8, S=8 -> T_p = 6, token dim C*P.
+  Tensor x = Tensor::Zeros({4, 48, 3});
+  Tensor patched = Patchify(x, 8, 8);
+  EXPECT_EQ(patched.shape(), (Shape{4, 6, 24}));
+  EXPECT_EQ(NumPatches(48, 8, 8), 6);
+}
+
+TEST(PatchifyTest, OverlappingStride) {
+  Tensor x = Tensor::Zeros({1, 16, 1});
+  EXPECT_EQ(Patchify(x, 8, 4).shape(), (Shape{1, 3, 8}));
+  EXPECT_EQ(NumPatches(16, 8, 4), 3);
+}
+
+TEST(PatchifyTest, ValuesLayout) {
+  // Channel-major inside each patch token: [c0 patch values..., c1 ...].
+  Tensor x = Tensor::FromVector(
+      {1, 4, 2}, {0, 10, 1, 11, 2, 12, 3, 13});  // x[t,c] = 10c + t
+  Tensor patched = Patchify(x, 2, 2);
+  EXPECT_EQ(patched.shape(), (Shape{1, 2, 4}));
+  // Patch 0: channel 0 -> {0, 1}, channel 1 -> {10, 11}.
+  EXPECT_EQ(patched.data(),
+            (std::vector<float>{0, 1, 10, 11, 2, 3, 12, 13}));
+}
+
+TEST(PatchifyTest, GradientsRouteBack) {
+  Rng rng(3);
+  auto result = testing::GradCheck(
+      [](const std::vector<Tensor>& inputs) {
+        return Patchify(inputs[0], 2, 2);
+      },
+      {Tensor::Rand({2, 6, 2}, rng, -1.0f, 1.0f, /*requires_grad=*/true)});
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(InstanceNormTest, GradCheck) {
+  Rng rng(4);
+  auto result = testing::GradCheck(
+      [](const std::vector<Tensor>& inputs) {
+        return InstanceNormalize(inputs[0]).normalized;
+      },
+      {Tensor::Rand({2, 6, 2}, rng, -1.0f, 1.0f, /*requires_grad=*/true)});
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(ChannelIndependenceTest, RoundTrip) {
+  Rng rng(5);
+  Tensor x = Tensor::Randn({3, 7, 4}, rng);
+  Tensor independent = ToChannelIndependent(x);
+  EXPECT_EQ(independent.shape(), (Shape{12, 7, 1}));
+  Tensor restored = FromChannelIndependent(independent, 3, 4);
+  EXPECT_EQ(restored.shape(), x.shape());
+  EXPECT_EQ(restored.data(), x.data());
+}
+
+TEST(ChannelIndependenceTest, ChannelsBecomeRows) {
+  Tensor x = Tensor::FromVector({1, 2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor independent = ToChannelIndependent(x);
+  // Row 0 = channel 0 over time: {1, 4}; row 2 = channel 2: {3, 6}.
+  EXPECT_FLOAT_EQ(independent.at({0, 0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(independent.at({0, 1, 0}), 4.0f);
+  EXPECT_FLOAT_EQ(independent.at({2, 0, 0}), 3.0f);
+  EXPECT_FLOAT_EQ(independent.at({2, 1, 0}), 6.0f);
+}
+
+}  // namespace
+}  // namespace timedrl::data

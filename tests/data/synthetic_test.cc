@@ -1,0 +1,176 @@
+// Synthetic dataset generators: shapes, determinism, class structure.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+
+namespace timedrl::data {
+namespace {
+
+TEST(SyntheticForecastTest, EttLikeShapeAndVariantDiffer) {
+  Rng rng_a(1);
+  TimeSeries a = MakeEttLike(300, 24, 1, rng_a);
+  EXPECT_EQ(a.length(), 300);
+  EXPECT_EQ(a.channels, 7);
+  Rng rng_b(1);
+  TimeSeries b = MakeEttLike(300, 24, 2, rng_b);
+  EXPECT_NE(a.values, b.values);
+}
+
+TEST(SyntheticForecastTest, GeneratorsAreDeterministic) {
+  Rng rng_a(9);
+  Rng rng_b(9);
+  EXPECT_EQ(MakeEttLike(200, 24, 1, rng_a).values,
+            MakeEttLike(200, 24, 1, rng_b).values);
+  EXPECT_EQ(MakeExchangeLike(200, rng_a).values,
+            MakeExchangeLike(200, rng_b).values);
+  EXPECT_EQ(MakeWeatherLike(200, rng_a).values,
+            MakeWeatherLike(200, rng_b).values);
+}
+
+TEST(SyntheticForecastTest, ExchangeIsNearRandomWalk) {
+  Rng rng(2);
+  TimeSeries series = MakeExchangeLike(2000, rng);
+  EXPECT_EQ(series.channels, 8);
+  // Increment autocorrelation should be near zero for a random walk.
+  for (int64_t c = 0; c < 2; ++c) {
+    std::vector<double> increments;
+    for (int64_t t = 1; t < series.length(); ++t) {
+      increments.push_back(series.at(t, c) - series.at(t - 1, c));
+    }
+    double mean = 0;
+    for (double d : increments) mean += d;
+    mean /= increments.size();
+    double num = 0;
+    double den = 0;
+    for (size_t i = 1; i < increments.size(); ++i) {
+      num += (increments[i] - mean) * (increments[i - 1] - mean);
+      den += (increments[i] - mean) * (increments[i] - mean);
+    }
+    EXPECT_LT(std::abs(num / den), 0.1);
+  }
+}
+
+TEST(SyntheticForecastTest, EttHasDailySeasonality) {
+  Rng rng(3);
+  const int64_t period = 24;
+  TimeSeries series = MakeEttLike(2400, period, 1, rng);
+  // Autocorrelation of channel 0 at lag = period should be clearly positive.
+  double mean = 0;
+  for (int64_t t = 0; t < series.length(); ++t) mean += series.at(t, 0);
+  mean /= series.length();
+  double num = 0;
+  double den = 0;
+  for (int64_t t = period; t < series.length(); ++t) {
+    num += (series.at(t, 0) - mean) * (series.at(t - period, 0) - mean);
+  }
+  for (int64_t t = 0; t < series.length(); ++t) {
+    den += (series.at(t, 0) - mean) * (series.at(t, 0) - mean);
+  }
+  EXPECT_GT(num / den, 0.3);
+}
+
+TEST(SyntheticClassifyTest, ShapesAndLabelBalance) {
+  Rng rng(4);
+  struct Case {
+    ClassificationDataset dataset;
+    int64_t channels;
+    int64_t classes;
+  };
+  std::vector<Case> cases;
+  cases.push_back({MakeHarLike(120, 32, rng), 9, 6});
+  cases.push_back({MakeWisdmLike(120, 32, rng), 3, 6});
+  cases.push_back({MakeEpilepsyLike(120, 64, rng), 1, 2});
+  cases.push_back({MakePenDigitsLike(120, rng), 2, 10});
+  cases.push_back({MakeFingerMovementsLike(120, 32, rng), 28, 2});
+  for (const Case& c : cases) {
+    EXPECT_EQ(c.dataset.size(), 120);
+    EXPECT_EQ(c.dataset.channels, c.channels);
+    EXPECT_EQ(c.dataset.num_classes, c.classes);
+    // Balanced: every class appears 120 / classes times.
+    std::vector<int64_t> counts(c.classes, 0);
+    for (int64_t label : c.dataset.labels) ++counts[label];
+    for (int64_t count : counts) EXPECT_EQ(count, 120 / c.classes);
+  }
+}
+
+TEST(SyntheticClassifyTest, PenDigitsClassesAreGeometricallySeparated) {
+  Rng rng(5);
+  ClassificationDataset dataset = MakePenDigitsLike(400, rng);
+  // Mean trajectory of digit 0 differs from digit 1 substantially.
+  std::vector<double> mean0(16, 0.0);
+  std::vector<double> mean1(16, 0.0);
+  int64_t n0 = 0;
+  int64_t n1 = 0;
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    if (dataset.labels[i] == 0) {
+      for (int64_t j = 0; j < 16; ++j) mean0[j] += dataset.windows[i][j];
+      ++n0;
+    } else if (dataset.labels[i] == 1) {
+      for (int64_t j = 0; j < 16; ++j) mean1[j] += dataset.windows[i][j];
+      ++n1;
+    }
+  }
+  double distance = 0;
+  for (int64_t j = 0; j < 16; ++j) {
+    const double d = mean0[j] / n0 - mean1[j] / n1;
+    distance += d * d;
+  }
+  EXPECT_GT(std::sqrt(distance), 0.3);
+}
+
+TEST(SyntheticClassifyTest, EpilepsyClassesShareBurstCount) {
+  // Per the anti-shortcut design: both classes have the same expected number
+  // of bursts; only the arrangement differs.
+  Rng rng(6);
+  ClassificationDataset dataset = MakeEpilepsyLike(300, 96, rng);
+  auto count_bursts = [](const std::vector<float>& window) {
+    int64_t bursts = 0;
+    for (float v : window) {
+      if (v > 1.8f) ++bursts;
+    }
+    return bursts;
+  };
+  double mean_bursts[2] = {0, 0};
+  int64_t counts[2] = {0, 0};
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    mean_bursts[dataset.labels[i]] += count_bursts(dataset.windows[i]);
+    ++counts[dataset.labels[i]];
+  }
+  mean_bursts[0] /= counts[0];
+  mean_bursts[1] /= counts[1];
+  EXPECT_NEAR(mean_bursts[0], mean_bursts[1], 2.0);
+  EXPECT_GT(mean_bursts[0], 3.0);  // bursts are actually present
+}
+
+TEST(SuiteTest, ForecastingSuiteContents) {
+  Rng rng(7);
+  auto suite = StandardForecastingSuite(0.1, rng);
+  ASSERT_EQ(suite.size(), 6u);
+  EXPECT_EQ(suite[0].name, "ETTh1");
+  EXPECT_EQ(suite[4].name, "Exchange");
+  EXPECT_EQ(suite[4].series.channels, 8);
+  EXPECT_EQ(suite[5].series.channels, 21);
+  for (const auto& dataset : suite) {
+    EXPECT_EQ(dataset.horizons.size(), 5u);
+    EXPECT_GT(dataset.series.length(), 0);
+    EXPECT_LT(dataset.target_channel, dataset.series.channels);
+  }
+}
+
+TEST(SuiteTest, ClassificationSuiteContents) {
+  Rng rng(8);
+  auto suite = StandardClassificationSuite(0.1, rng);
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].name, "FingerMovements");
+  EXPECT_EQ(suite[1].name, "PenDigits");
+  EXPECT_EQ(suite[1].dataset.window_length, 8);
+  EXPECT_EQ(suite[2].name, "HAR");
+  EXPECT_EQ(suite[3].name, "Epilepsy");
+  EXPECT_EQ(suite[4].name, "WISDM");
+}
+
+}  // namespace
+}  // namespace timedrl::data

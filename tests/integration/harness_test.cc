@@ -1,0 +1,181 @@
+// Integration tests: every bench pathway runs end-to-end at miniature scale.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "bench/harness.h"
+
+namespace timedrl::bench {
+namespace {
+
+Settings TinySettings() {
+  Settings settings;  // note: deliberately NOT FromEnv(); tests are hermetic
+  settings.data_scale = 0.08;
+  settings.input_length = 32;
+  settings.window_stride = 4;
+  settings.d_model = 16;
+  settings.num_heads = 2;
+  settings.ff_dim = 32;
+  settings.num_layers = 1;
+  settings.baseline_hidden = 16;
+  settings.baseline_blocks = 2;
+  settings.ssl_epochs = 2;
+  settings.probe_epochs = 2;
+  settings.e2e_epochs = 2;
+  settings.finetune_epochs = 2;
+  return settings;
+}
+
+TEST(HarnessTest, SettingsFromEnvScales) {
+  setenv("TIMEDRL_BENCH_SCALE", "2.0", 1);
+  setenv("TIMEDRL_BENCH_EPOCHS", "3.0", 1);
+  Settings settings = Settings::FromEnv();
+  Settings defaults;
+  EXPECT_DOUBLE_EQ(settings.data_scale, defaults.data_scale * 2.0);
+  EXPECT_DOUBLE_EQ(settings.epoch_scale, 3.0);
+  EXPECT_EQ(settings.SslEpochs(), defaults.ssl_epochs * 3);
+  unsetenv("TIMEDRL_BENCH_SCALE");
+  unsetenv("TIMEDRL_BENCH_EPOCHS");
+}
+
+TEST(HarnessTest, PrepareForecastSuiteProducesUsableSplits) {
+  Settings settings = TinySettings();
+  Rng rng(1);
+  std::vector<ForecastData> suite =
+      PrepareForecastSuite(settings, /*univariate=*/false, rng);
+  ASSERT_EQ(suite.size(), 6u);
+  for (const ForecastData& data : suite) {
+    EXPECT_FALSE(data.horizons.empty()) << data.name;
+    EXPECT_GT(data.PretrainWindows(settings).size(), 0) << data.name;
+    const int64_t horizon = data.horizons.front();
+    EXPECT_GT(data.TrainWindows(horizon, settings).size(), 0);
+    EXPECT_GT(data.TestWindows(horizon, settings).size(), 0);
+  }
+}
+
+TEST(HarnessTest, UnivariatePreparationKeepsOneChannel) {
+  Settings settings = TinySettings();
+  Rng rng(2);
+  std::vector<ForecastData> suite =
+      PrepareForecastSuite(settings, /*univariate=*/true, rng);
+  for (const ForecastData& data : suite) {
+    EXPECT_EQ(data.channels, 1) << data.name;
+  }
+}
+
+TEST(HarnessTest, TimeDrlForecastPath) {
+  Settings settings = TinySettings();
+  Rng rng(3);
+  std::vector<ForecastData> suite =
+      PrepareForecastSuite(settings, false, rng);
+  const ForecastData& data = suite[0];
+  std::unique_ptr<core::TimeDrlModel> model =
+      PretrainTimeDrlForecast(data, settings, rng);
+  ForecastCell cell =
+      EvalTimeDrlForecast(model.get(), data, data.horizons.front(), settings,
+                          rng);
+  EXPECT_TRUE(std::isfinite(cell.mse));
+  EXPECT_GT(cell.mse, 0.0);
+  EXPECT_TRUE(std::isfinite(cell.mae));
+}
+
+TEST(HarnessTest, AllSslForecastBaselinesRun) {
+  Settings settings = TinySettings();
+  Rng rng(4);
+  std::vector<ForecastData> suite =
+      PrepareForecastSuite(settings, false, rng);
+  const ForecastData& data = suite[4];  // Exchange (cheapest channels)
+  for (const std::string& name : SslForecastBaselineNames()) {
+    std::unique_ptr<baselines::SslBaseline> model =
+        PretrainBaselineForecast(name, data, settings, rng);
+    ForecastCell cell = EvalBaselineForecast(model.get(), data,
+                                             data.horizons.front(), settings,
+                                             rng);
+    EXPECT_TRUE(std::isfinite(cell.mse)) << name;
+  }
+}
+
+TEST(HarnessTest, EndToEndForecastersRun) {
+  Settings settings = TinySettings();
+  Rng rng(5);
+  std::vector<ForecastData> suite =
+      PrepareForecastSuite(settings, false, rng);
+  for (const std::string name : {"Informer", "TCN"}) {
+    ForecastCell cell = EvalEndToEndForecast(name, suite[0],
+                                             suite[0].horizons.front(),
+                                             settings, rng);
+    EXPECT_TRUE(std::isfinite(cell.mse)) << name;
+  }
+}
+
+TEST(HarnessTest, ClassifySuitePreparation) {
+  Settings settings = TinySettings();
+  Rng rng(6);
+  std::vector<ClassifyData> suite = PrepareClassifySuite(settings, rng);
+  ASSERT_EQ(suite.size(), 5u);
+  for (const ClassifyData& data : suite) {
+    EXPECT_GT(data.train.size(), 0) << data.name;
+    EXPECT_GT(data.test.size(), 0) << data.name;
+    EXPECT_EQ(data.train.num_classes, data.test.num_classes);
+  }
+}
+
+TEST(HarnessTest, TimeDrlClassifyPathAllPoolings) {
+  Settings settings = TinySettings();
+  Rng rng(7);
+  std::vector<ClassifyData> suite = PrepareClassifySuite(settings, rng);
+  const ClassifyData* pen_digits = nullptr;
+  for (const auto& data : suite) {
+    if (data.name == "PenDigits") pen_digits = &data;
+  }
+  ASSERT_NE(pen_digits, nullptr);
+  // PenDigits has window length 8 < default patch 8: exercises the
+  // patch-shrinking logic.
+  std::unique_ptr<core::TimeDrlModel> model =
+      PretrainTimeDrlClassify(*pen_digits, settings, rng);
+  for (core::Pooling pooling :
+       {core::Pooling::kCls, core::Pooling::kLast, core::Pooling::kGap,
+        core::Pooling::kAll}) {
+    core::ClassificationMetrics metrics =
+        EvalTimeDrlClassify(model.get(), *pen_digits, pooling, settings, rng);
+    EXPECT_GE(metrics.accuracy, 0.0);
+    EXPECT_LE(metrics.accuracy, 1.0);
+  }
+}
+
+TEST(HarnessTest, LambdaAndStopGradientKnobsPropagate) {
+  Settings settings = TinySettings();
+  Rng rng(8);
+  std::vector<ClassifyData> suite = PrepareClassifySuite(settings, rng);
+  std::unique_ptr<core::TimeDrlModel> a = PretrainTimeDrlClassify(
+      suite[1], settings, rng, /*lambda_weight=*/0.001f,
+      /*stop_gradient=*/true);
+  EXPECT_FLOAT_EQ(a->config().lambda_weight, 0.001f);
+  EXPECT_TRUE(a->config().stop_gradient);
+  std::unique_ptr<core::TimeDrlModel> b = PretrainTimeDrlClassify(
+      suite[1], settings, rng, /*lambda_weight=*/1.0f,
+      /*stop_gradient=*/false);
+  EXPECT_FALSE(b->config().stop_gradient);
+}
+
+TEST(HarnessTest, AllSslClassifyBaselinesRun) {
+  Settings settings = TinySettings();
+  Rng rng(9);
+  std::vector<ClassifyData> suite = PrepareClassifySuite(settings, rng);
+  const ClassifyData* epilepsy = nullptr;
+  for (const auto& data : suite) {
+    if (data.name == "Epilepsy") epilepsy = &data;
+  }
+  ASSERT_NE(epilepsy, nullptr);
+  for (const std::string& name : SslClassifyBaselineNames()) {
+    core::ClassificationMetrics metrics =
+        EvalBaselineClassify(name, *epilepsy, settings, rng);
+    EXPECT_GE(metrics.accuracy, 0.0) << name;
+    EXPECT_LE(metrics.accuracy, 1.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace timedrl::bench

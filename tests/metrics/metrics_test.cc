@@ -1,0 +1,87 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace timedrl::metrics {
+namespace {
+
+TEST(RegressionMetricsTest, MseMaeHandValues) {
+  Tensor p = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor t = Tensor::FromVector({2, 2}, {1, 0, 6, 4});
+  EXPECT_DOUBLE_EQ(Mse(p, t), (0.0 + 4.0 + 9.0 + 0.0) / 4.0);
+  EXPECT_DOUBLE_EQ(Mae(p, t), (0.0 + 2.0 + 3.0 + 0.0) / 4.0);
+}
+
+TEST(RegressionMetricsTest, PerfectPrediction) {
+  Tensor p = Tensor::FromVector({3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(Mse(p, p), 0.0);
+  EXPECT_DOUBLE_EQ(Mae(p, p), 0.0);
+}
+
+TEST(ConfusionMatrixTest, Layout) {
+  // true:      0  0  1  1  2
+  // predicted: 0  1  1  1  0
+  std::vector<int64_t> cm =
+      ConfusionMatrix({0, 1, 1, 1, 0}, {0, 0, 1, 1, 2}, 3);
+  EXPECT_EQ(cm[0 * 3 + 0], 1);  // true 0 -> pred 0
+  EXPECT_EQ(cm[0 * 3 + 1], 1);  // true 0 -> pred 1
+  EXPECT_EQ(cm[1 * 3 + 1], 2);  // true 1 -> pred 1
+  EXPECT_EQ(cm[2 * 3 + 0], 1);  // true 2 -> pred 0
+  EXPECT_EQ(cm[2 * 3 + 2], 0);
+}
+
+TEST(AccuracyTest, HandValues) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1, 1}, {1, 0, 0, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(Accuracy({0}, {0}), 1.0);
+}
+
+TEST(MacroF1Test, BinaryHandValue) {
+  // predictions: 1 1 0 0; labels: 1 0 0 0.
+  // class 0: tp=2, fp=0, fn=1 -> F1 = 4/5.
+  // class 1: tp=1, fp=1, fn=0 -> F1 = 2/3.
+  const double expected = 0.5 * (4.0 / 5.0 + 2.0 / 3.0);
+  EXPECT_NEAR(MacroF1({1, 1, 0, 0}, {1, 0, 0, 0}, 2), expected, 1e-12);
+}
+
+TEST(MacroF1Test, AbsentClassContributesZero) {
+  // Class 2 never appears; its F1 counts as 0 in the macro average.
+  const double f1 = MacroF1({0, 1}, {0, 1}, 3);
+  EXPECT_NEAR(f1, (1.0 + 1.0 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(CohenKappaTest, PerfectAgreementIsOne) {
+  EXPECT_NEAR(CohenKappa({0, 1, 2, 0}, {0, 1, 2, 0}, 3), 1.0, 1e-12);
+}
+
+TEST(CohenKappaTest, ChanceLevelIsZero) {
+  // Predictions independent of labels with identical marginals:
+  // labels half 0 half 1; predictions half 0 half 1, agreeing on half.
+  const double kappa = CohenKappa({0, 1, 0, 1}, {0, 0, 1, 1}, 2);
+  EXPECT_NEAR(kappa, 0.0, 1e-12);
+}
+
+TEST(CohenKappaTest, WorseThanChanceIsNegative) {
+  // Systematic disagreement.
+  const double kappa = CohenKappa({1, 1, 0, 0}, {0, 0, 1, 1}, 2);
+  EXPECT_LT(kappa, 0.0);
+}
+
+TEST(CohenKappaTest, MatchesPaperFormulaOnBinaryExample) {
+  // Binary case checked directly against Eq. 26-27.
+  // predictions: 1 1 1 0 0 0 ; labels: 1 1 0 0 0 1
+  // TP=2 FN=1 FP=1 TN=2, ACC=4/6.
+  // p_e = ((TP+FN)(TP+FP) + (FP+TN)(FN+TN)) / N^2 = (3*3 + 3*3)/36 = 0.5
+  // kappa = (2/3 - 1/2) / (1 - 1/2) = 1/3.
+  const double kappa = CohenKappa({1, 1, 1, 0, 0, 0}, {1, 1, 0, 0, 0, 1}, 2);
+  EXPECT_NEAR(kappa, 1.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsDeathTest, MismatchedSizes) {
+  EXPECT_DEATH(Accuracy({0, 1}, {0}), "CHECK FAILED");
+  Tensor a = Tensor::Zeros({2});
+  Tensor b = Tensor::Zeros({3});
+  EXPECT_DEATH(Mse(a, b), "CHECK FAILED");
+}
+
+}  // namespace
+}  // namespace timedrl::metrics

@@ -1,0 +1,150 @@
+#include "nn/attention.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/transformer.h"
+#include "tensor/ops.h"
+
+namespace timedrl::nn {
+namespace {
+
+TEST(AttentionTest, PreservesShape) {
+  Rng rng(1);
+  MultiHeadSelfAttention attention(16, 4, 0.0f, rng);
+  Tensor x = Tensor::Randn({2, 5, 16}, rng);
+  EXPECT_EQ(attention.Forward(x).shape(), (Shape{2, 5, 16}));
+}
+
+TEST(AttentionTest, RejectsIndivisibleHeads) {
+  Rng rng(1);
+  EXPECT_DEATH(MultiHeadSelfAttention(10, 4, 0.0f, rng), "divisible");
+}
+
+TEST(AttentionTest, CausalMaskBlocksFuture) {
+  // With causal attention, output at position i must not change when
+  // inputs at positions > i change.
+  Rng rng(2);
+  MultiHeadSelfAttention attention(8, 2, 0.0f, rng, /*causal=*/true);
+  attention.Eval();
+
+  Tensor x = Tensor::Randn({1, 6, 8}, rng);
+  Tensor y_before = attention.Forward(x);
+
+  Tensor x2 = x.Clone();
+  for (int64_t d = 0; d < 8; ++d) x2.at({0, 5, d}) += 100.0f;
+  Tensor y_after = attention.Forward(x2);
+
+  for (int64_t t = 0; t < 5; ++t) {
+    for (int64_t d = 0; d < 8; ++d) {
+      EXPECT_NEAR(y_before.at({0, t, d}), y_after.at({0, t, d}), 1e-4)
+          << "position " << t << " leaked future information";
+    }
+  }
+  // The last position must change (sanity that the test has power).
+  bool changed = false;
+  for (int64_t d = 0; d < 8; ++d) {
+    if (std::abs(y_before.at({0, 5, d}) - y_after.at({0, 5, d})) > 1e-3) {
+      changed = true;
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(AttentionTest, BidirectionalAttendsToFuture) {
+  Rng rng(2);
+  MultiHeadSelfAttention attention(8, 2, 0.0f, rng, /*causal=*/false);
+  attention.Eval();
+  Tensor x = Tensor::Randn({1, 4, 8}, rng);
+  Tensor y_before = attention.Forward(x);
+  Tensor x2 = x.Clone();
+  for (int64_t d = 0; d < 8; ++d) x2.at({0, 3, d}) += 100.0f;
+  Tensor y_after = attention.Forward(x2);
+  // Early positions must change: they can see position 3.
+  bool changed = false;
+  for (int64_t d = 0; d < 8; ++d) {
+    if (std::abs(y_before.at({0, 0, d}) - y_after.at({0, 0, d})) > 1e-3) {
+      changed = true;
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(AttentionTest, GradientsReachAllProjections) {
+  Rng rng(3);
+  MultiHeadSelfAttention attention(8, 2, 0.0f, rng);
+  Tensor x = Tensor::Randn({2, 3, 8}, rng);
+  Sum(attention.Forward(x)).Backward();
+  for (const auto& [name, parameter] : attention.NamedParameters()) {
+    EXPECT_TRUE(parameter.has_grad()) << name;
+  }
+}
+
+TEST(TransformerTest, EncoderPreservesShape) {
+  Rng rng(4);
+  TransformerConfig config;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.ff_dim = 32;
+  config.num_layers = 3;
+  config.dropout = 0.0f;
+  TransformerEncoder encoder(config, rng);
+  Tensor x = Tensor::Randn({2, 7, 16}, rng);
+  EXPECT_EQ(encoder.Encode(x).shape(), (Shape{2, 7, 16}));
+}
+
+TEST(TransformerTest, DropoutMakesTrainingStochastic) {
+  Rng rng(5);
+  TransformerConfig config;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.ff_dim = 32;
+  config.num_layers = 1;
+  config.dropout = 0.2f;
+  TransformerEncoder encoder(config, rng);
+  Tensor x = Tensor::Randn({2, 4, 16}, rng);
+  Tensor a = encoder.Encode(x);
+  Tensor b = encoder.Encode(x);
+  EXPECT_NE(a.data(), b.data());
+  encoder.Eval();
+  Tensor c = encoder.Encode(x);
+  Tensor d = encoder.Encode(x);
+  EXPECT_EQ(c.data(), d.data());
+}
+
+TEST(TransformerTest, CausalVariantIsCausal) {
+  Rng rng(6);
+  TransformerConfig config;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.ff_dim = 16;
+  config.num_layers = 2;
+  config.dropout = 0.0f;
+  config.causal = true;
+  TransformerEncoder encoder(config, rng);
+  encoder.Eval();
+  Tensor x = Tensor::Randn({1, 5, 8}, rng);
+  Tensor y_before = encoder.Encode(x);
+  Tensor x2 = x.Clone();
+  for (int64_t d = 0; d < 8; ++d) x2.at({0, 4, d}) = -7.0f;
+  Tensor y_after = encoder.Encode(x2);
+  for (int64_t t = 0; t < 4; ++t) {
+    for (int64_t d = 0; d < 8; ++d) {
+      EXPECT_NEAR(y_before.at({0, t, d}), y_after.at({0, t, d}), 1e-4);
+    }
+  }
+}
+
+TEST(TransformerTest, ParameterCountScalesWithLayers) {
+  Rng rng(7);
+  TransformerConfig one_layer;
+  one_layer.d_model = 16;
+  one_layer.num_layers = 1;
+  TransformerConfig two_layers = one_layer;
+  two_layers.num_layers = 2;
+  TransformerEncoder a(one_layer, rng);
+  TransformerEncoder b(two_layers, rng);
+  EXPECT_EQ(b.NumParameters(), 2 * a.NumParameters());
+}
+
+}  // namespace
+}  // namespace timedrl::nn

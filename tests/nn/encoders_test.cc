@@ -1,0 +1,179 @@
+// LSTM, TCN, ResNet backbones and the backbone factory.
+
+#include <gtest/gtest.h>
+
+#include "nn/backbone.h"
+#include "nn/conv_encoders.h"
+#include "nn/lstm.h"
+#include "tensor/ops.h"
+
+namespace timedrl::nn {
+namespace {
+
+TEST(LstmTest, OutputShape) {
+  Rng rng(1);
+  Lstm lstm(4, 6, rng);
+  Tensor x = Tensor::Randn({2, 5, 4}, rng);
+  EXPECT_EQ(lstm.Forward(x).shape(), (Shape{2, 5, 6}));
+}
+
+TEST(LstmTest, ForwardIsCausal) {
+  // Hidden state at step t must not depend on inputs after t.
+  Rng rng(2);
+  Lstm lstm(3, 4, rng);
+  Tensor x = Tensor::Randn({1, 6, 3}, rng);
+  Tensor y_before = lstm.Forward(x);
+  Tensor x2 = x.Clone();
+  for (int64_t d = 0; d < 3; ++d) x2.at({0, 5, d}) = 50.0f;
+  Tensor y_after = lstm.Forward(x2);
+  for (int64_t t = 0; t < 5; ++t) {
+    for (int64_t d = 0; d < 4; ++d) {
+      EXPECT_FLOAT_EQ(y_before.at({0, t, d}), y_after.at({0, t, d}));
+    }
+  }
+}
+
+TEST(LstmTest, ReverseIsAnticausal) {
+  Rng rng(3);
+  Lstm lstm(3, 4, rng);
+  Tensor x = Tensor::Randn({1, 6, 3}, rng);
+  Tensor y_before = lstm.Forward(x, /*reverse=*/true);
+  Tensor x2 = x.Clone();
+  for (int64_t d = 0; d < 3; ++d) x2.at({0, 0, d}) = 50.0f;
+  Tensor y_after = lstm.Forward(x2, /*reverse=*/true);
+  // Positions after 0 (in time order) only see the future under reverse, so
+  // they are unaffected by a change at t=0.
+  for (int64_t t = 1; t < 6; ++t) {
+    for (int64_t d = 0; d < 4; ++d) {
+      EXPECT_FLOAT_EQ(y_before.at({0, t, d}), y_after.at({0, t, d}));
+    }
+  }
+}
+
+TEST(LstmTest, GradientsFlowThroughTime) {
+  Rng rng(4);
+  Lstm lstm(2, 3, rng);
+  Tensor x = Tensor::Randn({2, 8, 2}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+  Sum(lstm.Forward(x)).Backward();
+  EXPECT_TRUE(x.has_grad());
+  // The earliest timestep influences all later hidden states.
+  float grad_magnitude = 0.0f;
+  for (int64_t d = 0; d < 2; ++d) grad_magnitude += std::abs(x.grad()[d]);
+  EXPECT_GT(grad_magnitude, 0.0f);
+}
+
+TEST(LstmEncoderTest, UniAndBiShapes) {
+  Rng rng(5);
+  LstmEncoder uni(8, /*bidirectional=*/false, rng);
+  LstmEncoder bi(8, /*bidirectional=*/true, rng);
+  Tensor x = Tensor::Randn({2, 5, 8}, rng);
+  EXPECT_EQ(uni.Encode(x).shape(), (Shape{2, 5, 8}));
+  EXPECT_EQ(bi.Encode(x).shape(), (Shape{2, 5, 8}));
+}
+
+TEST(LstmEncoderTest, BidirectionalSeesTheFutureUnidirectionalDoesNot) {
+  Rng rng(6);
+  LstmEncoder uni(8, false, rng);
+  LstmEncoder bi(8, true, rng);
+  Tensor x = Tensor::Randn({1, 5, 8}, rng);
+  Tensor uni_before = uni.Encode(x);
+  Tensor bi_before = bi.Encode(x);
+  Tensor x2 = x.Clone();
+  for (int64_t d = 0; d < 8; ++d) x2.at({0, 4, d}) = 9.0f;
+  Tensor uni_after = uni.Encode(x2);
+  Tensor bi_after = bi.Encode(x2);
+
+  // First timestep: unchanged for uni, changed for bi.
+  float uni_delta = 0.0f;
+  float bi_delta = 0.0f;
+  for (int64_t d = 0; d < 8; ++d) {
+    uni_delta += std::abs(uni_before.at({0, 0, d}) - uni_after.at({0, 0, d}));
+    bi_delta += std::abs(bi_before.at({0, 0, d}) - bi_after.at({0, 0, d}));
+  }
+  EXPECT_FLOAT_EQ(uni_delta, 0.0f);
+  EXPECT_GT(bi_delta, 1e-4f);
+}
+
+TEST(TcnTest, BlocksAreCausalAndShapePreserving) {
+  Rng rng(7);
+  TcnBlock block(4, 4, /*kernel=*/3, /*dilation=*/2, /*dropout=*/0.0f, rng);
+  block.Eval();
+  Tensor x = Tensor::Randn({1, 4, 10}, rng);  // [B, C, L]
+  Tensor y_before = block.Forward(x);
+  EXPECT_EQ(y_before.shape(), x.shape());
+
+  Tensor x2 = x.Clone();
+  for (int64_t c = 0; c < 4; ++c) x2.at({0, c, 9}) = 25.0f;
+  Tensor y_after = block.Forward(x2);
+  for (int64_t c = 0; c < 4; ++c) {
+    for (int64_t l = 0; l < 9; ++l) {
+      EXPECT_NEAR(y_before.at({0, c, l}), y_after.at({0, c, l}), 1e-4);
+    }
+  }
+}
+
+TEST(TcnTest, ChannelChangeUsesResidualProjection) {
+  Rng rng(8);
+  TcnBlock block(3, 6, 3, 1, 0.0f, rng);
+  Tensor x = Tensor::Randn({2, 3, 8}, rng);
+  EXPECT_EQ(block.Forward(x).shape(), (Shape{2, 6, 8}));
+}
+
+TEST(TcnEncoderTest, ShapePreserving) {
+  Rng rng(9);
+  TcnEncoder encoder(8, /*num_blocks=*/3, /*kernel=*/3, 0.0f, rng);
+  Tensor x = Tensor::Randn({2, 12, 8}, rng);
+  EXPECT_EQ(encoder.Encode(x).shape(), (Shape{2, 12, 8}));
+}
+
+TEST(ResNetTest, BlockAndEncoderShapes) {
+  Rng rng(10);
+  ResNetBlock1d block(4, 3, rng);
+  Tensor x = Tensor::Randn({2, 4, 9}, rng);
+  EXPECT_EQ(block.Forward(x).shape(), x.shape());
+
+  ResNetEncoder encoder(8, 2, rng);
+  Tensor tokens = Tensor::Randn({2, 6, 8}, rng);
+  EXPECT_EQ(encoder.Encode(tokens).shape(), (Shape{2, 6, 8}));
+}
+
+TEST(ResNetTest, RequiresOddKernel) {
+  Rng rng(10);
+  EXPECT_DEATH(ResNetBlock1d(4, 4, rng), "odd kernel");
+}
+
+class BackboneFactoryTest : public ::testing::TestWithParam<BackboneKind> {};
+
+TEST_P(BackboneFactoryTest, ProducesShapePreservingEncoder) {
+  Rng rng(11);
+  BackboneConfig config;
+  config.kind = GetParam();
+  config.d_model = 16;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.ff_dim = 32;
+  config.dropout = 0.0f;
+  std::unique_ptr<SequenceEncoder> encoder = MakeBackbone(config, rng);
+  ASSERT_NE(encoder, nullptr);
+  Tensor x = Tensor::Randn({2, 6, 16}, rng);
+  EXPECT_EQ(encoder->Encode(x).shape(), (Shape{2, 6, 16}));
+  EXPECT_GT(encoder->NumParameters(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackbones, BackboneFactoryTest,
+    ::testing::Values(BackboneKind::kTransformerEncoder,
+                      BackboneKind::kTransformerDecoder, BackboneKind::kResNet,
+                      BackboneKind::kTcn, BackboneKind::kLstm,
+                      BackboneKind::kBiLstm),
+    [](const ::testing::TestParamInfo<BackboneKind>& info) {
+      std::string name = BackboneName(info.param);
+      std::string out;
+      for (char c : name) {
+        if (c != ' ' && c != '-') out += c;
+      }
+      return out;
+    });
+
+}  // namespace
+}  // namespace timedrl::nn

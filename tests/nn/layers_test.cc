@@ -1,0 +1,197 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace timedrl::nn {
+namespace {
+
+TEST(LinearTest, ShapesAndBatchedInput) {
+  Rng rng(3);
+  Linear layer(4, 2, rng);
+  Tensor x2d = Tensor::Ones({5, 4});
+  EXPECT_EQ(layer.Forward(x2d).shape(), (Shape{5, 2}));
+  Tensor x3d = Tensor::Ones({2, 3, 4});
+  EXPECT_EQ(layer.Forward(x3d).shape(), (Shape{2, 3, 2}));
+  Tensor x1d = Tensor::Ones({4});
+  EXPECT_EQ(layer.Forward(x1d).shape(), (Shape{2}));
+}
+
+TEST(LinearTest, ComputesAffineMap) {
+  Rng rng(3);
+  Linear layer(2, 1, rng);
+  // Overwrite weights with known values: y = 2*x0 + 3*x1 + 1. Tensor
+  // handles share storage, so mutating a copy mutates the layer.
+  Tensor weight = layer.weight();
+  weight.data() = {2.0f, 3.0f};
+  Tensor bias = layer.bias();
+  bias.data() = {1.0f};
+  Tensor y = layer.Forward(Tensor::FromVector({1, 2}, {10.0f, 100.0f}));
+  EXPECT_FLOAT_EQ(y.item(), 2 * 10 + 3 * 100 + 1);
+}
+
+TEST(LinearTest, NoBiasOption) {
+  Rng rng(3);
+  Linear layer(3, 2, rng, /*bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+  EXPECT_FALSE(layer.bias().defined());
+}
+
+TEST(LinearTest, GradientsFlowToParameters) {
+  Rng rng(3);
+  Linear layer(3, 2, rng);
+  Tensor x = Tensor::Ones({4, 3});
+  Sum(layer.Forward(x)).Backward();
+  EXPECT_TRUE(layer.weight().has_grad());
+  EXPECT_TRUE(layer.bias().has_grad());
+  // Bias grad: one per output unit per batch row.
+  EXPECT_FLOAT_EQ(layer.bias().grad()[0], 4.0f);
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Rng rng(5);
+  Dropout dropout(0.5f, rng);
+  dropout.Eval();
+  Tensor x = Tensor::Ones({100});
+  EXPECT_EQ(dropout.Forward(x).data(), x.data());
+}
+
+TEST(DropoutTest, TrainModeDropsAndRescales) {
+  Rng rng(5);
+  Dropout dropout(0.5f, rng);
+  Tensor x = Tensor::Ones({10000});
+  Tensor y = dropout.Forward(x);
+  int64_t zeros = 0;
+  double total = 0;
+  for (float v : y.data()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0f);  // 1 / (1 - 0.5)
+    }
+    total += v;
+  }
+  // Roughly half dropped; mean preserved in expectation.
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.5, 0.05);
+  EXPECT_NEAR(total / 10000.0, 1.0, 0.1);
+}
+
+TEST(DropoutTest, ConsecutiveCallsDiffer) {
+  // TimeDRL's two views depend on this property.
+  Rng rng(5);
+  Dropout dropout(0.3f, rng);
+  Tensor x = Tensor::Ones({256});
+  Tensor a = dropout.Forward(x);
+  Tensor b = dropout.Forward(x);
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(DropoutTest, ZeroProbabilityIsIdentityEvenInTraining) {
+  Rng rng(5);
+  Dropout dropout(0.0f, rng);
+  Tensor x = Tensor::Ones({64});
+  EXPECT_EQ(dropout.Forward(x).data(), x.data());
+}
+
+TEST(LayerNormTest, NormalizesLastDimension) {
+  LayerNorm norm(8);
+  Rng rng(6);
+  Tensor x = Tensor::Randn({4, 8}, rng, 5.0f, 3.0f);
+  Tensor y = norm.Forward(x);
+  for (int64_t r = 0; r < 4; ++r) {
+    double mean = 0;
+    double var = 0;
+    for (int64_t c = 0; c < 8; ++c) mean += y.at({r, c});
+    mean /= 8;
+    for (int64_t c = 0; c < 8; ++c) {
+      var += (y.at({r, c}) - mean) * (y.at({r, c}) - mean);
+    }
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, GammaBetaApplied) {
+  LayerNorm norm(2);
+  Tensor x = Tensor::FromVector({1, 2}, {-1.0f, 1.0f});
+  Tensor base = norm.Forward(x);
+  // Scale gamma by 2 and shift beta by 1; output transforms accordingly.
+  for (auto& [name, parameter] : norm.NamedParameters()) {
+    if (name == "gamma") {
+      for (float& v : parameter.data()) v = 2.0f;
+    } else {
+      for (float& v : parameter.data()) v = 1.0f;
+    }
+  }
+  Tensor scaled = norm.Forward(x);
+  for (int64_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(scaled.data()[i], 2.0f * base.data()[i] + 1.0f, 1e-5);
+  }
+}
+
+TEST(BatchNormTest, TrainingNormalizesBatch) {
+  BatchNorm1d bn(2);
+  Tensor x = Tensor::FromVector({4, 2}, {1, 10, 2, 20, 3, 30, 4, 40});
+  Tensor y = bn.Forward(x);
+  for (int64_t c = 0; c < 2; ++c) {
+    double mean = 0;
+    for (int64_t r = 0; r < 4; ++r) mean += y.at({r, c});
+    EXPECT_NEAR(mean / 4.0, 0.0, 1e-5);
+  }
+}
+
+TEST(BatchNormTest, EvalUsesRunningStatistics) {
+  BatchNorm1d bn(1);
+  // Feed the same batch several times so running stats converge to it.
+  Tensor x = Tensor::FromVector({4, 1}, {1, 2, 3, 4});
+  for (int i = 0; i < 50; ++i) bn.Forward(x);
+  bn.Eval();
+  // In eval, an input equal to the running mean maps close to 0.
+  Tensor probe = Tensor::FromVector({1, 1}, {2.5f});
+  EXPECT_NEAR(bn.Forward(probe).item(), 0.0f, 0.05f);
+}
+
+TEST(BatchNormTest, TrainEvalOutputsDiffer) {
+  BatchNorm1d bn(1);
+  Tensor warm = Tensor::FromVector({4, 1}, {0, 1, 2, 3});
+  bn.Forward(warm);
+  Tensor x = Tensor::FromVector({2, 1}, {10.0f, 20.0f});
+  Tensor train_out = bn.Forward(x);
+  bn.Eval();
+  Tensor eval_out = bn.Forward(x);
+  EXPECT_NE(train_out.data(), eval_out.data());
+}
+
+TEST(PositionalEncodingTest, AddsPerPositionOffsets) {
+  Rng rng(7);
+  LearnablePositionalEncoding pe(10, 4, rng);
+  Tensor zero = Tensor::Zeros({2, 5, 4});
+  Tensor y = pe.Forward(zero);
+  // Both batch rows receive identical offsets.
+  for (int64_t t = 0; t < 5; ++t) {
+    for (int64_t d = 0; d < 4; ++d) {
+      EXPECT_FLOAT_EQ(y.at({0, t, d}), y.at({1, t, d}));
+    }
+  }
+  // Different positions receive different offsets (with overwhelming
+  // probability under random init).
+  bool any_differ = false;
+  for (int64_t d = 0; d < 4; ++d) {
+    if (y.at({0, 0, d}) != y.at({0, 1, d})) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(PositionalEncodingTest, RejectsTooLongSequence) {
+  Rng rng(7);
+  LearnablePositionalEncoding pe(4, 2, rng);
+  Tensor x = Tensor::Zeros({1, 5, 2});
+  EXPECT_DEATH(pe.Forward(x), "exceeds max_len");
+}
+
+}  // namespace
+}  // namespace timedrl::nn

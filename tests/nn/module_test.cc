@@ -1,0 +1,89 @@
+#include "nn/module.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "tensor/ops.h"
+
+namespace timedrl::nn {
+namespace {
+
+class ToyModule : public Module {
+ public:
+  explicit ToyModule(Rng& rng) : child_(2, 3, rng) {
+    weight_ = RegisterParameter("weight",
+                                Tensor::Ones({4}, /*requires_grad=*/true));
+    RegisterModule("child", &child_);
+  }
+
+  Linear child_;
+  Tensor weight_;
+};
+
+TEST(ModuleTest, CollectsParametersRecursively) {
+  Rng rng(1);
+  ToyModule module(rng);
+  // weight (4) + child weight (2*3) + child bias (3)
+  EXPECT_EQ(module.NumParameters(), 4 + 6 + 3);
+  EXPECT_EQ(module.Parameters().size(), 3u);
+}
+
+TEST(ModuleTest, NamedParametersUseDottedPaths) {
+  Rng rng(1);
+  ToyModule module(rng);
+  std::vector<std::string> names;
+  for (const auto& [name, tensor] : module.NamedParameters()) {
+    names.push_back(name);
+  }
+  EXPECT_EQ(names[0], "weight");
+  EXPECT_EQ(names[1], "child.weight");
+  EXPECT_EQ(names[2], "child.bias");
+}
+
+TEST(ModuleTest, TrainEvalPropagatesToChildren) {
+  Rng rng(1);
+  ToyModule module(rng);
+  EXPECT_TRUE(module.training());
+  EXPECT_TRUE(module.child_.training());
+  module.Eval();
+  EXPECT_FALSE(module.training());
+  EXPECT_FALSE(module.child_.training());
+  module.Train();
+  EXPECT_TRUE(module.child_.training());
+}
+
+TEST(ModuleTest, ZeroGradClearsAllParameterGrads) {
+  Rng rng(1);
+  ToyModule module(rng);
+  Sum(module.weight_ * 2.0f).Backward();
+  ASSERT_TRUE(module.weight_.has_grad());
+  EXPECT_FLOAT_EQ(module.weight_.grad()[0], 2.0f);
+  module.ZeroGrad();
+  EXPECT_FLOAT_EQ(module.weight_.grad()[0], 0.0f);
+}
+
+TEST(ModuleTest, CopyParametersFrom) {
+  Rng rng_a(1);
+  Rng rng_b(2);
+  ToyModule source(rng_a);
+  ToyModule target(rng_b);
+  // Different seeds -> different child weights.
+  EXPECT_NE(target.child_.weight().data(), source.child_.weight().data());
+  target.CopyParametersFrom(source);
+  EXPECT_EQ(target.child_.weight().data(), source.child_.weight().data());
+  EXPECT_EQ(target.weight_.data(), source.weight_.data());
+  // Deep copy: mutating the source afterwards does not affect the target.
+  Tensor w = source.child_.weight();
+  w.data()[0] += 1.0f;
+  EXPECT_NE(target.child_.weight().data(), source.child_.weight().data());
+}
+
+TEST(ModuleDeathTest, ParameterMustRequireGrad) {
+  struct Bad : Module {
+    Bad() { RegisterParameter("p", Tensor::Ones({1})); }
+  };
+  EXPECT_DEATH(Bad{}, "must require grad");
+}
+
+}  // namespace
+}  // namespace timedrl::nn

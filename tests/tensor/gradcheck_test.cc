@@ -1,0 +1,224 @@
+// Property-based verification of every differentiable op against
+// central-finite-difference gradients.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "testing/gradcheck.h"
+#include "util/rng.h"
+
+namespace timedrl {
+namespace {
+
+using testing::GradCheck;
+
+// A named differentiable expression over generated inputs.
+struct GradCase {
+  std::string name;
+  std::function<Tensor(const std::vector<Tensor>&)> fn;
+  // Shapes of the inputs to generate.
+  std::vector<Shape> input_shapes;
+  // Keeps inputs away from non-differentiable kinks / singularities.
+  float input_lo = -2.0f;
+  float input_hi = 2.0f;
+};
+
+class GradCheckTest : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(GradCheckTest, MatchesNumericGradient) {
+  const GradCase& test_case = GetParam();
+  Rng rng(12345);
+  std::vector<Tensor> inputs;
+  for (const Shape& shape : test_case.input_shapes) {
+    inputs.push_back(Tensor::Rand(shape, rng, test_case.input_lo,
+                                  test_case.input_hi,
+                                  /*requires_grad=*/true));
+  }
+  auto result = GradCheck(test_case.fn, inputs);
+  EXPECT_TRUE(result.ok) << test_case.name << ": " << result.message;
+}
+
+std::vector<GradCase> MakeCases() {
+  std::vector<GradCase> cases;
+  auto add = [&](std::string name,
+                 std::function<Tensor(const std::vector<Tensor>&)> fn,
+                 std::vector<Shape> shapes, float lo = -2.0f,
+                 float hi = 2.0f) {
+    cases.push_back({std::move(name), std::move(fn), std::move(shapes), lo, hi});
+  };
+
+  using Inputs = std::vector<Tensor>;
+
+  // Binary elementwise with and without broadcasting.
+  add("add", [](const Inputs& x) { return x[0] + x[1]; }, {{2, 3}, {2, 3}});
+  add("add_broadcast", [](const Inputs& x) { return x[0] + x[1]; },
+      {{2, 3}, {3}});
+  add("add_broadcast_col", [](const Inputs& x) { return x[0] + x[1]; },
+      {{2, 3}, {2, 1}});
+  add("sub", [](const Inputs& x) { return x[0] - x[1]; }, {{4}, {4}});
+  add("mul", [](const Inputs& x) { return x[0] * x[1]; }, {{2, 3}, {2, 3}});
+  add("mul_broadcast", [](const Inputs& x) { return x[0] * x[1]; },
+      {{2, 2, 2}, {2}});
+  add("div", [](const Inputs& x) { return x[0] / x[1]; }, {{3, 2}, {3, 2}},
+      0.5f, 2.0f);
+  // Keep Maximum away from its kink (a == b) by comparing against constants
+  // outside the sampled range.
+  add("maximum_wins",
+      [](const Inputs& x) { return Maximum(x[0], Tensor::Full({5}, -5.0f)); },
+      {{5}});
+  add("maximum_loses",
+      [](const Inputs& x) { return Maximum(x[0], Tensor::Full({5}, 5.0f)); },
+      {{5}});
+
+  // Unary.
+  add("neg", [](const Inputs& x) { return -x[0]; }, {{3, 3}});
+  add("abs_positive", [](const Inputs& x) { return Abs(x[0]); }, {{4}}, 0.5f,
+      2.0f);
+  add("abs_negative", [](const Inputs& x) { return Abs(x[0]); }, {{4}}, -2.0f,
+      -0.5f);
+  add("exp", [](const Inputs& x) { return Exp(x[0]); }, {{3, 2}}, -1.0f, 1.0f);
+  add("log", [](const Inputs& x) { return Log(x[0]); }, {{4}}, 0.5f, 3.0f);
+  add("sqrt", [](const Inputs& x) { return Sqrt(x[0]); }, {{4}}, 0.5f, 3.0f);
+  add("tanh", [](const Inputs& x) { return Tanh(x[0]); }, {{3, 3}});
+  add("sigmoid", [](const Inputs& x) { return Sigmoid(x[0]); }, {{3, 3}});
+  add("relu_positive", [](const Inputs& x) { return Relu(x[0]); }, {{4}}, 0.5f,
+      2.0f);
+  add("relu_negative", [](const Inputs& x) { return Relu(x[0]); }, {{4}},
+      -2.0f, -0.5f);
+  add("gelu", [](const Inputs& x) { return Gelu(x[0]); }, {{3, 3}});
+  add("leaky_relu_pos", [](const Inputs& x) { return LeakyRelu(x[0], 0.1f); },
+      {{4}}, 0.5f, 2.0f);
+  add("leaky_relu_neg", [](const Inputs& x) { return LeakyRelu(x[0], 0.1f); },
+      {{4}}, -2.0f, -0.5f);
+  add("softplus", [](const Inputs& x) { return Softplus(x[0]); }, {{3, 3}});
+  add("silu", [](const Inputs& x) { return Silu(x[0]); }, {{3, 3}});
+  add("elu_pos", [](const Inputs& x) { return Elu(x[0]); }, {{4}}, 0.5f, 2.0f);
+  add("elu_neg", [](const Inputs& x) { return Elu(x[0]); }, {{4}}, -2.0f,
+      -0.5f);
+  add("pow", [](const Inputs& x) { return Pow(x[0], 3.0f); }, {{4}}, 0.5f,
+      2.0f);
+  add("clamp_min_above", [](const Inputs& x) { return ClampMin(x[0], 0.0f); },
+      {{4}}, 0.5f, 2.0f);
+
+  // Shape ops.
+  add("reshape", [](const Inputs& x) { return Reshape(x[0], {3, 2}); },
+      {{2, 3}});
+  add("transpose", [](const Inputs& x) { return Transpose(x[0], 0, 1); },
+      {{2, 4}});
+  add("permute",
+      [](const Inputs& x) {
+        return Permute(x[0], {2, 0, 1});
+      },
+      {{2, 3, 4}});
+  add("slice", [](const Inputs& x) { return Slice(x[0], 1, 1, 2); }, {{2, 4}});
+  add("concat", [](const Inputs& x) { return Concat({x[0], x[1]}, 0); },
+      {{2, 3}, {1, 3}});
+  add("stack", [](const Inputs& x) { return Stack({x[0], x[1]}, 1); },
+      {{2, 3}, {2, 3}});
+  add("broadcast_to",
+      [](const Inputs& x) { return BroadcastTo(x[0], {4, 2, 3}); }, {{2, 3}});
+
+  // Matmul variants.
+  add("matmul_2d", [](const Inputs& x) { return MatMul(x[0], x[1]); },
+      {{3, 4}, {4, 2}});
+  add("matmul_batched", [](const Inputs& x) { return MatMul(x[0], x[1]); },
+      {{2, 3, 4}, {2, 4, 2}});
+  add("matmul_shared_rhs", [](const Inputs& x) { return MatMul(x[0], x[1]); },
+      {{2, 3, 4}, {4, 2}});
+  add("matmul_shared_lhs", [](const Inputs& x) { return MatMul(x[0], x[1]); },
+      {{3, 4}, {2, 4, 2}});
+
+  // Reductions.
+  add("sum_all", [](const Inputs& x) { return Sum(x[0]); }, {{3, 4}});
+  add("sum_dim0", [](const Inputs& x) { return Sum(x[0], {0}); }, {{3, 4}});
+  add("sum_keepdim", [](const Inputs& x) { return Sum(x[0], {1}, true); },
+      {{3, 4}});
+  add("mean_all", [](const Inputs& x) { return Mean(x[0]); }, {{3, 4}});
+  add("mean_dims", [](const Inputs& x) { return Mean(x[0], {0, 2}); },
+      {{2, 3, 4}});
+  add("max_dim", [](const Inputs& x) { return Max(x[0], 1); }, {{3, 5}});
+
+  // Fused primitives.
+  add("softmax", [](const Inputs& x) { return Softmax(x[0], 1); }, {{3, 4}});
+  add("softmax_inner",
+      [](const Inputs& x) { return Softmax(x[0], 1); }, {{2, 3, 2}});
+  add("log_softmax", [](const Inputs& x) { return LogSoftmax(x[0], 1); },
+      {{3, 4}});
+  add("cross_entropy",
+      [](const Inputs& x) { return CrossEntropy(x[0], {0, 2, 1}); }, {{3, 3}});
+  add("mse_loss", [](const Inputs& x) { return MseLoss(x[0], x[1]); },
+      {{3, 4}, {3, 4}});
+  add("l1_loss", [](const Inputs& x) { return L1Loss(x[0], x[1]); },
+      {{6}, {6}});
+
+  // Convolution / pooling.
+  add("conv1d_basic",
+      [](const Inputs& x) { return Conv1d(x[0], x[1], x[2]); },
+      {{2, 2, 6}, {3, 2, 3}, {3}});
+  add("conv1d_padded",
+      [](const Inputs& x) {
+        return Conv1d(x[0], x[1], x[2], /*stride=*/1, /*padding=*/2);
+      },
+      {{1, 2, 5}, {2, 2, 3}, {2}});
+  add("conv1d_strided_dilated",
+      [](const Inputs& x) {
+        return Conv1d(x[0], x[1], Tensor(), /*stride=*/2, /*padding=*/1,
+                      /*dilation=*/2);
+      },
+      {{2, 1, 8}, {2, 1, 2}});
+  add("max_pool1d", [](const Inputs& x) { return MaxPool1d(x[0], 2, 2); },
+      {{2, 2, 6}});
+  add("avg_pool1d", [](const Inputs& x) { return AvgPool1d(x[0], 3, 1); },
+      {{2, 2, 6}});
+  add("masked_fill",
+      [](const Inputs& x) {
+        Tensor mask = Tensor::FromVector({2, 3}, {0, 1, 0, 1, 0, 0});
+        return MaskedFill(x[0], mask, 0.5f);
+      },
+      {{2, 3}});
+
+  // Composite expressions exercising graph re-use and mixed ops.
+  add("composite_mlp",
+      [](const Inputs& x) {
+        return MatMul(Relu(MatMul(x[0], x[1])), x[2]);
+      },
+      {{2, 3}, {3, 4}, {4, 2}});
+  add("composite_diamond",
+      [](const Inputs& x) {
+        Tensor h = Tanh(x[0]);
+        return h * h + Sigmoid(h);
+      },
+      {{3, 3}});
+  add("composite_norm",
+      [](const Inputs& x) {
+        Tensor mu = Mean(x[0], {1}, true);
+        Tensor centered = x[0] - mu;
+        Tensor var = Mean(centered * centered, {1}, true);
+        return centered / Sqrt(var + 0.1f);
+      },
+      {{3, 5}});
+  add("composite_cosine",
+      [](const Inputs& x) {
+        Tensor dot = Sum(x[0] * x[1], {1});
+        Tensor na = Sqrt(Sum(x[0] * x[0], {1}) + 1e-3f);
+        Tensor nb = Sqrt(Sum(x[1] * x[1], {1}) + 1e-3f);
+        return dot / (na * nb);
+      },
+      {{2, 4}, {2, 4}}, 0.5f, 2.0f);
+
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, GradCheckTest, ::testing::ValuesIn(MakeCases()),
+    [](const ::testing::TestParamInfo<GradCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace timedrl

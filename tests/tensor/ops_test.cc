@@ -1,0 +1,357 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace timedrl {
+namespace {
+
+TEST(OpsTest, AddSameShape) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {10, 20, 30, 40});
+  Tensor c = a + b;
+  EXPECT_EQ(c.data(), (std::vector<float>{11, 22, 33, 44}));
+}
+
+TEST(OpsTest, BroadcastRowVector) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3}, {10, 20, 30});
+  Tensor c = a + b;
+  EXPECT_EQ(c.data(), (std::vector<float>{11, 22, 33, 14, 25, 36}));
+}
+
+TEST(OpsTest, BroadcastColumnVector) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({2, 1}, {100, 200});
+  Tensor c = a + b;
+  EXPECT_EQ(c.data(), (std::vector<float>{101, 102, 103, 204, 205, 206}));
+}
+
+TEST(OpsTest, BroadcastGradientReduces) {
+  // Broadcasting a bias over a batch: its grad should sum over the batch.
+  Tensor a = Tensor::Zeros({4, 3}, /*requires_grad=*/true);
+  Tensor b = Tensor::Zeros({3}, /*requires_grad=*/true);
+  Sum(a + b).Backward();
+  for (float g : b.grad()) EXPECT_FLOAT_EQ(g, 4.0f);
+  for (float g : a.grad()) EXPECT_FLOAT_EQ(g, 1.0f);
+}
+
+TEST(OpsTest, ScalarOps) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  EXPECT_EQ((a * 2.0f).data(), (std::vector<float>{2, 4, 6}));
+  EXPECT_EQ((a + 1.0f).data(), (std::vector<float>{2, 3, 4}));
+  EXPECT_EQ((1.0f - a).data(), (std::vector<float>{0, -1, -2}));
+  EXPECT_EQ((6.0f / a).data(), (std::vector<float>{6, 3, 2}));
+  EXPECT_EQ((-a).data(), (std::vector<float>{-1, -2, -3}));
+}
+
+TEST(OpsTest, UnaryValues) {
+  Tensor a = Tensor::FromVector({3}, {-1.0f, 0.0f, 2.0f});
+  EXPECT_EQ(Relu(a).data(), (std::vector<float>{0, 0, 2}));
+  EXPECT_EQ(Abs(a).data(), (std::vector<float>{1, 0, 2}));
+  Tensor e = Exp(Tensor::Scalar(1.0f));
+  EXPECT_NEAR(e.item(), std::exp(1.0f), 1e-5);
+  EXPECT_NEAR(Log(Tensor::Scalar(std::exp(2.0f))).item(), 2.0f, 1e-5);
+  EXPECT_NEAR(Sigmoid(Tensor::Scalar(0.0f)).item(), 0.5f, 1e-6);
+  EXPECT_NEAR(Tanh(Tensor::Scalar(0.0f)).item(), 0.0f, 1e-6);
+  EXPECT_NEAR(Sqrt(Tensor::Scalar(16.0f)).item(), 4.0f, 1e-6);
+  EXPECT_NEAR(Pow(Tensor::Scalar(2.0f), 3.0f).item(), 8.0f, 1e-5);
+  EXPECT_NEAR(Gelu(Tensor::Scalar(0.0f)).item(), 0.0f, 1e-6);
+  // GELU is close to identity for large positive x.
+  EXPECT_NEAR(Gelu(Tensor::Scalar(5.0f)).item(), 5.0f, 1e-3);
+}
+
+TEST(OpsTest, ExtraActivationValues) {
+  EXPECT_NEAR(Softplus(Tensor::Scalar(0.0f)).item(), std::log(2.0f), 1e-5);
+  EXPECT_NEAR(Softplus(Tensor::Scalar(30.0f)).item(), 30.0f, 1e-3);
+  EXPECT_NEAR(Softplus(Tensor::Scalar(-30.0f)).item(), 0.0f, 1e-3);
+  EXPECT_FLOAT_EQ(LeakyRelu(Tensor::Scalar(-2.0f), 0.1f).item(), -0.2f);
+  EXPECT_FLOAT_EQ(LeakyRelu(Tensor::Scalar(3.0f), 0.1f).item(), 3.0f);
+  EXPECT_NEAR(Silu(Tensor::Scalar(0.0f)).item(), 0.0f, 1e-6);
+  EXPECT_NEAR(Silu(Tensor::Scalar(10.0f)).item(), 10.0f, 1e-3);
+  EXPECT_FLOAT_EQ(Elu(Tensor::Scalar(2.0f)).item(), 2.0f);
+  EXPECT_NEAR(Elu(Tensor::Scalar(-30.0f)).item(), -1.0f, 1e-4);
+}
+
+TEST(OpsTest, ClampMin) {
+  Tensor a = Tensor::FromVector({3}, {-2.0f, 0.5f, 3.0f});
+  EXPECT_EQ(ClampMin(a, 0.0f).data(), (std::vector<float>{0.0f, 0.5f, 3.0f}));
+}
+
+TEST(OpsTest, MaximumElementwise) {
+  Tensor a = Tensor::FromVector({3}, {1, 5, 2});
+  Tensor b = Tensor::FromVector({3}, {4, 2, 2});
+  EXPECT_EQ(Maximum(a, b).data(), (std::vector<float>{4, 5, 2}));
+}
+
+TEST(OpsTest, Reshape) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Reshape(a, {3, 2});
+  EXPECT_EQ(b.shape(), (Shape{3, 2}));
+  EXPECT_EQ(b.data(), a.data());
+  Tensor c = Reshape(a, {-1});
+  EXPECT_EQ(c.shape(), (Shape{6}));
+  Tensor d = Reshape(a, {3, -1});
+  EXPECT_EQ(d.shape(), (Shape{3, 2}));
+}
+
+TEST(OpsTest, TransposeTwoD) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Transpose(a, 0, 1);
+  EXPECT_EQ(b.shape(), (Shape{3, 2}));
+  EXPECT_EQ(b.data(), (std::vector<float>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(OpsTest, PermuteThreeD) {
+  Tensor a = Tensor::FromVector({2, 1, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Permute(a, {2, 0, 1});
+  EXPECT_EQ(b.shape(), (Shape{3, 2, 1}));
+  EXPECT_EQ(b.at({0, 0, 0}), 1);
+  EXPECT_EQ(b.at({0, 1, 0}), 4);
+  EXPECT_EQ(b.at({2, 1, 0}), 6);
+}
+
+TEST(OpsTest, SliceAndConcatRoundTrip) {
+  Tensor a = Tensor::FromVector({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor left = Slice(a, 1, 0, 2);
+  Tensor right = Slice(a, 1, 2, 2);
+  EXPECT_EQ(left.data(), (std::vector<float>{1, 2, 5, 6}));
+  EXPECT_EQ(right.data(), (std::vector<float>{3, 4, 7, 8}));
+  Tensor joined = Concat({left, right}, 1);
+  EXPECT_EQ(joined.data(), a.data());
+}
+
+TEST(OpsTest, ConcatDimZero) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({2, 2}, {3, 4, 5, 6});
+  Tensor c = Concat({a, b}, 0);
+  EXPECT_EQ(c.shape(), (Shape{3, 2}));
+  EXPECT_EQ(c.data(), (std::vector<float>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(OpsTest, Stack) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor b = Tensor::FromVector({2}, {3, 4});
+  Tensor s = Stack({a, b}, 0);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.data(), (std::vector<float>{1, 2, 3, 4}));
+}
+
+TEST(OpsTest, BroadcastTo) {
+  Tensor a = Tensor::FromVector({1, 3}, {1, 2, 3});
+  Tensor b = BroadcastTo(a, {2, 3});
+  EXPECT_EQ(b.data(), (std::vector<float>{1, 2, 3, 1, 2, 3}));
+}
+
+TEST(OpsTest, MatMulTwoD) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.data(), (std::vector<float>{58, 64, 139, 154}));
+}
+
+TEST(OpsTest, MatMulBatched) {
+  Tensor a = Tensor::FromVector({2, 1, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2, 1}, {1, 1, 2, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 1, 1}));
+  EXPECT_EQ(c.data(), (std::vector<float>{3, 14}));
+}
+
+TEST(OpsTest, MatMulSharedWeight) {
+  // [B, T, D] x [D, E] with shared rank-2 weight.
+  Tensor a = Tensor::FromVector({2, 2, 2}, {1, 0, 0, 1, 2, 0, 0, 2});
+  Tensor w = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor c = MatMul(a, w);
+  EXPECT_EQ(c.shape(), (Shape{2, 2, 3}));
+  EXPECT_EQ(c.at({0, 0, 0}), 1);
+  EXPECT_EQ(c.at({0, 1, 1}), 5);
+  EXPECT_EQ(c.at({1, 0, 2}), 6);
+}
+
+TEST(OpsTest, MatMulSharedWeightGradAccumulatesOverBatch) {
+  Tensor a = Tensor::Ones({3, 2, 2});
+  Tensor w = Tensor::Zeros({2, 2}, /*requires_grad=*/true);
+  Sum(MatMul(a, w)).Backward();
+  // Each weight entry is used by 3 batches x 2 rows.
+  for (float g : w.grad()) EXPECT_FLOAT_EQ(g, 6.0f);
+}
+
+TEST(OpsTest, SumAll) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(Sum(a).item(), 10.0f);
+  EXPECT_FLOAT_EQ(Mean(a).item(), 2.5f);
+}
+
+TEST(OpsTest, SumAlongDims) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s0 = Sum(a, {0});
+  EXPECT_EQ(s0.shape(), (Shape{3}));
+  EXPECT_EQ(s0.data(), (std::vector<float>{5, 7, 9}));
+  Tensor s1 = Sum(a, {1}, /*keepdim=*/true);
+  EXPECT_EQ(s1.shape(), (Shape{2, 1}));
+  EXPECT_EQ(s1.data(), (std::vector<float>{6, 15}));
+  Tensor s01 = Sum(a, {0, 1});
+  EXPECT_EQ(s01.shape(), (Shape{1}));
+  EXPECT_FLOAT_EQ(s01.item(), 21.0f);
+}
+
+TEST(OpsTest, MeanAlongDims) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor m = Mean(a, {0});
+  EXPECT_EQ(m.data(), (std::vector<float>{2, 3}));
+}
+
+TEST(OpsTest, MaxAlongDim) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 9, 3, 7, 5, 6});
+  Tensor m = Max(a, 1);
+  EXPECT_EQ(m.shape(), (Shape{2}));
+  EXPECT_EQ(m.data(), (std::vector<float>{9, 7}));
+  Tensor mk = Max(a, 0, /*keepdim=*/true);
+  EXPECT_EQ(mk.shape(), (Shape{1, 3}));
+  EXPECT_EQ(mk.data(), (std::vector<float>{7, 9, 6}));
+}
+
+TEST(OpsTest, MaxGradientGoesToArgmax) {
+  Tensor a =
+      Tensor::FromVector({2, 2}, {1, 5, 7, 2}, /*requires_grad=*/true);
+  Sum(Max(a, 1)).Backward();
+  EXPECT_EQ(a.grad(), (std::vector<float>{0, 1, 1, 0}));
+}
+
+TEST(OpsTest, ArgMax) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 9, 3, 7, 5, 6});
+  EXPECT_EQ(ArgMax(a, 1), (std::vector<int64_t>{1, 0}));
+  EXPECT_EQ(ArgMax(a, 0), (std::vector<int64_t>{1, 0, 1}));
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor s = Softmax(a, 1);
+  for (int64_t r = 0; r < 2; ++r) {
+    float total = 0;
+    for (int64_t c = 0; c < 3; ++c) total += s.at({r, c});
+    EXPECT_NEAR(total, 1.0f, 1e-5);
+  }
+  // Softmax is shift invariant: both rows differ by a constant shift.
+  EXPECT_NEAR(s.at({0, 0}), s.at({1, 0}), 1e-5);
+}
+
+TEST(OpsTest, SoftmaxNumericalStability) {
+  Tensor a = Tensor::FromVector({1, 2}, {1000.0f, 1001.0f});
+  Tensor s = Softmax(a, 1);
+  EXPECT_FALSE(std::isnan(s.at({0, 0})));
+  EXPECT_NEAR(s.at({0, 0}) + s.at({0, 1}), 1.0f, 1e-5);
+}
+
+TEST(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor a = Tensor::FromVector({2, 3}, {0.5f, -1.0f, 2.0f, 3.0f, 0.0f, 1.0f});
+  Tensor ls = LogSoftmax(a, 1);
+  Tensor s = Softmax(a, 1);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(ls.data()[i], std::log(s.data()[i]), 1e-5);
+  }
+}
+
+TEST(OpsTest, CrossEntropyUniformLogits) {
+  Tensor logits = Tensor::Zeros({4, 3});
+  Tensor loss = CrossEntropy(logits, {0, 1, 2, 0});
+  EXPECT_NEAR(loss.item(), std::log(3.0f), 1e-5);
+}
+
+TEST(OpsTest, CrossEntropyPerfectPrediction) {
+  Tensor logits = Tensor::FromVector({2, 2}, {100.0f, 0.0f, 0.0f, 100.0f});
+  Tensor loss = CrossEntropy(logits, {0, 1});
+  EXPECT_NEAR(loss.item(), 0.0f, 1e-4);
+}
+
+TEST(OpsTest, MseAndL1Loss) {
+  Tensor p = Tensor::FromVector({2}, {1.0f, 3.0f});
+  Tensor t = Tensor::FromVector({2}, {0.0f, 1.0f});
+  EXPECT_NEAR(MseLoss(p, t).item(), (1.0f + 4.0f) / 2.0f, 1e-6);
+  EXPECT_NEAR(L1Loss(p, t).item(), (1.0f + 2.0f) / 2.0f, 1e-6);
+}
+
+TEST(OpsTest, MaskedFill) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor mask = Tensor::FromVector({2, 2}, {0, 1, 0, 1});
+  Tensor b = MaskedFill(a, mask, -99.0f);
+  EXPECT_EQ(b.data(), (std::vector<float>{1, -99, 3, -99}));
+}
+
+TEST(OpsTest, MaskedFillBlocksGradAtMask) {
+  Tensor a = Tensor::Ones({4}, /*requires_grad=*/true);
+  Tensor mask = Tensor::FromVector({4}, {1, 0, 0, 1});
+  Sum(MaskedFill(a, mask, 0.0f)).Backward();
+  EXPECT_EQ(a.grad(), (std::vector<float>{0, 1, 1, 0}));
+}
+
+TEST(OpsTest, Conv1dIdentityKernel) {
+  Tensor x = Tensor::FromVector({1, 1, 4}, {1, 2, 3, 4});
+  Tensor w = Tensor::FromVector({1, 1, 1}, {1.0f});
+  Tensor y = Conv1d(x, w, Tensor());
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 4}));
+  EXPECT_EQ(y.data(), x.data());
+}
+
+TEST(OpsTest, Conv1dMovingSum) {
+  Tensor x = Tensor::FromVector({1, 1, 4}, {1, 2, 3, 4});
+  Tensor w = Tensor::FromVector({1, 1, 2}, {1.0f, 1.0f});
+  Tensor y = Conv1d(x, w, Tensor());
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 3}));
+  EXPECT_EQ(y.data(), (std::vector<float>{3, 5, 7}));
+}
+
+TEST(OpsTest, Conv1dPaddingAndBias) {
+  Tensor x = Tensor::FromVector({1, 1, 3}, {1, 2, 3});
+  Tensor w = Tensor::FromVector({1, 1, 3}, {1, 1, 1});
+  Tensor b = Tensor::FromVector({1}, {10.0f});
+  Tensor y = Conv1d(x, w, b, /*stride=*/1, /*padding=*/1);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 3}));
+  EXPECT_EQ(y.data(), (std::vector<float>{13, 16, 15}));
+}
+
+TEST(OpsTest, Conv1dDilation) {
+  Tensor x = Tensor::FromVector({1, 1, 5}, {1, 2, 3, 4, 5});
+  Tensor w = Tensor::FromVector({1, 1, 2}, {1, 1});
+  Tensor y = Conv1d(x, w, Tensor(), /*stride=*/1, /*padding=*/0,
+                    /*dilation=*/2);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 3}));
+  EXPECT_EQ(y.data(), (std::vector<float>{4, 6, 8}));
+}
+
+TEST(OpsTest, Conv1dStride) {
+  Tensor x = Tensor::FromVector({1, 1, 6}, {1, 2, 3, 4, 5, 6});
+  Tensor w = Tensor::FromVector({1, 1, 2}, {1, 1});
+  Tensor y = Conv1d(x, w, Tensor(), /*stride=*/2);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 3}));
+  EXPECT_EQ(y.data(), (std::vector<float>{3, 7, 11}));
+}
+
+TEST(OpsTest, Conv1dMultiChannel) {
+  // Two input channels summed by a single output channel.
+  Tensor x = Tensor::FromVector({1, 2, 3}, {1, 2, 3, 10, 20, 30});
+  Tensor w = Tensor::FromVector({1, 2, 1}, {1.0f, 1.0f});
+  Tensor y = Conv1d(x, w, Tensor());
+  EXPECT_EQ(y.data(), (std::vector<float>{11, 22, 33}));
+}
+
+TEST(OpsTest, MaxPool1d) {
+  Tensor x = Tensor::FromVector({1, 1, 4}, {1, 3, 2, 5});
+  Tensor y = MaxPool1d(x, 2, 2);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2}));
+  EXPECT_EQ(y.data(), (std::vector<float>{3, 5}));
+}
+
+TEST(OpsTest, AvgPool1d) {
+  Tensor x = Tensor::FromVector({1, 1, 4}, {1, 3, 2, 6});
+  Tensor y = AvgPool1d(x, 2, 2);
+  EXPECT_EQ(y.data(), (std::vector<float>{2, 4}));
+}
+
+}  // namespace
+}  // namespace timedrl

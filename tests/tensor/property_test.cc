@@ -1,0 +1,178 @@
+// Property-style sweeps over shapes: op results checked against naive
+// reference implementations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace timedrl {
+namespace {
+
+// ---- MatMul vs naive triple loop, swept over sizes --------------------------------
+
+using MatMulDims = std::tuple<int64_t, int64_t, int64_t, int64_t>;  // b,m,k,n
+
+class MatMulPropertyTest : public ::testing::TestWithParam<MatMulDims> {};
+
+TEST_P(MatMulPropertyTest, MatchesNaiveReference) {
+  auto [batch, m, k, n] = GetParam();
+  Rng rng(17);
+  Tensor a = Tensor::Randn({batch, m, k}, rng);
+  Tensor b = Tensor::Randn({batch, k, n}, rng);
+  Tensor c = MatMul(a, b);
+  ASSERT_EQ(c.shape(), (Shape{batch, m, n}));
+  for (int64_t batch_index = 0; batch_index < batch; ++batch_index) {
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (int64_t p = 0; p < k; ++p) {
+          acc += double{a.at({batch_index, i, p})} *
+                 double{b.at({batch_index, p, j})};
+        }
+        EXPECT_NEAR(c.at({batch_index, i, j}), acc, 1e-3)
+            << batch_index << "," << i << "," << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MatMulPropertyTest,
+    ::testing::Values(MatMulDims{1, 1, 1, 1}, MatMulDims{1, 3, 5, 2},
+                      MatMulDims{2, 4, 4, 4}, MatMulDims{3, 1, 7, 2},
+                      MatMulDims{2, 8, 3, 8}, MatMulDims{1, 16, 16, 16}));
+
+// ---- Reductions vs naive loops over random dim subsets ------------------------------
+
+struct ReduceCase {
+  Shape shape;
+  std::vector<int64_t> dims;
+  bool keepdim;
+};
+
+class ReducePropertyTest : public ::testing::TestWithParam<ReduceCase> {};
+
+TEST_P(ReducePropertyTest, SumMatchesNaive) {
+  const ReduceCase& test_case = GetParam();
+  Rng rng(23);
+  Tensor x = Tensor::Randn(test_case.shape, rng);
+  Tensor reduced = Sum(x, test_case.dims, test_case.keepdim);
+
+  // Naive: accumulate into a map keyed by the kept coordinates.
+  Shape kept_shape = test_case.shape;
+  for (int64_t dim : test_case.dims) {
+    kept_shape[NormalizeDim(dim, x.dim())] = 1;
+  }
+  std::vector<double> expected(NumElements(kept_shape), 0.0);
+  const std::vector<int64_t> strides = BroadcastStrides(kept_shape,
+                                                        test_case.shape);
+  const std::vector<int64_t> out_strides = RowMajorStrides(test_case.shape);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    // Decompose i into coordinates, map to the accumulator slot.
+    int64_t remainder = i;
+    int64_t slot = 0;
+    for (size_t d = 0; d < test_case.shape.size(); ++d) {
+      const int64_t coordinate = remainder / out_strides[d];
+      remainder %= out_strides[d];
+      slot += coordinate * strides[d];
+    }
+    expected[slot] += x.data()[i];
+  }
+  ASSERT_EQ(reduced.numel(), static_cast<int64_t>(expected.size()));
+  for (int64_t i = 0; i < reduced.numel(); ++i) {
+    EXPECT_NEAR(reduced.data()[i], expected[i], 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ReducePropertyTest,
+    ::testing::Values(ReduceCase{{4, 5}, {0}, false},
+                      ReduceCase{{4, 5}, {1}, true},
+                      ReduceCase{{2, 3, 4}, {1}, false},
+                      ReduceCase{{2, 3, 4}, {0, 2}, false},
+                      ReduceCase{{2, 3, 4}, {-1}, true},
+                      ReduceCase{{6}, {0}, false}));
+
+// ---- Softmax properties over shapes ------------------------------------------------
+
+class SoftmaxPropertyTest
+    : public ::testing::TestWithParam<std::pair<Shape, int64_t>> {};
+
+TEST_P(SoftmaxPropertyTest, SumsToOneAndPreservesOrder) {
+  auto [shape, dim] = GetParam();
+  Rng rng(29);
+  Tensor x = Tensor::Randn(shape, rng, 0.0f, 3.0f);
+  Tensor y = Softmax(x, dim);
+  Tensor sums = Sum(y, {dim});
+  for (float s : sums.data()) EXPECT_NEAR(s, 1.0f, 1e-4);
+  for (float v : y.data()) {
+    EXPECT_GT(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SoftmaxPropertyTest,
+    ::testing::Values(std::pair<Shape, int64_t>{{3, 5}, 1},
+                      std::pair<Shape, int64_t>{{3, 5}, 0},
+                      std::pair<Shape, int64_t>{{2, 3, 4}, 2},
+                      std::pair<Shape, int64_t>{{2, 3, 4}, 1}));
+
+// ---- Conv1d identity/associativity-style checks -------------------------------------
+
+TEST(ConvPropertyTest, StrideOneKernelOnePaddingZeroIsChannelMix) {
+  // K=1 conv equals a per-position linear map across channels.
+  Rng rng(31);
+  Tensor x = Tensor::Randn({2, 3, 5}, rng);
+  Tensor w = Tensor::Randn({4, 3, 1}, rng);
+  Tensor y = Conv1d(x, w, Tensor());
+  ASSERT_EQ(y.shape(), (Shape{2, 4, 5}));
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t co = 0; co < 4; ++co) {
+      for (int64_t l = 0; l < 5; ++l) {
+        double acc = 0;
+        for (int64_t ci = 0; ci < 3; ++ci) {
+          acc += double{w.at({co, ci, 0})} * double{x.at({b, ci, l})};
+        }
+        EXPECT_NEAR(y.at({b, co, l}), acc, 1e-4);
+      }
+    }
+  }
+}
+
+TEST(ConvPropertyTest, LinearityInInput) {
+  Rng rng(37);
+  Tensor x1 = Tensor::Randn({1, 2, 8}, rng);
+  Tensor x2 = Tensor::Randn({1, 2, 8}, rng);
+  Tensor w = Tensor::Randn({3, 2, 3}, rng);
+  Tensor lhs = Conv1d(x1 + x2, w, Tensor(), 1, 1);
+  Tensor rhs = Conv1d(x1, w, Tensor(), 1, 1) + Conv1d(x2, w, Tensor(), 1, 1);
+  for (int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-4);
+  }
+}
+
+// ---- Backward determinism across repeated graphs ------------------------------------
+
+TEST(AutogradPropertyTest, RepeatedBackwardIsDeterministic) {
+  Rng rng(41);
+  Tensor w = Tensor::Randn({4, 4}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+  Tensor x = Tensor::Randn({2, 4}, rng);
+  auto run = [&] {
+    w.ZeroGrad();
+    Tensor loss = Mean(Tanh(MatMul(x, w)));
+    loss.Backward();
+    return w.grad();
+  };
+  std::vector<float> first = run();
+  std::vector<float> second = run();
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace timedrl

@@ -1,0 +1,66 @@
+#include "tensor/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace timedrl {
+namespace {
+
+TEST(ShapeTest, NumElements) {
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({3}), 3);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({5, 0, 2}), 0);
+}
+
+TEST(ShapeTest, RowMajorStrides) {
+  EXPECT_EQ(RowMajorStrides({2, 3, 4}), (std::vector<int64_t>{12, 4, 1}));
+  EXPECT_EQ(RowMajorStrides({7}), (std::vector<int64_t>{1}));
+  EXPECT_TRUE(RowMajorStrides({}).empty());
+}
+
+TEST(ShapeTest, BroadcastCompatible) {
+  EXPECT_TRUE(BroadcastCompatible({2, 3}, {2, 3}));
+  EXPECT_TRUE(BroadcastCompatible({2, 3}, {3}));
+  EXPECT_TRUE(BroadcastCompatible({2, 1, 4}, {3, 1}));
+  EXPECT_TRUE(BroadcastCompatible({1}, {5, 6}));
+  EXPECT_FALSE(BroadcastCompatible({2, 3}, {2, 4}));
+  EXPECT_FALSE(BroadcastCompatible({3, 2}, {2, 3}));
+}
+
+TEST(ShapeTest, BroadcastShape) {
+  EXPECT_EQ(BroadcastShape({2, 1, 4}, {3, 1}), (Shape{2, 3, 4}));
+  EXPECT_EQ(BroadcastShape({1}, {5}), (Shape{5}));
+  EXPECT_EQ(BroadcastShape({4, 5}, {4, 5}), (Shape{4, 5}));
+}
+
+TEST(ShapeTest, BroadcastStrides) {
+  // [3] broadcast into [2, 3]: the vector repeats along dim 0.
+  EXPECT_EQ(BroadcastStrides({3}, {2, 3}), (std::vector<int64_t>{0, 1}));
+  // [2, 1] broadcast into [2, 3]: column vector repeats along dim 1.
+  EXPECT_EQ(BroadcastStrides({2, 1}, {2, 3}), (std::vector<int64_t>{1, 0}));
+  // Identity case.
+  EXPECT_EQ(BroadcastStrides({2, 3}, {2, 3}), (std::vector<int64_t>{3, 1}));
+}
+
+TEST(ShapeTest, NormalizeDim) {
+  EXPECT_EQ(NormalizeDim(0, 3), 0);
+  EXPECT_EQ(NormalizeDim(-1, 3), 2);
+  EXPECT_EQ(NormalizeDim(-3, 3), 0);
+}
+
+TEST(ShapeTest, ShapeToString) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(ShapeDeathTest, NormalizeDimOutOfRange) {
+  EXPECT_DEATH(NormalizeDim(3, 3), "CHECK FAILED");
+  EXPECT_DEATH(NormalizeDim(-4, 3), "CHECK FAILED");
+}
+
+TEST(ShapeDeathTest, IncompatibleBroadcast) {
+  EXPECT_DEATH(BroadcastShape({2, 3}, {4, 5}), "CHECK FAILED");
+}
+
+}  // namespace
+}  // namespace timedrl

@@ -1,0 +1,169 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace timedrl {
+namespace {
+
+TEST(TensorTest, Factories) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.shape(), (Shape{2, 3}));
+  EXPECT_EQ(z.numel(), 6);
+  for (float v : z.data()) EXPECT_EQ(v, 0.0f);
+
+  Tensor ones = Tensor::Ones({4});
+  for (float v : ones.data()) EXPECT_EQ(v, 1.0f);
+
+  Tensor full = Tensor::Full({2, 2}, 3.5f);
+  for (float v : full.data()) EXPECT_EQ(v, 3.5f);
+
+  Tensor s = Tensor::Scalar(2.0f);
+  EXPECT_EQ(s.item(), 2.0f);
+
+  Tensor fv = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(fv.at({0, 1}), 2.0f);
+  EXPECT_EQ(fv.at({1, 0}), 3.0f);
+}
+
+TEST(TensorTest, RandomFactoriesAreDeterministic) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  Tensor a = Tensor::Randn({5, 5}, rng_a);
+  Tensor b = Tensor::Randn({5, 5}, rng_b);
+  EXPECT_EQ(a.data(), b.data());
+
+  Rng rng_c(8);
+  Tensor c = Tensor::Randn({5, 5}, rng_c);
+  EXPECT_NE(a.data(), c.data());
+}
+
+TEST(TensorTest, CopyAliasesStorage) {
+  Tensor a = Tensor::Ones({3});
+  Tensor b = a;
+  b.data()[0] = 9.0f;
+  EXPECT_EQ(a.data()[0], 9.0f);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a = Tensor::Ones({3});
+  Tensor b = a.Clone();
+  b.data()[0] = 9.0f;
+  EXPECT_EQ(a.data()[0], 1.0f);
+}
+
+TEST(TensorTest, SizeSupportsNegativeIndices) {
+  Tensor a = Tensor::Zeros({2, 3, 4});
+  EXPECT_EQ(a.size(-1), 4);
+  EXPECT_EQ(a.size(-3), 2);
+  EXPECT_EQ(a.size(1), 3);
+}
+
+TEST(TensorTest, SimpleBackward) {
+  Tensor x = Tensor::FromVector({2}, {3.0f, 4.0f}, /*requires_grad=*/true);
+  Tensor y = Sum(Mul(x, x));  // x0^2 + x1^2
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 8.0f);
+}
+
+TEST(TensorTest, GradAccumulatesAcrossBackwardCalls) {
+  Tensor x = Tensor::Scalar(2.0f, /*requires_grad=*/true);
+  Tensor y1 = Mul(x, 3.0f);
+  y1.Backward();
+  Tensor y2 = Mul(x, 3.0f);
+  y2.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+  x.ZeroGrad();
+  Tensor y3 = Mul(x, 3.0f);
+  y3.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 3.0f);
+}
+
+TEST(TensorTest, DiamondGraphAccumulates) {
+  // y = x*x + x*x should give dy/dx = 4x.
+  Tensor x = Tensor::Scalar(3.0f, /*requires_grad=*/true);
+  Tensor a = Mul(x, x);
+  Tensor b = Mul(x, x);
+  Tensor y = Add(a, b);
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0f);
+}
+
+TEST(TensorTest, SharedSubexpressionBackpropagatesOnce) {
+  // z = (x*2); y = z + z => dy/dx = 4.
+  Tensor x = Tensor::Scalar(1.0f, /*requires_grad=*/true);
+  Tensor z = Mul(x, 2.0f);
+  Tensor y = Add(z, z);
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);
+}
+
+TEST(TensorTest, DetachBlocksGradient) {
+  Tensor x = Tensor::Scalar(5.0f, /*requires_grad=*/true);
+  Tensor z = Mul(x, 2.0f).Detach();
+  EXPECT_FALSE(z.requires_grad());
+  Tensor w = Tensor::Scalar(1.0f, /*requires_grad=*/true);
+  Tensor y = Mul(z, w);
+  y.Backward();
+  EXPECT_FALSE(x.has_grad());
+  EXPECT_FLOAT_EQ(w.grad()[0], 10.0f);
+}
+
+TEST(TensorTest, NoGradGuardDisablesRecording) {
+  Tensor x = Tensor::Scalar(2.0f, /*requires_grad=*/true);
+  Tensor y;
+  {
+    NoGradGuard guard;
+    y = Mul(x, x);
+  }
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_FLOAT_EQ(y.item(), 4.0f);
+}
+
+TEST(TensorTest, NoGradGuardRestoresState) {
+  EXPECT_TRUE(GradEnabled());
+  {
+    NoGradGuard outer;
+    EXPECT_FALSE(GradEnabled());
+    {
+      NoGradGuard inner;
+      EXPECT_FALSE(GradEnabled());
+    }
+    EXPECT_FALSE(GradEnabled());
+  }
+  EXPECT_TRUE(GradEnabled());
+}
+
+TEST(TensorTest, BackwardWithExplicitSeed) {
+  Tensor x = Tensor::FromVector({2}, {1.0f, 2.0f}, /*requires_grad=*/true);
+  Tensor y = Mul(x, x);
+  y.Backward(Tensor::FromVector({2}, {1.0f, 10.0f}));
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 40.0f);
+}
+
+TEST(TensorTest, RequiresGradOnlyOnLeaves) {
+  Tensor x = Tensor::Scalar(1.0f, /*requires_grad=*/true);
+  Tensor y = Mul(x, 2.0f);
+  EXPECT_TRUE(y.requires_grad());
+  EXPECT_DEATH(y.set_requires_grad(false), "leaf");
+}
+
+TEST(TensorTest, ItemRequiresSingleElement) {
+  Tensor x = Tensor::Zeros({2});
+  EXPECT_DEATH(x.item(), "CHECK FAILED");
+}
+
+TEST(TensorTest, GradTensor) {
+  Tensor x = Tensor::FromVector({2}, {1.0f, 2.0f}, /*requires_grad=*/true);
+  Sum(Mul(x, 3.0f)).Backward();
+  Tensor g = x.GradTensor();
+  EXPECT_EQ(g.shape(), x.shape());
+  EXPECT_FLOAT_EQ(g.data()[0], 3.0f);
+  EXPECT_FLOAT_EQ(g.data()[1], 3.0f);
+}
+
+}  // namespace
+}  // namespace timedrl

@@ -1,0 +1,81 @@
+// Numeric gradient checking for autograd verification.
+//
+// Compares analytic gradients (reverse-mode autograd) against central-finite-
+// difference estimates. Tolerances are sized for float32 arithmetic.
+
+#ifndef TIMEDRL_TESTS_TESTING_GRADCHECK_H_
+#define TIMEDRL_TESTS_TESTING_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace timedrl::testing {
+
+struct GradCheckResult {
+  bool ok = true;
+  double max_abs_error = 0.0;
+  std::string message;
+};
+
+/// Checks d(sum(fn(inputs)))/d(inputs) against finite differences.
+///
+/// `fn` must be a pure function of the input tensors (it is re-invoked many
+/// times with perturbed values). Each input must have requires_grad set.
+inline GradCheckResult GradCheck(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, float eps = 1e-2f, float atol = 2e-2f,
+    float rtol = 5e-2f) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (Tensor& input : inputs) input.ZeroGrad();
+  Tensor out = fn(inputs);
+  Tensor loss = Sum(out);
+  loss.Backward();
+
+  auto scalar_loss = [&](const std::vector<Tensor>& xs) {
+    NoGradGuard guard;
+    Tensor y = fn(xs);
+    double total = 0.0;
+    for (float v : y.data()) total += v;
+    return total;
+  };
+
+  for (size_t which = 0; which < inputs.size(); ++which) {
+    Tensor& input = inputs[which];
+    if (!input.requires_grad()) continue;
+    const std::vector<float> analytic =
+        input.has_grad() ? input.grad() : std::vector<float>(input.numel(), 0);
+    for (int64_t i = 0; i < input.numel(); ++i) {
+      const float original = input.data()[i];
+      input.data()[i] = original + eps;
+      const double plus = scalar_loss(inputs);
+      input.data()[i] = original - eps;
+      const double minus = scalar_loss(inputs);
+      input.data()[i] = original;
+      const double numeric = (plus - minus) / (2.0 * eps);
+      const double abs_error = std::fabs(numeric - analytic[i]);
+      const double scale =
+          std::max(std::fabs(numeric), std::fabs(double{analytic[i]}));
+      result.max_abs_error = std::max(result.max_abs_error, abs_error);
+      if (abs_error > atol + rtol * scale) {
+        result.ok = false;
+        result.message = "input " + std::to_string(which) + " element " +
+                         std::to_string(i) + ": analytic " +
+                         std::to_string(analytic[i]) + " vs numeric " +
+                         std::to_string(numeric);
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace timedrl::testing
+
+#endif  // TIMEDRL_TESTS_TESTING_GRADCHECK_H_

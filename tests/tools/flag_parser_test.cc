@@ -1,0 +1,60 @@
+#include "tools/flag_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace timedrl::tools {
+namespace {
+
+FlagParser Parse(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  static std::vector<char*> argv;
+  argv.clear();
+  argv.push_back(const_cast<char*>("timedrl"));
+  for (std::string& arg : storage) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  return FlagParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagParserTest, CommandAndSpaceSeparatedValues) {
+  FlagParser flags = Parse({"pretrain", "--csv", "a.csv", "--epochs", "5"});
+  EXPECT_EQ(flags.command(), "pretrain");
+  EXPECT_EQ(flags.GetString("csv"), "a.csv");
+  EXPECT_EQ(flags.GetInt("epochs", 0), 5);
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser flags = Parse({"forecast", "--horizon=24", "--lambda=0.5"});
+  EXPECT_EQ(flags.GetInt("horizon", 0), 24);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lambda", 0), 0.5);
+}
+
+TEST(FlagParserTest, BareBooleanFlags) {
+  FlagParser flags = Parse({"pretrain", "--channel-independent", "--csv",
+                            "x.csv"});
+  EXPECT_TRUE(flags.GetBool("channel-independent"));
+  EXPECT_FALSE(flags.GetBool("fine-tune"));
+  EXPECT_EQ(flags.GetString("csv"), "x.csv");
+}
+
+TEST(FlagParserTest, BooleanFollowedByFlagDoesNotSwallowIt) {
+  FlagParser flags = Parse({"anomaly", "--verbose", "--top", "3"});
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  EXPECT_EQ(flags.GetInt("top", 0), 3);
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsent) {
+  FlagParser flags = Parse({"generate"});
+  EXPECT_EQ(flags.GetInt("length", 2000), 2000);
+  EXPECT_EQ(flags.GetString("dataset", "etth1"), "etth1");
+  EXPECT_FALSE(flags.Has("out"));
+}
+
+TEST(FlagParserTest, EmptyCommandLine) {
+  FlagParser flags = Parse({});
+  EXPECT_TRUE(flags.command().empty());
+}
+
+}  // namespace
+}  // namespace timedrl::tools

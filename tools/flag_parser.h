@@ -1,0 +1,74 @@
+// Minimal --flag=value / --flag value command-line parsing for the CLI.
+
+#ifndef TIMEDRL_TOOLS_FLAG_PARSER_H_
+#define TIMEDRL_TOOLS_FLAG_PARSER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace timedrl::tools {
+
+/// Parsed command line: one positional command plus --key value pairs.
+class FlagParser {
+ public:
+  /// Parses argv[1:]; the first non-flag token is the command.
+  FlagParser(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) == 0) {
+        std::string key = token.substr(2);
+        std::string value = "true";  // bare flag = boolean
+        const size_t equals = key.find('=');
+        if (equals != std::string::npos) {
+          value = key.substr(equals + 1);
+          key = key.substr(0, equals);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          value = argv[++i];
+        }
+        flags_[key] = value;
+      } else if (command_.empty()) {
+        command_ = token;
+      } else {
+        positional_.push_back(token);
+      }
+    }
+  }
+
+  const std::string& command() const { return command_; }
+
+  bool Has(const std::string& key) const { return flags_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? fallback : std::stoll(it->second);
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? fallback : std::stod(it->second);
+  }
+
+  bool GetBool(const std::string& key, bool fallback = false) const {
+    auto it = flags_.find(key);
+    if (it == flags_.end()) return fallback;
+    return it->second == "true" || it->second == "1";
+  }
+
+ private:
+  std::string command_;
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace timedrl::tools
+
+#endif  // TIMEDRL_TOOLS_FLAG_PARSER_H_
