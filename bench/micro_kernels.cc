@@ -1,0 +1,172 @@
+// Microbenchmarks for the raw kernel layer (tensor/kernels/*): GEMM in all
+// three transpose variants, im2col conv1d, and elementwise maps, each at
+// serial (1 thread) and pooled (4 threads) settings.
+//
+//   ./bench/micro_kernels --benchmark_filter=GemmNN
+//
+// BM_SeedGemmNN is a faithful copy of the pre-kernel-layer matmul loop
+// (naive triple loop with a per-element sparsity branch) kept here as the
+// baseline the tiled kernels are measured against.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "tensor/kernels/conv1d.h"
+#include "tensor/kernels/elementwise.h"
+#include "tensor/kernels/gemm.h"
+#include "util/thread_pool.h"
+
+namespace timedrl {
+namespace {
+
+std::vector<float> RandomVector(int64_t n, uint32_t seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> v(n);
+  for (float& x : v) x = dist(gen);
+  return v;
+}
+
+// The seed repo's dense matmul inner loop, verbatim: serial, row-major
+// triple loop, with the `av == 0` skip that the tiled kernels dropped.
+void SeedGemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* b_row = b + p * n;
+      float* c_row = c + i * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+// The acceptance-size GEMM: [256 x 64] x [64 x 256].
+constexpr int64_t kM = 256;
+constexpr int64_t kK = 64;
+constexpr int64_t kN = 256;
+
+void BM_SeedGemmNN(benchmark::State& state) {
+  const auto a = RandomVector(kM * kK, 1);
+  const auto b = RandomVector(kK * kN, 2);
+  std::vector<float> c(kM * kN, 0.0f);
+  for (auto _ : state) {
+    SeedGemmNN(a.data(), b.data(), c.data(), kM, kK, kN);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kM * kK * kN);
+}
+BENCHMARK(BM_SeedGemmNN);
+
+void BM_GemmNN(benchmark::State& state) {
+  SetNumThreads(static_cast<int>(state.range(0)));
+  const auto a = RandomVector(kM * kK, 1);
+  const auto b = RandomVector(kK * kN, 2);
+  std::vector<float> c(kM * kN, 0.0f);
+  for (auto _ : state) {
+    kernels::GemmNN(a.data(), b.data(), c.data(), kM, kK, kN);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kM * kK * kN);
+  SetNumThreads(1);
+}
+BENCHMARK(BM_GemmNN)->Arg(1)->Arg(4);
+
+void BM_GemmNT(benchmark::State& state) {
+  SetNumThreads(static_cast<int>(state.range(0)));
+  const auto a = RandomVector(kM * kN, 1);
+  const auto b = RandomVector(kK * kN, 2);
+  std::vector<float> c(kM * kK, 0.0f);
+  for (auto _ : state) {
+    kernels::GemmNT(a.data(), b.data(), c.data(), kM, kN, kK);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kM * kK * kN);
+  SetNumThreads(1);
+}
+BENCHMARK(BM_GemmNT)->Arg(1)->Arg(4);
+
+void BM_GemmTN(benchmark::State& state) {
+  SetNumThreads(static_cast<int>(state.range(0)));
+  const auto a = RandomVector(kM * kK, 1);
+  const auto b = RandomVector(kM * kN, 2);
+  std::vector<float> c(kK * kN, 0.0f);
+  for (auto _ : state) {
+    kernels::GemmTN(a.data(), b.data(), c.data(), kM, kK, kN);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kM * kK * kN);
+  SetNumThreads(1);
+}
+BENCHMARK(BM_GemmTN)->Arg(1)->Arg(4);
+
+// Token-embedding shape from the default TimeDRL config: a batch of 32
+// windows, 9 tokens each (8 patches + CLS), C*P = 8 features -> d_model 64.
+void BM_GemmNN_TokenProjection(benchmark::State& state) {
+  SetNumThreads(static_cast<int>(state.range(0)));
+  const int64_t m = 32 * 9, k = 64, n = 64;
+  const auto a = RandomVector(m * k, 1);
+  const auto b = RandomVector(k * n, 2);
+  std::vector<float> c(m * n, 0.0f);
+  for (auto _ : state) {
+    kernels::GemmNN(a.data(), b.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+  SetNumThreads(1);
+}
+BENCHMARK(BM_GemmNN_TokenProjection)->Arg(1)->Arg(4);
+
+// ConvNet-backbone-shaped conv: [32, 64, 64] x [64, 64, 3], padding 1.
+void BM_Conv1dForward(benchmark::State& state) {
+  SetNumThreads(static_cast<int>(state.range(0)));
+  kernels::Conv1dGeometry geom;
+  geom.batch = 32;
+  geom.c_in = 64;
+  geom.length = 64;
+  geom.c_out = 64;
+  geom.kernel = 3;
+  geom.stride = 1;
+  geom.padding = 1;
+  geom.dilation = 1;
+  geom.out_length = 64;
+  const auto x = RandomVector(geom.batch * geom.c_in * geom.length, 1);
+  const auto w = RandomVector(geom.c_out * geom.c_in * geom.kernel, 2);
+  const auto bias = RandomVector(geom.c_out, 3);
+  std::vector<float> out(geom.batch * geom.c_out * geom.out_length);
+  for (auto _ : state) {
+    kernels::Conv1dForward(x.data(), w.data(), bias.data(), out.data(), geom);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * geom.batch * geom.c_out *
+                          geom.out_length * 2 * geom.c_in * geom.kernel);
+  SetNumThreads(1);
+}
+BENCHMARK(BM_Conv1dForward)->Arg(1)->Arg(4);
+
+void BM_ElementwiseGelu(benchmark::State& state) {
+  SetNumThreads(static_cast<int>(state.range(0)));
+  constexpr int64_t kCount = 1 << 18;
+  const auto a = RandomVector(kCount, 1);
+  std::vector<float> out(kCount);
+  constexpr float kAlpha = 0.7978845608028654f;
+  for (auto _ : state) {
+    kernels::Map(a.data(), out.data(), kCount, [](float x) {
+      return 0.5f * x * (1.0f + std::tanh(kAlpha * (x + 0.044715f * x * x * x)));
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kCount);
+  SetNumThreads(1);
+}
+BENCHMARK(BM_ElementwiseGelu)->Arg(1)->Arg(4);
+
+}  // namespace
+}  // namespace timedrl
+
+BENCHMARK_MAIN();

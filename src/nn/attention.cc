@@ -29,6 +29,18 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t d_model,
   RegisterModule("attn_dropout", &attn_dropout_);
 }
 
+const Tensor& MultiHeadSelfAttention::CausalMask(int64_t seq_len) {
+  if (cached_mask_len_ != seq_len) {
+    std::vector<float> mask(seq_len * seq_len, 0.0f);
+    for (int64_t i = 0; i < seq_len; ++i) {
+      for (int64_t j = i + 1; j < seq_len; ++j) mask[i * seq_len + j] = 1.0f;
+    }
+    causal_mask_ = Tensor::FromVector({seq_len, seq_len}, std::move(mask));
+    cached_mask_len_ = seq_len;
+  }
+  return causal_mask_;
+}
+
 Tensor MultiHeadSelfAttention::Forward(const Tensor& input) {
   TIMEDRL_CHECK_EQ(input.dim(), 3) << "attention expects [B, T, D]";
   TIMEDRL_CHECK_EQ(input.size(2), d_model_);
@@ -49,12 +61,7 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& input) {
                   (1.0f / std::sqrt(static_cast<float>(head_dim_)));
 
   if (causal_) {
-    std::vector<float> mask(seq_len * seq_len, 0.0f);
-    for (int64_t i = 0; i < seq_len; ++i) {
-      for (int64_t j = i + 1; j < seq_len; ++j) mask[i * seq_len + j] = 1.0f;
-    }
-    scores = MaskedFill(scores, Tensor::FromVector({seq_len, seq_len}, mask),
-                        -1e9f);
+    scores = MaskedFill(scores, CausalMask(seq_len), -1e9f);
   }
 
   Tensor attn = attn_dropout_.Forward(Softmax(scores, -1));

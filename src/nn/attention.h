@@ -22,10 +22,16 @@ class MultiHeadSelfAttention : public Module {
   int64_t num_heads() const { return num_heads_; }
 
  private:
+  /// Upper-triangular [T, T] mask (1 above the diagonal), rebuilt only when
+  /// the sequence length changes.
+  const Tensor& CausalMask(int64_t seq_len);
+
   int64_t d_model_;
   int64_t num_heads_;
   int64_t head_dim_;
   bool causal_;
+  Tensor causal_mask_;
+  int64_t cached_mask_len_ = 0;
   Linear q_proj_;
   Linear k_proj_;
   Linear v_proj_;

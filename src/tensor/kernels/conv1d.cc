@@ -1,0 +1,99 @@
+#include "tensor/kernels/conv1d.h"
+
+#include <vector>
+
+#include "tensor/kernels/gemm.h"
+#include "util/thread_pool.h"
+
+namespace timedrl::kernels {
+
+void Im2Col(const float* x_b, const Conv1dGeometry& geom, float* col) {
+  for (int64_t ci = 0; ci < geom.c_in; ++ci) {
+    const float* xrow = x_b + ci * geom.length;
+    for (int64_t kk = 0; kk < geom.kernel; ++kk) {
+      float* crow = col + (ci * geom.kernel + kk) * geom.out_length;
+      const int64_t offset = kk * geom.dilation - geom.padding;
+      for (int64_t l = 0; l < geom.out_length; ++l) {
+        const int64_t pos = l * geom.stride + offset;
+        crow[l] = (pos >= 0 && pos < geom.length) ? xrow[pos] : 0.0f;
+      }
+    }
+  }
+}
+
+void Col2ImAccumulate(const float* col, const Conv1dGeometry& geom,
+                      float* gx_b) {
+  for (int64_t ci = 0; ci < geom.c_in; ++ci) {
+    float* gxrow = gx_b + ci * geom.length;
+    for (int64_t kk = 0; kk < geom.kernel; ++kk) {
+      const float* crow = col + (ci * geom.kernel + kk) * geom.out_length;
+      const int64_t offset = kk * geom.dilation - geom.padding;
+      for (int64_t l = 0; l < geom.out_length; ++l) {
+        const int64_t pos = l * geom.stride + offset;
+        if (pos >= 0 && pos < geom.length) gxrow[pos] += crow[l];
+      }
+    }
+  }
+}
+
+void Conv1dForward(const float* x, const float* w, const float* bias,
+                   float* out, const Conv1dGeometry& geom) {
+  ParallelFor(0, geom.batch, 1, [&](int64_t batch_begin, int64_t batch_end) {
+    std::vector<float> col(geom.col_rows() * geom.out_length);
+    for (int64_t b = batch_begin; b < batch_end; ++b) {
+      Im2Col(x + b * geom.c_in * geom.length, geom, col.data());
+      float* out_b = out + b * geom.c_out * geom.out_length;
+      if (bias != nullptr) {
+        for (int64_t co = 0; co < geom.c_out; ++co) {
+          float* orow = out_b + co * geom.out_length;
+          for (int64_t l = 0; l < geom.out_length; ++l) orow[l] = bias[co];
+        }
+      }
+      // out_b [c_out, out_len] += w [c_out, c_in*K] * col [c_in*K, out_len].
+      GemmNN(w, col.data(), out_b, geom.c_out, geom.col_rows(),
+             geom.out_length);
+    }
+  });
+}
+
+void Conv1dBackwardInput(const float* w, const float* g, float* gx,
+                         const Conv1dGeometry& geom) {
+  ParallelFor(0, geom.batch, 1, [&](int64_t batch_begin, int64_t batch_end) {
+    std::vector<float> dcol(geom.col_rows() * geom.out_length);
+    for (int64_t b = batch_begin; b < batch_end; ++b) {
+      std::fill(dcol.begin(), dcol.end(), 0.0f);
+      // dcol [c_in*K, out_len] = w^T [c_in*K, c_out] * g_b [c_out, out_len].
+      GemmTN(w, g + b * geom.c_out * geom.out_length, dcol.data(), geom.c_out,
+             geom.col_rows(), geom.out_length);
+      Col2ImAccumulate(dcol.data(), geom, gx + b * geom.c_in * geom.length);
+    }
+  });
+}
+
+void Conv1dBackwardWeight(const float* x, const float* g, float* gw,
+                          const Conv1dGeometry& geom) {
+  std::vector<float> col(geom.col_rows() * geom.out_length);
+  for (int64_t b = 0; b < geom.batch; ++b) {
+    Im2Col(x + b * geom.c_in * geom.length, geom, col.data());
+    // gw [c_out, c_in*K] += g_b [c_out, out_len] * col^T [out_len, c_in*K].
+    GemmNT(g + b * geom.c_out * geom.out_length, col.data(), gw, geom.c_out,
+           geom.out_length, geom.col_rows());
+  }
+}
+
+void Conv1dBackwardBias(const float* g, float* gb,
+                        const Conv1dGeometry& geom) {
+  ParallelFor(0, geom.c_out, 1, [&](int64_t co_begin, int64_t co_end) {
+    for (int64_t co = co_begin; co < co_end; ++co) {
+      float acc = 0.0f;
+      for (int64_t b = 0; b < geom.batch; ++b) {
+        const float* grow =
+            g + (b * geom.c_out + co) * geom.out_length;
+        for (int64_t l = 0; l < geom.out_length; ++l) acc += grow[l];
+      }
+      gb[co] += acc;
+    }
+  });
+}
+
+}  // namespace timedrl::kernels

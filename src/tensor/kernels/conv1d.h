@@ -1,0 +1,67 @@
+// 1-D convolution kernels: im2col/col2im plus whole-batch forward/backward
+// entry points expressed as GEMMs over the unrolled patches.
+//
+// Shapes: x [batch, c_in, length], w [c_out, c_in, kernel],
+// out [batch, c_out, out_length], col [c_in*kernel, out_length].
+//
+// Threading model (see util/thread_pool.h and kernels/gemm.h):
+//  - Forward and the input gradient parallelize over the batch — each batch
+//    element owns a disjoint slice of out / gx, so accumulation is race-free
+//    and bitwise-identical for any pool size.
+//  - The weight gradient accumulates into ONE shared gw buffer across the
+//    whole batch, so its batch loop is serial and the per-batch GEMM
+//    parallelizes internally over disjoint rows of gw instead.
+
+#ifndef TIMEDRL_TENSOR_KERNELS_CONV1D_H_
+#define TIMEDRL_TENSOR_KERNELS_CONV1D_H_
+
+#include <cstdint>
+
+namespace timedrl::kernels {
+
+/// Geometry of one Conv1d call; out_length must already be validated by the
+/// op layer: (length + 2*padding - dilation*(kernel-1) - 1) / stride + 1.
+struct Conv1dGeometry {
+  int64_t batch = 0;
+  int64_t c_in = 0;
+  int64_t length = 0;
+  int64_t c_out = 0;
+  int64_t kernel = 0;
+  int64_t out_length = 0;
+  int64_t stride = 1;
+  int64_t padding = 0;
+  int64_t dilation = 1;
+
+  int64_t col_rows() const { return c_in * kernel; }
+};
+
+/// Unrolls one batch element x_b [c_in, length] into col [c_in*K, out_len];
+/// out-of-range (padding) taps become 0.
+void Im2Col(const float* x_b, const Conv1dGeometry& geom, float* col);
+
+/// Accumulates col [c_in*K, out_len] back into gx_b [c_in, length],
+/// reversing Im2Col (padding taps are dropped).
+void Col2ImAccumulate(const float* col, const Conv1dGeometry& geom,
+                      float* gx_b);
+
+/// out = conv1d(x, w) + bias. `out` must be zero-filled; `bias` may be null.
+/// Parallel over batch.
+void Conv1dForward(const float* x, const float* w, const float* bias,
+                   float* out, const Conv1dGeometry& geom);
+
+/// gx += col2im(w^T * g_b) per batch element. Parallel over batch.
+void Conv1dBackwardInput(const float* w, const float* g, float* gx,
+                         const Conv1dGeometry& geom);
+
+/// gw += sum_b g_b * col_b^T. Serial over batch (shared gw), GEMM-parallel
+/// inside.
+void Conv1dBackwardWeight(const float* x, const float* g, float* gw,
+                          const Conv1dGeometry& geom);
+
+/// gb[co] += sum_{b,l} g[b,co,l]. Parallel over c_out.
+void Conv1dBackwardBias(const float* g, float* gb,
+                        const Conv1dGeometry& geom);
+
+}  // namespace timedrl::kernels
+
+#endif  // TIMEDRL_TENSOR_KERNELS_CONV1D_H_

@@ -1,0 +1,59 @@
+#include "tensor/kernels/copy.h"
+
+#include <algorithm>
+
+#include "tensor/kernels/elementwise.h"
+#include "util/thread_pool.h"
+
+namespace timedrl::kernels {
+namespace {
+
+// Blocks per ParallelFor chunk, targeting ~kElementwiseGrain floats of work.
+int64_t BlockGrain(int64_t block) {
+  return std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, block));
+}
+
+}  // namespace
+
+void AddInto(const float* src, float* dst, int64_t n) {
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) dst[i] += src[i];
+  });
+}
+
+void CopyStridedBlocks(const float* src, float* dst, int64_t count,
+                       int64_t block, int64_t src_stride, int64_t dst_stride) {
+  ParallelFor(0, count, BlockGrain(block), [=](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const float* s = src + i * src_stride;
+      std::copy(s, s + block, dst + i * dst_stride);
+    }
+  });
+}
+
+void AccumulateStridedBlocks(const float* src, float* dst, int64_t count,
+                             int64_t block, int64_t src_stride,
+                             int64_t dst_stride) {
+  ParallelFor(0, count, BlockGrain(block), [=](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const float* s = src + i * src_stride;
+      float* d = dst + i * dst_stride;
+      for (int64_t j = 0; j < block; ++j) d[j] += s[j];
+    }
+  });
+}
+
+void GatherStrided(const Shape& out_shape,
+                   const std::vector<int64_t>& strides, const float* src,
+                   float* out) {
+  const int64_t total = NumElements(out_shape);
+  // Reuse the chunkable two-stride odometer with the second stride set
+  // mirroring the first; the duplicate offset is ignored.
+  ParallelFor(0, total, kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    ForEachBroadcast2Range(
+        out_shape, strides, strides, begin, end,
+        [&](int64_t i, int64_t oa, int64_t) { out[i] = src[oa]; });
+  });
+}
+
+}  // namespace timedrl::kernels

@@ -1,0 +1,47 @@
+// Data-movement kernels: dense accumulation, strided block copies, and
+// strided gathers. These hold the loops behind reshape/permute/slice/concat/
+// broadcast in src/tensor/ops_shape.cc.
+//
+// Threading model (see util/thread_pool.h): every parallel kernel here
+// partitions disjoint OUTPUT ranges across threads — a block copy owns whole
+// destination blocks, a gather owns output indices. Scatter-style strided
+// accumulation (many output indices folding onto one destination slot, as in
+// BroadcastTo's backward) reuses the serial ReduceAddStrided from
+// tensor/kernels/reduce.h instead.
+
+#ifndef TIMEDRL_TENSOR_KERNELS_COPY_H_
+#define TIMEDRL_TENSOR_KERNELS_COPY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace timedrl::kernels {
+
+/// dst[i] += src[i] for i in [0, n). Parallel; disjoint writes.
+void AddInto(const float* src, float* dst, int64_t n);
+
+/// Copies `count` blocks of `block` floats:
+///   dst[i*dst_stride .. +block) = src[i*src_stride .. +block).
+/// Parallel over blocks; callers must pass dst_stride >= block so that
+/// destination blocks stay disjoint per thread.
+void CopyStridedBlocks(const float* src, float* dst, int64_t count,
+                       int64_t block, int64_t src_stride, int64_t dst_stride);
+
+/// Like CopyStridedBlocks but accumulates: dst[...] += src[...].
+/// Parallel over blocks; same disjointness requirement on dst_stride.
+void AccumulateStridedBlocks(const float* src, float* dst, int64_t count,
+                             int64_t block, int64_t src_stride,
+                             int64_t dst_stride);
+
+/// out[i] = src[offset(i)] where offset(i) walks `strides` (stride 0 on
+/// broadcast dims) over the row-major indices of `out_shape`. Parallel:
+/// output writes are disjoint, the source is only read.
+void GatherStrided(const Shape& out_shape,
+                   const std::vector<int64_t>& strides, const float* src,
+                   float* out);
+
+}  // namespace timedrl::kernels
+
+#endif  // TIMEDRL_TENSOR_KERNELS_COPY_H_

@@ -1,0 +1,141 @@
+// Elementwise map/zip kernels over raw float buffers.
+//
+// These templates hold every dense loop the elementwise autograd ops used to
+// carry inline; src/tensor/ops_elementwise.cc now only does shape checking
+// and autograd wiring around them.
+//
+// Threading model (see util/thread_pool.h): forward kernels and same-shape
+// gradient kernels write disjoint indices per thread and run on the global
+// pool; results are bitwise-identical for any pool size because each output
+// element is produced by exactly one thread. Broadcast gradient
+// accumulation (ZipGradBroadcastAccumulate) scatters many output indices
+// into SHARED input slots and therefore runs serially — never parallelize a
+// scatter whose destination rows are not owned by one thread.
+
+#ifndef TIMEDRL_TENSOR_KERNELS_ELEMENTWISE_H_
+#define TIMEDRL_TENSOR_KERNELS_ELEMENTWISE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/thread_pool.h"
+
+namespace timedrl::kernels {
+
+/// Elements per ParallelFor chunk for cheap elementwise work.
+constexpr int64_t kElementwiseGrain = 1 << 13;
+
+/// Walks out-linear indices [begin, end) of `out_shape`, calling
+/// fn(i, a_offset, b_offset) where the offsets follow the broadcast strides
+/// `sa` / `sb` (stride 0 on broadcast dims). Unlike the full-range odometer
+/// in tensor/broadcast_iter.h this variant can start mid-range, which makes
+/// broadcast iteration chunkable by ParallelFor.
+template <typename Fn>
+void ForEachBroadcast2Range(const Shape& out_shape,
+                            const std::vector<int64_t>& sa,
+                            const std::vector<int64_t>& sb, int64_t begin,
+                            int64_t end, Fn&& fn) {
+  const int64_t rank = static_cast<int64_t>(out_shape.size());
+  if (begin >= end) return;
+  std::vector<int64_t> coord(rank, 0);
+  int64_t oa = 0;
+  int64_t ob = 0;
+  // Decompose `begin` into coordinates and the matching input offsets.
+  int64_t remainder = begin;
+  for (int64_t d = rank - 1; d >= 0; --d) {
+    coord[d] = remainder % out_shape[d];
+    remainder /= out_shape[d];
+    oa += coord[d] * sa[d];
+    ob += coord[d] * sb[d];
+  }
+  for (int64_t i = begin; i < end; ++i) {
+    fn(i, oa, ob);
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      ++coord[d];
+      oa += sa[d];
+      ob += sb[d];
+      if (coord[d] < out_shape[d]) break;
+      coord[d] = 0;
+      oa -= sa[d] * out_shape[d];
+      ob -= sb[d] * out_shape[d];
+    }
+  }
+}
+
+/// out[i] = f(a[i]) for i in [0, n). Parallel; disjoint writes.
+template <typename F>
+void Map(const float* a, float* out, int64_t n, F f) {
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) out[i] = f(a[i]);
+  });
+}
+
+/// ga[i] += g[i] * df(a[i], y[i]) for i in [0, n) — the unary-op backward
+/// rule (y is the forward output). Parallel; each thread owns disjoint i.
+template <typename F>
+void MapGradAccumulate(const float* g, const float* a, const float* y,
+                       float* ga, int64_t n, F df) {
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ga[i] += g[i] * df(a[i], y[i]);
+  });
+}
+
+/// out[i] = f(a[i], b[i]) for same-shape operands. Parallel.
+template <typename F>
+void Zip(const float* a, const float* b, float* out, int64_t n, F f) {
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) out[i] = f(a[i], b[i]);
+  });
+}
+
+/// out[i] = f(a[oa(i)], b[ob(i)]) with broadcast strides. Parallel: output
+/// writes are disjoint; inputs are only read.
+template <typename F>
+void ZipBroadcast(const Shape& out_shape, const std::vector<int64_t>& sa,
+                  const std::vector<int64_t>& sb, const float* a,
+                  const float* b, float* out, F f) {
+  const int64_t total = NumElements(out_shape);
+  ParallelFor(0, total, kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    ForEachBroadcast2Range(out_shape, sa, sb, begin, end,
+                           [&](int64_t i, int64_t oa, int64_t ob) {
+                             out[i] = f(a[oa], b[ob]);
+                           });
+  });
+}
+
+/// Same-shape binary backward: ga[i] += g[i]*dfa(...), gb[i] += g[i]*dfb(...).
+/// Either gradient pointer may be null. Parallel; disjoint writes.
+template <typename Fa, typename Fb>
+void ZipGradAccumulate(const float* g, const float* a, const float* b,
+                       const float* y, float* ga, float* gb, int64_t n, Fa dfa,
+                       Fb dfb) {
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      if (ga != nullptr) ga[i] += g[i] * dfa(a[i], b[i], y[i]);
+      if (gb != nullptr) gb[i] += g[i] * dfb(a[i], b[i], y[i]);
+    }
+  });
+}
+
+/// Broadcast binary backward. SERIAL by design: broadcast dimensions fold
+/// many output indices onto one input slot, so per-thread destinations
+/// cannot be made disjoint without a reduction tree.
+template <typename Fa, typename Fb>
+void ZipGradBroadcastAccumulate(const Shape& out_shape,
+                                const std::vector<int64_t>& sa,
+                                const std::vector<int64_t>& sb, const float* g,
+                                const float* a, const float* b, const float* y,
+                                float* ga, float* gb, Fa dfa, Fb dfb) {
+  ForEachBroadcast2Range(out_shape, sa, sb, 0, NumElements(out_shape),
+                         [&](int64_t i, int64_t oa, int64_t ob) {
+                           if (ga != nullptr)
+                             ga[oa] += g[i] * dfa(a[oa], b[ob], y[i]);
+                           if (gb != nullptr)
+                             gb[ob] += g[i] * dfb(a[oa], b[ob], y[i]);
+                         });
+}
+
+}  // namespace timedrl::kernels
+
+#endif  // TIMEDRL_TENSOR_KERNELS_ELEMENTWISE_H_

@@ -1,0 +1,126 @@
+#include "tensor/kernels/gemm.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace timedrl::kernels {
+namespace {
+
+// Output rows are handed to the pool in blocks sized so one chunk carries
+// roughly this many multiply-adds; below that the dispatch overhead beats
+// the parallelism (the pool runs the whole range inline in that case).
+constexpr int64_t kGemmGrainFlops = int64_t{1} << 15;
+
+// Rows of C computed together in the register-tiled fast path. Each B (or A)
+// row loaded in the inner loop is then reused kRowTile times.
+constexpr int64_t kRowTile = 4;
+
+int64_t RowGrain(int64_t flops_per_row) {
+  return std::max<int64_t>(1, kGemmGrainFlops / std::max<int64_t>(1, flops_per_row));
+}
+
+}  // namespace
+
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  ParallelFor(0, m, RowGrain(k * n), [=](int64_t row_begin, int64_t row_end) {
+    int64_t i = row_begin;
+    // Register tile: 4 rows of C share each streamed row of B. The per
+    // element accumulation order (p ascending) matches the tail loop, so
+    // results do not depend on where the tile boundary falls.
+    for (; i + kRowTile <= row_end; i += kRowTile) {
+      float* c0 = c + (i + 0) * n;
+      float* c1 = c + (i + 1) * n;
+      float* c2 = c + (i + 2) * n;
+      float* c3 = c + (i + 3) * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float* brow = b + p * n;
+        const float a0 = a[(i + 0) * k + p];
+        const float a1 = a[(i + 1) * k + p];
+        const float a2 = a[(i + 2) * k + p];
+        const float a3 = a[(i + 3) * k + p];
+        for (int64_t j = 0; j < n; ++j) {
+          const float bv = brow[j];
+          c0[j] += a0 * bv;
+          c1[j] += a1 * bv;
+          c2[j] += a2 * bv;
+          c3[j] += a3 * bv;
+        }
+      }
+    }
+    for (; i < row_end; ++i) {
+      float* crow = c + i * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = a[i * k + p];
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
+            int64_t k) {
+  ParallelFor(0, m, RowGrain(n * k), [=](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = a + i * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float* brow = b + p * n;
+        // Four partial sums break the serial dependence of a single
+        // accumulator; the split is the same for every (i, p), so the
+        // summation order is thread-count independent.
+        float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+        int64_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+          s0 += arow[j + 0] * brow[j + 0];
+          s1 += arow[j + 1] * brow[j + 1];
+          s2 += arow[j + 2] * brow[j + 2];
+          s3 += arow[j + 3] * brow[j + 3];
+        }
+        float acc = (s0 + s1) + (s2 + s3);
+        for (; j < n; ++j) acc += arow[j] * brow[j];
+        c[i * k + p] += acc;
+      }
+    }
+  });
+}
+
+void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  // Parallel over rows of C (index p in [0, k)); the reduction over rows of
+  // A/B (index i) runs inside, so each thread's writes are disjoint.
+  ParallelFor(0, k, RowGrain(m * n), [=](int64_t row_begin, int64_t row_end) {
+    int64_t p = row_begin;
+    for (; p + kRowTile <= row_end; p += kRowTile) {
+      float* c0 = c + (p + 0) * n;
+      float* c1 = c + (p + 1) * n;
+      float* c2 = c + (p + 2) * n;
+      float* c3 = c + (p + 3) * n;
+      for (int64_t i = 0; i < m; ++i) {
+        const float* brow = b + i * n;
+        const float a0 = a[i * k + p + 0];
+        const float a1 = a[i * k + p + 1];
+        const float a2 = a[i * k + p + 2];
+        const float a3 = a[i * k + p + 3];
+        for (int64_t j = 0; j < n; ++j) {
+          const float bv = brow[j];
+          c0[j] += a0 * bv;
+          c1[j] += a1 * bv;
+          c2[j] += a2 * bv;
+          c3[j] += a3 * bv;
+        }
+      }
+    }
+    for (; p < row_end; ++p) {
+      float* crow = c + p * n;
+      for (int64_t i = 0; i < m; ++i) {
+        const float av = a[i * k + p];
+        const float* brow = b + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+}  // namespace timedrl::kernels

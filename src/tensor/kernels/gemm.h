@@ -1,0 +1,39 @@
+// Dense float GEMM kernels in the three transpose variants the autograd ops
+// need. Pure raw-buffer functions: no shapes, no autograd — that wiring
+// lives in src/tensor/ops_matmul.cc and friends.
+//
+// All kernels ACCUMULATE into C (C += ...), so callers can chain them for
+// gradient accumulation without zeroing between calls.
+//
+// Threading model (see util/thread_pool.h): every kernel partitions its
+// OUTPUT rows across the global thread pool. Each output element is computed
+// by exactly one thread with a fixed inner reduction order, so results are
+// bitwise-identical for any TIMEDRL_NUM_THREADS. Parallel gradient
+// accumulation stays race-free for the same reason: a thread only writes
+// rows it owns. Kernels that cannot partition their outputs disjointly must
+// run serially — do not "optimize" them onto the pool.
+
+#ifndef TIMEDRL_TENSOR_KERNELS_GEMM_H_
+#define TIMEDRL_TENSOR_KERNELS_GEMM_H_
+
+#include <cstdint>
+
+namespace timedrl::kernels {
+
+/// C[m,n] += A[m,k] * B[k,n]. Parallel over rows of C.
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n);
+
+/// C[m,k] += A[m,n] * B[k,n]^T (i.e. C = A * B^T). Parallel over rows of C.
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
+            int64_t k);
+
+/// C[k,n] += A[m,k]^T * B[m,n] (i.e. C = A^T * B). Parallel over rows of C
+/// (the k dimension), which makes the accumulation disjoint per thread even
+/// though the reduction runs over rows of A and B.
+void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n);
+
+}  // namespace timedrl::kernels
+
+#endif  // TIMEDRL_TENSOR_KERNELS_GEMM_H_

@@ -1,0 +1,81 @@
+#include "tensor/kernels/pool.h"
+
+#include <limits>
+
+#include "util/thread_pool.h"
+
+namespace timedrl::kernels {
+namespace {
+
+constexpr int64_t kPoolRowGrain = 16;
+
+}  // namespace
+
+void MaxPool1dForward(const float* x, float* out, int64_t* argmax,
+                      int64_t rows, int64_t length, int64_t kernel,
+                      int64_t stride, int64_t out_length) {
+  ParallelFor(0, rows, kPoolRowGrain, [=](int64_t row_begin, int64_t row_end) {
+    for (int64_t row = row_begin; row < row_end; ++row) {
+      const float* xrow = x + row * length;
+      for (int64_t l = 0; l < out_length; ++l) {
+        float best = -std::numeric_limits<float>::infinity();
+        int64_t best_pos = l * stride;
+        for (int64_t kk = 0; kk < kernel; ++kk) {
+          const int64_t pos = l * stride + kk;
+          if (xrow[pos] > best) {
+            best = xrow[pos];
+            best_pos = pos;
+          }
+        }
+        out[row * out_length + l] = best;
+        argmax[row * out_length + l] = best_pos;
+      }
+    }
+  });
+}
+
+void MaxPool1dBackwardAccumulate(const float* g, const int64_t* argmax,
+                                 float* gx, int64_t rows, int64_t length,
+                                 int64_t out_length) {
+  ParallelFor(0, rows, kPoolRowGrain, [=](int64_t row_begin, int64_t row_end) {
+    for (int64_t row = row_begin; row < row_end; ++row) {
+      for (int64_t l = 0; l < out_length; ++l) {
+        gx[row * length + argmax[row * out_length + l]] +=
+            g[row * out_length + l];
+      }
+    }
+  });
+}
+
+void AvgPool1dForward(const float* x, float* out, int64_t rows, int64_t length,
+                      int64_t kernel, int64_t stride, int64_t out_length) {
+  const float inv_kernel = 1.0f / static_cast<float>(kernel);
+  ParallelFor(0, rows, kPoolRowGrain, [=](int64_t row_begin, int64_t row_end) {
+    for (int64_t row = row_begin; row < row_end; ++row) {
+      const float* xrow = x + row * length;
+      for (int64_t l = 0; l < out_length; ++l) {
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < kernel; ++kk) acc += xrow[l * stride + kk];
+        out[row * out_length + l] = acc * inv_kernel;
+      }
+    }
+  });
+}
+
+void AvgPool1dBackwardAccumulate(const float* g, float* gx, int64_t rows,
+                                 int64_t length, int64_t kernel,
+                                 int64_t stride, int64_t out_length) {
+  const float inv_kernel = 1.0f / static_cast<float>(kernel);
+  ParallelFor(0, rows, kPoolRowGrain, [=](int64_t row_begin, int64_t row_end) {
+    for (int64_t row = row_begin; row < row_end; ++row) {
+      for (int64_t l = 0; l < out_length; ++l) {
+        const float gv = g[row * out_length + l] * inv_kernel;
+        for (int64_t kk = 0; kk < kernel; ++kk) {
+          gx[row * length + l * stride + kk] += gv;
+        }
+      }
+    }
+  });
+}
+
+}  // namespace timedrl::kernels

@@ -1,0 +1,35 @@
+// Max/average pooling kernels over the last dim of [batch*channels, length]
+// rows. Parallel over rows; forward writes and backward accumulations are
+// disjoint per row, so results are identical for any pool size (see
+// util/thread_pool.h).
+
+#ifndef TIMEDRL_TENSOR_KERNELS_POOL_H_
+#define TIMEDRL_TENSOR_KERNELS_POOL_H_
+
+#include <cstdint>
+
+namespace timedrl::kernels {
+
+/// out[row, l] = max_k x[row, l*stride + k]; argmax records the winning
+/// input position for the backward pass. `rows` = batch * channels.
+void MaxPool1dForward(const float* x, float* out, int64_t* argmax,
+                      int64_t rows, int64_t length, int64_t kernel,
+                      int64_t stride, int64_t out_length);
+
+/// gx[row, argmax[row, l]] += g[row, l].
+void MaxPool1dBackwardAccumulate(const float* g, const int64_t* argmax,
+                                 float* gx, int64_t rows, int64_t length,
+                                 int64_t out_length);
+
+/// out[row, l] = mean_k x[row, l*stride + k].
+void AvgPool1dForward(const float* x, float* out, int64_t rows, int64_t length,
+                      int64_t kernel, int64_t stride, int64_t out_length);
+
+/// gx[row, l*stride + k] += g[row, l] / kernel for every tap k.
+void AvgPool1dBackwardAccumulate(const float* g, float* gx, int64_t rows,
+                                 int64_t length, int64_t kernel,
+                                 int64_t stride, int64_t out_length);
+
+}  // namespace timedrl::kernels
+
+#endif  // TIMEDRL_TENSOR_KERNELS_POOL_H_

@@ -1,0 +1,174 @@
+#include "tensor/kernels/reduce.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/kernels/elementwise.h"
+#include "util/thread_pool.h"
+
+namespace timedrl::kernels {
+namespace {
+
+// Rows per chunk for the [outer, dim, inner] row kernels; one row costs
+// O(dim) work, so the grain shrinks as rows get longer.
+int64_t RowGrain(int64_t dim) {
+  return std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, dim));
+}
+
+// Runs fn(o, i) for every row, parallel over the flattened row index.
+template <typename Fn>
+void ForEachRow(int64_t outer, int64_t dim, int64_t inner, Fn fn) {
+  ParallelFor(0, outer * inner, RowGrain(dim),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t row = begin; row < end; ++row) {
+                  fn(row / inner, row % inner);
+                }
+              });
+}
+
+}  // namespace
+
+void ReduceAddStrided(const Shape& in_shape,
+                      const std::vector<int64_t>& acc_strides, const float* in,
+                      float* out) {
+  const std::vector<int64_t> zero(in_shape.size(), 0);
+  ForEachBroadcast2Range(in_shape, acc_strides, zero, 0, NumElements(in_shape),
+                         [&](int64_t i, int64_t slot, int64_t) {
+                           out[slot] += in[i];
+                         });
+}
+
+void BroadcastAddStrided(const Shape& in_shape,
+                         const std::vector<int64_t>& acc_strides,
+                         const float* g, float* ga) {
+  const std::vector<int64_t> zero(in_shape.size(), 0);
+  const int64_t total = NumElements(in_shape);
+  ParallelFor(0, total, kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    ForEachBroadcast2Range(in_shape, acc_strides, zero, begin, end,
+                           [&](int64_t i, int64_t slot, int64_t) {
+                             ga[i] += g[slot];
+                           });
+  });
+}
+
+void SoftmaxForward(const float* x, float* y, int64_t outer, int64_t dim,
+                    int64_t inner) {
+  ForEachRow(outer, dim, inner, [=](int64_t o, int64_t i) {
+    float max_value = -std::numeric_limits<float>::infinity();
+    for (int64_t d = 0; d < dim; ++d) {
+      max_value = std::max(max_value, x[(o * dim + d) * inner + i]);
+    }
+    float denom = 0.0f;
+    for (int64_t d = 0; d < dim; ++d) {
+      const int64_t idx = (o * dim + d) * inner + i;
+      y[idx] = std::exp(x[idx] - max_value);
+      denom += y[idx];
+    }
+    for (int64_t d = 0; d < dim; ++d) y[(o * dim + d) * inner + i] /= denom;
+  });
+}
+
+void SoftmaxBackwardAccumulate(const float* g, const float* y, float* ga,
+                               int64_t outer, int64_t dim, int64_t inner) {
+  ForEachRow(outer, dim, inner, [=](int64_t o, int64_t i) {
+    float dot = 0.0f;
+    for (int64_t d = 0; d < dim; ++d) {
+      const int64_t idx = (o * dim + d) * inner + i;
+      dot += g[idx] * y[idx];
+    }
+    for (int64_t d = 0; d < dim; ++d) {
+      const int64_t idx = (o * dim + d) * inner + i;
+      ga[idx] += y[idx] * (g[idx] - dot);
+    }
+  });
+}
+
+void LogSoftmaxForward(const float* x, float* y, int64_t outer, int64_t dim,
+                       int64_t inner) {
+  ForEachRow(outer, dim, inner, [=](int64_t o, int64_t i) {
+    float max_value = -std::numeric_limits<float>::infinity();
+    for (int64_t d = 0; d < dim; ++d) {
+      max_value = std::max(max_value, x[(o * dim + d) * inner + i]);
+    }
+    float denom = 0.0f;
+    for (int64_t d = 0; d < dim; ++d) {
+      denom += std::exp(x[(o * dim + d) * inner + i] - max_value);
+    }
+    const float log_denom = max_value + std::log(denom);
+    for (int64_t d = 0; d < dim; ++d) {
+      const int64_t idx = (o * dim + d) * inner + i;
+      y[idx] = x[idx] - log_denom;
+    }
+  });
+}
+
+void LogSoftmaxBackwardAccumulate(const float* g, const float* y, float* ga,
+                                  int64_t outer, int64_t dim, int64_t inner) {
+  ForEachRow(outer, dim, inner, [=](int64_t o, int64_t i) {
+    float g_sum = 0.0f;
+    for (int64_t d = 0; d < dim; ++d) {
+      g_sum += g[(o * dim + d) * inner + i];
+    }
+    for (int64_t d = 0; d < dim; ++d) {
+      const int64_t idx = (o * dim + d) * inner + i;
+      ga[idx] += g[idx] - std::exp(y[idx]) * g_sum;
+    }
+  });
+}
+
+void MaxForward(const float* x, float* y, int64_t* argmax, int64_t outer,
+                int64_t dim, int64_t inner) {
+  ForEachRow(outer, dim, inner, [=](int64_t o, int64_t i) {
+    float best = -std::numeric_limits<float>::infinity();
+    int64_t best_index = 0;
+    for (int64_t d = 0; d < dim; ++d) {
+      const float v = x[(o * dim + d) * inner + i];
+      if (v > best) {
+        best = v;
+        best_index = d;
+      }
+    }
+    y[o * inner + i] = best;
+    argmax[o * inner + i] = best_index;
+  });
+}
+
+void MaxBackwardAccumulate(const float* g, const int64_t* argmax, float* ga,
+                           int64_t outer, int64_t dim, int64_t inner) {
+  ForEachRow(outer, dim, inner, [=](int64_t o, int64_t i) {
+    const int64_t d = argmax[o * inner + i];
+    ga[(o * dim + d) * inner + i] += g[o * inner + i];
+  });
+}
+
+void ArgMaxForward(const float* x, int64_t* argmax, int64_t outer, int64_t dim,
+                   int64_t inner) {
+  ForEachRow(outer, dim, inner, [=](int64_t o, int64_t i) {
+    float best = -std::numeric_limits<float>::infinity();
+    int64_t best_index = 0;
+    for (int64_t d = 0; d < dim; ++d) {
+      const float v = x[(o * dim + d) * inner + i];
+      if (v > best) {
+        best = v;
+        best_index = d;
+      }
+    }
+    argmax[o * inner + i] = best_index;
+  });
+}
+
+float NllForward(const float* lp, const int64_t* labels, int64_t n, int64_t k) {
+  float loss = 0.0f;
+  for (int64_t i = 0; i < n; ++i) loss -= lp[i * k + labels[i]];
+  return loss / static_cast<float>(n);
+}
+
+void NllBackwardAccumulate(float g, const int64_t* labels, float* g_lp,
+                           int64_t n, int64_t k) {
+  for (int64_t i = 0; i < n; ++i) {
+    g_lp[i * k + labels[i]] -= g / static_cast<float>(n);
+  }
+}
+
+}  // namespace timedrl::kernels

@@ -1,0 +1,73 @@
+// Strided reduction and row-softmax kernels over raw float buffers.
+//
+// Layout convention: the row kernels view a tensor reduced over dimension
+// `dim` as [outer, dim, inner] — `outer` collapses the leading dims, `inner`
+// the trailing ones. A "row" is one (outer, inner) pair; rows are
+// independent, so row kernels parallelize over the flattened row index with
+// bitwise-identical results for any pool size (each row is produced by one
+// thread; see util/thread_pool.h).
+//
+// Scatter-style kernels whose destination slots are shared across the
+// iteration (ReduceAddStrided, NllBackwardAccumulate) run serially.
+
+#ifndef TIMEDRL_TENSOR_KERNELS_REDUCE_H_
+#define TIMEDRL_TENSOR_KERNELS_REDUCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace timedrl::kernels {
+
+/// out[slot(i)] += in[i], where slot follows `acc_strides` (stride 0 on the
+/// reduced dims). SERIAL: many i share one slot.
+void ReduceAddStrided(const Shape& in_shape,
+                      const std::vector<int64_t>& acc_strides, const float* in,
+                      float* out);
+
+/// ga[i] += g[slot(i)] — the broadcast-back gradient of ReduceAddStrided.
+/// Parallel: each i is written once.
+void BroadcastAddStrided(const Shape& in_shape,
+                         const std::vector<int64_t>& acc_strides,
+                         const float* g, float* ga);
+
+/// y = softmax(x) along the middle dim of [outer, dim, inner].
+void SoftmaxForward(const float* x, float* y, int64_t outer, int64_t dim,
+                    int64_t inner);
+
+/// ga += y * (g - sum_d(g*y)) — softmax backward; y is the forward output.
+void SoftmaxBackwardAccumulate(const float* g, const float* y, float* ga,
+                               int64_t outer, int64_t dim, int64_t inner);
+
+/// y = log_softmax(x) along the middle dim.
+void LogSoftmaxForward(const float* x, float* y, int64_t outer, int64_t dim,
+                       int64_t inner);
+
+/// ga += g - exp(y) * sum_d(g) — log-softmax backward.
+void LogSoftmaxBackwardAccumulate(const float* g, const float* y, float* ga,
+                                  int64_t outer, int64_t dim, int64_t inner);
+
+/// Row max and argmax along the middle dim: y/argmax have outer*inner
+/// entries.
+void MaxForward(const float* x, float* y, int64_t* argmax, int64_t outer,
+                int64_t dim, int64_t inner);
+
+/// ga[(o*dim + argmax[row])*inner + i] += g[row] — max backward.
+void MaxBackwardAccumulate(const float* g, const int64_t* argmax, float* ga,
+                           int64_t outer, int64_t dim, int64_t inner);
+
+/// Argmax only (no gradient path).
+void ArgMaxForward(const float* x, int64_t* argmax, int64_t outer, int64_t dim,
+                   int64_t inner);
+
+/// Mean negative log-likelihood of `labels` under row log-probs lp [n, k].
+float NllForward(const float* lp, const int64_t* labels, int64_t n, int64_t k);
+
+/// g_lp[i*k + labels[i]] -= g / n — NLL backward. SERIAL (cheap gather).
+void NllBackwardAccumulate(float g, const int64_t* labels, float* g_lp,
+                           int64_t n, int64_t k);
+
+}  // namespace timedrl::kernels
+
+#endif  // TIMEDRL_TENSOR_KERNELS_REDUCE_H_

@@ -93,7 +93,8 @@ Tensor BroadcastTo(const Tensor& a, const Shape& shape);
 // ---- Matmul --------------------------------------------------------------------
 
 /// Batched matrix product: a [..., m, k] x b [..., k, n] -> [..., m, n].
-/// Batch dims must match exactly, or either operand may be rank-2 (shared).
+/// Batch dims broadcast with NumPy semantics (e.g. [B,1,m,k] x [1,H,k,n]
+/// -> [B,H,m,n]); a rank-2 operand is shared across all batches.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
 // ---- Reductions ------------------------------------------------------------------

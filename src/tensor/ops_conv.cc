@@ -1,7 +1,10 @@
-// 1-D convolution and pooling.
+// 1-D convolution and pooling: shape checking and autograd wiring only —
+// the dense math lives in tensor/kernels/conv1d.* and tensor/kernels/pool.*.
 
-#include <limits>
+#include <vector>
 
+#include "tensor/kernels/conv1d.h"
+#include "tensor/kernels/pool.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
@@ -15,46 +18,31 @@ Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   TIMEDRL_CHECK_GE(dilation, 1);
   TIMEDRL_CHECK_GE(padding, 0);
 
-  const int64_t batch = input.size(0);
-  const int64_t c_in = input.size(1);
-  const int64_t length = input.size(2);
-  const int64_t c_out = weight.size(0);
-  const int64_t kernel = weight.size(2);
-  TIMEDRL_CHECK_EQ(weight.size(1), c_in);
+  kernels::Conv1dGeometry geom;
+  geom.batch = input.size(0);
+  geom.c_in = input.size(1);
+  geom.length = input.size(2);
+  geom.c_out = weight.size(0);
+  geom.kernel = weight.size(2);
+  geom.stride = stride;
+  geom.padding = padding;
+  geom.dilation = dilation;
+  TIMEDRL_CHECK_EQ(weight.size(1), geom.c_in);
   if (bias.defined()) {
-    TIMEDRL_CHECK(bias.shape() == Shape{c_out});
+    TIMEDRL_CHECK(bias.shape() == Shape{geom.c_out});
   }
 
-  const int64_t out_length =
-      (length + 2 * padding - dilation * (kernel - 1) - 1) / stride + 1;
-  TIMEDRL_CHECK_GT(out_length, 0)
-      << "Conv1d produces empty output for L=" << length << " K=" << kernel;
+  geom.out_length =
+      (geom.length + 2 * padding - dilation * (geom.kernel - 1) - 1) / stride +
+      1;
+  TIMEDRL_CHECK_GT(geom.out_length, 0)
+      << "Conv1d produces empty output for L=" << geom.length
+      << " K=" << geom.kernel;
 
-  std::vector<float> out(batch * c_out * out_length, 0.0f);
-  const std::vector<float>& x = input.data();
-  const std::vector<float>& w = weight.data();
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t co = 0; co < c_out; ++co) {
-      float* orow = out.data() + (b * c_out + co) * out_length;
-      if (bias.defined()) {
-        const float bv = bias.data()[co];
-        for (int64_t l = 0; l < out_length; ++l) orow[l] = bv;
-      }
-      for (int64_t ci = 0; ci < c_in; ++ci) {
-        const float* xrow = x.data() + (b * c_in + ci) * length;
-        const float* wrow = w.data() + (co * c_in + ci) * kernel;
-        for (int64_t l = 0; l < out_length; ++l) {
-          const int64_t base = l * stride - padding;
-          float acc = 0.0f;
-          for (int64_t kk = 0; kk < kernel; ++kk) {
-            const int64_t pos = base + kk * dilation;
-            if (pos >= 0 && pos < length) acc += wrow[kk] * xrow[pos];
-          }
-          orow[l] += acc;
-        }
-      }
-    }
-  }
+  std::vector<float> out(geom.batch * geom.c_out * geom.out_length, 0.0f);
+  kernels::Conv1dForward(input.data().data(), weight.data().data(),
+                         bias.defined() ? bias.data().data() : nullptr,
+                         out.data(), geom);
 
   auto x_impl = input.impl();
   auto w_impl = weight.impl();
@@ -63,50 +51,23 @@ Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
                                                       weight.impl()};
   if (b_impl) parents.push_back(b_impl);
 
-  auto backward = [x_impl, w_impl, b_impl, batch, c_in, c_out, length, kernel,
-                   out_length, stride, padding, dilation](TensorImpl& node) {
-    const std::vector<float>& g = node.grad;
-    const std::vector<float>& x = x_impl->data;
-    const std::vector<float>& w = w_impl->data;
-    const bool need_x = x_impl->requires_grad;
-    const bool need_w = w_impl->requires_grad;
-    const bool need_b = b_impl && b_impl->requires_grad;
-    std::vector<float>* gx = need_x ? &x_impl->MutableGrad() : nullptr;
-    std::vector<float>* gw = need_w ? &w_impl->MutableGrad() : nullptr;
-    std::vector<float>* gb = need_b ? &b_impl->MutableGrad() : nullptr;
-
-    for (int64_t b = 0; b < batch; ++b) {
-      for (int64_t co = 0; co < c_out; ++co) {
-        const float* grow = g.data() + (b * c_out + co) * out_length;
-        if (need_b) {
-          float acc = 0.0f;
-          for (int64_t l = 0; l < out_length; ++l) acc += grow[l];
-          (*gb)[co] += acc;
-        }
-        for (int64_t ci = 0; ci < c_in; ++ci) {
-          const float* xrow = x.data() + (b * c_in + ci) * length;
-          const float* wrow = w.data() + (co * c_in + ci) * kernel;
-          float* gxrow = need_x ? gx->data() + (b * c_in + ci) * length
-                                : nullptr;
-          float* gwrow = need_w ? gw->data() + (co * c_in + ci) * kernel
-                                : nullptr;
-          for (int64_t l = 0; l < out_length; ++l) {
-            const float gv = grow[l];
-            if (gv == 0.0f) continue;
-            const int64_t base = l * stride - padding;
-            for (int64_t kk = 0; kk < kernel; ++kk) {
-              const int64_t pos = base + kk * dilation;
-              if (pos < 0 || pos >= length) continue;
-              if (need_x) gxrow[pos] += gv * wrow[kk];
-              if (need_w) gwrow[kk] += gv * xrow[pos];
-            }
-          }
-        }
-      }
+  auto backward = [x_impl, w_impl, b_impl, geom](TensorImpl& node) {
+    const float* g = node.grad.data();
+    if (x_impl->requires_grad) {
+      kernels::Conv1dBackwardInput(w_impl->data.data(), g,
+                                   x_impl->MutableGrad().data(), geom);
+    }
+    if (w_impl->requires_grad) {
+      kernels::Conv1dBackwardWeight(x_impl->data.data(), g,
+                                    w_impl->MutableGrad().data(), geom);
+    }
+    if (b_impl && b_impl->requires_grad) {
+      kernels::Conv1dBackwardBias(g, b_impl->MutableGrad().data(), geom);
     }
   };
-  return internal::MakeOpResult({batch, c_out, out_length}, std::move(out),
-                                std::move(parents), std::move(backward));
+  return internal::MakeOpResult({geom.batch, geom.c_out, geom.out_length},
+                                std::move(out), std::move(parents),
+                                std::move(backward));
 }
 
 Tensor MaxPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
@@ -118,39 +79,19 @@ Tensor MaxPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
   const int64_t length = input.size(2);
   const int64_t out_length = (length - kernel) / stride + 1;
   TIMEDRL_CHECK_GT(out_length, 0);
+  const int64_t rows = batch * channels;
 
-  std::vector<float> out(batch * channels * out_length);
+  std::vector<float> out(rows * out_length);
   std::vector<int64_t> argmax(out.size());
-  const std::vector<float>& x = input.data();
-  for (int64_t bc = 0; bc < batch * channels; ++bc) {
-    const float* xrow = x.data() + bc * length;
-    for (int64_t l = 0; l < out_length; ++l) {
-      float best = -std::numeric_limits<float>::infinity();
-      int64_t best_pos = l * stride;
-      for (int64_t kk = 0; kk < kernel; ++kk) {
-        const int64_t pos = l * stride + kk;
-        if (xrow[pos] > best) {
-          best = xrow[pos];
-          best_pos = pos;
-        }
-      }
-      out[bc * out_length + l] = best;
-      argmax[bc * out_length + l] = best_pos;
-    }
-  }
+  kernels::MaxPool1dForward(input.data().data(), out.data(), argmax.data(),
+                            rows, length, kernel, stride, out_length);
 
   auto x_impl = input.impl();
-  auto backward = [x_impl, argmax, batch, channels, length,
-                   out_length](TensorImpl& node) {
+  auto backward = [x_impl, argmax, rows, length, out_length](TensorImpl& node) {
     if (!x_impl->requires_grad) return;
-    std::vector<float>& gx = x_impl->MutableGrad();
-    const std::vector<float>& g = node.grad;
-    for (int64_t bc = 0; bc < batch * channels; ++bc) {
-      for (int64_t l = 0; l < out_length; ++l) {
-        gx[bc * length + argmax[bc * out_length + l]] +=
-            g[bc * out_length + l];
-      }
-    }
+    kernels::MaxPool1dBackwardAccumulate(node.grad.data(), argmax.data(),
+                                         x_impl->MutableGrad().data(), rows,
+                                         length, out_length);
   };
   return internal::MakeOpResult({batch, channels, out_length}, std::move(out),
                                 {input.impl()}, std::move(backward));
@@ -165,33 +106,19 @@ Tensor AvgPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
   const int64_t length = input.size(2);
   const int64_t out_length = (length - kernel) / stride + 1;
   TIMEDRL_CHECK_GT(out_length, 0);
+  const int64_t rows = batch * channels;
 
-  std::vector<float> out(batch * channels * out_length);
-  const std::vector<float>& x = input.data();
-  const float inv_kernel = 1.0f / static_cast<float>(kernel);
-  for (int64_t bc = 0; bc < batch * channels; ++bc) {
-    const float* xrow = x.data() + bc * length;
-    for (int64_t l = 0; l < out_length; ++l) {
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < kernel; ++kk) acc += xrow[l * stride + kk];
-      out[bc * out_length + l] = acc * inv_kernel;
-    }
-  }
+  std::vector<float> out(rows * out_length);
+  kernels::AvgPool1dForward(input.data().data(), out.data(), rows, length,
+                            kernel, stride, out_length);
 
   auto x_impl = input.impl();
-  auto backward = [x_impl, batch, channels, length, out_length, kernel, stride,
-                   inv_kernel](TensorImpl& node) {
+  auto backward = [x_impl, rows, length, kernel, stride,
+                   out_length](TensorImpl& node) {
     if (!x_impl->requires_grad) return;
-    std::vector<float>& gx = x_impl->MutableGrad();
-    const std::vector<float>& g = node.grad;
-    for (int64_t bc = 0; bc < batch * channels; ++bc) {
-      for (int64_t l = 0; l < out_length; ++l) {
-        const float gv = g[bc * out_length + l] * inv_kernel;
-        for (int64_t kk = 0; kk < kernel; ++kk) {
-          gx[bc * length + l * stride + kk] += gv;
-        }
-      }
-    }
+    kernels::AvgPool1dBackwardAccumulate(node.grad.data(),
+                                         x_impl->MutableGrad().data(), rows,
+                                         length, kernel, stride, out_length);
   };
   return internal::MakeOpResult({batch, channels, out_length}, std::move(out),
                                 {input.impl()}, std::move(backward));

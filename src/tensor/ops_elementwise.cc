@@ -1,8 +1,10 @@
 // Elementwise binary/unary operations with broadcasting and autograd.
+// Shape checking and autograd wiring only — the dense loops live in
+// tensor/kernels/elementwise.h.
 
 #include <cmath>
 
-#include "tensor/broadcast_iter.h"
+#include "tensor/kernels/elementwise.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
@@ -19,34 +21,35 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn dfda,
   const Shape out_shape = BroadcastShape(a.shape(), b.shape());
   const std::vector<int64_t> sa = BroadcastStrides(a.shape(), out_shape);
   const std::vector<int64_t> sb = BroadcastStrides(b.shape(), out_shape);
+  const bool same_shape = a.shape() == b.shape();
 
   std::vector<float> out(NumElements(out_shape));
-  const std::vector<float>& da = a.data();
-  const std::vector<float>& db = b.data();
-  if (a.shape() == b.shape()) {
-    for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(da[i], db[i]);
+  if (same_shape) {
+    kernels::Zip(a.data().data(), b.data().data(), out.data(),
+                 static_cast<int64_t>(out.size()), fwd);
   } else {
-    internal::ForEachBroadcast2(
-        out_shape, sa, sb,
-        [&](int64_t i, int64_t oa, int64_t ob) { out[i] = fwd(da[oa], db[ob]); });
+    kernels::ZipBroadcast(out_shape, sa, sb, a.data().data(), b.data().data(),
+                          out.data(), fwd);
   }
 
   auto a_impl = a.impl();
   auto b_impl = b.impl();
-  auto backward = [a_impl, b_impl, sa, sb, dfda, dfdb](TensorImpl& node) {
-    const std::vector<float>& g = node.grad;
-    const std::vector<float>& va = a_impl->data;
-    const std::vector<float>& vb = b_impl->data;
-    const std::vector<float>& vo = node.data;
+  auto backward = [a_impl, b_impl, sa, sb, same_shape, dfda,
+                   dfdb](TensorImpl& node) {
     const bool need_a = a_impl->requires_grad;
     const bool need_b = b_impl->requires_grad;
-    std::vector<float>* ga = need_a ? &a_impl->MutableGrad() : nullptr;
-    std::vector<float>* gb = need_b ? &b_impl->MutableGrad() : nullptr;
-    internal::ForEachBroadcast2(
-        node.shape, sa, sb, [&](int64_t i, int64_t oa, int64_t ob) {
-          if (need_a) (*ga)[oa] += g[i] * dfda(va[oa], vb[ob], vo[i]);
-          if (need_b) (*gb)[ob] += g[i] * dfdb(va[oa], vb[ob], vo[i]);
-        });
+    float* ga = need_a ? a_impl->MutableGrad().data() : nullptr;
+    float* gb = need_b ? b_impl->MutableGrad().data() : nullptr;
+    if (!need_a && !need_b) return;
+    if (same_shape) {
+      kernels::ZipGradAccumulate(node.grad.data(), a_impl->data.data(),
+                                 b_impl->data.data(), node.data.data(), ga, gb,
+                                 node.numel(), dfda, dfdb);
+    } else {
+      kernels::ZipGradBroadcastAccumulate(
+          node.shape, sa, sb, node.grad.data(), a_impl->data.data(),
+          b_impl->data.data(), node.data.data(), ga, gb, dfda, dfdb);
+    }
   };
   return internal::MakeOpResult(out_shape, std::move(out),
                                 {a.impl(), b.impl()}, std::move(backward));
@@ -56,17 +59,15 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn dfda,
 template <typename FwdFn, typename DaFn>
 Tensor UnaryOp(const Tensor& a, FwdFn fwd, DaFn dfda) {
   std::vector<float> out(a.numel());
-  const std::vector<float>& da = a.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(da[i]);
+  kernels::Map(a.data().data(), out.data(), a.numel(), fwd);
 
   auto a_impl = a.impl();
   auto backward = [a_impl, dfda](TensorImpl& node) {
     if (!a_impl->requires_grad) return;
-    std::vector<float>& ga = a_impl->MutableGrad();
-    const std::vector<float>& g = node.grad;
-    const std::vector<float>& va = a_impl->data;
-    const std::vector<float>& vo = node.data;
-    for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i] * dfda(va[i], vo[i]);
+    kernels::MapGradAccumulate(node.grad.data(), a_impl->data.data(),
+                               node.data.data(),
+                               a_impl->MutableGrad().data(), node.numel(),
+                               dfda);
   };
   return internal::MakeOpResult(a.shape(), std::move(out), {a.impl()},
                                 std::move(backward));
@@ -243,24 +244,21 @@ Tensor MaskedFill(const Tensor& a, const Tensor& mask, float value) {
   const std::vector<int64_t> sm = BroadcastStrides(mask.shape(), out_shape);
 
   std::vector<float> out(NumElements(out_shape));
-  const std::vector<float>& da = a.data();
-  const std::vector<float>& dm = mask.data();
-  internal::ForEachBroadcast2(out_shape, sa, sm,
-                              [&](int64_t i, int64_t oa, int64_t om) {
-                                out[i] = dm[om] != 0.0f ? value : da[oa];
-                              });
+  kernels::ZipBroadcast(out_shape, sa, sm, a.data().data(), mask.data().data(),
+                        out.data(),
+                        [value](float x, float m) { return m != 0.0f ? value : x; });
 
   auto a_impl = a.impl();
   auto m_impl = mask.impl();
   auto backward = [a_impl, m_impl, sa, sm](TensorImpl& node) {
     if (!a_impl->requires_grad) return;
-    std::vector<float>& ga = a_impl->MutableGrad();
-    const std::vector<float>& g = node.grad;
-    const std::vector<float>& dm = m_impl->data;
-    internal::ForEachBroadcast2(node.shape, sa, sm,
-                                [&](int64_t i, int64_t oa, int64_t om) {
-                                  if (dm[om] == 0.0f) ga[oa] += g[i];
-                                });
+    // dMaskedFill/da is 1 where the mask is 0; the mask gets no gradient.
+    kernels::ZipGradBroadcastAccumulate(
+        node.shape, sa, sm, node.grad.data(), a_impl->data.data(),
+        m_impl->data.data(), node.data.data(),
+        a_impl->MutableGrad().data(), nullptr,
+        [](float, float m, float) { return m == 0.0f ? 1.0f : 0.0f; },
+        [](float, float, float) { return 0.0f; });
   };
   return internal::MakeOpResult(out_shape, std::move(out), {a.impl()},
                                 std::move(backward));

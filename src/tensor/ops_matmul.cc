@@ -1,54 +1,15 @@
-// Batched matrix multiplication.
+// Batched matrix multiplication: shape checking and autograd wiring only —
+// the dense math lives in tensor/kernels/gemm.*.
 
+#include <vector>
+
+#include "tensor/broadcast_iter.h"
+#include "tensor/kernels/gemm.h"
 #include "tensor/ops.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace timedrl {
-namespace {
-
-// C[m,n] += A[m,k] * B[k,n]
-void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = a[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-// C[m,k] += A[m,n] * B[k,n]^T  (i.e. C = A * B^T)
-void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
-            int64_t k) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float* brow = b + p * n;
-      float acc = 0.0f;
-      for (int64_t j = 0; j < n; ++j) acc += arow[j] * brow[j];
-      c[i * k + p] += acc;
-    }
-  }
-}
-
-// C[k,n] += A[m,k]^T * B[m,n]  (i.e. C = A^T * B)
-void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* brow = b + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = a[i * k + p];
-      if (av == 0.0f) continue;
-      float* crow = c + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-}  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   TIMEDRL_CHECK_GE(a.dim(), 2);
@@ -60,27 +21,25 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   TIMEDRL_CHECK_EQ(k, k2) << "matmul inner dims: " << ShapeToString(a.shape())
                           << " x " << ShapeToString(b.shape());
 
-  // Batch handling: equal batch dims, or one operand is rank-2 and shared.
+  // Batch dims broadcast with NumPy semantics ([B,1,m,k] x [1,H,k,n] etc.).
   Shape a_batch(a.shape().begin(), a.shape().end() - 2);
   Shape b_batch(b.shape().begin(), b.shape().end() - 2);
-  Shape batch;
-  bool a_shared = false;  // a is rank-2, reused across batches
-  bool b_shared = false;
-  if (a_batch == b_batch) {
-    batch = a_batch;
-  } else if (b_batch.empty()) {
-    batch = a_batch;
-    b_shared = true;
-  } else if (a_batch.empty()) {
-    batch = b_batch;
-    a_shared = true;
-  } else {
-    TIMEDRL_CHECK(false) << "matmul batch dims must match or one operand must "
-                            "be rank-2: "
-                         << ShapeToString(a.shape()) << " x "
-                         << ShapeToString(b.shape());
-  }
+  TIMEDRL_CHECK(BroadcastCompatible(a_batch, b_batch))
+      << "matmul batch dims must broadcast: " << ShapeToString(a.shape())
+      << " x " << ShapeToString(b.shape());
+  const Shape batch = BroadcastShape(a_batch, b_batch);
   const int64_t num_batches = NumElements(batch);
+
+  // Precomputed per-batch matrix indices into a and b (equal for all
+  // batches on broadcast dims). Shared by forward and backward.
+  std::vector<int64_t> a_index(num_batches);
+  std::vector<int64_t> b_index(num_batches);
+  internal::ForEachBroadcast2(batch, BroadcastStrides(a_batch, batch),
+                              BroadcastStrides(b_batch, batch),
+                              [&](int64_t i, int64_t oa, int64_t ob) {
+                                a_index[i] = oa;
+                                b_index[i] = ob;
+                              });
 
   Shape out_shape = batch;
   out_shape.push_back(m);
@@ -89,35 +48,47 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   std::vector<float> out(NumElements(out_shape), 0.0f);
   const float* pa = a.data().data();
   const float* pb = b.data().data();
-  for (int64_t batch_index = 0; batch_index < num_batches; ++batch_index) {
-    const float* ab = pa + (a_shared ? 0 : batch_index * m * k);
-    const float* bb = pb + (b_shared ? 0 : batch_index * k * n);
-    GemmNN(ab, bb, out.data() + batch_index * m * n, m, k, n);
+  float* po = out.data();
+  if (num_batches >= NumThreads()) {
+    // Output batches are disjoint, so the batch loop parallelizes; each
+    // GEMM then runs serially inside its worker (reentrancy guard).
+    ParallelFor(0, num_batches, 1, [&](int64_t begin, int64_t end) {
+      for (int64_t bi = begin; bi < end; ++bi) {
+        kernels::GemmNN(pa + a_index[bi] * m * k, pb + b_index[bi] * k * n,
+                        po + bi * m * n, m, k, n);
+      }
+    });
+  } else {
+    for (int64_t bi = 0; bi < num_batches; ++bi) {
+      kernels::GemmNN(pa + a_index[bi] * m * k, pb + b_index[bi] * k * n,
+                      po + bi * m * n, m, k, n);
+    }
   }
 
   auto a_impl = a.impl();
   auto b_impl = b.impl();
-  auto backward = [a_impl, b_impl, m, k, n, num_batches, a_shared,
-                   b_shared](TensorImpl& node) {
+  auto backward = [a_impl, b_impl, m, k, n, num_batches, a_index,
+                   b_index](TensorImpl& node) {
     const float* g = node.grad.data();
     const float* pa = a_impl->data.data();
     const float* pb = b_impl->data.data();
+    // Broadcast batch dims make several output batches accumulate into the
+    // SAME input matrix, so the batch loops stay serial; the GEMMs
+    // parallelize internally over disjoint output rows instead.
     if (a_impl->requires_grad) {
       float* ga = a_impl->MutableGrad().data();
-      for (int64_t batch_index = 0; batch_index < num_batches; ++batch_index) {
+      for (int64_t bi = 0; bi < num_batches; ++bi) {
         // dA = dOut * B^T
-        GemmNT(g + batch_index * m * n,
-               pb + (b_shared ? 0 : batch_index * k * n),
-               ga + (a_shared ? 0 : batch_index * m * k), m, n, k);
+        kernels::GemmNT(g + bi * m * n, pb + b_index[bi] * k * n,
+                        ga + a_index[bi] * m * k, m, n, k);
       }
     }
     if (b_impl->requires_grad) {
       float* gb = b_impl->MutableGrad().data();
-      for (int64_t batch_index = 0; batch_index < num_batches; ++batch_index) {
+      for (int64_t bi = 0; bi < num_batches; ++bi) {
         // dB = A^T * dOut
-        GemmTN(pa + (a_shared ? 0 : batch_index * m * k),
-               g + batch_index * m * n,
-               gb + (b_shared ? 0 : batch_index * k * n), m, k, n);
+        kernels::GemmTN(pa + a_index[bi] * m * k, g + bi * m * n,
+                        gb + b_index[bi] * k * n, m, k, n);
       }
     }
   };

@@ -1,10 +1,9 @@
-// Reductions and fused loss/normalization primitives.
+// Reductions and fused loss/normalization primitives: shape checking and
+// autograd wiring only — the dense loops live in tensor/kernels/reduce.*.
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
+#include <vector>
 
-#include "tensor/broadcast_iter.h"
+#include "tensor/kernels/reduce.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
@@ -34,20 +33,15 @@ Tensor SumKeepdim(const Tensor& a, const std::vector<int64_t>& dims) {
       BroadcastStrides(out_shape, a.shape());
 
   std::vector<float> out(NumElements(out_shape), 0.0f);
-  const std::vector<float>& da = a.data();
-  internal::ForEachBroadcast1(
-      a.shape(), acc_strides,
-      [&](int64_t i, int64_t slot) { out[slot] += da[i]; });
+  kernels::ReduceAddStrided(a.shape(), acc_strides, a.data().data(),
+                            out.data());
 
   auto a_impl = a.impl();
   Shape in_shape = a.shape();
   auto backward = [a_impl, in_shape, acc_strides](TensorImpl& node) {
     if (!a_impl->requires_grad) return;
-    std::vector<float>& ga = a_impl->MutableGrad();
-    const std::vector<float>& g = node.grad;
-    internal::ForEachBroadcast1(
-        in_shape, acc_strides,
-        [&](int64_t i, int64_t slot) { ga[i] += g[slot]; });
+    kernels::BroadcastAddStrided(in_shape, acc_strides, node.grad.data(),
+                                 a_impl->MutableGrad().data());
   };
   return internal::MakeOpResult(std::move(out_shape), std::move(out),
                                 {a.impl()}, std::move(backward));
@@ -101,34 +95,15 @@ Tensor Max(const Tensor& a, int64_t dim, bool keepdim) {
   out_shape[dim] = 1;
   std::vector<float> out(outer * inner);
   std::vector<int64_t> argmax(outer * inner);
-  const std::vector<float>& da = a.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
-      float best = -std::numeric_limits<float>::infinity();
-      int64_t best_index = 0;
-      for (int64_t d = 0; d < dim_size; ++d) {
-        float v = da[(o * dim_size + d) * inner + i];
-        if (v > best) {
-          best = v;
-          best_index = d;
-        }
-      }
-      out[o * inner + i] = best;
-      argmax[o * inner + i] = best_index;
-    }
-  }
+  kernels::MaxForward(a.data().data(), out.data(), argmax.data(), outer,
+                      dim_size, inner);
 
   auto a_impl = a.impl();
   auto backward = [a_impl, argmax, outer, inner, dim_size](TensorImpl& node) {
     if (!a_impl->requires_grad) return;
-    std::vector<float>& ga = a_impl->MutableGrad();
-    const std::vector<float>& g = node.grad;
-    for (int64_t o = 0; o < outer; ++o) {
-      for (int64_t i = 0; i < inner; ++i) {
-        int64_t d = argmax[o * inner + i];
-        ga[(o * dim_size + d) * inner + i] += g[o * inner + i];
-      }
-    }
+    kernels::MaxBackwardAccumulate(node.grad.data(), argmax.data(),
+                                   a_impl->MutableGrad().data(), outer,
+                                   dim_size, inner);
   };
   Tensor kept = internal::MakeOpResult(std::move(out_shape), std::move(out),
                                        {a.impl()}, std::move(backward));
@@ -142,19 +117,8 @@ std::vector<int64_t> ArgMax(const Tensor& a, int64_t dim) {
   int64_t outer, dim_size, inner;
   OuterInner(a.shape(), dim, &outer, &dim_size, &inner);
   std::vector<int64_t> result(outer * inner, 0);
-  const std::vector<float>& da = a.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
-      float best = -std::numeric_limits<float>::infinity();
-      for (int64_t d = 0; d < dim_size; ++d) {
-        float v = da[(o * dim_size + d) * inner + i];
-        if (v > best) {
-          best = v;
-          result[o * inner + i] = d;
-        }
-      }
-    }
-  }
+  kernels::ArgMaxForward(a.data().data(), result.data(), outer, dim_size,
+                         inner);
   return result;
 }
 
@@ -165,44 +129,14 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
   OuterInner(a.shape(), dim, &outer, &dim_size, &inner);
 
   std::vector<float> out(a.numel());
-  const std::vector<float>& da = a.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
-      float max_value = -std::numeric_limits<float>::infinity();
-      for (int64_t d = 0; d < dim_size; ++d) {
-        max_value = std::max(max_value, da[(o * dim_size + d) * inner + i]);
-      }
-      float denom = 0.0f;
-      for (int64_t d = 0; d < dim_size; ++d) {
-        int64_t idx = (o * dim_size + d) * inner + i;
-        out[idx] = std::exp(da[idx] - max_value);
-        denom += out[idx];
-      }
-      for (int64_t d = 0; d < dim_size; ++d) {
-        out[(o * dim_size + d) * inner + i] /= denom;
-      }
-    }
-  }
+  kernels::SoftmaxForward(a.data().data(), out.data(), outer, dim_size, inner);
 
   auto a_impl = a.impl();
   auto backward = [a_impl, outer, inner, dim_size](TensorImpl& node) {
     if (!a_impl->requires_grad) return;
-    std::vector<float>& ga = a_impl->MutableGrad();
-    const std::vector<float>& g = node.grad;
-    const std::vector<float>& y = node.data;
-    for (int64_t o = 0; o < outer; ++o) {
-      for (int64_t i = 0; i < inner; ++i) {
-        float dot = 0.0f;
-        for (int64_t d = 0; d < dim_size; ++d) {
-          int64_t idx = (o * dim_size + d) * inner + i;
-          dot += g[idx] * y[idx];
-        }
-        for (int64_t d = 0; d < dim_size; ++d) {
-          int64_t idx = (o * dim_size + d) * inner + i;
-          ga[idx] += y[idx] * (g[idx] - dot);
-        }
-      }
-    }
+    kernels::SoftmaxBackwardAccumulate(node.grad.data(), node.data.data(),
+                                       a_impl->MutableGrad().data(), outer,
+                                       dim_size, inner);
   };
   return internal::MakeOpResult(a.shape(), std::move(out), {a.impl()},
                                 std::move(backward));
@@ -215,43 +149,15 @@ Tensor LogSoftmax(const Tensor& a, int64_t dim) {
   OuterInner(a.shape(), dim, &outer, &dim_size, &inner);
 
   std::vector<float> out(a.numel());
-  const std::vector<float>& da = a.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
-      float max_value = -std::numeric_limits<float>::infinity();
-      for (int64_t d = 0; d < dim_size; ++d) {
-        max_value = std::max(max_value, da[(o * dim_size + d) * inner + i]);
-      }
-      float denom = 0.0f;
-      for (int64_t d = 0; d < dim_size; ++d) {
-        denom += std::exp(da[(o * dim_size + d) * inner + i] - max_value);
-      }
-      const float log_denom = max_value + std::log(denom);
-      for (int64_t d = 0; d < dim_size; ++d) {
-        int64_t idx = (o * dim_size + d) * inner + i;
-        out[idx] = da[idx] - log_denom;
-      }
-    }
-  }
+  kernels::LogSoftmaxForward(a.data().data(), out.data(), outer, dim_size,
+                             inner);
 
   auto a_impl = a.impl();
   auto backward = [a_impl, outer, inner, dim_size](TensorImpl& node) {
     if (!a_impl->requires_grad) return;
-    std::vector<float>& ga = a_impl->MutableGrad();
-    const std::vector<float>& g = node.grad;
-    const std::vector<float>& y = node.data;  // log-probabilities
-    for (int64_t o = 0; o < outer; ++o) {
-      for (int64_t i = 0; i < inner; ++i) {
-        float g_sum = 0.0f;
-        for (int64_t d = 0; d < dim_size; ++d) {
-          g_sum += g[(o * dim_size + d) * inner + i];
-        }
-        for (int64_t d = 0; d < dim_size; ++d) {
-          int64_t idx = (o * dim_size + d) * inner + i;
-          ga[idx] += g[idx] - std::exp(y[idx]) * g_sum;
-        }
-      }
-    }
+    kernels::LogSoftmaxBackwardAccumulate(node.grad.data(), node.data.data(),
+                                          a_impl->MutableGrad().data(), outer,
+                                          dim_size, inner);
   };
   return internal::MakeOpResult(a.shape(), std::move(out), {a.impl()},
                                 std::move(backward));
@@ -268,22 +174,15 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int64_t>& labels) {
   }
   Tensor log_probs = LogSoftmax(logits, 1);
 
-  // Gather -log p[label] and average; fused gather keeps this simple.
-  const std::vector<float>& lp = log_probs.data();
-  float loss = 0.0f;
-  for (int64_t i = 0; i < n; ++i) {
-    loss -= lp[i * num_classes + labels[i]];
-  }
-  loss /= static_cast<float>(n);
+  const float loss = kernels::NllForward(log_probs.data().data(),
+                                         labels.data(), n, num_classes);
 
   auto lp_impl = log_probs.impl();
   auto backward = [lp_impl, labels, n, num_classes](TensorImpl& node) {
     if (!lp_impl->requires_grad) return;
-    std::vector<float>& g_lp = lp_impl->MutableGrad();
-    const float g = node.grad[0];
-    for (int64_t i = 0; i < n; ++i) {
-      g_lp[i * num_classes + labels[i]] -= g / static_cast<float>(n);
-    }
+    kernels::NllBackwardAccumulate(node.grad[0], labels.data(),
+                                   lp_impl->MutableGrad().data(), n,
+                                   num_classes);
   };
   return internal::MakeOpResult({1}, {loss}, {log_probs.impl()},
                                 std::move(backward));

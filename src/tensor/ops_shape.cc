@@ -1,8 +1,11 @@
 // Shape-manipulation operations: reshape, permute, slice, concat, broadcast.
+// Shape checking and autograd wiring only — the data movement lives in
+// tensor/kernels/copy.* (and reduce.* for scatter-accumulating backwards).
 
 #include <algorithm>
 
-#include "tensor/broadcast_iter.h"
+#include "tensor/kernels/copy.h"
+#include "tensor/kernels/reduce.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
@@ -34,8 +37,8 @@ Tensor Reshape(const Tensor& a, Shape shape) {
   auto a_impl = a.impl();
   auto backward = [a_impl](TensorImpl& node) {
     if (!a_impl->requires_grad) return;
-    std::vector<float>& ga = a_impl->MutableGrad();
-    for (size_t i = 0; i < node.grad.size(); ++i) ga[i] += node.grad[i];
+    kernels::AddInto(node.grad.data(), a_impl->MutableGrad().data(),
+                     static_cast<int64_t>(node.grad.size()));
   };
   return internal::MakeOpResult(std::move(shape), std::move(out), {a.impl()},
                                 std::move(backward));
@@ -61,18 +64,16 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
   }
 
   std::vector<float> out(a.numel());
-  const std::vector<float>& da = a.data();
-  internal::ForEachBroadcast1(out_shape, gather_strides,
-                              [&](int64_t i, int64_t oa) { out[i] = da[oa]; });
+  kernels::GatherStrided(out_shape, gather_strides, a.data().data(),
+                         out.data());
 
   auto a_impl = a.impl();
   auto backward = [a_impl, out_shape, gather_strides](TensorImpl& node) {
     if (!a_impl->requires_grad) return;
-    std::vector<float>& ga = a_impl->MutableGrad();
-    const std::vector<float>& g = node.grad;
-    internal::ForEachBroadcast1(
-        out_shape, gather_strides,
-        [&](int64_t i, int64_t oa) { ga[oa] += g[i]; });
+    // A permutation's scatter is bijective, but it reuses the shared serial
+    // scatter-accumulate rather than growing a second code path.
+    kernels::ReduceAddStrided(out_shape, gather_strides, node.grad.data(),
+                              a_impl->MutableGrad().data());
   };
   return internal::MakeOpResult(out_shape, std::move(out), {a.impl()},
                                 std::move(backward));
@@ -106,24 +107,17 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t len) {
   const int64_t dim_size = a.size(dim);
 
   std::vector<float> out(NumElements(out_shape));
-  const std::vector<float>& da = a.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    const float* src = da.data() + (o * dim_size + start) * inner;
-    float* dst = out.data() + o * len * inner;
-    std::copy(src, src + len * inner, dst);
-  }
+  kernels::CopyStridedBlocks(a.data().data() + start * inner, out.data(),
+                             outer, len * inner, dim_size * inner,
+                             len * inner);
 
   auto a_impl = a.impl();
   auto backward = [a_impl, outer, inner, len, dim_size, start](
                       TensorImpl& node) {
     if (!a_impl->requires_grad) return;
-    std::vector<float>& ga = a_impl->MutableGrad();
-    const std::vector<float>& g = node.grad;
-    for (int64_t o = 0; o < outer; ++o) {
-      const float* src = g.data() + o * len * inner;
-      float* dst = ga.data() + (o * dim_size + start) * inner;
-      for (int64_t i = 0; i < len * inner; ++i) dst[i] += src[i];
-    }
+    kernels::AccumulateStridedBlocks(
+        node.grad.data(), a_impl->MutableGrad().data() + start * inner, outer,
+        len * inner, len * inner, dim_size * inner);
   };
   return internal::MakeOpResult(out_shape, std::move(out), {a.impl()},
                                 std::move(backward));
@@ -157,12 +151,9 @@ Tensor Concat(const std::vector<Tensor>& tensors, int64_t dim) {
   int64_t offset = 0;  // running position along `dim`
   for (const Tensor& t : tensors) {
     const int64_t part = t.size(dim);
-    const std::vector<float>& dt = t.data();
-    for (int64_t o = 0; o < outer; ++o) {
-      const float* src = dt.data() + o * part * inner;
-      float* dst = out.data() + (o * total_dim + offset) * inner;
-      std::copy(src, src + part * inner, dst);
-    }
+    kernels::CopyStridedBlocks(t.data().data(), out.data() + offset * inner,
+                               outer, part * inner, part * inner,
+                               total_dim * inner);
     offset += part;
   }
 
@@ -174,17 +165,14 @@ Tensor Concat(const std::vector<Tensor>& tensors, int64_t dim) {
     parts.push_back(t.size(dim));
   }
   auto backward = [parents, parts, outer, inner, total_dim](TensorImpl& node) {
-    const std::vector<float>& g = node.grad;
     int64_t offset = 0;
     for (size_t k = 0; k < parents.size(); ++k) {
       const int64_t part = parts[k];
       if (parents[k]->requires_grad) {
-        std::vector<float>& ga = parents[k]->MutableGrad();
-        for (int64_t o = 0; o < outer; ++o) {
-          const float* src = g.data() + (o * total_dim + offset) * inner;
-          float* dst = ga.data() + o * part * inner;
-          for (int64_t i = 0; i < part * inner; ++i) dst[i] += src[i];
-        }
+        kernels::AccumulateStridedBlocks(
+            node.grad.data() + offset * inner,
+            parents[k]->MutableGrad().data(), outer, part * inner,
+            total_dim * inner, part * inner);
       }
       offset += part;
     }
@@ -211,17 +199,13 @@ Tensor Stack(const std::vector<Tensor>& tensors, int64_t dim) {
 Tensor BroadcastTo(const Tensor& a, const Shape& shape) {
   const std::vector<int64_t> sa = BroadcastStrides(a.shape(), shape);
   std::vector<float> out(NumElements(shape));
-  const std::vector<float>& da = a.data();
-  internal::ForEachBroadcast1(shape, sa,
-                              [&](int64_t i, int64_t oa) { out[i] = da[oa]; });
+  kernels::GatherStrided(shape, sa, a.data().data(), out.data());
   auto a_impl = a.impl();
   Shape out_shape = shape;
   auto backward = [a_impl, out_shape, sa](TensorImpl& node) {
     if (!a_impl->requires_grad) return;
-    std::vector<float>& ga = a_impl->MutableGrad();
-    const std::vector<float>& g = node.grad;
-    internal::ForEachBroadcast1(
-        out_shape, sa, [&](int64_t i, int64_t oa) { ga[oa] += g[i]; });
+    kernels::ReduceAddStrided(out_shape, sa, node.grad.data(),
+                              a_impl->MutableGrad().data());
   };
   return internal::MakeOpResult(out_shape, std::move(out), {a.impl()},
                                 std::move(backward));

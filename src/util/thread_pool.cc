@@ -1,0 +1,175 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "util/check.h"
+
+namespace timedrl {
+namespace {
+
+// Set while a pool worker is executing a task; ParallelFor calls from such a
+// thread run inline to avoid deadlock and unbounded nesting.
+thread_local bool t_in_worker = false;
+
+std::mutex g_global_mutex;
+std::atomic<ThreadPool*> g_global_pool{nullptr};
+
+}  // namespace
+
+// Shared bookkeeping of one ParallelFor call. Owned via shared_ptr so a
+// helper task that is dequeued after the loop already finished can still
+// touch it safely.
+struct ThreadPool::ParallelState {
+  std::function<void(int64_t, int64_t)> fn;
+  int64_t end = 0;
+  int64_t grain = 1;
+  std::atomic<int64_t> cursor{0};
+  // Entries (caller + helper tasks) currently executing chunks.
+  std::atomic<int> active{0};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+
+  // Claims and runs chunks until the range is exhausted. Registered in
+  // `active` for the whole scan so the caller can wait for quiescence.
+  void RunChunks() {
+    active.fetch_add(1, std::memory_order_acq_rel);
+    for (;;) {
+      const int64_t chunk_begin = cursor.fetch_add(grain);
+      if (chunk_begin >= end) break;
+      const int64_t chunk_end = std::min(end, chunk_begin + grain);
+      try {
+        fn(chunk_begin, chunk_end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        // Abort: make every subsequent claim see an exhausted range.
+        cursor.store(end);
+      }
+    }
+    if (active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex);
+      done_cv.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ && drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (begin >= end) return;
+  TIMEDRL_CHECK_GE(grain, 1);
+  const int64_t range = end - begin;
+  if (num_threads_ == 1 || range <= grain || t_in_worker) {
+    fn(begin, end);
+    return;
+  }
+
+  const int64_t num_chunks = (range + grain - 1) / grain;
+  const int helpers = static_cast<int>(
+      std::min<int64_t>(num_chunks, num_threads_) - 1);
+
+  auto state = std::make_shared<ParallelState>();
+  state->fn = fn;
+  state->end = end;
+  state->grain = grain;
+  state->cursor.store(begin);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int i = 0; i < helpers; ++i) {
+      tasks_.emplace([state] { state->RunChunks(); });
+    }
+  }
+  if (helpers == 1) {
+    wake_cv_.notify_one();
+  } else {
+    wake_cv_.notify_all();
+  }
+
+  state->RunChunks();  // The caller works too.
+
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done_cv.wait(lock, [&] {
+      return state->cursor.load() >= end && state->active.load() == 0;
+    });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  ThreadPool* pool = g_global_pool.load(std::memory_order_acquire);
+  if (pool != nullptr) return *pool;
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  pool = g_global_pool.load(std::memory_order_relaxed);
+  if (pool == nullptr) {
+    pool = new ThreadPool(DefaultSize());
+    g_global_pool.store(pool, std::memory_order_release);
+  }
+  return *pool;
+}
+
+int ThreadPool::DefaultSize() {
+  if (const char* env = std::getenv("TIMEDRL_NUM_THREADS")) {
+    char* parse_end = nullptr;
+    const long parsed = std::strtol(env, &parse_end, 10);
+    if (parse_end != env && *parse_end == '\0' && parsed >= 1) {
+      return static_cast<int>(std::min(parsed, 256L));
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+int NumThreads() { return ThreadPool::Global().size(); }
+
+void SetNumThreads(int num_threads) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  ThreadPool* old_pool = g_global_pool.exchange(nullptr);
+  delete old_pool;  // Joins its workers.
+  g_global_pool.store(new ThreadPool(std::max(1, num_threads)),
+                      std::memory_order_release);
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace timedrl

@@ -1,0 +1,88 @@
+// A persistent worker-thread pool with blocking data-parallel loops.
+//
+// This is the execution substrate of the tensor kernel layer
+// (src/tensor/kernels/): kernels express *what* to compute per index range
+// and ParallelFor decides *where* it runs.
+//
+// Determinism contract: ParallelFor only changes WHICH thread executes a
+// contiguous subrange [chunk_begin, chunk_end); the work function must
+// compute every output element entirely within one call, with a fixed
+// internal loop order. Kernels that follow this rule (each thread owns a
+// disjoint set of output rows) produce bitwise-identical results for every
+// pool size, including size 1.
+
+#ifndef TIMEDRL_UTIL_THREAD_POOL_H_
+#define TIMEDRL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace timedrl {
+
+/// Fixed-size pool of persistent worker threads.
+///
+/// A pool of size N uses the calling thread plus N-1 workers, so
+/// ThreadPool(1) is fully serial: ParallelFor runs inline on the caller and
+/// never touches a lock.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (clamped to at least 0).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + caller).
+  int size() const { return num_threads_; }
+
+  /// Splits [begin, end) into contiguous chunks of at least `grain` indices
+  /// and runs fn(chunk_begin, chunk_end) across the pool, blocking until
+  /// every chunk finished. The caller participates in the work. The first
+  /// exception thrown by any chunk aborts the remaining chunks and is
+  /// rethrown here. Calls from inside a worker run serially inline
+  /// (reentrancy guard), so kernels may nest ParallelFor freely.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  /// The process-wide pool used by the tensor kernels. Created on first use
+  /// with DefaultSize() threads.
+  static ThreadPool& Global();
+
+  /// Pool size requested by the environment: TIMEDRL_NUM_THREADS if set to a
+  /// positive integer, otherwise std::thread::hardware_concurrency().
+  static int DefaultSize();
+
+ private:
+  struct ParallelState;
+
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_ = false;
+};
+
+/// Size of the global pool (ThreadPool::Global().size()).
+int NumThreads();
+
+/// Replaces the global pool with one of `num_threads` threads (clamped to
+/// >= 1). Joins the old pool's workers first. Must not race with running
+/// kernels; intended for program startup, benchmarks, and tests.
+void SetNumThreads(int num_threads);
+
+/// Convenience wrapper: ThreadPool::Global().ParallelFor(...).
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace timedrl
+
+#endif  // TIMEDRL_UTIL_THREAD_POOL_H_

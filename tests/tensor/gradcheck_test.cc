@@ -132,6 +132,12 @@ std::vector<GradCase> MakeCases() {
       {{2, 3, 4}, {4, 2}});
   add("matmul_shared_lhs", [](const Inputs& x) { return MatMul(x[0], x[1]); },
       {{3, 4}, {2, 4, 2}});
+  add("matmul_broadcast_batch",
+      [](const Inputs& x) { return MatMul(x[0], x[1]); },
+      {{2, 1, 3, 4}, {1, 3, 4, 2}});
+  add("matmul_broadcast_lhs_batch",
+      [](const Inputs& x) { return MatMul(x[0], x[1]); },
+      {{1, 2, 3}, {4, 3, 2}});
 
   // Reductions.
   add("sum_all", [](const Inputs& x) { return Sum(x[0]); }, {{3, 4}});

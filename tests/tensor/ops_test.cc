@@ -181,6 +181,43 @@ TEST(OpsTest, MatMulSharedWeightGradAccumulatesOverBatch) {
   for (float g : w.grad()) EXPECT_FLOAT_EQ(g, 6.0f);
 }
 
+TEST(OpsTest, MatMulBroadcastBatchDims) {
+  // [2,1,2,3] x [1,3,3,2] -> [2,3,2,2]: both batch dims broadcast.
+  Tensor a = Tensor::FromVector({2, 1, 2, 3}, {1, 0, 0, 0, 1, 0,    // A0
+                                               0, 0, 1, 1, 1, 1});  // A1
+  Tensor b = Tensor::FromVector(
+      {1, 3, 3, 2}, {1, 2, 3, 4, 5, 6,          // B0
+                     7, 8, 9, 10, 11, 12,       // B1
+                     13, 14, 15, 16, 17, 18});  // B2
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 3, 2, 2}));
+  // Block [i][j] of the output is A_i x B_j.
+  EXPECT_EQ(c.data(),
+            (std::vector<float>{1,  2,  3,  4,   7,  8,  9,  10,
+                                13, 14, 15, 16,  5,  6,  9,  12,
+                                11, 12, 27, 30,  17, 18, 45, 48}));
+}
+
+TEST(OpsTest, MatMulBroadcastBatchGradAccumulates) {
+  Tensor a = Tensor::Ones({2, 1, 2, 3}, /*requires_grad=*/true);
+  Tensor b = Tensor::Ones({1, 3, 3, 2}, /*requires_grad=*/true);
+  Sum(MatMul(a, b)).Backward();
+  // Each a entry is read by 3 broadcast heads x 2 output columns.
+  for (float g : a.grad()) EXPECT_FLOAT_EQ(g, 6.0f);
+  // Each b entry is read by 2 broadcast batches x 2 output rows.
+  for (float g : b.grad()) EXPECT_FLOAT_EQ(g, 4.0f);
+}
+
+TEST(OpsTest, MatMulBroadcastMiddleOnes) {
+  // [3,1,1,2] x [1,1,2,4] -> [3,1,1,4]: rhs shared across the batch.
+  Tensor a = Tensor::FromVector({3, 1, 1, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({1, 1, 2, 4},
+                                {1, 0, 0, 1, 0, 1, 1, 0});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{3, 1, 1, 4}));
+  EXPECT_EQ(c.data(), (std::vector<float>{1, 2, 2, 1, 3, 4, 4, 3, 5, 6, 6, 5}));
+}
+
 TEST(OpsTest, SumAll) {
   Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
   EXPECT_FLOAT_EQ(Sum(a).item(), 10.0f);

@@ -1,0 +1,92 @@
+// Verifies the kernel layer's determinism contract: forward losses and all
+// parameter gradients of a TimeDRL pretext step are bitwise identical no
+// matter how many threads the global pool runs (see util/thread_pool.h —
+// partitioning only decides WHICH thread computes an output row, never the
+// order of the additions inside it).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "core/model.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace timedrl {
+namespace {
+
+struct StepResult {
+  float total_loss;
+  float predictive_loss;
+  float contrastive_loss;
+  std::vector<std::pair<std::string, std::vector<float>>> grads;
+};
+
+// Builds a fresh model + input from fixed seeds and runs one pretext
+// forward/backward. Model construction (including the dropout streams forked
+// from the rng) is identical across calls, so any divergence between runs
+// must come from the kernels.
+StepResult RunPretextStep() {
+  core::TimeDrlConfig config;
+  config.input_channels = 2;
+  config.input_length = 32;
+  config.patch_length = 8;
+  config.patch_stride = 8;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.ff_dim = 32;
+  config.num_layers = 2;
+
+  Rng rng(42);
+  core::TimeDrlModel model(config, rng);
+  model.Train();
+
+  Rng data_rng(7);
+  Tensor x = Tensor::Randn({4, config.input_length, config.input_channels},
+                           data_rng);
+
+  auto output = model.PretextStep(x);
+  output.total.Backward();
+
+  StepResult result;
+  result.total_loss = output.total.item();
+  result.predictive_loss = output.predictive.item();
+  result.contrastive_loss = output.contrastive.item();
+  for (const auto& [name, param] : model.NamedParameters()) {
+    result.grads.emplace_back(
+        name, param.has_grad() ? param.grad() : std::vector<float>{});
+  }
+  return result;
+}
+
+TEST(ParallelDeterminismTest, PretextStepBitwiseIdenticalAcrossThreadCounts) {
+  SetNumThreads(1);
+  const StepResult baseline = RunPretextStep();
+  ASSERT_FALSE(baseline.grads.empty());
+
+  for (int threads : {2, 8}) {
+    SetNumThreads(threads);
+    const StepResult run = RunPretextStep();
+
+    // Bitwise float equality, deliberately not EXPECT_NEAR.
+    EXPECT_EQ(baseline.total_loss, run.total_loss) << threads << " threads";
+    EXPECT_EQ(baseline.predictive_loss, run.predictive_loss);
+    EXPECT_EQ(baseline.contrastive_loss, run.contrastive_loss);
+
+    ASSERT_EQ(baseline.grads.size(), run.grads.size());
+    for (size_t i = 0; i < baseline.grads.size(); ++i) {
+      EXPECT_EQ(baseline.grads[i].first, run.grads[i].first);
+      EXPECT_EQ(baseline.grads[i].second, run.grads[i].second)
+          << "gradient of " << baseline.grads[i].first << " diverges with "
+          << threads << " threads";
+    }
+  }
+  SetNumThreads(1);
+}
+
+}  // namespace
+}  // namespace timedrl

@@ -1,0 +1,135 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace timedrl {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kRange = 10007;  // Deliberately not a grain multiple.
+  std::vector<std::atomic<int>> hits(kRange);
+  for (auto& hit : hits) hit.store(0);
+  pool.ParallelFor(0, kRange, 64, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kRange; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ChunksRespectGrainAndAreContiguous) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  pool.ParallelFor(0, 1000, 128, [&](int64_t begin, int64_t end) {
+    std::lock_guard<std::mutex> lock(mutex);
+    chunks.emplace_back(begin, end);
+  });
+  int64_t covered = 0;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_LT(begin, end);
+    EXPECT_LE(end - begin, 128);
+    covered += end - begin;
+  }
+  EXPECT_EQ(covered, 1000);
+}
+
+TEST(ThreadPoolTest, SizeOneRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.ParallelFor(0, 100, 1, [&](int64_t begin, int64_t end) {
+    // Serial path: one call with the whole range, on the calling thread.
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 100);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeDoesNothing) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { called = true; });
+  pool.ParallelFor(7, 3, 1, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000, 10,
+                       [](int64_t begin, int64_t) {
+                         if (begin >= 500) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must survive the failed loop.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 100, 10, [&](int64_t begin, int64_t end) {
+    int64_t local = 0;
+    for (int64_t i = begin; i < end; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 100 * 99 / 2);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsSeriallyInWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(0, 8, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const std::thread::id outer_thread = std::this_thread::get_id();
+      // The nested loop must complete inline without deadlocking, on the
+      // same thread (reentrancy guard) when running inside a worker.
+      pool.ParallelFor(0, 100, 10, [&](int64_t inner_begin, int64_t inner_end) {
+        EXPECT_EQ(std::this_thread::get_id(), outer_thread);
+        total.fetch_add(inner_end - inner_begin);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 100);
+}
+
+TEST(ThreadPoolTest, DefaultSizeReadsEnvironment) {
+  const char* saved = std::getenv("TIMEDRL_NUM_THREADS");
+  const std::string saved_value = saved ? saved : "";
+
+  setenv("TIMEDRL_NUM_THREADS", "3", /*overwrite=*/1);
+  EXPECT_EQ(ThreadPool::DefaultSize(), 3);
+  setenv("TIMEDRL_NUM_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::DefaultSize(), 1);  // Falls back to hardware.
+  setenv("TIMEDRL_NUM_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::DefaultSize(), 1);
+
+  if (saved) {
+    setenv("TIMEDRL_NUM_THREADS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("TIMEDRL_NUM_THREADS");
+  }
+}
+
+TEST(ThreadPoolTest, SetNumThreadsRebuildsGlobalPool) {
+  SetNumThreads(3);
+  EXPECT_EQ(NumThreads(), 3);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 1000, 100, [&](int64_t begin, int64_t end) {
+    int64_t local = 0;
+    for (int64_t i = begin; i < end; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+  SetNumThreads(1);
+  EXPECT_EQ(NumThreads(), 1);
+}
+
+}  // namespace
+}  // namespace timedrl
