@@ -1,0 +1,166 @@
+// End-to-end training-step benchmark: one full TimeDRL pretext step
+// (forward + backward + grad clip + AdamW update) per iteration, timed in
+// two modes:
+//
+//   baseline — pre-pool allocation behavior: the buffer pool is disabled
+//     (every tensor buffer comes fresh from the system allocator) and
+//     Backward() retains the autograd graph, so activation storage for the
+//     whole graph stays live until the step's tensors go out of scope.
+//   pooled — the shipped configuration: all storage recycles through the
+//     buffer pool and Backward() releases graph nodes eagerly, returning
+//     activation buffers mid-walk.
+//
+// Both modes run identical kernels in identical order from identical seeds,
+// so the final losses must match bitwise; the benchmark aborts if they
+// diverge. The two modes are interleaved in alternating segments and
+// compared on per-segment medians, which cancels machine-level drift (CPU
+// frequency, noisy neighbors) that a run-A-then-run-B layout bakes into the
+// comparison. Results are printed as JSON on stdout (see
+// bench/run_e2e_train_step.sh, which captures them into
+// BENCH_train_step.json at the repo root).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/model.h"
+#include "optim/optimizer.h"
+#include "tensor/buffer_pool.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace timedrl {
+namespace {
+
+// Sized so activation tensors are tens to hundreds of KB — the regime a
+// real pre-training run lives in, where allocator churn (zero-init passes,
+// mmap/munmap round trips) is a visible slice of step time. Fine patching
+// of a long series gives 128 patch tokens, so the transformer's attention
+// maps, not just its projections, carry real weight.
+constexpr int64_t kBatch = 8;
+constexpr int kWarmupSteps = 3;
+constexpr int kSegments = 5;
+constexpr int kStepsPerSegment = 8;
+
+core::TimeDrlConfig BenchConfig() {
+  core::TimeDrlConfig config;
+  config.input_channels = 8;
+  config.input_length = 1024;
+  config.patch_length = 8;
+  config.patch_stride = 8;
+  config.d_model = 32;
+  config.num_heads = 4;
+  config.ff_dim = 64;
+  config.num_layers = 2;
+  return config;
+}
+
+// One independent training run: model + optimizer + data stream from fixed
+// seeds. Both modes get their own state, built from the SAME seeds, so step
+// t of one mode is numerically the same work as step t of the other.
+struct TrainState {
+  core::TimeDrlConfig config = BenchConfig();
+  Rng rng{42};
+  core::TimeDrlModel model{config, rng};
+  optim::AdamW optimizer{model.Parameters(), /*learning_rate=*/1e-3f,
+                         /*weight_decay=*/1e-2f};
+  Rng data_rng{7};
+  float last_loss = 0.0f;
+
+  // `retain_graph` models the pre-release behavior (see file comment).
+  void Step(bool retain_graph) {
+    Tensor x = Tensor::Randn({kBatch, config.input_length,
+                              config.input_channels},
+                             data_rng);
+    auto output = model.PretextStep(x);
+    optimizer.ZeroGrad();
+    output.total.Backward(retain_graph);
+    optim::ClipGradNorm(optimizer.parameters(), /*max_norm=*/5.0f);
+    optimizer.Step();
+    last_loss = output.total.item();
+  }
+
+  TrainState() { model.Train(); }
+};
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+// Runs one timed segment of `state` in the given pool mode and returns
+// ms/step. The pool flag is global, so each segment sets it for its mode.
+double TimedSegment(TrainState& state, bool pooled) {
+  pool::SetEnabled(pooled);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kStepsPerSegment; ++i) {
+    state.Step(/*retain_graph=*/!pooled);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count() /
+         kStepsPerSegment;
+}
+
+int Main() {
+  // Both states are constructed and warmed up in their own pool mode.
+  pool::SetEnabled(false);
+  auto baseline = std::make_unique<TrainState>();
+  for (int i = 0; i < kWarmupSteps; ++i) baseline->Step(true);
+
+  pool::SetEnabled(true);
+  auto pooled = std::make_unique<TrainState>();
+  for (int i = 0; i < kWarmupSteps; ++i) pooled->Step(false);
+  pool::ResetStats();
+
+  std::vector<double> baseline_ms;
+  std::vector<double> pooled_ms;
+  for (int segment = 0; segment < kSegments; ++segment) {
+    baseline_ms.push_back(TimedSegment(*baseline, /*pooled=*/false));
+    pooled_ms.push_back(TimedSegment(*pooled, /*pooled=*/true));
+  }
+  const uint64_t steady_misses = pool::GetStats().misses;
+
+  if (baseline->last_loss != pooled->last_loss) {
+    std::fprintf(stderr,
+                 "FATAL: pooled loss %.9g != baseline loss %.9g — pooling "
+                 "changed numerics\n",
+                 double{pooled->last_loss}, double{baseline->last_loss});
+    return 1;
+  }
+
+  const double baseline_med = Median(baseline_ms);
+  const double pooled_med = Median(pooled_ms);
+  const double speedup = baseline_med / pooled_med;
+  const double improvement_pct = (1.0 - pooled_med / baseline_med) * 100.0;
+  std::printf(
+      "{\n"
+      "  \"benchmark\": \"e2e_train_step\",\n"
+      "  \"config\": {\"batch\": %lld, \"input_length\": 1024, "
+      "\"channels\": 8, \"patch\": 8, \"d_model\": 32, \"layers\": 2},\n"
+      "  \"warmup_steps\": %d,\n"
+      "  \"segments\": %d,\n"
+      "  \"steps_per_segment\": %d,\n"
+      "  \"baseline_ms_per_step\": %.4f,\n"
+      "  \"pooled_ms_per_step\": %.4f,\n"
+      "  \"speedup\": %.4f,\n"
+      "  \"improvement_pct\": %.2f,\n"
+      "  \"steady_state_pool_misses\": %llu,\n"
+      "  \"losses_bitwise_equal\": true,\n"
+      "  \"final_loss\": %.9g\n"
+      "}\n",
+      static_cast<long long>(kBatch), kWarmupSteps, kSegments,
+      kStepsPerSegment, baseline_med, pooled_med, speedup, improvement_pct,
+      static_cast<unsigned long long>(steady_misses),
+      double{pooled->last_loss});
+  return 0;
+}
+
+}  // namespace
+}  // namespace timedrl
+
+int main() { return timedrl::Main(); }

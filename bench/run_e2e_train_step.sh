@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the end-to-end training-step benchmark and records its JSON output at
+# the repo root as BENCH_train_step.json. Build first:
+#   cmake -B build -S . && cmake --build build -j --target e2e_train_step
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+bench_bin="${repo_root}/build/bench/e2e_train_step"
+
+if [[ ! -x "${bench_bin}" ]]; then
+  echo "error: ${bench_bin} not built; run:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j --target e2e_train_step" >&2
+  exit 1
+fi
+
+out="${repo_root}/BENCH_train_step.json"
+"${bench_bin}" | tee "${out}"
+echo "wrote ${out}" >&2

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 
+#include "tensor/buffer_pool.h"
 #include "util/check.h"
 
 namespace timedrl::data {
+
+std::vector<float> AcquireBatchStorage(int64_t numel) {
+  return pool::AcquireUninit(numel);
+}
 
 BatchIterator::BatchIterator(int64_t dataset_size, int64_t batch_size,
                              bool shuffle, Rng& rng, bool drop_last)

@@ -1,4 +1,5 @@
-// Minibatch index iteration with optional shuffling.
+// Minibatch index iteration with optional shuffling, plus recycled storage
+// for assembling batch tensors.
 
 #ifndef TIMEDRL_DATA_LOADER_H_
 #define TIMEDRL_DATA_LOADER_H_
@@ -9,6 +10,14 @@
 #include "util/rng.h"
 
 namespace timedrl::data {
+
+/// Recycled storage for a batch tensor: a buffer of exactly `numel` floats
+/// (contents unspecified — fill every element) drawn from the tensor buffer
+/// pool. Hand the filled buffer to Tensor::FromVector; when the batch
+/// tensor dies at the end of the step, the buffer returns to the pool, so a
+/// steady-state epoch reuses one buffer per batch geometry instead of
+/// allocating fresh storage every iteration.
+std::vector<float> AcquireBatchStorage(int64_t numel);
 
 /// Yields index batches over [0, dataset_size). With `shuffle`, the order is
 /// re-randomized by each Reset(). The final short batch is kept unless

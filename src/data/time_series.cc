@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "data/loader.h"
 #include "util/check.h"
 
 namespace timedrl::data {
@@ -28,14 +29,16 @@ Tensor TimeSeries::ToTensor() const {
 std::pair<Tensor, std::vector<int64_t>> ClassificationDataset::GetBatch(
     const std::vector<int64_t>& indices) const {
   const int64_t batch = static_cast<int64_t>(indices.size());
-  std::vector<float> buffer;
-  buffer.reserve(batch * window_length * channels);
+  const int64_t row_size = window_length * channels;
+  std::vector<float> buffer = AcquireBatchStorage(batch * row_size);
   std::vector<int64_t> batch_labels;
   batch_labels.reserve(batch);
+  int64_t row = 0;
   for (int64_t index : indices) {
     TIMEDRL_CHECK(index >= 0 && index < size());
     const std::vector<float>& window = windows[index];
-    buffer.insert(buffer.end(), window.begin(), window.end());
+    std::copy(window.begin(), window.end(), buffer.begin() + row * row_size);
+    ++row;
     batch_labels.push_back(labels[index]);
   }
   return {Tensor::FromVector({batch, window_length, channels},

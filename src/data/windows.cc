@@ -1,5 +1,8 @@
 #include "data/windows.h"
 
+#include <algorithm>
+
+#include "data/loader.h"
 #include "util/check.h"
 
 namespace timedrl::data {
@@ -23,17 +26,19 @@ std::pair<Tensor, Tensor> ForecastingWindows::GetBatch(
   TIMEDRL_CHECK_GT(horizon_, 0) << "dataset was built without a horizon";
   const int64_t batch = static_cast<int64_t>(indices.size());
   const int64_t channels = series_.channels;
-  std::vector<float> x_buffer;
-  x_buffer.reserve(batch * input_length_ * channels);
-  std::vector<float> y_buffer;
-  y_buffer.reserve(batch * horizon_ * channels);
+  const int64_t x_row = input_length_ * channels;
+  const int64_t y_row = horizon_ * channels;
+  std::vector<float> x_buffer = AcquireBatchStorage(batch * x_row);
+  std::vector<float> y_buffer = AcquireBatchStorage(batch * y_row);
+  int64_t row = 0;
   for (int64_t index : indices) {
     TIMEDRL_CHECK(index >= 0 && index < count_);
     const int64_t start = index * stride_;
     const float* base = series_.values.data() + start * channels;
-    x_buffer.insert(x_buffer.end(), base, base + input_length_ * channels);
-    const float* target = base + input_length_ * channels;
-    y_buffer.insert(y_buffer.end(), target, target + horizon_ * channels);
+    std::copy(base, base + x_row, x_buffer.begin() + row * x_row);
+    std::copy(base + x_row, base + x_row + y_row,
+              y_buffer.begin() + row * y_row);
+    ++row;
   }
   return {Tensor::FromVector({batch, input_length_, channels},
                              std::move(x_buffer)),
@@ -45,12 +50,14 @@ Tensor ForecastingWindows::GetInputs(
     const std::vector<int64_t>& indices) const {
   const int64_t batch = static_cast<int64_t>(indices.size());
   const int64_t channels = series_.channels;
-  std::vector<float> buffer;
-  buffer.reserve(batch * input_length_ * channels);
+  const int64_t row_size = input_length_ * channels;
+  std::vector<float> buffer = AcquireBatchStorage(batch * row_size);
+  int64_t row = 0;
   for (int64_t index : indices) {
     TIMEDRL_CHECK(index >= 0 && index < count_);
     const float* base = series_.values.data() + index * stride_ * channels;
-    buffer.insert(buffer.end(), base, base + input_length_ * channels);
+    std::copy(base, base + row_size, buffer.begin() + row * row_size);
+    ++row;
   }
   return Tensor::FromVector({batch, input_length_, channels},
                             std::move(buffer));

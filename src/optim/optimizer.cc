@@ -3,8 +3,16 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace timedrl::optim {
+
+// Update kernels below are fused single passes: each parameter buffer is
+// read-modify-written exactly once per step, with no temporary tensors. They
+// parallelize ACROSS parameters on the global thread pool — a parameter is
+// updated entirely by one thread with a fixed inner loop order, so results
+// are bitwise identical for every pool size (same contract as the tensor
+// kernels; see util/thread_pool.h).
 
 Optimizer::Optimizer(std::vector<Tensor> parameters, float learning_rate)
     : parameters_(std::move(parameters)), learning_rate_(learning_rate) {
@@ -14,7 +22,12 @@ Optimizer::Optimizer(std::vector<Tensor> parameters, float learning_rate)
 }
 
 void Optimizer::ZeroGrad() {
-  for (Tensor& parameter : parameters_) parameter.ZeroGrad();
+  ParallelFor(0, static_cast<int64_t>(parameters_.size()), 1,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  parameters_[i].ZeroGrad();
+                }
+              });
 }
 
 // ---- SGD ---------------------------------------------------------------------
@@ -28,17 +41,21 @@ Sgd::Sgd(std::vector<Tensor> parameters, float learning_rate, float momentum)
 }
 
 void Sgd::Step() {
-  for (size_t i = 0; i < parameters_.size(); ++i) {
-    Tensor& parameter = parameters_[i];
-    if (!parameter.has_grad()) continue;
-    const std::vector<float>& grad = parameter.grad();
-    std::vector<float>& value = parameter.data();
-    std::vector<float>& velocity = velocity_[i];
-    for (size_t j = 0; j < value.size(); ++j) {
-      velocity[j] = momentum_ * velocity[j] + grad[j];
-      value[j] -= learning_rate_ * velocity[j];
-    }
-  }
+  ParallelFor(
+      0, static_cast<int64_t>(parameters_.size()), 1,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          Tensor& parameter = parameters_[i];
+          if (!parameter.has_grad()) continue;
+          const std::vector<float>& grad = parameter.grad();
+          std::vector<float>& value = parameter.data();
+          std::vector<float>& velocity = velocity_[i];
+          for (size_t j = 0; j < value.size(); ++j) {
+            velocity[j] = momentum_ * velocity[j] + grad[j];
+            value[j] -= learning_rate_ * velocity[j];
+          }
+        }
+      });
 }
 
 // ---- Adam / AdamW ---------------------------------------------------------------
@@ -62,26 +79,32 @@ void Adam::Step() {
   ++step_count_;
   const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
   const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
-  for (size_t i = 0; i < parameters_.size(); ++i) {
-    Tensor& parameter = parameters_[i];
-    if (!parameter.has_grad()) continue;
-    const std::vector<float>& grad = parameter.grad();
-    std::vector<float>& value = parameter.data();
-    std::vector<float>& m = m_[i];
-    std::vector<float>& v = v_[i];
-    for (size_t j = 0; j < value.size(); ++j) {
-      float g = grad[j];
-      if (!decoupled_decay_ && weight_decay_ != 0.0f) g += weight_decay_ * value[j];
-      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
-      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
-      const float m_hat = m[j] / bias1;
-      const float v_hat = v[j] / bias2;
-      if (decoupled_decay_ && weight_decay_ != 0.0f) {
-        value[j] -= learning_rate_ * weight_decay_ * value[j];
-      }
-      value[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + eps_);
-    }
-  }
+  ParallelFor(
+      0, static_cast<int64_t>(parameters_.size()), 1,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          Tensor& parameter = parameters_[i];
+          if (!parameter.has_grad()) continue;
+          const std::vector<float>& grad = parameter.grad();
+          std::vector<float>& value = parameter.data();
+          std::vector<float>& m = m_[i];
+          std::vector<float>& v = v_[i];
+          for (size_t j = 0; j < value.size(); ++j) {
+            float g = grad[j];
+            if (!decoupled_decay_ && weight_decay_ != 0.0f) {
+              g += weight_decay_ * value[j];
+            }
+            m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+            v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+            const float m_hat = m[j] / bias1;
+            const float v_hat = v[j] / bias2;
+            if (decoupled_decay_ && weight_decay_ != 0.0f) {
+              value[j] -= learning_rate_ * weight_decay_ * value[j];
+            }
+            value[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + eps_);
+          }
+        }
+      });
 }
 
 AdamW::AdamW(std::vector<Tensor> parameters, float learning_rate,

@@ -1,0 +1,230 @@
+#include "tensor/buffer_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+namespace timedrl::pool {
+namespace {
+
+// Buckets hold capacities 2^0 .. 2^(kNumBuckets-1) floats; larger requests
+// bypass the pool entirely (they would pin too much memory anyway).
+constexpr int kNumBuckets = 31;
+constexpr size_t kThreadCacheBuffersPerBucket = 8;
+
+/// Smallest b with (1 << b) >= n. Precondition: n >= 1.
+int BucketIndex(int64_t n) {
+  int b = 0;
+  while ((int64_t{1} << b) < n) ++b;
+  return b;
+}
+
+bool IsPowerOfTwo(int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+struct Counters {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> returned{0};
+  std::atomic<uint64_t> dropped{0};
+  std::atomic<int64_t> bytes_live{0};
+  std::atomic<int64_t> bytes_pooled{0};
+  std::atomic<int64_t> high_water{0};
+};
+
+Counters& counters() {
+  static Counters c;
+  return c;
+}
+
+void RaiseHighWater() {
+  Counters& c = counters();
+  const int64_t total = c.bytes_live.load(std::memory_order_relaxed) +
+                        c.bytes_pooled.load(std::memory_order_relaxed);
+  int64_t hw = c.high_water.load(std::memory_order_relaxed);
+  while (total > hw && !c.high_water.compare_exchange_weak(
+                           hw, total, std::memory_order_relaxed)) {
+  }
+}
+
+struct Freelists {
+  std::vector<std::vector<float>> buckets[kNumBuckets];
+};
+
+struct GlobalPool {
+  std::mutex mutex;
+  Freelists lists;
+};
+
+// Leaked on purpose: worker threads and static tensors may release buffers
+// during thread/static destruction, after a function-local static would
+// already be gone.
+GlobalPool& global_pool() {
+  static GlobalPool* pool = new GlobalPool;
+  return *pool;
+}
+
+void FlushToGlobal(Freelists& local) {
+  GlobalPool& global = global_pool();
+  std::lock_guard<std::mutex> lock(global.mutex);
+  for (int b = 0; b < kNumBuckets; ++b) {
+    for (std::vector<float>& buffer : local.buckets[b]) {
+      global.lists.buckets[b].push_back(std::move(buffer));
+    }
+    local.buckets[b].clear();
+  }
+}
+
+struct ThreadCache {
+  Freelists lists;
+  ~ThreadCache() { FlushToGlobal(lists); }
+};
+
+ThreadCache& thread_cache() {
+  thread_local ThreadCache cache;
+  return cache;
+}
+
+bool EnvEnabled() {
+  const char* env = std::getenv("TIMEDRL_POOL_DISABLE");
+  if (env == nullptr || env[0] == '\0' || (env[0] == '0' && env[1] == '\0')) {
+    return true;
+  }
+  return false;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> enabled{EnvEnabled()};
+  return enabled;
+}
+
+/// Pops a cached buffer for bucket `b`, local cache first, then global.
+/// Returns true on a hit.
+bool TryPop(int b, std::vector<float>* out) {
+  auto& local = thread_cache().lists.buckets[b];
+  if (!local.empty()) {
+    *out = std::move(local.back());
+    local.pop_back();
+    return true;
+  }
+  GlobalPool& global = global_pool();
+  std::lock_guard<std::mutex> lock(global.mutex);
+  auto& shared = global.lists.buckets[b];
+  if (!shared.empty()) {
+    *out = std::move(shared.back());
+    shared.pop_back();
+    return true;
+  }
+  return false;
+}
+
+std::vector<float> AcquireImpl(int64_t n, bool zero_fill) {
+  if (n <= 0) return {};
+  if (!Enabled() || BucketIndex(n) >= kNumBuckets) {
+    return std::vector<float>(n);  // value-initialized either way
+  }
+  const int b = BucketIndex(n);
+  const int64_t bucket_bytes =
+      (int64_t{1} << b) * static_cast<int64_t>(sizeof(float));
+
+  Counters& c = counters();
+  std::vector<float> buffer;
+  if (TryPop(b, &buffer)) {
+    c.hits.fetch_add(1, std::memory_order_relaxed);
+    c.bytes_pooled.fetch_sub(bucket_bytes, std::memory_order_relaxed);
+  } else {
+    c.misses.fetch_add(1, std::memory_order_relaxed);
+    buffer.reserve(int64_t{1} << b);
+  }
+  c.bytes_live.fetch_add(bucket_bytes, std::memory_order_relaxed);
+  RaiseHighWater();
+
+  if (zero_fill) {
+    buffer.assign(n, 0.0f);
+  } else {
+    // Caller promises to overwrite every element; stale contents are fine.
+    buffer.resize(n);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::vector<float> Acquire(int64_t n) { return AcquireImpl(n, true); }
+
+std::vector<float> AcquireUninit(int64_t n) { return AcquireImpl(n, false); }
+
+void Release(std::vector<float>&& buffer) {
+  std::vector<float> victim = std::move(buffer);
+  const int64_t capacity = static_cast<int64_t>(victim.capacity());
+  if (capacity == 0) return;
+  Counters& c = counters();
+  if (!Enabled() || !IsPowerOfTwo(capacity) ||
+      BucketIndex(capacity) >= kNumBuckets) {
+    c.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;  // freed by destructor
+  }
+  const int b = BucketIndex(capacity);
+  const int64_t bucket_bytes = capacity * static_cast<int64_t>(sizeof(float));
+  c.returned.fetch_add(1, std::memory_order_relaxed);
+  c.bytes_live.fetch_sub(bucket_bytes, std::memory_order_relaxed);
+  c.bytes_pooled.fetch_add(bucket_bytes, std::memory_order_relaxed);
+
+  auto& local = thread_cache().lists.buckets[b];
+  if (local.size() < kThreadCacheBuffersPerBucket) {
+    local.push_back(std::move(victim));
+    return;
+  }
+  GlobalPool& global = global_pool();
+  std::lock_guard<std::mutex> lock(global.mutex);
+  global.lists.buckets[b].push_back(std::move(victim));
+}
+
+bool Enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+Stats GetStats() {
+  Counters& c = counters();
+  Stats stats;
+  stats.hits = c.hits.load(std::memory_order_relaxed);
+  stats.misses = c.misses.load(std::memory_order_relaxed);
+  stats.returned = c.returned.load(std::memory_order_relaxed);
+  stats.dropped = c.dropped.load(std::memory_order_relaxed);
+  stats.bytes_live = c.bytes_live.load(std::memory_order_relaxed);
+  stats.bytes_pooled = c.bytes_pooled.load(std::memory_order_relaxed);
+  stats.high_water_bytes = c.high_water.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetStats() {
+  Counters& c = counters();
+  c.hits.store(0, std::memory_order_relaxed);
+  c.misses.store(0, std::memory_order_relaxed);
+  c.returned.store(0, std::memory_order_relaxed);
+  c.dropped.store(0, std::memory_order_relaxed);
+  c.high_water.store(c.bytes_live.load(std::memory_order_relaxed) +
+                         c.bytes_pooled.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+void FlushThreadCache() { FlushToGlobal(thread_cache().lists); }
+
+void Clear() {
+  FlushThreadCache();
+  GlobalPool& global = global_pool();
+  std::lock_guard<std::mutex> lock(global.mutex);
+  int64_t freed = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    for (const std::vector<float>& buffer : global.lists.buckets[b]) {
+      freed +=
+          static_cast<int64_t>(buffer.capacity() * sizeof(float));
+    }
+    global.lists.buckets[b].clear();
+  }
+  counters().bytes_pooled.fetch_sub(freed, std::memory_order_relaxed);
+}
+
+}  // namespace timedrl::pool

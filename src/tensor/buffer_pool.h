@@ -1,0 +1,81 @@
+// A recycling pool for the float buffers behind tensor storage.
+//
+// Training runs thousands of identically-shaped steps, so steady-state
+// allocation should be ~zero: every op result, gradient buffer, and kernel
+// scratch buffer that a step frees is exactly the buffer the next step
+// needs. The pool keeps freed buffers in power-of-two size buckets and hands
+// them back on the next Acquire instead of hitting the heap (for the large
+// activations this also avoids repeated mmap/munmap + page-fault zeroing).
+//
+// Concurrency: each thread owns a small lock-free cache per bucket (kernel
+// scratch acquired inside thread-pool workers never touches a lock in steady
+// state); overflow and cross-thread traffic go through a mutex-protected
+// global pool. A thread's cache is flushed to the global pool when the
+// thread exits.
+//
+// Determinism contract: Acquire() returns a zero-filled buffer, bitwise
+// identical to a freshly allocated one. AcquireUninit() may return stale
+// contents and must only be used where the caller overwrites every element
+// before the buffer becomes observable. Under this rule, results are
+// bitwise identical whether the pool is enabled or disabled.
+//
+// The pool is enabled by default; set TIMEDRL_POOL_DISABLE=1 (or call
+// SetEnabled(false)) to fall back to plain heap allocation — the escape
+// hatch for debugging use-after-release suspicions.
+
+#ifndef TIMEDRL_TENSOR_BUFFER_POOL_H_
+#define TIMEDRL_TENSOR_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace timedrl::pool {
+
+/// A recycled (or fresh) buffer of exactly `n` elements, zero-filled.
+/// Capacity is rounded up to the bucket size (next power of two).
+std::vector<float> Acquire(int64_t n);
+
+/// Like Acquire but with unspecified contents. Only for buffers whose every
+/// element is overwritten before being read (see determinism contract).
+std::vector<float> AcquireUninit(int64_t n);
+
+/// Returns a buffer to the pool. Accepts any vector: buffers whose capacity
+/// is not a pool bucket size (i.e. that did not come from Acquire) are
+/// simply freed. Empty vectors are ignored.
+void Release(std::vector<float>&& buffer);
+
+/// Whether Acquire/Release recycle (true) or fall through to the heap.
+bool Enabled();
+
+/// Programmatic override of TIMEDRL_POOL_DISABLE (benchmarks, tests).
+void SetEnabled(bool enabled);
+
+/// Allocation counters. Byte counts are in bucket-rounded bytes and are
+/// advisory: buffers that enter the pool without having been acquired from
+/// it (e.g. a pow2-capacity vector passed to Tensor::FromVector) skew
+/// bytes_live slightly.
+struct Stats {
+  uint64_t hits = 0;        // Acquire satisfied from a cache
+  uint64_t misses = 0;      // Acquire that had to allocate
+  uint64_t returned = 0;    // buffers recycled into the pool
+  uint64_t dropped = 0;     // released buffers freed (foreign/oversized)
+  int64_t bytes_live = 0;   // acquired and not yet returned
+  int64_t bytes_pooled = 0; // sitting idle in caches
+  int64_t high_water_bytes = 0;  // max observed bytes_live + bytes_pooled
+};
+Stats GetStats();
+
+/// Zeroes hits/misses/returned/dropped and re-bases the high-water mark;
+/// bytes_live/bytes_pooled keep tracking the actual buffers.
+void ResetStats();
+
+/// Moves this thread's cached buffers to the global pool (so another thread
+/// can acquire them). Called automatically when a thread exits.
+void FlushThreadCache();
+
+/// Frees every cached buffer in the global pool and this thread's cache.
+void Clear();
+
+}  // namespace timedrl::pool
+
+#endif  // TIMEDRL_TENSOR_BUFFER_POOL_H_

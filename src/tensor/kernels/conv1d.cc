@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "tensor/buffer_pool.h"
 #include "tensor/kernels/gemm.h"
 #include "util/thread_pool.h"
 
@@ -39,46 +40,57 @@ void Col2ImAccumulate(const float* col, const Conv1dGeometry& geom,
 void Conv1dForward(const float* x, const float* w, const float* bias,
                    float* out, const Conv1dGeometry& geom) {
   ParallelFor(0, geom.batch, 1, [&](int64_t batch_begin, int64_t batch_end) {
-    std::vector<float> col(geom.col_rows() * geom.out_length);
+    // Per-chunk im2col workspace; recycled through each worker's pool cache
+    // (Im2Col overwrites every element, so stale contents are fine).
+    std::vector<float> col =
+        pool::AcquireUninit(geom.col_rows() * geom.out_length);
     for (int64_t b = batch_begin; b < batch_end; ++b) {
       Im2Col(x + b * geom.c_in * geom.length, geom, col.data());
       float* out_b = out + b * geom.c_out * geom.out_length;
       if (bias != nullptr) {
+        // Bias pre-fill seeds the accumulation, so out_b is fully written
+        // either way and the caller never needs to zero it.
         for (int64_t co = 0; co < geom.c_out; ++co) {
           float* orow = out_b + co * geom.out_length;
           for (int64_t l = 0; l < geom.out_length; ++l) orow[l] = bias[co];
         }
       }
-      // out_b [c_out, out_len] += w [c_out, c_in*K] * col [c_in*K, out_len].
+      // out_b [c_out, out_len] = bias + w [c_out, c_in*K] * col [c_in*K,
+      // out_len].
       GemmNN(w, col.data(), out_b, geom.c_out, geom.col_rows(),
-             geom.out_length);
+             geom.out_length, /*accumulate=*/bias != nullptr);
     }
+    pool::Release(std::move(col));
   });
 }
 
 void Conv1dBackwardInput(const float* w, const float* g, float* gx,
                          const Conv1dGeometry& geom) {
   ParallelFor(0, geom.batch, 1, [&](int64_t batch_begin, int64_t batch_end) {
-    std::vector<float> dcol(geom.col_rows() * geom.out_length);
+    // Fully overwritten by the overwrite-mode GEMM each batch iteration.
+    std::vector<float> dcol =
+        pool::AcquireUninit(geom.col_rows() * geom.out_length);
     for (int64_t b = batch_begin; b < batch_end; ++b) {
-      std::fill(dcol.begin(), dcol.end(), 0.0f);
       // dcol [c_in*K, out_len] = w^T [c_in*K, c_out] * g_b [c_out, out_len].
       GemmTN(w, g + b * geom.c_out * geom.out_length, dcol.data(), geom.c_out,
-             geom.col_rows(), geom.out_length);
+             geom.col_rows(), geom.out_length, /*accumulate=*/false);
       Col2ImAccumulate(dcol.data(), geom, gx + b * geom.c_in * geom.length);
     }
+    pool::Release(std::move(dcol));
   });
 }
 
 void Conv1dBackwardWeight(const float* x, const float* g, float* gw,
                           const Conv1dGeometry& geom) {
-  std::vector<float> col(geom.col_rows() * geom.out_length);
+  std::vector<float> col =
+      pool::AcquireUninit(geom.col_rows() * geom.out_length);
   for (int64_t b = 0; b < geom.batch; ++b) {
     Im2Col(x + b * geom.c_in * geom.length, geom, col.data());
     // gw [c_out, c_in*K] += g_b [c_out, out_len] * col^T [out_len, c_in*K].
     GemmNT(g + b * geom.c_out * geom.out_length, col.data(), gw, geom.c_out,
            geom.out_length, geom.col_rows());
   }
+  pool::Release(std::move(col));
 }
 
 void Conv1dBackwardBias(const float* g, float* gb,

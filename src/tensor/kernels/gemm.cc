@@ -23,19 +23,24 @@ int64_t RowGrain(int64_t flops_per_row) {
 }  // namespace
 
 void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n) {
+            int64_t n, bool accumulate) {
   ParallelFor(0, m, RowGrain(k * n), [=](int64_t row_begin, int64_t row_end) {
+    // Overwrite mode: zero this worker's rows just before accumulating into
+    // them (cache-hot), instead of a cold zero-fill pass by the caller.
+    if (!accumulate) {
+      std::fill(c + row_begin * n, c + row_end * n, 0.0f);
+    }
     int64_t i = row_begin;
     // Register tile: 4 rows of C share each streamed row of B. The per
     // element accumulation order (p ascending) matches the tail loop, so
     // results do not depend on where the tile boundary falls.
     for (; i + kRowTile <= row_end; i += kRowTile) {
-      float* c0 = c + (i + 0) * n;
-      float* c1 = c + (i + 1) * n;
-      float* c2 = c + (i + 2) * n;
-      float* c3 = c + (i + 3) * n;
+      float* __restrict__ c0 = c + (i + 0) * n;
+      float* __restrict__ c1 = c + (i + 1) * n;
+      float* __restrict__ c2 = c + (i + 2) * n;
+      float* __restrict__ c3 = c + (i + 3) * n;
       for (int64_t p = 0; p < k; ++p) {
-        const float* brow = b + p * n;
+        const float* __restrict__ brow = b + p * n;
         const float a0 = a[(i + 0) * k + p];
         const float a1 = a[(i + 1) * k + p];
         const float a2 = a[(i + 2) * k + p];
@@ -50,10 +55,10 @@ void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
       }
     }
     for (; i < row_end; ++i) {
-      float* crow = c + i * n;
+      float* __restrict__ crow = c + i * n;
       for (int64_t p = 0; p < k; ++p) {
         const float av = a[i * k + p];
-        const float* brow = b + p * n;
+        const float* __restrict__ brow = b + p * n;
         for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
       }
     }
@@ -61,12 +66,12 @@ void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
 }
 
 void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
-            int64_t k) {
+            int64_t k, bool accumulate) {
   ParallelFor(0, m, RowGrain(n * k), [=](int64_t row_begin, int64_t row_end) {
     for (int64_t i = row_begin; i < row_end; ++i) {
-      const float* arow = a + i * n;
+      const float* __restrict__ arow = a + i * n;
       for (int64_t p = 0; p < k; ++p) {
-        const float* brow = b + p * n;
+        const float* __restrict__ brow = b + p * n;
         // Four partial sums break the serial dependence of a single
         // accumulator; the split is the same for every (i, p), so the
         // summation order is thread-count independent.
@@ -80,25 +85,33 @@ void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
         }
         float acc = (s0 + s1) + (s2 + s3);
         for (; j < n; ++j) acc += arow[j] * brow[j];
-        c[i * k + p] += acc;
+        // 0.0f + acc == acc bitwise here, so both modes agree exactly.
+        if (accumulate) {
+          c[i * k + p] += acc;
+        } else {
+          c[i * k + p] = acc;
+        }
       }
     }
   });
 }
 
 void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n) {
+            int64_t n, bool accumulate) {
   // Parallel over rows of C (index p in [0, k)); the reduction over rows of
   // A/B (index i) runs inside, so each thread's writes are disjoint.
   ParallelFor(0, k, RowGrain(m * n), [=](int64_t row_begin, int64_t row_end) {
+    if (!accumulate) {
+      std::fill(c + row_begin * n, c + row_end * n, 0.0f);
+    }
     int64_t p = row_begin;
     for (; p + kRowTile <= row_end; p += kRowTile) {
-      float* c0 = c + (p + 0) * n;
-      float* c1 = c + (p + 1) * n;
-      float* c2 = c + (p + 2) * n;
-      float* c3 = c + (p + 3) * n;
+      float* __restrict__ c0 = c + (p + 0) * n;
+      float* __restrict__ c1 = c + (p + 1) * n;
+      float* __restrict__ c2 = c + (p + 2) * n;
+      float* __restrict__ c3 = c + (p + 3) * n;
       for (int64_t i = 0; i < m; ++i) {
-        const float* brow = b + i * n;
+        const float* __restrict__ brow = b + i * n;
         const float a0 = a[i * k + p + 0];
         const float a1 = a[i * k + p + 1];
         const float a2 = a[i * k + p + 2];
@@ -113,10 +126,10 @@ void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
       }
     }
     for (; p < row_end; ++p) {
-      float* crow = c + p * n;
+      float* __restrict__ crow = c + p * n;
       for (int64_t i = 0; i < m; ++i) {
         const float av = a[i * k + p];
-        const float* brow = b + i * n;
+        const float* __restrict__ brow = b + i * n;
         for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
       }
     }

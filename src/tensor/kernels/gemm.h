@@ -2,8 +2,13 @@
 // need. Pure raw-buffer functions: no shapes, no autograd — that wiring
 // lives in src/tensor/ops_matmul.cc and friends.
 //
-// All kernels ACCUMULATE into C (C += ...), so callers can chain them for
-// gradient accumulation without zeroing between calls.
+// With `accumulate` (the default) the kernels ACCUMULATE into C (C += ...),
+// so callers can chain them for gradient accumulation without zeroing
+// between calls. With accumulate=false they overwrite C instead — the rows a
+// worker owns are zeroed right before their accumulation loop, while they
+// are cache-hot, which spares forward ops a separate zero-fill pass over
+// cold output memory. Both modes produce bitwise-identical values (the
+// overwrite path still starts every element from +0.0f).
 //
 // Threading model (see util/thread_pool.h): every kernel partitions its
 // OUTPUT rows across the global thread pool. Each output element is computed
@@ -20,19 +25,21 @@
 
 namespace timedrl::kernels {
 
-/// C[m,n] += A[m,k] * B[k,n]. Parallel over rows of C.
+/// C[m,n] += A[m,k] * B[k,n] (or = with accumulate=false). Parallel over
+/// rows of C.
 void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n);
+            int64_t n, bool accumulate = true);
 
-/// C[m,k] += A[m,n] * B[k,n]^T (i.e. C = A * B^T). Parallel over rows of C.
+/// C[m,k] += A[m,n] * B[k,n]^T (i.e. C = A * B^T; = with accumulate=false).
+/// Parallel over rows of C.
 void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
-            int64_t k);
+            int64_t k, bool accumulate = true);
 
 /// C[k,n] += A[m,k]^T * B[m,n] (i.e. C = A^T * B). Parallel over rows of C
 /// (the k dimension), which makes the accumulation disjoint per thread even
 /// though the reduction runs over rows of A and B.
 void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n);
+            int64_t n, bool accumulate = true);
 
 }  // namespace timedrl::kernels
 

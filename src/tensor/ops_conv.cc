@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "tensor/buffer_pool.h"
 #include "tensor/kernels/conv1d.h"
 #include "tensor/kernels/pool.h"
 #include "tensor/ops.h"
@@ -39,7 +40,10 @@ Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
       << "Conv1d produces empty output for L=" << geom.length
       << " K=" << geom.kernel;
 
-  std::vector<float> out(geom.batch * geom.c_out * geom.out_length, 0.0f);
+  // Uninitialized: Conv1dForward fully writes its output (bias pre-fill or
+  // overwrite-mode GEMM).
+  std::vector<float> out =
+      pool::AcquireUninit(geom.batch * geom.c_out * geom.out_length);
   kernels::Conv1dForward(input.data().data(), weight.data().data(),
                          bias.defined() ? bias.data().data() : nullptr,
                          out.data(), geom);
@@ -81,7 +85,7 @@ Tensor MaxPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
   TIMEDRL_CHECK_GT(out_length, 0);
   const int64_t rows = batch * channels;
 
-  std::vector<float> out(rows * out_length);
+  std::vector<float> out = pool::AcquireUninit(rows * out_length);
   std::vector<int64_t> argmax(out.size());
   kernels::MaxPool1dForward(input.data().data(), out.data(), argmax.data(),
                             rows, length, kernel, stride, out_length);
@@ -108,7 +112,7 @@ Tensor AvgPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
   TIMEDRL_CHECK_GT(out_length, 0);
   const int64_t rows = batch * channels;
 
-  std::vector<float> out(rows * out_length);
+  std::vector<float> out = pool::AcquireUninit(rows * out_length);
   kernels::AvgPool1dForward(input.data().data(), out.data(), rows, length,
                             kernel, stride, out_length);
 

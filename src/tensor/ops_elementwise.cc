@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "tensor/buffer_pool.h"
 #include "tensor/kernels/elementwise.h"
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -23,7 +24,8 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn dfda,
   const std::vector<int64_t> sb = BroadcastStrides(b.shape(), out_shape);
   const bool same_shape = a.shape() == b.shape();
 
-  std::vector<float> out(NumElements(out_shape));
+  // Fully overwritten by Zip/ZipBroadcast below.
+  std::vector<float> out = pool::AcquireUninit(NumElements(out_shape));
   if (same_shape) {
     kernels::Zip(a.data().data(), b.data().data(), out.data(),
                  static_cast<int64_t>(out.size()), fwd);
@@ -58,7 +60,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn dfda,
 // Shared implementation for unary ops. `dfda(a, out)` is the derivative.
 template <typename FwdFn, typename DaFn>
 Tensor UnaryOp(const Tensor& a, FwdFn fwd, DaFn dfda) {
-  std::vector<float> out(a.numel());
+  std::vector<float> out = pool::AcquireUninit(a.numel());
   kernels::Map(a.data().data(), out.data(), a.numel(), fwd);
 
   auto a_impl = a.impl();
@@ -243,7 +245,7 @@ Tensor MaskedFill(const Tensor& a, const Tensor& mask, float value) {
   const std::vector<int64_t> sa = BroadcastStrides(a.shape(), out_shape);
   const std::vector<int64_t> sm = BroadcastStrides(mask.shape(), out_shape);
 
-  std::vector<float> out(NumElements(out_shape));
+  std::vector<float> out = pool::AcquireUninit(NumElements(out_shape));
   kernels::ZipBroadcast(out_shape, sa, sm, a.data().data(), mask.data().data(),
                         out.data(),
                         [value](float x, float m) { return m != 0.0f ? value : x; });

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "tensor/broadcast_iter.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/kernels/gemm.h"
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -45,7 +46,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   out_shape.push_back(m);
   out_shape.push_back(n);
 
-  std::vector<float> out(NumElements(out_shape), 0.0f);
+  // Uninitialized: each output batch slice is written exactly once by an
+  // overwrite-mode GEMM, so no zero-fill pass is needed.
+  std::vector<float> out = pool::AcquireUninit(NumElements(out_shape));
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* po = out.data();
@@ -55,13 +58,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     ParallelFor(0, num_batches, 1, [&](int64_t begin, int64_t end) {
       for (int64_t bi = begin; bi < end; ++bi) {
         kernels::GemmNN(pa + a_index[bi] * m * k, pb + b_index[bi] * k * n,
-                        po + bi * m * n, m, k, n);
+                        po + bi * m * n, m, k, n, /*accumulate=*/false);
       }
     });
   } else {
     for (int64_t bi = 0; bi < num_batches; ++bi) {
       kernels::GemmNN(pa + a_index[bi] * m * k, pb + b_index[bi] * k * n,
-                      po + bi * m * n, m, k, n);
+                      po + bi * m * n, m, k, n, /*accumulate=*/false);
     }
   }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "tensor/buffer_pool.h"
 #include "tensor/kernels/reduce.h"
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -32,7 +33,8 @@ Tensor SumKeepdim(const Tensor& a, const std::vector<int64_t>& dims) {
   const std::vector<int64_t> acc_strides =
       BroadcastStrides(out_shape, a.shape());
 
-  std::vector<float> out(NumElements(out_shape), 0.0f);
+  // Zero-filled: ReduceAddStrided accumulates into its output.
+  std::vector<float> out = pool::Acquire(NumElements(out_shape));
   kernels::ReduceAddStrided(a.shape(), acc_strides, a.data().data(),
                             out.data());
 
@@ -93,7 +95,7 @@ Tensor Max(const Tensor& a, int64_t dim, bool keepdim) {
 
   Shape out_shape = a.shape();
   out_shape[dim] = 1;
-  std::vector<float> out(outer * inner);
+  std::vector<float> out = pool::AcquireUninit(outer * inner);
   std::vector<int64_t> argmax(outer * inner);
   kernels::MaxForward(a.data().data(), out.data(), argmax.data(), outer,
                       dim_size, inner);
@@ -128,7 +130,7 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
   int64_t outer, dim_size, inner;
   OuterInner(a.shape(), dim, &outer, &dim_size, &inner);
 
-  std::vector<float> out(a.numel());
+  std::vector<float> out = pool::AcquireUninit(a.numel());
   kernels::SoftmaxForward(a.data().data(), out.data(), outer, dim_size, inner);
 
   auto a_impl = a.impl();
@@ -148,7 +150,7 @@ Tensor LogSoftmax(const Tensor& a, int64_t dim) {
   int64_t outer, dim_size, inner;
   OuterInner(a.shape(), dim, &outer, &dim_size, &inner);
 
-  std::vector<float> out(a.numel());
+  std::vector<float> out = pool::AcquireUninit(a.numel());
   kernels::LogSoftmaxForward(a.data().data(), out.data(), outer, dim_size,
                              inner);
 

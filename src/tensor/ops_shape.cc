@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "tensor/buffer_pool.h"
 #include "tensor/kernels/copy.h"
 #include "tensor/kernels/reduce.h"
 #include "tensor/ops.h"
@@ -33,7 +34,8 @@ Tensor Reshape(const Tensor& a, Shape shape) {
       << "reshape " << ShapeToString(a.shape()) << " -> "
       << ShapeToString(shape);
 
-  std::vector<float> out = a.data();
+  std::vector<float> out = pool::AcquireUninit(a.numel());
+  std::copy(a.data().begin(), a.data().end(), out.begin());
   auto a_impl = a.impl();
   auto backward = [a_impl](TensorImpl& node) {
     if (!a_impl->requires_grad) return;
@@ -63,7 +65,7 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
     gather_strides[d] = in_strides[NormalizeDim(perm[d], rank)];
   }
 
-  std::vector<float> out(a.numel());
+  std::vector<float> out = pool::AcquireUninit(a.numel());
   kernels::GatherStrided(out_shape, gather_strides, a.data().data(),
                          out.data());
 
@@ -106,7 +108,7 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t len) {
   for (int64_t d = dim + 1; d < rank; ++d) inner *= a.size(d);
   const int64_t dim_size = a.size(dim);
 
-  std::vector<float> out(NumElements(out_shape));
+  std::vector<float> out = pool::AcquireUninit(NumElements(out_shape));
   kernels::CopyStridedBlocks(a.data().data() + start * inner, out.data(),
                              outer, len * inner, dim_size * inner,
                              len * inner);
@@ -147,7 +149,7 @@ Tensor Concat(const std::vector<Tensor>& tensors, int64_t dim) {
   int64_t inner = 1;
   for (int64_t d = dim + 1; d < rank; ++d) inner *= out_shape[d];
 
-  std::vector<float> out(NumElements(out_shape));
+  std::vector<float> out = pool::AcquireUninit(NumElements(out_shape));
   int64_t offset = 0;  // running position along `dim`
   for (const Tensor& t : tensors) {
     const int64_t part = t.size(dim);
@@ -198,7 +200,7 @@ Tensor Stack(const std::vector<Tensor>& tensors, int64_t dim) {
 
 Tensor BroadcastTo(const Tensor& a, const Shape& shape) {
   const std::vector<int64_t> sa = BroadcastStrides(a.shape(), shape);
-  std::vector<float> out(NumElements(shape));
+  std::vector<float> out = pool::AcquireUninit(NumElements(shape));
   kernels::GatherStrided(shape, sa, a.data().data(), out.data());
   auto a_impl = a.impl();
   Shape out_shape = shape;

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "tensor/buffer_pool.h"
 #include "util/check.h"
 
 namespace timedrl {
@@ -20,8 +21,13 @@ NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
 
 NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
 
+TensorImpl::~TensorImpl() {
+  pool::Release(std::move(data));
+  pool::Release(std::move(grad));
+}
+
 std::vector<float>& TensorImpl::MutableGrad() {
-  if (grad.empty()) grad.assign(data.size(), 0.0f);
+  if (grad.empty()) grad = pool::Acquire(static_cast<int64_t>(data.size()));
   return grad;
 }
 
@@ -38,7 +44,12 @@ Tensor Tensor::Ones(const Shape& shape, bool requires_grad) {
 Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
-  impl->data.assign(NumElements(shape), value);
+  if (value == 0.0f) {
+    impl->data = pool::Acquire(NumElements(shape));
+  } else {
+    impl->data = pool::AcquireUninit(NumElements(shape));
+    std::fill(impl->data.begin(), impl->data.end(), value);
+  }
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
@@ -61,14 +72,14 @@ Tensor Tensor::Scalar(float value, bool requires_grad) {
 
 Tensor Tensor::Randn(const Shape& shape, Rng& rng, float mean, float stddev,
                      bool requires_grad) {
-  std::vector<float> values(NumElements(shape));
+  std::vector<float> values = pool::AcquireUninit(NumElements(shape));
   for (float& v : values) v = rng.Normal(mean, stddev);
   return FromVector(shape, std::move(values), requires_grad);
 }
 
 Tensor Tensor::Rand(const Shape& shape, Rng& rng, float lo, float hi,
                     bool requires_grad) {
-  std::vector<float> values(NumElements(shape));
+  std::vector<float> values = pool::AcquireUninit(NumElements(shape));
   for (float& v : values) v = rng.Uniform(lo, hi);
   return FromVector(shape, std::move(values), requires_grad);
 }
@@ -120,7 +131,10 @@ const std::vector<float>& Tensor::grad() const {
 bool Tensor::has_grad() const { return defined() && !impl_->grad.empty(); }
 
 Tensor Tensor::GradTensor() const {
-  return Tensor::FromVector(shape(), grad());
+  const std::vector<float>& g = grad();
+  std::vector<float> values = pool::AcquireUninit(numel());
+  std::copy(g.begin(), g.end(), values.begin());
+  return Tensor::FromVector(shape(), std::move(values));
 }
 
 float Tensor::item() const {
@@ -176,22 +190,27 @@ namespace {
 
 /// Iterative post-order DFS producing a topological order of the autograd
 /// graph rooted at `root` (parents appear before children in the result).
-std::vector<TensorImpl*> TopologicalOrder(TensorImpl* root) {
-  std::vector<TensorImpl*> order;
+/// The order holds strong references: eager graph release severs the
+/// child->parent edges mid-walk, and the order must keep not-yet-processed
+/// parents alive until their own closures have run.
+std::vector<std::shared_ptr<TensorImpl>> TopologicalOrder(
+    const std::shared_ptr<TensorImpl>& root) {
+  std::vector<std::shared_ptr<TensorImpl>> order;
   std::unordered_set<TensorImpl*> visited;
   struct Frame {
-    TensorImpl* node;
+    std::shared_ptr<TensorImpl> node;
     size_t next_parent;
   };
   std::vector<Frame> stack;
-  if (visited.insert(root).second) stack.push_back({root, 0});
+  if (visited.insert(root.get()).second) stack.push_back({root, 0});
   while (!stack.empty()) {
     Frame& frame = stack.back();
     if (frame.next_parent < frame.node->parents.size()) {
-      TensorImpl* parent = frame.node->parents[frame.next_parent++].get();
-      if (visited.insert(parent).second) stack.push_back({parent, 0});
+      const std::shared_ptr<TensorImpl>& parent =
+          frame.node->parents[frame.next_parent++];
+      if (visited.insert(parent.get()).second) stack.push_back({parent, 0});
     } else {
-      order.push_back(frame.node);
+      order.push_back(std::move(frame.node));
       stack.pop_back();
     }
   }
@@ -200,29 +219,45 @@ std::vector<TensorImpl*> TopologicalOrder(TensorImpl* root) {
 
 }  // namespace
 
-void Tensor::Backward() {
+void Tensor::Backward(bool retain_graph) {
   TIMEDRL_CHECK_EQ(numel(), 1)
       << "Backward() without a seed requires a one-element tensor";
-  Backward(Tensor::Ones(shape()));
+  Backward(Tensor::Ones(shape()), retain_graph);
 }
 
-void Tensor::Backward(const Tensor& grad_seed) {
+void Tensor::Backward(const Tensor& grad_seed, bool retain_graph) {
   TIMEDRL_CHECK(defined());
   TIMEDRL_CHECK(grad_seed.shape() == shape())
       << "grad seed shape " << ShapeToString(grad_seed.shape())
       << " != tensor shape " << ShapeToString(shape());
+  TIMEDRL_CHECK(!impl_->graph_released)
+      << "Backward() through an already-released graph; pass "
+         "retain_graph=true to the first Backward() to keep it";
 
   std::vector<float>& seed = impl_->MutableGrad();
   const std::vector<float>& seed_values = grad_seed.data();
   for (size_t i = 0; i < seed.size(); ++i) seed[i] += seed_values[i];
 
-  std::vector<TensorImpl*> order = TopologicalOrder(impl_.get());
+  std::vector<std::shared_ptr<TensorImpl>> order = TopologicalOrder(impl_);
   // `order` is post-order (parents first); propagate children-to-parents by
   // walking it in reverse.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    TensorImpl* node = *it;
+    TensorImpl* node = it->get();
     if (node->backward_fn && !node->grad.empty()) {
       node->backward_fn(*node);
+    }
+    if (!retain_graph) {
+      // This node's closure has run and every child was processed earlier,
+      // so its edges are dead weight. Dropping them (and our keep-alive
+      // reference) lets intermediates with no outside Tensor handle be
+      // destroyed right here, returning their buffers to the pool while the
+      // rest of the backward still runs.
+      if (node->backward_fn) {
+        node->backward_fn = nullptr;
+        node->graph_released = true;
+      }
+      node->parents.clear();
+      it->reset();
     }
   }
 }
@@ -236,7 +271,9 @@ Tensor Tensor::Detach() const {
   TIMEDRL_CHECK(defined());
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;  // copy: detached view must not alias grads/graph
+  // Copy: a detached view must not alias grads/graph.
+  impl->data = pool::AcquireUninit(impl_->numel());
+  std::copy(impl_->data.begin(), impl_->data.end(), impl->data.begin());
   impl->requires_grad = false;
   return Tensor(std::move(impl));
 }
@@ -245,7 +282,8 @@ Tensor Tensor::Clone() const {
   TIMEDRL_CHECK(defined());
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;
+  impl->data = pool::AcquireUninit(impl_->numel());
+  std::copy(impl_->data.begin(), impl_->data.end(), impl->data.begin());
   impl->requires_grad = impl_->requires_grad;
   return Tensor(std::move(impl));
 }

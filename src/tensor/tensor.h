@@ -34,11 +34,16 @@ struct TensorImpl {
   /// Gradient buffer; empty until first accumulation.
   std::vector<float> grad;
   bool requires_grad = false;
+  /// Set when Backward(retain_graph=false) consumed this node's edges.
+  bool graph_released = false;
 
   /// Autograd graph edges: inputs that produced this tensor.
   std::vector<std::shared_ptr<TensorImpl>> parents;
   /// Propagates `this->grad` into `parents`' grads. Null for leaves.
   std::function<void(TensorImpl&)> backward_fn;
+
+  /// Returns data and grad storage to the buffer pool (see buffer_pool.h).
+  ~TensorImpl();
 
   int64_t numel() const { return NumElements(shape); }
 
@@ -119,8 +124,17 @@ class Tensor {
 
   /// Runs backpropagation from this tensor. If `grad_seed` is not provided,
   /// this tensor must hold a single element and is seeded with 1.
-  void Backward();
-  void Backward(const Tensor& grad_seed);
+  ///
+  /// By default the graph is released eagerly: as soon as a node's closure
+  /// has run, its parent edges and closure are dropped, so intermediate
+  /// activation buffers return to the buffer pool mid-backward instead of at
+  /// end of step. Leaf data and leaf grads are never touched, and any node
+  /// still held by a Tensor handle keeps its data/grad — only the graph
+  /// wiring goes away. Pass `retain_graph = true` to keep the graph for a
+  /// second Backward over the same nodes; calling Backward again on a
+  /// released graph dies with a CHECK.
+  void Backward(bool retain_graph = false);
+  void Backward(const Tensor& grad_seed, bool retain_graph = false);
 
   /// Clears this tensor's accumulated gradient.
   void ZeroGrad();

@@ -1,0 +1,182 @@
+// Unit tests for the size-bucketed tensor buffer pool: bucket rounding,
+// recycle hits, the zero-fill contract, cross-thread release, the disable
+// flag, and the allocation-stats counters.
+
+#include "tensor/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace timedrl::pool {
+namespace {
+
+// Every test starts from an empty, enabled pool with clean counters and
+// leaves the pool in that state, so tests compose in any order.
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    Clear();
+    ResetStats();
+  }
+  void TearDown() override {
+    SetEnabled(true);
+    Clear();
+    ResetStats();
+  }
+};
+
+TEST_F(BufferPoolTest, AcquireRoundsCapacityToPowerOfTwo) {
+  std::vector<float> buffer = Acquire(100);
+  EXPECT_EQ(buffer.size(), 100u);
+  EXPECT_EQ(buffer.capacity(), 128u);
+
+  std::vector<float> exact = Acquire(256);
+  EXPECT_EQ(exact.size(), 256u);
+  EXPECT_EQ(exact.capacity(), 256u);
+
+  Release(std::move(buffer));
+  Release(std::move(exact));
+}
+
+TEST_F(BufferPoolTest, AcquireIsZeroFilledEvenWhenRecycled) {
+  std::vector<float> buffer = Acquire(64);
+  for (float& v : buffer) v = 123.0f;
+  Release(std::move(buffer));
+
+  std::vector<float> recycled = Acquire(64);
+  ASSERT_EQ(recycled.size(), 64u);
+  for (float v : recycled) EXPECT_EQ(v, 0.0f);
+  EXPECT_EQ(GetStats().hits, 1u);
+  Release(std::move(recycled));
+}
+
+TEST_F(BufferPoolTest, ReleaseThenAcquireHitsSameBucket) {
+  // 100 and 65 both round to the 128-float bucket.
+  std::vector<float> buffer = Acquire(100);
+  Release(std::move(buffer));
+
+  const Stats before = GetStats();
+  EXPECT_EQ(before.returned, 1u);
+
+  std::vector<float> recycled = AcquireUninit(65);
+  EXPECT_EQ(recycled.size(), 65u);
+  EXPECT_EQ(recycled.capacity(), 128u);
+  const Stats after = GetStats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses);
+  Release(std::move(recycled));
+}
+
+TEST_F(BufferPoolTest, MissesCountFreshAllocations) {
+  std::vector<float> a = Acquire(32);
+  std::vector<float> b = Acquire(32);
+  const Stats stats = GetStats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  Release(std::move(a));
+  Release(std::move(b));
+}
+
+TEST_F(BufferPoolTest, DisableFlagBypassesPool) {
+  SetEnabled(false);
+  EXPECT_FALSE(Enabled());
+
+  std::vector<float> buffer = Acquire(64);
+  EXPECT_EQ(buffer.size(), 64u);
+  for (float v : buffer) EXPECT_EQ(v, 0.0f);
+  Release(std::move(buffer));
+
+  // Disabled acquires/releases never touch the pool or its counters.
+  const Stats stats = GetStats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.returned, 0u);
+  EXPECT_EQ(stats.bytes_pooled, 0);
+
+  SetEnabled(true);
+  std::vector<float> fresh = Acquire(64);
+  EXPECT_EQ(GetStats().misses, 1u) << "disabled release must not seed the pool";
+  Release(std::move(fresh));
+}
+
+TEST_F(BufferPoolTest, ForeignCapacityIsDroppedNotPooled) {
+  // A vector whose capacity is not a power of two (e.g. from plain reserve)
+  // can't be bucketed; Release must refuse it rather than misfile it.
+  std::vector<float> foreign;
+  foreign.reserve(100);
+  foreign.resize(100);
+  Release(std::move(foreign));
+
+  const Stats stats = GetStats();
+  EXPECT_EQ(stats.dropped, 1u);
+  EXPECT_EQ(stats.returned, 0u);
+  EXPECT_EQ(stats.bytes_pooled, 0);
+}
+
+TEST_F(BufferPoolTest, CrossThreadReleaseReachesOtherThreads) {
+  // A worker thread acquires and releases; after its thread cache flushes
+  // (explicitly here, and implicitly at thread exit), the main thread's next
+  // acquire of that bucket must hit.
+  std::thread worker([] {
+    std::vector<float> buffer = Acquire(512);
+    Release(std::move(buffer));
+    FlushThreadCache();
+  });
+  worker.join();
+
+  const Stats before = GetStats();
+  std::vector<float> recycled = Acquire(512);
+  const Stats after = GetStats();
+  EXPECT_EQ(after.hits, before.hits + 1)
+      << "buffer released on another thread was not visible";
+  Release(std::move(recycled));
+}
+
+TEST_F(BufferPoolTest, ThreadExitFlushesCacheWithoutExplicitFlush) {
+  std::thread worker([] {
+    std::vector<float> buffer = Acquire(1024);
+    Release(std::move(buffer));
+    // No FlushThreadCache(): the cache destructor must hand the buffer to
+    // the global pool when the thread dies.
+  });
+  worker.join();
+
+  std::vector<float> recycled = Acquire(1024);
+  EXPECT_EQ(GetStats().hits, 1u);
+  Release(std::move(recycled));
+}
+
+TEST_F(BufferPoolTest, StatsTrackLiveAndPooledBytes) {
+  const int64_t bucket_bytes = 128 * static_cast<int64_t>(sizeof(float));
+  const Stats base = GetStats();
+
+  std::vector<float> buffer = Acquire(100);
+  Stats stats = GetStats();
+  EXPECT_EQ(stats.bytes_live, base.bytes_live + bucket_bytes);
+  EXPECT_EQ(stats.bytes_pooled, base.bytes_pooled);
+  EXPECT_GE(stats.high_water_bytes, base.bytes_live + bucket_bytes);
+
+  Release(std::move(buffer));
+  stats = GetStats();
+  EXPECT_EQ(stats.bytes_live, base.bytes_live);
+  EXPECT_EQ(stats.bytes_pooled, base.bytes_pooled + bucket_bytes);
+
+  Clear();
+  stats = GetStats();
+  EXPECT_EQ(stats.bytes_pooled, 0);
+}
+
+TEST_F(BufferPoolTest, ZeroAndNegativeSizesYieldEmptyBuffers) {
+  EXPECT_TRUE(Acquire(0).empty());
+  EXPECT_TRUE(AcquireUninit(0).empty());
+  EXPECT_TRUE(Acquire(-4).empty());
+  const Stats stats = GetStats();
+  EXPECT_EQ(stats.hits + stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace timedrl::pool

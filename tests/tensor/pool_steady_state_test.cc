@@ -1,0 +1,151 @@
+// Steady-state regression tests for the pooled training loop:
+//  1. After a warmup pass has populated the pool, further full training
+//     steps (forward + backward + clip + AdamW) allocate nothing new —
+//     zero pool misses.
+//  2. Training with the pool enabled is bitwise identical to training with
+//     it disabled: same losses, same gradients, same updated parameters.
+// Together these pin the pool's two contracts: it only RECYCLES memory
+// (never changes what the kernels compute) and in steady state it serves
+// every request from its free lists.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "core/model.h"
+#include "optim/optimizer.h"
+#include "tensor/buffer_pool.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace timedrl {
+namespace {
+
+core::TimeDrlConfig SmallConfig() {
+  core::TimeDrlConfig config;
+  config.input_channels = 2;
+  config.input_length = 32;
+  config.patch_length = 8;
+  config.patch_stride = 8;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.ff_dim = 32;
+  config.num_layers = 2;
+  return config;
+}
+
+struct TrainResult {
+  std::vector<float> losses;
+  std::vector<std::pair<std::string, std::vector<float>>> grads;
+  std::vector<std::pair<std::string, std::vector<float>>> params;
+};
+
+// Deterministic multi-step training run: fixed seeds for model, data, and
+// dropout, so two runs differ only through the allocator they use.
+TrainResult TrainSteps(int steps) {
+  const core::TimeDrlConfig config = SmallConfig();
+  Rng rng(42);
+  core::TimeDrlModel model(config, rng);
+  model.Train();
+  optim::AdamW optimizer(model.Parameters(), /*learning_rate=*/1e-3f,
+                         /*weight_decay=*/1e-2f);
+  Rng data_rng(7);
+
+  TrainResult result;
+  for (int i = 0; i < steps; ++i) {
+    Tensor x = Tensor::Randn({4, config.input_length, config.input_channels},
+                             data_rng);
+    auto output = model.PretextStep(x);
+    optimizer.ZeroGrad();
+    output.total.Backward();
+    optim::ClipGradNorm(optimizer.parameters(), /*max_norm=*/5.0f);
+    optimizer.Step();
+    result.losses.push_back(output.total.item());
+  }
+  for (const auto& [name, param] : model.NamedParameters()) {
+    result.grads.emplace_back(
+        name, param.has_grad() ? param.grad() : std::vector<float>{});
+    result.params.emplace_back(name, param.data());
+  }
+  return result;
+}
+
+class PoolSteadyStateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pool::SetEnabled(true);
+    pool::Clear();
+    pool::ResetStats();
+  }
+  void TearDown() override {
+    pool::SetEnabled(true);
+    pool::Clear();
+    pool::ResetStats();
+  }
+};
+
+TEST_F(PoolSteadyStateTest, ZeroMissesAfterWarmup) {
+  const core::TimeDrlConfig config = SmallConfig();
+  Rng rng(42);
+  core::TimeDrlModel model(config, rng);
+  model.Train();
+  optim::AdamW optimizer(model.Parameters(), /*learning_rate=*/1e-3f,
+                         /*weight_decay=*/1e-2f);
+  Rng data_rng(7);
+
+  auto step = [&]() {
+    Tensor x = Tensor::Randn({4, config.input_length, config.input_channels},
+                             data_rng);
+    auto output = model.PretextStep(x);
+    optimizer.ZeroGrad();
+    output.total.Backward();
+    optim::ClipGradNorm(optimizer.parameters(), /*max_norm=*/5.0f);
+    optimizer.Step();
+  };
+
+  // Two warmup steps: the first allocates activations and grads, the second
+  // covers buffers whose lifetime spans a step boundary.
+  step();
+  step();
+  pool::ResetStats();
+
+  for (int i = 0; i < 4; ++i) step();
+
+  const pool::Stats stats = pool::GetStats();
+  EXPECT_EQ(stats.misses, 0u)
+      << "steady-state training still allocates fresh buffers";
+  EXPECT_GT(stats.hits, 0u);
+}
+
+TEST_F(PoolSteadyStateTest, TrainingBitwiseIdenticalWithPoolDisabled) {
+  pool::SetEnabled(false);
+  const TrainResult reference = TrainSteps(3);
+
+  pool::SetEnabled(true);
+  const TrainResult pooled = TrainSteps(3);
+
+  // Bitwise float equality, deliberately not EXPECT_NEAR: recycling a
+  // buffer must be indistinguishable from fresh allocation.
+  ASSERT_EQ(reference.losses.size(), pooled.losses.size());
+  for (size_t i = 0; i < reference.losses.size(); ++i) {
+    EXPECT_EQ(reference.losses[i], pooled.losses[i]) << "loss at step " << i;
+  }
+
+  ASSERT_EQ(reference.grads.size(), pooled.grads.size());
+  ASSERT_FALSE(reference.grads.empty());
+  for (size_t i = 0; i < reference.grads.size(); ++i) {
+    EXPECT_EQ(reference.grads[i].first, pooled.grads[i].first);
+    EXPECT_EQ(reference.grads[i].second, pooled.grads[i].second)
+        << "gradient of " << reference.grads[i].first
+        << " differs with the pool enabled";
+    EXPECT_EQ(reference.params[i].second, pooled.params[i].second)
+        << "parameter " << reference.params[i].first
+        << " differs with the pool enabled";
+  }
+}
+
+}  // namespace
+}  // namespace timedrl

@@ -165,5 +165,30 @@ TEST(TensorTest, GradTensor) {
   EXPECT_FLOAT_EQ(g.data()[1], 3.0f);
 }
 
+TEST(TensorTest, BackwardReleasesGraphByDefault) {
+  Tensor x = Tensor::Scalar(2.0f, /*requires_grad=*/true);
+  Tensor y = Mul(x, 3.0f);
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 3.0f);
+  // The graph was released node-by-node during the first walk; a second
+  // Backward() through it must fail loudly instead of silently no-opping.
+  EXPECT_DEATH(y.Backward(), "retain_graph");
+}
+
+TEST(TensorTest, RetainGraphAllowsSecondBackward) {
+  Tensor x = Tensor::Scalar(2.0f, /*requires_grad=*/true);
+  Tensor y = Mul(x, 3.0f);
+  y.Backward(/*retain_graph=*/true);
+  EXPECT_FLOAT_EQ(x.grad()[0], 3.0f);
+  // The retained graph keeps y's own grad too, so the second walk seeds
+  // with an accumulated dL/dy of 2: x picks up another 2*3.
+  y.Backward(/*retain_graph=*/true);
+  EXPECT_FLOAT_EQ(x.grad()[0], 9.0f);
+  // A final non-retaining walk (seed now 3) still works and releases the
+  // graph.
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 18.0f);
+}
+
 }  // namespace
 }  // namespace timedrl
