@@ -29,6 +29,12 @@
 
 #include "core/config.h"
 #include "core/model.h"
+#include "core/pretrainer.h"
+#include "core/sources.h"
+#include "data/synthetic.h"
+#include "data/windows.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/optimizer.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/tensor.h"
@@ -115,7 +121,8 @@ int Main() {
   pool::SetEnabled(true);
   auto pooled = std::make_unique<TrainState>();
   for (int i = 0; i < kWarmupSteps; ++i) pooled->Step(false);
-  pool::ResetStats();
+  const uint64_t misses_before =
+      obs::Registry::Global().GetCounter("pool.misses").value();
 
   std::vector<double> baseline_ms;
   std::vector<double> pooled_ms;
@@ -123,7 +130,9 @@ int Main() {
     baseline_ms.push_back(TimedSegment(*baseline, /*pooled=*/false));
     pooled_ms.push_back(TimedSegment(*pooled, /*pooled=*/true));
   }
-  const uint64_t steady_misses = pool::GetStats().misses;
+  const uint64_t steady_misses =
+      obs::Registry::Global().GetCounter("pool.misses").value() -
+      misses_before;
 
   if (baseline->last_loss != pooled->last_loss) {
     std::fprintf(stderr,
@@ -137,6 +146,57 @@ int Main() {
   const double pooled_med = Median(pooled_ms);
   const double speedup = baseline_med / pooled_med;
   const double improvement_pct = (1.0 - pooled_med / baseline_med) * 100.0;
+
+  // Instrumentation-overhead phase: the same pooled configuration with
+  // tracing toggled per segment, interleaved so machine drift cancels.
+  // Trace spans accumulate only in the traced segments.
+  const bool trace_was_enabled = obs::TraceEnabled();
+  std::vector<double> untraced_ms;
+  std::vector<double> traced_ms;
+  for (int segment = 0; segment < kSegments; ++segment) {
+    obs::SetTraceEnabled(false);
+    untraced_ms.push_back(TimedSegment(*pooled, /*pooled=*/true));
+    obs::SetTraceEnabled(true);
+    traced_ms.push_back(TimedSegment(*pooled, /*pooled=*/true));
+  }
+
+  // A short pre-training run while tracing is still on, so the exported
+  // trace shows the full hierarchy: epoch/step spans over autograd ops over
+  // kernels, next to pool and optimizer activity.
+  {
+    Rng trace_rng(11);
+    data::TimeSeries series = data::MakeEttLike(400, 24, 1, trace_rng);
+    data::ForecastingWindows windows(series, 32, 0, 4);
+    core::ForecastingSource source(&windows, /*channel_independent=*/true);
+    core::TimeDrlConfig small;
+    small.input_channels = 1;
+    small.input_length = 32;
+    small.patch_length = 8;
+    small.patch_stride = 8;
+    small.d_model = 16;
+    small.num_heads = 2;
+    small.ff_dim = 32;
+    small.num_layers = 1;
+    core::TimeDrlModel trace_model(small, trace_rng);
+    core::PretrainConfig pretrain;
+    pretrain.train.epochs = 2;
+    pretrain.train.batch_size = 16;
+    core::Pretrain(&trace_model, source, pretrain, trace_rng);
+  }
+  obs::SetTraceEnabled(trace_was_enabled);
+
+  const char* trace_out = std::getenv("TIMEDRL_TRACE_OUT");
+  const char* trace_file =
+      (trace_out != nullptr && trace_out[0] != '\0') ? trace_out
+                                                      : "trace_train_step.json";
+  const bool trace_written = obs::WriteChromeTraceFile(trace_file);
+  const uint64_t trace_events = obs::TraceEventCount();
+
+  const double untraced_med = Median(untraced_ms);
+  const double traced_med = Median(traced_ms);
+  const double trace_overhead_pct =
+      (traced_med / untraced_med - 1.0) * 100.0;
+
   std::printf(
       "{\n"
       "  \"benchmark\": \"e2e_train_step\",\n"
@@ -151,12 +211,20 @@ int Main() {
       "  \"improvement_pct\": %.2f,\n"
       "  \"steady_state_pool_misses\": %llu,\n"
       "  \"losses_bitwise_equal\": true,\n"
-      "  \"final_loss\": %.9g\n"
+      "  \"final_loss\": %.9g,\n"
+      "  \"untraced_ms_per_step\": %.4f,\n"
+      "  \"traced_ms_per_step\": %.4f,\n"
+      "  \"trace_overhead_pct\": %.2f,\n"
+      "  \"trace_events\": %llu,\n"
+      "  \"trace_file\": \"%s\",\n"
+      "  \"trace_written\": %s\n"
       "}\n",
       static_cast<long long>(kBatch), kWarmupSteps, kSegments,
       kStepsPerSegment, baseline_med, pooled_med, speedup, improvement_pct,
       static_cast<unsigned long long>(steady_misses),
-      double{pooled->last_loss});
+      double{pooled->last_loss}, untraced_med, traced_med, trace_overhead_pct,
+      static_cast<unsigned long long>(trace_events), trace_file,
+      trace_written ? "true" : "false");
   return 0;
 }
 

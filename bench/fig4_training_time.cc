@@ -48,8 +48,8 @@ void BM_TimeDRL(benchmark::State& state, const std::string& dataset_name) {
   data::ForecastingWindows windows = data->PretrainWindows(settings);
   core::ForecastingSource source(&windows, /*channel_independent=*/true);
   core::PretrainConfig pretrain_config;
-  pretrain_config.epochs = 1;
-  pretrain_config.batch_size = kBatchSize;
+  pretrain_config.train.epochs = 1;
+  pretrain_config.train.batch_size = kBatchSize;
 
   for (auto _ : state) {
     core::Pretrain(&model, source, pretrain_config, rng);
@@ -73,8 +73,8 @@ void BM_Baseline(benchmark::State& state, const std::string& method,
   data::ForecastingWindows windows = data->PretrainWindows(settings);
   core::ForecastingSource source(&windows, /*channel_independent=*/false);
   core::PretrainConfig pretrain_config;
-  pretrain_config.epochs = 1;
-  pretrain_config.batch_size = kBatchSize;
+  pretrain_config.train.epochs = 1;
+  pretrain_config.train.batch_size = kBatchSize;
 
   for (auto _ : state) {
     baselines::TrainSslBaseline(model.get(), source, pretrain_config, rng);

@@ -52,8 +52,8 @@ void RunForecasting(const Settings& settings, Rng& rng, TablePrinter* table) {
                                        horizon, settings.window_stride);
 
       core::DownstreamConfig finetune;
-      finetune.epochs = settings.FinetuneEpochs();
-      finetune.batch_size = settings.batch_size;
+      finetune.train.epochs = settings.FinetuneEpochs();
+      finetune.train.batch_size = settings.batch_size;
       finetune.fine_tune_encoder = true;
 
       // Supervised-only: same architecture, random init, labeled data only.
@@ -110,8 +110,8 @@ void RunClassification(const Settings& settings, Rng& rng,
       data::ClassificationDataset labeled = data.train.Subset(labeled_indices);
 
       core::DownstreamConfig finetune;
-      finetune.epochs = settings.FinetuneEpochs();
-      finetune.batch_size = settings.batch_size;
+      finetune.train.epochs = settings.FinetuneEpochs();
+      finetune.train.batch_size = settings.batch_size;
       finetune.fine_tune_encoder = true;
 
       // Supervised-only.

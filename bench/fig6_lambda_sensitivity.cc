@@ -62,8 +62,8 @@ void Run() {
     core::ForecastingSource source(&pretrain_windows,
                                    /*channel_independent=*/true);
     core::PretrainConfig pretrain_config;
-    pretrain_config.epochs = settings.SslEpochs();
-    pretrain_config.batch_size = settings.batch_size;
+    pretrain_config.train.epochs = settings.SslEpochs();
+    pretrain_config.train.batch_size = settings.batch_size;
     core::Pretrain(forecast_model.get(), source, pretrain_config,
                    forecast_rng);
     ForecastCell cell = EvalTimeDrlForecast(forecast_model.get(),

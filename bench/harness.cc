@@ -111,8 +111,8 @@ std::unique_ptr<core::TimeDrlModel> PretrainTimeDrlForecast(
   data::ForecastingWindows windows = data.PretrainWindows(settings);
   core::ForecastingSource source(&windows, /*channel_independent=*/true);
   core::PretrainConfig pretrain_config;
-  pretrain_config.epochs = settings.SslEpochs();
-  pretrain_config.batch_size = settings.batch_size;
+  pretrain_config.train.epochs = settings.SslEpochs();
+  pretrain_config.train.batch_size = settings.batch_size;
   core::Pretrain(model.get(), source, pretrain_config, rng);
   return model;
 }
@@ -123,8 +123,8 @@ ForecastCell EvalTimeDrlForecast(core::TimeDrlModel* model,
   core::ForecastingPipeline pipeline(model, horizon, data.channels,
                                      /*channel_independent=*/true, rng);
   core::DownstreamConfig config;
-  config.epochs = settings.ProbeEpochs();
-  config.batch_size = settings.batch_size;
+  config.train.epochs = settings.ProbeEpochs();
+  config.train.batch_size = settings.batch_size;
   data::ForecastingWindows train = data.TrainWindows(horizon, settings);
   data::ForecastingWindows test = data.TestWindows(horizon, settings);
   pipeline.Train(train, config, rng);
@@ -191,8 +191,8 @@ std::unique_ptr<baselines::SslBaseline> PretrainBaselineForecast(
   data::ForecastingWindows windows = data.PretrainWindows(settings);
   core::ForecastingSource source(&windows, /*channel_independent=*/false);
   core::PretrainConfig config;
-  config.epochs = settings.SslEpochs();
-  config.batch_size = settings.batch_size;
+  config.train.epochs = settings.SslEpochs();
+  config.train.batch_size = settings.batch_size;
   baselines::TrainSslBaseline(model.get(), source, config, rng);
   return model;
 }
@@ -202,8 +202,8 @@ ForecastCell EvalBaselineForecast(baselines::SslBaseline* model,
                                   const Settings& settings, Rng& rng) {
   baselines::BaselineForecastProbe probe(model, horizon, data.channels, rng);
   core::DownstreamConfig config;
-  config.epochs = settings.ProbeEpochs();
-  config.batch_size = settings.batch_size;
+  config.train.epochs = settings.ProbeEpochs();
+  config.train.batch_size = settings.batch_size;
   data::ForecastingWindows train = data.TrainWindows(horizon, settings);
   data::ForecastingWindows test = data.TestWindows(horizon, settings);
   probe.Train(train, config, rng);
@@ -226,8 +226,8 @@ ForecastCell EvalEndToEndForecast(const std::string& name,
     TIMEDRL_CHECK(false) << "unknown end-to-end baseline: " << name;
   }
   core::DownstreamConfig config;
-  config.epochs = settings.E2eEpochs();
-  config.batch_size = settings.batch_size;
+  config.train.epochs = settings.E2eEpochs();
+  config.train.batch_size = settings.batch_size;
   data::ForecastingWindows train = data.TrainWindows(horizon, settings);
   data::ForecastingWindows test = data.TestWindows(horizon, settings);
   baselines::TrainEndToEnd(model.get(), train, config, rng);
@@ -267,8 +267,8 @@ std::unique_ptr<core::TimeDrlModel> PretrainTimeDrlClassify(
 
   core::ClassificationSource source(&data.train);
   core::PretrainConfig pretrain_config;
-  pretrain_config.epochs = settings.SslEpochs();
-  pretrain_config.batch_size = settings.batch_size;
+  pretrain_config.train.epochs = settings.SslEpochs();
+  pretrain_config.train.batch_size = settings.batch_size;
   core::Pretrain(model.get(), source, pretrain_config, rng);
   return model;
 }
@@ -281,8 +281,8 @@ core::ClassificationMetrics EvalTimeDrlClassify(core::TimeDrlModel* model,
   core::ClassificationPipeline pipeline(model, data.train.num_classes,
                                         pooling, rng);
   core::DownstreamConfig config;
-  config.epochs = settings.ProbeEpochs();
-  config.batch_size = settings.batch_size;
+  config.train.epochs = settings.ProbeEpochs();
+  config.train.batch_size = settings.batch_size;
   pipeline.Train(data.train, config, rng);
   return pipeline.Evaluate(data.test);
 }
@@ -295,15 +295,15 @@ core::ClassificationMetrics EvalBaselineClassify(const std::string& name,
       name, data.train.channels, data.train.num_classes, settings, rng);
   core::ClassificationSource source(&data.train);
   core::PretrainConfig pretrain_config;
-  pretrain_config.epochs = settings.SslEpochs();
-  pretrain_config.batch_size = settings.batch_size;
+  pretrain_config.train.epochs = settings.SslEpochs();
+  pretrain_config.train.batch_size = settings.batch_size;
   baselines::TrainSslBaseline(model.get(), source, pretrain_config, rng);
 
   baselines::BaselineClassifyProbe probe(model.get(), data.train.num_classes,
                                          rng);
   core::DownstreamConfig config;
-  config.epochs = settings.ProbeEpochs();
-  config.batch_size = settings.batch_size;
+  config.train.epochs = settings.ProbeEpochs();
+  config.train.batch_size = settings.batch_size;
   probe.Train(data.train, config, rng);
   return probe.Evaluate(data.test);
 }

@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Runs the end-to-end training-step benchmark and records its JSON output at
-# the repo root as BENCH_train_step.json. Build first:
+# the repo root as BENCH_train_step.json. The benchmark also times a
+# trace-enabled phase (instrumentation overhead appears in the JSON as
+# trace_overhead_pct) and exports a chrome://tracing file; by default that
+# trace lands in the build tree, overridable via TIMEDRL_TRACE_OUT.
+# Build first:
 #   cmake -B build -S . && cmake --build build -j --target e2e_train_step
 set -euo pipefail
 
@@ -13,6 +17,9 @@ if [[ ! -x "${bench_bin}" ]]; then
   exit 1
 fi
 
+trace_out="${TIMEDRL_TRACE_OUT:-${repo_root}/build/trace_train_step.json}"
+
 out="${repo_root}/BENCH_train_step.json"
-"${bench_bin}" | tee "${out}"
+TIMEDRL_TRACE_OUT="${trace_out}" "${bench_bin}" | tee "${out}"
 echo "wrote ${out}" >&2
+echo "trace: ${trace_out} (open at chrome://tracing or ui.perfetto.dev)" >&2

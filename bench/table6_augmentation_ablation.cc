@@ -23,8 +23,8 @@ double RunWithAugmentation(const ForecastData& data, augment::Kind kind,
   data::ForecastingWindows windows = data.PretrainWindows(settings);
   core::ForecastingSource source(&windows, /*channel_independent=*/true);
   core::PretrainConfig pretrain_config;
-  pretrain_config.epochs = settings.SslEpochs();
-  pretrain_config.batch_size = settings.batch_size;
+  pretrain_config.train.epochs = settings.SslEpochs();
+  pretrain_config.train.batch_size = settings.batch_size;
   pretrain_config.augmentation = kind;
   core::Pretrain(model.get(), source, pretrain_config, rng);
 

@@ -22,8 +22,8 @@ double RunWithBackbone(const ForecastData& data, nn::BackboneKind kind,
   data::ForecastingWindows windows = data.PretrainWindows(settings);
   core::ForecastingSource source(&windows, /*channel_independent=*/true);
   core::PretrainConfig pretrain_config;
-  pretrain_config.epochs = settings.SslEpochs();
-  pretrain_config.batch_size = settings.batch_size;
+  pretrain_config.train.epochs = settings.SslEpochs();
+  pretrain_config.train.batch_size = settings.batch_size;
   core::Pretrain(model.get(), source, pretrain_config, rng);
 
   return EvalTimeDrlForecast(model.get(), data, horizon, settings, rng).mse;

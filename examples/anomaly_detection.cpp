@@ -70,7 +70,7 @@ int main() {
   core::ForecastingSource source(&train_windows,
                                  /*channel_independent=*/false);
   core::PretrainConfig pretrain;
-  pretrain.epochs = 10;
+  pretrain.train.epochs = 10;
   core::Pretrain(&model, source, pretrain, rng);
   std::printf("pre-trained on %lld normal windows\n",
               static_cast<long long>(train_windows.size()));

@@ -47,7 +47,7 @@ int main() {
 
   core::ClassificationSource source(&splits.train);
   core::PretrainConfig pretrain;
-  pretrain.epochs = 20;
+  pretrain.train.epochs = 20;
   core::PretrainHistory history = core::Pretrain(&model, source, pretrain,
                                                  rng);
   std::printf("pretext loss %.3f -> %.3f\n", history.total.front(),
@@ -57,8 +57,8 @@ int main() {
   core::ClassificationPipeline pipeline(&model, dataset.num_classes,
                                         core::Pooling::kCls, rng);
   core::DownstreamConfig probe;
-  probe.epochs = 30;
-  probe.learning_rate = 3e-3f;
+  probe.train.epochs = 30;
+  probe.train.learning_rate = 3e-3f;
   pipeline.Train(splits.train, probe, rng);
   core::ClassificationMetrics result = pipeline.Evaluate(splits.test);
   std::printf("\nlinear evaluation:  ACC %.2f%%  MF1 %.2f%%  kappa %.2f%%\n",

@@ -47,7 +47,7 @@ double RunProbe(core::TimeDrlModel* model, const data::TimeSeries& train,
   core::ForecastingPipeline pipeline(model, horizon, train.channels,
                                      /*channel_independent=*/true, rng);
   core::DownstreamConfig config;
-  config.epochs = 8;
+  config.train.epochs = 8;
   config.fine_tune_encoder = fine_tune;
   pipeline.Train(train_windows, config, rng);
   return pipeline.Evaluate(test_windows).mse;
@@ -84,8 +84,7 @@ int main() {
   data::ForecastingWindows unlabeled(train, kInputLength, 0, 2);
   core::ForecastingSource source(&unlabeled, /*channel_independent=*/true);
   core::PretrainConfig pretrain;
-  pretrain.epochs = 10;
-  pretrain.verbose = false;
+  pretrain.train.epochs = 10;
 
   std::printf("\n%-10s %-12s %-12s %-12s\n", "Horizon", "LinearEval",
               "FineTuned", "Scratch");

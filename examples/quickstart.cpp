@@ -18,6 +18,7 @@
 #include "data/scaler.h"
 #include "data/synthetic.h"
 #include "data/windows.h"
+#include "obs/observer.h"
 
 using namespace timedrl;  // NOLINT: example brevity
 
@@ -57,8 +58,12 @@ int main() {
                                      /*horizon=*/0, /*stride=*/2);
   core::ForecastingSource source(&unlabeled, /*channel_independent=*/true);
   core::PretrainConfig pretrain;
-  pretrain.epochs = 8;
-  pretrain.batch_size = 32;
+  pretrain.train.epochs = 8;
+  pretrain.train.batch_size = 32;
+  // Observers replace the old `verbose` flag: ConsoleObserver logs one line
+  // per epoch, MetricsObserver feeds the process-wide metrics registry.
+  obs::ConsoleObserver console;
+  pretrain.train.observer = &console;
   core::PretrainHistory history =
       core::Pretrain(&model, source, pretrain, rng);
   std::printf("pretext loss: %.4f -> %.4f (L_P %.4f -> %.4f, L_C %.4f -> "
@@ -77,7 +82,7 @@ int main() {
   core::ForecastingPipeline pipeline(&model, horizon, series.channels,
                                      /*channel_independent=*/true, rng);
   core::DownstreamConfig probe;
-  probe.epochs = 8;
+  probe.train.epochs = 8;
   pipeline.Train(train_windows, probe, rng);
   core::ForecastMetrics metrics = pipeline.Evaluate(test_windows);
   std::printf("forecast (T=%lld): MSE %.3f, MAE %.3f\n",

@@ -42,7 +42,7 @@ int main() {
               static_cast<long long>(splits.test.size()));
 
   core::DownstreamConfig finetune;
-  finetune.epochs = 12;
+  finetune.train.epochs = 12;
   finetune.fine_tune_encoder = true;
 
   std::printf("\n%-10s %-16s %-16s\n", "Labels", "Supervised ACC",
@@ -72,7 +72,7 @@ int main() {
     core::TimeDrlModel model(ModelConfig(dataset), ours_rng);
     core::ClassificationSource source(&splits.train);  // labels unused
     core::PretrainConfig pretrain;
-    pretrain.epochs = 15;
+    pretrain.train.epochs = 15;
     core::Pretrain(&model, source, pretrain, ours_rng);
     core::ClassificationPipeline ours(&model, dataset.num_classes,
                                       core::Pooling::kCls, ours_rng);

@@ -4,9 +4,9 @@
 #include <limits>
 
 #include "data/loader.h"
+#include "obs/trace.h"
 #include "optim/optimizer.h"
 #include "util/check.h"
-#include "util/logging.h"
 
 namespace timedrl::baselines {
 
@@ -16,33 +16,57 @@ std::vector<double> TrainSslBaseline(SslBaseline* model,
                                      Rng& rng) {
   TIMEDRL_CHECK(model != nullptr);
   TIMEDRL_CHECK_GT(source.size(), 0);
-  optim::AdamW optimizer(model->TrainableParameters(), config.learning_rate,
-                         config.weight_decay);
-  data::BatchIterator batches(source.size(), config.batch_size,
+  const core::TrainConfig& train = config.train;
+  optim::AdamW optimizer(model->TrainableParameters(), train.learning_rate,
+                         train.weight_decay);
+  data::BatchIterator batches(source.size(), train.batch_size,
                               /*shuffle=*/true, rng);
   std::vector<double> history;
   model->Train();
   std::vector<int64_t> indices;
-  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int64_t epoch = 0; epoch < train.epochs; ++epoch) {
+    TIMEDRL_TRACE_SCOPE_CAT("baseline/epoch", "train");
     double total = 0.0;
+    double grad_norm_sum = 0.0;
     int64_t steps = 0;
     batches.Reset();
     while (batches.Next(&indices)) {
       if (static_cast<int64_t>(indices.size()) < 2) continue;
+      TIMEDRL_TRACE_SCOPE_CAT("baseline/step", "train");
       Tensor loss = model->PretextLoss(source.GetWindows(indices));
       optimizer.ZeroGrad();
       loss.Backward();
-      optim::ClipGradNorm(optimizer.parameters(), config.clip_norm);
+      const float grad_norm =
+          optim::ClipGradNorm(optimizer.parameters(), train.clip_norm);
       optimizer.Step();
       total += loss.item();
+      grad_norm_sum += grad_norm;
+      if (train.observer != nullptr) {
+        obs::StepStats step_stats;
+        step_stats.epoch = epoch;
+        step_stats.step = steps;
+        step_stats.batch_size = static_cast<int64_t>(indices.size());
+        step_stats.loss = loss.item();
+        step_stats.grad_norm = grad_norm;
+        step_stats.learning_rate = train.learning_rate;
+        train.observer->OnStep(step_stats);
+      }
       ++steps;
     }
     TIMEDRL_CHECK_GT(steps, 0);
     model->OnEpochEnd();
     history.push_back(total / steps);
-    if (config.verbose) {
-      TIMEDRL_LOG_INFO << model->name() << " epoch " << epoch + 1 << "/"
-                       << config.epochs << " loss=" << history.back();
+    if (train.observer != nullptr) {
+      obs::EpochStats epoch_stats;
+      epoch_stats.phase = model->name();
+      epoch_stats.loss_label = "loss";
+      epoch_stats.epoch = epoch;
+      epoch_stats.num_epochs = train.epochs;
+      epoch_stats.steps = steps;
+      epoch_stats.loss = history.back();
+      epoch_stats.grad_norm = grad_norm_sum / steps;
+      epoch_stats.learning_rate = train.learning_rate;
+      train.observer->OnEpochEnd(epoch_stats);
     }
   }
   model->Eval();
@@ -52,20 +76,21 @@ std::vector<double> TrainSslBaseline(SslBaseline* model,
 void TrainEndToEnd(EndToEndForecaster* model,
                    const data::ForecastingWindows& train,
                    const core::DownstreamConfig& config, Rng& rng) {
-  optim::AdamW optimizer(model->Parameters(), config.learning_rate,
-                         config.weight_decay);
-  data::BatchIterator batches(train.size(), config.batch_size,
+  const core::TrainConfig& tc = config.train;
+  optim::AdamW optimizer(model->Parameters(), tc.learning_rate,
+                         tc.weight_decay);
+  data::BatchIterator batches(train.size(), tc.batch_size,
                               /*shuffle=*/true, rng);
   model->Train();
   std::vector<int64_t> indices;
-  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int64_t epoch = 0; epoch < tc.epochs; ++epoch) {
     batches.Reset();
     while (batches.Next(&indices)) {
       auto [x, y] = train.GetBatch(indices);
       Tensor loss = MseLoss(model->Forecast(x), y);
       optimizer.ZeroGrad();
       loss.Backward();
-      optim::ClipGradNorm(optimizer.parameters(), config.clip_norm);
+      optim::ClipGradNorm(optimizer.parameters(), tc.clip_norm);
       optimizer.Step();
     }
   }
@@ -124,14 +149,15 @@ Tensor BaselineForecastProbe::Predict(const Tensor& x) {
 void BaselineForecastProbe::Train(const data::ForecastingWindows& train,
                                   const core::DownstreamConfig& config,
                                   Rng& rng) {
-  optim::AdamW optimizer(head_->Parameters(), config.learning_rate,
-                         config.weight_decay);
-  data::BatchIterator batches(train.size(), config.batch_size,
+  const core::TrainConfig& tc = config.train;
+  optim::AdamW optimizer(head_->Parameters(), tc.learning_rate,
+                         tc.weight_decay);
+  data::BatchIterator batches(train.size(), tc.batch_size,
                               /*shuffle=*/true, rng);
   model_->Eval();
   head_->Train();
   std::vector<int64_t> indices;
-  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int64_t epoch = 0; epoch < tc.epochs; ++epoch) {
     batches.Reset();
     while (batches.Next(&indices)) {
       auto [x, y] = train.GetBatch(indices);
@@ -181,14 +207,15 @@ BaselineClassifyProbe::BaselineClassifyProbe(RepresentationModel* model,
 void BaselineClassifyProbe::Train(const data::ClassificationDataset& train,
                                   const core::DownstreamConfig& config,
                                   Rng& rng) {
-  optim::AdamW optimizer(head_->Parameters(), config.learning_rate,
-                         config.weight_decay);
-  data::BatchIterator batches(train.size(), config.batch_size,
+  const core::TrainConfig& tc = config.train;
+  optim::AdamW optimizer(head_->Parameters(), tc.learning_rate,
+                         tc.weight_decay);
+  data::BatchIterator batches(train.size(), tc.batch_size,
                               /*shuffle=*/true, rng);
   model_->Eval();
   head_->Train();
   std::vector<int64_t> indices;
-  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int64_t epoch = 0; epoch < tc.epochs; ++epoch) {
     batches.Reset();
     while (batches.Next(&indices)) {
       auto [x, labels] = train.GetBatch(indices);

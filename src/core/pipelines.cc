@@ -3,13 +3,44 @@
 #include "data/loader.h"
 #include "data/patching.h"
 #include "metrics/metrics.h"
+#include "obs/trace.h"
 #include "optim/optimizer.h"
 #include "tensor/ops.h"
 #include "util/check.h"
-#include "util/logging.h"
 
 namespace timedrl::core {
 namespace {
+
+/// Reports one downstream-head epoch to the configured observer (if any).
+void ReportEpoch(const TrainConfig& train, const char* phase,
+                 const char* loss_label, int64_t epoch, int64_t steps,
+                 double mean_loss, double mean_grad_norm) {
+  if (train.observer == nullptr) return;
+  obs::EpochStats epoch_stats;
+  epoch_stats.phase = phase;
+  epoch_stats.loss_label = loss_label;
+  epoch_stats.epoch = epoch;
+  epoch_stats.num_epochs = train.epochs;
+  epoch_stats.steps = steps;
+  epoch_stats.loss = mean_loss;
+  epoch_stats.grad_norm = mean_grad_norm;
+  epoch_stats.learning_rate = train.learning_rate;
+  train.observer->OnEpochEnd(epoch_stats);
+}
+
+/// Reports one optimizer step to the configured observer (if any).
+void ReportStep(const TrainConfig& train, int64_t epoch, int64_t step,
+                int64_t batch_size, double loss, double grad_norm) {
+  if (train.observer == nullptr) return;
+  obs::StepStats step_stats;
+  step_stats.epoch = epoch;
+  step_stats.step = step;
+  step_stats.batch_size = batch_size;
+  step_stats.loss = loss;
+  step_stats.grad_norm = grad_norm;
+  step_stats.learning_rate = train.learning_rate;
+  train.observer->OnStep(step_stats);
+}
 
 /// Parameters to optimize for a downstream run: the head, plus the encoder
 /// when fine-tuning.
@@ -79,10 +110,11 @@ void ForecastingPipeline::Train(const data::ForecastingWindows& train,
                                 const DownstreamConfig& config, Rng& rng) {
   TIMEDRL_CHECK_EQ(train.horizon(), horizon_);
   TIMEDRL_CHECK_EQ(train.channels(), channels_);
+  const TrainConfig& tc = config.train;
   optim::AdamW optimizer(
       CollectParameters(head_.get(), model_, config.fine_tune_encoder),
-      config.learning_rate, config.weight_decay);
-  data::BatchIterator batches(train.size(), config.batch_size,
+      tc.learning_rate, tc.weight_decay);
+  data::BatchIterator batches(train.size(), tc.batch_size,
                               /*shuffle=*/true, rng);
 
   if (config.fine_tune_encoder) {
@@ -93,25 +125,30 @@ void ForecastingPipeline::Train(const data::ForecastingWindows& train,
   head_->Train();
 
   std::vector<int64_t> indices;
-  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int64_t epoch = 0; epoch < tc.epochs; ++epoch) {
+    TIMEDRL_TRACE_SCOPE_CAT("forecast/epoch", "train");
     double total = 0.0;
+    double grad_norm_sum = 0.0;
     int64_t steps = 0;
     batches.Reset();
     while (batches.Next(&indices)) {
+      TIMEDRL_TRACE_SCOPE_CAT("forecast/step", "train");
       auto [x, y] = train.GetBatch(indices);
       Tensor prediction = Predict(x, config.fine_tune_encoder);
       Tensor loss = MseLoss(prediction, y);
       optimizer.ZeroGrad();
       loss.Backward();
-      optim::ClipGradNorm(optimizer.parameters(), config.clip_norm);
+      const float grad_norm =
+          optim::ClipGradNorm(optimizer.parameters(), tc.clip_norm);
       optimizer.Step();
       total += loss.item();
+      grad_norm_sum += grad_norm;
+      ReportStep(tc, epoch, steps, static_cast<int64_t>(indices.size()),
+                 loss.item(), grad_norm);
       ++steps;
     }
-    if (config.verbose) {
-      TIMEDRL_LOG_INFO << "forecast head epoch " << epoch + 1 << "/"
-                       << config.epochs << " mse=" << total / steps;
-    }
+    ReportEpoch(tc, "forecast head", "mse", epoch, steps, total / steps,
+                grad_norm_sum / steps);
   }
   model_->Eval();
   head_->Eval();
@@ -174,10 +211,11 @@ Tensor ClassificationPipeline::Logits(const Tensor& x, bool with_grad) {
 void ClassificationPipeline::Train(const data::ClassificationDataset& train,
                                    const DownstreamConfig& config, Rng& rng) {
   TIMEDRL_CHECK_EQ(train.num_classes, num_classes_);
+  const TrainConfig& tc = config.train;
   optim::AdamW optimizer(
       CollectParameters(head_.get(), model_, config.fine_tune_encoder),
-      config.learning_rate, config.weight_decay);
-  data::BatchIterator batches(train.size(), config.batch_size,
+      tc.learning_rate, tc.weight_decay);
+  data::BatchIterator batches(train.size(), tc.batch_size,
                               /*shuffle=*/true, rng);
 
   if (config.fine_tune_encoder) {
@@ -188,25 +226,30 @@ void ClassificationPipeline::Train(const data::ClassificationDataset& train,
   head_->Train();
 
   std::vector<int64_t> indices;
-  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int64_t epoch = 0; epoch < tc.epochs; ++epoch) {
+    TIMEDRL_TRACE_SCOPE_CAT("classify/epoch", "train");
     double total = 0.0;
+    double grad_norm_sum = 0.0;
     int64_t steps = 0;
     batches.Reset();
     while (batches.Next(&indices)) {
+      TIMEDRL_TRACE_SCOPE_CAT("classify/step", "train");
       auto [x, labels] = train.GetBatch(indices);
       Tensor loss =
           CrossEntropy(Logits(x, config.fine_tune_encoder), labels);
       optimizer.ZeroGrad();
       loss.Backward();
-      optim::ClipGradNorm(optimizer.parameters(), config.clip_norm);
+      const float grad_norm =
+          optim::ClipGradNorm(optimizer.parameters(), tc.clip_norm);
       optimizer.Step();
       total += loss.item();
+      grad_norm_sum += grad_norm;
+      ReportStep(tc, epoch, steps, static_cast<int64_t>(indices.size()),
+                 loss.item(), grad_norm);
       ++steps;
     }
-    if (config.verbose) {
-      TIMEDRL_LOG_INFO << "classify head epoch " << epoch + 1 << "/"
-                       << config.epochs << " ce=" << total / steps;
-    }
+    ReportEpoch(tc, "classify head", "ce", epoch, steps, total / steps,
+                grad_norm_sum / steps);
   }
   model_->Eval();
   head_->Eval();

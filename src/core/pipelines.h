@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/model.h"
+#include "core/train_config.h"
 #include "data/time_series.h"
 #include "data/windows.h"
 #include "nn/layers.h"
@@ -15,17 +16,14 @@
 
 namespace timedrl::core {
 
-/// Hyperparameters shared by downstream training loops.
+/// Hyperparameters shared by downstream training loops. Loop
+/// hyperparameters live in the embedded TrainConfig (downstream heads
+/// default to no weight decay, the linear-evaluation protocol).
 struct DownstreamConfig {
-  int64_t epochs = 10;
-  int64_t batch_size = 32;
-  float learning_rate = 1e-3f;
-  float weight_decay = 0.0f;
-  float clip_norm = 5.0f;
+  TrainConfig train{.weight_decay = 0.0f};
   /// false = linear evaluation (frozen encoder); true = fine-tuning
   /// (encoder updated jointly with the head, as in Fig. 5).
   bool fine_tune_encoder = false;
-  bool verbose = false;
 };
 
 struct ForecastMetrics {

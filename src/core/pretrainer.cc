@@ -1,9 +1,9 @@
 #include "core/pretrainer.h"
 
 #include "data/loader.h"
+#include "obs/trace.h"
 #include "optim/optimizer.h"
 #include "util/check.h"
-#include "util/logging.h"
 
 namespace timedrl::core {
 
@@ -12,25 +12,29 @@ PretrainHistory Pretrain(TimeDrlModel* model,
                          const PretrainConfig& config, Rng& rng) {
   TIMEDRL_CHECK(model != nullptr);
   TIMEDRL_CHECK_GT(source.size(), 0) << "empty pre-training source";
+  const TrainConfig& train = config.train;
 
-  optim::AdamW optimizer(model->Parameters(), config.learning_rate,
-                         config.weight_decay);
-  data::BatchIterator batches(source.size(), config.batch_size,
+  optim::AdamW optimizer(model->Parameters(), train.learning_rate,
+                         train.weight_decay);
+  data::BatchIterator batches(source.size(), train.batch_size,
                               /*shuffle=*/true, rng, /*drop_last=*/false);
   Rng augment_rng = rng.Fork();
 
   PretrainHistory history;
   model->Train();
   std::vector<int64_t> indices;
-  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int64_t epoch = 0; epoch < train.epochs; ++epoch) {
+    TIMEDRL_TRACE_SCOPE_CAT("pretrain/epoch", "train");
     double total = 0.0;
     double predictive = 0.0;
     double contrastive = 0.0;
+    double grad_norm_sum = 0.0;
     int64_t steps = 0;
     batches.Reset();
     while (batches.Next(&indices)) {
       // BatchNorm in the contrastive head needs at least two samples.
       if (static_cast<int64_t>(indices.size()) < 2) continue;
+      TIMEDRL_TRACE_SCOPE_CAT("pretrain/step", "train");
       Tensor x = source.GetWindows(indices);
       TimeDrlModel::PretextOutput output;
       if (config.augmentation != augment::Kind::kNone) {
@@ -47,23 +51,44 @@ PretrainHistory Pretrain(TimeDrlModel* model,
       }
       optimizer.ZeroGrad();
       output.total.Backward();
-      optim::ClipGradNorm(optimizer.parameters(), config.clip_norm);
+      const float grad_norm =
+          optim::ClipGradNorm(optimizer.parameters(), train.clip_norm);
       optimizer.Step();
 
-      total += output.total.item();
+      const double loss = output.total.item();
+      total += loss;
       predictive += output.predictive.item();
       contrastive += output.contrastive.item();
+      grad_norm_sum += grad_norm;
+      if (train.observer != nullptr) {
+        obs::StepStats step_stats;
+        step_stats.epoch = epoch;
+        step_stats.step = steps;
+        step_stats.batch_size = static_cast<int64_t>(indices.size());
+        step_stats.loss = loss;
+        step_stats.grad_norm = grad_norm;
+        step_stats.learning_rate = train.learning_rate;
+        train.observer->OnStep(step_stats);
+      }
       ++steps;
     }
     TIMEDRL_CHECK_GT(steps, 0) << "no usable batches";
     history.total.push_back(total / steps);
     history.predictive.push_back(predictive / steps);
     history.contrastive.push_back(contrastive / steps);
-    if (config.verbose) {
-      TIMEDRL_LOG_INFO << "pretrain epoch " << epoch + 1 << "/"
-                       << config.epochs << " L=" << history.total.back()
-                       << " L_P=" << history.predictive.back()
-                       << " L_C=" << history.contrastive.back();
+    if (train.observer != nullptr) {
+      obs::EpochStats epoch_stats;
+      epoch_stats.phase = "pretrain";
+      epoch_stats.loss_label = "L";
+      epoch_stats.epoch = epoch;
+      epoch_stats.num_epochs = train.epochs;
+      epoch_stats.steps = steps;
+      epoch_stats.loss = history.total.back();
+      epoch_stats.grad_norm = grad_norm_sum / steps;
+      epoch_stats.learning_rate = train.learning_rate;
+      epoch_stats.extra = {{"L_P", history.predictive.back()},
+                           {"L_C", history.contrastive.back()}};
+      train.observer->OnEpochEnd(epoch_stats);
     }
   }
   model->Eval();

@@ -8,22 +8,20 @@
 #include "augment/augment.h"
 #include "core/model.h"
 #include "core/sources.h"
+#include "core/train_config.h"
 #include "util/rng.h"
 
 namespace timedrl::core {
 
 /// Pre-training hyperparameters. The paper uses AdamW with weight decay.
+/// Loop hyperparameters (epochs, batch size, optimizer, observer) live in
+/// the embedded TrainConfig: `config.train.epochs = 20;` etc.
 struct PretrainConfig {
-  int64_t epochs = 10;
-  int64_t batch_size = 32;
-  float learning_rate = 1e-3f;
-  float weight_decay = 1e-4f;
-  float clip_norm = 5.0f;
+  TrainConfig train;
   /// Augmentation applied to raw windows before the model — kNone for
   /// TimeDRL proper; other kinds exist only for the Table VI ablation.
   augment::Kind augmentation = augment::Kind::kNone;
   augment::AugmentConfig augment_config;
-  bool verbose = false;
 };
 
 /// Per-epoch averages of the pretext losses.

@@ -1,0 +1,29 @@
+// Hyperparameters shared by every training loop (pre-training, downstream
+// heads, baselines), plus the progress observer. Extracted from the old
+// PretrainConfig/DownstreamConfig duplicates so new loops configure one
+// struct and pick up observability for free.
+
+#ifndef TIMEDRL_CORE_TRAIN_CONFIG_H_
+#define TIMEDRL_CORE_TRAIN_CONFIG_H_
+
+#include <cstdint>
+
+#include "obs/observer.h"
+
+namespace timedrl::core {
+
+struct TrainConfig {
+  int64_t epochs = 10;
+  int64_t batch_size = 32;
+  float learning_rate = 1e-3f;
+  float weight_decay = 1e-4f;
+  /// Global gradient-norm clip applied before each optimizer step.
+  float clip_norm = 5.0f;
+  /// Progress sink (not owned; must outlive the loop). nullptr = silent;
+  /// obs::ConsoleObserver restores the old `verbose=true` log lines.
+  obs::TrainObserver* observer = nullptr;
+};
+
+}  // namespace timedrl::core
+
+#endif  // TIMEDRL_CORE_TRAIN_CONFIG_H_

@@ -3,7 +3,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "util/logging.h"
+#include "obs/logging.h"
 
 namespace timedrl::data {
 

@@ -4,7 +4,7 @@
 #include <cstring>
 #include <fstream>
 
-#include "util/logging.h"
+#include "obs/logging.h"
 
 namespace timedrl::nn {
 namespace {

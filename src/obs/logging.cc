@@ -1,4 +1,4 @@
-#include "util/logging.h"
+#include "obs/logging.h"
 
 #include <atomic>
 

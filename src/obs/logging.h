@@ -1,7 +1,7 @@
 // Minimal leveled logging to stderr.
 
-#ifndef TIMEDRL_UTIL_LOGGING_H_
-#define TIMEDRL_UTIL_LOGGING_H_
+#ifndef TIMEDRL_OBS_LOGGING_H_
+#define TIMEDRL_OBS_LOGGING_H_
 
 #include <iostream>
 #include <sstream>
@@ -50,4 +50,4 @@ class LogMessage {
   ::timedrl::internal::LogMessage(::timedrl::LogLevel::kError,     \
                                   __FILE__, __LINE__)
 
-#endif  // TIMEDRL_UTIL_LOGGING_H_
+#endif  // TIMEDRL_OBS_LOGGING_H_

@@ -1,0 +1,201 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <ostream>
+
+namespace timedrl::obs {
+namespace {
+
+/// Bucket for value v: 0 for v < 1, else 1 + floor(log2(v)), clamped.
+int BucketIndex(double v) {
+  if (!(v >= 1.0)) return 0;  // also catches NaN
+  int b = 1;
+  while (b < Histogram::kNumBuckets - 1 && std::ldexp(1.0, b) <= v) ++b;
+  return b;
+}
+
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (v < current && !target.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (v > current && !target.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double HistogramStats::ApproxQuantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen > rank) {
+      return std::min(max, std::ldexp(1.0, static_cast<int>(b)));
+    }
+  }
+  return max;
+}
+
+void Histogram::Observe(double v) {
+  const uint64_t seen = count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+  if (seen == 0) {
+    // First observation seeds min (otherwise min would stick at 0). A
+    // concurrent first observation is resolved by the CAS loops below.
+    min_.store(v, std::memory_order_relaxed);
+  }
+  AtomicMin(min_, v);
+  AtomicMax(max_, v);
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramStats Histogram::Snapshot() const {
+  HistogramStats stats;
+  stats.count = count_.load(std::memory_order_relaxed);
+  stats.sum = sum_.load(std::memory_order_relaxed);
+  stats.min = min_.load(std::memory_order_relaxed);
+  stats.max = max_.load(std::memory_order_relaxed);
+  stats.buckets.resize(kNumBuckets);
+  for (int b = 0; b < kNumBuckets; ++b) {
+    stats.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (int b = 0; b < kNumBuckets; ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::GaugeValue(std::string_view name) const {
+  for (const auto& [key, value] : gauges) {
+    if (key == name) return value;
+  }
+  return 0.0;
+}
+
+const HistogramStats* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const auto& [key, value] : histograms) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+Registry& Registry::Global() {
+  // Leaked on purpose: metrics are touched from thread and static
+  // destructors (pool flushes, worker exits) after function-local statics
+  // would have been destroyed.
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snapshot;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+void Registry::WriteJson(std::ostream& os) const {
+  const MetricsSnapshot snapshot = Snapshot();
+  os << "{\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << snapshot.counters[i].first
+       << "\":" << snapshot.counters[i].second;
+  }
+  os << "},\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << snapshot.gauges[i].first
+       << "\":" << snapshot.gauges[i].second;
+  }
+  os << "},\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    if (i > 0) os << ",";
+    const HistogramStats& stats = snapshot.histograms[i].second;
+    os << "\"" << snapshot.histograms[i].first << "\":{\"count\":"
+       << stats.count << ",\"sum\":" << stats.sum << ",\"min\":" << stats.min
+       << ",\"max\":" << stats.max << ",\"mean\":" << stats.mean()
+       << ",\"p50\":" << stats.ApproxQuantile(0.5)
+       << ",\"p99\":" << stats.ApproxQuantile(0.99) << "}";
+  }
+  os << "}}";
+}
+
+}  // namespace timedrl::obs

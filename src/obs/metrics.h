@@ -1,0 +1,168 @@
+// Process-wide metrics registry: named counters, gauges, and histograms.
+//
+// The registry is the one place run-time statistics live. Subsystems that
+// used to keep private counters (the tensor buffer pool, the kernel thread
+// pool) register theirs here instead, so one snapshot shows allocator
+// behavior, scheduler activity, and training progress side by side, and
+// the chrome trace export (obs/trace.h) embeds the same snapshot.
+//
+// Usage: look a metric up once and cache the reference — GetCounter() takes
+// a lock, but the returned object has a stable address for the process
+// lifetime and its mutators are relaxed atomics, safe to hit from any
+// thread (including kernel workers) without further synchronization.
+//
+//   static obs::Counter& hits =
+//       obs::Registry::Global().GetCounter("pool.hits");
+//   hits.Increment();
+//
+// Naming convention: dotted lowercase paths, subsystem first — "pool.hits",
+// "threadpool.chunks", "train.loss", "optim.steps".
+
+#ifndef TIMEDRL_OBS_METRICS_H_
+#define TIMEDRL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace timedrl::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written level (loss, learning rate, live bytes). Add() supports
+/// up/down tracking; SetMax() keeps a high-water mark.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  void SetMax(double v) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (current < v && !value_.compare_exchange_weak(
+                              current, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Aggregated view of a histogram at snapshot time.
+struct HistogramStats {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Counts per power-of-two bucket: bucket b holds values in [2^(b-1), 2^b)
+  /// (bucket 0: values < 1).
+  std::vector<uint64_t> buckets;
+
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+
+  /// Bucket-resolution quantile estimate (upper bound of the bucket holding
+  /// the q-th observation). q in [0, 1].
+  double ApproxQuantile(double q) const;
+};
+
+/// Distribution of a non-negative quantity (durations in ns, sizes) in
+/// power-of-two buckets. All mutators are lock-free and thread-safe.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Observe(double v);
+  HistogramStats Snapshot() const;
+  void Reset();
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramStats>> histograms;
+
+  /// Value lookups by exact name; 0 / nullptr when absent.
+  uint64_t CounterValue(std::string_view name) const;
+  double GaugeValue(std::string_view name) const;
+  const HistogramStats* FindHistogram(std::string_view name) const;
+};
+
+/// Name -> metric map. Metrics are created on first lookup and never
+/// removed; references stay valid for the process lifetime.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every counter and histogram. Gauges are left untouched: they
+  /// track live state (e.g. pool bytes) that a reset must not falsify.
+  void Reset();
+
+  /// Snapshot as a JSON object: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{"count":..,"sum":..,"min":..,"max":..,"mean":..}}}.
+  void WriteJson(std::ostream& os) const;
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace timedrl::obs
+
+#endif  // TIMEDRL_OBS_METRICS_H_

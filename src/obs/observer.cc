@@ -1,0 +1,57 @@
+#include "obs/observer.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/logging.h"
+#include "obs/metrics.h"
+
+namespace timedrl::obs {
+
+void ConsoleObserver::OnEpochEnd(const EpochStats& stats) {
+  std::ostringstream line;
+  line << stats.phase << " epoch " << stats.epoch + 1 << "/"
+       << stats.num_epochs << " " << stats.loss_label << "=" << stats.loss;
+  for (const auto& [name, value] : stats.extra) {
+    line << " " << name << "=" << value;
+  }
+  if (os_ != nullptr) {
+    *os_ << line.str() << "\n";
+  } else {
+    TIMEDRL_LOG_INFO << line.str();
+  }
+}
+
+MetricsObserver::MetricsObserver(std::string prefix)
+    : prefix_(std::move(prefix)) {}
+
+void MetricsObserver::OnStep(const StepStats& stats) {
+  Registry& registry = Registry::Global();
+  registry.GetCounter(prefix_ + ".steps").Increment();
+  registry.GetHistogram(prefix_ + ".step_loss").Observe(stats.loss);
+}
+
+void MetricsObserver::OnEpochEnd(const EpochStats& stats) {
+  Registry& registry = Registry::Global();
+  registry.GetCounter(prefix_ + ".epochs").Increment();
+  registry.GetGauge(prefix_ + ".loss").Set(stats.loss);
+  registry.GetGauge(prefix_ + ".grad_norm").Set(stats.grad_norm);
+  registry.GetGauge(prefix_ + ".lr").Set(stats.learning_rate);
+  for (const auto& [name, value] : stats.extra) {
+    registry.GetGauge(prefix_ + "." + name).Set(value);
+  }
+}
+
+void MultiObserver::OnStep(const StepStats& stats) {
+  for (TrainObserver* child : children_) {
+    if (child != nullptr) child->OnStep(stats);
+  }
+}
+
+void MultiObserver::OnEpochEnd(const EpochStats& stats) {
+  for (TrainObserver* child : children_) {
+    if (child != nullptr) child->OnEpochEnd(stats);
+  }
+}
+
+}  // namespace timedrl::obs

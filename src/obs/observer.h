@@ -1,0 +1,101 @@
+// Observer-based progress reporting for training loops.
+//
+// Training loops used to report progress through a `bool verbose` flag and
+// hard-coded log lines. They now publish structured per-step and per-epoch
+// statistics to a TrainObserver, and callers choose the sink: console
+// logging (ConsoleObserver), the metrics registry (MetricsObserver), both
+// (MultiObserver), or anything custom. A null observer is silent — the old
+// verbose=false behavior.
+
+#ifndef TIMEDRL_OBS_OBSERVER_H_
+#define TIMEDRL_OBS_OBSERVER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace timedrl::obs {
+
+/// Statistics of one optimizer step.
+struct StepStats {
+  int64_t epoch = 0;       // 0-based
+  int64_t step = 0;        // 0-based within the epoch
+  int64_t batch_size = 0;  // actual rows in this batch
+  double loss = 0.0;
+  double grad_norm = 0.0;  // global L2 norm before clipping
+  float learning_rate = 0.0f;
+};
+
+/// Statistics of one finished epoch (means over its steps).
+struct EpochStats {
+  /// Which loop is reporting, e.g. "pretrain", "forecast head", "ts2vec".
+  std::string phase;
+  /// Label for the loss in console output, e.g. "L", "mse", "ce".
+  std::string loss_label = "loss";
+  int64_t epoch = 0;       // 0-based
+  int64_t num_epochs = 0;
+  int64_t steps = 0;
+  double loss = 0.0;       // mean over the epoch's steps
+  double grad_norm = 0.0;  // mean pre-clip global gradient norm
+  float learning_rate = 0.0f;
+  /// Additional named values, e.g. {"L_P", ...}, {"L_C", ...}.
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Receives training progress. Callbacks run on the training thread,
+/// between steps — keep them cheap. Default implementations are no-ops so
+/// subclasses override only what they need.
+class TrainObserver {
+ public:
+  virtual ~TrainObserver() = default;
+  virtual void OnStep(const StepStats& stats) { (void)stats; }
+  virtual void OnEpochEnd(const EpochStats& stats) { (void)stats; }
+};
+
+/// Logs one line per epoch, matching the output the `verbose` flag used to
+/// produce: "<phase> epoch <e>/<N> <label>=<loss> [<name>=<value> ...]".
+class ConsoleObserver : public TrainObserver {
+ public:
+  /// Default: emit through the INFO log. With `os`, write plain lines to
+  /// the given stream instead (tests, file capture).
+  explicit ConsoleObserver(std::ostream* os = nullptr) : os_(os) {}
+
+  void OnEpochEnd(const EpochStats& stats) override;
+
+ private:
+  std::ostream* os_;
+};
+
+/// Feeds the metrics registry: per-epoch gauges `<prefix>.loss`,
+/// `<prefix>.grad_norm`, `<prefix>.lr` (plus one gauge per `extra` entry),
+/// counters `<prefix>.epochs` / `<prefix>.steps`, and a `<prefix>.step_loss`
+/// histogram.
+class MetricsObserver : public TrainObserver {
+ public:
+  explicit MetricsObserver(std::string prefix = "train");
+
+  void OnStep(const StepStats& stats) override;
+  void OnEpochEnd(const EpochStats& stats) override;
+
+ private:
+  std::string prefix_;
+};
+
+/// Fans callbacks out to several observers (e.g. console + metrics).
+class MultiObserver : public TrainObserver {
+ public:
+  explicit MultiObserver(std::vector<TrainObserver*> children)
+      : children_(std::move(children)) {}
+
+  void OnStep(const StepStats& stats) override;
+  void OnEpochEnd(const EpochStats& stats) override;
+
+ private:
+  std::vector<TrainObserver*> children_;
+};
+
+}  // namespace timedrl::obs
+
+#endif  // TIMEDRL_OBS_OBSERVER_H_

@@ -1,0 +1,225 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace timedrl::obs {
+namespace internal {
+
+std::atomic<bool> g_trace_enabled{false};
+
+}  // namespace internal
+
+namespace {
+
+// Spans are appended to fixed-size chunks linked newest-first. The owning
+// thread is the only writer; readers walk head->prev chains and trust only
+// the event counts they acquire, so no lock guards the record path.
+struct Chunk {
+  static constexpr int64_t kCapacity = 4096;
+  std::atomic<int64_t> count{0};
+  Chunk* prev = nullptr;  // fully set before the chunk is published
+  TraceEvent events[kCapacity];
+};
+
+// Caps a runaway traced loop at ~256 MB of events per thread.
+constexpr int64_t kMaxChunksPerThread = 2048;
+
+struct ThreadTraceBuffer {
+  std::atomic<Chunk*> head{nullptr};
+  int64_t num_chunks = 0;            // written only by the owning thread
+  std::atomic<int64_t> dropped{0};
+  uint32_t thread_id = 0;
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<ThreadTraceBuffer*> buffers;  // leaked: outlive their threads
+  uint32_t next_thread_id = 0;
+};
+
+// Leaked on purpose: spans can be recorded from worker threads that die
+// during static destruction, and the atexit export runs after main().
+TraceState& trace_state() {
+  static TraceState* state = new TraceState;
+  return *state;
+}
+
+ThreadTraceBuffer& LocalBuffer() {
+  thread_local ThreadTraceBuffer* buffer = [] {
+    auto* fresh = new ThreadTraceBuffer;
+    TraceState& state = trace_state();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    fresh->thread_id = state.next_thread_id++;
+    state.buffers.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+bool EnvFlagSet(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+void ExportAtExit() {
+  const char* out = std::getenv("TIMEDRL_TRACE_OUT");
+  WriteChromeTraceFile(out != nullptr && out[0] != '\0'
+                           ? out
+                           : "timedrl_trace.json");
+}
+
+// Dynamic initializer: seeds the enabled flag from TIMEDRL_TRACE, anchors
+// the epoch, and arranges the end-of-process export for env-driven runs.
+const bool g_env_initialized = [] {
+  TraceEpoch();
+  if (EnvFlagSet("TIMEDRL_TRACE")) {
+    internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+    std::atexit(ExportAtExit);
+  }
+  return true;
+}();
+
+// Minimal JSON string escaping (names are literals, but be safe).
+void WriteEscaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') os << '\\';
+    os << *s;
+  }
+}
+
+}  // namespace
+
+void SetTraceEnabled(bool enabled) {
+  internal::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int64_t TraceNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+void RecordSpan(const char* name, const char* category, int64_t start_ns,
+                int64_t duration_ns) {
+  ThreadTraceBuffer& buffer = LocalBuffer();
+  Chunk* chunk = buffer.head.load(std::memory_order_relaxed);
+  if (chunk == nullptr ||
+      chunk->count.load(std::memory_order_relaxed) == Chunk::kCapacity) {
+    if (buffer.num_chunks >= kMaxChunksPerThread) {
+      buffer.dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Chunk* fresh = new Chunk;
+    fresh->prev = chunk;
+    ++buffer.num_chunks;
+    // Publish with count 0: readers that see the chunk see no events yet.
+    buffer.head.store(fresh, std::memory_order_release);
+    chunk = fresh;
+  }
+  const int64_t slot = chunk->count.load(std::memory_order_relaxed);
+  chunk->events[slot].name = name;
+  chunk->events[slot].category = category;
+  chunk->events[slot].start_ns = start_ns;
+  chunk->events[slot].duration_ns = duration_ns;
+  chunk->events[slot].thread_id = buffer.thread_id;
+  // The slot write must be visible before the count that covers it.
+  chunk->count.store(slot + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> CollectTraceEvents() {
+  std::vector<TraceEvent> events;
+  TraceState& state = trace_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (ThreadTraceBuffer* buffer : state.buffers) {
+    // Chunks link newest-first; gather then reverse into recording order.
+    std::vector<const Chunk*> chunks;
+    for (const Chunk* chunk = buffer->head.load(std::memory_order_acquire);
+         chunk != nullptr; chunk = chunk->prev) {
+      chunks.push_back(chunk);
+    }
+    for (auto it = chunks.rbegin(); it != chunks.rend(); ++it) {
+      const int64_t count = (*it)->count.load(std::memory_order_acquire);
+      for (int64_t i = 0; i < count; ++i) events.push_back((*it)->events[i]);
+    }
+  }
+  return events;
+}
+
+int64_t TraceEventCount() {
+  int64_t total = 0;
+  TraceState& state = trace_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (ThreadTraceBuffer* buffer : state.buffers) {
+    for (const Chunk* chunk = buffer->head.load(std::memory_order_acquire);
+         chunk != nullptr; chunk = chunk->prev) {
+      total += chunk->count.load(std::memory_order_acquire);
+    }
+  }
+  return total;
+}
+
+int64_t TraceDroppedCount() {
+  int64_t total = 0;
+  TraceState& state = trace_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (ThreadTraceBuffer* buffer : state.buffers) {
+    total += buffer->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void ClearTraceEvents() {
+  TraceState& state = trace_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (ThreadTraceBuffer* buffer : state.buffers) {
+    Chunk* chunk = buffer->head.exchange(nullptr, std::memory_order_acq_rel);
+    while (chunk != nullptr) {
+      Chunk* prev = chunk->prev;
+      delete chunk;
+      chunk = prev;
+    }
+    buffer->num_chunks = 0;
+    buffer->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+void WriteChromeTrace(std::ostream& os) {
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  os << "{\"traceEvents\":[";
+  os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,"
+        "\"args\":{\"name\":\"timedrl\"}}";
+  for (const TraceEvent& event : events) {
+    os << ",\n{\"name\":\"";
+    WriteEscaped(os, event.name);
+    os << "\",\"cat\":\"";
+    WriteEscaped(os, event.category);
+    os << "\",\"ph\":\"X\",\"ts\":" << event.start_ns / 1e3
+       << ",\"dur\":" << event.duration_ns / 1e3
+       << ",\"pid\":1,\"tid\":" << event.thread_id << "}";
+  }
+  os << "],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"metrics\":";
+  Registry::Global().WriteJson(os);
+  os << "}}\n";
+}
+
+bool WriteChromeTraceFile(const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) return false;
+  WriteChromeTrace(file);
+  return file.good();
+}
+
+}  // namespace timedrl::obs

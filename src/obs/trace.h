@@ -1,0 +1,174 @@
+// Scoped trace spans with per-thread lock-free event buffers.
+//
+// Tracing answers "where did this training step spend its time" at every
+// layer of the stack: epoch loops, autograd walks, optimizer updates, the
+// thread pool, the buffer pool's slow paths, and individual kernels. A
+// span is recorded by placing TIMEDRL_TRACE_SCOPE("name") at the top of a
+// scope; the destructor stamps the duration.
+//
+// Cost model: tracing is DISABLED by default and a disabled span costs one
+// relaxed atomic load plus a branch — cheap enough to leave scopes inside
+// kernels that run thousands of times per step. When enabled (set the
+// TIMEDRL_TRACE=1 environment variable, or call SetTraceEnabled(true)),
+// each span costs two steady_clock reads and one append to a buffer owned
+// by the recording thread.
+//
+// Concurrency: every thread appends to its own chunked buffer; no lock is
+// taken on the record path. Publication uses a release store of the chunk's
+// event count, which CollectTraceEvents()/WriteChromeTrace() pair with
+// acquire loads, so exporting while other threads keep recording is safe
+// (the export simply cuts off at the counts it observed). Buffers outlive
+// their threads so a trace can be exported after workers have exited.
+// ClearTraceEvents() is the one exception: it frees chunks and must not
+// run concurrently with recording threads.
+//
+// Export: WriteChromeTrace() emits the chrome://tracing / Perfetto JSON
+// format ("traceEvents" with ph:"X" complete events) and embeds a metrics
+// registry snapshot under "otherData". When tracing was enabled from the
+// environment, an atexit hook writes the trace to TIMEDRL_TRACE_OUT
+// (default "timedrl_trace.json") so any binary can be traced without code
+// changes.
+
+#ifndef TIMEDRL_OBS_TRACE_H_
+#define TIMEDRL_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace timedrl::obs {
+
+namespace internal {
+// Defined in trace.cc; read inline so a disabled span pays only this load.
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+/// One completed span. `name` and `category` must be string literals (or
+/// otherwise outlive the trace); events store the pointers, not copies.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  int64_t start_ns = 0;     // relative to the process trace epoch
+  int64_t duration_ns = 0;
+  uint32_t thread_id = 0;   // dense id in recording order, 0 = first thread
+};
+
+/// Whether spans are being recorded. Seeded from TIMEDRL_TRACE at startup.
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Programmatic override of TIMEDRL_TRACE (benchmarks, tests, tools).
+void SetTraceEnabled(bool enabled);
+
+/// Nanoseconds since the process trace epoch (monotonic).
+int64_t TraceNowNs();
+
+/// Appends a completed span to the calling thread's buffer. Recorded even
+/// when tracing is disabled mid-span (the scope checked at entry).
+void RecordSpan(const char* name, const char* category, int64_t start_ns,
+                int64_t duration_ns);
+
+/// Snapshot of every recorded span across all threads, in per-thread order
+/// (threads are concatenated, each thread's events chronological).
+std::vector<TraceEvent> CollectTraceEvents();
+
+/// Total recorded spans (cheaper than CollectTraceEvents().size()).
+int64_t TraceEventCount();
+
+/// Spans dropped because a thread hit its buffer cap.
+int64_t TraceDroppedCount();
+
+/// Frees all recorded spans. Must not race with recording threads.
+void ClearTraceEvents();
+
+/// Writes the trace as chrome://tracing JSON, with a metrics registry
+/// snapshot embedded under "otherData.metrics".
+void WriteChromeTrace(std::ostream& os);
+
+/// WriteChromeTrace to a file. Returns false if the file cannot be opened.
+bool WriteChromeTraceFile(const std::string& path);
+
+/// RAII span: stamps start at construction, records at destruction. The
+/// enabled check happens once, at entry — a span opened while tracing is on
+/// is recorded even if tracing is switched off before it closes.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name, const char* category = "op")
+      : name_(name),
+        category_(category),
+        start_ns_(TraceEnabled() ? TraceNowNs() : kDisabled) {}
+
+  ~TraceScope() {
+    if (start_ns_ != kDisabled) {
+      RecordSpan(name_, category_, start_ns_, TraceNowNs() - start_ns_);
+    }
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  static constexpr int64_t kDisabled = -1;
+  const char* name_;
+  const char* category_;
+  int64_t start_ns_;
+};
+
+/// Feeds a duration histogram while tracing is enabled (the enabled check
+/// happens once, at entry — same contract as TraceScope). Pays only a
+/// relaxed load + branch when tracing is off, so per-op timing histograms
+/// can live on hot paths.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(Histogram& histogram)
+      : histogram_(histogram),
+        start_ns_(TraceEnabled() ? TraceNowNs() : kDisabled) {}
+
+  ~ScopedHistogramTimer() {
+    if (start_ns_ != kDisabled) {
+      histogram_.Observe(static_cast<double>(TraceNowNs() - start_ns_));
+    }
+  }
+
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+
+ private:
+  static constexpr int64_t kDisabled = -1;
+  Histogram& histogram_;
+  int64_t start_ns_;
+};
+
+}  // namespace timedrl::obs
+
+#define TIMEDRL_TRACE_CONCAT_INNER_(a, b) a##b
+#define TIMEDRL_TRACE_CONCAT_(a, b) TIMEDRL_TRACE_CONCAT_INNER_(a, b)
+
+/// Times the enclosing scope under `name` (a string literal).
+#define TIMEDRL_TRACE_SCOPE(name)                                     \
+  ::timedrl::obs::TraceScope TIMEDRL_TRACE_CONCAT_(timedrl_trace_scope_, \
+                                                   __LINE__)(name)
+
+/// Like TIMEDRL_TRACE_SCOPE with an explicit category (chrome trace "cat").
+#define TIMEDRL_TRACE_SCOPE_CAT(name, category)                          \
+  ::timedrl::obs::TraceScope TIMEDRL_TRACE_CONCAT_(timedrl_trace_scope_, \
+                                                   __LINE__)(name, category)
+
+/// Autograd-op instrumentation: a trace span (category "op") plus a
+/// registry duration histogram "op.<name>.ns". `name` must be a string
+/// literal. The histogram reference is resolved once per call site.
+#define TIMEDRL_TRACE_OP(name)                                               \
+  TIMEDRL_TRACE_SCOPE_CAT(name, "op");                                       \
+  static ::timedrl::obs::Histogram& TIMEDRL_TRACE_CONCAT_(                   \
+      timedrl_op_histogram_, __LINE__) =                                     \
+      ::timedrl::obs::Registry::Global().GetHistogram("op." name ".ns");     \
+  ::timedrl::obs::ScopedHistogramTimer TIMEDRL_TRACE_CONCAT_(                \
+      timedrl_op_timer_, __LINE__)(TIMEDRL_TRACE_CONCAT_(                    \
+      timedrl_op_histogram_, __LINE__))
+
+#endif  // TIMEDRL_OBS_TRACE_H_

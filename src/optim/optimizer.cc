@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -22,6 +24,7 @@ Optimizer::Optimizer(std::vector<Tensor> parameters, float learning_rate)
 }
 
 void Optimizer::ZeroGrad() {
+  TIMEDRL_TRACE_SCOPE_CAT("optimizer/zero_grad", "optim");
   ParallelFor(0, static_cast<int64_t>(parameters_.size()), 1,
               [&](int64_t begin, int64_t end) {
                 for (int64_t i = begin; i < end; ++i) {
@@ -41,6 +44,10 @@ Sgd::Sgd(std::vector<Tensor> parameters, float learning_rate, float momentum)
 }
 
 void Sgd::Step() {
+  TIMEDRL_TRACE_SCOPE_CAT("optimizer/sgd_step", "optim");
+  static obs::Counter& steps =
+      obs::Registry::Global().GetCounter("optim.steps");
+  steps.Increment();
   ParallelFor(
       0, static_cast<int64_t>(parameters_.size()), 1,
       [&](int64_t begin, int64_t end) {
@@ -76,6 +83,10 @@ Adam::Adam(std::vector<Tensor> parameters, float learning_rate, float beta1,
 }
 
 void Adam::Step() {
+  TIMEDRL_TRACE_SCOPE_CAT("optimizer/adam_step", "optim");
+  static obs::Counter& steps =
+      obs::Registry::Global().GetCounter("optim.steps");
+  steps.Increment();
   ++step_count_;
   const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
   const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
@@ -116,6 +127,7 @@ AdamW::AdamW(std::vector<Tensor> parameters, float learning_rate,
 }
 
 float ClipGradNorm(const std::vector<Tensor>& parameters, float max_norm) {
+  TIMEDRL_TRACE_SCOPE_CAT("optimizer/clip_grad_norm", "optim");
   TIMEDRL_CHECK_GT(max_norm, 0.0f);
   double total_sq = 0.0;
   for (const Tensor& parameter : parameters) {

@@ -5,6 +5,9 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace timedrl::pool {
 namespace {
 
@@ -22,29 +25,29 @@ int BucketIndex(int64_t n) {
 
 bool IsPowerOfTwo(int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
 
+/// Registry-backed pool statistics, looked up once and cached. All mutators
+/// are relaxed atomics; readers go through the registry snapshot API.
 struct Counters {
-  std::atomic<uint64_t> hits{0};
-  std::atomic<uint64_t> misses{0};
-  std::atomic<uint64_t> returned{0};
-  std::atomic<uint64_t> dropped{0};
-  std::atomic<int64_t> bytes_live{0};
-  std::atomic<int64_t> bytes_pooled{0};
-  std::atomic<int64_t> high_water{0};
+  obs::Counter& hits = obs::Registry::Global().GetCounter("pool.hits");
+  obs::Counter& misses = obs::Registry::Global().GetCounter("pool.misses");
+  obs::Counter& returned = obs::Registry::Global().GetCounter("pool.returned");
+  obs::Counter& dropped = obs::Registry::Global().GetCounter("pool.dropped");
+  obs::Gauge& bytes_live = obs::Registry::Global().GetGauge("pool.bytes_live");
+  obs::Gauge& bytes_pooled =
+      obs::Registry::Global().GetGauge("pool.bytes_pooled");
+  obs::Gauge& high_water =
+      obs::Registry::Global().GetGauge("pool.high_water_bytes");
 };
 
 Counters& counters() {
-  static Counters c;
-  return c;
+  // Leaked: releases can arrive during static destruction.
+  static Counters* c = new Counters;
+  return *c;
 }
 
 void RaiseHighWater() {
   Counters& c = counters();
-  const int64_t total = c.bytes_live.load(std::memory_order_relaxed) +
-                        c.bytes_pooled.load(std::memory_order_relaxed);
-  int64_t hw = c.high_water.load(std::memory_order_relaxed);
-  while (total > hw && !c.high_water.compare_exchange_weak(
-                           hw, total, std::memory_order_relaxed)) {
-  }
+  c.high_water.SetMax(c.bytes_live.value() + c.bytes_pooled.value());
 }
 
 struct Freelists {
@@ -130,13 +133,14 @@ std::vector<float> AcquireImpl(int64_t n, bool zero_fill) {
   Counters& c = counters();
   std::vector<float> buffer;
   if (TryPop(b, &buffer)) {
-    c.hits.fetch_add(1, std::memory_order_relaxed);
-    c.bytes_pooled.fetch_sub(bucket_bytes, std::memory_order_relaxed);
+    c.hits.Increment();
+    c.bytes_pooled.Add(-static_cast<double>(bucket_bytes));
   } else {
-    c.misses.fetch_add(1, std::memory_order_relaxed);
+    TIMEDRL_TRACE_SCOPE_CAT("pool/miss", "pool");
+    c.misses.Increment();
     buffer.reserve(int64_t{1} << b);
   }
-  c.bytes_live.fetch_add(bucket_bytes, std::memory_order_relaxed);
+  c.bytes_live.Add(static_cast<double>(bucket_bytes));
   RaiseHighWater();
 
   if (zero_fill) {
@@ -161,14 +165,14 @@ void Release(std::vector<float>&& buffer) {
   Counters& c = counters();
   if (!Enabled() || !IsPowerOfTwo(capacity) ||
       BucketIndex(capacity) >= kNumBuckets) {
-    c.dropped.fetch_add(1, std::memory_order_relaxed);
+    c.dropped.Increment();
     return;  // freed by destructor
   }
   const int b = BucketIndex(capacity);
   const int64_t bucket_bytes = capacity * static_cast<int64_t>(sizeof(float));
-  c.returned.fetch_add(1, std::memory_order_relaxed);
-  c.bytes_live.fetch_sub(bucket_bytes, std::memory_order_relaxed);
-  c.bytes_pooled.fetch_add(bucket_bytes, std::memory_order_relaxed);
+  c.returned.Increment();
+  c.bytes_live.Add(-static_cast<double>(bucket_bytes));
+  c.bytes_pooled.Add(static_cast<double>(bucket_bytes));
 
   auto& local = thread_cache().lists.buckets[b];
   if (local.size() < kThreadCacheBuffersPerBucket) {
@@ -186,31 +190,10 @@ void SetEnabled(bool enabled) {
   enabled_flag().store(enabled, std::memory_order_relaxed);
 }
 
-Stats GetStats() {
-  Counters& c = counters();
-  Stats stats;
-  stats.hits = c.hits.load(std::memory_order_relaxed);
-  stats.misses = c.misses.load(std::memory_order_relaxed);
-  stats.returned = c.returned.load(std::memory_order_relaxed);
-  stats.dropped = c.dropped.load(std::memory_order_relaxed);
-  stats.bytes_live = c.bytes_live.load(std::memory_order_relaxed);
-  stats.bytes_pooled = c.bytes_pooled.load(std::memory_order_relaxed);
-  stats.high_water_bytes = c.high_water.load(std::memory_order_relaxed);
-  return stats;
+void FlushThreadCache() {
+  TIMEDRL_TRACE_SCOPE_CAT("pool/flush", "pool");
+  FlushToGlobal(thread_cache().lists);
 }
-
-void ResetStats() {
-  Counters& c = counters();
-  c.hits.store(0, std::memory_order_relaxed);
-  c.misses.store(0, std::memory_order_relaxed);
-  c.returned.store(0, std::memory_order_relaxed);
-  c.dropped.store(0, std::memory_order_relaxed);
-  c.high_water.store(c.bytes_live.load(std::memory_order_relaxed) +
-                         c.bytes_pooled.load(std::memory_order_relaxed),
-                     std::memory_order_relaxed);
-}
-
-void FlushThreadCache() { FlushToGlobal(thread_cache().lists); }
 
 void Clear() {
   FlushThreadCache();
@@ -224,7 +207,7 @@ void Clear() {
     }
     global.lists.buckets[b].clear();
   }
-  counters().bytes_pooled.fetch_sub(freed, std::memory_order_relaxed);
+  counters().bytes_pooled.Add(-static_cast<double>(freed));
 }
 
 }  // namespace timedrl::pool

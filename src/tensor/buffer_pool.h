@@ -50,24 +50,19 @@ bool Enabled();
 /// Programmatic override of TIMEDRL_POOL_DISABLE (benchmarks, tests).
 void SetEnabled(bool enabled);
 
-/// Allocation counters. Byte counts are in bucket-rounded bytes and are
-/// advisory: buffers that enter the pool without having been acquired from
-/// it (e.g. a pow2-capacity vector passed to Tensor::FromVector) skew
-/// bytes_live slightly.
-struct Stats {
-  uint64_t hits = 0;        // Acquire satisfied from a cache
-  uint64_t misses = 0;      // Acquire that had to allocate
-  uint64_t returned = 0;    // buffers recycled into the pool
-  uint64_t dropped = 0;     // released buffers freed (foreign/oversized)
-  int64_t bytes_live = 0;   // acquired and not yet returned
-  int64_t bytes_pooled = 0; // sitting idle in caches
-  int64_t high_water_bytes = 0;  // max observed bytes_live + bytes_pooled
-};
-Stats GetStats();
-
-/// Zeroes hits/misses/returned/dropped and re-bases the high-water mark;
-/// bytes_live/bytes_pooled keep tracking the actual buffers.
-void ResetStats();
+// Allocation statistics are exposed exclusively through the process-wide
+// metrics registry (obs::Registry::Global().Snapshot()), maintained with
+// relaxed atomics on the hot paths:
+//   counters  pool.hits      Acquire satisfied from a cache
+//             pool.misses    Acquire that had to allocate
+//             pool.returned  buffers recycled into the pool
+//             pool.dropped   released buffers freed (foreign/oversized)
+//   gauges    pool.bytes_live        acquired and not yet returned
+//             pool.bytes_pooled      sitting idle in caches
+//             pool.high_water_bytes  max observed live + pooled
+// Byte gauges are in bucket-rounded bytes and are advisory: buffers that
+// enter the pool without having been acquired from it (e.g. a pow2-capacity
+// vector passed to Tensor::FromVector) skew bytes_live slightly.
 
 /// Moves this thread's cached buffers to the global pool (so another thread
 /// can acquire them). Called automatically when a thread exits.

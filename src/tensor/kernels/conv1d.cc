@@ -4,6 +4,7 @@
 
 #include "tensor/buffer_pool.h"
 #include "tensor/kernels/gemm.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace timedrl::kernels {
@@ -39,6 +40,7 @@ void Col2ImAccumulate(const float* col, const Conv1dGeometry& geom,
 
 void Conv1dForward(const float* x, const float* w, const float* bias,
                    float* out, const Conv1dGeometry& geom) {
+  TIMEDRL_TRACE_SCOPE_CAT("conv1d_fwd", "kernel");
   ParallelFor(0, geom.batch, 1, [&](int64_t batch_begin, int64_t batch_end) {
     // Per-chunk im2col workspace; recycled through each worker's pool cache
     // (Im2Col overwrites every element, so stale contents are fine).
@@ -66,6 +68,7 @@ void Conv1dForward(const float* x, const float* w, const float* bias,
 
 void Conv1dBackwardInput(const float* w, const float* g, float* gx,
                          const Conv1dGeometry& geom) {
+  TIMEDRL_TRACE_SCOPE_CAT("conv1d_bwd_input", "kernel");
   ParallelFor(0, geom.batch, 1, [&](int64_t batch_begin, int64_t batch_end) {
     // Fully overwritten by the overwrite-mode GEMM each batch iteration.
     std::vector<float> dcol =
@@ -82,6 +85,7 @@ void Conv1dBackwardInput(const float* w, const float* g, float* gx,
 
 void Conv1dBackwardWeight(const float* x, const float* g, float* gw,
                           const Conv1dGeometry& geom) {
+  TIMEDRL_TRACE_SCOPE_CAT("conv1d_bwd_weight", "kernel");
   std::vector<float> col =
       pool::AcquireUninit(geom.col_rows() * geom.out_length);
   for (int64_t b = 0; b < geom.batch; ++b) {
@@ -95,6 +99,7 @@ void Conv1dBackwardWeight(const float* x, const float* g, float* gw,
 
 void Conv1dBackwardBias(const float* g, float* gb,
                         const Conv1dGeometry& geom) {
+  TIMEDRL_TRACE_SCOPE_CAT("conv1d_bwd_bias", "kernel");
   ParallelFor(0, geom.c_out, 1, [&](int64_t co_begin, int64_t co_end) {
     for (int64_t co = co_begin; co < co_end; ++co) {
       float acc = 0.0f;

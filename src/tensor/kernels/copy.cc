@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tensor/kernels/elementwise.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace timedrl::kernels {
@@ -16,6 +17,7 @@ int64_t BlockGrain(int64_t block) {
 }  // namespace
 
 void AddInto(const float* src, float* dst, int64_t n) {
+  TIMEDRL_TRACE_SCOPE_CAT("add_into", "kernel");
   ParallelFor(0, n, kElementwiseGrain, [=](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) dst[i] += src[i];
   });
@@ -23,6 +25,7 @@ void AddInto(const float* src, float* dst, int64_t n) {
 
 void CopyStridedBlocks(const float* src, float* dst, int64_t count,
                        int64_t block, int64_t src_stride, int64_t dst_stride) {
+  TIMEDRL_TRACE_SCOPE_CAT("copy_strided", "kernel");
   ParallelFor(0, count, BlockGrain(block), [=](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
       const float* s = src + i * src_stride;
@@ -34,6 +37,7 @@ void CopyStridedBlocks(const float* src, float* dst, int64_t count,
 void AccumulateStridedBlocks(const float* src, float* dst, int64_t count,
                              int64_t block, int64_t src_stride,
                              int64_t dst_stride) {
+  TIMEDRL_TRACE_SCOPE_CAT("accumulate_strided", "kernel");
   ParallelFor(0, count, BlockGrain(block), [=](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
       const float* s = src + i * src_stride;
@@ -46,6 +50,7 @@ void AccumulateStridedBlocks(const float* src, float* dst, int64_t count,
 void GatherStrided(const Shape& out_shape,
                    const std::vector<int64_t>& strides, const float* src,
                    float* out) {
+  TIMEDRL_TRACE_SCOPE_CAT("gather_strided", "kernel");
   const int64_t total = NumElements(out_shape);
   // Reuse the chunkable two-stride odometer with the second stride set
   // mirroring the first; the duplicate offset is ignored.

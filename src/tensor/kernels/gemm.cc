@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace timedrl::kernels {
@@ -24,6 +25,7 @@ int64_t RowGrain(int64_t flops_per_row) {
 
 void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
             int64_t n, bool accumulate) {
+  TIMEDRL_TRACE_SCOPE_CAT("gemm_nn", "kernel");
   ParallelFor(0, m, RowGrain(k * n), [=](int64_t row_begin, int64_t row_end) {
     // Overwrite mode: zero this worker's rows just before accumulating into
     // them (cache-hot), instead of a cold zero-fill pass by the caller.
@@ -67,6 +69,7 @@ void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
 
 void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
             int64_t k, bool accumulate) {
+  TIMEDRL_TRACE_SCOPE_CAT("gemm_nt", "kernel");
   ParallelFor(0, m, RowGrain(n * k), [=](int64_t row_begin, int64_t row_end) {
     for (int64_t i = row_begin; i < row_end; ++i) {
       const float* __restrict__ arow = a + i * n;
@@ -98,6 +101,7 @@ void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
 
 void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
             int64_t n, bool accumulate) {
+  TIMEDRL_TRACE_SCOPE_CAT("gemm_tn", "kernel");
   // Parallel over rows of C (index p in [0, k)); the reduction over rows of
   // A/B (index i) runs inside, so each thread's writes are disjoint.
   ParallelFor(0, k, RowGrain(m * n), [=](int64_t row_begin, int64_t row_end) {

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace timedrl::kernels {
@@ -14,6 +15,7 @@ constexpr int64_t kPoolRowGrain = 16;
 void MaxPool1dForward(const float* x, float* out, int64_t* argmax,
                       int64_t rows, int64_t length, int64_t kernel,
                       int64_t stride, int64_t out_length) {
+  TIMEDRL_TRACE_SCOPE_CAT("maxpool1d_fwd", "kernel");
   ParallelFor(0, rows, kPoolRowGrain, [=](int64_t row_begin, int64_t row_end) {
     for (int64_t row = row_begin; row < row_end; ++row) {
       const float* xrow = x + row * length;
@@ -37,6 +39,7 @@ void MaxPool1dForward(const float* x, float* out, int64_t* argmax,
 void MaxPool1dBackwardAccumulate(const float* g, const int64_t* argmax,
                                  float* gx, int64_t rows, int64_t length,
                                  int64_t out_length) {
+  TIMEDRL_TRACE_SCOPE_CAT("maxpool1d_bwd", "kernel");
   ParallelFor(0, rows, kPoolRowGrain, [=](int64_t row_begin, int64_t row_end) {
     for (int64_t row = row_begin; row < row_end; ++row) {
       for (int64_t l = 0; l < out_length; ++l) {
@@ -49,6 +52,7 @@ void MaxPool1dBackwardAccumulate(const float* g, const int64_t* argmax,
 
 void AvgPool1dForward(const float* x, float* out, int64_t rows, int64_t length,
                       int64_t kernel, int64_t stride, int64_t out_length) {
+  TIMEDRL_TRACE_SCOPE_CAT("avgpool1d_fwd", "kernel");
   const float inv_kernel = 1.0f / static_cast<float>(kernel);
   ParallelFor(0, rows, kPoolRowGrain, [=](int64_t row_begin, int64_t row_end) {
     for (int64_t row = row_begin; row < row_end; ++row) {
@@ -65,6 +69,7 @@ void AvgPool1dForward(const float* x, float* out, int64_t rows, int64_t length,
 void AvgPool1dBackwardAccumulate(const float* g, float* gx, int64_t rows,
                                  int64_t length, int64_t kernel,
                                  int64_t stride, int64_t out_length) {
+  TIMEDRL_TRACE_SCOPE_CAT("avgpool1d_bwd", "kernel");
   const float inv_kernel = 1.0f / static_cast<float>(kernel);
   ParallelFor(0, rows, kPoolRowGrain, [=](int64_t row_begin, int64_t row_end) {
     for (int64_t row = row_begin; row < row_end; ++row) {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "tensor/kernels/elementwise.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace timedrl::kernels {
@@ -32,6 +33,7 @@ void ForEachRow(int64_t outer, int64_t dim, int64_t inner, Fn fn) {
 void ReduceAddStrided(const Shape& in_shape,
                       const std::vector<int64_t>& acc_strides, const float* in,
                       float* out) {
+  TIMEDRL_TRACE_SCOPE_CAT("reduce_add", "kernel");
   const std::vector<int64_t> zero(in_shape.size(), 0);
   ForEachBroadcast2Range(in_shape, acc_strides, zero, 0, NumElements(in_shape),
                          [&](int64_t i, int64_t slot, int64_t) {
@@ -42,6 +44,7 @@ void ReduceAddStrided(const Shape& in_shape,
 void BroadcastAddStrided(const Shape& in_shape,
                          const std::vector<int64_t>& acc_strides,
                          const float* g, float* ga) {
+  TIMEDRL_TRACE_SCOPE_CAT("broadcast_add", "kernel");
   const std::vector<int64_t> zero(in_shape.size(), 0);
   const int64_t total = NumElements(in_shape);
   ParallelFor(0, total, kElementwiseGrain, [&](int64_t begin, int64_t end) {
@@ -54,6 +57,7 @@ void BroadcastAddStrided(const Shape& in_shape,
 
 void SoftmaxForward(const float* x, float* y, int64_t outer, int64_t dim,
                     int64_t inner) {
+  TIMEDRL_TRACE_SCOPE_CAT("softmax_fwd", "kernel");
   ForEachRow(outer, dim, inner, [=](int64_t o, int64_t i) {
     float max_value = -std::numeric_limits<float>::infinity();
     for (int64_t d = 0; d < dim; ++d) {
@@ -71,6 +75,7 @@ void SoftmaxForward(const float* x, float* y, int64_t outer, int64_t dim,
 
 void SoftmaxBackwardAccumulate(const float* g, const float* y, float* ga,
                                int64_t outer, int64_t dim, int64_t inner) {
+  TIMEDRL_TRACE_SCOPE_CAT("softmax_bwd", "kernel");
   ForEachRow(outer, dim, inner, [=](int64_t o, int64_t i) {
     float dot = 0.0f;
     for (int64_t d = 0; d < dim; ++d) {
@@ -86,6 +91,7 @@ void SoftmaxBackwardAccumulate(const float* g, const float* y, float* ga,
 
 void LogSoftmaxForward(const float* x, float* y, int64_t outer, int64_t dim,
                        int64_t inner) {
+  TIMEDRL_TRACE_SCOPE_CAT("log_softmax_fwd", "kernel");
   ForEachRow(outer, dim, inner, [=](int64_t o, int64_t i) {
     float max_value = -std::numeric_limits<float>::infinity();
     for (int64_t d = 0; d < dim; ++d) {
@@ -105,6 +111,7 @@ void LogSoftmaxForward(const float* x, float* y, int64_t outer, int64_t dim,
 
 void LogSoftmaxBackwardAccumulate(const float* g, const float* y, float* ga,
                                   int64_t outer, int64_t dim, int64_t inner) {
+  TIMEDRL_TRACE_SCOPE_CAT("log_softmax_bwd", "kernel");
   ForEachRow(outer, dim, inner, [=](int64_t o, int64_t i) {
     float g_sum = 0.0f;
     for (int64_t d = 0; d < dim; ++d) {
@@ -119,6 +126,7 @@ void LogSoftmaxBackwardAccumulate(const float* g, const float* y, float* ga,
 
 void MaxForward(const float* x, float* y, int64_t* argmax, int64_t outer,
                 int64_t dim, int64_t inner) {
+  TIMEDRL_TRACE_SCOPE_CAT("max_fwd", "kernel");
   ForEachRow(outer, dim, inner, [=](int64_t o, int64_t i) {
     float best = -std::numeric_limits<float>::infinity();
     int64_t best_index = 0;
@@ -136,6 +144,7 @@ void MaxForward(const float* x, float* y, int64_t* argmax, int64_t outer,
 
 void MaxBackwardAccumulate(const float* g, const int64_t* argmax, float* ga,
                            int64_t outer, int64_t dim, int64_t inner) {
+  TIMEDRL_TRACE_SCOPE_CAT("max_bwd", "kernel");
   ForEachRow(outer, dim, inner, [=](int64_t o, int64_t i) {
     const int64_t d = argmax[o * inner + i];
     ga[(o * dim + d) * inner + i] += g[o * inner + i];
@@ -144,6 +153,7 @@ void MaxBackwardAccumulate(const float* g, const int64_t* argmax, float* ga,
 
 void ArgMaxForward(const float* x, int64_t* argmax, int64_t outer, int64_t dim,
                    int64_t inner) {
+  TIMEDRL_TRACE_SCOPE_CAT("argmax_fwd", "kernel");
   ForEachRow(outer, dim, inner, [=](int64_t o, int64_t i) {
     float best = -std::numeric_limits<float>::infinity();
     int64_t best_index = 0;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "obs/trace.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/kernels/conv1d.h"
 #include "tensor/kernels/pool.h"
@@ -13,6 +14,7 @@ namespace timedrl {
 
 Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               int64_t stride, int64_t padding, int64_t dilation) {
+  TIMEDRL_TRACE_OP("conv1d");
   TIMEDRL_CHECK_EQ(input.dim(), 3) << "Conv1d input must be [B, C_in, L]";
   TIMEDRL_CHECK_EQ(weight.dim(), 3) << "Conv1d weight must be [C_out, C_in, K]";
   TIMEDRL_CHECK_GE(stride, 1);
@@ -75,6 +77,7 @@ Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
 }
 
 Tensor MaxPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
+  TIMEDRL_TRACE_OP("max_pool1d");
   TIMEDRL_CHECK_EQ(input.dim(), 3) << "MaxPool1d input must be [B, C, L]";
   TIMEDRL_CHECK_GE(kernel, 1);
   TIMEDRL_CHECK_GE(stride, 1);
@@ -102,6 +105,7 @@ Tensor MaxPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
 }
 
 Tensor AvgPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
+  TIMEDRL_TRACE_OP("avg_pool1d");
   TIMEDRL_CHECK_EQ(input.dim(), 3) << "AvgPool1d input must be [B, C, L]";
   TIMEDRL_CHECK_GE(kernel, 1);
   TIMEDRL_CHECK_GE(stride, 1);

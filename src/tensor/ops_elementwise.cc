@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/kernels/elementwise.h"
 #include "tensor/ops.h"
@@ -19,6 +20,7 @@ namespace {
 template <typename FwdFn, typename DaFn, typename DbFn>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn dfda,
                 DbFn dfdb) {
+  TIMEDRL_TRACE_OP("elementwise_binary");
   const Shape out_shape = BroadcastShape(a.shape(), b.shape());
   const std::vector<int64_t> sa = BroadcastStrides(a.shape(), out_shape);
   const std::vector<int64_t> sb = BroadcastStrides(b.shape(), out_shape);
@@ -60,6 +62,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn dfda,
 // Shared implementation for unary ops. `dfda(a, out)` is the derivative.
 template <typename FwdFn, typename DaFn>
 Tensor UnaryOp(const Tensor& a, FwdFn fwd, DaFn dfda) {
+  TIMEDRL_TRACE_OP("elementwise_unary");
   std::vector<float> out = pool::AcquireUninit(a.numel());
   kernels::Map(a.data().data(), out.data(), a.numel(), fwd);
 

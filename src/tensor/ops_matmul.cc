@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "obs/trace.h"
 #include "tensor/broadcast_iter.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/kernels/gemm.h"
@@ -13,6 +14,7 @@
 namespace timedrl {
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TIMEDRL_TRACE_OP("matmul");
   TIMEDRL_CHECK_GE(a.dim(), 2);
   TIMEDRL_CHECK_GE(b.dim(), 2);
   const int64_t m = a.size(-2);

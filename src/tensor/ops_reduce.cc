@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "obs/trace.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/kernels/reduce.h"
 #include "tensor/ops.h"
@@ -25,6 +26,7 @@ void OuterInner(const Shape& shape, int64_t dim, int64_t* outer,
 
 // Sum over `dims`, always keeping reduced dims as size 1.
 Tensor SumKeepdim(const Tensor& a, const std::vector<int64_t>& dims) {
+  TIMEDRL_TRACE_OP("sum");
   Shape out_shape = a.shape();
   for (int64_t dim : dims) out_shape[NormalizeDim(dim, a.dim())] = 1;
 
@@ -87,6 +89,7 @@ Tensor Mean(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
 }
 
 Tensor Max(const Tensor& a, int64_t dim, bool keepdim) {
+  TIMEDRL_TRACE_OP("max");
   const int64_t rank = a.dim();
   dim = NormalizeDim(dim, rank);
   int64_t outer, dim_size, inner;
@@ -125,6 +128,7 @@ std::vector<int64_t> ArgMax(const Tensor& a, int64_t dim) {
 }
 
 Tensor Softmax(const Tensor& a, int64_t dim) {
+  TIMEDRL_TRACE_OP("softmax");
   const int64_t rank = a.dim();
   dim = NormalizeDim(dim, rank);
   int64_t outer, dim_size, inner;
@@ -145,6 +149,7 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
 }
 
 Tensor LogSoftmax(const Tensor& a, int64_t dim) {
+  TIMEDRL_TRACE_OP("log_softmax");
   const int64_t rank = a.dim();
   dim = NormalizeDim(dim, rank);
   int64_t outer, dim_size, inner;
@@ -166,6 +171,7 @@ Tensor LogSoftmax(const Tensor& a, int64_t dim) {
 }
 
 Tensor CrossEntropy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  TIMEDRL_TRACE_OP("cross_entropy");
   TIMEDRL_CHECK_EQ(logits.dim(), 2);
   const int64_t n = logits.size(0);
   const int64_t num_classes = logits.size(1);
@@ -191,6 +197,7 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int64_t>& labels) {
 }
 
 Tensor MseLoss(const Tensor& prediction, const Tensor& target) {
+  TIMEDRL_TRACE_OP("mse_loss");
   TIMEDRL_CHECK(prediction.shape() == target.shape())
       << "MseLoss shapes " << ShapeToString(prediction.shape()) << " vs "
       << ShapeToString(target.shape());

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/kernels/copy.h"
 #include "tensor/kernels/reduce.h"
@@ -47,6 +48,7 @@ Tensor Reshape(const Tensor& a, Shape shape) {
 }
 
 Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
+  TIMEDRL_TRACE_OP("permute");
   const int64_t rank = a.dim();
   TIMEDRL_CHECK_EQ(static_cast<int64_t>(perm.size()), rank);
   std::vector<bool> seen(rank, false);
@@ -92,6 +94,7 @@ Tensor Transpose(const Tensor& a, int64_t dim0, int64_t dim1) {
 }
 
 Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t len) {
+  TIMEDRL_TRACE_OP("slice");
   const int64_t rank = a.dim();
   dim = NormalizeDim(dim, rank);
   TIMEDRL_CHECK(start >= 0 && len >= 0 && start + len <= a.size(dim))
@@ -126,6 +129,7 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t len) {
 }
 
 Tensor Concat(const std::vector<Tensor>& tensors, int64_t dim) {
+  TIMEDRL_TRACE_OP("concat");
   TIMEDRL_CHECK(!tensors.empty());
   const int64_t rank = tensors[0].dim();
   dim = NormalizeDim(dim, rank);

@@ -1,3 +1,4 @@
+#include "obs/trace.h"
 #include "tensor/tensor.h"
 
 #include <algorithm>
@@ -226,6 +227,7 @@ void Tensor::Backward(bool retain_graph) {
 }
 
 void Tensor::Backward(const Tensor& grad_seed, bool retain_graph) {
+  TIMEDRL_TRACE_SCOPE_CAT("backward", "autograd");
   TIMEDRL_CHECK(defined());
   TIMEDRL_CHECK(grad_seed.shape() == shape())
       << "grad seed shape " << ShapeToString(grad_seed.shape())

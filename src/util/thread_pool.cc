@@ -6,6 +6,8 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace timedrl {
@@ -17,6 +19,24 @@ thread_local bool t_in_worker = false;
 
 std::mutex g_global_mutex;
 std::atomic<ThreadPool*> g_global_pool{nullptr};
+
+/// Registry-backed scheduler statistics, looked up once.
+struct PoolCounters {
+  obs::Counter& parallel_fors =
+      obs::Registry::Global().GetCounter("threadpool.parallel_fors");
+  obs::Counter& inline_runs =
+      obs::Registry::Global().GetCounter("threadpool.inline_runs");
+  obs::Counter& chunks =
+      obs::Registry::Global().GetCounter("threadpool.chunks");
+  obs::Counter& helper_tasks =
+      obs::Registry::Global().GetCounter("threadpool.helper_tasks");
+};
+
+PoolCounters& pool_counters() {
+  // Leaked: workers may record during static destruction.
+  static PoolCounters* c = new PoolCounters;
+  return *c;
+}
 
 }  // namespace
 
@@ -38,10 +58,12 @@ struct ThreadPool::ParallelState {
   // `active` for the whole scan so the caller can wait for quiescence.
   void RunChunks() {
     active.fetch_add(1, std::memory_order_acq_rel);
+    int64_t chunks_run = 0;
     for (;;) {
       const int64_t chunk_begin = cursor.fetch_add(grain);
       if (chunk_begin >= end) break;
       const int64_t chunk_end = std::min(end, chunk_begin + grain);
+      ++chunks_run;
       try {
         fn(chunk_begin, chunk_end);
       } catch (...) {
@@ -50,6 +72,9 @@ struct ThreadPool::ParallelState {
         // Abort: make every subsequent claim see an exhausted range.
         cursor.store(end);
       }
+    }
+    if (chunks_run > 0) {
+      pool_counters().chunks.Increment(static_cast<uint64_t>(chunks_run));
     }
     if (active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(mutex);
@@ -96,13 +121,17 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   TIMEDRL_CHECK_GE(grain, 1);
   const int64_t range = end - begin;
   if (num_threads_ == 1 || range <= grain || t_in_worker) {
+    pool_counters().inline_runs.Increment();
     fn(begin, end);
     return;
   }
+  TIMEDRL_TRACE_SCOPE_CAT("parallel_for", "threadpool");
+  pool_counters().parallel_fors.Increment();
 
   const int64_t num_chunks = (range + grain - 1) / grain;
   const int helpers = static_cast<int>(
       std::min<int64_t>(num_chunks, num_threads_) - 1);
+  pool_counters().helper_tasks.Increment(static_cast<uint64_t>(helpers));
 
   auto state = std::make_shared<ParallelState>();
   state->fn = fn;

@@ -36,8 +36,8 @@ TEST_P(SslBaselineTest, TrainsAndEncodes) {
 
   core::ClassificationSource source(&dataset);
   core::PretrainConfig config;
-  config.epochs = 3;
-  config.batch_size = 16;
+  config.train.epochs = 3;
+  config.train.batch_size = 16;
   std::vector<double> history = TrainSslBaseline(model.get(), source, config,
                                                  rng);
   ASSERT_EQ(history.size(), 3u);
@@ -111,8 +111,8 @@ TEST(BaselineLossDecreasesTest, Ts2VecLossDecreases) {
   core::ForecastingSource source(&windows, /*channel_independent=*/false);
   Ts2Vec model(7, 16, 2, rng);
   core::PretrainConfig config;
-  config.epochs = 5;
-  config.batch_size = 16;
+  config.train.epochs = 5;
+  config.train.batch_size = 16;
   std::vector<double> history =
       TrainSslBaseline(&model, source, config, rng);
   EXPECT_LT(history.back(), history.front());
@@ -129,8 +129,8 @@ TEST(EndToEndTest, InformerAndTcnLearnAR1) {
   data::ForecastingWindows windows(series, 24, 8, /*stride=*/2);
 
   core::DownstreamConfig config;
-  config.epochs = 12;
-  config.batch_size = 16;
+  config.train.epochs = 12;
+  config.train.batch_size = 16;
 
   InformerLite informer(2, 8, 16, 1, rng);
   TrainEndToEnd(&informer, windows, config, rng);
@@ -151,14 +151,14 @@ TEST(BaselineProbeTest, ProbesRun) {
   Ts2Vec model(1, 16, 2, rng);
   core::ClassificationSource source(&splits.train);
   core::PretrainConfig pretrain_config;
-  pretrain_config.epochs = 5;
-  pretrain_config.batch_size = 16;
+  pretrain_config.train.epochs = 5;
+  pretrain_config.train.batch_size = 16;
   TrainSslBaseline(&model, source, pretrain_config, rng);
 
   BaselineClassifyProbe probe(&model, 2, rng);
   core::DownstreamConfig downstream;
-  downstream.epochs = 10;
-  downstream.batch_size = 16;
+  downstream.train.epochs = 10;
+  downstream.train.batch_size = 16;
   probe.Train(splits.train, downstream, rng);
   core::ClassificationMetrics result = probe.Evaluate(splits.test);
   EXPECT_GE(result.accuracy, 0.5);  // two classes; must be at least chance

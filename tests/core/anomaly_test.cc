@@ -56,8 +56,8 @@ TEST(ReconstructionErrorTest, PretrainedModelFlagsStructuralBreaks) {
   TimeDrlModel model(config, rng);
 
   PretrainConfig pretrain;
-  pretrain.epochs = 12;
-  pretrain.batch_size = 16;
+  pretrain.train.epochs = 12;
+  pretrain.train.batch_size = 16;
   Pretrain(&model, source, pretrain, rng);
 
   NoGradGuard guard;

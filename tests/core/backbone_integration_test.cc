@@ -67,8 +67,8 @@ TEST_P(BackboneIntegrationTest, PretextLossDecreases) {
 
   TimeDrlModel model(ConfigFor(GetParam()), rng);
   PretrainConfig config;
-  config.epochs = 3;
-  config.batch_size = 16;
+  config.train.epochs = 3;
+  config.train.batch_size = 16;
   PretrainHistory history = Pretrain(&model, source, config, rng);
   EXPECT_LT(history.total.back(), history.total.front())
       << nn::BackboneName(GetParam());

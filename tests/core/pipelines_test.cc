@@ -80,8 +80,8 @@ TEST(ForecastingPipelineTest, LinearEvalFreezesEncoder) {
   data::ForecastingWindows train(series, 16, 4, 2);
   ForecastingPipeline pipeline(&model, 4, 3, true, rng);
   DownstreamConfig config;
-  config.epochs = 2;
-  config.batch_size = 8;
+  config.train.epochs = 2;
+  config.train.batch_size = 8;
   pipeline.Train(train, config, rng);
 
   std::vector<Tensor> after = model.Parameters();
@@ -102,8 +102,8 @@ TEST(ForecastingPipelineTest, FineTuneUpdatesEncoder) {
   data::ForecastingWindows train(series, 16, 4, 2);
   ForecastingPipeline pipeline(&model, 4, 3, true, rng);
   DownstreamConfig config;
-  config.epochs = 2;
-  config.batch_size = 8;
+  config.train.epochs = 2;
+  config.train.batch_size = 8;
   config.fine_tune_encoder = true;
   pipeline.Train(train, config, rng);
 
@@ -124,8 +124,8 @@ TEST(ForecastingPipelineTest, LearnsPredictableSignal) {
   data::ForecastingWindows train(series, 16, 4, 1);
   ForecastingPipeline pipeline(&model, 4, 2, true, rng);
   DownstreamConfig config;
-  config.epochs = 10;
-  config.batch_size = 16;
+  config.train.epochs = 10;
+  config.train.batch_size = 16;
   config.fine_tune_encoder = true;
   pipeline.Train(train, config, rng);
   ForecastMetrics metrics = pipeline.Evaluate(train);
@@ -160,8 +160,8 @@ TEST(ClassificationPipelineTest, EvaluateReportsAllThreeMetrics) {
   ClassificationPipeline pipeline(&model, dataset.num_classes, Pooling::kCls,
                                   rng);
   DownstreamConfig downstream;
-  downstream.epochs = 5;
-  downstream.batch_size = 16;
+  downstream.train.epochs = 5;
+  downstream.train.batch_size = 16;
   downstream.fine_tune_encoder = true;
   pipeline.Train(dataset, downstream, rng);
   ClassificationMetrics metrics = pipeline.Evaluate(dataset);
@@ -182,8 +182,8 @@ TEST(PretrainerTest, LossesDecreaseAndModelEndsInEval) {
 
   TimeDrlModel model(CiConfig(), rng);
   PretrainConfig config;
-  config.epochs = 4;
-  config.batch_size = 16;
+  config.train.epochs = 4;
+  config.train.batch_size = 16;
   PretrainHistory history = Pretrain(&model, source, config, rng);
   ASSERT_EQ(history.total.size(), 4u);
   EXPECT_LT(history.total.back(), history.total.front());
@@ -199,8 +199,8 @@ TEST(PretrainerTest, AugmentationPathRuns) {
   ForecastingSource source(&windows, true);
   TimeDrlModel model(CiConfig(), rng);
   PretrainConfig config;
-  config.epochs = 2;
-  config.batch_size = 16;
+  config.train.epochs = 2;
+  config.train.batch_size = 16;
   config.augmentation = augment::Kind::kJitter;
   PretrainHistory history = Pretrain(&model, source, config, rng);
   EXPECT_TRUE(std::isfinite(history.total.back()));

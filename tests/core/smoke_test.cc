@@ -35,8 +35,8 @@ TEST(CoreSmokeTest, PretrainAndForecastProbe) {
 
   ForecastingSource source(&train, /*channel_independent=*/true);
   PretrainConfig pretrain_config;
-  pretrain_config.epochs = 2;
-  pretrain_config.batch_size = 8;
+  pretrain_config.train.epochs = 2;
+  pretrain_config.train.batch_size = 8;
   PretrainHistory history = Pretrain(&model, source, pretrain_config, rng);
   ASSERT_EQ(history.total.size(), 2u);
   EXPECT_LT(history.total.back(), history.total.front());
@@ -44,8 +44,8 @@ TEST(CoreSmokeTest, PretrainAndForecastProbe) {
   ForecastingPipeline pipeline(&model, /*horizon=*/12, /*channels=*/7,
                                /*channel_independent=*/true, rng);
   DownstreamConfig downstream;
-  downstream.epochs = 2;
-  downstream.batch_size = 8;
+  downstream.train.epochs = 2;
+  downstream.train.batch_size = 8;
   pipeline.Train(train, downstream, rng);
   ForecastMetrics metrics = pipeline.Evaluate(test);
   EXPECT_GT(metrics.mse, 0.0);
@@ -71,16 +71,16 @@ TEST(CoreSmokeTest, PretrainAndClassifyProbe) {
 
   ClassificationSource source(&splits.train);
   PretrainConfig pretrain_config;
-  pretrain_config.epochs = 12;
-  pretrain_config.batch_size = 16;
+  pretrain_config.train.epochs = 12;
+  pretrain_config.train.batch_size = 16;
   Pretrain(&model, source, pretrain_config, rng);
 
   ClassificationPipeline pipeline(&model, dataset.num_classes, Pooling::kCls,
                                   rng);
   DownstreamConfig downstream;
-  downstream.epochs = 30;
-  downstream.batch_size = 16;
-  downstream.learning_rate = 3e-3f;
+  downstream.train.epochs = 30;
+  downstream.train.batch_size = 16;
+  downstream.train.learning_rate = 3e-3f;
   pipeline.Train(splits.train, downstream, rng);
   ClassificationMetrics metrics = pipeline.Evaluate(splits.test);
   // 6 classes, chance = 1/6; the linear probe on SSL features must clearly
@@ -107,8 +107,8 @@ TEST(CoreSmokeTest, SupervisedFineTuneLearnsHarLike) {
   ClassificationPipeline pipeline(&model, dataset.num_classes, Pooling::kCls,
                                   rng);
   DownstreamConfig downstream;
-  downstream.epochs = 15;
-  downstream.batch_size = 16;
+  downstream.train.epochs = 15;
+  downstream.train.batch_size = 16;
   downstream.fine_tune_encoder = true;
   pipeline.Train(splits.train, downstream, rng);
   ClassificationMetrics metrics = pipeline.Evaluate(splits.test);

@@ -62,8 +62,8 @@ TEST(ConcatSourceTest, PretrainingAcrossDatasetsRuns) {
   TimeDrlModel model(config, rng);
 
   PretrainConfig pretrain;
-  pretrain.epochs = 2;
-  pretrain.batch_size = 16;
+  pretrain.train.epochs = 2;
+  pretrain.train.batch_size = 16;
   PretrainHistory history = Pretrain(&model, combined, pretrain, rng);
   EXPECT_LT(history.total.back(), history.total.front());
 }

@@ -1,0 +1,190 @@
+// Metrics registry: counter/gauge/histogram semantics, stability of
+// returned references, concurrent increments (run under the TSan Sanitize
+// recipe, see DESIGN.md §10), snapshot lookups, and JSON export.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace timedrl::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter counter;
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(GaugeTest, SetAddSetMax) {
+  Gauge gauge;
+  gauge.Set(10.0);
+  gauge.Add(-4.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 6.0);
+  gauge.SetMax(3.0);  // below current: no-op
+  EXPECT_DOUBLE_EQ(gauge.value(), 6.0);
+  gauge.SetMax(9.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 9.0);
+}
+
+TEST(GaugeTest, ConcurrentAddsSumExactly) {
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kAddsPerThread; ++i) gauge.Add(1.0);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Every CAS-looped add of 1.0 is exact in double, so no tolerance needed.
+  EXPECT_DOUBLE_EQ(gauge.value(),
+                   static_cast<double>(kThreads) * kAddsPerThread);
+}
+
+TEST(HistogramTest, StatsAndQuantiles) {
+  Histogram histogram;
+  for (int i = 1; i <= 100; ++i) histogram.Observe(static_cast<double>(i));
+  const HistogramStats stats = histogram.Snapshot();
+  EXPECT_EQ(stats.count, 100u);
+  EXPECT_DOUBLE_EQ(stats.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 100.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 50.5);
+  // Bucket-resolution quantiles: the p50 observation (50) falls in the
+  // [32, 64) bucket, so the estimate is that bucket's upper bound.
+  EXPECT_DOUBLE_EQ(stats.ApproxQuantile(0.5), 64.0);
+  EXPECT_GE(stats.ApproxQuantile(0.99), 100.0);
+}
+
+TEST(HistogramTest, ConcurrentObservesCountEverything) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kObservationsPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kObservationsPerThread; ++i) {
+        histogram.Observe(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const HistogramStats stats = histogram.Snapshot();
+  EXPECT_EQ(stats.count,
+            static_cast<uint64_t>(kThreads) * kObservationsPerThread);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, static_cast<double>(kThreads));
+}
+
+TEST(RegistryTest, LookupsAreStableAndShared) {
+  Registry registry;
+  Counter& a = registry.GetCounter("unit.counter");
+  Counter& b = registry.GetCounter("unit.counter");
+  EXPECT_EQ(&a, &b) << "same name must map to the same counter";
+  a.Increment(7);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(RegistryTest, ConcurrentLookupAndIncrementThroughRegistry) {
+  // The registry is the synchronization point subsystems actually use:
+  // threads race first-lookup creation AND the increments themselves.
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter& counter = registry.GetCounter("unit.contended");
+      for (int i = 0; i < kIncrementsPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("unit.contended").value(),
+            static_cast<uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(RegistryTest, SnapshotFindsByName) {
+  Registry registry;
+  registry.GetCounter("unit.hits").Increment(3);
+  registry.GetGauge("unit.level").Set(2.5);
+  registry.GetHistogram("unit.latency").Observe(10.0);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("unit.hits"), 3u);
+  EXPECT_DOUBLE_EQ(snapshot.GaugeValue("unit.level"), 2.5);
+  const HistogramStats* latency = snapshot.FindHistogram("unit.latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, 1u);
+  // Absent names degrade to zero / null, not UB.
+  EXPECT_EQ(snapshot.CounterValue("unit.absent"), 0u);
+  EXPECT_DOUBLE_EQ(snapshot.GaugeValue("unit.absent"), 0.0);
+  EXPECT_EQ(snapshot.FindHistogram("unit.absent"), nullptr);
+}
+
+TEST(RegistryTest, ResetZeroesCountersAndHistogramsButNotGauges) {
+  Registry registry;
+  registry.GetCounter("unit.hits").Increment(3);
+  registry.GetGauge("unit.bytes").Set(1024.0);
+  registry.GetHistogram("unit.latency").Observe(10.0);
+
+  registry.Reset();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("unit.hits"), 0u);
+  EXPECT_EQ(snapshot.FindHistogram("unit.latency")->count, 0u);
+  // Gauges track live state (e.g. pool bytes); reset must not falsify them.
+  EXPECT_DOUBLE_EQ(snapshot.GaugeValue("unit.bytes"), 1024.0);
+}
+
+TEST(RegistryTest, WriteJsonContainsAllSections) {
+  Registry registry;
+  registry.GetCounter("unit.hits").Increment(3);
+  registry.GetGauge("unit.level").Set(2.5);
+  registry.GetHistogram("unit.latency").Observe(10.0);
+
+  std::ostringstream json;
+  registry.WriteJson(json);
+  const std::string out = json.str();
+  EXPECT_NE(out.find("\"counters\""), std::string::npos);
+  EXPECT_NE(out.find("\"unit.hits\":3"), std::string::npos);
+  EXPECT_NE(out.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(out.find("\"unit.level\""), std::string::npos);
+  EXPECT_NE(out.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(out.find("\"unit.latency\""), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+}
+
+TEST(RegistryTest, GlobalIsProcessWide) {
+  Counter& counter = Registry::Global().GetCounter("unit.global_smoke");
+  const uint64_t before = counter.value();
+  Registry::Global().GetCounter("unit.global_smoke").Increment();
+  EXPECT_EQ(counter.value(), before + 1);
+}
+
+}  // namespace
+}  // namespace timedrl::obs

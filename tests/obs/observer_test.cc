@@ -1,0 +1,110 @@
+// TrainObserver sinks: ConsoleObserver's line format (the contract that
+// preserved the old `verbose` output), MetricsObserver's registry writes,
+// and MultiObserver fan-out.
+
+#include "obs/observer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace timedrl::obs {
+namespace {
+
+EpochStats MakeEpochStats() {
+  EpochStats stats;
+  stats.phase = "pretrain";
+  stats.loss_label = "L";
+  stats.epoch = 2;  // 0-based; printed as 3
+  stats.num_epochs = 10;
+  stats.steps = 5;
+  stats.loss = 0.5;
+  stats.grad_norm = 1.25;
+  stats.learning_rate = 0.001f;
+  stats.extra = {{"L_P", 0.25}, {"L_C", 0.125}};
+  return stats;
+}
+
+TEST(ConsoleObserverTest, EpochLineMatchesLegacyVerboseFormat) {
+  std::ostringstream out;
+  ConsoleObserver observer(&out);
+  observer.OnEpochEnd(MakeEpochStats());
+  EXPECT_EQ(out.str(), "pretrain epoch 3/10 L=0.5 L_P=0.25 L_C=0.125\n");
+}
+
+TEST(ConsoleObserverTest, NoExtrasOmitsTrailingFields) {
+  std::ostringstream out;
+  ConsoleObserver observer(&out);
+  EpochStats stats;
+  stats.phase = "forecast head";
+  stats.loss_label = "mse";
+  stats.epoch = 0;
+  stats.num_epochs = 1;
+  stats.loss = 2.0;
+  observer.OnEpochEnd(stats);
+  EXPECT_EQ(out.str(), "forecast head epoch 1/1 mse=2\n");
+}
+
+TEST(ConsoleObserverTest, StepsAreSilent) {
+  std::ostringstream out;
+  ConsoleObserver observer(&out);
+  observer.OnStep(StepStats{});
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(MetricsObserverTest, PublishesCountersGaugesAndStepHistogram) {
+  MetricsObserver observer("unit_obs");
+  Registry& registry = Registry::Global();
+  registry.GetCounter("unit_obs.steps").Reset();
+  registry.GetCounter("unit_obs.epochs").Reset();
+  registry.GetHistogram("unit_obs.step_loss").Reset();
+
+  StepStats step;
+  step.loss = 0.75;
+  observer.OnStep(step);
+  step.loss = 0.25;
+  observer.OnStep(step);
+  observer.OnEpochEnd(MakeEpochStats());
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("unit_obs.steps"), 2u);
+  EXPECT_EQ(snapshot.CounterValue("unit_obs.epochs"), 1u);
+  const HistogramStats* step_loss = snapshot.FindHistogram("unit_obs.step_loss");
+  ASSERT_NE(step_loss, nullptr);
+  EXPECT_EQ(step_loss->count, 2u);
+  EXPECT_DOUBLE_EQ(step_loss->sum, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.GaugeValue("unit_obs.loss"), 0.5);
+  EXPECT_DOUBLE_EQ(snapshot.GaugeValue("unit_obs.grad_norm"), 1.25);
+  EXPECT_NEAR(snapshot.GaugeValue("unit_obs.lr"), 0.001, 1e-9);
+  // Extras become gauges under the observer's prefix.
+  EXPECT_DOUBLE_EQ(snapshot.GaugeValue("unit_obs.L_P"), 0.25);
+  EXPECT_DOUBLE_EQ(snapshot.GaugeValue("unit_obs.L_C"), 0.125);
+}
+
+TEST(MultiObserverTest, FansOutAndSkipsNullChildren) {
+  struct CountingObserver : TrainObserver {
+    int steps = 0;
+    int epochs = 0;
+    void OnStep(const StepStats&) override { ++steps; }
+    void OnEpochEnd(const EpochStats&) override { ++epochs; }
+  };
+  CountingObserver first;
+  CountingObserver second;
+  MultiObserver multi({&first, nullptr, &second});
+
+  multi.OnStep(StepStats{});
+  multi.OnStep(StepStats{});
+  multi.OnEpochEnd(EpochStats{});
+
+  EXPECT_EQ(first.steps, 2);
+  EXPECT_EQ(second.steps, 2);
+  EXPECT_EQ(first.epochs, 1);
+  EXPECT_EQ(second.epochs, 1);
+}
+
+}  // namespace
+}  // namespace timedrl::obs

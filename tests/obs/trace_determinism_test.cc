@@ -1,0 +1,99 @@
+// Regression contract: tracing is an observer, not a participant. Running
+// the exact same seeded training steps with tracing enabled must produce
+// bitwise-identical losses, gradients, and parameters to a run with tracing
+// disabled — instrumentation may only read clocks and append to buffers.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "core/model.h"
+#include "obs/trace.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace timedrl {
+namespace {
+
+struct TrainResult {
+  std::vector<float> losses;
+  std::vector<std::pair<std::string, std::vector<float>>> grads;
+  std::vector<std::pair<std::string, std::vector<float>>> params;
+};
+
+// Deterministic multi-step training run (same recipe as the pool
+// steady-state test): fixed seeds for model, data, and dropout, so two runs
+// differ only through the trace flag.
+TrainResult TrainSteps(int steps) {
+  core::TimeDrlConfig config;
+  config.input_channels = 2;
+  config.input_length = 32;
+  config.patch_length = 8;
+  config.patch_stride = 8;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.ff_dim = 32;
+  config.num_layers = 2;
+
+  Rng rng(42);
+  core::TimeDrlModel model(config, rng);
+  model.Train();
+  optim::AdamW optimizer(model.Parameters(), /*learning_rate=*/1e-3f,
+                         /*weight_decay=*/1e-2f);
+  Rng data_rng(7);
+
+  TrainResult result;
+  for (int i = 0; i < steps; ++i) {
+    Tensor x = Tensor::Randn({4, config.input_length, config.input_channels},
+                             data_rng);
+    auto output = model.PretextStep(x);
+    optimizer.ZeroGrad();
+    output.total.Backward();
+    optim::ClipGradNorm(optimizer.parameters(), /*max_norm=*/5.0f);
+    optimizer.Step();
+    result.losses.push_back(output.total.item());
+  }
+  for (const auto& [name, param] : model.NamedParameters()) {
+    result.grads.emplace_back(
+        name, param.has_grad() ? param.grad() : std::vector<float>{});
+    result.params.emplace_back(name, param.data());
+  }
+  return result;
+}
+
+TEST(TraceDeterminismTest, LossesBitwiseIdenticalWithTracingOn) {
+  obs::SetTraceEnabled(false);
+  const TrainResult reference = TrainSteps(3);
+
+  obs::SetTraceEnabled(true);
+  const TrainResult traced = TrainSteps(3);
+  obs::SetTraceEnabled(false);
+
+  // The traced run must actually have recorded spans — otherwise this test
+  // would pass vacuously with instrumentation compiled out.
+  EXPECT_GT(obs::TraceEventCount(), 0);
+  obs::ClearTraceEvents();
+
+  ASSERT_EQ(reference.losses.size(), traced.losses.size());
+  for (size_t i = 0; i < reference.losses.size(); ++i) {
+    EXPECT_EQ(reference.losses[i], traced.losses[i]) << "loss at step " << i;
+  }
+
+  ASSERT_EQ(reference.grads.size(), traced.grads.size());
+  ASSERT_FALSE(reference.grads.empty());
+  for (size_t i = 0; i < reference.grads.size(); ++i) {
+    EXPECT_EQ(reference.grads[i].second, traced.grads[i].second)
+        << "gradient of " << reference.grads[i].first
+        << " differs with tracing enabled";
+    EXPECT_EQ(reference.params[i].second, traced.params[i].second)
+        << "parameter " << reference.params[i].first
+        << " differs with tracing enabled";
+  }
+}
+
+}  // namespace
+}  // namespace timedrl

@@ -10,8 +10,48 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace timedrl::pool {
 namespace {
+
+// Pool statistics now live in the process-wide metrics registry; this shim
+// reads them back into a struct so the assertions below stay direct.
+struct Stats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t returned = 0;
+  uint64_t dropped = 0;
+  int64_t bytes_live = 0;
+  int64_t bytes_pooled = 0;
+  int64_t high_water_bytes = 0;
+};
+
+Stats GetStats() {
+  const obs::MetricsSnapshot snap = obs::Registry::Global().Snapshot();
+  Stats stats;
+  stats.hits = snap.CounterValue("pool.hits");
+  stats.misses = snap.CounterValue("pool.misses");
+  stats.returned = snap.CounterValue("pool.returned");
+  stats.dropped = snap.CounterValue("pool.dropped");
+  stats.bytes_live = static_cast<int64_t>(snap.GaugeValue("pool.bytes_live"));
+  stats.bytes_pooled =
+      static_cast<int64_t>(snap.GaugeValue("pool.bytes_pooled"));
+  stats.high_water_bytes =
+      static_cast<int64_t>(snap.GaugeValue("pool.high_water_bytes"));
+  return stats;
+}
+
+void ResetStats() {
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetCounter("pool.hits").Reset();
+  registry.GetCounter("pool.misses").Reset();
+  registry.GetCounter("pool.returned").Reset();
+  registry.GetCounter("pool.dropped").Reset();
+  registry.GetGauge("pool.high_water_bytes")
+      .Set(registry.GetGauge("pool.bytes_live").value() +
+           registry.GetGauge("pool.bytes_pooled").value());
+}
 
 // Every test starts from an empty, enabled pool with clean counters and
 // leaves the pool in that state, so tests compose in any order.

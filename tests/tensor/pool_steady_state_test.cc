@@ -16,6 +16,7 @@
 
 #include "core/config.h"
 #include "core/model.h"
+#include "obs/metrics.h"
 #include "optim/optimizer.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/tensor.h"
@@ -73,17 +74,21 @@ TrainResult TrainSteps(int steps) {
   return result;
 }
 
+// Pool counters live in the metrics registry; this helper keeps the
+// assertions below in delta form.
+uint64_t PoolCounter(const char* name) {
+  return obs::Registry::Global().GetCounter(name).value();
+}
+
 class PoolSteadyStateTest : public ::testing::Test {
  protected:
   void SetUp() override {
     pool::SetEnabled(true);
     pool::Clear();
-    pool::ResetStats();
   }
   void TearDown() override {
     pool::SetEnabled(true);
     pool::Clear();
-    pool::ResetStats();
   }
 };
 
@@ -110,14 +115,14 @@ TEST_F(PoolSteadyStateTest, ZeroMissesAfterWarmup) {
   // covers buffers whose lifetime spans a step boundary.
   step();
   step();
-  pool::ResetStats();
+  const uint64_t misses_before = PoolCounter("pool.misses");
+  const uint64_t hits_before = PoolCounter("pool.hits");
 
   for (int i = 0; i < 4; ++i) step();
 
-  const pool::Stats stats = pool::GetStats();
-  EXPECT_EQ(stats.misses, 0u)
+  EXPECT_EQ(PoolCounter("pool.misses"), misses_before)
       << "steady-state training still allocates fresh buffers";
-  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(PoolCounter("pool.hits"), hits_before);
 }
 
 TEST_F(PoolSteadyStateTest, TrainingBitwiseIdenticalWithPoolDisabled) {

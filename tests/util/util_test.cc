@@ -2,7 +2,7 @@
 
 #include <set>
 
-#include "util/logging.h"
+#include "obs/logging.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"

@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,8 @@
 #include "data/synthetic.h"
 #include "data/windows.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
 #include "tools/flag_parser.h"
 
 namespace timedrl::tools {
@@ -45,7 +48,8 @@ void PrintUsage() {
       "            --length N --seed S --out FILE.csv\n"
       "  pretrain  --csv FILE.csv --out MODEL.ckpt [--epochs N] [--window W]\n"
       "            [--patch P] [--d-model D] [--layers L] [--lambda X]\n"
-      "            [--channel-independent] [--seed S]\n"
+      "            [--channel-independent] [--seed S] [--verbose]\n"
+      "            [--metrics]  (print the metrics-registry snapshot)\n"
       "  forecast  --csv FILE.csv --model MODEL.ckpt --horizon H\n"
       "            [--probe-epochs N] [--fine-tune] [architecture flags]\n"
       "  anomaly   --csv FILE.csv --model MODEL.ckpt [--top K]\n"
@@ -137,16 +141,27 @@ int RunPretrain(const FlagParser& flags) {
   core::ForecastingSource source(&windows,
                                  flags.GetBool("channel-independent"));
   core::PretrainConfig pretrain;
-  pretrain.epochs = flags.GetInt("epochs", 10);
-  pretrain.batch_size = flags.GetInt("batch", 32);
-  pretrain.verbose = flags.GetBool("verbose");
+  pretrain.train.epochs = flags.GetInt("epochs", 10);
+  pretrain.train.batch_size = flags.GetInt("batch", 32);
+  obs::ConsoleObserver console;
+  obs::MetricsObserver metrics_observer("train");
+  obs::MultiObserver observers(
+      flags.GetBool("verbose")
+          ? std::vector<obs::TrainObserver*>{&console, &metrics_observer}
+          : std::vector<obs::TrainObserver*>{&metrics_observer});
+  pretrain.train.observer = &observers;
   core::PretrainHistory history = core::Pretrain(&model, source, pretrain,
                                                  rng);
   std::printf("pretext loss: %.4f -> %.4f over %lld epochs\n",
               history.total.front(), history.total.back(),
-              static_cast<long long>(pretrain.epochs));
+              static_cast<long long>(pretrain.train.epochs));
   if (!nn::SaveParameters(model, out)) return 1;
   std::printf("checkpoint saved to %s\n", out.c_str());
+  if (flags.GetBool("metrics")) {
+    std::ostringstream json;
+    obs::Registry::Global().WriteJson(json);
+    std::printf("metrics: %s\n", json.str().c_str());
+  }
   return 0;
 }
 
@@ -187,7 +202,7 @@ int RunForecast(const FlagParser& flags) {
                                      flags.GetBool("channel-independent"),
                                      rng);
   core::DownstreamConfig probe;
-  probe.epochs = flags.GetInt("probe-epochs", 8);
+  probe.train.epochs = flags.GetInt("probe-epochs", 8);
   probe.fine_tune_encoder = flags.GetBool("fine-tune");
   pipeline.Train(train_windows, probe, rng);
   core::ForecastMetrics metrics = pipeline.Evaluate(test_windows);
