@@ -1,0 +1,65 @@
+#include "core/anomaly_guard.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "tensor/ops.h"
+
+namespace timedrl::core {
+
+AnomalyGuard::AnomalyGuard(const AnomalyGuardConfig& config)
+    : config_(config) {}
+
+AnomalyGuard::Action AnomalyGuard::Check(const Tensor& loss, float grad_norm) {
+  // Only finiteness matters to the state machine, so any finite stand-in
+  // works for the clean case; item() would reject non-scalar tensors.
+  const bool loss_bad = CountNonFinite(loss) > 0;
+  return CheckValues(loss_bad ? std::numeric_limits<double>::quiet_NaN() : 0.0,
+                     grad_norm);
+}
+
+AnomalyGuard::Action AnomalyGuard::CheckValues(double loss, float grad_norm) {
+  if (!config_.enabled) return Action::kProceed;
+  if (std::isfinite(loss) && std::isfinite(grad_norm)) {
+    consecutive_skips_ = 0;
+    return Action::kProceed;
+  }
+
+  static obs::Counter& nonfinite =
+      obs::Registry::Global().GetCounter("train.anomaly.nonfinite");
+  nonfinite.Increment();
+  ++consecutive_skips_;
+
+  if (consecutive_skips_ < config_.max_consecutive_skips) {
+    static obs::Counter& skips =
+        obs::Registry::Global().GetCounter("train.anomaly.skipped_steps");
+    skips.Increment();
+    return Action::kSkip;
+  }
+
+  if (rollbacks_ < config_.max_rollbacks) {
+    return Action::kRollback;
+  }
+
+  static obs::Counter& aborts =
+      obs::Registry::Global().GetCounter("train.anomaly.aborts");
+  aborts.Increment();
+  std::ostringstream reason;
+  reason << "aborting: " << consecutive_skips_
+         << " consecutive non-finite steps with all " << config_.max_rollbacks
+         << " rollbacks exhausted";
+  abort_reason_ = reason.str();
+  return Action::kAbort;
+}
+
+void AnomalyGuard::OnRollback() {
+  static obs::Counter& rollbacks =
+      obs::Registry::Global().GetCounter("train.anomaly.rollbacks");
+  rollbacks.Increment();
+  ++rollbacks_;
+  consecutive_skips_ = 0;
+}
+
+}  // namespace timedrl::core

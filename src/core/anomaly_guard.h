@@ -1,0 +1,65 @@
+// Numerical anomaly policy for training loops.
+//
+// Each step the loop reports its loss tensor and post-clip gradient norm.
+// The guard classifies the step:
+//
+//   kProceed   all values finite — apply the optimizer step.
+//   kSkip      NaN/Inf observed — zero gradients, do NOT step, and keep
+//              going. Up to `max_consecutive_skips - 1` steps in a row may
+//              be skipped this way; any finite step resets the streak.
+//   kRollback  the streak reached `max_consecutive_skips` — restore the
+//              last checkpoint and retry with the learning rate multiplied
+//              by `lr_backoff`. At most `max_rollbacks` rollbacks per run.
+//   kAbort     the streak hit the limit again after exhausting rollbacks —
+//              stop training with a structured reason (no crash).
+//
+// Every transition increments a `train.anomaly.*` metric so the episode is
+// visible in the metrics registry without scraping logs.
+
+#ifndef TIMEDRL_CORE_ANOMALY_GUARD_H_
+#define TIMEDRL_CORE_ANOMALY_GUARD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/train_config.h"
+#include "tensor/tensor.h"
+
+namespace timedrl::core {
+
+class AnomalyGuard {
+ public:
+  enum class Action { kProceed, kSkip, kRollback, kAbort };
+
+  explicit AnomalyGuard(const AnomalyGuardConfig& config);
+
+  /// Classifies one training step. The loss tensor is scanned with the
+  /// parallel CountNonFinite kernel (catches NaN and ±Inf anywhere in it);
+  /// `grad_norm` is the value returned by ClipGradNorm, which is non-finite
+  /// whenever any gradient element is.
+  Action Check(const Tensor& loss, float grad_norm);
+
+  /// Scalar-value variant for loops that already extracted the loss.
+  Action CheckValues(double loss, float grad_norm);
+
+  /// The loop must call this after it actually performed the rollback a
+  /// kRollback verdict asked for; resets the skip streak and consumes one
+  /// rollback budget slot.
+  void OnRollback();
+
+  int64_t consecutive_skips() const { return consecutive_skips_; }
+  int64_t rollbacks() const { return rollbacks_; }
+
+  /// Human-readable cause for a kAbort verdict (empty otherwise).
+  const std::string& abort_reason() const { return abort_reason_; }
+
+ private:
+  AnomalyGuardConfig config_;
+  int64_t consecutive_skips_ = 0;
+  int64_t rollbacks_ = 0;
+  std::string abort_reason_;
+};
+
+}  // namespace timedrl::core
+
+#endif  // TIMEDRL_CORE_ANOMALY_GUARD_H_

@@ -1,0 +1,499 @@
+#include "core/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "obs/logging.h"
+#include "util/binary_io.h"
+#include "util/crc32.h"
+#include "util/fault_inject.h"
+
+namespace timedrl::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+using io::ReadScalar;
+using io::ReadString;
+using io::WriteScalar;
+using io::WriteString;
+
+constexpr char kFilePrefix[] = "checkpoint-";
+constexpr char kFileSuffix[] = ".tdrl";
+constexpr uint32_t kMaxRank = 16;
+
+Status Corrupt(const std::string& message) {
+  return Status::Error(StatusCode::kCorruptData, message);
+}
+
+Status IoError(const std::string& message) {
+  return Status::Error(StatusCode::kIoError, message);
+}
+
+// ---- Section writers (payload assembled in memory, CRC'd, then written) ----
+
+void WriteRngStreams(std::ostream& out, const TrainingState& state) {
+  WriteScalar(out, static_cast<uint64_t>(state.rng_streams.size()));
+  for (const auto& [name, stream] : state.rng_streams) {
+    WriteString(out, name);
+    WriteString(out, stream);
+  }
+}
+
+void WriteOptimizer(std::ostream& out, const optim::OptimizerState& opt) {
+  WriteString(out, opt.type);
+  WriteScalar(out, opt.step_count);
+  WriteScalar(out, static_cast<uint64_t>(opt.slots.size()));
+  for (const auto& slot : opt.slots) {
+    WriteScalar(out, static_cast<uint64_t>(slot.size()));
+    out.write(reinterpret_cast<const char*>(slot.data()),
+              static_cast<std::streamsize>(slot.size() * sizeof(float)));
+  }
+}
+
+void WriteCursor(std::ostream& out, const TrainingState& state) {
+  WriteScalar(out, state.epoch);
+  WriteScalar(out, state.global_step);
+  WriteScalar(out, state.learning_rate);
+}
+
+void WriteHistory(std::ostream& out, const TrainingState& state) {
+  WriteScalar(out, static_cast<uint32_t>(state.history.size()));
+  for (const auto& [name, series] : state.history) {
+    WriteString(out, name);
+    WriteScalar(out, static_cast<uint64_t>(series.size()));
+    out.write(reinterpret_cast<const char*>(series.data()),
+              static_cast<std::streamsize>(series.size() * sizeof(double)));
+  }
+}
+
+// ---- Section readers -------------------------------------------------------------
+
+Status ReadRngStreams(std::istream& in, TrainingState* state) {
+  uint64_t count = 0;
+  if (!ReadScalar(in, &count)) return Corrupt("truncated RNG stream count");
+  if (count > 1024) return Corrupt("implausible RNG stream count");
+  state->rng_streams.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    std::string stream;
+    if (!ReadString(in, &name) || !ReadString(in, &stream)) {
+      return Corrupt("truncated RNG stream entry");
+    }
+    state->rng_streams.emplace_back(std::move(name), std::move(stream));
+  }
+  return Status::Ok();
+}
+
+Status ReadOptimizer(std::istream& in, optim::OptimizerState* opt,
+                     std::vector<uint64_t>* slot_sizes_only = nullptr) {
+  if (!ReadString(in, &opt->type)) return Corrupt("truncated optimizer type");
+  if (!ReadScalar(in, &opt->step_count)) {
+    return Corrupt("truncated optimizer step count");
+  }
+  uint64_t num_slots = 0;
+  if (!ReadScalar(in, &num_slots)) return Corrupt("truncated slot count");
+  if (num_slots > (1u << 20)) return Corrupt("implausible slot count");
+  opt->slots.clear();
+  for (uint64_t i = 0; i < num_slots; ++i) {
+    uint64_t n = 0;
+    if (!ReadScalar(in, &n)) return Corrupt("truncated slot size");
+    if (slot_sizes_only != nullptr) {
+      slot_sizes_only->push_back(n);
+      in.seekg(static_cast<std::streamoff>(n * sizeof(float)), std::ios::cur);
+      if (!in) return Corrupt("truncated optimizer slot data");
+      continue;
+    }
+    std::vector<float> slot(n);
+    in.read(reinterpret_cast<char*>(slot.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    if (in.gcount() != static_cast<std::streamsize>(n * sizeof(float))) {
+      return Corrupt("truncated optimizer slot data");
+    }
+    opt->slots.push_back(std::move(slot));
+  }
+  return Status::Ok();
+}
+
+Status ReadCursor(std::istream& in, TrainingState* state) {
+  if (!ReadScalar(in, &state->epoch) || !ReadScalar(in, &state->global_step) ||
+      !ReadScalar(in, &state->learning_rate)) {
+    return Corrupt("truncated training cursor");
+  }
+  return Status::Ok();
+}
+
+Status ReadHistory(std::istream& in, TrainingState* state) {
+  uint32_t count = 0;
+  if (!ReadScalar(in, &count)) return Corrupt("truncated history count");
+  if (count > 1024) return Corrupt("implausible history count");
+  state->history.clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    uint64_t n = 0;
+    if (!ReadString(in, &name) || !ReadScalar(in, &n)) {
+      return Corrupt("truncated history entry");
+    }
+    if (n > (1u << 26)) return Corrupt("implausible history length");
+    std::vector<double> series(n);
+    in.read(reinterpret_cast<char*>(series.data()),
+            static_cast<std::streamsize>(n * sizeof(double)));
+    if (in.gcount() != static_cast<std::streamsize>(n * sizeof(double))) {
+      return Corrupt("truncated history data");
+    }
+    state->history.emplace_back(std::move(name), std::move(series));
+  }
+  return Status::Ok();
+}
+
+// Reads names and shapes out of a parameters body, skipping the float data —
+// lets Inspect summarize a checkpoint without instantiating the model.
+Status SkimParametersBody(std::istream& in,
+                          std::vector<std::pair<std::string, Shape>>* out) {
+  uint64_t count = 0;
+  if (!ReadScalar(in, &count)) return Corrupt("truncated parameter count");
+  if (count > (1u << 20)) return Corrupt("implausible parameter count");
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!ReadString(in, &name)) return Corrupt("truncated parameter name");
+    uint32_t rank = 0;
+    if (!ReadScalar(in, &rank) || rank > kMaxRank) {
+      return Corrupt("bad rank for parameter '" + name + "'");
+    }
+    Shape shape(rank);
+    int64_t numel = 1;
+    for (uint32_t d = 0; d < rank; ++d) {
+      if (!ReadScalar(in, &shape[d]) || shape[d] < 0) {
+        return Corrupt("truncated shape for parameter '" + name + "'");
+      }
+      numel *= shape[d];
+    }
+    in.seekg(static_cast<std::streamoff>(numel * sizeof(float)),
+             std::ios::cur);
+    if (!in) return Corrupt("truncated data for parameter '" + name + "'");
+    out->emplace_back(std::move(name), std::move(shape));
+  }
+  return Status::Ok();
+}
+
+// Skips the mutable-state body during Inspect (module-free parsing).
+Status SkimMutableStateBody(std::istream& in) {
+  uint64_t num_rngs = 0;
+  if (!ReadScalar(in, &num_rngs) || num_rngs > 4096) {
+    return Corrupt("bad mutable-state RNG count");
+  }
+  for (uint64_t i = 0; i < num_rngs; ++i) {
+    std::string skip;
+    if (!ReadString(in, &skip) || !ReadString(in, &skip)) {
+      return Corrupt("truncated mutable-state RNG entry");
+    }
+  }
+  uint64_t num_buffers = 0;
+  if (!ReadScalar(in, &num_buffers) || num_buffers > 4096) {
+    return Corrupt("bad mutable-state buffer count");
+  }
+  for (uint64_t i = 0; i < num_buffers; ++i) {
+    std::string skip;
+    uint64_t n = 0;
+    if (!ReadString(in, &skip) || !ReadScalar(in, &n)) {
+      return Corrupt("truncated mutable-state buffer entry");
+    }
+    in.seekg(static_cast<std::streamoff>(n * sizeof(float)), std::ios::cur);
+    if (!in) return Corrupt("truncated mutable-state buffer data");
+  }
+  uint64_t num_flags = 0;
+  if (!ReadScalar(in, &num_flags) || num_flags > 4096) {
+    return Corrupt("bad mutable-state flag count");
+  }
+  for (uint64_t i = 0; i < num_flags; ++i) {
+    std::string skip;
+    uint8_t value = 0;
+    if (!ReadString(in, &skip) || !ReadScalar(in, &value)) {
+      return Corrupt("truncated mutable-state flag entry");
+    }
+  }
+  return Status::Ok();
+}
+
+// Slurps a file into memory. Whole-file reads let the CRC be validated
+// before any byte is parsed, so a corrupt checkpoint never half-mutates the
+// model it is being restored into.
+Status ReadWholeFile(const std::string& path, std::string* contents) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return IoError("read failed for " + path);
+  *contents = buffer.str();
+  return Status::Ok();
+}
+
+// Validates magic + version and, for v2, the CRC-32 footer. On success
+// `body` is set to the section bytes between the header and the footer.
+Status CheckEnvelope(const std::string& path, const std::string& contents,
+                     uint32_t* version, std::string_view* body,
+                     bool* crc_valid) {
+  constexpr size_t kHeaderBytes = sizeof(nn::kCheckpointMagic) + 4;
+  if (contents.size() < kHeaderBytes ||
+      std::memcmp(contents.data(), nn::kCheckpointMagic,
+                  sizeof(nn::kCheckpointMagic)) != 0) {
+    return Corrupt(path + " is not a TimeDRL checkpoint");
+  }
+  std::memcpy(version, contents.data() + sizeof(nn::kCheckpointMagic), 4);
+  if (*version == nn::kVersionParamsOnly) {
+    if (crc_valid != nullptr) *crc_valid = false;
+    *body = std::string_view(contents).substr(kHeaderBytes);
+    return Status::Ok();
+  }
+  if (*version != nn::kVersionTrainingState) {
+    return Status::Error(
+        StatusCode::kVersionMismatch,
+        "unsupported checkpoint version " + std::to_string(*version));
+  }
+  if (contents.size() < kHeaderBytes + 4) {
+    return Corrupt(path + ": file shorter than header + CRC footer");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, contents.data() + contents.size() - 4, 4);
+  const uint32_t actual_crc = Crc32(contents.data(), contents.size() - 4);
+  const bool valid = stored_crc == actual_crc;
+  if (crc_valid != nullptr) *crc_valid = valid;
+  if (!valid) {
+    return Corrupt(path + ": CRC mismatch (truncated or corrupt tail)");
+  }
+  *body = std::string_view(contents)
+              .substr(kHeaderBytes, contents.size() - kHeaderBytes - 4);
+  return Status::Ok();
+}
+
+// Parses the epoch out of "checkpoint-<epoch>.tdrl"; -1 when the name does
+// not match the scheme.
+int64_t EpochFromFilename(const std::string& filename) {
+  const size_t prefix_len = sizeof(kFilePrefix) - 1;
+  const size_t suffix_len = sizeof(kFileSuffix) - 1;
+  if (filename.size() <= prefix_len + suffix_len) return -1;
+  if (filename.compare(0, prefix_len, kFilePrefix) != 0) return -1;
+  if (filename.compare(filename.size() - suffix_len, suffix_len,
+                       kFileSuffix) != 0) {
+    return -1;
+  }
+  const std::string digits =
+      filename.substr(prefix_len, filename.size() - prefix_len - suffix_len);
+  if (digits.empty()) return -1;
+  char* end = nullptr;
+  const long long epoch = std::strtoll(digits.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || epoch < 0) return -1;
+  return static_cast<int64_t>(epoch);
+}
+
+// fsync a path (file or directory) by descriptor; best-effort — filesystems
+// without directory fsync still get the temp-file + rename ordering.
+void SyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string directory, int64_t keep_last)
+    : directory_(std::move(directory)), keep_last_(keep_last) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  // Failure surfaces as kIoError from the first Save; nothing to do here.
+}
+
+std::vector<std::string> CheckpointManager::ListCheckpoints() const {
+  std::vector<std::pair<int64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string filename = entry.path().filename().string();
+    const int64_t epoch = EpochFromFilename(filename);
+    if (epoch < 0) continue;
+    found.emplace_back(epoch, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [epoch, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+Status CheckpointManager::Save(const nn::Module& model,
+                               const TrainingState& state) {
+  std::ostringstream out;
+  out.write(nn::kCheckpointMagic, sizeof(nn::kCheckpointMagic));
+  WriteScalar(out, nn::kVersionTrainingState);
+  nn::WriteParametersBody(out, model);
+  // CollectMutableState is non-const (it hands out pointers for restore);
+  // the write path only reads through them.
+  nn::WriteMutableStateBody(out, const_cast<nn::Module&>(model));
+  WriteRngStreams(out, state);
+  WriteOptimizer(out, state.optimizer);
+  WriteCursor(out, state);
+  WriteHistory(out, state);
+
+  std::string payload = out.str();
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  payload.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+
+  if (fault::Enabled() && fault::At("truncate_checkpoint")) {
+    // Simulate a torn write: drop the tail (including the CRC footer) so the
+    // file that lands under the final name fails validation.
+    payload.resize(payload.size() - payload.size() / 4 - sizeof(crc));
+    TIMEDRL_LOG_WARNING << "fault injection: truncating checkpoint for epoch "
+                        << state.epoch;
+  }
+
+  const std::string final_path =
+      (fs::path(directory_) /
+       (kFilePrefix + std::to_string(state.epoch) + kFileSuffix))
+          .string();
+  const std::string temp_path = final_path + ".tmp";
+
+  {
+    std::ofstream file(temp_path, std::ios::binary | std::ios::trunc);
+    if (!file) return IoError("cannot open " + temp_path + " for writing");
+    file.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!file) return IoError("write failed for " + temp_path);
+  }
+  SyncPath(temp_path);
+
+  std::error_code ec;
+  fs::rename(temp_path, final_path, ec);
+  if (ec) {
+    return IoError("rename " + temp_path + " -> " + final_path + " failed: " +
+                   ec.message());
+  }
+  SyncPath(directory_);
+
+  if (keep_last_ > 0) {
+    std::vector<std::string> existing = ListCheckpoints();
+    const int64_t excess =
+        static_cast<int64_t>(existing.size()) - keep_last_;
+    for (int64_t i = 0; i < excess; ++i) {
+      fs::remove(existing[static_cast<size_t>(i)], ec);  // best-effort prune
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckpointManager::LoadFile(const std::string& path, nn::Module* model,
+                                   TrainingState* state) {
+  std::string contents;
+  Status status = ReadWholeFile(path, &contents);
+  if (!status.ok()) return status;
+
+  uint32_t version = 0;
+  std::string_view body;
+  status = CheckEnvelope(path, contents, &version, &body, nullptr);
+  if (!status.ok()) return status;
+
+  std::istringstream in{std::string(body)};
+  status = nn::ReadParametersBody(in, model);
+  if (!status.ok()) return status;
+
+  if (version == nn::kVersionParamsOnly) {
+    in.peek();
+    if (!in.eof()) {
+      return Corrupt("trailing bytes after the last parameter in " + path);
+    }
+    return Status::Ok();
+  }
+
+  status = nn::ReadMutableStateBody(in, model);
+  if (!status.ok()) return status;
+  status = ReadRngStreams(in, state);
+  if (!status.ok()) return status;
+  status = ReadOptimizer(in, &state->optimizer);
+  if (!status.ok()) return status;
+  status = ReadCursor(in, state);
+  if (!status.ok()) return status;
+  status = ReadHistory(in, state);
+  if (!status.ok()) return status;
+  in.peek();
+  if (!in.eof()) {
+    return Corrupt("trailing bytes after the history section in " + path);
+  }
+  return Status::Ok();
+}
+
+Status CheckpointManager::LoadLatest(nn::Module* model,
+                                     TrainingState* state) const {
+  const std::vector<std::string> checkpoints = ListCheckpoints();
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+    Status status = LoadFile(*it, model, state);
+    if (status.ok()) return Status::Ok();
+    TIMEDRL_LOG_WARNING << "skipping checkpoint " << *it << ": "
+                        << status.ToString();
+  }
+  return Status::Error(StatusCode::kNotFound,
+                       "no valid checkpoint in " + directory_);
+}
+
+Status CheckpointManager::Inspect(const std::string& path,
+                                  CheckpointInfo* info) {
+  std::string contents;
+  Status status = ReadWholeFile(path, &contents);
+  if (!status.ok()) return status;
+  info->file_bytes = contents.size();
+
+  uint32_t version = 0;
+  std::string_view body;
+  bool crc_valid = false;
+  status = CheckEnvelope(path, contents, &version, &body, &crc_valid);
+  info->version = version;
+  info->has_crc = version == nn::kVersionTrainingState;
+  info->crc_valid = crc_valid;
+  if (!status.ok()) {
+    // A failed CRC is still a successful *inspection* — report validity
+    // rather than refusing; other envelope problems are real errors.
+    if (info->has_crc && !crc_valid &&
+        status.code() == StatusCode::kCorruptData) {
+      return Status::Ok();
+    }
+    return status;
+  }
+
+  std::istringstream in{std::string(body)};
+  status = SkimParametersBody(in, &info->parameters);
+  if (!status.ok()) return status;
+
+  if (version == nn::kVersionParamsOnly) return Status::Ok();
+
+  status = SkimMutableStateBody(in);
+  if (!status.ok()) return status;
+  TrainingState state;
+  status = ReadRngStreams(in, &state);
+  if (!status.ok()) return status;
+  optim::OptimizerState opt;
+  status = ReadOptimizer(in, &opt, &info->optimizer_slot_sizes);
+  if (!status.ok()) return status;
+  info->optimizer_type = opt.type;
+  info->optimizer_step_count = opt.step_count;
+  status = ReadCursor(in, &state);
+  if (!status.ok()) return status;
+  info->epoch = state.epoch;
+  info->global_step = state.global_step;
+  info->learning_rate = state.learning_rate;
+  status = ReadHistory(in, &state);
+  if (!status.ok()) return status;
+  for (const auto& [name, series] : state.history) {
+    info->history_sizes.emplace_back(name,
+                                     static_cast<uint64_t>(series.size()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace timedrl::core

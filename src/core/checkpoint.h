@@ -1,0 +1,111 @@
+// Crash-consistent training checkpoints with retention and resume.
+//
+// A version-2 checkpoint captures everything a training loop needs to
+// resume bitwise-identically to an uninterrupted run:
+//
+//   magic "TDRL" | uint32 version=2
+//   [model parameters]     nn::WriteParametersBody
+//   [model mutable state]  nn::WriteMutableStateBody (dropout RNGs,
+//                          batch-norm running stats, init flags)
+//   [loop RNG streams]     uint64 count | repeated: name | state text
+//   [optimizer]            type string | int64 step_count |
+//                          uint64 num_slots | repeated: uint64 n | float[n]
+//   [cursor]               int64 epoch (next to run) | int64 global_step |
+//                          float learning_rate
+//   [history]              uint32 count | repeated: name | uint64 n | f64[n]
+//   uint32 CRC-32 of every preceding byte
+//
+// Writes go through a temp file + fsync + atomic rename, so a crash leaves
+// either the previous checkpoint or the new one — never a half-written
+// file under the final name. A torn tail that does reach the final name
+// (e.g. fsync-less filesystems, injected faults) fails the CRC footer and
+// LoadLatest falls back to the previous valid checkpoint.
+
+#ifndef TIMEDRL_CORE_CHECKPOINT_H_
+#define TIMEDRL_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/serialize.h"
+#include "optim/optimizer.h"
+#include "tensor/shape.h"
+#include "util/status.h"
+
+namespace timedrl::core {
+
+/// Loop-level state stored next to the model in a v2 checkpoint.
+struct TrainingState {
+  /// Next epoch index to run (a checkpoint written after epoch e completes
+  /// stores e + 1).
+  int64_t epoch = 0;
+  int64_t global_step = 0;
+  /// Current learning rate (may differ from the configured one after
+  /// anomaly-guard backoff).
+  float learning_rate = 0.0f;
+  optim::OptimizerState optimizer;
+  /// Serialized loop RNG streams by name (batch shuffler, augmentation).
+  std::vector<std::pair<std::string, std::string>> rng_streams;
+  /// Per-epoch metric series by name (e.g. pretrain loss components).
+  std::vector<std::pair<std::string, std::vector<double>>> history;
+};
+
+/// Header/footer summary of a checkpoint file, for `checkpoint-inspect`.
+struct CheckpointInfo {
+  uint32_t version = 0;
+  bool has_crc = false;    // v1 files carry no footer
+  bool crc_valid = false;  // meaningful only when has_crc
+  uint64_t file_bytes = 0;
+  std::vector<std::pair<std::string, Shape>> parameters;
+  std::string optimizer_type;  // empty for v1
+  int64_t optimizer_step_count = 0;
+  std::vector<uint64_t> optimizer_slot_sizes;
+  int64_t epoch = -1;  // -1 for v1 (no cursor)
+  int64_t global_step = -1;
+  float learning_rate = 0.0f;
+  std::vector<std::pair<std::string, uint64_t>> history_sizes;
+};
+
+/// Writes, restores, lists, and prunes `checkpoint-<epoch>.tdrl` files in
+/// one directory.
+class CheckpointManager {
+ public:
+  /// Creates `directory` if needed. Keeps at most `keep_last` checkpoints
+  /// (older files are deleted after each successful Save); 0 or negative
+  /// disables pruning.
+  explicit CheckpointManager(std::string directory, int64_t keep_last = 3);
+
+  const std::string& directory() const { return directory_; }
+
+  /// Atomically writes `checkpoint-<state.epoch>.tdrl`, then prunes.
+  /// Fault point "truncate_checkpoint" (TIMEDRL_FAULT_INJECT) simulates a
+  /// torn write by truncating the payload before the rename.
+  Status Save(const nn::Module& model, const TrainingState& state);
+
+  /// Restores the newest checkpoint that passes validation. Files with a
+  /// bad CRC or truncated tail are skipped with a warning, falling back to
+  /// older ones. kNotFound when no valid checkpoint exists.
+  Status LoadLatest(nn::Module* model, TrainingState* state) const;
+
+  /// Restores one specific file (v2 full state; v1 restores parameters
+  /// only and leaves `state` untouched).
+  static Status LoadFile(const std::string& path, nn::Module* model,
+                         TrainingState* state);
+
+  /// Summarizes a checkpoint file without needing a module.
+  static Status Inspect(const std::string& path, CheckpointInfo* info);
+
+  /// Existing checkpoint paths, oldest epoch first.
+  std::vector<std::string> ListCheckpoints() const;
+
+ private:
+  std::string directory_;
+  int64_t keep_last_;
+};
+
+}  // namespace timedrl::core
+
+#endif  // TIMEDRL_CORE_CHECKPOINT_H_

@@ -20,7 +20,8 @@ namespace timedrl::core {
 /// hyperparameters live in the embedded TrainConfig (downstream heads
 /// default to no weight decay, the linear-evaluation protocol).
 struct DownstreamConfig {
-  TrainConfig train{.weight_decay = 0.0f};
+  DownstreamConfig() { train.weight_decay = 0.0f; }
+  TrainConfig train;
   /// false = linear evaluation (frozen encoder); true = fine-tuning
   /// (encoder updated jointly with the head, as in Fig. 5).
   bool fine_tune_encoder = false;

@@ -1,11 +1,30 @@
 #include "core/pretrainer.h"
 
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "core/anomaly_guard.h"
+#include "core/checkpoint.h"
 #include "data/loader.h"
+#include "obs/logging.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optim/optimizer.h"
 #include "util/check.h"
+#include "util/fault_inject.h"
 
 namespace timedrl::core {
+namespace {
+
+// Names of the loop-level RNG streams inside a checkpoint. The model's own
+// streams (dropout) travel in the mutable-state section under their module
+// paths.
+constexpr char kBatchRngName[] = "loop.batches";
+constexpr char kAugmentRngName[] = "loop.augment";
+
+}  // namespace
 
 PretrainHistory Pretrain(TimeDrlModel* model,
                          const UnlabeledWindowSource& source,
@@ -20,16 +39,106 @@ PretrainHistory Pretrain(TimeDrlModel* model,
                               /*shuffle=*/true, rng, /*drop_last=*/false);
   Rng augment_rng = rng.Fork();
 
+  std::unique_ptr<CheckpointManager> checkpoints;
+  if (!train.checkpoint.directory.empty()) {
+    checkpoints = std::make_unique<CheckpointManager>(
+        train.checkpoint.directory, train.checkpoint.keep_last);
+  }
+  AnomalyGuard guard(train.anomaly);
+
   PretrainHistory history;
+  int64_t epoch = 0;
+  int64_t global_step = 0;
+  float learning_rate = train.learning_rate;
+
+  // Snapshot the full loop state for a checkpoint written after `epoch`
+  // completed epochs.
+  auto capture = [&]() {
+    TrainingState state;
+    state.epoch = epoch;
+    state.global_step = global_step;
+    state.learning_rate = learning_rate;
+    state.optimizer = optimizer.GetState();
+    state.rng_streams = {{kBatchRngName, batches.rng().Serialize()},
+                         {kAugmentRngName, augment_rng.Serialize()}};
+    state.history = {{"total", history.total},
+                     {"predictive", history.predictive},
+                     {"contrastive", history.contrastive}};
+    return state;
+  };
+
+  // Re-aligns the loop with a restored checkpoint (model parameters and
+  // module-internal state were already applied by the checkpoint loader).
+  auto restore = [&](const TrainingState& state) {
+    Status status = optimizer.SetState(state.optimizer);
+    TIMEDRL_CHECK(status.ok()) << status.ToString();
+    for (const auto& [name, stream] : state.rng_streams) {
+      Rng* target = nullptr;
+      if (name == kBatchRngName) target = &batches.rng();
+      if (name == kAugmentRngName) target = &augment_rng;
+      TIMEDRL_CHECK(target != nullptr) << "unknown RNG stream " << name;
+      TIMEDRL_CHECK(target->Deserialize(stream))
+          << "malformed RNG stream " << name;
+    }
+    epoch = state.epoch;
+    global_step = state.global_step;
+    learning_rate = state.learning_rate;
+    optimizer.set_learning_rate(learning_rate);
+    history.total.clear();
+    history.predictive.clear();
+    history.contrastive.clear();
+    for (const auto& [name, series] : state.history) {
+      if (name == "total") history.total = series;
+      if (name == "predictive") history.predictive = series;
+      if (name == "contrastive") history.contrastive = series;
+    }
+  };
+
+  auto save_checkpoint = [&]() {
+    if (checkpoints == nullptr) return;
+    Status status = checkpoints->Save(*model, capture());
+    if (status.ok()) {
+      static obs::Counter& saves =
+          obs::Registry::Global().GetCounter("train.checkpoint.saves");
+      saves.Increment();
+    } else {
+      TIMEDRL_LOG_WARNING << "checkpoint save failed: " << status.ToString();
+    }
+  };
+
+  if (checkpoints != nullptr && train.checkpoint.resume) {
+    TrainingState state;
+    Status status = checkpoints->LoadLatest(model, &state);
+    if (status.ok()) {
+      restore(state);
+      static obs::Counter& resumes =
+          obs::Registry::Global().GetCounter("train.checkpoint.resumes");
+      resumes.Increment();
+      TIMEDRL_LOG_INFO << "resumed pre-training from epoch " << epoch;
+    } else if (status.code() == StatusCode::kNotFound) {
+      TIMEDRL_LOG_INFO << "no checkpoint to resume from in "
+                       << train.checkpoint.directory << "; starting fresh";
+    } else {
+      TIMEDRL_LOG_WARNING << "resume failed: " << status.ToString();
+    }
+  }
+  // A baseline checkpoint gives the anomaly guard a rollback target even
+  // when the first anomaly strikes before any epoch completes.
+  if (checkpoints != nullptr && checkpoints->ListCheckpoints().empty()) {
+    save_checkpoint();
+  }
+
   model->Train();
   std::vector<int64_t> indices;
-  for (int64_t epoch = 0; epoch < train.epochs; ++epoch) {
+  while (epoch < train.epochs && !history.aborted) {
     TIMEDRL_TRACE_SCOPE_CAT("pretrain/epoch", "train");
     double total = 0.0;
     double predictive = 0.0;
     double contrastive = 0.0;
     double grad_norm_sum = 0.0;
     int64_t steps = 0;
+    int64_t skipped = 0;
+    bool rolled_back = false;
     batches.Reset();
     while (batches.Next(&indices)) {
       // BatchNorm in the contrastive head needs at least two samples.
@@ -49,12 +158,56 @@ PretrainHistory Pretrain(TimeDrlModel* model,
       } else {
         output = model->PretextStep(x);
       }
+      if (fault::Enabled() && fault::At("pretrain_nan_loss")) {
+        // Poison the actual loss tensor so detection runs through the same
+        // CountNonFinite path a real numerical blow-up would take.
+        output.total.data()[0] = std::numeric_limits<float>::quiet_NaN();
+      }
       optimizer.ZeroGrad();
       output.total.Backward();
       const float grad_norm =
           optim::ClipGradNorm(optimizer.parameters(), train.clip_norm);
-      optimizer.Step();
 
+      const AnomalyGuard::Action action = guard.Check(output.total, grad_norm);
+      if (action == AnomalyGuard::Action::kSkip) {
+        // Drop this step entirely: no optimizer update, no statistics.
+        optimizer.ZeroGrad();
+        ++skipped;
+        continue;
+      }
+      if (action == AnomalyGuard::Action::kRollback) {
+        optimizer.ZeroGrad();
+        TrainingState state;
+        Status status =
+            checkpoints != nullptr
+                ? checkpoints->LoadLatest(model, &state)
+                : Status::Error(StatusCode::kNotFound,
+                                "checkpointing disabled");
+        if (!status.ok()) {
+          history.aborted = true;
+          history.abort_reason =
+              "anomaly rollback requested but no checkpoint is available: " +
+              status.ToString();
+          break;
+        }
+        restore(state);
+        learning_rate *= train.anomaly.lr_backoff;
+        optimizer.set_learning_rate(learning_rate);
+        guard.OnRollback();
+        TIMEDRL_LOG_WARNING << "non-finite streak: rolled back to epoch "
+                            << epoch << ", learning rate now "
+                            << learning_rate;
+        rolled_back = true;
+        break;
+      }
+      if (action == AnomalyGuard::Action::kAbort) {
+        optimizer.ZeroGrad();
+        history.aborted = true;
+        history.abort_reason = guard.abort_reason();
+        break;
+      }
+
+      optimizer.Step();
       const double loss = output.total.item();
       total += loss;
       predictive += output.predictive.item();
@@ -67,10 +220,22 @@ PretrainHistory Pretrain(TimeDrlModel* model,
         step_stats.batch_size = static_cast<int64_t>(indices.size());
         step_stats.loss = loss;
         step_stats.grad_norm = grad_norm;
-        step_stats.learning_rate = train.learning_rate;
+        step_stats.learning_rate = learning_rate;
         train.observer->OnStep(step_stats);
       }
       ++steps;
+      ++global_step;
+    }
+    if (rolled_back) continue;  // epoch cursor was restored; re-run it
+    if (history.aborted) break;
+    if (steps == 0 && skipped > 0) {
+      // Every batch this epoch was anomalous but the guard never reached its
+      // streak threshold (short epoch). Surface it as a structured abort
+      // rather than dividing by zero or crashing.
+      history.aborted = true;
+      history.abort_reason = "epoch produced no finite steps (" +
+                             std::to_string(skipped) + " skipped)";
+      break;
     }
     TIMEDRL_CHECK_GT(steps, 0) << "no usable batches";
     history.total.push_back(total / steps);
@@ -85,11 +250,20 @@ PretrainHistory Pretrain(TimeDrlModel* model,
       epoch_stats.steps = steps;
       epoch_stats.loss = history.total.back();
       epoch_stats.grad_norm = grad_norm_sum / steps;
-      epoch_stats.learning_rate = train.learning_rate;
+      epoch_stats.learning_rate = learning_rate;
       epoch_stats.extra = {{"L_P", history.predictive.back()},
                            {"L_C", history.contrastive.back()}};
       train.observer->OnEpochEnd(epoch_stats);
     }
+    ++epoch;
+    if (checkpoints != nullptr &&
+        (epoch % train.checkpoint.every_epochs == 0 ||
+         epoch == train.epochs)) {
+      save_checkpoint();
+    }
+  }
+  if (history.aborted) {
+    TIMEDRL_LOG_ERROR << "pre-training aborted: " << history.abort_reason;
   }
   model->Eval();
   return history;

@@ -3,6 +3,7 @@
 #ifndef TIMEDRL_CORE_PRETRAINER_H_
 #define TIMEDRL_CORE_PRETRAINER_H_
 
+#include <string>
 #include <vector>
 
 #include "augment/augment.h"
@@ -24,15 +25,30 @@ struct PretrainConfig {
   augment::AugmentConfig augment_config;
 };
 
-/// Per-epoch averages of the pretext losses.
+/// Per-epoch averages of the pretext losses, plus the structured outcome of
+/// the anomaly guard: when the guard exhausts its rollback budget the run
+/// stops early with `aborted` set instead of crashing, and the history holds
+/// the epochs that did complete.
 struct PretrainHistory {
   std::vector<double> total;
   std::vector<double> predictive;
   std::vector<double> contrastive;
+  bool aborted = false;
+  std::string abort_reason;
 };
 
 /// Runs TimeDRL pre-training on unlabeled windows; the model ends in eval
 /// mode. Deterministic given `rng`.
+///
+/// Fault tolerance (config.train.checkpoint / config.train.anomaly):
+/// with a checkpoint directory configured, a full training checkpoint —
+/// model, optimizer moments, every RNG stream, epoch cursor, and history —
+/// is written crash-consistently after each epoch, and `resume = true`
+/// restarts from the newest valid one, replaying the uninterrupted run
+/// bitwise-identically. Non-finite losses or gradient norms skip the step;
+/// persistent streaks roll back to the last checkpoint with a reduced
+/// learning rate, then abort with a structured reason (see
+/// core/anomaly_guard.h).
 PretrainHistory Pretrain(TimeDrlModel* model,
                          const UnlabeledWindowSource& source,
                          const PretrainConfig& config, Rng& rng);

@@ -7,10 +7,36 @@
 #define TIMEDRL_CORE_TRAIN_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "obs/observer.h"
 
 namespace timedrl::core {
+
+/// Fault-tolerance: periodic full training checkpoints (core/checkpoint.h).
+/// Disabled unless `directory` is set.
+struct CheckpointConfig {
+  /// Where checkpoint files live; empty disables checkpointing entirely.
+  std::string directory;
+  /// Save after every N completed epochs (the final epoch always saves).
+  int64_t every_epochs = 1;
+  /// Retention: keep this many newest checkpoints; <= 0 keeps all.
+  int64_t keep_last = 3;
+  /// Restore the newest valid checkpoint in `directory` before training.
+  /// Resuming replays the uninterrupted run bitwise-identically.
+  bool resume = false;
+};
+
+/// Fault-tolerance: NaN/Inf step policy (core/anomaly_guard.h).
+struct AnomalyGuardConfig {
+  bool enabled = true;
+  /// Skip streak length that triggers a rollback (K).
+  int64_t max_consecutive_skips = 3;
+  /// Rollbacks allowed before a structured abort (M).
+  int64_t max_rollbacks = 2;
+  /// Learning-rate multiplier applied at each rollback.
+  float lr_backoff = 0.5f;
+};
 
 struct TrainConfig {
   int64_t epochs = 10;
@@ -22,6 +48,8 @@ struct TrainConfig {
   /// Progress sink (not owned; must outlive the loop). nullptr = silent;
   /// obs::ConsoleObserver restores the old `verbose=true` log lines.
   obs::TrainObserver* observer = nullptr;
+  CheckpointConfig checkpoint;
+  AnomalyGuardConfig anomaly;
 };
 
 }  // namespace timedrl::core

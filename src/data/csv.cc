@@ -1,18 +1,48 @@
 #include "data/csv.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
-
-#include "obs/logging.h"
+#include <utility>
 
 namespace timedrl::data {
+namespace {
 
-bool SaveCsv(const TimeSeries& series, const std::string& path,
-             const std::vector<std::string>& header) {
+// Parses one float cell without exceptions. The whole cell (modulo
+// surrounding whitespace) must be consumed — "1.5x" is a parse error, not
+// the number 1.5.
+bool ParseCell(const std::string& cell, float* value) {
+  const char* begin = cell.c_str();
+  char* end = nullptr;
+  *value = std::strtof(begin, &end);
+  if (end == begin) return false;
+  while (*end == ' ' || *end == '\t') ++end;
+  return *end == '\0';
+}
+
+void SplitRow(const std::string& line, std::vector<std::string>* cells) {
+  cells->clear();
+  std::stringstream row(line);
+  std::string cell;
+  while (std::getline(row, cell, ',')) cells->push_back(std::move(cell));
+  // "a,b," has three cells, the last one empty — getline drops it.
+  if (!line.empty() && line.back() == ',') cells->emplace_back();
+}
+
+// Strips a trailing '\r' so CRLF files parse like LF files.
+void ChompCarriageReturn(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
+}  // namespace
+
+Status SaveCsv(const TimeSeries& series, const std::string& path,
+               const std::vector<std::string>& header) {
   std::ofstream out(path);
   if (!out) {
-    TIMEDRL_LOG_ERROR << "cannot open " << path << " for writing";
-    return false;
+    return Status::Error(StatusCode::kIoError,
+                         "cannot open " + path + " for writing");
   }
   for (int64_t c = 0; c < series.channels; ++c) {
     if (c > 0) out << ",";
@@ -30,52 +60,97 @@ bool SaveCsv(const TimeSeries& series, const std::string& path,
     }
     out << "\n";
   }
-  return static_cast<bool>(out);
+  if (!out) {
+    return Status::Error(StatusCode::kIoError, "write failed for " + path);
+  }
+  return Status::Ok();
 }
 
-bool LoadCsv(const std::string& path, TimeSeries* series,
-             std::vector<std::string>* header) {
+Status LoadCsv(const std::string& path, TimeSeries* series,
+               std::vector<std::string>* header,
+               const CsvReadOptions& options) {
   std::ifstream in(path);
   if (!in) {
-    TIMEDRL_LOG_ERROR << "cannot open " << path;
-    return false;
+    return Status::Error(StatusCode::kIoError, "cannot open " + path);
   }
   std::string line;
-  if (!std::getline(in, line)) return false;
+  if (!std::getline(in, line)) {
+    return Status::Error(StatusCode::kEmptyFile, path + " is empty");
+  }
+  ChompCarriageReturn(&line);
 
   std::vector<std::string> columns;
-  {
-    std::stringstream row(line);
-    std::string cell;
-    while (std::getline(row, cell, ',')) columns.push_back(cell);
+  SplitRow(line, &columns);
+  if (columns.empty()) {
+    return Status::Error(StatusCode::kEmptyFile,
+                         path + " has an empty header line");
   }
-  if (columns.empty()) return false;
   if (header != nullptr) *header = columns;
 
   const int64_t channels = static_cast<int64_t>(columns.size());
   std::vector<float> values;
+  std::vector<float> row_values(static_cast<size_t>(channels));
+  std::vector<std::string> cells;
+  int64_t row_number = 1;  // 1-based file line numbers; row 1 is the header
   while (std::getline(in, line)) {
+    ++row_number;
+    ChompCarriageReturn(&line);
     if (line.empty()) continue;
-    std::stringstream row(line);
-    std::string cell;
-    int64_t count = 0;
-    while (std::getline(row, cell, ',')) {
-      try {
-        values.push_back(std::stof(cell));
-      } catch (...) {
-        TIMEDRL_LOG_ERROR << "bad numeric cell '" << cell << "' in " << path;
-        return false;
+    SplitRow(line, &cells);
+    if (static_cast<int64_t>(cells.size()) != channels) {
+      std::ostringstream message;
+      message << "expected " << channels << " cells, found " << cells.size()
+              << " in " << path;
+      return Status::Error(StatusCode::kRaggedRow, message.str())
+          .WithLocation(row_number);
+    }
+    bool drop_row = false;
+    for (int64_t c = 0; c < channels; ++c) {
+      float value = 0.0f;
+      if (!ParseCell(cells[static_cast<size_t>(c)], &value)) {
+        return Status::Error(StatusCode::kParseError,
+                             "bad numeric cell '" +
+                                 cells[static_cast<size_t>(c)] + "' in " +
+                                 path)
+            .WithLocation(row_number, c + 1);
       }
-      ++count;
+      if (!std::isfinite(value)) {
+        switch (options.non_finite) {
+          case NonFinitePolicy::kReject:
+            return Status::Error(StatusCode::kNonFiniteCell,
+                                 "non-finite cell '" +
+                                     cells[static_cast<size_t>(c)] + "' in " +
+                                     path)
+                .WithLocation(row_number, c + 1);
+          case NonFinitePolicy::kDropRow:
+            drop_row = true;
+            break;
+          case NonFinitePolicy::kForwardFill: {
+            // Last kept value of this column sits `channels` floats back.
+            const size_t n = values.size();
+            value = n >= static_cast<size_t>(channels)
+                        ? values[n - static_cast<size_t>(channels) +
+                                 static_cast<size_t>(c)]
+                        : 0.0f;
+            break;
+          }
+        }
+      }
+      if (drop_row) break;
+      row_values[static_cast<size_t>(c)] = value;
     }
-    if (count != channels) {
-      TIMEDRL_LOG_ERROR << "ragged row in " << path;
-      return false;
-    }
+    if (drop_row) continue;
+    values.insert(values.end(), row_values.begin(), row_values.end());
+  }
+  if (in.bad()) {
+    return Status::Error(StatusCode::kIoError, "read failed for " + path);
+  }
+  if (values.empty()) {
+    return Status::Error(StatusCode::kNoData, path + " has no data rows");
   }
   series->channels = channels;
   series->values = std::move(values);
-  return true;
+  return Status::Ok();
 }
 
 }  // namespace timedrl::data

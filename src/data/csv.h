@@ -1,4 +1,10 @@
 // CSV persistence for time-series (used by examples and round-trip tests).
+//
+// Loading is hardened: every failure mode maps to a distinct StatusCode
+// with a 1-based row/column location (row 1 is the header line), so callers
+// and tests can tell an unreadable file from a ragged row from a bad cell.
+// Non-finite cells (nan/inf) are governed by an explicit policy instead of
+// silently flowing into training.
 
 #ifndef TIMEDRL_DATA_CSV_H_
 #define TIMEDRL_DATA_CSV_H_
@@ -7,18 +13,40 @@
 #include <vector>
 
 #include "data/time_series.h"
+#include "util/status.h"
 
 namespace timedrl::data {
 
+/// What LoadCsv does with a cell that parses as NaN or ±Inf.
+enum class NonFinitePolicy {
+  /// Fail with kNonFiniteCell and the cell's row/column (default).
+  kReject,
+  /// Discard the whole row containing the cell.
+  kDropRow,
+  /// Replace the cell with the last kept value of the same column
+  /// (0 when the column has no earlier value).
+  kForwardFill,
+};
+
+struct CsvReadOptions {
+  NonFinitePolicy non_finite = NonFinitePolicy::kReject;
+};
+
 /// Writes `series` as CSV with one row per timestep. `header` (optional)
 /// provides column names; defaults to c0, c1, ...
-bool SaveCsv(const TimeSeries& series, const std::string& path,
-             const std::vector<std::string>& header = {});
+Status SaveCsv(const TimeSeries& series, const std::string& path,
+               const std::vector<std::string>& header = {});
 
 /// Reads a CSV written by SaveCsv (or any numeric CSV with a header row).
-/// Returns false on I/O or parse failure.
-bool LoadCsv(const std::string& path, TimeSeries* series,
-             std::vector<std::string>* header = nullptr);
+///
+/// Error taxonomy: kIoError (unreadable file), kEmptyFile (no header line),
+/// kNoData (header but no data rows, including when every row was dropped
+/// by NonFinitePolicy::kDropRow), kRaggedRow (row with the wrong cell
+/// count), kParseError (non-numeric cell), kNonFiniteCell (nan/inf under
+/// NonFinitePolicy::kReject). Location-carrying codes set row() and col().
+Status LoadCsv(const std::string& path, TimeSeries* series,
+               std::vector<std::string>* header = nullptr,
+               const CsvReadOptions& options = {});
 
 }  // namespace timedrl::data
 

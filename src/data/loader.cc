@@ -27,7 +27,14 @@ BatchIterator::BatchIterator(int64_t dataset_size, int64_t batch_size,
 
 void BatchIterator::Reset() {
   cursor_ = 0;
-  if (shuffle_) rng_.Shuffle(order_);
+  if (shuffle_) {
+    // Shuffle from the identity permutation so the epoch's order is a pure
+    // function of the RNG state. An in-place shuffle would also depend on
+    // the previous epoch's order — state a checkpoint does not carry — and
+    // break bitwise resume determinism.
+    for (int64_t i = 0; i < dataset_size_; ++i) order_[i] = i;
+    rng_.Shuffle(order_);
+  }
 }
 
 bool BatchIterator::Next(std::vector<int64_t>* batch) {

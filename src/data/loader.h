@@ -36,6 +36,11 @@ class BatchIterator {
   /// Batches per epoch.
   int64_t NumBatches() const;
 
+  /// The iterator's private shuffle stream (a fork of the constructor's
+  /// rng). Exposed so checkpoints can capture and restore it — resuming a
+  /// run must replay the exact shuffle order of the uninterrupted run.
+  Rng& rng() { return rng_; }
+
  private:
   int64_t dataset_size_;
   int64_t batch_size_;

@@ -43,6 +43,14 @@ class Dropout : public Module {
 
   float p() const { return p_; }
 
+ protected:
+  /// The mask stream advances every training forward, so checkpoints must
+  /// capture it for resumed runs to draw identical masks.
+  void AppendMutableState(const std::string& prefix,
+                          MutableState* out) override {
+    out->rngs.emplace_back(JoinStateName(prefix, "rng"), &rng_);
+  }
+
  private:
   float p_;
   Rng rng_;
@@ -71,6 +79,19 @@ class BatchNorm1d : public Module {
   /// Training mode: normalizes by batch stats and updates running stats.
   /// Eval mode: normalizes by running stats.
   Tensor Forward(const Tensor& input);
+
+ protected:
+  /// Running statistics are EMA state updated each training forward —
+  /// without them a restored model's eval-mode outputs would drift.
+  void AppendMutableState(const std::string& prefix,
+                          MutableState* out) override {
+    out->buffers.emplace_back(JoinStateName(prefix, "running_mean"),
+                              &running_mean_.data());
+    out->buffers.emplace_back(JoinStateName(prefix, "running_var"),
+                              &running_var_.data());
+    out->flags.emplace_back(JoinStateName(prefix, "stats_initialized"),
+                            &stats_initialized_);
+  }
 
  private:
   int64_t features_;

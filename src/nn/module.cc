@@ -42,6 +42,21 @@ void Module::CopyParametersFrom(const Module& source) {
   }
 }
 
+MutableState Module::CollectMutableState() {
+  MutableState state;
+  CollectMutableStateImpl("", &state);
+  return state;
+}
+
+void Module::CollectMutableStateImpl(const std::string& prefix,
+                                     MutableState* out) {
+  AppendMutableState(prefix, out);
+  for (auto& [name, child] : children_) {
+    child->CollectMutableStateImpl(
+        prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
 Tensor Module::RegisterParameter(std::string name, Tensor parameter) {
   TIMEDRL_CHECK(parameter.defined());
   TIMEDRL_CHECK(parameter.requires_grad())

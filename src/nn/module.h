@@ -9,8 +9,20 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/rng.h"
 
 namespace timedrl::nn {
+
+/// Non-parameter state that evolves during training and must therefore be
+/// captured by a checkpoint for a resumed run to be bitwise-identical:
+/// private RNG streams (dropout masks), running-statistic buffers (batch
+/// norm), and their init flags. Pointers stay owned by the module and are
+/// valid for its lifetime; names are dotted paths like NamedParameters().
+struct MutableState {
+  std::vector<std::pair<std::string, Rng*>> rngs;
+  std::vector<std::pair<std::string, std::vector<float>*>> buffers;
+  std::vector<std::pair<std::string, bool*>> flags;
+};
 
 /// Base class for all layers and models.
 ///
@@ -48,7 +60,23 @@ class Module {
   /// into a fresh model before fine-tuning.
   void CopyParametersFrom(const Module& source);
 
+  /// Mutable training state of this module and every child, in registration
+  /// order with dotted names. Empty for purely functional modules.
+  MutableState CollectMutableState();
+
  protected:
+  /// Hook for stateful layers (dropout, batch norm): append local entries
+  /// to `out`, naming them JoinStateName(prefix, "<local>").
+  virtual void AppendMutableState(const std::string& prefix,
+                                  MutableState* out) {
+    (void)prefix;
+    (void)out;
+  }
+
+  static std::string JoinStateName(const std::string& prefix,
+                                   const char* local) {
+    return prefix.empty() ? local : prefix + "." + local;
+  }
   /// Registers `parameter` (must require grad) under `name`; returns it.
   Tensor RegisterParameter(std::string name, Tensor parameter);
 
@@ -64,6 +92,7 @@ class Module {
   void CollectParameters(
       const std::string& prefix,
       std::vector<std::pair<std::string, Tensor>>* out) const;
+  void CollectMutableStateImpl(const std::string& prefix, MutableState* out);
 
   bool training_ = true;
   std::vector<std::pair<std::string, Tensor>> parameters_;

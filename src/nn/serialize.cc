@@ -1,44 +1,33 @@
 #include "nn/serialize.h"
 
-#include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
-#include "obs/logging.h"
+#include "util/binary_io.h"
 
 namespace timedrl::nn {
 namespace {
 
-constexpr char kMagic[4] = {'T', 'D', 'R', 'L'};
-constexpr uint32_t kVersion = 1;
+using io::ReadScalar;
+using io::ReadString;
+using io::WriteScalar;
+using io::WriteString;
 
-template <typename T>
-void WriteScalar(std::ofstream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
+// A stored rank larger than this is certainly corruption, not a tensor.
+constexpr uint32_t kMaxRank = 16;
 
-template <typename T>
-bool ReadScalar(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return static_cast<bool>(in);
+Status Corrupt(const std::string& message) {
+  return Status::Error(StatusCode::kCorruptData, message);
 }
 
 }  // namespace
 
-bool SaveParameters(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    TIMEDRL_LOG_ERROR << "cannot open " << path << " for writing";
-    return false;
-  }
-  out.write(kMagic, sizeof(kMagic));
-  WriteScalar(out, kVersion);
-
+void WriteParametersBody(std::ostream& out, const Module& module) {
   const auto named = module.NamedParameters();
   WriteScalar(out, static_cast<uint64_t>(named.size()));
   for (const auto& [name, tensor] : named) {
-    WriteScalar(out, static_cast<uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    WriteString(out, name);
     const Shape& shape = tensor.shape();
     WriteScalar(out, static_cast<uint32_t>(shape.size()));
     for (int64_t dim : shape) WriteScalar(out, dim);
@@ -46,65 +35,192 @@ bool SaveParameters(const Module& module, const std::string& path) {
     out.write(reinterpret_cast<const char*>(data.data()),
               static_cast<std::streamsize>(data.size() * sizeof(float)));
   }
-  return static_cast<bool>(out);
 }
 
-bool LoadParameters(Module* module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    TIMEDRL_LOG_ERROR << "cannot open " << path;
-    return false;
-  }
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    TIMEDRL_LOG_ERROR << path << " is not a TimeDRL checkpoint";
-    return false;
-  }
-  uint32_t version = 0;
-  if (!ReadScalar(in, &version) || version != kVersion) {
-    TIMEDRL_LOG_ERROR << "unsupported checkpoint version " << version;
-    return false;
-  }
-
+Status ReadParametersBody(std::istream& in, Module* module) {
   auto named = module->NamedParameters();
   uint64_t count = 0;
-  if (!ReadScalar(in, &count) || count != named.size()) {
-    TIMEDRL_LOG_ERROR << "checkpoint has " << count << " parameters, module "
-                      << "has " << named.size();
-    return false;
+  if (!ReadScalar(in, &count)) return Corrupt("truncated parameter count");
+  if (count != named.size()) {
+    std::ostringstream message;
+    message << "checkpoint has " << count << " parameters, module has "
+            << named.size();
+    return Status::Error(StatusCode::kStructureMismatch, message.str());
   }
   for (auto& [name, tensor] : named) {
-    uint32_t name_length = 0;
-    if (!ReadScalar(in, &name_length)) return false;
-    std::string stored_name(name_length, '\0');
-    in.read(stored_name.data(), name_length);
-    if (!in || stored_name != name) {
-      TIMEDRL_LOG_ERROR << "parameter name mismatch: checkpoint '"
-                        << stored_name << "' vs module '" << name << "'";
-      return false;
+    std::string stored_name;
+    if (!ReadString(in, &stored_name)) {
+      return Corrupt("truncated name for parameter '" + name + "'");
+    }
+    if (stored_name != name) {
+      return Status::Error(StatusCode::kStructureMismatch,
+                           "parameter name mismatch: checkpoint '" +
+                               stored_name + "' vs module '" + name + "'");
     }
     uint32_t rank = 0;
-    if (!ReadScalar(in, &rank)) return false;
+    if (!ReadScalar(in, &rank) || rank > kMaxRank) {
+      return Corrupt("bad rank for parameter '" + name + "'");
+    }
     Shape shape(rank);
     for (uint32_t d = 0; d < rank; ++d) {
-      if (!ReadScalar(in, &shape[d])) return false;
+      if (!ReadScalar(in, &shape[d])) {
+        return Corrupt("truncated shape for parameter '" + name + "'");
+      }
     }
     if (shape != tensor.shape()) {
-      TIMEDRL_LOG_ERROR << "shape mismatch for " << name << ": checkpoint "
-                        << ShapeToString(shape) << " vs module "
-                        << ShapeToString(tensor.shape());
-      return false;
+      return Status::Error(StatusCode::kStructureMismatch,
+                           "shape mismatch for " + name + ": checkpoint " +
+                               ShapeToString(shape) + " vs module " +
+                               ShapeToString(tensor.shape()));
     }
     std::vector<float>& data = tensor.data();
     in.read(reinterpret_cast<char*>(data.data()),
             static_cast<std::streamsize>(data.size() * sizeof(float)));
-    if (!in) {
-      TIMEDRL_LOG_ERROR << "truncated checkpoint at " << name;
-      return false;
+    if (in.gcount() !=
+        static_cast<std::streamsize>(data.size() * sizeof(float))) {
+      return Corrupt("truncated data for parameter '" + name + "'");
     }
   }
-  return true;
+  return Status::Ok();
+}
+
+void WriteMutableStateBody(std::ostream& out, Module& module) {
+  MutableState state = module.CollectMutableState();
+  WriteScalar(out, static_cast<uint64_t>(state.rngs.size()));
+  for (const auto& [name, rng] : state.rngs) {
+    WriteString(out, name);
+    WriteString(out, rng->Serialize());
+  }
+  WriteScalar(out, static_cast<uint64_t>(state.buffers.size()));
+  for (const auto& [name, buffer] : state.buffers) {
+    WriteString(out, name);
+    WriteScalar(out, static_cast<uint64_t>(buffer->size()));
+    out.write(reinterpret_cast<const char*>(buffer->data()),
+              static_cast<std::streamsize>(buffer->size() * sizeof(float)));
+  }
+  WriteScalar(out, static_cast<uint64_t>(state.flags.size()));
+  for (const auto& [name, flag] : state.flags) {
+    WriteString(out, name);
+    WriteScalar(out, static_cast<uint8_t>(*flag ? 1 : 0));
+  }
+}
+
+Status ReadMutableStateBody(std::istream& in, Module* module) {
+  MutableState state = module->CollectMutableState();
+
+  uint64_t num_rngs = 0;
+  if (!ReadScalar(in, &num_rngs)) return Corrupt("truncated RNG count");
+  if (num_rngs != state.rngs.size()) {
+    return Status::Error(StatusCode::kStructureMismatch,
+                         "RNG stream count mismatch");
+  }
+  for (auto& [name, rng] : state.rngs) {
+    std::string stored_name;
+    std::string stored_state;
+    if (!ReadString(in, &stored_name) || !ReadString(in, &stored_state)) {
+      return Corrupt("truncated RNG stream '" + name + "'");
+    }
+    if (stored_name != name) {
+      return Status::Error(StatusCode::kStructureMismatch,
+                           "RNG stream name mismatch: checkpoint '" +
+                               stored_name + "' vs module '" + name + "'");
+    }
+    if (!rng->Deserialize(stored_state)) {
+      return Corrupt("malformed RNG state for '" + name + "'");
+    }
+  }
+
+  uint64_t num_buffers = 0;
+  if (!ReadScalar(in, &num_buffers)) return Corrupt("truncated buffer count");
+  if (num_buffers != state.buffers.size()) {
+    return Status::Error(StatusCode::kStructureMismatch,
+                         "state buffer count mismatch");
+  }
+  for (auto& [name, buffer] : state.buffers) {
+    std::string stored_name;
+    uint64_t size = 0;
+    if (!ReadString(in, &stored_name) || !ReadScalar(in, &size)) {
+      return Corrupt("truncated state buffer '" + name + "'");
+    }
+    if (stored_name != name || size != buffer->size()) {
+      return Status::Error(StatusCode::kStructureMismatch,
+                           "state buffer mismatch for '" + name + "'");
+    }
+    in.read(reinterpret_cast<char*>(buffer->data()),
+            static_cast<std::streamsize>(size * sizeof(float)));
+    if (in.gcount() != static_cast<std::streamsize>(size * sizeof(float))) {
+      return Corrupt("truncated state buffer data for '" + name + "'");
+    }
+  }
+
+  uint64_t num_flags = 0;
+  if (!ReadScalar(in, &num_flags)) return Corrupt("truncated flag count");
+  if (num_flags != state.flags.size()) {
+    return Status::Error(StatusCode::kStructureMismatch,
+                         "state flag count mismatch");
+  }
+  for (auto& [name, flag] : state.flags) {
+    std::string stored_name;
+    uint8_t value = 0;
+    if (!ReadString(in, &stored_name) || !ReadScalar(in, &value)) {
+      return Corrupt("truncated state flag '" + name + "'");
+    }
+    if (stored_name != name) {
+      return Status::Error(StatusCode::kStructureMismatch,
+                           "state flag name mismatch for '" + name + "'");
+    }
+    *flag = value != 0;
+  }
+  return Status::Ok();
+}
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::Error(StatusCode::kIoError,
+                         "cannot open " + path + " for writing");
+  }
+  out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+  WriteScalar(out, kVersionParamsOnly);
+  WriteParametersBody(out, module);
+  if (!out) {
+    return Status::Error(StatusCode::kIoError, "write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Error(StatusCode::kIoError, "cannot open " + path);
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0) {
+    return Corrupt(path + " is not a TimeDRL checkpoint");
+  }
+  uint32_t version = 0;
+  if (!ReadScalar(in, &version)) return Corrupt("truncated version field");
+  if (version != kVersionParamsOnly && version != kVersionTrainingState) {
+    std::ostringstream message;
+    message << "unsupported checkpoint version " << version;
+    return Status::Error(StatusCode::kVersionMismatch, message.str());
+  }
+
+  Status status = ReadParametersBody(in, module);
+  if (!status.ok()) return status;
+
+  // A version-1 file ends at the last parameter; anything after it means
+  // the writer and reader disagree about the format. Version-2 files carry
+  // further sections (optimizer state, cursors) that the full checkpoint
+  // loader owns — and validates with a CRC — so they are not an error here.
+  if (version == kVersionParamsOnly) {
+    in.peek();
+    if (!in.eof()) {
+      return Corrupt("trailing bytes after the last parameter in " + path);
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace timedrl::nn

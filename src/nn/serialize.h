@@ -1,29 +1,61 @@
 // Checkpointing: save/load module parameters to a simple binary format.
 //
-// Format (little-endian):
-//   magic "TDRL" | uint32 version | uint64 count |
+// Version 1 file (params-only, written by SaveParameters):
+//   magic "TDRL" | uint32 version=1 | <parameters body>
+// where <parameters body> is:
+//   uint64 count |
 //   repeated: uint32 name_len | name bytes | uint32 rank | int64 dims[rank] |
 //             float data[numel]
 //
-// Loading is strict: names, order, and shapes must match the module exactly,
-// which catches architecture drift between save and load.
+// Version 2 files are full training checkpoints (core/checkpoint.h); their
+// first section after the header is the same <parameters body>, so
+// LoadParameters can pull the model out of either version. The body
+// helpers below are shared with the checkpoint writer.
+//
+// Loading is strict: names, order, and shapes must match the module exactly
+// (catches architecture drift), short reads are rejected down to the last
+// parameter, and a version-1 file with trailing bytes after the final
+// tensor is treated as corrupt.
 
 #ifndef TIMEDRL_NN_SERIALIZE_H_
 #define TIMEDRL_NN_SERIALIZE_H_
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 
 #include "nn/module.h"
+#include "util/status.h"
 
 namespace timedrl::nn {
 
-/// Writes all named parameters of `module` to `path`. Returns false on I/O
-/// failure.
-bool SaveParameters(const Module& module, const std::string& path);
+/// File header shared by all checkpoint versions.
+inline constexpr char kCheckpointMagic[4] = {'T', 'D', 'R', 'L'};
+inline constexpr uint32_t kVersionParamsOnly = 1;
+inline constexpr uint32_t kVersionTrainingState = 2;
 
-/// Reads parameters written by SaveParameters into `module`. Returns false
-/// on I/O failure or any structural mismatch (count, name, shape).
-bool LoadParameters(Module* module, const std::string& path);
+/// Writes all named parameters of `module` to `path` (version 1).
+Status SaveParameters(const Module& module, const std::string& path);
+
+/// Reads parameters written by SaveParameters — or the parameter section of
+/// a version-2 training checkpoint — into `module`.
+Status LoadParameters(Module* module, const std::string& path);
+
+// ---- Building blocks shared with core/checkpoint.cc ------------------------------
+
+/// Serializes the parameters body (no header) to `out`.
+void WriteParametersBody(std::ostream& out, const Module& module);
+
+/// Parses a parameters body into `module`; strict structural validation.
+Status ReadParametersBody(std::istream& in, Module* module);
+
+/// Serializes the module's mutable training state (RNG streams, running
+/// stats, flags; see Module::CollectMutableState) to `out`.
+void WriteMutableStateBody(std::ostream& out, Module& module);
+
+/// Restores state written by WriteMutableStateBody. Names, entry counts,
+/// and buffer sizes must match the module exactly.
+Status ReadMutableStateBody(std::istream& in, Module* module);
 
 }  // namespace timedrl::nn
 

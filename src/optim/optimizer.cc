@@ -23,6 +23,37 @@ Optimizer::Optimizer(std::vector<Tensor> parameters, float learning_rate)
   }
 }
 
+namespace {
+
+// Shared validation for SetState: type tag, slot count, and per-slot sizes
+// must match. `expected_sizes` lists the element count of each slot in
+// order.
+Status ValidateState(const OptimizerState& state, const std::string& type,
+                     const std::vector<size_t>& expected_sizes) {
+  if (state.type != type) {
+    return Status::Error(StatusCode::kStructureMismatch,
+                         "optimizer type mismatch: checkpoint '" + state.type +
+                             "' vs '" + type + "'");
+  }
+  if (state.slots.size() != expected_sizes.size()) {
+    return Status::Error(StatusCode::kStructureMismatch,
+                         "optimizer slot count mismatch");
+  }
+  for (size_t i = 0; i < state.slots.size(); ++i) {
+    if (state.slots[i].size() != expected_sizes[i]) {
+      return Status::Error(StatusCode::kStructureMismatch,
+                           "optimizer slot size mismatch");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Optimizer::SetState(const OptimizerState& state) {
+  return ValidateState(state, "base", {});
+}
+
 void Optimizer::ZeroGrad() {
   TIMEDRL_TRACE_SCOPE_CAT("optimizer/zero_grad", "optim");
   ParallelFor(0, static_cast<int64_t>(parameters_.size()), 1,
@@ -63,6 +94,23 @@ void Sgd::Step() {
           }
         }
       });
+}
+
+OptimizerState Sgd::GetState() const {
+  OptimizerState state;
+  state.type = "sgd";
+  state.slots = velocity_;
+  return state;
+}
+
+Status Sgd::SetState(const OptimizerState& state) {
+  std::vector<size_t> sizes;
+  sizes.reserve(velocity_.size());
+  for (const auto& v : velocity_) sizes.push_back(v.size());
+  Status status = ValidateState(state, "sgd", sizes);
+  if (!status.ok()) return status;
+  velocity_ = state.slots;
+  return Status::Ok();
 }
 
 // ---- Adam / AdamW ---------------------------------------------------------------
@@ -116,6 +164,30 @@ void Adam::Step() {
           }
         }
       });
+}
+
+OptimizerState Adam::GetState() const {
+  OptimizerState state;
+  state.type = decoupled_decay_ ? "adamw" : "adam";
+  state.step_count = step_count_;
+  state.slots.reserve(m_.size() + v_.size());
+  state.slots.insert(state.slots.end(), m_.begin(), m_.end());
+  state.slots.insert(state.slots.end(), v_.begin(), v_.end());
+  return state;
+}
+
+Status Adam::SetState(const OptimizerState& state) {
+  std::vector<size_t> sizes;
+  sizes.reserve(m_.size() + v_.size());
+  for (const auto& m : m_) sizes.push_back(m.size());
+  for (const auto& v : v_) sizes.push_back(v.size());
+  Status status = ValidateState(
+      state, decoupled_decay_ ? "adamw" : "adam", sizes);
+  if (!status.ok()) return status;
+  step_count_ = state.step_count;
+  for (size_t i = 0; i < m_.size(); ++i) m_[i] = state.slots[i];
+  for (size_t i = 0; i < v_.size(); ++i) v_[i] = state.slots[m_.size() + i];
+  return Status::Ok();
 }
 
 AdamW::AdamW(std::vector<Tensor> parameters, float learning_rate,

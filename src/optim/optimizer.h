@@ -3,11 +3,23 @@
 #ifndef TIMEDRL_OPTIM_OPTIMIZER_H_
 #define TIMEDRL_OPTIM_OPTIMIZER_H_
 
+#include <string>
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace timedrl::optim {
+
+/// Snapshot of optimizer internals for checkpointing. `slots` order is
+/// optimizer-defined: Adam/AdamW store all first moments then all second
+/// moments (one vector per parameter each); SGD stores momentum
+/// velocities. Restoring into a mismatched optimizer fails.
+struct OptimizerState {
+  std::string type;  // "sgd", "adam", "adamw"
+  int64_t step_count = 0;
+  std::vector<std::vector<float>> slots;
+};
 
 /// Base optimizer over a fixed parameter list.
 ///
@@ -31,6 +43,14 @@ class Optimizer {
 
   const std::vector<Tensor>& parameters() const { return parameters_; }
 
+  /// Internal state (moments, step counts) for checkpointing. The base
+  /// optimizer is stateless.
+  virtual OptimizerState GetState() const { return {"base", 0, {}}; }
+
+  /// Restores state produced by GetState() on a structurally identical
+  /// optimizer (same type, same parameter list).
+  virtual Status SetState(const OptimizerState& state);
+
  protected:
   std::vector<Tensor> parameters_;
   float learning_rate_;
@@ -43,6 +63,8 @@ class Sgd : public Optimizer {
       float momentum = 0.0f);
 
   void Step() override;
+  OptimizerState GetState() const override;
+  Status SetState(const OptimizerState& state) override;
 
  private:
   float momentum_;
@@ -57,6 +79,8 @@ class Adam : public Optimizer {
        float coupled_weight_decay = 0.0f);
 
   void Step() override;
+  OptimizerState GetState() const override;
+  Status SetState(const OptimizerState& state) override;
 
  protected:
   float beta1_;

@@ -1,0 +1,25 @@
+#include "tensor/kernels/nonfinite.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "obs/trace.h"
+#include "tensor/kernels/elementwise.h"
+#include "util/thread_pool.h"
+
+namespace timedrl::kernels {
+
+int64_t CountNonFinite(const float* x, int64_t n) {
+  TIMEDRL_TRACE_SCOPE_CAT("count_nonfinite", "kernel");
+  std::atomic<int64_t> total{0};
+  ParallelFor(0, n, kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    int64_t local = 0;
+    for (int64_t i = begin; i < end; ++i) {
+      if (!std::isfinite(x[i])) ++local;
+    }
+    if (local != 0) total.fetch_add(local, std::memory_order_relaxed);
+  });
+  return total.load(std::memory_order_relaxed);
+}
+
+}  // namespace timedrl::kernels

@@ -1,0 +1,21 @@
+// Non-finite (NaN/Inf) detection kernel over raw float buffers.
+//
+// The anomaly guard scans losses and gradient buffers for numerical
+// blow-ups every training step, so the scan must be as cheap as a read-only
+// pass. The count is an integer reduction: per-chunk partial sums combine
+// with integer addition, which is associative and commutative, so results
+// are identical for any thread-pool size (see util/thread_pool.h).
+
+#ifndef TIMEDRL_TENSOR_KERNELS_NONFINITE_H_
+#define TIMEDRL_TENSOR_KERNELS_NONFINITE_H_
+
+#include <cstdint>
+
+namespace timedrl::kernels {
+
+/// Number of values in x[0, n) that are NaN or +/-Inf. Parallel.
+int64_t CountNonFinite(const float* x, int64_t n);
+
+}  // namespace timedrl::kernels
+
+#endif  // TIMEDRL_TENSOR_KERNELS_NONFINITE_H_

@@ -110,6 +110,9 @@ Tensor Mean(const Tensor& a, std::vector<int64_t> dims, bool keepdim = false);
 Tensor Max(const Tensor& a, int64_t dim, bool keepdim = false);
 /// Argmax over one dimension; plain indices, no gradient.
 std::vector<int64_t> ArgMax(const Tensor& a, int64_t dim);
+/// Number of NaN/Inf entries in `a` (no gradient; reads data only). The
+/// anomaly guard uses this to size up numerical blow-ups.
+int64_t CountNonFinite(const Tensor& a);
 
 // ---- Fused NN primitives ----------------------------------------------------------
 

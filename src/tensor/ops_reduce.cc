@@ -5,6 +5,7 @@
 
 #include "obs/trace.h"
 #include "tensor/buffer_pool.h"
+#include "tensor/kernels/nonfinite.h"
 #include "tensor/kernels/reduce.h"
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -125,6 +126,10 @@ std::vector<int64_t> ArgMax(const Tensor& a, int64_t dim) {
   kernels::ArgMaxForward(a.data().data(), result.data(), outer, dim_size,
                          inner);
   return result;
+}
+
+int64_t CountNonFinite(const Tensor& a) {
+  return kernels::CountNonFinite(a.data().data(), a.numel());
 }
 
 Tensor Softmax(const Tensor& a, int64_t dim) {

@@ -1,0 +1,51 @@
+// Little-endian binary stream helpers shared by the checkpoint writers
+// (nn/serialize.cc, core/checkpoint.cc).
+//
+// Readers are defensive: every primitive read reports failure instead of
+// leaving garbage in the output, and length-prefixed strings enforce a cap
+// so a corrupt length cannot trigger a huge allocation.
+
+#ifndef TIMEDRL_UTIL_BINARY_IO_H_
+#define TIMEDRL_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+
+namespace timedrl::io {
+
+template <typename T>
+void WriteScalar(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadScalar(std::istream& in, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+/// uint32 length prefix + raw bytes.
+inline void WriteString(std::ostream& out, const std::string& text) {
+  WriteScalar(out, static_cast<uint32_t>(text.size()));
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+}
+
+/// Reads a string written by WriteString. False on short read or when the
+/// stored length exceeds `max_length` (corrupt data guard).
+inline bool ReadString(std::istream& in, std::string* text,
+                       uint32_t max_length = (1u << 20)) {
+  uint32_t length = 0;
+  if (!ReadScalar(in, &length) || length > max_length) return false;
+  text->resize(length);
+  in.read(text->data(), length);
+  return static_cast<bool>(in);
+}
+
+}  // namespace timedrl::io
+
+#endif  // TIMEDRL_UTIL_BINARY_IO_H_

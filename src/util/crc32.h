@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte buffers.
+//
+// Used as the integrity footer of binary checkpoints: a crash or torn
+// write that leaves a file with a damaged tail fails the CRC check, and
+// the checkpoint manager falls back to the previous valid file.
+
+#ifndef TIMEDRL_UTIL_CRC32_H_
+#define TIMEDRL_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace timedrl {
+
+/// CRC of `size` bytes. `seed` allows incremental computation: pass the
+/// previous result to continue a running checksum.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace timedrl
+
+#endif  // TIMEDRL_UTIL_CRC32_H_

@@ -1,0 +1,131 @@
+#include "util/fault_inject.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "obs/logging.h"
+
+namespace timedrl::fault {
+namespace {
+
+struct Rule {
+  std::string point;
+  uint64_t start = 0;       // 1-based occurrence index
+  uint64_t count = 1;       // number of consecutive firings
+  bool open_ended = false;  // "x*": fire forever from start
+};
+
+struct State {
+  std::mutex mutex;
+  std::vector<Rule> rules;
+  std::map<std::string, uint64_t, std::less<>> counters;
+};
+
+std::atomic<bool> g_enabled{false};
+
+State& GetState() {
+  static State* state = new State();
+  return *state;
+}
+
+std::vector<Rule> ParseSpec(const std::string& spec) {
+  std::vector<Rule> rules;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+
+    const size_t at = entry.find('@');
+    Rule rule;
+    if (at == std::string::npos) {
+      // Bare point name: fire on the first call.
+      rule.point = entry;
+      rule.start = 1;
+    } else {
+      rule.point = entry.substr(0, at);
+      std::string occurrence = entry.substr(at + 1);
+      const size_t x = occurrence.find('x');
+      std::string count_text;
+      if (x != std::string::npos) {
+        count_text = occurrence.substr(x + 1);
+        occurrence = occurrence.substr(0, x);
+      }
+      rule.start = std::strtoull(occurrence.c_str(), nullptr, 10);
+      if (count_text == "*") {
+        rule.open_ended = true;
+      } else if (!count_text.empty()) {
+        rule.count = std::strtoull(count_text.c_str(), nullptr, 10);
+      }
+    }
+    if (rule.point.empty() || rule.start == 0) {
+      TIMEDRL_LOG_ERROR << "ignoring malformed fault-inject entry '" << entry
+                        << "'";
+      continue;
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+void EnsureEnvParsed() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("TIMEDRL_FAULT_INJECT");
+    if (env == nullptr || env[0] == '\0') return;
+    State& state = GetState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.rules = ParseSpec(env);
+    g_enabled.store(!state.rules.empty(), std::memory_order_release);
+  });
+}
+
+}  // namespace
+
+bool Enabled() {
+  EnsureEnvParsed();
+  return g_enabled.load(std::memory_order_acquire);
+}
+
+bool At(std::string_view point) {
+  if (!Enabled()) return false;
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto [it, inserted] = state.counters.try_emplace(std::string(point), 0);
+  const uint64_t call = ++it->second;  // 1-based occurrence index
+  for (const Rule& rule : state.rules) {
+    if (rule.point != point) continue;
+    if (call < rule.start) continue;
+    if (rule.open_ended || call < rule.start + rule.count) return true;
+  }
+  return false;
+}
+
+void SetSpecForTest(const std::string& spec) {
+  EnsureEnvParsed();
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.rules = ParseSpec(spec);
+  state.counters.clear();
+  g_enabled.store(!state.rules.empty(), std::memory_order_release);
+}
+
+void ResetCounters() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.counters.clear();
+}
+
+uint64_t CallCount(std::string_view point) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.counters.find(point);
+  return it == state.counters.end() ? 0 : it->second;
+}
+
+}  // namespace timedrl::fault

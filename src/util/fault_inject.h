@@ -1,0 +1,49 @@
+// Deterministic fault injection for fault-tolerance tests.
+//
+// Production code marks recoverable failure points with fault::At("name");
+// normally every call returns false and costs one cached-bool branch. When
+// TIMEDRL_FAULT_INJECT is set (or a spec is installed programmatically by a
+// test), the named point fires at chosen occurrence indices, letting
+// integration tests flip a loss to NaN at step N or truncate a checkpoint
+// write without special test-only code paths.
+//
+// Spec grammar (comma-separated list):
+//   <point>@<start>           fire on the <start>-th call (1-based), once
+//   <point>@<start>x<count>   fire on calls start .. start+count-1
+//   <point>@<start>x*         fire on every call from <start> on
+//
+// Example: TIMEDRL_FAULT_INJECT="pretrain_nan_loss@12x3,truncate_checkpoint@2"
+
+#ifndef TIMEDRL_UTIL_FAULT_INJECT_H_
+#define TIMEDRL_UTIL_FAULT_INJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace timedrl::fault {
+
+/// True when any fault spec is active (env var or test-installed). Cheap:
+/// one relaxed atomic bool load.
+bool Enabled();
+
+/// Increments the per-point call counter and reports whether the active
+/// spec asks this occurrence to fail. Always false when no spec is active;
+/// in that case the counter is not even tracked.
+bool At(std::string_view point);
+
+/// Installs `spec` (same grammar as the env var) for the current process,
+/// replacing any active spec and zeroing all counters. An empty string
+/// disables injection. Intended for tests; the env var is parsed once at
+/// first use and this overrides it.
+void SetSpecForTest(const std::string& spec);
+
+/// Zeroes every per-point call counter without changing the spec.
+void ResetCounters();
+
+/// Calls seen so far for `point` (0 when injection is disabled). Test aid.
+uint64_t CallCount(std::string_view point);
+
+}  // namespace timedrl::fault
+
+#endif  // TIMEDRL_UTIL_FAULT_INJECT_H_

@@ -1,6 +1,23 @@
 #include "util/rng.h"
 
+#include <sstream>
+
 namespace timedrl {
+
+std::string Rng::Serialize() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+bool Rng::Deserialize(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) return false;
+  engine_ = restored;
+  return true;
+}
 
 namespace {
 Rng* GlobalRngInstance() {

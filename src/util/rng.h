@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace timedrl {
@@ -61,6 +62,15 @@ class Rng {
   /// Forks a child stream whose seed depends on this stream's state;
   /// useful for giving sub-components independent deterministic streams.
   Rng Fork() { return Rng(engine_()); }
+
+  /// Engine state as text (std::mt19937_64 stream format). Restoring it
+  /// with Deserialize resumes the stream bit-for-bit — the checkpoint layer
+  /// uses this to make resumed runs identical to uninterrupted ones.
+  std::string Serialize() const;
+
+  /// Restores a state produced by Serialize. False if `state` is malformed
+  /// (the engine is left untouched in that case).
+  bool Deserialize(const std::string& state);
 
   std::mt19937_64& engine() { return engine_; }
 

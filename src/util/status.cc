@@ -1,0 +1,47 @@
+#include "util/status.h"
+
+#include <sstream>
+
+namespace timedrl {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kRaggedRow:
+      return "RAGGED_ROW";
+    case StatusCode::kNonFiniteCell:
+      return "NON_FINITE_CELL";
+    case StatusCode::kEmptyFile:
+      return "EMPTY_FILE";
+    case StatusCode::kNoData:
+      return "NO_DATA";
+    case StatusCode::kCorruptData:
+      return "CORRUPT_DATA";
+    case StatusCode::kVersionMismatch:
+      return "VERSION_MISMATCH";
+    case StatusCode::kStructureMismatch:
+      return "STRUCTURE_MISMATCH";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::ostringstream out;
+  out << StatusCodeName(code_);
+  if (row_ >= 0) {
+    out << " at row " << row_;
+    if (col_ >= 0) out << ", col " << col_;
+  }
+  if (!message_.empty()) out << ": " << message_;
+  return out.str();
+}
+
+}  // namespace timedrl

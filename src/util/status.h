@@ -1,0 +1,95 @@
+// Structured error reporting for recoverable failures (I/O, parsing,
+// checkpoint validation).
+//
+// The library stays fail-fast (TIMEDRL_CHECK) for programming errors, but
+// failures caused by the outside world — a missing file, a ragged CSV row,
+// a truncated checkpoint — are expected at a production boundary and must
+// be distinguishable by the caller. Status carries an error code from a
+// small taxonomy, a human-readable message, and (for tabular inputs) the
+// 1-based row/column where the problem was found.
+//
+// A Status is contextually convertible to bool (true = ok), so existing
+// `if (!LoadCsv(...))` call sites keep working.
+
+#ifndef TIMEDRL_UTIL_STATUS_H_
+#define TIMEDRL_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace timedrl {
+
+enum class StatusCode {
+  kOk = 0,
+  /// The operating system failed us: open/read/write/rename errors.
+  kIoError,
+  /// Content exists but cannot be parsed (non-numeric cell, bad header).
+  kParseError,
+  /// A CSV row has a different number of cells than the header.
+  kRaggedRow,
+  /// A NaN/Inf cell was found and the active policy rejects them.
+  kNonFiniteCell,
+  /// The file has no content at all (not even a header row).
+  kEmptyFile,
+  /// A header was found but zero usable data rows.
+  kNoData,
+  /// Binary payload is damaged: bad magic, CRC mismatch, truncated tail,
+  /// or trailing garbage after the last expected byte.
+  kCorruptData,
+  /// The format version is one this build does not understand.
+  kVersionMismatch,
+  /// The payload is well-formed but disagrees with the in-memory object
+  /// (parameter count/name/shape mismatch, wrong optimizer type).
+  kStructureMismatch,
+  /// Nothing to load (e.g. no checkpoint exists in the directory yet).
+  kNotFound,
+};
+
+/// Spells the code for logs and error messages, e.g. "RAGGED_ROW".
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  /// Default-constructed Status is success.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+
+  static Status Error(StatusCode code, std::string message) {
+    Status status;
+    status.code_ = code;
+    status.message_ = std::move(message);
+    return status;
+  }
+
+  /// Attaches a 1-based file location (row = physical line number including
+  /// the header line; col = cell index within the row). -1 = not applicable.
+  Status& WithLocation(int64_t row, int64_t col = -1) {
+    row_ = row;
+    col_ = col;
+    return *this;
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  int64_t row() const { return row_; }
+  int64_t col() const { return col_; }
+
+  /// "RAGGED_ROW at row 7, col 3: expected 4 cells, got 3" (location parts
+  /// appear only when set).
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+  int64_t row_ = -1;
+  int64_t col_ = -1;
+};
+
+}  // namespace timedrl
+
+#endif  // TIMEDRL_UTIL_STATUS_H_

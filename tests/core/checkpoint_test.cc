@@ -1,0 +1,231 @@
+// CheckpointManager: v2 round-trip, retention, corrupt-tail fallback,
+// fault-injected truncation, inspection, and v1 backward compatibility.
+
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "nn/serialize.h"
+#include "util/fault_inject.h"
+#include "util/rng.h"
+
+namespace timedrl::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::TimeDrlConfig SmallConfig() {
+  TimeDrlConfig config;
+  config.input_channels = 1;
+  config.input_length = 16;
+  config.patch_length = 4;
+  config.patch_stride = 4;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.ff_dim = 16;
+  config.num_layers = 1;
+  return config;
+}
+
+TrainingState SampleState(int64_t epoch) {
+  TrainingState state;
+  state.epoch = epoch;
+  state.global_step = 37 * epoch;
+  state.learning_rate = 5e-4f;
+  state.optimizer.type = "adamw";
+  state.optimizer.step_count = 37 * epoch;
+  state.optimizer.slots = {{1.0f, 2.0f, 3.0f}, {4.0f, 5.0f}};
+  state.rng_streams = {{"loop.batches", Rng(7).Serialize()},
+                       {"loop.augment", Rng(8).Serialize()}};
+  state.history = {{"total", {1.0, 0.5}}, {"predictive", {0.7, 0.3}}};
+  return state;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/timedrl_ckpt_mgr_" +
+           std::string(::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name());
+    fs::remove_all(dir_);
+  }
+
+  void TearDown() override {
+    fault::SetSpecForTest("");
+    fs::remove_all(dir_);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, RoundTripRestoresEverything) {
+  Rng rng_a(1);
+  TimeDrlModel source(SmallConfig(), rng_a);
+  CheckpointManager manager(dir_);
+  ASSERT_TRUE(manager.Save(source, SampleState(4)));
+
+  Rng rng_b(2);
+  TimeDrlModel target(SmallConfig(), rng_b);
+  TrainingState restored;
+  ASSERT_TRUE(manager.LoadLatest(&target, &restored));
+
+  // Parameters are bitwise identical.
+  auto source_params = source.NamedParameters();
+  auto target_params = target.NamedParameters();
+  ASSERT_EQ(source_params.size(), target_params.size());
+  for (size_t i = 0; i < source_params.size(); ++i) {
+    EXPECT_EQ(source_params[i].second.data(), target_params[i].second.data())
+        << source_params[i].first;
+  }
+
+  const TrainingState expected = SampleState(4);
+  EXPECT_EQ(restored.epoch, expected.epoch);
+  EXPECT_EQ(restored.global_step, expected.global_step);
+  EXPECT_EQ(restored.learning_rate, expected.learning_rate);
+  EXPECT_EQ(restored.optimizer.type, expected.optimizer.type);
+  EXPECT_EQ(restored.optimizer.step_count, expected.optimizer.step_count);
+  EXPECT_EQ(restored.optimizer.slots, expected.optimizer.slots);
+  EXPECT_EQ(restored.rng_streams, expected.rng_streams);
+  EXPECT_EQ(restored.history, expected.history);
+}
+
+TEST_F(CheckpointTest, EmptyDirectoryIsNotFound) {
+  Rng rng(3);
+  TimeDrlModel model(SmallConfig(), rng);
+  CheckpointManager manager(dir_);
+  TrainingState state;
+  Status status = manager.LoadLatest(&model, &state);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, KeepLastPrunesOldest) {
+  Rng rng(4);
+  TimeDrlModel model(SmallConfig(), rng);
+  CheckpointManager manager(dir_, /*keep_last=*/2);
+  for (int64_t epoch = 1; epoch <= 5; ++epoch) {
+    ASSERT_TRUE(manager.Save(model, SampleState(epoch)));
+  }
+  std::vector<std::string> remaining = manager.ListCheckpoints();
+  ASSERT_EQ(remaining.size(), 2u);
+  EXPECT_NE(remaining[0].find("checkpoint-4"), std::string::npos);
+  EXPECT_NE(remaining[1].find("checkpoint-5"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, CorruptTailFallsBackToOlderCheckpoint) {
+  Rng rng(5);
+  TimeDrlModel model(SmallConfig(), rng);
+  CheckpointManager manager(dir_);
+  ASSERT_TRUE(manager.Save(model, SampleState(1)));
+  ASSERT_TRUE(manager.Save(model, SampleState(2)));
+
+  // Tear the tail off the newest checkpoint, as a crash mid-write (on a
+  // filesystem without atomic rename guarantees) would.
+  std::vector<std::string> files = manager.ListCheckpoints();
+  ASSERT_EQ(files.size(), 2u);
+  const auto size = fs::file_size(files[1]);
+  fs::resize_file(files[1], size - 16);
+
+  TrainingState state;
+  ASSERT_TRUE(manager.LoadLatest(&model, &state));
+  EXPECT_EQ(state.epoch, 1);
+}
+
+TEST_F(CheckpointTest, FaultInjectedTruncationFailsCrc) {
+  Rng rng(6);
+  TimeDrlModel model(SmallConfig(), rng);
+  CheckpointManager manager(dir_);
+
+  fault::SetSpecForTest("truncate_checkpoint@1");
+  ASSERT_TRUE(manager.Save(model, SampleState(1)));
+  fault::SetSpecForTest("");
+
+  // The truncated file exists but fails validation -> nothing to restore.
+  ASSERT_EQ(manager.ListCheckpoints().size(), 1u);
+  TrainingState state;
+  EXPECT_EQ(manager.LoadLatest(&model, &state).code(), StatusCode::kNotFound);
+
+  // A healthy save afterwards restores normal operation.
+  ASSERT_TRUE(manager.Save(model, SampleState(2)));
+  ASSERT_TRUE(manager.LoadLatest(&model, &state));
+  EXPECT_EQ(state.epoch, 2);
+}
+
+TEST_F(CheckpointTest, InspectReportsMetadata) {
+  Rng rng(7);
+  TimeDrlModel model(SmallConfig(), rng);
+  CheckpointManager manager(dir_);
+  ASSERT_TRUE(manager.Save(model, SampleState(3)));
+
+  CheckpointInfo info;
+  ASSERT_TRUE(CheckpointManager::Inspect(manager.ListCheckpoints()[0], &info));
+  EXPECT_EQ(info.version, nn::kVersionTrainingState);
+  EXPECT_TRUE(info.has_crc);
+  EXPECT_TRUE(info.crc_valid);
+  EXPECT_EQ(info.parameters.size(), model.NamedParameters().size());
+  EXPECT_EQ(info.optimizer_type, "adamw");
+  EXPECT_EQ(info.optimizer_step_count, 111);
+  EXPECT_EQ(info.optimizer_slot_sizes, (std::vector<uint64_t>{3, 2}));
+  EXPECT_EQ(info.epoch, 3);
+  EXPECT_EQ(info.learning_rate, 5e-4f);
+  ASSERT_EQ(info.history_sizes.size(), 2u);
+  EXPECT_EQ(info.history_sizes[0].first, "total");
+  EXPECT_EQ(info.history_sizes[0].second, 2u);
+}
+
+TEST_F(CheckpointTest, InspectFlagsCorruptFile) {
+  Rng rng(8);
+  TimeDrlModel model(SmallConfig(), rng);
+  CheckpointManager manager(dir_);
+  ASSERT_TRUE(manager.Save(model, SampleState(1)));
+  const std::string path = manager.ListCheckpoints()[0];
+  fs::resize_file(path, fs::file_size(path) - 8);
+
+  CheckpointInfo info;
+  ASSERT_TRUE(CheckpointManager::Inspect(path, &info));
+  EXPECT_TRUE(info.has_crc);
+  EXPECT_FALSE(info.crc_valid);
+}
+
+TEST_F(CheckpointTest, VersionOneFilesStillLoad) {
+  Rng rng_a(9);
+  TimeDrlModel source(SmallConfig(), rng_a);
+  fs::create_directories(dir_);
+  const std::string path = dir_ + "/params_only.ckpt";
+  ASSERT_TRUE(nn::SaveParameters(source, path));
+
+  Rng rng_b(10);
+  TimeDrlModel target(SmallConfig(), rng_b);
+  TrainingState state;
+  ASSERT_TRUE(CheckpointManager::LoadFile(path, &target, &state));
+  EXPECT_EQ(source.NamedParameters()[0].second.data(),
+            target.NamedParameters()[0].second.data());
+  EXPECT_EQ(state.epoch, 0);  // untouched: v1 carries no cursor
+
+  CheckpointInfo info;
+  ASSERT_TRUE(CheckpointManager::Inspect(path, &info));
+  EXPECT_EQ(info.version, nn::kVersionParamsOnly);
+  EXPECT_FALSE(info.has_crc);
+  EXPECT_EQ(info.epoch, -1);
+}
+
+TEST_F(CheckpointTest, TempFilesAreNotListed) {
+  Rng rng(11);
+  TimeDrlModel model(SmallConfig(), rng);
+  CheckpointManager manager(dir_);
+  ASSERT_TRUE(manager.Save(model, SampleState(1)));
+  {
+    std::ofstream leftover(dir_ + "/checkpoint-9.tdrl.tmp");
+    leftover << "torn";
+  }
+  EXPECT_EQ(manager.ListCheckpoints().size(), 1u);
+}
+
+}  // namespace
+}  // namespace timedrl::core

@@ -1,0 +1,141 @@
+// Kill-and-resume determinism: pre-training for N epochs straight must be
+// bitwise identical to training N/2 epochs, discarding every in-memory
+// object (the process-boundary simulation), and resuming from the
+// checkpoint for the remaining epochs. This exercises the full state
+// capture: model parameters, AdamW moments and step count, batch-shuffle
+// and augmentation RNG streams, dropout RNGs, batch-norm running
+// statistics, the epoch cursor, and the loss history.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "core/model.h"
+#include "core/pretrainer.h"
+#include "core/sources.h"
+#include "data/synthetic.h"
+#include "data/windows.h"
+
+namespace timedrl::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int64_t kEpochs = 6;
+constexpr int64_t kHalf = 3;
+
+TimeDrlConfig SmallConfig() {
+  TimeDrlConfig config;
+  config.input_channels = 1;
+  config.input_length = 16;
+  config.patch_length = 4;
+  config.patch_stride = 4;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.ff_dim = 16;
+  config.num_layers = 1;
+  return config;
+}
+
+// Each run builds every object from scratch (model, windows, source, RNG),
+// exactly as a fresh process would after a crash.
+PretrainHistory RunPretrainOnce(int64_t epochs, const std::string& checkpoint_dir,
+                    bool resume, std::unique_ptr<TimeDrlModel>* model_out) {
+  Rng rng(42);
+  data::TimeSeries series = data::MakeEttLike(220, 24, 1, rng);
+  data::ForecastingWindows windows(series, /*input=*/16, /*horizon=*/0,
+                                   /*stride=*/4);
+  ForecastingSource source(&windows, /*channel_independent=*/true);
+
+  Rng model_rng(7);
+  *model_out = std::make_unique<TimeDrlModel>(SmallConfig(), model_rng);
+
+  PretrainConfig config;
+  config.train.epochs = epochs;
+  config.train.batch_size = 8;
+  config.train.checkpoint.directory = checkpoint_dir;
+  config.train.checkpoint.resume = resume;
+  Rng train_rng(99);
+  return Pretrain(model_out->get(), source, config, train_rng);
+}
+
+void ExpectBitwiseEqual(TimeDrlModel& a, TimeDrlModel& b) {
+  auto params_a = a.NamedParameters();
+  auto params_b = b.NamedParameters();
+  ASSERT_EQ(params_a.size(), params_b.size());
+  for (size_t i = 0; i < params_a.size(); ++i) {
+    EXPECT_EQ(params_a[i].second.data(), params_b[i].second.data())
+        << "parameter " << params_a[i].first << " diverged";
+  }
+}
+
+TEST(ResumeDeterminismTest, SplitRunMatchesStraightRunBitwise) {
+  const std::string dir = "/tmp/timedrl_resume_determinism";
+  fs::remove_all(dir);
+
+  std::unique_ptr<TimeDrlModel> straight;
+  PretrainHistory straight_history =
+      RunPretrainOnce(kEpochs, /*checkpoint_dir=*/"", /*resume=*/false, &straight);
+  ASSERT_EQ(straight_history.total.size(),
+            static_cast<size_t>(kEpochs));
+  ASSERT_FALSE(straight_history.aborted);
+
+  // First half: train, checkpoint, then throw everything away.
+  {
+    std::unique_ptr<TimeDrlModel> first_half;
+    PretrainHistory h = RunPretrainOnce(kHalf, dir, /*resume=*/false, &first_half);
+    ASSERT_EQ(h.total.size(), static_cast<size_t>(kHalf));
+  }
+
+  // Second half in a "new process": fresh objects, resume from disk.
+  std::unique_ptr<TimeDrlModel> resumed;
+  PretrainHistory resumed_history =
+      RunPretrainOnce(kEpochs, dir, /*resume=*/true, &resumed);
+
+  ASSERT_FALSE(resumed_history.aborted);
+  ASSERT_EQ(resumed_history.total.size(), static_cast<size_t>(kEpochs));
+  // Loss history is bitwise identical — including the first-half epochs,
+  // which the resumed run restored from the checkpoint rather than reran.
+  EXPECT_EQ(resumed_history.total, straight_history.total);
+  EXPECT_EQ(resumed_history.predictive, straight_history.predictive);
+  EXPECT_EQ(resumed_history.contrastive, straight_history.contrastive);
+  ExpectBitwiseEqual(*straight, *resumed);
+
+  fs::remove_all(dir);
+}
+
+TEST(ResumeDeterminismTest, ResumeAfterCompletionIsANoOp) {
+  const std::string dir = "/tmp/timedrl_resume_complete";
+  fs::remove_all(dir);
+
+  std::unique_ptr<TimeDrlModel> finished;
+  PretrainHistory first = RunPretrainOnce(kHalf, dir, /*resume=*/false, &finished);
+  ASSERT_EQ(first.total.size(), static_cast<size_t>(kHalf));
+
+  // Same epoch budget, resume: nothing left to train, state is untouched.
+  std::unique_ptr<TimeDrlModel> reloaded;
+  PretrainHistory second = RunPretrainOnce(kHalf, dir, /*resume=*/true, &reloaded);
+  EXPECT_EQ(second.total, first.total);
+  ExpectBitwiseEqual(*finished, *reloaded);
+
+  fs::remove_all(dir);
+}
+
+TEST(ResumeDeterminismTest, CheckpointFilesRespectRetention) {
+  const std::string dir = "/tmp/timedrl_resume_retention";
+  fs::remove_all(dir);
+
+  std::unique_ptr<TimeDrlModel> model;
+  RunPretrainOnce(kEpochs, dir, /*resume=*/false, &model);
+  CheckpointManager manager(dir);
+  // Default keep_last = 3 caps the directory regardless of epoch count.
+  EXPECT_LE(manager.ListCheckpoints().size(), 3u);
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace timedrl::core

@@ -1,0 +1,171 @@
+// Error-taxonomy tests for the hardened CSV loader: every failure mode has
+// a distinct StatusCode and (where applicable) a 1-based row/column.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "data/csv.h"
+
+namespace timedrl::data {
+namespace {
+
+class CsvErrorsTest : public ::testing::Test {
+ protected:
+  std::string WriteFile(const std::string& contents) {
+    const std::string path =
+        "/tmp/timedrl_csv_errors_" +
+        std::string(::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name()) +
+        ".csv";
+    std::ofstream out(path);
+    out << contents;
+    paths_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const std::string& path : paths_) std::remove(path.c_str());
+  }
+
+  std::vector<std::string> paths_;
+};
+
+TEST_F(CsvErrorsTest, MissingFileIsIoError) {
+  TimeSeries series;
+  Status status = LoadCsv("/tmp/definitely_missing_timedrl.csv", &series);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvErrorsTest, EmptyFile) {
+  TimeSeries series;
+  Status status = LoadCsv(WriteFile(""), &series);
+  EXPECT_EQ(status.code(), StatusCode::kEmptyFile);
+}
+
+TEST_F(CsvErrorsTest, HeaderOnlyFile) {
+  TimeSeries series;
+  Status status = LoadCsv(WriteFile("a,b,c\n"), &series);
+  EXPECT_EQ(status.code(), StatusCode::kNoData);
+}
+
+TEST_F(CsvErrorsTest, RaggedRowReportsRow) {
+  TimeSeries series;
+  Status status = LoadCsv(WriteFile("a,b,c\n1,2,3\n4,5\n"), &series);
+  EXPECT_EQ(status.code(), StatusCode::kRaggedRow);
+  EXPECT_EQ(status.row(), 3);  // header is row 1
+}
+
+TEST_F(CsvErrorsTest, ExtraCellsAreAlsoRagged) {
+  TimeSeries series;
+  Status status = LoadCsv(WriteFile("a,b\n1,2\n3,4,5\n"), &series);
+  EXPECT_EQ(status.code(), StatusCode::kRaggedRow);
+  EXPECT_EQ(status.row(), 3);
+}
+
+TEST_F(CsvErrorsTest, NonNumericCellReportsRowAndColumn) {
+  TimeSeries series;
+  Status status = LoadCsv(WriteFile("a,b,c\n1,2,3\n4,oops,6\n"), &series);
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_EQ(status.row(), 3);
+  EXPECT_EQ(status.col(), 2);
+}
+
+TEST_F(CsvErrorsTest, PartiallyNumericCellIsParseError) {
+  TimeSeries series;
+  Status status = LoadCsv(WriteFile("a\n1.5x\n"), &series);
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_EQ(status.row(), 2);
+  EXPECT_EQ(status.col(), 1);
+}
+
+TEST_F(CsvErrorsTest, NanRejectedByDefault) {
+  TimeSeries series;
+  Status status = LoadCsv(WriteFile("a,b\n1,2\n3,nan\n"), &series);
+  EXPECT_EQ(status.code(), StatusCode::kNonFiniteCell);
+  EXPECT_EQ(status.row(), 3);
+  EXPECT_EQ(status.col(), 2);
+}
+
+TEST_F(CsvErrorsTest, InfRejectedByDefault) {
+  TimeSeries series;
+  Status status = LoadCsv(WriteFile("a\n1\n-inf\n"), &series);
+  EXPECT_EQ(status.code(), StatusCode::kNonFiniteCell);
+  EXPECT_EQ(status.row(), 3);
+  EXPECT_EQ(status.col(), 1);
+}
+
+TEST_F(CsvErrorsTest, DropRowPolicySkipsTheRow) {
+  TimeSeries series;
+  CsvReadOptions options;
+  options.non_finite = NonFinitePolicy::kDropRow;
+  Status status =
+      LoadCsv(WriteFile("a,b\n1,2\n3,inf\n5,6\n"), &series, nullptr, options);
+  ASSERT_TRUE(status);
+  ASSERT_EQ(series.length(), 2);
+  EXPECT_EQ(series.at(0, 0), 1.0f);
+  EXPECT_EQ(series.at(1, 0), 5.0f);
+  EXPECT_EQ(series.at(1, 1), 6.0f);
+}
+
+TEST_F(CsvErrorsTest, DropRowOnEveryRowIsNoData) {
+  TimeSeries series;
+  CsvReadOptions options;
+  options.non_finite = NonFinitePolicy::kDropRow;
+  Status status =
+      LoadCsv(WriteFile("a\nnan\ninf\n"), &series, nullptr, options);
+  EXPECT_EQ(status.code(), StatusCode::kNoData);
+}
+
+TEST_F(CsvErrorsTest, ForwardFillUsesPreviousRowSameColumn) {
+  TimeSeries series;
+  CsvReadOptions options;
+  options.non_finite = NonFinitePolicy::kForwardFill;
+  Status status = LoadCsv(WriteFile("a,b\n1,2\nnan,4\n5,inf\n"), &series,
+                          nullptr, options);
+  ASSERT_TRUE(status);
+  ASSERT_EQ(series.length(), 3);
+  EXPECT_EQ(series.at(1, 0), 1.0f);  // filled from row above
+  EXPECT_EQ(series.at(1, 1), 4.0f);
+  EXPECT_EQ(series.at(2, 0), 5.0f);
+  EXPECT_EQ(series.at(2, 1), 4.0f);  // filled from row above
+}
+
+TEST_F(CsvErrorsTest, ForwardFillWithNoHistoryUsesZero) {
+  TimeSeries series;
+  CsvReadOptions options;
+  options.non_finite = NonFinitePolicy::kForwardFill;
+  Status status =
+      LoadCsv(WriteFile("a\nnan\n2\n"), &series, nullptr, options);
+  ASSERT_TRUE(status);
+  ASSERT_EQ(series.length(), 2);
+  EXPECT_EQ(series.at(0, 0), 0.0f);
+  EXPECT_EQ(series.at(1, 0), 2.0f);
+}
+
+TEST_F(CsvErrorsTest, CrlfLineEndingsParse) {
+  TimeSeries series;
+  std::vector<std::string> header;
+  Status status =
+      LoadCsv(WriteFile("a,b\r\n1,2\r\n3,4\r\n"), &series, &header);
+  ASSERT_TRUE(status);
+  ASSERT_EQ(header.size(), 2u);
+  EXPECT_EQ(header[1], "b");
+  EXPECT_EQ(series.length(), 2);
+}
+
+TEST_F(CsvErrorsTest, TrailingEmptyCellIsRaggedNotDropped) {
+  TimeSeries series;
+  Status status = LoadCsv(WriteFile("a,b\n1,2\n3,\n"), &series);
+  // "3," has an empty second cell -> parse error at row 3, col 2 (the cell
+  // exists but holds no number).
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_EQ(status.row(), 3);
+  EXPECT_EQ(status.col(), 2);
+}
+
+}  // namespace
+}  // namespace timedrl::data

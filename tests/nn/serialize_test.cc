@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "core/model.h"
 #include "nn/layers.h"
@@ -63,7 +65,40 @@ TEST(SerializeTest, RejectsArchitectureMismatch) {
   ASSERT_TRUE(SaveParameters(source, path));
 
   Linear wrong_shape(4, 5, rng);
-  EXPECT_FALSE(LoadParameters(&wrong_shape, path));
+  Status status = LoadParameters(&wrong_shape, path);
+  EXPECT_EQ(status.code(), StatusCode::kStructureMismatch);
+  std::remove(path);
+}
+
+TEST(SerializeTest, DetectsTruncatedFinalTensor) {
+  Rng rng(20);
+  Linear source(4, 3, rng);
+  const char* path = "/tmp/timedrl_ckpt_truncated.bin";
+  ASSERT_TRUE(SaveParameters(source, path));
+  // Chop 4 bytes off the last parameter's data: the short read must be
+  // caught even though it is the final tensor in the file.
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 4);
+
+  Linear target(4, 3, rng);
+  Status status = LoadParameters(&target, path);
+  EXPECT_EQ(status.code(), StatusCode::kCorruptData);
+  std::remove(path);
+}
+
+TEST(SerializeTest, DetectsTrailingGarbage) {
+  Rng rng(21);
+  Linear source(4, 3, rng);
+  const char* path = "/tmp/timedrl_ckpt_trailing.bin";
+  ASSERT_TRUE(SaveParameters(source, path));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "extra bytes after the last tensor";
+  }
+
+  Linear target(4, 3, rng);
+  Status status = LoadParameters(&target, path);
+  EXPECT_EQ(status.code(), StatusCode::kCorruptData);
   std::remove(path);
 }
 
@@ -83,7 +118,8 @@ TEST(SerializeTest, RejectsGarbageFile) {
 TEST(SerializeTest, MissingFileFails) {
   Rng rng(8);
   Linear module(2, 2, rng);
-  EXPECT_FALSE(LoadParameters(&module, "/tmp/definitely_missing_ckpt.bin"));
+  Status status = LoadParameters(&module, "/tmp/definitely_missing_ckpt.bin");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
 }
 
 }  // namespace

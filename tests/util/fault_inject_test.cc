@@ -1,0 +1,102 @@
+#include "util/fault_inject.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/crc32.h"
+#include "util/status.h"
+
+namespace timedrl {
+namespace {
+
+class FaultInjectTest : public ::testing::Test {
+ protected:
+  // Every test leaves injection disabled so suites sharing the process are
+  // unaffected.
+  void TearDown() override { fault::SetSpecForTest(""); }
+};
+
+TEST_F(FaultInjectTest, DisabledByDefault) {
+  fault::SetSpecForTest("");
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_FALSE(fault::At("anything"));
+  // Counters are not tracked while disabled.
+  EXPECT_EQ(fault::CallCount("anything"), 0u);
+}
+
+TEST_F(FaultInjectTest, SingleOccurrence) {
+  fault::SetSpecForTest("boom@2");
+  ASSERT_TRUE(fault::Enabled());
+  EXPECT_FALSE(fault::At("boom"));  // call 1
+  EXPECT_TRUE(fault::At("boom"));   // call 2 fires
+  EXPECT_FALSE(fault::At("boom"));  // call 3
+  EXPECT_EQ(fault::CallCount("boom"), 3u);
+}
+
+TEST_F(FaultInjectTest, CountedRange) {
+  fault::SetSpecForTest("boom@2x3");
+  EXPECT_FALSE(fault::At("boom"));  // 1
+  EXPECT_TRUE(fault::At("boom"));   // 2
+  EXPECT_TRUE(fault::At("boom"));   // 3
+  EXPECT_TRUE(fault::At("boom"));   // 4
+  EXPECT_FALSE(fault::At("boom"));  // 5
+}
+
+TEST_F(FaultInjectTest, OpenEndedRange) {
+  fault::SetSpecForTest("boom@3x*");
+  EXPECT_FALSE(fault::At("boom"));
+  EXPECT_FALSE(fault::At("boom"));
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(fault::At("boom"));
+}
+
+TEST_F(FaultInjectTest, PointsAreIndependent) {
+  fault::SetSpecForTest("a@1,b@2");
+  EXPECT_TRUE(fault::At("a"));
+  EXPECT_FALSE(fault::At("b"));  // b's counter is separate from a's
+  EXPECT_TRUE(fault::At("b"));
+  EXPECT_FALSE(fault::At("unlisted"));
+}
+
+TEST_F(FaultInjectTest, ResetCountersRearmsTheSpec) {
+  fault::SetSpecForTest("boom@1");
+  EXPECT_TRUE(fault::At("boom"));
+  EXPECT_FALSE(fault::At("boom"));
+  fault::ResetCounters();
+  EXPECT_TRUE(fault::At("boom"));
+}
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // IEEE 802.3 CRC-32 of "123456789" is the classic check value.
+  const char data[] = "123456789";
+  EXPECT_EQ(Crc32(data, 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string payload(256, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i);
+  }
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  payload[100] ^= 0x01;
+  EXPECT_NE(Crc32(payload.data(), payload.size()), crc);
+}
+
+TEST(StatusTest, LocationsAppearInToString) {
+  Status status = Status::Error(StatusCode::kRaggedRow, "short row")
+                      .WithLocation(7, 3);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kRaggedRow);
+  EXPECT_EQ(status.row(), 7);
+  EXPECT_EQ(status.col(), 3);
+  EXPECT_NE(status.ToString().find("row 7"), std::string::npos);
+  EXPECT_NE(status.ToString().find("col 3"), std::string::npos);
+}
+
+TEST(StatusTest, OkConvertsToTrue) {
+  EXPECT_TRUE(Status::Ok());
+  EXPECT_FALSE(Status::Error(StatusCode::kIoError, "nope"));
+}
+
+}  // namespace
+}  // namespace timedrl

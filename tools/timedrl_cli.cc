@@ -6,10 +6,14 @@
 //   forecast  train a linear probe on a pre-trained checkpoint and report
 //             test MSE/MAE for a horizon
 //   anomaly   score windows of a CSV series by reconstruction error
+//   checkpoint-inspect  summarize a checkpoint file (version, CRC, shapes)
 //
-// The checkpoint stores parameters only; pass the same architecture flags
-// (--window/--patch/--d-model/--layers/--channel-independent) to every
-// command that loads it.
+// The --out checkpoint stores parameters only; pass the same architecture
+// flags (--window/--patch/--d-model/--layers/--channel-independent) to
+// every command that loads it. `pretrain --checkpoint-dir DIR` additionally
+// writes full training checkpoints (model + optimizer + RNG streams +
+// epoch cursor) after every epoch, and `--resume` restarts from the newest
+// valid one, bitwise-identically to the uninterrupted run.
 //
 // Examples:
 //   timedrl generate --dataset etth1 --length 2000 --out /tmp/ett.csv
@@ -23,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/model.h"
 #include "core/pipelines.h"
 #include "core/pretrainer.h"
@@ -50,10 +55,16 @@ void PrintUsage() {
       "            [--patch P] [--d-model D] [--layers L] [--lambda X]\n"
       "            [--channel-independent] [--seed S] [--verbose]\n"
       "            [--metrics]  (print the metrics-registry snapshot)\n"
+      "            [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+      "            [--checkpoint-keep N] [--resume]\n"
       "  forecast  --csv FILE.csv --model MODEL.ckpt --horizon H\n"
       "            [--probe-epochs N] [--fine-tune] [architecture flags]\n"
       "  anomaly   --csv FILE.csv --model MODEL.ckpt [--top K]\n"
-      "            [architecture flags]\n");
+      "            [architecture flags]\n"
+      "  checkpoint-inspect --file CKPT\n"
+      "\n"
+      "CSV flags (pretrain/forecast/anomaly):\n"
+      "  --nan-policy reject|drop|fill   what to do with nan/inf cells\n");
 }
 
 /// Architecture flags shared by pretrain/forecast/anomaly. Must match the
@@ -72,6 +83,31 @@ core::TimeDrlConfig ConfigFromFlags(const FlagParser& flags,
   config.num_layers = flags.GetInt("layers", 2);
   config.lambda_weight = static_cast<float>(flags.GetDouble("lambda", 1.0));
   return config;
+}
+
+/// Loads a CSV with the --nan-policy flag applied, printing the structured
+/// error (code + row/column) on failure.
+bool LoadSeries(const FlagParser& flags, const std::string& csv,
+                data::TimeSeries* series) {
+  data::CsvReadOptions options;
+  const std::string policy = flags.GetString("nan-policy", "reject");
+  if (policy == "reject") {
+    options.non_finite = data::NonFinitePolicy::kReject;
+  } else if (policy == "drop") {
+    options.non_finite = data::NonFinitePolicy::kDropRow;
+  } else if (policy == "fill") {
+    options.non_finite = data::NonFinitePolicy::kForwardFill;
+  } else {
+    std::fprintf(stderr, "unknown --nan-policy '%s'\n", policy.c_str());
+    return false;
+  }
+  Status status = data::LoadCsv(csv, series, nullptr, options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", csv.c_str(),
+                 status.ToString().c_str());
+    return false;
+  }
+  return true;
 }
 
 int RunGenerate(const FlagParser& flags) {
@@ -115,7 +151,7 @@ int RunPretrain(const FlagParser& flags) {
     return 1;
   }
   data::TimeSeries series;
-  if (!data::LoadCsv(csv, &series)) return 1;
+  if (!LoadSeries(flags, csv, &series)) return 1;
 
   data::ForecastingSplits splits = data::ChronologicalSplit(series);
   data::StandardScaler scaler;
@@ -143,6 +179,15 @@ int RunPretrain(const FlagParser& flags) {
   core::PretrainConfig pretrain;
   pretrain.train.epochs = flags.GetInt("epochs", 10);
   pretrain.train.batch_size = flags.GetInt("batch", 32);
+  pretrain.train.checkpoint.directory = flags.GetString("checkpoint-dir");
+  pretrain.train.checkpoint.every_epochs = flags.GetInt("checkpoint-every", 1);
+  pretrain.train.checkpoint.keep_last = flags.GetInt("checkpoint-keep", 3);
+  pretrain.train.checkpoint.resume = flags.GetBool("resume");
+  if (pretrain.train.checkpoint.resume &&
+      pretrain.train.checkpoint.directory.empty()) {
+    std::fprintf(stderr, "pretrain: --resume requires --checkpoint-dir\n");
+    return 1;
+  }
   obs::ConsoleObserver console;
   obs::MetricsObserver metrics_observer("train");
   obs::MultiObserver observers(
@@ -152,10 +197,21 @@ int RunPretrain(const FlagParser& flags) {
   pretrain.train.observer = &observers;
   core::PretrainHistory history = core::Pretrain(&model, source, pretrain,
                                                  rng);
-  std::printf("pretext loss: %.4f -> %.4f over %lld epochs\n",
-              history.total.front(), history.total.back(),
-              static_cast<long long>(pretrain.train.epochs));
-  if (!nn::SaveParameters(model, out)) return 1;
+  if (history.aborted) {
+    std::fprintf(stderr, "pretrain: aborted: %s\n",
+                 history.abort_reason.c_str());
+    return 1;
+  }
+  if (!history.total.empty()) {
+    std::printf("pretext loss: %.4f -> %.4f over %lld epochs\n",
+                history.total.front(), history.total.back(),
+                static_cast<long long>(pretrain.train.epochs));
+  }
+  Status save_status = nn::SaveParameters(model, out);
+  if (!save_status.ok()) {
+    std::fprintf(stderr, "pretrain: %s\n", save_status.ToString().c_str());
+    return 1;
+  }
   std::printf("checkpoint saved to %s\n", out.c_str());
   if (flags.GetBool("metrics")) {
     std::ostringstream json;
@@ -173,7 +229,7 @@ int RunForecast(const FlagParser& flags) {
     return 1;
   }
   data::TimeSeries series;
-  if (!data::LoadCsv(csv, &series)) return 1;
+  if (!LoadSeries(flags, csv, &series)) return 1;
 
   data::ForecastingSplits splits = data::ChronologicalSplit(series);
   data::StandardScaler scaler;
@@ -184,7 +240,12 @@ int RunForecast(const FlagParser& flags) {
   Rng rng(flags.GetInt("seed", 42));
   core::TimeDrlConfig config = ConfigFromFlags(flags, series.channels);
   core::TimeDrlModel model(config, rng);
-  if (!nn::LoadParameters(&model, model_path)) return 1;
+  Status load_status = nn::LoadParameters(&model, model_path);
+  if (!load_status.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", model_path.c_str(),
+                 load_status.ToString().c_str());
+    return 1;
+  }
 
   const int64_t horizon = flags.GetInt("horizon", 24);
   const int64_t stride = flags.GetInt("stride", 2);
@@ -222,7 +283,7 @@ int RunAnomaly(const FlagParser& flags) {
     return 1;
   }
   data::TimeSeries series;
-  if (!data::LoadCsv(csv, &series)) return 1;
+  if (!LoadSeries(flags, csv, &series)) return 1;
 
   data::StandardScaler scaler;
   scaler.Fit(series);
@@ -237,7 +298,12 @@ int RunAnomaly(const FlagParser& flags) {
     return 1;
   }
   core::TimeDrlModel model(config, rng);
-  if (!nn::LoadParameters(&model, model_path)) return 1;
+  Status load_status = nn::LoadParameters(&model, model_path);
+  if (!load_status.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", model_path.c_str(),
+                 load_status.ToString().c_str());
+    return 1;
+  }
   model.Eval();
 
   const int64_t window = config.input_length;
@@ -266,12 +332,60 @@ int RunAnomaly(const FlagParser& flags) {
   return 0;
 }
 
+int RunCheckpointInspect(const FlagParser& flags) {
+  const std::string file = flags.GetString("file");
+  if (file.empty()) {
+    std::fprintf(stderr, "checkpoint-inspect: --file is required\n");
+    return 1;
+  }
+  core::CheckpointInfo info;
+  Status status = core::CheckpointManager::Inspect(file, &info);
+  if (!status.ok()) {
+    std::fprintf(stderr, "checkpoint-inspect: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: version %u, %llu bytes\n", file.c_str(), info.version,
+              static_cast<unsigned long long>(info.file_bytes));
+  if (info.has_crc) {
+    std::printf("crc: %s\n", info.crc_valid ? "valid" : "INVALID");
+    if (!info.crc_valid) {
+      std::printf("file is truncated or corrupt; contents unreadable\n");
+      return 1;
+    }
+  } else {
+    std::printf("crc: none (params-only format)\n");
+  }
+  std::printf("parameters (%zu):\n", info.parameters.size());
+  for (const auto& [name, shape] : info.parameters) {
+    std::printf("  %s %s\n", name.c_str(), ShapeToString(shape).c_str());
+  }
+  if (info.version >= nn::kVersionTrainingState) {
+    std::printf("optimizer: %s, step count %lld, %zu slots\n",
+                info.optimizer_type.c_str(),
+                static_cast<long long>(info.optimizer_step_count),
+                info.optimizer_slot_sizes.size());
+    std::printf("cursor: epoch %lld, global step %lld, learning rate %g\n",
+                static_cast<long long>(info.epoch),
+                static_cast<long long>(info.global_step),
+                double{info.learning_rate});
+    for (const auto& [name, size] : info.history_sizes) {
+      std::printf("history %s: %llu epochs\n", name.c_str(),
+                  static_cast<unsigned long long>(size));
+    }
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   if (flags.command() == "generate") return RunGenerate(flags);
   if (flags.command() == "pretrain") return RunPretrain(flags);
   if (flags.command() == "forecast") return RunForecast(flags);
   if (flags.command() == "anomaly") return RunAnomaly(flags);
+  if (flags.command() == "checkpoint-inspect") {
+    return RunCheckpointInspect(flags);
+  }
   PrintUsage();
   return flags.command().empty() ? 0 : 1;
 }
