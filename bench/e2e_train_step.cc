@@ -18,6 +18,12 @@
 // comparison. Results are printed as JSON on stdout (see
 // bench/run_e2e_train_step.sh, which captures them into
 // BENCH_train_step.json at the repo root).
+//
+// A final serve phase freezes a model into a checkpoint, opens a
+// serve::InferenceSession on it, and times graph-free Encode() calls for
+// each planned batch size, reporting p50/p99 latency and throughput plus
+// the steady-state pool-miss and autograd-node counts (both must be zero)
+// under the "serve" key of the same JSON object.
 
 #include <algorithm>
 #include <chrono>
@@ -25,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/config.h"
@@ -33,9 +40,11 @@
 #include "core/sources.h"
 #include "data/synthetic.h"
 #include "data/windows.h"
+#include "nn/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optim/optimizer.h"
+#include "serve/inference_session.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
@@ -197,6 +206,110 @@ int Main() {
   const double trace_overhead_pct =
       (traced_med / untraced_med - 1.0) * 100.0;
 
+  // ---- Serve phase ---------------------------------------------------------
+  // Frozen-session embedding latency for each planned batch size, plus the
+  // two steady-state invariants of the graph-free inference path: zero pool
+  // misses and zero autograd nodes across all timed encodes.
+  std::string serve_json;
+  uint64_t serve_misses = 0;
+  int64_t serve_graph_nodes = 0;
+  {
+    pool::SetEnabled(true);
+    core::TimeDrlConfig serve_config;
+    serve_config.input_channels = 4;
+    serve_config.input_length = 64;
+    serve_config.patch_length = 8;
+    serve_config.patch_stride = 8;
+    serve_config.d_model = 32;
+    serve_config.num_heads = 4;
+    serve_config.ff_dim = 64;
+    serve_config.num_layers = 2;
+    Rng serve_rng(3);
+    core::TimeDrlModel serve_model(serve_config, serve_rng);
+    const char* ckpt_path = "bench_serve.ckpt";
+    Status save_status = nn::SaveParameters(serve_model, ckpt_path);
+    if (!save_status.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", save_status.ToString().c_str());
+      return 1;
+    }
+    serve::InferenceSessionConfig session_config;
+    session_config.model = serve_config;
+    session_config.planned_batch_sizes = {1, 8, 32};
+    std::unique_ptr<serve::InferenceSession> session;
+    Status open_status =
+        serve::InferenceSession::Open(ckpt_path, session_config, &session);
+    std::remove(ckpt_path);
+    if (!open_status.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", open_status.ToString().c_str());
+      return 1;
+    }
+
+    constexpr int kServeIters = 50;
+    // Open() already warmed each planned shape; one more round with the
+    // request tensors' exact allocation pattern, then snapshot the
+    // steady-state counters the timed loops must not move.
+    for (int64_t b : session_config.planned_batch_sizes) {
+      (void)session->Encode(
+          Tensor::Randn({b, serve_config.input_length,
+                         serve_config.input_channels},
+                        serve_rng));
+    }
+    const uint64_t misses_at_steady =
+        obs::Registry::Global().GetCounter("pool.misses").value();
+    const int64_t nodes_at_steady = GraphNodesCreated();
+
+    serve_json = "{\n";
+    for (int64_t b : session_config.planned_batch_sizes) {
+      Tensor x = Tensor::Randn({b, serve_config.input_length,
+                                serve_config.input_channels},
+                               serve_rng);
+      std::vector<double> latency_us;
+      latency_us.reserve(kServeIters);
+      const auto loop_start = std::chrono::steady_clock::now();
+      for (int i = 0; i < kServeIters; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        serve::Embeddings embeddings = session->Encode(x);
+        latency_us.push_back(std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count());
+      }
+      const double elapsed_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        loop_start)
+              .count();
+      std::sort(latency_us.begin(), latency_us.end());
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "    \"batch_%lld\": {\"p50_us\": %.1f, \"p99_us\": "
+                    "%.1f, \"throughput_rps\": %.1f},\n",
+                    static_cast<long long>(b),
+                    latency_us[latency_us.size() / 2],
+                    latency_us[static_cast<size_t>(
+                        0.99 * (latency_us.size() - 1))],
+                    static_cast<double>(b) * kServeIters / elapsed_s);
+      serve_json += line;
+    }
+    serve_misses =
+        obs::Registry::Global().GetCounter("pool.misses").value() -
+        misses_at_steady;
+    serve_graph_nodes = GraphNodesCreated() - nodes_at_steady;
+    char tail[160];
+    std::snprintf(tail, sizeof(tail),
+                  "    \"steady_state_pool_misses\": %llu,\n"
+                  "    \"steady_state_graph_nodes\": %lld\n  }",
+                  static_cast<unsigned long long>(serve_misses),
+                  static_cast<long long>(serve_graph_nodes));
+    serve_json += tail;
+  }
+  if (serve_misses != 0 || serve_graph_nodes != 0) {
+    std::fprintf(stderr,
+                 "FATAL: serve steady state not clean: %llu pool misses, "
+                 "%lld autograd nodes\n",
+                 static_cast<unsigned long long>(serve_misses),
+                 static_cast<long long>(serve_graph_nodes));
+    return 1;
+  }
+
   std::printf(
       "{\n"
       "  \"benchmark\": \"e2e_train_step\",\n"
@@ -217,14 +330,15 @@ int Main() {
       "  \"trace_overhead_pct\": %.2f,\n"
       "  \"trace_events\": %llu,\n"
       "  \"trace_file\": \"%s\",\n"
-      "  \"trace_written\": %s\n"
+      "  \"trace_written\": %s,\n"
+      "  \"serve\": %s\n"
       "}\n",
       static_cast<long long>(kBatch), kWarmupSteps, kSegments,
       kStepsPerSegment, baseline_med, pooled_med, speedup, improvement_pct,
       static_cast<unsigned long long>(steady_misses),
       double{pooled->last_loss}, untraced_med, traced_med, trace_overhead_pct,
       static_cast<unsigned long long>(trace_events), trace_file,
-      trace_written ? "true" : "false");
+      trace_written ? "true" : "false", serve_json.c_str());
   return 0;
 }
 

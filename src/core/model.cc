@@ -129,6 +129,10 @@ TimeDrlModel::PretextOutput TimeDrlModel::PretextStepViews(const Tensor& x1,
 }
 
 TimeDrlModel::Encoded TimeDrlModel::Encode(const Tensor& x) {
+  // In eval mode the whole encode is graph-free by construction: ops return
+  // plain leaves, no backward closures or grad buffers are built. Training
+  // mode (fine-tuning through the encoder) is unaffected.
+  InferenceModeGuard inference_guard(/*enable=*/!training());
   Patched patched = Prepare(x);
   Tensor z = EncodeTokens(patched.tokens);
   Encoded encoded;
@@ -162,6 +166,8 @@ Tensor TimeDrlModel::PooledInstance(const Encoded& encoded,
 }
 
 Tensor TimeDrlModel::ReconstructionError(const Tensor& x) {
+  // Anomaly scoring is inference-only in eval mode; see Encode().
+  InferenceModeGuard inference_guard(/*enable=*/!training());
   Patched patched = Prepare(x);
   Tensor z = EncodeTokens(patched.tokens);
   Tensor z_t = Slice(z, 1, 1, config_.num_patches());

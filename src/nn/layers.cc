@@ -41,6 +41,9 @@ Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(rng.Fork()) {
 }
 
 Tensor Dropout::Forward(const Tensor& input) {
+  // Eval mode is a true no-op: the input handle is returned unchanged — no
+  // RNG draw, no copy — so repeated eval forwards are bitwise identical and
+  // never perturb the layer's RNG stream.
   if (!training() || p_ == 0.0f) return input;
   const float scale = 1.0f / (1.0f - p_);
   std::vector<float> mask(input.numel());

@@ -1,0 +1,116 @@
+#include "serve/inference_session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.h"
+#include "tensor/buffer_pool.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace timedrl::serve {
+
+InferenceSession::InferenceSession(const InferenceSessionConfig& config)
+    : config_(config),
+      rng_(/*seed=*/1),
+      requests_(obs::Registry::Global().GetCounter("serve.requests")),
+      batch_size_(obs::Registry::Global().GetHistogram("serve.batch_size")) {
+  model_ = std::make_unique<core::TimeDrlModel>(config_.model, rng_);
+}
+
+Status InferenceSession::Open(const std::string& checkpoint_path,
+                              const InferenceSessionConfig& config,
+                              std::unique_ptr<InferenceSession>* out) {
+  TIMEDRL_CHECK(!config.planned_batch_sizes.empty())
+      << "InferenceSession needs at least one planned batch size";
+  TIMEDRL_CHECK(std::is_sorted(config.planned_batch_sizes.begin(),
+                               config.planned_batch_sizes.end()))
+      << "planned_batch_sizes must be ascending";
+  TIMEDRL_CHECK_GE(config.planned_batch_sizes.front(), 1);
+
+  // Private constructor: cannot use make_unique.
+  std::unique_ptr<InferenceSession> session(new InferenceSession(config));
+  core::TrainingState state;  // untouched for v1 files; discarded either way
+  Status status = core::CheckpointManager::LoadFile(
+      checkpoint_path, session->model_.get(), &state);
+  if (!status.ok()) return status;
+
+  session->model_->Eval();
+  session->Warmup();
+  *out = std::move(session);
+  return Status::Ok();
+}
+
+int64_t InferenceSession::embedding_dim() const {
+  return model_->PooledDim(config_.pooling);
+}
+
+int64_t InferenceSession::PlannedBatch(int64_t n) const {
+  for (int64_t planned : config_.planned_batch_sizes) {
+    if (planned >= n) return planned;
+  }
+  TIMEDRL_CHECK(false) << "batch of " << n << " exceeds largest planned size "
+                       << max_batch() << "; split the batch (see MicroBatcher)";
+  return -1;
+}
+
+void InferenceSession::Warmup() {
+  TIMEDRL_TRACE_SCOPE_CAT("serve/warmup", "serve");
+  const int64_t window = config_.model.input_length;
+  const int64_t channels = config_.model.input_channels;
+  for (int64_t planned : config_.planned_batch_sizes) {
+    Tensor x = Tensor::Zeros({planned, window, channels});
+    (void)Encode(x);
+  }
+}
+
+Embeddings InferenceSession::Encode(const Tensor& x) {
+  TIMEDRL_TRACE_SCOPE_CAT("serve/encode", "serve");
+  TIMEDRL_CHECK_EQ(x.dim(), 3) << "Encode input must be [B, T, C]";
+  TIMEDRL_CHECK_EQ(x.size(1), config_.model.input_length);
+  TIMEDRL_CHECK_EQ(x.size(2), config_.model.input_channels);
+  const int64_t batch = x.size(0);
+  requests_.Increment();
+  batch_size_.Observe(static_cast<double>(batch));
+
+  // Pad up to the nearest planned shape so the backbone (and the pool's
+  // bucket population) only ever sees planned batch sizes.
+  const int64_t planned = PlannedBatch(batch);
+  Tensor input = x;
+  if (planned != batch) {
+    const int64_t row = x.size(1) * x.size(2);
+    std::vector<float> padded = pool::AcquireUninit(planned * row);
+    std::copy(x.data().begin(), x.data().end(), padded.begin());
+    std::fill(padded.begin() + batch * row, padded.end(), 0.0f);
+    input = Tensor::FromVector({planned, x.size(1), x.size(2)},
+                               std::move(padded));
+  }
+
+  core::TimeDrlModel::Encoded encoded = model_->Encode(input);
+  Embeddings result;
+  result.instance = model_->PooledInstance(encoded, config_.pooling);
+  result.timestamp = encoded.timestamp;
+  if (planned != batch) {
+    result.instance = Slice(result.instance, 0, 0, batch);
+    result.timestamp = Slice(result.timestamp, 0, 0, batch);
+  }
+  return result;
+}
+
+std::vector<float> InferenceSession::EncodeWindow(
+    const std::vector<float>& window) {
+  const int64_t expected =
+      config_.model.input_length * config_.model.input_channels;
+  TIMEDRL_CHECK_EQ(static_cast<int64_t>(window.size()), expected)
+      << "EncodeWindow expects input_length * input_channels values";
+  std::vector<float> values = pool::AcquireUninit(expected);
+  std::copy(window.begin(), window.end(), values.begin());
+  Tensor x = Tensor::FromVector(
+      {1, config_.model.input_length, config_.model.input_channels},
+      std::move(values));
+  Embeddings embeddings = Encode(x);
+  const std::vector<float>& data = embeddings.instance.data();
+  return std::vector<float>(data.begin(), data.end());
+}
+
+}  // namespace timedrl::serve

@@ -1,0 +1,107 @@
+// A frozen TimeDRL encoder serving embedding requests.
+//
+// InferenceSession is the deployment-side counterpart of the training
+// pipelines: it loads a checkpoint (v1 parameter-only or v2 full state),
+// freezes the model in eval mode, and answers Encode() calls on the
+// graph-free inference path — no autograd nodes, no gradient buffers, and
+// (after warmup) no heap allocation: every buffer an encode needs comes
+// from the tensor buffer pool, pre-populated by running each planned batch
+// shape once.
+//
+// Shape planning: the session is opened for a fixed window geometry
+// (input_length x input_channels from the model config) and a small set of
+// planned batch sizes. Encode() pads any batch up to the smallest planned
+// size, so the backbone only ever sees planned shapes and the pool's
+// steady-state zero-miss contract holds. Callers asking for more rows than
+// the largest planned size must split the batch (MicroBatcher does).
+//
+// Threading: a session is NOT internally synchronized. One thread (or an
+// external serializer such as serve::MicroBatcher) must own all Encode()
+// calls; Warmup() must run on that serving thread, because the buffer pool
+// caches buffers per thread.
+//
+// Metrics (obs::Registry::Global()): serve.requests (counter),
+// serve.batch_size (histogram of pre-padding request sizes). Each encode
+// records a "serve/encode" trace span in category "serve".
+
+#ifndef TIMEDRL_SERVE_INFERENCE_SESSION_H_
+#define TIMEDRL_SERVE_INFERENCE_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/config.h"
+#include "core/model.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace timedrl::serve {
+
+/// Static serving plan for one session.
+struct InferenceSessionConfig {
+  /// Model geometry; must match the checkpoint's parameter shapes.
+  core::TimeDrlConfig model;
+  /// Batch sizes to pre-plan (warm up) for; requests are padded up to the
+  /// smallest planned size that fits. Must be non-empty and ascending.
+  std::vector<int64_t> planned_batch_sizes = {1, 8, 32};
+  /// How the instance-level embedding is pooled from the encoder output.
+  core::Pooling pooling = core::Pooling::kCls;
+};
+
+/// Embeddings for one request batch (see core::TimeDrlModel::Encoded).
+struct Embeddings {
+  Tensor instance;   // [B, PooledDim(pooling)]
+  Tensor timestamp;  // [B, T_p, D]
+};
+
+class InferenceSession {
+ public:
+  /// Loads `checkpoint_path` into a fresh model (v1 restores parameters
+  /// only; v2 restores parameters + mutable state), freezes it in eval
+  /// mode, and warms up every planned batch shape on the calling thread.
+  static Status Open(const std::string& checkpoint_path,
+                     const InferenceSessionConfig& config,
+                     std::unique_ptr<InferenceSession>* out);
+
+  /// Embeddings of a raw batch x [B, input_length, input_channels] with
+  /// B <= max_batch(). Graph-free and allocation-free in steady state.
+  Embeddings Encode(const Tensor& x);
+
+  /// Instance embedding of a single window given as input_length *
+  /// input_channels row-major values. Convenience for the CLI and batcher.
+  std::vector<float> EncodeWindow(const std::vector<float>& window);
+
+  /// Runs one encode per planned batch size, populating the calling
+  /// thread's pool caches. Open() warms the opening thread; a serving
+  /// thread other than the opener must call this itself before its
+  /// steady state is allocation-free.
+  void Warmup();
+
+  /// Largest planned batch size.
+  int64_t max_batch() const { return config_.planned_batch_sizes.back(); }
+
+  /// Width of the instance embeddings Encode() returns.
+  int64_t embedding_dim() const;
+
+  const core::TimeDrlConfig& model_config() const { return config_.model; }
+  const InferenceSessionConfig& config() const { return config_; }
+
+ private:
+  explicit InferenceSession(const InferenceSessionConfig& config);
+
+  /// Smallest planned batch size >= n (dies if n exceeds max_batch()).
+  int64_t PlannedBatch(int64_t n) const;
+
+  InferenceSessionConfig config_;
+  Rng rng_;  // consumed by model construction; the frozen model draws none
+  std::unique_ptr<core::TimeDrlModel> model_;
+  obs::Counter& requests_;
+  obs::Histogram& batch_size_;
+};
+
+}  // namespace timedrl::serve
+
+#endif  // TIMEDRL_SERVE_INFERENCE_SESSION_H_

@@ -1,0 +1,145 @@
+#include "serve/micro_batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "obs/trace.h"
+#include "tensor/buffer_pool.h"
+#include "util/check.h"
+
+namespace timedrl::serve {
+namespace {
+
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || parsed <= 0) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+}  // namespace
+
+MicroBatcherOptions MicroBatcherOptions::FromEnv() {
+  MicroBatcherOptions options;
+  options.max_batch = EnvInt64("TIMEDRL_SERVE_MAX_BATCH", options.max_batch);
+  options.max_delay_us =
+      EnvInt64("TIMEDRL_SERVE_MAX_DELAY_US", options.max_delay_us);
+  return options;
+}
+
+MicroBatcher::MicroBatcher(InferenceSession* session,
+                           MicroBatcherOptions options)
+    : session_(session), options_(options) {
+  TIMEDRL_CHECK(session_ != nullptr);
+  options_.max_batch =
+      std::min(std::max<int64_t>(options_.max_batch, 1), session_->max_batch());
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+MicroBatcher::~MicroBatcher() { Shutdown(); }
+
+std::future<std::vector<float>> MicroBatcher::Submit(
+    std::vector<float> window) {
+  Request request;
+  request.window = std::move(window);
+  request.enqueue_ns = obs::TraceNowNs();
+  std::future<std::vector<float>> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TIMEDRL_CHECK(!shutdown_) << "Submit after MicroBatcher::Shutdown";
+    queue_.push_back(std::move(request));
+  }
+  wake_.notify_one();
+  return future;
+}
+
+std::vector<float> MicroBatcher::Encode(std::vector<float> window) {
+  return Submit(std::move(window)).get();
+}
+
+void MicroBatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_ && !dispatcher_.joinable()) return;
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void MicroBatcher::DispatcherLoop() {
+  // The dispatcher owns all session calls, so the pool caches that make
+  // encodes allocation-free live on this thread — warm them here, not on
+  // the constructing thread.
+  session_->Warmup();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) break;  // shutdown with a drained queue
+
+    // First request of the batch has arrived; linger briefly for more.
+    if (options_.max_delay_us > 0 &&
+        static_cast<int64_t>(queue_.size()) < options_.max_batch &&
+        !shutdown_) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(options_.max_delay_us);
+      wake_.wait_until(lock, deadline, [this] {
+        return shutdown_ ||
+               static_cast<int64_t>(queue_.size()) >= options_.max_batch;
+      });
+    }
+
+    const int64_t take =
+        std::min<int64_t>(static_cast<int64_t>(queue_.size()),
+                          options_.max_batch);
+    std::vector<Request> batch;
+    batch.reserve(take);
+    for (int64_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    RunBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void MicroBatcher::RunBatch(std::vector<Request> batch) {
+  TIMEDRL_TRACE_SCOPE_CAT("serve/batch", "serve");
+  static obs::Histogram& queue_ns =
+      obs::Registry::Global().GetHistogram("serve.queue_ns");
+  const int64_t dispatch_ns = obs::TraceNowNs();
+  for (const Request& request : batch) {
+    queue_ns.Observe(static_cast<double>(dispatch_ns - request.enqueue_ns));
+  }
+
+  const int64_t window = session_->model_config().input_length;
+  const int64_t channels = session_->model_config().input_channels;
+  const int64_t row = window * channels;
+  const int64_t n = static_cast<int64_t>(batch.size());
+
+  std::vector<float> values = pool::AcquireUninit(n * row);
+  for (int64_t i = 0; i < n; ++i) {
+    TIMEDRL_CHECK_EQ(static_cast<int64_t>(batch[i].window.size()), row)
+        << "window must hold input_length * input_channels values";
+    std::copy(batch[i].window.begin(), batch[i].window.end(),
+              values.begin() + i * row);
+  }
+  Tensor x = Tensor::FromVector({n, window, channels}, std::move(values));
+
+  Embeddings embeddings = session_->Encode(x);
+  const std::vector<float>& instance = embeddings.instance.data();
+  const int64_t dim = session_->embedding_dim();
+  for (int64_t i = 0; i < n; ++i) {
+    batch[i].promise.set_value(std::vector<float>(
+        instance.begin() + i * dim, instance.begin() + (i + 1) * dim));
+  }
+}
+
+}  // namespace timedrl::serve

@@ -1,0 +1,91 @@
+// Request coalescing in front of an InferenceSession.
+//
+// Concurrent callers submit single windows; a dispatcher thread collects
+// them into one batch of up to `max_batch` requests (waiting at most
+// `max_delay_us` for stragglers once the first request of a batch has
+// arrived), runs a single InferenceSession::Encode over the coalesced
+// batch — exercising the batched GEMM path instead of B separate
+// batch-of-one forwards — and fans the per-row instance embeddings back
+// out through futures.
+//
+// The dispatcher thread is the only thread that touches the session, so
+// the session's single-threaded contract (and the thread-local buffer
+// pool's zero-miss steady state) is preserved no matter how many client
+// threads submit. The dispatcher warms the session up on its own thread
+// before serving.
+//
+// Metrics (obs::Registry::Global()): serve.queue_ns histogram — time each
+// request spent queued before its batch was dispatched. Batch composition
+// lands in serve.batch_size via the session.
+
+#ifndef TIMEDRL_SERVE_MICRO_BATCHER_H_
+#define TIMEDRL_SERVE_MICRO_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/inference_session.h"
+
+namespace timedrl::serve {
+
+struct MicroBatcherOptions {
+  /// Largest coalesced batch; clamped to the session's max planned size.
+  int64_t max_batch = 32;
+  /// How long the dispatcher waits for more requests after the first one
+  /// of a batch arrives. 0 = dispatch whatever is queued immediately.
+  int64_t max_delay_us = 200;
+
+  /// Reads overrides from TIMEDRL_SERVE_MAX_BATCH and
+  /// TIMEDRL_SERVE_MAX_DELAY_US (unset/invalid values keep the defaults).
+  static MicroBatcherOptions FromEnv();
+};
+
+class MicroBatcher {
+ public:
+  /// Starts the dispatcher thread. `session` must outlive the batcher.
+  MicroBatcher(InferenceSession* session, MicroBatcherOptions options);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues one window (input_length * input_channels values) and
+  /// returns a future for its instance embedding. Thread-safe.
+  std::future<std::vector<float>> Submit(std::vector<float> window);
+
+  /// Submit + wait. Thread-safe.
+  std::vector<float> Encode(std::vector<float> window);
+
+  /// Drains the queue, then stops the dispatcher. Called by the
+  /// destructor; safe to call more than once. Submit after Shutdown dies.
+  void Shutdown();
+
+ private:
+  struct Request {
+    std::vector<float> window;
+    std::promise<std::vector<float>> promise;
+    int64_t enqueue_ns = 0;
+  };
+
+  void DispatcherLoop();
+  void RunBatch(std::vector<Request> batch);
+
+  InferenceSession* session_;
+  MicroBatcherOptions options_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<Request> queue_;
+  bool shutdown_ = false;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace timedrl::serve
+
+#endif  // TIMEDRL_SERVE_MICRO_BATCHER_H_

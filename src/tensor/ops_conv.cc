@@ -49,6 +49,13 @@ Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   kernels::Conv1dForward(input.data().data(), weight.data().data(),
                          bias.defined() ? bias.data().data() : nullptr,
                          out.data(), geom);
+  const bool recording =
+      bias.defined() ? internal::Recording({input, weight, bias})
+                     : internal::Recording(input, weight);
+  if (!recording) {
+    return internal::MakeLeafResult({geom.batch, geom.c_out, geom.out_length},
+                                    std::move(out));
+  }
 
   auto x_impl = input.impl();
   auto w_impl = weight.impl();
@@ -92,6 +99,10 @@ Tensor MaxPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
   std::vector<int64_t> argmax(out.size());
   kernels::MaxPool1dForward(input.data().data(), out.data(), argmax.data(),
                             rows, length, kernel, stride, out_length);
+  if (!internal::Recording(input)) {
+    return internal::MakeLeafResult({batch, channels, out_length},
+                                    std::move(out));
+  }
 
   auto x_impl = input.impl();
   auto backward = [x_impl, argmax, rows, length, out_length](TensorImpl& node) {
@@ -119,6 +130,10 @@ Tensor AvgPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
   std::vector<float> out = pool::AcquireUninit(rows * out_length);
   kernels::AvgPool1dForward(input.data().data(), out.data(), rows, length,
                             kernel, stride, out_length);
+  if (!internal::Recording(input)) {
+    return internal::MakeLeafResult({batch, channels, out_length},
+                                    std::move(out));
+  }
 
   auto x_impl = input.impl();
   auto backward = [x_impl, rows, length, kernel, stride,

@@ -35,6 +35,9 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn dfda,
     kernels::ZipBroadcast(out_shape, sa, sb, a.data().data(), b.data().data(),
                           out.data(), fwd);
   }
+  if (!internal::Recording(a, b)) {
+    return internal::MakeLeafResult(out_shape, std::move(out));
+  }
 
   auto a_impl = a.impl();
   auto b_impl = b.impl();
@@ -65,6 +68,9 @@ Tensor UnaryOp(const Tensor& a, FwdFn fwd, DaFn dfda) {
   TIMEDRL_TRACE_OP("elementwise_unary");
   std::vector<float> out = pool::AcquireUninit(a.numel());
   kernels::Map(a.data().data(), out.data(), a.numel(), fwd);
+  if (!internal::Recording(a)) {
+    return internal::MakeLeafResult(a.shape(), std::move(out));
+  }
 
   auto a_impl = a.impl();
   auto backward = [a_impl, dfda](TensorImpl& node) {
@@ -252,6 +258,9 @@ Tensor MaskedFill(const Tensor& a, const Tensor& mask, float value) {
   kernels::ZipBroadcast(out_shape, sa, sm, a.data().data(), mask.data().data(),
                         out.data(),
                         [value](float x, float m) { return m != 0.0f ? value : x; });
+  if (!internal::Recording(a)) {
+    return internal::MakeLeafResult(out_shape, std::move(out));
+  }
 
   auto a_impl = a.impl();
   auto m_impl = mask.impl();

@@ -69,6 +69,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                       po + bi * m * n, m, k, n, /*accumulate=*/false);
     }
   }
+  if (!internal::Recording(a, b)) {
+    return internal::MakeLeafResult(std::move(out_shape), std::move(out));
+  }
 
   auto a_impl = a.impl();
   auto b_impl = b.impl();

@@ -40,6 +40,9 @@ Tensor SumKeepdim(const Tensor& a, const std::vector<int64_t>& dims) {
   std::vector<float> out = pool::Acquire(NumElements(out_shape));
   kernels::ReduceAddStrided(a.shape(), acc_strides, a.data().data(),
                             out.data());
+  if (!internal::Recording(a)) {
+    return internal::MakeLeafResult(std::move(out_shape), std::move(out));
+  }
 
   auto a_impl = a.impl();
   Shape in_shape = a.shape();
@@ -104,15 +107,21 @@ Tensor Max(const Tensor& a, int64_t dim, bool keepdim) {
   kernels::MaxForward(a.data().data(), out.data(), argmax.data(), outer,
                       dim_size, inner);
 
-  auto a_impl = a.impl();
-  auto backward = [a_impl, argmax, outer, inner, dim_size](TensorImpl& node) {
-    if (!a_impl->requires_grad) return;
-    kernels::MaxBackwardAccumulate(node.grad.data(), argmax.data(),
-                                   a_impl->MutableGrad().data(), outer,
-                                   dim_size, inner);
-  };
-  Tensor kept = internal::MakeOpResult(std::move(out_shape), std::move(out),
-                                       {a.impl()}, std::move(backward));
+  Tensor kept;
+  if (!internal::Recording(a)) {
+    kept = internal::MakeLeafResult(std::move(out_shape), std::move(out));
+  } else {
+    auto a_impl = a.impl();
+    auto backward = [a_impl, argmax, outer, inner,
+                     dim_size](TensorImpl& node) {
+      if (!a_impl->requires_grad) return;
+      kernels::MaxBackwardAccumulate(node.grad.data(), argmax.data(),
+                                     a_impl->MutableGrad().data(), outer,
+                                     dim_size, inner);
+    };
+    kept = internal::MakeOpResult(std::move(out_shape), std::move(out),
+                                  {a.impl()}, std::move(backward));
+  }
   if (keepdim) return kept;
   return Reshape(kept, DropDims(kept.shape(), {dim}, rank));
 }
@@ -141,6 +150,9 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
 
   std::vector<float> out = pool::AcquireUninit(a.numel());
   kernels::SoftmaxForward(a.data().data(), out.data(), outer, dim_size, inner);
+  if (!internal::Recording(a)) {
+    return internal::MakeLeafResult(a.shape(), std::move(out));
+  }
 
   auto a_impl = a.impl();
   auto backward = [a_impl, outer, inner, dim_size](TensorImpl& node) {
@@ -163,6 +175,9 @@ Tensor LogSoftmax(const Tensor& a, int64_t dim) {
   std::vector<float> out = pool::AcquireUninit(a.numel());
   kernels::LogSoftmaxForward(a.data().data(), out.data(), outer, dim_size,
                              inner);
+  if (!internal::Recording(a)) {
+    return internal::MakeLeafResult(a.shape(), std::move(out));
+  }
 
   auto a_impl = a.impl();
   auto backward = [a_impl, outer, inner, dim_size](TensorImpl& node) {
@@ -189,6 +204,9 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int64_t>& labels) {
 
   const float loss = kernels::NllForward(log_probs.data().data(),
                                          labels.data(), n, num_classes);
+  if (!internal::Recording(log_probs)) {
+    return internal::MakeLeafResult({1}, {loss});
+  }
 
   auto lp_impl = log_probs.impl();
   auto backward = [lp_impl, labels, n, num_classes](TensorImpl& node) {

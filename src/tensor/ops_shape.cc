@@ -37,6 +37,9 @@ Tensor Reshape(const Tensor& a, Shape shape) {
 
   std::vector<float> out = pool::AcquireUninit(a.numel());
   std::copy(a.data().begin(), a.data().end(), out.begin());
+  if (!internal::Recording(a)) {
+    return internal::MakeLeafResult(std::move(shape), std::move(out));
+  }
   auto a_impl = a.impl();
   auto backward = [a_impl](TensorImpl& node) {
     if (!a_impl->requires_grad) return;
@@ -70,6 +73,9 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
   std::vector<float> out = pool::AcquireUninit(a.numel());
   kernels::GatherStrided(out_shape, gather_strides, a.data().data(),
                          out.data());
+  if (!internal::Recording(a)) {
+    return internal::MakeLeafResult(std::move(out_shape), std::move(out));
+  }
 
   auto a_impl = a.impl();
   auto backward = [a_impl, out_shape, gather_strides](TensorImpl& node) {
@@ -115,6 +121,9 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t len) {
   kernels::CopyStridedBlocks(a.data().data() + start * inner, out.data(),
                              outer, len * inner, dim_size * inner,
                              len * inner);
+  if (!internal::Recording(a)) {
+    return internal::MakeLeafResult(std::move(out_shape), std::move(out));
+  }
 
   auto a_impl = a.impl();
   auto backward = [a_impl, outer, inner, len, dim_size, start](
@@ -162,6 +171,9 @@ Tensor Concat(const std::vector<Tensor>& tensors, int64_t dim) {
                                total_dim * inner);
     offset += part;
   }
+  if (!internal::Recording(tensors)) {
+    return internal::MakeLeafResult(std::move(out_shape), std::move(out));
+  }
 
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::vector<int64_t> parts;
@@ -206,6 +218,9 @@ Tensor BroadcastTo(const Tensor& a, const Shape& shape) {
   const std::vector<int64_t> sa = BroadcastStrides(a.shape(), shape);
   std::vector<float> out = pool::AcquireUninit(NumElements(shape));
   kernels::GatherStrided(shape, sa, a.data().data(), out.data());
+  if (!internal::Recording(a)) {
+    return internal::MakeLeafResult(shape, std::move(out));
+  }
   auto a_impl = a.impl();
   Shape out_shape = shape;
   auto backward = [a_impl, out_shape, sa](TensorImpl& node) {

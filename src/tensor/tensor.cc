@@ -11,16 +11,30 @@
 namespace timedrl {
 
 namespace {
-thread_local bool g_grad_enabled = true;
+thread_local ExecContext g_exec_context;
 }  // namespace
 
-bool GradEnabled() { return g_grad_enabled; }
+ExecContext& ThreadExecContext() { return g_exec_context; }
 
-NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
-  g_grad_enabled = false;
+bool GradEnabled() {
+  return g_exec_context.grad_enabled &&
+         g_exec_context.mode == ExecMode::kTraining;
 }
 
-NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+int64_t GraphNodesCreated() { return g_exec_context.graph_nodes_created; }
+
+NoGradGuard::NoGradGuard() : previous_(g_exec_context.grad_enabled) {
+  g_exec_context.grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_exec_context.grad_enabled = previous_; }
+
+InferenceModeGuard::InferenceModeGuard(bool enable)
+    : previous_(g_exec_context.mode) {
+  if (enable) g_exec_context.mode = ExecMode::kInference;
+}
+
+InferenceModeGuard::~InferenceModeGuard() { g_exec_context.mode = previous_; }
 
 TensorImpl::~TensorImpl() {
   pool::Release(std::move(data));
@@ -315,8 +329,24 @@ Tensor MakeOpResult(Shape shape, std::vector<float> data,
     impl->requires_grad = true;
     impl->parents = std::move(parents);
     impl->backward_fn = std::move(backward_fn);
+    ++g_exec_context.graph_nodes_created;
   }
   return Tensor(std::move(impl));
+}
+
+Tensor MakeLeafResult(Shape shape, std::vector<float> data) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  return Tensor(std::move(impl));
+}
+
+bool Recording(const std::vector<Tensor>& tensors) {
+  if (!GradEnabled()) return false;
+  for (const Tensor& t : tensors) {
+    if (t.requires_grad()) return true;
+  }
+  return false;
 }
 
 }  // namespace internal

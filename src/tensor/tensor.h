@@ -7,9 +7,12 @@
 //  - Autograd is tape-free: each op stores its parents and a backward closure
 //    on the result's TensorImpl. Tensor::Backward() topologically sorts the
 //    reachable graph and runs closures in reverse order.
-//  - Gradient recording is controlled by a thread-local flag (NoGradGuard)
-//    and per-tensor `requires_grad`; a result records a closure only when
-//    recording is enabled and at least one parent requires grad.
+//  - Gradient recording is controlled by the thread-local ExecContext
+//    (NoGradGuard / InferenceModeGuard) and per-tensor `requires_grad`.
+//    Op wrappers consult internal::Recording() BEFORE building parent lists
+//    or backward closures, so a non-recording forward (eval-mode serving,
+//    metric computation) is graph-free by construction: results are plain
+//    leaves and no per-op autograd bookkeeping is allocated at all.
 
 #ifndef TIMEDRL_TENSOR_TENSOR_H_
 #define TIMEDRL_TENSOR_TENSOR_H_
@@ -51,10 +54,40 @@ struct TensorImpl {
   std::vector<float>& MutableGrad();
 };
 
-/// Returns true when ops should record autograd graph edges.
+/// Execution mode of the calling thread's forward path (see ExecContext).
+enum class ExecMode {
+  kTraining,   // ops record autograd state for inputs that require grad
+  kInference,  // whole-op graph-free fast path; implies recording off
+};
+
+/// Per-thread execution context consulted by every op wrapper. Training
+/// code never touches this directly — NoGradGuard and InferenceModeGuard
+/// are the public controls — but it is exposed so tests and the serving
+/// layer can assert on `graph_nodes_created`.
+struct ExecContext {
+  /// Cleared by NoGradGuard: gates autograd recording.
+  bool grad_enabled = true;
+  /// Set to kInference by InferenceModeGuard.
+  ExecMode mode = ExecMode::kTraining;
+  /// Op results that received autograd state (parent edges + a backward
+  /// closure) on this thread, monotonically increasing. Graph-free paths
+  /// are verified by asserting a delta of zero across a forward pass.
+  int64_t graph_nodes_created = 0;
+};
+
+/// The calling thread's execution context.
+ExecContext& ThreadExecContext();
+
+/// Returns true when ops should record autograd graph edges: gradients are
+/// enabled and the thread executes in training mode.
 bool GradEnabled();
 
+/// Autograd graph nodes created by this thread so far (see ExecContext).
+int64_t GraphNodesCreated();
+
 /// RAII scope that disables gradient recording (like torch.no_grad()).
+/// Ops inside the scope take the graph-free path: no parent edges, no
+/// backward closures, results are plain leaves.
 class NoGradGuard {
  public:
   NoGradGuard();
@@ -64,6 +97,22 @@ class NoGradGuard {
 
  private:
   bool previous_;
+};
+
+/// RAII scope entering inference execution (like torch.inference_mode()).
+/// Subsumes NoGradGuard and is independent of it: recording stays off for
+/// the scope's lifetime even if code inside constructs fresh guards.
+/// `enable = false` makes the guard a no-op, for scopes that are
+/// conditionally graph-free (e.g. eval-mode model forwards).
+class InferenceModeGuard {
+ public:
+  explicit InferenceModeGuard(bool enable = true);
+  ~InferenceModeGuard();
+  InferenceModeGuard(const InferenceModeGuard&) = delete;
+  InferenceModeGuard& operator=(const InferenceModeGuard&) = delete;
+
+ private:
+  ExecMode previous_;
 };
 
 /// Value-semantic handle to a shared TensorImpl.
@@ -160,6 +209,22 @@ namespace internal {
 Tensor MakeOpResult(Shape shape, std::vector<float> data,
                     std::vector<std::shared_ptr<TensorImpl>> parents,
                     std::function<void(TensorImpl&)> backward_fn);
+
+/// Graph-free op result: a plain leaf holding shape + data. The inference
+/// path's counterpart to MakeOpResult.
+Tensor MakeLeafResult(Shape shape, std::vector<float> data);
+
+/// True when an op over these inputs must record autograd state: recording
+/// is active and some input requires grad. Wrappers branch on this BEFORE
+/// building parent lists or backward closures, so non-recording forwards
+/// allocate neither.
+inline bool Recording(const Tensor& a) {
+  return GradEnabled() && a.requires_grad();
+}
+inline bool Recording(const Tensor& a, const Tensor& b) {
+  return GradEnabled() && (a.requires_grad() || b.requires_grad());
+}
+bool Recording(const std::vector<Tensor>& tensors);
 
 }  // namespace internal
 }  // namespace timedrl

@@ -259,5 +259,31 @@ TEST(StopGradientTest, BlocksTargetBranchGradients) {
   EXPECT_NE(g_with, g_without);
 }
 
+TEST(TimeDrlModelTest, EvalEncodeIsGraphFreeByConstruction) {
+  // Encode/ReconstructionError install an InferenceModeGuard when the model
+  // is in eval mode, so a frozen model builds zero autograd state even
+  // though its parameters require grad — no caller-side NoGradGuard needed.
+  Rng rng(21);
+  TimeDrlModel model(SmallConfig(), rng);
+  model.Eval();
+  Tensor x = Tensor::Randn({3, 16, 3}, rng);
+
+  const int64_t before = GraphNodesCreated();
+  TimeDrlModel::Encoded encoded = model.Encode(x);
+  Tensor error = model.ReconstructionError(x);
+  EXPECT_EQ(GraphNodesCreated(), before);
+  EXPECT_FALSE(encoded.instance.requires_grad());
+  EXPECT_TRUE(encoded.instance.impl()->parents.empty());
+  EXPECT_FALSE(error.requires_grad());
+
+  // Back in training mode the same calls must record again — the guard is
+  // conditional on training(), not unconditional.
+  model.Train();
+  EXPECT_EQ(GraphNodesCreated(), before);
+  Tensor recorded = model.Encode(x).instance;
+  EXPECT_GT(GraphNodesCreated(), before);
+  EXPECT_TRUE(recorded.requires_grad());
+}
+
 }  // namespace
 }  // namespace timedrl::core

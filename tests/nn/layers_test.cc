@@ -96,6 +96,39 @@ TEST(DropoutTest, ZeroProbabilityIsIdentityEvenInTraining) {
   EXPECT_EQ(dropout.Forward(x).data(), x.data());
 }
 
+TEST(DropoutTest, EvalModeIsDeterministicAndPreservesRngStream) {
+  // Eval forwards must be a true no-op: the same handle back (no copy) and
+  // no RNG draw, so a train→eval→train sequence produces the same train
+  // masks as train→train with the eval call deleted. Serving relies on
+  // this for bitwise-reproducible embeddings.
+  Rng rng(5);
+  Dropout dropout(0.5f, rng);
+  Tensor x = Tensor::Ones({256});
+
+  dropout.Eval();
+  Tensor a = dropout.Forward(x);
+  Tensor b = dropout.Forward(x);
+  EXPECT_EQ(a.impl(), x.impl());  // same handle, not merely equal values
+  EXPECT_EQ(b.impl(), x.impl());
+
+  // Interleaved eval calls must not advance the RNG stream.
+  Rng rng_ref(7);
+  Dropout reference(0.5f, rng_ref);
+  Tensor first_ref = reference.Forward(x);
+  Tensor second_ref = reference.Forward(x);
+
+  Rng rng_mix(7);
+  Dropout mixed(0.5f, rng_mix);
+  Tensor first_mix = mixed.Forward(x);
+  mixed.Eval();
+  for (int i = 0; i < 3; ++i) (void)mixed.Forward(x);
+  mixed.Train();
+  Tensor second_mix = mixed.Forward(x);
+
+  EXPECT_EQ(first_mix.data(), first_ref.data());
+  EXPECT_EQ(second_mix.data(), second_ref.data());
+}
+
 TEST(LayerNormTest, NormalizesLastDimension) {
   LayerNorm norm(8);
   Rng rng(6);

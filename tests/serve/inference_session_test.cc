@@ -1,0 +1,221 @@
+// serve::InferenceSession contracts:
+//  1. Checkpoint round-trip: embeddings from a frozen session are bitwise
+//     identical to those of a trainer-side model holding the same weights —
+//     for v1 parameter-only files and for v2 full training checkpoints
+//     written (and resumed) by the real pre-training loop.
+//  2. Steady state after warmup is allocation-free and graph-free: repeated
+//     encodes of planned batch shapes cause zero pool misses and create
+//     zero autograd nodes.
+//  3. Unplanned batch sizes are padded up to a planned shape and sliced
+//     back, matching the unpadded encode bitwise.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/model.h"
+#include "core/pretrainer.h"
+#include "core/sources.h"
+#include "data/synthetic.h"
+#include "data/windows.h"
+#include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "serve/inference_session.h"
+#include "tensor/buffer_pool.h"
+#include "util/rng.h"
+
+namespace timedrl::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::TimeDrlConfig SmallConfig() {
+  core::TimeDrlConfig config;
+  config.input_channels = 2;
+  config.input_length = 16;
+  config.patch_length = 4;
+  config.patch_stride = 4;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.ff_dim = 16;
+  config.num_layers = 1;
+  return config;
+}
+
+Tensor TestBatch(int64_t batch, const core::TimeDrlConfig& config,
+                 uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::Randn({batch, config.input_length, config.input_channels},
+                       rng);
+}
+
+void ExpectBitwise(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+  }
+}
+
+TEST(InferenceSessionTest, V1RoundTripMatchesTrainerBitwise) {
+  const core::TimeDrlConfig config = SmallConfig();
+  Rng rng(42);
+  core::TimeDrlModel trained(config, rng);
+  const std::string path = ::testing::TempDir() + "serve_v1.ckpt";
+  ASSERT_TRUE(nn::SaveParameters(trained, path).ok());
+
+  InferenceSessionConfig session_config;
+  session_config.model = config;
+  session_config.planned_batch_sizes = {1, 4};
+  std::unique_ptr<InferenceSession> session;
+  ASSERT_TRUE(InferenceSession::Open(path, session_config, &session).ok());
+
+  // Trainer-side reference: same weights, eval mode.
+  trained.Eval();
+  Tensor x = TestBatch(4, config, /*seed=*/5);
+  core::TimeDrlModel::Encoded expected = trained.Encode(x);
+  Embeddings actual = session->Encode(x);
+
+  ExpectBitwise(expected.instance, actual.instance);
+  ExpectBitwise(expected.timestamp, actual.timestamp);
+  fs::remove(path);
+}
+
+TEST(InferenceSessionTest, V2RoundTripMatchesResumedTrainerBitwise) {
+  const std::string dir = ::testing::TempDir() + "serve_v2_ckpts";
+  fs::remove_all(dir);
+  core::TimeDrlConfig config = SmallConfig();
+  config.input_channels = 1;  // channel-independent training below
+
+  // Real pre-training run that writes v2 checkpoints every epoch.
+  Rng data_rng(1);
+  data::TimeSeries series = data::MakeEttLike(200, 24, 1, data_rng);
+  data::ForecastingWindows windows(series, config.input_length, 0, 4);
+  core::ForecastingSource source(&windows, /*channel_independent=*/true);
+  Rng model_rng(7);
+  core::TimeDrlModel model(config, model_rng);
+  core::PretrainConfig pretrain;
+  pretrain.train.epochs = 2;
+  pretrain.train.batch_size = 8;
+  pretrain.train.checkpoint.directory = dir;
+  Rng train_rng(99);
+  core::Pretrain(&model, source, pretrain, train_rng);
+
+  core::CheckpointManager manager(dir);
+  std::vector<std::string> checkpoints = manager.ListCheckpoints();
+  ASSERT_FALSE(checkpoints.empty());
+
+  // Resumed trainer: a fresh model restored through LoadLatest.
+  Rng resumed_rng(8);
+  core::TimeDrlModel resumed(config, resumed_rng);
+  core::TrainingState state;
+  ASSERT_TRUE(manager.LoadLatest(&resumed, &state).ok());
+  resumed.Eval();
+
+  // Frozen session on the newest checkpoint file (a v2 file).
+  InferenceSessionConfig session_config;
+  session_config.model = config;
+  session_config.planned_batch_sizes = {1, 4};
+  std::unique_ptr<InferenceSession> session;
+  ASSERT_TRUE(
+      InferenceSession::Open(checkpoints.back(), session_config, &session)
+          .ok());
+
+  Tensor x = TestBatch(4, config, /*seed=*/6);
+  core::TimeDrlModel::Encoded expected = resumed.Encode(x);
+  Embeddings actual = session->Encode(x);
+  ExpectBitwise(expected.instance, actual.instance);
+  ExpectBitwise(expected.timestamp, actual.timestamp);
+  fs::remove_all(dir);
+}
+
+TEST(InferenceSessionTest, SteadyStateIsAllocationFreeAndGraphFree) {
+  pool::SetEnabled(true);
+  const core::TimeDrlConfig config = SmallConfig();
+  Rng rng(42);
+  core::TimeDrlModel trained(config, rng);
+  const std::string path = ::testing::TempDir() + "serve_steady.ckpt";
+  ASSERT_TRUE(nn::SaveParameters(trained, path).ok());
+
+  InferenceSessionConfig session_config;
+  session_config.model = config;
+  session_config.planned_batch_sizes = {1, 4, 8};
+  std::unique_ptr<InferenceSession> session;
+  ASSERT_TRUE(InferenceSession::Open(path, session_config, &session).ok());
+
+  // One post-warmup round with the exact request tensors, then the counters
+  // must not move again.
+  std::vector<Tensor> inputs;
+  for (int64_t b : session_config.planned_batch_sizes) {
+    inputs.push_back(TestBatch(b, config, /*seed=*/10 + b));
+  }
+  for (const Tensor& x : inputs) (void)session->Encode(x);
+
+  const uint64_t misses_before =
+      obs::Registry::Global().Snapshot().CounterValue("pool.misses");
+  const int64_t nodes_before = GraphNodesCreated();
+  for (int round = 0; round < 5; ++round) {
+    for (const Tensor& x : inputs) {
+      Embeddings embeddings = session->Encode(x);
+      ASSERT_TRUE(embeddings.instance.defined());
+    }
+  }
+  const uint64_t misses_after =
+      obs::Registry::Global().Snapshot().CounterValue("pool.misses");
+  EXPECT_EQ(misses_after, misses_before)
+      << "steady-state encodes must not allocate";
+  EXPECT_EQ(GraphNodesCreated(), nodes_before)
+      << "inference encodes must not create autograd nodes";
+  fs::remove(path);
+}
+
+TEST(InferenceSessionTest, UnplannedBatchIsPaddedAndSlicedCorrectly) {
+  const core::TimeDrlConfig config = SmallConfig();
+  Rng rng(42);
+  core::TimeDrlModel trained(config, rng);
+  const std::string path = ::testing::TempDir() + "serve_pad.ckpt";
+  ASSERT_TRUE(nn::SaveParameters(trained, path).ok());
+
+  InferenceSessionConfig session_config;
+  session_config.model = config;
+  session_config.planned_batch_sizes = {1, 8};
+  std::unique_ptr<InferenceSession> session;
+  ASSERT_TRUE(InferenceSession::Open(path, session_config, &session).ok());
+
+  // A batch of 3 is padded to 8 internally; each row's embedding must
+  // equal the same window encoded alone (instance normalization and the
+  // transformer act per sample, so padding rows cannot leak across).
+  Tensor batch = TestBatch(3, config, /*seed=*/11);
+  Embeddings batched = session->Encode(batch);
+  EXPECT_EQ(batched.instance.size(0), 3);
+  EXPECT_EQ(batched.timestamp.size(0), 3);
+
+  const int64_t row = config.input_length * config.input_channels;
+  for (int64_t i = 0; i < 3; ++i) {
+    std::vector<float> window(batch.data().begin() + i * row,
+                              batch.data().begin() + (i + 1) * row);
+    std::vector<float> single = session->EncodeWindow(window);
+    for (int64_t d = 0; d < session->embedding_dim(); ++d) {
+      EXPECT_EQ(single[d], batched.instance.at({i, d}))
+          << "row " << i << " dim " << d;
+    }
+  }
+  fs::remove(path);
+}
+
+TEST(InferenceSessionTest, OpenFailsCleanlyOnMissingFile) {
+  InferenceSessionConfig session_config;
+  session_config.model = SmallConfig();
+  std::unique_ptr<InferenceSession> session;
+  Status status = InferenceSession::Open(
+      ::testing::TempDir() + "serve_does_not_exist.ckpt", session_config,
+      &session);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(session, nullptr);
+}
+
+}  // namespace
+}  // namespace timedrl::serve

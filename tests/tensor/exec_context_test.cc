@@ -1,0 +1,158 @@
+// The thread-local ExecContext and the graph-free op fast path.
+//
+// Op wrappers consult internal::Recording() BEFORE building autograd state,
+// so a non-recording forward must produce plain leaves — no parents, no
+// backward closure, no requires_grad propagation — and must not move the
+// graph_nodes_created counter. These tests pin that contract for every
+// wrapper family (elementwise, matmul, shape, reduce, conv) and for both
+// controls (NoGradGuard and InferenceModeGuard), and check the fast path is
+// numerically identical to the recording path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace timedrl {
+namespace {
+
+// Exercises one op of every wrapper family over `a` and `b` (both
+// [4, 8]) and returns the results for comparison.
+std::vector<Tensor> RunAllFamilies(const Tensor& a, const Tensor& b) {
+  std::vector<Tensor> results;
+  results.push_back(Add(a, b));                      // elementwise binary
+  results.push_back(Gelu(a));                        // elementwise unary
+  results.push_back(MatMul(a, Transpose(b, 0, 1)));  // matmul (+permute)
+  results.push_back(Reshape(a, {8, 4}));             // shape
+  results.push_back(Slice(a, 1, 2, 3));              // shape
+  results.push_back(Concat({a, b}, 0));              // shape, vector parents
+  results.push_back(BroadcastTo(Slice(a, 0, 0, 1), {4, 8}));
+  results.push_back(Sum(a, {1}, /*keepdim=*/true));  // reduce
+  results.push_back(Softmax(a, 1));                  // reduce
+  results.push_back(Max(a, 1, /*keepdim=*/false));   // reduce
+  results.push_back(CrossEntropy(a, {0, 1, 2, 3}));  // fused loss
+  Tensor conv_in = Reshape(a, {1, 4, 8});
+  Tensor weight = Tensor::Ones({2, 4, 3}, a.requires_grad());
+  results.push_back(Conv1d(conv_in, weight, Tensor(), 1, 0, 1));
+  results.push_back(MaxPool1d(conv_in, 2, 2));
+  results.push_back(AvgPool1d(conv_in, 2, 2));
+  return results;
+}
+
+TEST(ExecContextTest, DefaultsToTrainingWithGradEnabled) {
+  EXPECT_TRUE(GradEnabled());
+  EXPECT_EQ(ThreadExecContext().mode, ExecMode::kTraining);
+}
+
+TEST(ExecContextTest, NoGradGuardStopsNodeCreation) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({4, 8}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Randn({4, 8}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+
+  const int64_t before = GraphNodesCreated();
+  NoGradGuard guard;
+  std::vector<Tensor> results = RunAllFamilies(a, b);
+  EXPECT_EQ(GraphNodesCreated(), before);
+  for (const Tensor& result : results) {
+    EXPECT_FALSE(result.requires_grad());
+    EXPECT_TRUE(result.impl()->parents.empty());
+    EXPECT_EQ(result.impl()->backward_fn, nullptr);
+  }
+}
+
+TEST(ExecContextTest, InferenceModeGuardStopsNodeCreation) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({4, 8}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Randn({4, 8}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+
+  const int64_t before = GraphNodesCreated();
+  InferenceModeGuard guard;
+  EXPECT_FALSE(GradEnabled());
+  std::vector<Tensor> results = RunAllFamilies(a, b);
+  EXPECT_EQ(GraphNodesCreated(), before);
+  for (const Tensor& result : results) {
+    EXPECT_FALSE(result.requires_grad());
+    EXPECT_TRUE(result.impl()->parents.empty());
+  }
+}
+
+TEST(ExecContextTest, DisabledInferenceModeGuardIsNoOp) {
+  InferenceModeGuard guard(/*enable=*/false);
+  EXPECT_TRUE(GradEnabled());
+  EXPECT_EQ(ThreadExecContext().mode, ExecMode::kTraining);
+}
+
+TEST(ExecContextTest, GuardsRestoreOnExit) {
+  {
+    InferenceModeGuard outer;
+    EXPECT_EQ(ThreadExecContext().mode, ExecMode::kInference);
+    {
+      InferenceModeGuard inner;
+      EXPECT_EQ(ThreadExecContext().mode, ExecMode::kInference);
+    }
+    // Inference mode survives an inner NoGradGuard's destruction too: the
+    // two controls are independent fields.
+    { NoGradGuard no_grad; }
+    EXPECT_EQ(ThreadExecContext().mode, ExecMode::kInference);
+    EXPECT_FALSE(GradEnabled());
+  }
+  EXPECT_EQ(ThreadExecContext().mode, ExecMode::kTraining);
+  EXPECT_TRUE(GradEnabled());
+}
+
+TEST(ExecContextTest, NonRequiresGradInputsAreGraphFreeInTraining) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({4, 8}, rng);  // requires_grad = false
+  Tensor b = Tensor::Randn({4, 8}, rng);
+
+  const int64_t before = GraphNodesCreated();
+  std::vector<Tensor> results = RunAllFamilies(a, b);
+  EXPECT_EQ(GraphNodesCreated(), before);
+  for (const Tensor& result : results) {
+    EXPECT_TRUE(result.impl()->parents.empty());
+  }
+}
+
+TEST(ExecContextTest, RecordingPathStillBuildsTheGraph) {
+  Rng rng(4);
+  Tensor a = Tensor::Randn({4, 8}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Randn({4, 8}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+
+  const int64_t before = GraphNodesCreated();
+  Tensor sum = Add(a, b);
+  EXPECT_EQ(GraphNodesCreated(), before + 1);
+  EXPECT_TRUE(sum.requires_grad());
+  ASSERT_EQ(sum.impl()->parents.size(), 2u);
+  Mean(Mul(sum, sum)).Backward();
+  EXPECT_TRUE(a.has_grad());
+  EXPECT_TRUE(b.has_grad());
+}
+
+TEST(ExecContextTest, GraphFreePathIsBitwiseIdenticalToRecordingPath) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn({4, 8}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Randn({4, 8}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+
+  std::vector<Tensor> recorded = RunAllFamilies(a, b);
+  std::vector<Tensor> graph_free;
+  {
+    InferenceModeGuard guard;
+    graph_free = RunAllFamilies(a, b);
+  }
+  ASSERT_EQ(recorded.size(), graph_free.size());
+  for (size_t i = 0; i < recorded.size(); ++i) {
+    ASSERT_EQ(recorded[i].shape(), graph_free[i].shape()) << "op " << i;
+    const std::vector<float>& expected = recorded[i].data();
+    const std::vector<float>& actual = graph_free[i].data();
+    for (size_t j = 0; j < expected.size(); ++j) {
+      EXPECT_EQ(expected[j], actual[j]) << "op " << i << " element " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace timedrl

@@ -6,6 +6,11 @@
 //   forecast  train a linear probe on a pre-trained checkpoint and report
 //             test MSE/MAE for a horizon
 //   anomaly   score windows of a CSV series by reconstruction error
+//   encode    embed windows of a CSV series through a frozen checkpoint
+//             (graph-free inference path) and write them to CSV
+//   serve     load-test the embedding-serving path: client threads submit
+//             windows through the micro-batcher, report p50/p99 latency
+//             and throughput
 //   checkpoint-inspect  summarize a checkpoint file (version, CRC, shapes)
 //
 // The --out checkpoint stores parameters only; pass the same architecture
@@ -27,6 +32,9 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <thread>
+
 #include "core/checkpoint.h"
 #include "core/model.h"
 #include "core/pipelines.h"
@@ -39,6 +47,8 @@
 #include "nn/serialize.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
+#include "serve/inference_session.h"
+#include "serve/micro_batcher.h"
 #include "tools/flag_parser.h"
 
 namespace timedrl::tools {
@@ -61,6 +71,13 @@ void PrintUsage() {
       "            [--probe-epochs N] [--fine-tune] [architecture flags]\n"
       "  anomaly   --csv FILE.csv --model MODEL.ckpt [--top K]\n"
       "            [architecture flags]\n"
+      "  encode    --csv FILE.csv --model MODEL.ckpt --out EMB.csv\n"
+      "            [--stride N] [--pooling cls|last|gap|all]\n"
+      "            [architecture flags]\n"
+      "  serve     --csv FILE.csv --model MODEL.ckpt [--threads N]\n"
+      "            [--requests N] [architecture flags]\n"
+      "            (micro-batcher honors TIMEDRL_SERVE_MAX_BATCH and\n"
+      "             TIMEDRL_SERVE_MAX_DELAY_US)\n"
       "  checkpoint-inspect --file CKPT\n"
       "\n"
       "CSV flags (pretrain/forecast/anomaly):\n"
@@ -332,6 +349,169 @@ int RunAnomaly(const FlagParser& flags) {
   return 0;
 }
 
+/// Shared setup for encode/serve: load + scale the CSV, window it, and open
+/// an InferenceSession on the checkpoint. Returns false on any failure.
+bool OpenServing(const FlagParser& flags,
+                 std::unique_ptr<data::ForecastingWindows>* windows_out,
+                 std::unique_ptr<serve::InferenceSession>* session_out,
+                 data::TimeSeries* scaled_out) {
+  const std::string csv = flags.GetString("csv");
+  const std::string model_path = flags.GetString("model");
+  if (csv.empty() || model_path.empty()) {
+    std::fprintf(stderr, "%s: --csv and --model are required\n",
+                 flags.command().c_str());
+    return false;
+  }
+  if (flags.GetBool("channel-independent")) {
+    std::fprintf(stderr,
+                 "%s: channel-independent serving is not supported; windows "
+                 "carry all channels\n",
+                 flags.command().c_str());
+    return false;
+  }
+  data::TimeSeries series;
+  if (!LoadSeries(flags, csv, &series)) return false;
+
+  data::StandardScaler scaler;
+  scaler.Fit(series);
+  *scaled_out = scaler.Transform(series);
+
+  serve::InferenceSessionConfig config;
+  config.model = ConfigFromFlags(flags, series.channels);
+  const std::string pooling = flags.GetString("pooling", "cls");
+  if (pooling == "cls") {
+    config.pooling = core::Pooling::kCls;
+  } else if (pooling == "last") {
+    config.pooling = core::Pooling::kLast;
+  } else if (pooling == "gap") {
+    config.pooling = core::Pooling::kGap;
+  } else if (pooling == "all") {
+    config.pooling = core::Pooling::kAll;
+  } else {
+    std::fprintf(stderr, "%s: unknown --pooling '%s'\n",
+                 flags.command().c_str(), pooling.c_str());
+    return false;
+  }
+
+  *windows_out = std::make_unique<data::ForecastingWindows>(
+      *scaled_out, config.model.input_length, 0,
+      flags.GetInt("stride", config.model.input_length));
+  if ((*windows_out)->size() == 0) {
+    std::fprintf(stderr, "%s: series too short for window %lld\n",
+                 flags.command().c_str(),
+                 static_cast<long long>(config.model.input_length));
+    return false;
+  }
+
+  Status status = serve::InferenceSession::Open(model_path, config,
+                                                session_out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", model_path.c_str(),
+                 status.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+int RunEncode(const FlagParser& flags) {
+  const std::string out = flags.GetString("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "encode: --out is required\n");
+    return 1;
+  }
+  std::unique_ptr<data::ForecastingWindows> windows;
+  std::unique_ptr<serve::InferenceSession> session;
+  data::TimeSeries scaled;
+  if (!OpenServing(flags, &windows, &session, &scaled)) return 1;
+
+  // Encode in max-planned-size chunks; the session pads the final partial
+  // chunk up to a planned shape internally.
+  const int64_t dim = session->embedding_dim();
+  data::TimeSeries embeddings(windows->size(), dim);
+  const int64_t chunk = session->max_batch();
+  for (int64_t begin = 0; begin < windows->size(); begin += chunk) {
+    const int64_t n = std::min<int64_t>(chunk, windows->size() - begin);
+    std::vector<int64_t> indices(n);
+    for (int64_t i = 0; i < n; ++i) indices[i] = begin + i;
+    serve::Embeddings batch = session->Encode(windows->GetInputs(indices));
+    std::copy(batch.instance.data().begin(), batch.instance.data().end(),
+              embeddings.values.begin() + begin * dim);
+  }
+  if (!data::SaveCsv(embeddings, out)) return 1;
+  std::printf("wrote %lld x %lld embeddings to %s\n",
+              static_cast<long long>(embeddings.length()),
+              static_cast<long long>(dim), out.c_str());
+  return 0;
+}
+
+int RunServe(const FlagParser& flags) {
+  std::unique_ptr<data::ForecastingWindows> windows;
+  std::unique_ptr<serve::InferenceSession> session;
+  data::TimeSeries scaled;
+  if (!OpenServing(flags, &windows, &session, &scaled)) return 1;
+
+  const int64_t num_threads = std::max<int64_t>(flags.GetInt("threads", 4), 1);
+  const int64_t total_requests =
+      std::max<int64_t>(flags.GetInt("requests", 256), num_threads);
+  serve::MicroBatcher batcher(session.get(),
+                              serve::MicroBatcherOptions::FromEnv());
+
+  const int64_t window = session->model_config().input_length;
+  const int64_t channels = session->model_config().input_channels;
+  const int64_t row = window * channels;
+
+  // Each client thread cycles through the dataset's windows and records
+  // per-request wall latency.
+  std::vector<std::vector<double>> latencies_us(num_threads);
+  std::vector<std::thread> clients;
+  const auto start = std::chrono::steady_clock::now();
+  for (int64_t t = 0; t < num_threads; ++t) {
+    const int64_t share = total_requests / num_threads +
+                          (t < total_requests % num_threads ? 1 : 0);
+    clients.emplace_back([&, t, share] {
+      latencies_us[t].reserve(share);
+      for (int64_t i = 0; i < share; ++i) {
+        const int64_t w = (t * share + i) % windows->size();
+        Tensor x = windows->GetInputs({w});
+        std::vector<float> values(x.data().begin(),
+                                  x.data().begin() + row);
+        const auto submit = std::chrono::steady_clock::now();
+        (void)batcher.Encode(std::move(values));
+        latencies_us[t].push_back(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - submit)
+                .count());
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::vector<double> all;
+  for (const auto& per_thread : latencies_us) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  auto quantile = [&](double q) {
+    return all[static_cast<size_t>(q * (all.size() - 1))];
+  };
+  obs::MetricsSnapshot snapshot = obs::Registry::Global().Snapshot();
+  const obs::HistogramStats* batches =
+      snapshot.FindHistogram("serve.batch_size");
+  std::printf(
+      "served %zu requests on %lld threads in %.2fs: %.1f req/s\n"
+      "latency p50 %.0fus  p99 %.0fus  max %.0fus\n"
+      "encode batches: %llu, mean size %.2f\n",
+      all.size(), static_cast<long long>(num_threads), elapsed_s,
+      static_cast<double>(all.size()) / elapsed_s, quantile(0.5),
+      quantile(0.99), all.back(),
+      static_cast<unsigned long long>(batches ? batches->count : 0),
+      batches ? batches->mean() : 0.0);
+  return 0;
+}
+
 int RunCheckpointInspect(const FlagParser& flags) {
   const std::string file = flags.GetString("file");
   if (file.empty()) {
@@ -383,6 +563,8 @@ int Main(int argc, char** argv) {
   if (flags.command() == "pretrain") return RunPretrain(flags);
   if (flags.command() == "forecast") return RunForecast(flags);
   if (flags.command() == "anomaly") return RunAnomaly(flags);
+  if (flags.command() == "encode") return RunEncode(flags);
+  if (flags.command() == "serve") return RunServe(flags);
   if (flags.command() == "checkpoint-inspect") {
     return RunCheckpointInspect(flags);
   }

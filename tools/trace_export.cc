@@ -8,7 +8,13 @@
 //
 // Usage:
 //   trace_export [--out FILE] [--epochs N] [--batch N] [--length N]
-//                [--channels C] [--summary]
+//                [--channels C] [--serve-requests N] [--summary]
+//
+// After pre-training, the trained model is frozen into a temporary
+// checkpoint and served through serve::MicroBatcher for --serve-requests
+// requests (0 disables the phase), so the trace also shows the inference
+// side: serve/warmup, serve/batch, and serve/encode spans next to the
+// training spans.
 //
 // Any already-running binary can produce the same file without this tool by
 // setting TIMEDRL_TRACE=1 (and optionally TIMEDRL_TRACE_OUT=FILE) in its
@@ -18,14 +24,19 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/model.h"
 #include "core/pretrainer.h"
 #include "core/sources.h"
 #include "data/synthetic.h"
 #include "data/windows.h"
+#include "nn/serialize.h"
 #include "obs/observer.h"
 #include "obs/trace.h"
+#include "serve/inference_session.h"
+#include "serve/micro_batcher.h"
 #include "tools/flag_parser.h"
 
 namespace timedrl::tools {
@@ -65,8 +76,53 @@ int Run(const FlagParser& flags) {
   obs::MetricsObserver metrics_observer("train");
   pretrain.train.observer = &metrics_observer;
 
+  const int64_t serve_requests = flags.GetInt("serve-requests", 64);
+
   obs::SetTraceEnabled(true);
   core::Pretrain(&model, source, pretrain, rng);
+
+  if (serve_requests > 0) {
+    // Serve phase: freeze the just-trained model into a checkpoint, open an
+    // InferenceSession on it, and push requests through the micro-batcher
+    // from a couple of client threads.
+    const std::string ckpt = out + ".serve.ckpt";
+    Status save_status = nn::SaveParameters(model, ckpt);
+    if (!save_status.ok()) {
+      std::fprintf(stderr, "trace_export: %s\n",
+                   save_status.ToString().c_str());
+      return 1;
+    }
+    serve::InferenceSessionConfig serve_config;
+    serve_config.model = config;
+    std::unique_ptr<serve::InferenceSession> session;
+    Status open_status =
+        serve::InferenceSession::Open(ckpt, serve_config, &session);
+    std::remove(ckpt.c_str());
+    if (!open_status.ok()) {
+      std::fprintf(stderr, "trace_export: %s\n",
+                   open_status.ToString().c_str());
+      return 1;
+    }
+    serve::MicroBatcher batcher(session.get(),
+                                serve::MicroBatcherOptions::FromEnv());
+    // The model is channel-independent (C=1), so serve windows of a single
+    // channel rather than the full multivariate rows.
+    data::TimeSeries channel0 = series.Channel(0);
+    data::ForecastingWindows serve_windows(channel0, length, /*horizon=*/0,
+                                           /*stride=*/4);
+    const int64_t num_clients = 2;
+    std::vector<std::thread> clients;
+    for (int64_t c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int64_t i = c; i < serve_requests; i += num_clients) {
+          Tensor x = serve_windows.GetInputs({i % serve_windows.size()});
+          (void)batcher.Encode(
+              std::vector<float>(x.data().begin(), x.data().end()));
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  }
   obs::SetTraceEnabled(false);
 
   if (!obs::WriteChromeTraceFile(out)) {
@@ -107,7 +163,8 @@ int main(int argc, char** argv) {
   if (flags.GetBool("help")) {
     std::printf(
         "usage: trace_export [--out FILE] [--epochs N] [--batch N]\n"
-        "                    [--length N] [--seed S] [--summary]\n");
+        "                    [--length N] [--seed S] [--serve-requests N]\n"
+        "                    [--summary]\n");
     return 0;
   }
   return timedrl::tools::Run(flags);
