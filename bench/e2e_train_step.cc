@@ -19,14 +19,22 @@
 // bench/run_e2e_train_step.sh, which captures them into
 // BENCH_train_step.json at the repo root).
 //
+// A fusion phase times the same pooled step with the fused transformer
+// kernels (tensor/ops_fused.h) on vs off (TIMEDRL_FUSION_DISABLE
+// fallback), interleaved like the pool comparison, and verifies that the
+// fused losses stay within 1e-4 relative of the unfused path and are
+// bitwise identical across thread counts.
+//
 // A final serve phase freezes a model into a checkpoint, opens a
 // serve::InferenceSession on it, and times graph-free Encode() calls for
-// each planned batch size, reporting p50/p99 latency and throughput plus
-// the steady-state pool-miss and autograd-node counts (both must be zero)
-// under the "serve" key of the same JSON object.
+// each planned batch size — fusion on (steady state must show zero pool
+// misses and zero autograd nodes) and fusion off ("serve_unfused") —
+// reporting p50/p99 latency and throughput under the "serve" /
+// "serve_unfused" keys of the same JSON object.
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -46,8 +54,10 @@
 #include "optim/optimizer.h"
 #include "serve/inference_session.h"
 #include "tensor/buffer_pool.h"
+#include "tensor/ops_fused.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace timedrl {
 namespace {
@@ -156,6 +166,78 @@ int Main() {
   const double speedup = baseline_med / pooled_med;
   const double improvement_pct = (1.0 - pooled_med / baseline_med) * 100.0;
 
+  // ---- Fusion phase --------------------------------------------------------
+  // The pooled configuration with the fused transformer kernels on vs off,
+  // interleaved per segment like the pool comparison. Both states run from
+  // the same seeds; the fused LayerNorm's Welford statistics round
+  // differently from the composed two-pass mean/var, so losses are compared
+  // within 1e-4 relative rather than bitwise.
+  const bool fusion_was_enabled = fusion::Enabled();
+  fusion::SetEnabled(false);
+  auto unfused = std::make_unique<TrainState>();
+  for (int i = 0; i < kWarmupSteps; ++i) unfused->Step(false);
+  fusion::SetEnabled(true);
+  auto fused = std::make_unique<TrainState>();
+  for (int i = 0; i < kWarmupSteps; ++i) fused->Step(false);
+
+  std::vector<double> unfused_ms;
+  std::vector<double> fused_ms;
+  for (int segment = 0; segment < kSegments; ++segment) {
+    fusion::SetEnabled(false);
+    unfused_ms.push_back(TimedSegment(*unfused, /*pooled=*/true));
+    fusion::SetEnabled(true);
+    fused_ms.push_back(TimedSegment(*fused, /*pooled=*/true));
+  }
+  const double loss_scale = std::max(std::fabs(double{fused->last_loss}),
+                                     std::fabs(double{unfused->last_loss}));
+  const double fusion_loss_rel_diff =
+      loss_scale == 0.0
+          ? 0.0
+          : std::fabs(double{fused->last_loss} -
+                      double{unfused->last_loss}) / loss_scale;
+  if (fusion_loss_rel_diff > 1e-4) {
+    std::fprintf(stderr,
+                 "FATAL: fused loss %.9g vs unfused loss %.9g (rel diff "
+                 "%.3g > 1e-4) — fusion changed numerics\n",
+                 double{fused->last_loss}, double{unfused->last_loss},
+                 fusion_loss_rel_diff);
+    return 1;
+  }
+
+  // Fused training must be a pure function of the seeds, independent of the
+  // thread count: rerun a few fused steps at several pool sizes and demand
+  // bitwise-equal losses.
+  const int original_threads = NumThreads();
+  float thread_losses[3] = {0.0f, 0.0f, 0.0f};
+  {
+    const int thread_counts[3] = {1, 2, 4};
+    for (int t = 0; t < 3; ++t) {
+      SetNumThreads(thread_counts[t]);
+      TrainState state;
+      for (int i = 0; i < 2; ++i) state.Step(/*retain_graph=*/false);
+      thread_losses[t] = state.last_loss;
+    }
+    SetNumThreads(original_threads);
+  }
+  const bool fusion_thread_bitwise = thread_losses[0] == thread_losses[1] &&
+                                     thread_losses[1] == thread_losses[2];
+  if (!fusion_thread_bitwise) {
+    std::fprintf(stderr,
+                 "FATAL: fused losses diverge across thread counts: %.9g / "
+                 "%.9g / %.9g\n",
+                 double{thread_losses[0]}, double{thread_losses[1]},
+                 double{thread_losses[2]});
+    return 1;
+  }
+
+  const double unfused_med = Median(unfused_ms);
+  const double fused_med = Median(fused_ms);
+  const double fusion_speedup = unfused_med / fused_med;
+  const double fusion_improvement_pct =
+      (1.0 - fused_med / unfused_med) * 100.0;
+  unfused.reset();
+  fused.reset();
+
   // Instrumentation-overhead phase: the same pooled configuration with
   // tracing toggled per segment, interleaved so machine drift cancels.
   // Trace spans accumulate only in the traced segments.
@@ -211,6 +293,7 @@ int Main() {
   // two steady-state invariants of the graph-free inference path: zero pool
   // misses and zero autograd nodes across all timed encodes.
   std::string serve_json;
+  std::string serve_unfused_json;
   uint64_t serve_misses = 0;
   int64_t serve_graph_nodes = 0;
   {
@@ -245,6 +328,43 @@ int Main() {
     }
 
     constexpr int kServeIters = 50;
+    // Times kServeIters encodes per planned batch size and returns the
+    // per-batch JSON lines. Reused for the fused and unfused passes.
+    auto time_batches = [&](Rng& rng) {
+      std::string json;
+      for (int64_t b : session_config.planned_batch_sizes) {
+        Tensor x = Tensor::Randn({b, serve_config.input_length,
+                                  serve_config.input_channels},
+                                 rng);
+        std::vector<double> latency_us;
+        latency_us.reserve(kServeIters);
+        const auto loop_start = std::chrono::steady_clock::now();
+        for (int i = 0; i < kServeIters; ++i) {
+          const auto start = std::chrono::steady_clock::now();
+          serve::Embeddings embeddings = session->Encode(x);
+          latency_us.push_back(std::chrono::duration<double, std::micro>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
+        }
+        const double elapsed_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          loop_start)
+                .count();
+        std::sort(latency_us.begin(), latency_us.end());
+        char line[256];
+        std::snprintf(line, sizeof(line),
+                      "    \"batch_%lld\": {\"p50_us\": %.1f, \"p99_us\": "
+                      "%.1f, \"throughput_rps\": %.1f},\n",
+                      static_cast<long long>(b),
+                      latency_us[latency_us.size() / 2],
+                      latency_us[static_cast<size_t>(
+                          0.99 * (latency_us.size() - 1))],
+                      static_cast<double>(b) * kServeIters / elapsed_s);
+        json += line;
+      }
+      return json;
+    };
+
     // Open() already warmed each planned shape; one more round with the
     // request tensors' exact allocation pattern, then snapshot the
     // steady-state counters the timed loops must not move.
@@ -258,37 +378,7 @@ int Main() {
         obs::Registry::Global().GetCounter("pool.misses").value();
     const int64_t nodes_at_steady = GraphNodesCreated();
 
-    serve_json = "{\n";
-    for (int64_t b : session_config.planned_batch_sizes) {
-      Tensor x = Tensor::Randn({b, serve_config.input_length,
-                                serve_config.input_channels},
-                               serve_rng);
-      std::vector<double> latency_us;
-      latency_us.reserve(kServeIters);
-      const auto loop_start = std::chrono::steady_clock::now();
-      for (int i = 0; i < kServeIters; ++i) {
-        const auto start = std::chrono::steady_clock::now();
-        serve::Embeddings embeddings = session->Encode(x);
-        latency_us.push_back(std::chrono::duration<double, std::micro>(
-                                 std::chrono::steady_clock::now() - start)
-                                 .count());
-      }
-      const double elapsed_s =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        loop_start)
-              .count();
-      std::sort(latency_us.begin(), latency_us.end());
-      char line[256];
-      std::snprintf(line, sizeof(line),
-                    "    \"batch_%lld\": {\"p50_us\": %.1f, \"p99_us\": "
-                    "%.1f, \"throughput_rps\": %.1f},\n",
-                    static_cast<long long>(b),
-                    latency_us[latency_us.size() / 2],
-                    latency_us[static_cast<size_t>(
-                        0.99 * (latency_us.size() - 1))],
-                    static_cast<double>(b) * kServeIters / elapsed_s);
-      serve_json += line;
-    }
+    serve_json = "{\n" + time_batches(serve_rng);
     serve_misses =
         obs::Registry::Global().GetCounter("pool.misses").value() -
         misses_at_steady;
@@ -300,6 +390,24 @@ int Main() {
                   static_cast<unsigned long long>(serve_misses),
                   static_cast<long long>(serve_graph_nodes));
     serve_json += tail;
+
+    // Unfused serve pass: same session and batch sizes with the composed
+    // fallback ops, so the JSON shows what fusion buys the serve path. The
+    // composed path materializes extra intermediates the fused warmup never
+    // allocated, so it gets its own warmup round and is exempt from the
+    // zero-miss steady-state invariant (the shipped configuration is fused).
+    fusion::SetEnabled(false);
+    for (int64_t b : session_config.planned_batch_sizes) {
+      (void)session->Encode(
+          Tensor::Randn({b, serve_config.input_length,
+                         serve_config.input_channels},
+                        serve_rng));
+    }
+    serve_unfused_json = "{\n" + time_batches(serve_rng);
+    // Trim the trailing ",\n" left by the last batch line.
+    serve_unfused_json.resize(serve_unfused_json.size() - 2);
+    serve_unfused_json += "\n  }";
+    fusion::SetEnabled(true);
   }
   if (serve_misses != 0 || serve_graph_nodes != 0) {
     std::fprintf(stderr,
@@ -309,6 +417,7 @@ int Main() {
                  static_cast<long long>(serve_graph_nodes));
     return 1;
   }
+  fusion::SetEnabled(fusion_was_enabled);
 
   std::printf(
       "{\n"
@@ -325,20 +434,29 @@ int Main() {
       "  \"steady_state_pool_misses\": %llu,\n"
       "  \"losses_bitwise_equal\": true,\n"
       "  \"final_loss\": %.9g,\n"
+      "  \"unfused_ms_per_step\": %.4f,\n"
+      "  \"fused_ms_per_step\": %.4f,\n"
+      "  \"fusion_speedup\": %.4f,\n"
+      "  \"fusion_improvement_pct\": %.2f,\n"
+      "  \"fusion_loss_rel_diff\": %.3g,\n"
+      "  \"fusion_losses_bitwise_equal_across_threads\": true,\n"
       "  \"untraced_ms_per_step\": %.4f,\n"
       "  \"traced_ms_per_step\": %.4f,\n"
       "  \"trace_overhead_pct\": %.2f,\n"
       "  \"trace_events\": %llu,\n"
       "  \"trace_file\": \"%s\",\n"
       "  \"trace_written\": %s,\n"
-      "  \"serve\": %s\n"
+      "  \"serve\": %s,\n"
+      "  \"serve_unfused\": %s\n"
       "}\n",
       static_cast<long long>(kBatch), kWarmupSteps, kSegments,
       kStepsPerSegment, baseline_med, pooled_med, speedup, improvement_pct,
       static_cast<unsigned long long>(steady_misses),
-      double{pooled->last_loss}, untraced_med, traced_med, trace_overhead_pct,
-      static_cast<unsigned long long>(trace_events), trace_file,
-      trace_written ? "true" : "false", serve_json.c_str());
+      double{pooled->last_loss}, unfused_med, fused_med, fusion_speedup,
+      fusion_improvement_pct, fusion_loss_rel_diff, untraced_med, traced_med,
+      trace_overhead_pct, static_cast<unsigned long long>(trace_events),
+      trace_file, trace_written ? "true" : "false", serve_json.c_str(),
+      serve_unfused_json.c_str());
   return 0;
 }
 

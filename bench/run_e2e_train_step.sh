@@ -3,11 +3,14 @@
 # the repo root as BENCH_train_step.json. The benchmark also times a
 # trace-enabled phase (instrumentation overhead appears in the JSON as
 # trace_overhead_pct) and exports a chrome://tracing file; by default that
-# trace lands in the build tree, overridable via TIMEDRL_TRACE_OUT. A final
-# serve phase times frozen-session embedding encodes for batch sizes
-# {1, 8, 32} (p50/p99 latency + throughput under the "serve" JSON key) and
-# fails if the graph-free path allocates or records autograd state in
-# steady state.
+# trace lands in the build tree, overridable via TIMEDRL_TRACE_OUT. A
+# fusion phase times the pooled step with the fused transformer kernels on
+# vs off (fused_ms_per_step / fusion_speedup keys) and checks the fused
+# losses against the unfused path and across thread counts. A final serve
+# phase times frozen-session embedding encodes for batch sizes {1, 8, 32}
+# (p50/p99 latency + throughput under the "serve" and "serve_unfused" JSON
+# keys) and fails if the graph-free path allocates or records autograd
+# state in steady state.
 # Build first:
 #   cmake -B build -S . && cmake --build build -j --target e2e_train_step
 set -euo pipefail

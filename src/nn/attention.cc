@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tensor/ops.h"
+#include "tensor/ops_fused.h"
 #include "util/check.h"
 
 namespace timedrl::nn {
@@ -56,15 +57,12 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& input) {
   Tensor k = split_heads(k_proj_.Forward(input));
   Tensor v = split_heads(v_proj_.Forward(input));
 
-  // [B, H, T, T]
-  Tensor scores = MatMul(q, Transpose(k, -2, -1)) *
-                  (1.0f / std::sqrt(static_cast<float>(head_dim_)));
-
-  if (causal_) {
-    scores = MaskedFill(scores, CausalMask(seq_len), -1e9f);
-  }
-
-  Tensor attn = attn_dropout_.Forward(Softmax(scores, -1));
+  // [B, H, T, T] raw scores; scale, causal mask, and softmax are one fused
+  // autograd node (the attention epilogue).
+  Tensor scores = MatMul(q, Transpose(k, -2, -1));
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  Tensor attn = attn_dropout_.Forward(FusedAttentionSoftmax(
+      scores, scale, causal_ ? CausalMask(seq_len) : Tensor()));
   Tensor context = MatMul(attn, v);  // [B, H, T, head_dim]
   Tensor merged = Reshape(Permute(context, {0, 2, 1, 3}),
                           {batch, seq_len, d_model_});

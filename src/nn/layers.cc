@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/init.h"
+#include "tensor/ops_fused.h"
 #include "util/check.h"
 
 namespace timedrl::nn {
@@ -64,11 +65,9 @@ LayerNorm::LayerNorm(int64_t features, float eps)
 
 Tensor LayerNorm::Forward(const Tensor& input) {
   TIMEDRL_CHECK_EQ(input.size(-1), features_);
-  Tensor mu = Mean(input, {-1}, /*keepdim=*/true);
-  Tensor centered = input - mu;
-  Tensor var = Mean(centered * centered, {-1}, /*keepdim=*/true);
-  Tensor normalized = centered / Sqrt(var + eps_);
-  return normalized * gamma_ + beta_;
+  // Single fused autograd node (Welford stats + normalize + affine); falls
+  // back to the op composition under TIMEDRL_FUSION_DISABLE=1.
+  return FusedLayerNorm(input, gamma_, beta_, eps_);
 }
 
 // ---- BatchNorm1d ----------------------------------------------------------------

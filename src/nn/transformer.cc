@@ -3,6 +3,7 @@
 #include <string>
 
 #include "tensor/ops.h"
+#include "tensor/ops_fused.h"
 
 namespace timedrl::nn {
 
@@ -30,7 +31,11 @@ TransformerBlock::TransformerBlock(int64_t d_model, int64_t num_heads,
 Tensor TransformerBlock::Forward(const Tensor& input) {
   Tensor attended =
       norm1_.Forward(input + dropout1_.Forward(attention_.Forward(input)));
-  Tensor ff = ff2_.Forward(ff_dropout_.Forward(Gelu(ff1_.Forward(attended))));
+  // FFN up-projection without its bias epilogue: the bias add and GELU run
+  // as one fused autograd node instead of two elementwise ops.
+  Tensor up = MatMul(attended, ff1_.weight());
+  Tensor ff =
+      ff2_.Forward(ff_dropout_.Forward(FusedBiasGelu(up, ff1_.bias())));
   return norm2_.Forward(attended + dropout2_.Forward(ff));
 }
 

@@ -1,0 +1,204 @@
+#include "tensor/kernels/fused.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/trace.h"
+#include "tensor/kernels/elementwise.h"
+#include "util/thread_pool.h"
+
+namespace timedrl::kernels {
+namespace {
+
+// Rows (or columns) per ParallelFor chunk when each unit costs O(span) work.
+int64_t Grain(int64_t span) {
+  return std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, span));
+}
+
+// Same constants as the composed Gelu op in ops_elementwise.cc.
+constexpr float kGeluAlpha = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluBeta = 0.044715f;
+
+inline float GeluValue(float x) {
+  const float inner = kGeluAlpha * (x + kGeluBeta * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+inline float GeluDerivative(float x) {
+  const float inner = kGeluAlpha * (x + kGeluBeta * x * x * x);
+  const float t = std::tanh(inner);
+  const float dinner = kGeluAlpha * (1.0f + 3.0f * kGeluBeta * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+}
+
+}  // namespace
+
+void FusedLayerNormForward(const float* x, const float* gamma,
+                           const float* beta, float eps, float* y,
+                           float* mean, float* rstd, int64_t rows,
+                           int64_t features) {
+  TIMEDRL_TRACE_SCOPE_CAT("fused_layer_norm_fwd", "kernel");
+  ParallelFor(0, rows, Grain(features), [=](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const float* row = x + r * features;
+      // Welford single-pass mean/variance.
+      float m = 0.0f;
+      float m2 = 0.0f;
+      for (int64_t f = 0; f < features; ++f) {
+        const float v = row[f];
+        const float delta = v - m;
+        m += delta / static_cast<float>(f + 1);
+        m2 += delta * (v - m);
+      }
+      const float var = m2 / static_cast<float>(features);
+      const float rs = 1.0f / std::sqrt(var + eps);
+      if (mean != nullptr) mean[r] = m;
+      if (rstd != nullptr) rstd[r] = rs;
+      float* out = y + r * features;
+      for (int64_t f = 0; f < features; ++f) {
+        out[f] = (row[f] - m) * rs * gamma[f] + beta[f];
+      }
+    }
+  });
+}
+
+void FusedLayerNormBackward(const float* g, const float* x,
+                            const float* gamma, const float* mean,
+                            const float* rstd, float* dx, float* dgamma,
+                            float* dbeta, int64_t rows, int64_t features) {
+  TIMEDRL_TRACE_SCOPE_CAT("fused_layer_norm_bwd", "kernel");
+  if (dx != nullptr) {
+    ParallelFor(0, rows, Grain(features), [=](int64_t begin, int64_t end) {
+      for (int64_t r = begin; r < end; ++r) {
+        const float* grow = g + r * features;
+        const float* row = x + r * features;
+        const float m = mean[r];
+        const float rs = rstd[r];
+        float c1 = 0.0f;  // mean_f(g*gamma)
+        float c2 = 0.0f;  // mean_f(g*gamma*xhat)
+        for (int64_t f = 0; f < features; ++f) {
+          const float gg = grow[f] * gamma[f];
+          c1 += gg;
+          c2 += gg * (row[f] - m) * rs;
+        }
+        c1 /= static_cast<float>(features);
+        c2 /= static_cast<float>(features);
+        float* drow = dx + r * features;
+        for (int64_t f = 0; f < features; ++f) {
+          const float xhat = (row[f] - m) * rs;
+          drow[f] += rs * (grow[f] * gamma[f] - c1 - xhat * c2);
+        }
+      }
+    });
+  }
+  if (dgamma != nullptr || dbeta != nullptr) {
+    // Column-parallel: each feature's accumulation walks rows in a fixed
+    // order, so the sums are bitwise identical for any thread count.
+    ParallelFor(0, features, Grain(rows), [=](int64_t begin, int64_t end) {
+      for (int64_t f = begin; f < end; ++f) {
+        float sum_g = 0.0f;
+        float sum_gx = 0.0f;
+        for (int64_t r = 0; r < rows; ++r) {
+          const float gv = g[r * features + f];
+          sum_g += gv;
+          sum_gx += gv * (x[r * features + f] - mean[r]) * rstd[r];
+        }
+        if (dgamma != nullptr) dgamma[f] += sum_gx;
+        if (dbeta != nullptr) dbeta[f] += sum_g;
+      }
+    });
+  }
+}
+
+void FusedSoftmaxForward(const float* x, const float* mask, int64_t mask_rows,
+                         float scale, float masked_value, float* y,
+                         int64_t rows, int64_t dim) {
+  TIMEDRL_TRACE_SCOPE_CAT("fused_softmax_fwd", "kernel");
+  ParallelFor(0, rows, Grain(dim), [=](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const float* row = x + r * dim;
+      const float* mask_row =
+          mask != nullptr ? mask + (r % mask_rows) * dim : nullptr;
+      float* out = y + r * dim;
+      // Streaming pass: fold scale + mask into the row, tracking the max.
+      float max_value = -std::numeric_limits<float>::infinity();
+      for (int64_t d = 0; d < dim; ++d) {
+        const float v = (mask_row != nullptr && mask_row[d] != 0.0f)
+                            ? masked_value
+                            : row[d] * scale;
+        out[d] = v;
+        max_value = std::max(max_value, v);
+      }
+      float denom = 0.0f;
+      for (int64_t d = 0; d < dim; ++d) {
+        out[d] = std::exp(out[d] - max_value);
+        denom += out[d];
+      }
+      for (int64_t d = 0; d < dim; ++d) out[d] /= denom;
+    }
+  });
+}
+
+void FusedSoftmaxBackward(const float* g, const float* y, float scale,
+                          float* dx, int64_t rows, int64_t dim) {
+  TIMEDRL_TRACE_SCOPE_CAT("fused_softmax_bwd", "kernel");
+  ParallelFor(0, rows, Grain(dim), [=](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const float* grow = g + r * dim;
+      const float* yrow = y + r * dim;
+      float dot = 0.0f;
+      for (int64_t d = 0; d < dim; ++d) dot += grow[d] * yrow[d];
+      float* drow = dx + r * dim;
+      // Masked positions have yrow[d] == 0, so they receive no gradient —
+      // exactly the composed MaskedFill's stop-gradient behavior.
+      for (int64_t d = 0; d < dim; ++d) {
+        drow[d] += scale * yrow[d] * (grow[d] - dot);
+      }
+    }
+  });
+}
+
+void FusedBiasGeluForward(const float* x, const float* bias, float* y,
+                          int64_t rows, int64_t features) {
+  TIMEDRL_TRACE_SCOPE_CAT("fused_bias_gelu_fwd", "kernel");
+  ParallelFor(0, rows, Grain(features), [=](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const float* row = x + r * features;
+      float* out = y + r * features;
+      for (int64_t f = 0; f < features; ++f) {
+        const float u = bias != nullptr ? row[f] + bias[f] : row[f];
+        out[f] = GeluValue(u);
+      }
+    }
+  });
+}
+
+void FusedBiasGeluBackward(const float* g, const float* x, const float* bias,
+                           float* dx, float* dbias, float* scratch,
+                           int64_t rows, int64_t features) {
+  TIMEDRL_TRACE_SCOPE_CAT("fused_bias_gelu_bwd", "kernel");
+  const int64_t n = rows * features;
+  // Row pass: du = g * gelu'(x + bias), staged into scratch for the column
+  // reduction and accumulated into dx. Disjoint writes; parallel.
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const float u =
+          bias != nullptr ? x[i] + bias[i % features] : x[i];
+      const float du = g[i] * GeluDerivative(u);
+      if (scratch != nullptr) scratch[i] = du;
+      if (dx != nullptr) dx[i] += du;
+    }
+  });
+  if (dbias != nullptr) {
+    ParallelFor(0, features, Grain(rows), [=](int64_t begin, int64_t end) {
+      for (int64_t f = begin; f < end; ++f) {
+        float sum = 0.0f;
+        for (int64_t r = 0; r < rows; ++r) sum += scratch[r * features + f];
+        dbias[f] += sum;
+      }
+    });
+  }
+}
+
+}  // namespace timedrl::kernels

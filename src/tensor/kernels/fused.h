@@ -1,0 +1,80 @@
+// Fused transformer hot-path kernels over raw float buffers.
+//
+// Each kernel here collapses a 4–8 op composition (see tensor/ops_fused.h)
+// into one or two sweeps over the data, so the memory-bound transformer
+// blocks touch every activation once instead of materializing each
+// intermediate through the buffer pool.
+//
+// Layout convention: all kernels view the input as [rows, features] (or
+// [rows, dim] for softmax) where `rows` collapses every leading dimension.
+// Rows are independent, so forward kernels and the dx half of the backward
+// kernels parallelize over rows with each output element produced by
+// exactly one thread. Cross-row parameter reductions (dgamma / dbeta /
+// dbias) parallelize over FEATURE COLUMNS with a fixed inner loop over
+// rows — the accumulation order per column never depends on the thread
+// count, so results are bitwise identical for any pool size (the same
+// determinism contract as util/thread_pool.h).
+
+#ifndef TIMEDRL_TENSOR_KERNELS_FUSED_H_
+#define TIMEDRL_TENSOR_KERNELS_FUSED_H_
+
+#include <cstdint>
+
+namespace timedrl::kernels {
+
+/// y = (x - mean) * rstd * gamma + beta per row, with mean/var computed in
+/// a single Welford pass over the row. When `mean`/`rstd` are non-null the
+/// per-row statistics are saved for the backward pass (rstd = 1/sqrt(var +
+/// eps), biased variance — matching the composed LayerNorm).
+void FusedLayerNormForward(const float* x, const float* gamma,
+                           const float* beta, float eps, float* y,
+                           float* mean, float* rstd, int64_t rows,
+                           int64_t features);
+
+/// Single-sweep LayerNorm backward from the saved row statistics:
+///   dx     += rstd * (g*gamma - mean_f(g*gamma) - xhat * mean_f(g*gamma*xhat))
+///   dgamma += sum_rows g * xhat
+///   dbeta  += sum_rows g
+/// where xhat = (x - mean) * rstd. Any of dx/dgamma/dbeta may be null to
+/// skip that gradient. dx parallelizes over rows; dgamma/dbeta over columns.
+void FusedLayerNormBackward(const float* g, const float* x,
+                            const float* gamma, const float* mean,
+                            const float* rstd, float* dx, float* dgamma,
+                            float* dbeta, int64_t rows, int64_t features);
+
+/// y = softmax(scale * x + mask) per row (last-dim softmax). `mask` is an
+/// optional [mask_rows, dim] tile: row r uses mask row (r % mask_rows), and
+/// a nonzero mask entry replaces the scaled score with `masked_value`
+/// (exactly the composed scale -> MaskedFill -> Softmax sequence, so the
+/// fused forward is bitwise identical to it). Pass mask == nullptr for the
+/// unmasked case.
+void FusedSoftmaxForward(const float* x, const float* mask, int64_t mask_rows,
+                         float scale, float masked_value, float* y,
+                         int64_t rows, int64_t dim);
+
+/// dx += scale * y * (g - sum_d(g*y)) per row — the one-pass backward of
+/// FusedSoftmaxForward. Masked positions contribute zero automatically
+/// (their y underflowed to 0 in the forward).
+void FusedSoftmaxBackward(const float* g, const float* y, float scale,
+                          float* dx, int64_t rows, int64_t dim);
+
+/// y = gelu(x + bias) per row (tanh-approximation GELU, same constants as
+/// the composed Gelu op). `bias` has `features` entries and broadcasts over
+/// rows; bias == nullptr computes plain gelu(x).
+void FusedBiasGeluForward(const float* x, const float* bias, float* y,
+                          int64_t rows, int64_t features);
+
+/// Backward of FusedBiasGeluForward:
+///   du     = g * gelu'(x + bias)        (recomputed, not saved)
+///   dx    += du
+///   dbias += sum_rows du
+/// Either of dx/dbias may be null. `scratch` must hold rows*features floats
+/// when dbias is requested (the per-element du staging that makes the
+/// column reduction deterministic); it may be null when dbias is null.
+void FusedBiasGeluBackward(const float* g, const float* x, const float* bias,
+                           float* dx, float* dbias, float* scratch,
+                           int64_t rows, int64_t features);
+
+}  // namespace timedrl::kernels
+
+#endif  // TIMEDRL_TENSOR_KERNELS_FUSED_H_

@@ -1,0 +1,211 @@
+// Fused transformer hot-path ops: shape checking and autograd wiring only —
+// the dense loops live in tensor/kernels/fused.*. Each op keeps its
+// composed fallback (the exact sequence it replaced) behind
+// fusion::Enabled() for A/B timing and numerical bisection.
+
+#include "tensor/ops_fused.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+#include "tensor/buffer_pool.h"
+#include "tensor/kernels/fused.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace timedrl {
+
+namespace {
+
+// Holds the per-row statistics FusedLayerNorm saves for its backward pass.
+// The backward closure lives in a std::function (which requires a copyable
+// callable), so the buffers ride behind a shared_ptr; the destructor returns
+// them to the buffer pool when the autograd node is released rather than
+// heap-freeing them, keeping steady-state training at zero pool misses.
+struct PooledRowStats {
+  std::vector<float> mean;
+  std::vector<float> rstd;
+  ~PooledRowStats() {
+    pool::Release(std::move(mean));
+    pool::Release(std::move(rstd));
+  }
+};
+
+}  // namespace
+
+namespace fusion {
+namespace {
+
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("TIMEDRL_FUSION_DISABLE");
+  return !(env != nullptr && env[0] == '1');
+}()};
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace fusion
+
+Tensor FusedLayerNorm(const Tensor& x, const Tensor& gamma,
+                      const Tensor& beta, float eps) {
+  TIMEDRL_CHECK_GE(x.dim(), 1);
+  const int64_t features = x.size(-1);
+  TIMEDRL_CHECK_EQ(gamma.numel(), features)
+      << "FusedLayerNorm gamma " << ShapeToString(gamma.shape())
+      << " for input " << ShapeToString(x.shape());
+  TIMEDRL_CHECK_EQ(beta.numel(), features);
+
+  if (!fusion::Enabled()) {
+    // The composition this op replaced (nn::LayerNorm pre-fusion).
+    Tensor mu = Mean(x, {-1}, /*keepdim=*/true);
+    Tensor centered = x - mu;
+    Tensor var = Mean(centered * centered, {-1}, /*keepdim=*/true);
+    Tensor normalized = centered / Sqrt(var + eps);
+    return normalized * gamma + beta;
+  }
+
+  TIMEDRL_TRACE_OP("fused_layer_norm");
+  const int64_t rows = x.numel() / features;
+  std::vector<float> out = pool::AcquireUninit(x.numel());
+  const bool recording =
+      GradEnabled() && (x.requires_grad() || gamma.requires_grad() ||
+                        beta.requires_grad());
+  if (!recording) {
+    kernels::FusedLayerNormForward(x.data().data(), gamma.data().data(),
+                                   beta.data().data(), eps, out.data(),
+                                   /*mean=*/nullptr, /*rstd=*/nullptr, rows,
+                                   features);
+    return internal::MakeLeafResult(x.shape(), std::move(out));
+  }
+
+  auto stats = std::make_shared<PooledRowStats>();
+  stats->mean = pool::AcquireUninit(rows);
+  stats->rstd = pool::AcquireUninit(rows);
+  kernels::FusedLayerNormForward(x.data().data(), gamma.data().data(),
+                                 beta.data().data(), eps, out.data(),
+                                 stats->mean.data(), stats->rstd.data(), rows,
+                                 features);
+
+  auto x_impl = x.impl();
+  auto gamma_impl = gamma.impl();
+  auto beta_impl = beta.impl();
+  auto backward = [x_impl, gamma_impl, beta_impl, stats, rows,
+                   features](TensorImpl& node) {
+    float* dx = x_impl->requires_grad ? x_impl->MutableGrad().data() : nullptr;
+    float* dgamma =
+        gamma_impl->requires_grad ? gamma_impl->MutableGrad().data() : nullptr;
+    float* dbeta =
+        beta_impl->requires_grad ? beta_impl->MutableGrad().data() : nullptr;
+    if (dx == nullptr && dgamma == nullptr && dbeta == nullptr) return;
+    kernels::FusedLayerNormBackward(node.grad.data(), x_impl->data.data(),
+                                    gamma_impl->data.data(),
+                                    stats->mean.data(), stats->rstd.data(),
+                                    dx, dgamma, dbeta, rows, features);
+  };
+  return internal::MakeOpResult(x.shape(), std::move(out),
+                                {x.impl(), gamma.impl(), beta.impl()},
+                                std::move(backward));
+}
+
+Tensor FusedAttentionSoftmax(const Tensor& scores, float scale,
+                             const Tensor& mask) {
+  constexpr float kMaskedValue = -1e9f;
+  TIMEDRL_CHECK_GE(scores.dim(), 1);
+  const int64_t dim = scores.size(-1);
+  const int64_t rows = scores.numel() / dim;
+  int64_t mask_rows = 0;
+  if (mask.defined()) {
+    TIMEDRL_CHECK_EQ(mask.dim(), 2) << "mask must be a [T, T] tile";
+    TIMEDRL_CHECK_EQ(mask.size(1), dim);
+    mask_rows = mask.size(0);
+    TIMEDRL_CHECK_EQ(rows % mask_rows, 0)
+        << "mask tile " << ShapeToString(mask.shape())
+        << " does not tile scores " << ShapeToString(scores.shape());
+  }
+
+  if (!fusion::Enabled()) {
+    // The composition this op replaced (attention pre-fusion).
+    Tensor scaled = scores * scale;
+    if (mask.defined()) scaled = MaskedFill(scaled, mask, kMaskedValue);
+    return Softmax(scaled, -1);
+  }
+
+  TIMEDRL_TRACE_OP("fused_softmax");
+  std::vector<float> out = pool::AcquireUninit(scores.numel());
+  kernels::FusedSoftmaxForward(
+      scores.data().data(), mask.defined() ? mask.data().data() : nullptr,
+      mask_rows, scale, kMaskedValue, out.data(), rows, dim);
+  if (!internal::Recording(scores)) {
+    return internal::MakeLeafResult(scores.shape(), std::move(out));
+  }
+
+  auto scores_impl = scores.impl();
+  auto backward = [scores_impl, scale, rows, dim](TensorImpl& node) {
+    if (!scores_impl->requires_grad) return;
+    kernels::FusedSoftmaxBackward(node.grad.data(), node.data.data(), scale,
+                                  scores_impl->MutableGrad().data(), rows,
+                                  dim);
+  };
+  return internal::MakeOpResult(scores.shape(), std::move(out),
+                                {scores.impl()}, std::move(backward));
+}
+
+Tensor FusedBiasGelu(const Tensor& x, const Tensor& bias) {
+  TIMEDRL_CHECK_GE(x.dim(), 1);
+  const int64_t features = x.size(-1);
+  if (bias.defined()) {
+    TIMEDRL_CHECK_EQ(bias.numel(), features)
+        << "FusedBiasGelu bias " << ShapeToString(bias.shape())
+        << " for input " << ShapeToString(x.shape());
+  }
+
+  if (!fusion::Enabled()) {
+    // The composition this op replaced (Linear bias epilogue + Gelu).
+    return bias.defined() ? Gelu(x + bias) : Gelu(x);
+  }
+
+  TIMEDRL_TRACE_OP("fused_bias_gelu");
+  const int64_t rows = x.numel() / features;
+  std::vector<float> out = pool::AcquireUninit(x.numel());
+  kernels::FusedBiasGeluForward(x.data().data(),
+                                bias.defined() ? bias.data().data() : nullptr,
+                                out.data(), rows, features);
+  const bool recording =
+      GradEnabled() &&
+      (x.requires_grad() || (bias.defined() && bias.requires_grad()));
+  if (!recording) {
+    return internal::MakeLeafResult(x.shape(), std::move(out));
+  }
+
+  auto x_impl = x.impl();
+  auto bias_impl = bias.defined() ? bias.impl() : nullptr;
+  auto backward = [x_impl, bias_impl, rows, features](TensorImpl& node) {
+    float* dx = x_impl->requires_grad ? x_impl->MutableGrad().data() : nullptr;
+    float* dbias = (bias_impl != nullptr && bias_impl->requires_grad)
+                       ? bias_impl->MutableGrad().data()
+                       : nullptr;
+    if (dx == nullptr && dbias == nullptr) return;
+    std::vector<float> scratch;
+    if (dbias != nullptr) scratch = pool::AcquireUninit(rows * features);
+    kernels::FusedBiasGeluBackward(
+        node.grad.data(), x_impl->data.data(),
+        bias_impl != nullptr ? bias_impl->data.data() : nullptr, dx, dbias,
+        dbias != nullptr ? scratch.data() : nullptr, rows, features);
+    pool::Release(std::move(scratch));
+  };
+  std::vector<std::shared_ptr<TensorImpl>> parents = {x.impl()};
+  if (bias.defined()) parents.push_back(bias.impl());
+  return internal::MakeOpResult(x.shape(), std::move(out), std::move(parents),
+                                std::move(backward));
+}
+
+}  // namespace timedrl

@@ -1,0 +1,59 @@
+// Fused transformer hot-path ops: LayerNorm, masked attention softmax, and
+// Bias+GELU, each collapsing a multi-op composition into one autograd node
+// backed by a single kernel sweep (tensor/kernels/fused.h).
+//
+// Every op here has a composed fallback — the exact op sequence it
+// replaced — selected at runtime via fusion::Enabled(). Setting the
+// TIMEDRL_FUSION_DISABLE=1 environment variable (or calling
+// fusion::SetEnabled(false)) routes all callers through the fallback, the
+// escape hatch for A/B timing and numerical bisection.
+//
+// Numerical-equivalence policy (see DESIGN.md §13):
+//  - FusedAttentionSoftmax's forward is BITWISE identical to the composed
+//    scale -> MaskedFill -> Softmax sequence (same per-element operations
+//    in the same order).
+//  - FusedBiasGelu's forward is bitwise identical to Add -> Gelu.
+//  - FusedLayerNorm uses single-pass Welford statistics, which round
+//    differently from the composed two-pass mean/var; forwards agree to
+//    float rounding (~1e-6 relative), gradients to ~1e-4.
+//  - All fused ops are bitwise deterministic across thread counts.
+
+#ifndef TIMEDRL_TENSOR_OPS_FUSED_H_
+#define TIMEDRL_TENSOR_OPS_FUSED_H_
+
+#include "tensor/tensor.h"
+
+namespace timedrl {
+
+namespace fusion {
+
+/// Whether the Fused* ops run their fused kernels (true) or the composed
+/// fallback ops. Seeded from TIMEDRL_FUSION_DISABLE at first use.
+bool Enabled();
+
+/// Programmatic override of TIMEDRL_FUSION_DISABLE (benchmarks, tests).
+void SetEnabled(bool enabled);
+
+}  // namespace fusion
+
+/// LayerNorm over the last dimension: (x - mean) / sqrt(var + eps) * gamma
+/// + beta, with per-row statistics. gamma/beta: [features] where features =
+/// x.size(-1). Replaces the ~8-op composition in nn::LayerNorm.
+Tensor FusedLayerNorm(const Tensor& x, const Tensor& gamma,
+                      const Tensor& beta, float eps);
+
+/// softmax(scale * scores + mask) over the last dimension — the attention
+/// epilogue. `mask` is optional (pass a default-constructed Tensor for
+/// none): a [T, T] tile whose nonzero entries force the score to -1e9
+/// before the softmax, tiled over the leading dims (mask gets no
+/// gradient). Replaces scale -> MaskedFill -> Softmax in attention.
+Tensor FusedAttentionSoftmax(const Tensor& scores, float scale,
+                             const Tensor& mask);
+
+/// gelu(x + bias) with bias broadcast over the last dimension — the FFN
+/// epilogue. `bias` is optional (undefined Tensor computes plain gelu(x)).
+Tensor FusedBiasGelu(const Tensor& x, const Tensor& bias);
+
+}  // namespace timedrl
+
+#endif  // TIMEDRL_TENSOR_OPS_FUSED_H_

@@ -1,0 +1,341 @@
+// Fused transformer hot-path ops (tensor/ops_fused.h): finite-difference
+// gradchecks against the composed references, forward/backward equivalence
+// between the fused kernels and the TIMEDRL_FUSION_DISABLE fallback, and
+// bitwise determinism across thread counts.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/transformer.h"
+#include "tensor/ops.h"
+#include "tensor/ops_fused.h"
+#include "tensor/tensor.h"
+#include "testing/gradcheck.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace timedrl {
+namespace {
+
+// Restores the fusion flag (and optionally the thread count) on scope exit
+// so one test cannot leak configuration into the next.
+class FusionGuard {
+ public:
+  explicit FusionGuard(bool enabled) : previous_(fusion::Enabled()) {
+    fusion::SetEnabled(enabled);
+  }
+  ~FusionGuard() { fusion::SetEnabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+Tensor RandomTensor(const Shape& shape, uint64_t seed,
+                    bool requires_grad = false) {
+  Rng rng(seed);
+  return Tensor::Randn(shape, rng, 0.0f, 1.0f, requires_grad);
+}
+
+Tensor CausalMask(int64_t t) {
+  std::vector<float> mask(t * t, 0.0f);
+  for (int64_t i = 0; i < t; ++i) {
+    for (int64_t j = i + 1; j < t; ++j) mask[i * t + j] = 1.0f;
+  }
+  return Tensor::FromVector({t, t}, std::move(mask));
+}
+
+void ExpectAllClose(const std::vector<float>& a, const std::vector<float>& b,
+                    float rtol, float atol = 1e-6f) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const float scale = std::max(std::fabs(a[i]), std::fabs(b[i]));
+    ASSERT_NEAR(a[i], b[i], atol + rtol * scale) << "at index " << i;
+  }
+}
+
+void ExpectBitwiseEqual(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "at index " << i;
+  }
+}
+
+// ---- Forward equivalence: fused vs composed fallback -------------------------
+
+TEST(FusedLayerNorm, ForwardMatchesComposed) {
+  Tensor x = RandomTensor({4, 6, 16}, 1);
+  Tensor gamma = RandomTensor({16}, 2);
+  Tensor beta = RandomTensor({16}, 3);
+  Tensor fused, composed;
+  {
+    FusionGuard on(true);
+    fused = FusedLayerNorm(x, gamma, beta, 1e-5f);
+  }
+  {
+    FusionGuard off(false);
+    composed = FusedLayerNorm(x, gamma, beta, 1e-5f);
+  }
+  // Welford vs two-pass statistics round differently; agreement is to float
+  // precision, not bitwise.
+  ExpectAllClose(fused.data(), composed.data(), 1e-5f);
+}
+
+TEST(FusedSoftmax, ForwardBitwiseMatchesComposed) {
+  Tensor x = RandomTensor({2, 3, 4, 4}, 4);
+  Tensor mask = CausalMask(4);
+  const float scale = 0.5f;
+  Tensor fused, composed;
+  {
+    FusionGuard on(true);
+    fused = FusedAttentionSoftmax(x, scale, mask);
+  }
+  {
+    FusionGuard off(false);
+    composed = FusedAttentionSoftmax(x, scale, mask);
+  }
+  // Same per-element operations in the same order: bitwise identical.
+  ExpectBitwiseEqual(fused.data(), composed.data());
+}
+
+TEST(FusedSoftmax, UnmaskedForwardBitwiseMatchesComposed) {
+  Tensor x = RandomTensor({3, 7}, 5);
+  Tensor fused, composed;
+  {
+    FusionGuard on(true);
+    fused = FusedAttentionSoftmax(x, 1.25f, Tensor());
+  }
+  {
+    FusionGuard off(false);
+    composed = FusedAttentionSoftmax(x, 1.25f, Tensor());
+  }
+  ExpectBitwiseEqual(fused.data(), composed.data());
+  // Rows sum to 1.
+  for (int64_t r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (int64_t d = 0; d < 7; ++d) sum += fused.data()[r * 7 + d];
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(FusedBiasGelu, ForwardBitwiseMatchesComposed) {
+  Tensor x = RandomTensor({5, 12}, 6);
+  Tensor bias = RandomTensor({12}, 7);
+  Tensor fused, composed;
+  {
+    FusionGuard on(true);
+    fused = FusedBiasGelu(x, bias);
+  }
+  {
+    FusionGuard off(false);
+    composed = FusedBiasGelu(x, bias);
+  }
+  ExpectBitwiseEqual(fused.data(), composed.data());
+}
+
+// ---- Finite-difference gradchecks (fusion on AND the disabled fallback) ------
+
+TEST(FusedLayerNorm, GradCheckFusedAndComposed) {
+  for (bool enabled : {true, false}) {
+    FusionGuard guard(enabled);
+    auto fn = [](const std::vector<Tensor>& xs) {
+      return FusedLayerNorm(xs[0], xs[1], xs[2], 1e-5f);
+    };
+    auto result = testing::GradCheck(
+        fn, {RandomTensor({3, 8}, 10, true), RandomTensor({8}, 11, true),
+             RandomTensor({8}, 12, true)});
+    EXPECT_TRUE(result.ok) << "fusion=" << enabled << ": " << result.message;
+  }
+}
+
+TEST(FusedSoftmax, GradCheckFusedAndComposed) {
+  Tensor mask = CausalMask(4);
+  for (bool enabled : {true, false}) {
+    FusionGuard guard(enabled);
+    auto unmasked = [](const std::vector<Tensor>& xs) {
+      return FusedAttentionSoftmax(xs[0], 0.7f, Tensor());
+    };
+    auto result =
+        testing::GradCheck(unmasked, {RandomTensor({2, 3, 5}, 13, true)});
+    EXPECT_TRUE(result.ok) << "fusion=" << enabled << ": " << result.message;
+
+    auto masked = [&mask](const std::vector<Tensor>& xs) {
+      return FusedAttentionSoftmax(xs[0], 0.7f, mask);
+    };
+    result = testing::GradCheck(masked, {RandomTensor({2, 4, 4}, 14, true)});
+    EXPECT_TRUE(result.ok) << "fusion=" << enabled << " (masked): "
+                           << result.message;
+  }
+}
+
+TEST(FusedBiasGelu, GradCheckFusedAndComposed) {
+  for (bool enabled : {true, false}) {
+    FusionGuard guard(enabled);
+    auto fn = [](const std::vector<Tensor>& xs) {
+      return FusedBiasGelu(xs[0], xs[1]);
+    };
+    auto result = testing::GradCheck(
+        fn, {RandomTensor({4, 6}, 15, true), RandomTensor({6}, 16, true)});
+    EXPECT_TRUE(result.ok) << "fusion=" << enabled << ": " << result.message;
+  }
+}
+
+// ---- Backward equivalence: fused gradients vs the composed fallback's -------
+
+TEST(FusedLayerNorm, GradientsMatchComposed) {
+  std::vector<std::vector<float>> grads[2];
+  int which = 0;
+  for (bool enabled : {true, false}) {
+    FusionGuard guard(enabled);
+    Tensor x = RandomTensor({4, 6, 16}, 20, true);
+    Tensor gamma = RandomTensor({16}, 21, true);
+    Tensor beta = RandomTensor({16}, 22, true);
+    Sum(FusedLayerNorm(x, gamma, beta, 1e-5f)).Backward();
+    grads[which] = {x.grad(), gamma.grad(), beta.grad()};
+    ++which;
+  }
+  for (int i = 0; i < 3; ++i) {
+    ExpectAllClose(grads[0][i], grads[1][i], 1e-4f, 1e-5f);
+  }
+}
+
+TEST(FusedSoftmax, GradientsMatchComposed) {
+  std::vector<float> grads[2];
+  Tensor mask = CausalMask(6);
+  int which = 0;
+  for (bool enabled : {true, false}) {
+    FusionGuard guard(enabled);
+    Tensor x = RandomTensor({2, 4, 6, 6}, 23, true);
+    // A non-uniform upstream gradient (Sum would feed all-ones).
+    Tensor weight = RandomTensor({2, 4, 6, 6}, 24);
+    Sum(FusedAttentionSoftmax(x, 0.4f, mask) * weight).Backward();
+    grads[which++] = x.grad();
+  }
+  ExpectAllClose(grads[0], grads[1], 1e-4f, 1e-6f);
+}
+
+TEST(FusedBiasGelu, GradientsMatchComposed) {
+  std::vector<std::vector<float>> grads[2];
+  int which = 0;
+  for (bool enabled : {true, false}) {
+    FusionGuard guard(enabled);
+    Tensor x = RandomTensor({8, 10}, 25, true);
+    Tensor bias = RandomTensor({10}, 26, true);
+    Sum(FusedBiasGelu(x, bias)).Backward();
+    grads[which++] = {x.grad(), bias.grad()};
+  }
+  for (int i = 0; i < 2; ++i) {
+    ExpectAllClose(grads[0][i], grads[1][i], 1e-4f, 1e-6f);
+  }
+}
+
+// ---- Bitwise determinism across thread counts --------------------------------
+
+// Runs forward + backward of all three fused ops and returns every output
+// and gradient buffer produced.
+std::vector<std::vector<float>> RunFusedOnce() {
+  std::vector<std::vector<float>> buffers;
+
+  Tensor x = RandomTensor({4, 8, 16}, 30, true);
+  Tensor gamma = RandomTensor({16}, 31, true);
+  Tensor beta = RandomTensor({16}, 32, true);
+  Tensor ln = FusedLayerNorm(x, gamma, beta, 1e-5f);
+  Sum(ln).Backward();
+  buffers.push_back(ln.data());
+  buffers.push_back(x.grad());
+  buffers.push_back(gamma.grad());
+  buffers.push_back(beta.grad());
+
+  Tensor scores = RandomTensor({2, 4, 8, 8}, 33, true);
+  Tensor weight = RandomTensor({2, 4, 8, 8}, 34);
+  Tensor sm = FusedAttentionSoftmax(scores, 0.35f, CausalMask(8));
+  Sum(sm * weight).Backward();
+  buffers.push_back(sm.data());
+  buffers.push_back(scores.grad());
+
+  Tensor h = RandomTensor({16, 24}, 35, true);
+  Tensor bias = RandomTensor({24}, 36, true);
+  Tensor bg = FusedBiasGelu(h, bias);
+  Sum(bg).Backward();
+  buffers.push_back(bg.data());
+  buffers.push_back(h.grad());
+  buffers.push_back(bias.grad());
+
+  return buffers;
+}
+
+TEST(FusedOps, BitwiseDeterministicAcrossThreadCounts) {
+  FusionGuard guard(true);
+  const int original_threads = NumThreads();
+  SetNumThreads(1);
+  const auto reference = RunFusedOnce();
+  for (int threads : {2, 3, 5}) {
+    SetNumThreads(threads);
+    const auto repeat = RunFusedOnce();
+    ASSERT_EQ(reference.size(), repeat.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ExpectBitwiseEqual(reference[i], repeat[i]);
+    }
+  }
+  SetNumThreads(original_threads);
+}
+
+// ---- Graph-free inference path ----------------------------------------------
+
+TEST(FusedOps, InferenceModeIsGraphFree) {
+  FusionGuard guard(true);
+  Tensor x = RandomTensor({3, 4, 8}, 40, true);
+  Tensor gamma = RandomTensor({8}, 41, true);
+  Tensor beta = RandomTensor({8}, 42, true);
+  Tensor recorded = FusedLayerNorm(x, gamma, beta, 1e-5f);
+  EXPECT_TRUE(recorded.requires_grad());
+
+  const int64_t nodes_before = GraphNodesCreated();
+  Tensor ln, sm, bg;
+  {
+    InferenceModeGuard inference;
+    ln = FusedLayerNorm(x, gamma, beta, 1e-5f);
+    sm = FusedAttentionSoftmax(RandomTensor({2, 4, 4}, 43, true), 0.5f,
+                               CausalMask(4));
+    bg = FusedBiasGelu(RandomTensor({4, 8}, 44, true), RandomTensor({8}, 45));
+  }
+  EXPECT_EQ(GraphNodesCreated() - nodes_before, 0);
+  EXPECT_FALSE(ln.requires_grad());
+  EXPECT_FALSE(sm.requires_grad());
+  EXPECT_FALSE(bg.requires_grad());
+  ExpectBitwiseEqual(recorded.data(), ln.data());
+}
+
+// ---- End-to-end: a transformer block fused vs unfused ------------------------
+
+TEST(FusedOps, TransformerBlockMatchesUnfused) {
+  std::vector<float> outputs[2];
+  std::vector<std::vector<float>> grads[2];
+  int which = 0;
+  for (bool enabled : {true, false}) {
+    FusionGuard guard(enabled);
+    Rng rng(99);
+    nn::TransformerBlock block(/*d_model=*/8, /*num_heads=*/2, /*ff_dim=*/16,
+                               /*dropout=*/0.0f, rng, /*causal=*/true);
+    block.Train();
+    Tensor out = block.Forward(RandomTensor({2, 4, 8}, 50));
+    Sum(out).Backward();
+    outputs[which] = out.data();
+    for (const Tensor& p : block.Parameters()) {
+      grads[which].push_back(p.has_grad()
+                                 ? p.grad()
+                                 : std::vector<float>(p.numel(), 0.0f));
+    }
+    ++which;
+  }
+  ExpectAllClose(outputs[0], outputs[1], 1e-4f, 1e-5f);
+  ASSERT_EQ(grads[0].size(), grads[1].size());
+  for (size_t i = 0; i < grads[0].size(); ++i) {
+    ExpectAllClose(grads[0][i], grads[1][i], 1e-3f, 1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace timedrl

@@ -151,6 +151,20 @@ int Run(const FlagParser& flags) {
                   static_cast<long long>(entry.count),
                   static_cast<double>(entry.total_ns) / 1e6);
     }
+
+    // Per-op timing histograms from the metrics registry. Aggregated by
+    // name prefix rather than a fixed op list, so new ops — the fused
+    // kernels' op.fused_*.ns series included — appear here automatically
+    // instead of being dropped.
+    const obs::MetricsSnapshot snapshot = obs::Registry::Global().Snapshot();
+    std::printf("\n%-28s %10s %14s %12s\n", "op histogram", "count",
+                "total_ms", "mean_us");
+    for (const auto& [name, stats] : snapshot.histograms) {
+      if (name.rfind("op.", 0) != 0 || stats.count == 0) continue;
+      std::printf("%-28s %10llu %14.3f %12.2f\n", name.c_str(),
+                  static_cast<unsigned long long>(stats.count),
+                  stats.sum / 1e6, stats.mean() / 1e3);
+    }
   }
   return 0;
 }
