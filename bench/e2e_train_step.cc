@@ -40,12 +40,15 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "augment/augment.h"
 #include "core/config.h"
 #include "core/model.h"
 #include "core/pretrainer.h"
 #include "core/sources.h"
+#include "data/loader.h"
 #include "data/synthetic.h"
 #include "data/windows.h"
 #include "nn/serialize.h"
@@ -56,6 +59,7 @@
 #include "tensor/buffer_pool.h"
 #include "tensor/ops_fused.h"
 #include "tensor/tensor.h"
+#include "util/env.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -116,6 +120,84 @@ struct TrainState {
 double Median(std::vector<double> values) {
   std::sort(values.begin(), values.end());
   return values[values.size() / 2];
+}
+
+// One independent data-pipeline training run for the prefetch phase:
+// channel-independent forecasting windows with two jittered views per batch,
+// so batch assembly (gather + reshape + augmentation draws) carries real
+// latency for the producer thread to hide. Both arms (depth 0 and depth N)
+// are built from the SAME seeds; the loader forks each batch's augment
+// sub-stream at claim time, so the arms see bitwise-identical batches and
+// their losses must match bitwise.
+struct PrefetchState {
+  core::TimeDrlConfig config;
+  Rng data_rng{21};
+  data::TimeSeries series;
+  data::ForecastingWindows windows;
+  core::ForecastingSource source;
+  Rng model_rng{42};
+  core::TimeDrlModel model;
+  optim::AdamW optimizer;
+  Rng loader_rng{7};
+  data::DataLoader loader;
+  data::Batch batch;
+  float last_loss = 0.0f;
+
+  static core::TimeDrlConfig PrefetchConfig() {
+    core::TimeDrlConfig config;
+    config.input_channels = 1;  // channel-independent
+    config.input_length = 128;
+    config.patch_length = 8;
+    config.patch_stride = 8;
+    config.d_model = 16;
+    config.num_heads = 4;
+    config.ff_dim = 32;
+    config.num_layers = 1;
+    return config;
+  }
+
+  static data::DataLoaderOptions Options(int64_t depth) {
+    data::DataLoaderOptions options;
+    options.batch_size = 16;
+    options.shuffle = true;
+    options.prefetch_depth = depth;
+    options.augmentation = augment::Kind::kJitter;
+    return options;
+  }
+
+  explicit PrefetchState(int64_t depth)
+      : config(PrefetchConfig()),
+        series(data::MakeEttLike(/*length=*/2048, /*period=*/24,
+                                 /*variant=*/1, data_rng)),
+        windows(series, config.input_length, /*horizon=*/0, /*stride=*/2),
+        source(&windows, /*channel_independent=*/true),
+        model(config, model_rng),
+        optimizer(model.Parameters(), /*learning_rate=*/1e-3f,
+                  /*weight_decay=*/1e-2f),
+        loader(source, Options(depth), loader_rng) {
+    model.Train();
+  }
+
+  void Step() {
+    if (!loader.Next(&batch)) {
+      loader.Reset();
+      if (!loader.Next(&batch)) return;
+    }
+    auto output = model.PretextStepViews(batch.view1, batch.view2);
+    optimizer.ZeroGrad();
+    output.total.Backward();
+    optim::ClipGradNorm(optimizer.parameters(), /*max_norm=*/5.0f);
+    optimizer.Step();
+    last_loss = output.total.item();
+  }
+};
+
+double TimedPrefetchSegment(PrefetchState& state) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kStepsPerSegment; ++i) state.Step();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count() /
+         kStepsPerSegment;
 }
 
 // Runs one timed segment of `state` in the given pool mode and returns
@@ -238,6 +320,74 @@ int Main() {
   unfused.reset();
   fused.reset();
 
+  // ---- Prefetch phase ------------------------------------------------------
+  // The data pipeline's background producer (TIMEDRL_PREFETCH_DEPTH,
+  // default 2) vs the synchronous depth-0 fallback, interleaved per segment
+  // like the other phases. The depth-N arm must be bitwise-equal to the
+  // depth-0 arm and must hold the pool's zero-miss steady state.
+  const int64_t prefetch_depth =
+      util::Env::GetInt("TIMEDRL_PREFETCH_DEPTH", 2, /*min_value=*/0,
+                        /*max_value=*/1024);
+  double prefetch_sync_med = 0.0;
+  double prefetch_med = 0.0;
+  uint64_t prefetch_steady_misses = 0;
+  float prefetch_losses[2] = {0.0f, 0.0f};
+  {
+    pool::SetEnabled(true);
+    PrefetchState sync_state(/*depth=*/0);
+    PrefetchState prefetch_state(prefetch_depth);
+    for (int i = 0; i < 2 * kWarmupSteps; ++i) sync_state.Step();
+    for (int i = 0; i < 2 * kWarmupSteps; ++i) prefetch_state.Step();
+    const uint64_t prefetch_misses_before =
+        obs::Registry::Global().GetCounter("pool.misses").value();
+    std::vector<double> sync_ms;
+    std::vector<double> prefetch_ms;
+    for (int segment = 0; segment < kSegments; ++segment) {
+      sync_ms.push_back(TimedPrefetchSegment(sync_state));
+      prefetch_ms.push_back(TimedPrefetchSegment(prefetch_state));
+    }
+    prefetch_steady_misses =
+        obs::Registry::Global().GetCounter("pool.misses").value() -
+        prefetch_misses_before;
+    prefetch_sync_med = Median(sync_ms);
+    prefetch_med = Median(prefetch_ms);
+    prefetch_losses[0] = sync_state.last_loss;
+    prefetch_losses[1] = prefetch_state.last_loss;
+  }
+  if (prefetch_losses[0] != prefetch_losses[1]) {
+    std::fprintf(stderr,
+                 "FATAL: prefetch loss %.9g != synchronous loss %.9g — "
+                 "prefetching changed numerics\n",
+                 double{prefetch_losses[1]}, double{prefetch_losses[0]});
+    return 1;
+  }
+  if (prefetch_steady_misses != 0) {
+    std::fprintf(stderr,
+                 "FATAL: prefetch steady state not clean: %llu pool misses\n",
+                 static_cast<unsigned long long>(prefetch_steady_misses));
+    return 1;
+  }
+  const double prefetch_speedup = prefetch_sync_med / prefetch_med;
+  const double prefetch_improvement_pct =
+      (1.0 - prefetch_med / prefetch_sync_med) * 100.0;
+  // Overlap needs a core for the producer: on a single-CPU host the two
+  // arms time-slice and the speedup is noise around 1.0. Recorded so the
+  // JSON is interpretable wherever it was produced.
+  const unsigned prefetch_cores = std::thread::hardware_concurrency();
+  double prefetch_assemble_ms = 0.0;
+  double prefetch_wait_ms = 0.0;
+  {
+    const obs::MetricsSnapshot snapshot = obs::Registry::Global().Snapshot();
+    for (const auto& [name, stats] : snapshot.histograms) {
+      if (stats.count == 0) continue;
+      if (name == "prefetch.assemble_ns") {
+        prefetch_assemble_ms = stats.mean() / 1e6;
+      } else if (name == "prefetch.queue_wait_ns") {
+        prefetch_wait_ms = stats.mean() / 1e6;
+      }
+    }
+  }
+
   // Instrumentation-overhead phase: the same pooled configuration with
   // tracing toggled per segment, interleaved so machine drift cancels.
   // Trace spans accumulate only in the traced segments.
@@ -276,10 +426,8 @@ int Main() {
   }
   obs::SetTraceEnabled(trace_was_enabled);
 
-  const char* trace_out = std::getenv("TIMEDRL_TRACE_OUT");
-  const char* trace_file =
-      (trace_out != nullptr && trace_out[0] != '\0') ? trace_out
-                                                      : "trace_train_step.json";
+  const std::string trace_file =
+      util::Env::GetString("TIMEDRL_TRACE_OUT", "trace_train_step.json");
   const bool trace_written = obs::WriteChromeTraceFile(trace_file);
   const uint64_t trace_events = obs::TraceEventCount();
 
@@ -440,6 +588,16 @@ int Main() {
       "  \"fusion_improvement_pct\": %.2f,\n"
       "  \"fusion_loss_rel_diff\": %.3g,\n"
       "  \"fusion_losses_bitwise_equal_across_threads\": true,\n"
+      "  \"prefetch_depth\": %lld,\n"
+      "  \"prefetch_sync_ms_per_step\": %.4f,\n"
+      "  \"prefetch_ms_per_step\": %.4f,\n"
+      "  \"prefetch_speedup\": %.4f,\n"
+      "  \"prefetch_improvement_pct\": %.2f,\n"
+      "  \"prefetch_steady_pool_misses\": %llu,\n"
+      "  \"prefetch_losses_bitwise_equal\": true,\n"
+      "  \"prefetch_cores\": %u,\n"
+      "  \"prefetch_assemble_ms\": %.4f,\n"
+      "  \"prefetch_queue_wait_ms\": %.4f,\n"
       "  \"untraced_ms_per_step\": %.4f,\n"
       "  \"traced_ms_per_step\": %.4f,\n"
       "  \"trace_overhead_pct\": %.2f,\n"
@@ -453,9 +611,14 @@ int Main() {
       kStepsPerSegment, baseline_med, pooled_med, speedup, improvement_pct,
       static_cast<unsigned long long>(steady_misses),
       double{pooled->last_loss}, unfused_med, fused_med, fusion_speedup,
-      fusion_improvement_pct, fusion_loss_rel_diff, untraced_med, traced_med,
-      trace_overhead_pct, static_cast<unsigned long long>(trace_events),
-      trace_file, trace_written ? "true" : "false", serve_json.c_str(),
+      fusion_improvement_pct, fusion_loss_rel_diff,
+      static_cast<long long>(prefetch_depth), prefetch_sync_med, prefetch_med,
+      prefetch_speedup, prefetch_improvement_pct,
+      static_cast<unsigned long long>(prefetch_steady_misses), prefetch_cores,
+      prefetch_assemble_ms, prefetch_wait_ms, untraced_med,
+      traced_med, trace_overhead_pct,
+      static_cast<unsigned long long>(trace_events), trace_file.c_str(),
+      trace_written ? "true" : "false", serve_json.c_str(),
       serve_unfused_json.c_str());
   return 0;
 }

@@ -12,22 +12,13 @@
 #include "baselines/ts2vec.h"
 #include "baselines/tstcc.h"
 #include "util/check.h"
+#include "util/env.h"
 
 namespace timedrl::bench {
-namespace {
-
-double EnvDouble(const char* name, double fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr) return fallback;
-  return std::atof(value);
-}
-
-}  // namespace
-
 Settings Settings::FromEnv() {
   Settings settings;
-  settings.data_scale *= EnvDouble("TIMEDRL_BENCH_SCALE", 1.0);
-  settings.epoch_scale *= EnvDouble("TIMEDRL_BENCH_EPOCHS", 1.0);
+  settings.data_scale *= util::Env::GetDouble("TIMEDRL_BENCH_SCALE", 1.0);
+  settings.epoch_scale *= util::Env::GetDouble("TIMEDRL_BENCH_EPOCHS", 1.0);
   return settings;
 }
 

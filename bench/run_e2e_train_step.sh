@@ -6,8 +6,13 @@
 # trace lands in the build tree, overridable via TIMEDRL_TRACE_OUT. A
 # fusion phase times the pooled step with the fused transformer kernels on
 # vs off (fused_ms_per_step / fusion_speedup keys) and checks the fused
-# losses against the unfused path and across thread counts. A final serve
-# phase times frozen-session embedding encodes for batch sizes {1, 8, 32}
+# losses against the unfused path and across thread counts. A prefetch
+# phase times the data pipeline with the background producer
+# (TIMEDRL_PREFETCH_DEPTH, default 2) against the synchronous depth-0
+# fallback (prefetch_ms_per_step / prefetch_speedup keys) and fails unless
+# both arms end at bitwise-equal losses with zero steady-state pool misses.
+# A final serve phase times frozen-session embedding encodes for batch
+# sizes {1, 8, 32}
 # (p50/p99 latency + throughput under the "serve" and "serve_unfused" JSON
 # keys) and fails if the graph-free path allocates or records autograd
 # state in steady state.

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "data/loader.h"
+#include "obs/logging.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optim/optimizer.h"
 #include "util/check.h"
@@ -19,21 +21,38 @@ std::vector<double> TrainSslBaseline(SslBaseline* model,
   const core::TrainConfig& train = config.train;
   optim::AdamW optimizer(model->TrainableParameters(), train.learning_rate,
                          train.weight_decay);
-  data::BatchIterator batches(source.size(), train.batch_size,
-                              /*shuffle=*/true, rng);
+  data::DataLoaderOptions loader_options;
+  loader_options.batch_size = train.batch_size;
+  loader_options.shuffle = true;
+  loader_options.prefetch_depth = train.prefetch_depth;
+  data::DataLoader loader(source, loader_options, rng);
+  static obs::Counter& skipped_small = obs::Registry::Global().GetCounter(
+      "train.batches_skipped_small");
+  bool warned_small = false;
   std::vector<double> history;
   model->Train();
-  std::vector<int64_t> indices;
+  data::Batch batch;
   for (int64_t epoch = 0; epoch < train.epochs; ++epoch) {
     TIMEDRL_TRACE_SCOPE_CAT("baseline/epoch", "train");
     double total = 0.0;
     double grad_norm_sum = 0.0;
     int64_t steps = 0;
-    batches.Reset();
-    while (batches.Next(&indices)) {
-      if (static_cast<int64_t>(indices.size()) < 2) continue;
+    loader.Reset();
+    while (loader.Next(&batch)) {
+      // Batch-normalized baseline heads need >= 2 samples, like the
+      // pretrainer; dropped batches are counted, not lost silently.
+      if (batch.size() < 2) {
+        skipped_small.Increment();
+        if (!warned_small) {
+          TIMEDRL_LOG_WARNING
+              << "dropping a batch of " << batch.size()
+              << " sample(s) (counted in train.batches_skipped_small)";
+          warned_small = true;
+        }
+        continue;
+      }
       TIMEDRL_TRACE_SCOPE_CAT("baseline/step", "train");
-      Tensor loss = model->PretextLoss(source.GetWindows(indices));
+      Tensor loss = model->PretextLoss(batch.x);
       optimizer.ZeroGrad();
       loss.Backward();
       const float grad_norm =
@@ -45,7 +64,7 @@ std::vector<double> TrainSslBaseline(SslBaseline* model,
         obs::StepStats step_stats;
         step_stats.epoch = epoch;
         step_stats.step = steps;
-        step_stats.batch_size = static_cast<int64_t>(indices.size());
+        step_stats.batch_size = batch.size();
         step_stats.loss = loss.item();
         step_stats.grad_norm = grad_norm;
         step_stats.learning_rate = train.learning_rate;
@@ -79,15 +98,18 @@ void TrainEndToEnd(EndToEndForecaster* model,
   const core::TrainConfig& tc = config.train;
   optim::AdamW optimizer(model->Parameters(), tc.learning_rate,
                          tc.weight_decay);
-  data::BatchIterator batches(train.size(), tc.batch_size,
-                              /*shuffle=*/true, rng);
+  data::ForecastingBatchSource batch_source(&train);
+  data::DataLoaderOptions loader_options;
+  loader_options.batch_size = tc.batch_size;
+  loader_options.shuffle = true;
+  loader_options.prefetch_depth = tc.prefetch_depth;
+  data::DataLoader loader(batch_source, loader_options, rng);
   model->Train();
-  std::vector<int64_t> indices;
+  data::Batch batch;
   for (int64_t epoch = 0; epoch < tc.epochs; ++epoch) {
-    batches.Reset();
-    while (batches.Next(&indices)) {
-      auto [x, y] = train.GetBatch(indices);
-      Tensor loss = MseLoss(model->Forecast(x), y);
+    loader.Reset();
+    while (loader.Next(&batch)) {
+      Tensor loss = MseLoss(model->Forecast(batch.x), batch.y);
       optimizer.ZeroGrad();
       loss.Backward();
       optim::ClipGradNorm(optimizer.parameters(), tc.clip_norm);
@@ -105,13 +127,15 @@ core::ForecastMetrics EvaluateEndToEnd(EndToEndForecaster* model,
   double absolute = 0.0;
   int64_t count = 0;
   Rng throwaway(0);
-  data::BatchIterator batches(test.size(), 64, /*shuffle=*/false, throwaway);
-  std::vector<int64_t> indices;
-  while (batches.Next(&indices)) {
-    auto [x, y] = test.GetBatch(indices);
-    Tensor prediction = model->Forecast(x);
+  data::ForecastingBatchSource batch_source(&test);
+  data::DataLoaderOptions loader_options;
+  loader_options.batch_size = 64;
+  data::DataLoader loader(batch_source, loader_options, throwaway);
+  data::Batch batch;
+  while (loader.Next(&batch)) {
+    Tensor prediction = model->Forecast(batch.x);
     const std::vector<float>& p = prediction.data();
-    const std::vector<float>& t = y.data();
+    const std::vector<float>& t = batch.y.data();
     for (size_t i = 0; i < p.size(); ++i) {
       const double d = double{p[i]} - double{t[i]};
       squared += d * d;
@@ -152,16 +176,19 @@ void BaselineForecastProbe::Train(const data::ForecastingWindows& train,
   const core::TrainConfig& tc = config.train;
   optim::AdamW optimizer(head_->Parameters(), tc.learning_rate,
                          tc.weight_decay);
-  data::BatchIterator batches(train.size(), tc.batch_size,
-                              /*shuffle=*/true, rng);
+  data::ForecastingBatchSource batch_source(&train);
+  data::DataLoaderOptions loader_options;
+  loader_options.batch_size = tc.batch_size;
+  loader_options.shuffle = true;
+  loader_options.prefetch_depth = tc.prefetch_depth;
+  data::DataLoader loader(batch_source, loader_options, rng);
   model_->Eval();
   head_->Train();
-  std::vector<int64_t> indices;
+  data::Batch batch;
   for (int64_t epoch = 0; epoch < tc.epochs; ++epoch) {
-    batches.Reset();
-    while (batches.Next(&indices)) {
-      auto [x, y] = train.GetBatch(indices);
-      Tensor loss = MseLoss(Predict(x), y);
+    loader.Reset();
+    while (loader.Next(&batch)) {
+      Tensor loss = MseLoss(Predict(batch.x), batch.y);
       optimizer.ZeroGrad();
       loss.Backward();
       optimizer.Step();
@@ -179,13 +206,15 @@ core::ForecastMetrics BaselineForecastProbe::Evaluate(
   double absolute = 0.0;
   int64_t count = 0;
   Rng throwaway(0);
-  data::BatchIterator batches(test.size(), 64, /*shuffle=*/false, throwaway);
-  std::vector<int64_t> indices;
-  while (batches.Next(&indices)) {
-    auto [x, y] = test.GetBatch(indices);
-    Tensor prediction = Predict(x);
+  data::ForecastingBatchSource batch_source(&test);
+  data::DataLoaderOptions loader_options;
+  loader_options.batch_size = 64;
+  data::DataLoader loader(batch_source, loader_options, throwaway);
+  data::Batch batch;
+  while (loader.Next(&batch)) {
+    Tensor prediction = Predict(batch.x);
     const std::vector<float>& p = prediction.data();
-    const std::vector<float>& t = y.data();
+    const std::vector<float>& t = batch.y.data();
     for (size_t i = 0; i < p.size(); ++i) {
       const double d = double{p[i]} - double{t[i]};
       squared += d * d;
@@ -210,21 +239,24 @@ void BaselineClassifyProbe::Train(const data::ClassificationDataset& train,
   const core::TrainConfig& tc = config.train;
   optim::AdamW optimizer(head_->Parameters(), tc.learning_rate,
                          tc.weight_decay);
-  data::BatchIterator batches(train.size(), tc.batch_size,
-                              /*shuffle=*/true, rng);
+  data::ClassificationBatchSource batch_source(&train);
+  data::DataLoaderOptions loader_options;
+  loader_options.batch_size = tc.batch_size;
+  loader_options.shuffle = true;
+  loader_options.prefetch_depth = tc.prefetch_depth;
+  data::DataLoader loader(batch_source, loader_options, rng);
   model_->Eval();
   head_->Train();
-  std::vector<int64_t> indices;
+  data::Batch batch;
   for (int64_t epoch = 0; epoch < tc.epochs; ++epoch) {
-    batches.Reset();
-    while (batches.Next(&indices)) {
-      auto [x, labels] = train.GetBatch(indices);
+    loader.Reset();
+    while (loader.Next(&batch)) {
       Tensor features;
       {
         NoGradGuard guard;
-        features = model_->EncodeInstance(x);
+        features = model_->EncodeInstance(batch.x);
       }
-      Tensor loss = CrossEntropy(head_->Forward(features), labels);
+      Tensor loss = CrossEntropy(head_->Forward(features), batch.labels);
       optimizer.ZeroGrad();
       loss.Backward();
       optimizer.Step();
@@ -240,13 +272,14 @@ core::ClassificationMetrics BaselineClassifyProbe::Evaluate(
   NoGradGuard guard;
   std::vector<int64_t> predictions;
   Rng throwaway(0);
-  data::BatchIterator batches(test.size(), 64, /*shuffle=*/false, throwaway);
-  std::vector<int64_t> indices;
-  while (batches.Next(&indices)) {
-    auto [x, labels] = test.GetBatch(indices);
-    (void)labels;
+  data::ClassificationBatchSource batch_source(&test);
+  data::DataLoaderOptions loader_options;
+  loader_options.batch_size = 64;
+  data::DataLoader loader(batch_source, loader_options, throwaway);
+  data::Batch batch;
+  while (loader.Next(&batch)) {
     std::vector<int64_t> batch_predictions =
-        ArgMax(head_->Forward(model_->EncodeInstance(x)), 1);
+        ArgMax(head_->Forward(model_->EncodeInstance(batch.x)), 1);
     predictions.insert(predictions.end(), batch_predictions.begin(),
                        batch_predictions.end());
   }

@@ -31,6 +31,15 @@ constexpr char kFilePrefix[] = "checkpoint-";
 constexpr char kFileSuffix[] = ".tdrl";
 constexpr uint32_t kMaxRank = 16;
 
+const std::string* FindStream(
+    const std::vector<std::pair<std::string, std::string>>& streams,
+    std::string_view name) {
+  for (const auto& [key, value] : streams) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
 Status Corrupt(const std::string& message) {
   return Status::Error(StatusCode::kCorruptData, message);
 }
@@ -305,6 +314,29 @@ void SyncPath(const std::string& path) {
 }
 
 }  // namespace
+
+void TrainingState::SetLoaderState(const data::DataLoader::State& loader) {
+  rng_streams.erase(
+      std::remove_if(rng_streams.begin(), rng_streams.end(),
+                     [](const auto& entry) {
+                       return entry.first == kLoaderShuffleRngName ||
+                              entry.first == kLoaderAugmentRngName;
+                     }),
+      rng_streams.end());
+  rng_streams.emplace_back(kLoaderShuffleRngName, loader.shuffle_rng);
+  rng_streams.emplace_back(kLoaderAugmentRngName, loader.augment_rng);
+}
+
+bool TrainingState::GetLoaderState(data::DataLoader::State* loader) const {
+  const std::string* shuffle =
+      FindStream(rng_streams, kLoaderShuffleRngName);
+  const std::string* augment =
+      FindStream(rng_streams, kLoaderAugmentRngName);
+  if (shuffle == nullptr || augment == nullptr) return false;
+  loader->shuffle_rng = *shuffle;
+  loader->augment_rng = *augment;
+  return true;
+}
 
 CheckpointManager::CheckpointManager(std::string directory, int64_t keep_last)
     : directory_(std::move(directory)), keep_last_(keep_last) {

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "data/loader.h"
 #include "nn/module.h"
 #include "nn/serialize.h"
 #include "optim/optimizer.h"
@@ -36,6 +37,13 @@
 #include "util/status.h"
 
 namespace timedrl::core {
+
+/// Names of the data-loader RNG streams inside a checkpoint's rng_streams
+/// section. Chosen when the loop owned two loose streams ("loop.batches" =
+/// shuffle order, "loop.augment" = augmentation); kept verbatim so v2
+/// checkpoints written before the DataLoader existed still resume.
+inline constexpr char kLoaderShuffleRngName[] = "loop.batches";
+inline constexpr char kLoaderAugmentRngName[] = "loop.augment";
 
 /// Loop-level state stored next to the model in a v2 checkpoint.
 struct TrainingState {
@@ -47,10 +55,19 @@ struct TrainingState {
   /// anomaly-guard backoff).
   float learning_rate = 0.0f;
   optim::OptimizerState optimizer;
-  /// Serialized loop RNG streams by name (batch shuffler, augmentation).
+  /// Serialized loop RNG streams by name (the data loader's shuffle and
+  /// augmentation streams; see the constants above).
   std::vector<std::pair<std::string, std::string>> rng_streams;
   /// Per-epoch metric series by name (e.g. pretrain loss components).
   std::vector<std::pair<std::string, std::vector<double>>> history;
+
+  /// Stores a DataLoader snapshot in rng_streams (replacing any previous
+  /// loader entries).
+  void SetLoaderState(const data::DataLoader::State& loader);
+
+  /// Extracts a DataLoader snapshot from rng_streams. False when either
+  /// stream is missing (e.g. a state populated by hand).
+  bool GetLoaderState(data::DataLoader::State* loader) const;
 };
 
 /// Header/footer summary of a checkpoint file, for `checkpoint-inspect`.

@@ -114,8 +114,12 @@ void ForecastingPipeline::Train(const data::ForecastingWindows& train,
   optim::AdamW optimizer(
       CollectParameters(head_.get(), model_, config.fine_tune_encoder),
       tc.learning_rate, tc.weight_decay);
-  data::BatchIterator batches(train.size(), tc.batch_size,
-                              /*shuffle=*/true, rng);
+  data::ForecastingBatchSource batch_source(&train);
+  data::DataLoaderOptions loader_options;
+  loader_options.batch_size = tc.batch_size;
+  loader_options.shuffle = true;
+  loader_options.prefetch_depth = tc.prefetch_depth;
+  data::DataLoader loader(batch_source, loader_options, rng);
 
   if (config.fine_tune_encoder) {
     model_->Train();
@@ -124,18 +128,17 @@ void ForecastingPipeline::Train(const data::ForecastingWindows& train,
   }
   head_->Train();
 
-  std::vector<int64_t> indices;
+  data::Batch batch;
   for (int64_t epoch = 0; epoch < tc.epochs; ++epoch) {
     TIMEDRL_TRACE_SCOPE_CAT("forecast/epoch", "train");
     double total = 0.0;
     double grad_norm_sum = 0.0;
     int64_t steps = 0;
-    batches.Reset();
-    while (batches.Next(&indices)) {
+    loader.Reset();
+    while (loader.Next(&batch)) {
       TIMEDRL_TRACE_SCOPE_CAT("forecast/step", "train");
-      auto [x, y] = train.GetBatch(indices);
-      Tensor prediction = Predict(x, config.fine_tune_encoder);
-      Tensor loss = MseLoss(prediction, y);
+      Tensor prediction = Predict(batch.x, config.fine_tune_encoder);
+      Tensor loss = MseLoss(prediction, batch.y);
       optimizer.ZeroGrad();
       loss.Backward();
       const float grad_norm =
@@ -143,8 +146,7 @@ void ForecastingPipeline::Train(const data::ForecastingWindows& train,
       optimizer.Step();
       total += loss.item();
       grad_norm_sum += grad_norm;
-      ReportStep(tc, epoch, steps, static_cast<int64_t>(indices.size()),
-                 loss.item(), grad_norm);
+      ReportStep(tc, epoch, steps, batch.size(), loss.item(), grad_norm);
       ++steps;
     }
     ReportEpoch(tc, "forecast head", "mse", epoch, steps, total / steps,
@@ -164,14 +166,15 @@ ForecastMetrics ForecastingPipeline::Evaluate(
   double absolute = 0.0;
   int64_t count = 0;
   Rng throwaway(0);
-  data::BatchIterator batches(test.size(), /*batch_size=*/64,
-                              /*shuffle=*/false, throwaway);
-  std::vector<int64_t> indices;
-  while (batches.Next(&indices)) {
-    auto [x, y] = test.GetBatch(indices);
-    Tensor prediction = Predict(x, /*with_grad=*/false);
+  data::ForecastingBatchSource batch_source(&test);
+  data::DataLoaderOptions loader_options;
+  loader_options.batch_size = 64;
+  data::DataLoader loader(batch_source, loader_options, throwaway);
+  data::Batch batch;
+  while (loader.Next(&batch)) {
+    Tensor prediction = Predict(batch.x, /*with_grad=*/false);
     const std::vector<float>& p = prediction.data();
-    const std::vector<float>& t = y.data();
+    const std::vector<float>& t = batch.y.data();
     for (size_t i = 0; i < p.size(); ++i) {
       const double d = double{p[i]} - double{t[i]};
       squared += d * d;
@@ -215,8 +218,12 @@ void ClassificationPipeline::Train(const data::ClassificationDataset& train,
   optim::AdamW optimizer(
       CollectParameters(head_.get(), model_, config.fine_tune_encoder),
       tc.learning_rate, tc.weight_decay);
-  data::BatchIterator batches(train.size(), tc.batch_size,
-                              /*shuffle=*/true, rng);
+  data::ClassificationBatchSource batch_source(&train);
+  data::DataLoaderOptions loader_options;
+  loader_options.batch_size = tc.batch_size;
+  loader_options.shuffle = true;
+  loader_options.prefetch_depth = tc.prefetch_depth;
+  data::DataLoader loader(batch_source, loader_options, rng);
 
   if (config.fine_tune_encoder) {
     model_->Train();
@@ -225,18 +232,17 @@ void ClassificationPipeline::Train(const data::ClassificationDataset& train,
   }
   head_->Train();
 
-  std::vector<int64_t> indices;
+  data::Batch batch;
   for (int64_t epoch = 0; epoch < tc.epochs; ++epoch) {
     TIMEDRL_TRACE_SCOPE_CAT("classify/epoch", "train");
     double total = 0.0;
     double grad_norm_sum = 0.0;
     int64_t steps = 0;
-    batches.Reset();
-    while (batches.Next(&indices)) {
+    loader.Reset();
+    while (loader.Next(&batch)) {
       TIMEDRL_TRACE_SCOPE_CAT("classify/step", "train");
-      auto [x, labels] = train.GetBatch(indices);
-      Tensor loss =
-          CrossEntropy(Logits(x, config.fine_tune_encoder), labels);
+      Tensor loss = CrossEntropy(Logits(batch.x, config.fine_tune_encoder),
+                                 batch.labels);
       optimizer.ZeroGrad();
       loss.Backward();
       const float grad_norm =
@@ -244,8 +250,7 @@ void ClassificationPipeline::Train(const data::ClassificationDataset& train,
       optimizer.Step();
       total += loss.item();
       grad_norm_sum += grad_norm;
-      ReportStep(tc, epoch, steps, static_cast<int64_t>(indices.size()),
-                 loss.item(), grad_norm);
+      ReportStep(tc, epoch, steps, batch.size(), loss.item(), grad_norm);
       ++steps;
     }
     ReportEpoch(tc, "classify head", "ce", epoch, steps, total / steps,
@@ -263,13 +268,13 @@ std::vector<int64_t> ClassificationPipeline::Predict(
   std::vector<int64_t> predictions;
   predictions.reserve(dataset.size());
   Rng throwaway(0);
-  data::BatchIterator batches(dataset.size(), /*batch_size=*/64,
-                              /*shuffle=*/false, throwaway);
-  std::vector<int64_t> indices;
-  while (batches.Next(&indices)) {
-    auto [x, labels] = dataset.GetBatch(indices);
-    (void)labels;
-    Tensor logits = Logits(x, /*with_grad=*/false);
+  data::ClassificationBatchSource batch_source(&dataset);
+  data::DataLoaderOptions loader_options;
+  loader_options.batch_size = 64;
+  data::DataLoader loader(batch_source, loader_options, throwaway);
+  data::Batch batch;
+  while (loader.Next(&batch)) {
+    Tensor logits = Logits(batch.x, /*with_grad=*/false);
     std::vector<int64_t> batch_predictions = ArgMax(logits, 1);
     predictions.insert(predictions.end(), batch_predictions.begin(),
                        batch_predictions.end());

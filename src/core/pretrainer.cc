@@ -16,15 +16,6 @@
 #include "util/fault_inject.h"
 
 namespace timedrl::core {
-namespace {
-
-// Names of the loop-level RNG streams inside a checkpoint. The model's own
-// streams (dropout) travel in the mutable-state section under their module
-// paths.
-constexpr char kBatchRngName[] = "loop.batches";
-constexpr char kAugmentRngName[] = "loop.augment";
-
-}  // namespace
 
 PretrainHistory Pretrain(TimeDrlModel* model,
                          const UnlabeledWindowSource& source,
@@ -35,9 +26,16 @@ PretrainHistory Pretrain(TimeDrlModel* model,
 
   optim::AdamW optimizer(model->Parameters(), train.learning_rate,
                          train.weight_decay);
-  data::BatchIterator batches(source.size(), train.batch_size,
-                              /*shuffle=*/true, rng, /*drop_last=*/false);
-  Rng augment_rng = rng.Fork();
+  data::DataLoaderOptions loader_options;
+  loader_options.batch_size = train.batch_size;
+  loader_options.shuffle = true;
+  loader_options.prefetch_depth = train.prefetch_depth;
+  // Ablation path (Table VI): the loader assembles the two augmented views
+  // alongside x, off the compute thread when prefetching. kNone — TimeDRL
+  // proper — leaves the views undefined.
+  loader_options.augmentation = config.augmentation;
+  loader_options.augment_config = config.augment_config;
+  data::DataLoader loader(source, loader_options, rng);
 
   std::unique_ptr<CheckpointManager> checkpoints;
   if (!train.checkpoint.directory.empty()) {
@@ -59,8 +57,7 @@ PretrainHistory Pretrain(TimeDrlModel* model,
     state.global_step = global_step;
     state.learning_rate = learning_rate;
     state.optimizer = optimizer.GetState();
-    state.rng_streams = {{kBatchRngName, batches.rng().Serialize()},
-                         {kAugmentRngName, augment_rng.Serialize()}};
+    state.SetLoaderState(loader.CaptureState());
     state.history = {{"total", history.total},
                      {"predictive", history.predictive},
                      {"contrastive", history.contrastive}};
@@ -72,14 +69,13 @@ PretrainHistory Pretrain(TimeDrlModel* model,
   auto restore = [&](const TrainingState& state) {
     Status status = optimizer.SetState(state.optimizer);
     TIMEDRL_CHECK(status.ok()) << status.ToString();
-    for (const auto& [name, stream] : state.rng_streams) {
-      Rng* target = nullptr;
-      if (name == kBatchRngName) target = &batches.rng();
-      if (name == kAugmentRngName) target = &augment_rng;
-      TIMEDRL_CHECK(target != nullptr) << "unknown RNG stream " << name;
-      TIMEDRL_CHECK(target->Deserialize(stream))
-          << "malformed RNG stream " << name;
-    }
+    data::DataLoader::State loader_state;
+    TIMEDRL_CHECK(state.GetLoaderState(&loader_state))
+        << "checkpoint is missing the data-loader RNG streams";
+    // Cancels any prefetched batches from the abandoned epoch and rewinds
+    // both streams; the loop-top Reset() then replays the captured order.
+    TIMEDRL_CHECK(loader.RestoreState(loader_state))
+        << "malformed data-loader RNG stream in checkpoint";
     epoch = state.epoch;
     global_step = state.global_step;
     learning_rate = state.learning_rate;
@@ -129,7 +125,10 @@ PretrainHistory Pretrain(TimeDrlModel* model,
   }
 
   model->Train();
-  std::vector<int64_t> indices;
+  static obs::Counter& skipped_small = obs::Registry::Global().GetCounter(
+      "train.batches_skipped_small");
+  bool warned_small = false;
+  data::Batch batch;
   while (epoch < train.epochs && !history.aborted) {
     TIMEDRL_TRACE_SCOPE_CAT("pretrain/epoch", "train");
     double total = 0.0;
@@ -139,24 +138,32 @@ PretrainHistory Pretrain(TimeDrlModel* model,
     int64_t steps = 0;
     int64_t skipped = 0;
     bool rolled_back = false;
-    batches.Reset();
-    while (batches.Next(&indices)) {
-      // BatchNorm in the contrastive head needs at least two samples.
-      if (static_cast<int64_t>(indices.size()) < 2) continue;
+    loader.Reset();
+    while (loader.Next(&batch)) {
+      // BatchNorm in the contrastive head needs at least two samples. Such
+      // batches are dropped, not trained on — surface that instead of
+      // losing them silently.
+      if (batch.size() < 2) {
+        skipped_small.Increment();
+        if (!warned_small) {
+          TIMEDRL_LOG_WARNING
+              << "dropping a batch of " << batch.size()
+              << " sample(s): the contrastive head's BatchNorm needs >= 2 "
+                 "(counted in train.batches_skipped_small; warning once per "
+                 "run)";
+          warned_small = true;
+        }
+        continue;
+      }
       TIMEDRL_TRACE_SCOPE_CAT("pretrain/step", "train");
-      Tensor x = source.GetWindows(indices);
       TimeDrlModel::PretextOutput output;
-      if (config.augmentation != augment::Kind::kNone) {
+      if (batch.has_views) {
         // Ablation path: the augmentation creates the two views (each draw
         // is independent), injecting its transformation-invariance into the
         // contrastive task — exactly the inductive bias TimeDRL avoids.
-        Tensor view1 = augment::Apply(config.augmentation, x,
-                                      config.augment_config, augment_rng);
-        Tensor view2 = augment::Apply(config.augmentation, x,
-                                      config.augment_config, augment_rng);
-        output = model->PretextStepViews(view1, view2);
+        output = model->PretextStepViews(batch.view1, batch.view2);
       } else {
-        output = model->PretextStep(x);
+        output = model->PretextStep(batch.x);
       }
       if (fault::Enabled() && fault::At("pretrain_nan_loss")) {
         // Poison the actual loss tensor so detection runs through the same
@@ -217,7 +224,7 @@ PretrainHistory Pretrain(TimeDrlModel* model,
         obs::StepStats step_stats;
         step_stats.epoch = epoch;
         step_stats.step = steps;
-        step_stats.batch_size = static_cast<int64_t>(indices.size());
+        step_stats.batch_size = batch.size();
         step_stats.loss = loss;
         step_stats.grad_norm = grad_norm;
         step_stats.learning_rate = learning_rate;

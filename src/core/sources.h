@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "data/loader.h"
 #include "data/patching.h"
 #include "data/time_series.h"
 #include "data/windows.h"
@@ -14,11 +15,16 @@
 namespace timedrl::core {
 
 /// Uniform view over any dataset that can hand out raw [B, T, C] windows.
-class UnlabeledWindowSource {
+/// Doubles as a data::BatchSource so pre-training loops feed it straight
+/// into a data::DataLoader: Fill() materializes the windows as `batch->x`.
+class UnlabeledWindowSource : public data::BatchSource {
  public:
-  virtual ~UnlabeledWindowSource() = default;
-  virtual int64_t size() const = 0;
   virtual Tensor GetWindows(const std::vector<int64_t>& indices) const = 0;
+
+  void Fill(const std::vector<int64_t>& indices,
+            data::Batch* batch) const override {
+    batch->x = GetWindows(indices);
+  }
 };
 
 /// Forecasting windows; optionally applies the channel-independence

@@ -45,6 +45,10 @@ struct TrainConfig {
   float weight_decay = 1e-4f;
   /// Global gradient-norm clip applied before each optimizer step.
   float clip_norm = 5.0f;
+  /// Batches the data pipeline assembles ahead of the compute loop
+  /// (data::DataLoader). 0 = synchronous; < 0 = read TIMEDRL_PREFETCH_DEPTH
+  /// (default 2). Any depth produces bitwise-identical results.
+  int64_t prefetch_depth = -1;
   /// Progress sink (not owned; must outlive the loop). nullptr = silent;
   /// obs::ConsoleObserver restores the old `verbose=true` log lines.
   obs::TrainObserver* observer = nullptr;

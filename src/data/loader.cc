@@ -1,56 +1,255 @@
 #include "data/loader.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/buffer_pool.h"
 #include "util/check.h"
+#include "util/env.h"
 
 namespace timedrl::data {
+namespace {
+
+// Prefetch instrumentation. The histograms are fed unconditionally (unlike
+// the trace-gated op timers): a couple of clock reads per *batch* is noise
+// next to assembly itself, and the bench/tests read them with tracing off.
+obs::Counter& BatchesCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("prefetch.batches");
+  return counter;
+}
+
+obs::Histogram& AssembleHistogram() {
+  static obs::Histogram& histogram =
+      obs::Registry::Global().GetHistogram("prefetch.assemble_ns");
+  return histogram;
+}
+
+obs::Histogram& QueueWaitHistogram() {
+  static obs::Histogram& histogram =
+      obs::Registry::Global().GetHistogram("prefetch.queue_wait_ns");
+  return histogram;
+}
+
+}  // namespace
 
 std::vector<float> AcquireBatchStorage(int64_t numel) {
   return pool::AcquireUninit(numel);
 }
 
-BatchIterator::BatchIterator(int64_t dataset_size, int64_t batch_size,
-                             bool shuffle, Rng& rng, bool drop_last)
-    : dataset_size_(dataset_size),
-      batch_size_(batch_size),
-      shuffle_(shuffle),
-      drop_last_(drop_last),
-      rng_(rng.Fork()) {
-  TIMEDRL_CHECK_GE(dataset_size, 0);
-  TIMEDRL_CHECK_GT(batch_size, 0);
-  order_.resize(dataset_size);
-  for (int64_t i = 0; i < dataset_size; ++i) order_[i] = i;
+DataLoader::DataLoader(const BatchSource& source,
+                       const DataLoaderOptions& options, Rng& rng)
+    : source_(&source),
+      options_(options),
+      dataset_size_(source.size()),
+      // Fork order (shuffle, then augment) is part of the determinism
+      // contract: it matches the draws the pre-loader code made, so seeds
+      // reproduce historical runs.
+      shuffle_rng_(rng.Fork()),
+      augment_rng_(rng.Fork()) {
+  TIMEDRL_CHECK_GE(dataset_size_, 0);
+  TIMEDRL_CHECK_GT(options_.batch_size, 0);
+  limit_ = options_.drop_last
+               ? (dataset_size_ / options_.batch_size) * options_.batch_size
+               : dataset_size_;
+  depth_ = options_.prefetch_depth >= 0
+               ? options_.prefetch_depth
+               : util::Env::GetInt("TIMEDRL_PREFETCH_DEPTH", 2,
+                                   /*min_value=*/0, /*max_value=*/1024);
+  obs::Registry::Global().GetGauge("prefetch.depth").Set(
+      static_cast<double>(depth_));
+  order_.resize(dataset_size_);
+  for (int64_t i = 0; i < dataset_size_; ++i) order_[i] = i;
   Reset();
+  if (depth_ > 0 && limit_ > 0) {
+    producer_ = std::thread([this] { ProducerLoop(); });
+  }
 }
 
-void BatchIterator::Reset() {
-  cursor_ = 0;
-  if (shuffle_) {
+DataLoader::~DataLoader() {
+  if (producer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+      ++generation_;
+    }
+    producer_wake_.notify_all();
+    producer_.join();
+  }
+}
+
+void DataLoader::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CancelLocked();
+  if (options_.shuffle) {
     // Shuffle from the identity permutation so the epoch's order is a pure
     // function of the RNG state. An in-place shuffle would also depend on
     // the previous epoch's order — state a checkpoint does not carry — and
     // break bitwise resume determinism.
     for (int64_t i = 0; i < dataset_size_; ++i) order_[i] = i;
-    rng_.Shuffle(order_);
+    shuffle_rng_.Shuffle(order_);
   }
 }
 
-bool BatchIterator::Next(std::vector<int64_t>* batch) {
-  batch->clear();
-  if (cursor_ >= dataset_size_) return false;
-  const int64_t remaining = dataset_size_ - cursor_;
-  const int64_t take = std::min(batch_size_, remaining);
-  if (drop_last_ && take < batch_size_) return false;
-  batch->assign(order_.begin() + cursor_, order_.begin() + cursor_ + take);
+void DataLoader::CancelLocked() {
+  ++generation_;
+  started_ = false;
+  cursor_ = 0;
+  // Drain queued batches into the spare pool: an abandoned epoch (anomaly
+  // rollback, early destruction) must not leak its prefetched storage.
+  while (!queue_.empty()) {
+    spare_.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+}
+
+bool DataLoader::TakeClaimLocked(Claim* claim) {
+  if (cursor_ >= limit_) return false;
+  const int64_t take = std::min(options_.batch_size, limit_ - cursor_);
+  if (!spare_.empty()) {
+    claim->shell = std::move(spare_.back());
+    spare_.pop_back();
+  }
+  claim->shell.indices.assign(order_.begin() + cursor_,
+                              order_.begin() + cursor_ + take);
   cursor_ += take;
+  if (options_.augmentation != augment::Kind::kNone) {
+    // Pre-fork the per-batch augmentation sub-stream here, in batch order,
+    // under the lock — the only place the augment stream advances. Assembly
+    // (possibly concurrent, possibly out of order relative to consumption)
+    // then draws from the private sub-stream, so depth and thread timing
+    // cannot change any draw.
+    claim->augment = augment_rng_.Fork();
+    claim->has_augment = true;
+  }
+  claim->generation = generation_;
   return true;
 }
 
-int64_t BatchIterator::NumBatches() const {
-  if (drop_last_) return dataset_size_ / batch_size_;
-  return (dataset_size_ + batch_size_ - 1) / batch_size_;
+void DataLoader::Assemble(Claim* claim) const {
+  TIMEDRL_TRACE_SCOPE_CAT("data/prefetch", "data");
+  const int64_t start_ns = obs::TraceNowNs();
+  // Batch tensors are plain leaves: no autograd graph, bitwise-identical
+  // forward, and trivially destructible on whichever thread drops them.
+  NoGradGuard guard;
+  Batch& shell = claim->shell;
+  // Release the recycled shell's previous tensors first: their buffers land
+  // in this thread's pool cache and the refill below re-acquires the same
+  // geometry without touching the global pool.
+  shell.x = Tensor();
+  shell.y = Tensor();
+  shell.view1 = Tensor();
+  shell.view2 = Tensor();
+  shell.has_views = false;
+  shell.labels.clear();
+  source_->Fill(shell.indices, &shell);
+  if (claim->has_augment) {
+    // Two independent draws from the batch's private sub-stream — the
+    // Table VI ablation contract (each view is its own transformation).
+    shell.view1 = augment::Apply(options_.augmentation, shell.x,
+                                 options_.augment_config, claim->augment);
+    shell.view2 = augment::Apply(options_.augmentation, shell.x,
+                                 options_.augment_config, claim->augment);
+    shell.has_views = true;
+  }
+  AssembleHistogram().Observe(
+      static_cast<double>(obs::TraceNowNs() - start_ns));
+  BatchesCounter().Increment();
+}
+
+void DataLoader::RecycleLocked(Batch* batch) {
+  spare_.push_back(std::move(*batch));
+  *batch = Batch();
+  // Callers that hand in a fresh Batch every epoch would otherwise grow the
+  // pool without bound; past the circulating set, old shells can go.
+  const size_t cap = static_cast<size_t>(depth_) + 2;
+  if (spare_.size() > cap) spare_.erase(spare_.begin());
+}
+
+bool DataLoader::Next(Batch* out) {
+  if (depth_ == 0) {
+    // Synchronous fallback: the same claim + assemble path, inline.
+    Claim claim;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      RecycleLocked(out);
+      if (!TakeClaimLocked(&claim)) return false;
+    }
+    Assemble(&claim);
+    *out = std::move(claim.shell);
+    return true;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  RecycleLocked(out);
+  if (!started_ && cursor_ < limit_) {
+    started_ = true;
+    producer_wake_.notify_one();
+  }
+  const uint64_t gen = generation_;
+  const int64_t wait_start_ns = obs::TraceNowNs();
+  consumer_wake_.wait(lock, [&] {
+    return generation_ != gen || !queue_.empty() ||
+           (cursor_ >= limit_ && in_flight_ == 0);
+  });
+  QueueWaitHistogram().Observe(
+      static_cast<double>(obs::TraceNowNs() - wait_start_ns));
+  if (generation_ != gen || queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  producer_wake_.notify_one();
+  return true;
+}
+
+void DataLoader::ProducerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    producer_wake_.wait(lock, [&] {
+      return shutdown_ ||
+             (started_ && cursor_ < limit_ &&
+              static_cast<int64_t>(queue_.size()) + in_flight_ < depth_);
+    });
+    if (shutdown_) return;
+    Claim claim;
+    TakeClaimLocked(&claim);
+    ++in_flight_;
+    lock.unlock();
+    Assemble(&claim);
+    lock.lock();
+    --in_flight_;
+    if (claim.generation == generation_ && !shutdown_) {
+      queue_.push_back(std::move(claim.shell));
+    } else {
+      // Stale result from a cancelled epoch: keep the storage, drop the
+      // batch. The consumer may be waiting on the epoch-done predicate.
+      spare_.push_back(std::move(claim.shell));
+    }
+    consumer_wake_.notify_one();
+  }
+}
+
+int64_t DataLoader::NumBatches() const {
+  if (options_.drop_last) return dataset_size_ / options_.batch_size;
+  return (dataset_size_ + options_.batch_size - 1) / options_.batch_size;
+}
+
+DataLoader::State DataLoader::CaptureState() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {shuffle_rng_.Serialize(), augment_rng_.Serialize()};
+}
+
+bool DataLoader::RestoreState(const State& state) {
+  Rng shuffle;
+  Rng augment;
+  if (!shuffle.Deserialize(state.shuffle_rng)) return false;
+  if (!augment.Deserialize(state.augment_rng)) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  CancelLocked();
+  shuffle_rng_ = shuffle;
+  augment_rng_ = augment;
+  return true;
 }
 
 }  // namespace timedrl::data

@@ -1,12 +1,43 @@
-// Minibatch index iteration with optional shuffling, plus recycled storage
-// for assembling batch tensors.
+// The data pipeline: batch sources, assembled batches, and a prefetching
+// DataLoader that overlaps batch assembly with compute.
+//
+// A BatchSource materializes the payload for one index set; the DataLoader
+// owns iteration order (optional shuffling), optional raw-input
+// augmentation, and — when TIMEDRL_PREFETCH_DEPTH > 0 — a background
+// producer thread that assembles up to `depth` batches ahead into a bounded
+// queue while the training loop runs forward/backward on the previous one.
+//
+// Determinism contract (see DESIGN.md §14): every random draw the loader
+// makes is a pure function of its two private RNG streams, independent of
+// prefetch depth and thread timing. The shuffle stream is consumed only by
+// Reset() on the calling thread; the augmentation stream is consumed only
+// by forking one sub-stream per batch, in batch order, under the loader
+// lock at claim time — the fork happens before assembly runs, so a producer
+// racing ahead cannot reorder draws. Depth 0 runs the exact same claim +
+// assemble code inline, which is why prefetch-on and prefetch-off runs are
+// bitwise identical.
+//
+// Checkpoint/resume: CaptureState()/RestoreState() serialize the two
+// streams. Capture at a quiescent point (after construction, or after
+// Next() returned false); restoring cancels any in-flight production and
+// rewinds both streams, and the following Reset() replays the captured
+// run's order exactly.
 
 #ifndef TIMEDRL_DATA_LOADER_H_
 #define TIMEDRL_DATA_LOADER_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "augment/augment.h"
+#include "data/time_series.h"
+#include "data/windows.h"
+#include "tensor/tensor.h"
 #include "util/rng.h"
 
 namespace timedrl::data {
@@ -19,36 +50,180 @@ namespace timedrl::data {
 /// allocating fresh storage every iteration.
 std::vector<float> AcquireBatchStorage(int64_t numel);
 
-/// Yields index batches over [0, dataset_size). With `shuffle`, the order is
-/// re-randomized by each Reset(). The final short batch is kept unless
-/// `drop_last` is set.
-class BatchIterator {
- public:
-  BatchIterator(int64_t dataset_size, int64_t batch_size, bool shuffle,
-                Rng& rng, bool drop_last = false);
+/// One assembled minibatch. Which fields are populated depends on the
+/// source (targets, labels) and the loader options (views).
+struct Batch {
+  /// Dataset indices this batch covers, in iteration order.
+  std::vector<int64_t> indices;
+  /// Inputs, [B, T, C] (after any source-side transform).
+  Tensor x;
+  /// Forecasting targets [B, H, C]; undefined for label/unlabeled sources.
+  Tensor y;
+  /// Classification labels; empty for other sources.
+  std::vector<int64_t> labels;
+  /// Two independently augmented views of `x` when the loader's
+  /// augmentation is not kNone (the Table VI ablation path).
+  Tensor view1;
+  Tensor view2;
+  bool has_views = false;
 
-  /// Starts a new epoch (reshuffles when enabled).
+  int64_t size() const { return static_cast<int64_t>(indices.size()); }
+};
+
+/// A dataset the DataLoader can draw from: a size and a payload filler.
+/// Fill() must be const-thread-safe — with prefetching it runs on the
+/// producer thread while the training loop owns the previous batch — and
+/// must populate the payload fields only (the loader manages `indices`,
+/// views, and storage recycling).
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+  virtual int64_t size() const = 0;
+  virtual void Fill(const std::vector<int64_t>& indices, Batch* batch) const = 0;
+};
+
+/// Forecasting windows as (x, y) batches.
+class ForecastingBatchSource : public BatchSource {
+ public:
+  explicit ForecastingBatchSource(const ForecastingWindows* windows)
+      : windows_(windows) {}
+
+  int64_t size() const override { return windows_->size(); }
+
+  void Fill(const std::vector<int64_t>& indices, Batch* batch) const override {
+    auto [x, y] = windows_->GetBatch(indices);
+    batch->x = x;
+    batch->y = y;
+  }
+
+ private:
+  const ForecastingWindows* windows_;
+};
+
+/// Labeled classification windows as (x, labels) batches.
+class ClassificationBatchSource : public BatchSource {
+ public:
+  explicit ClassificationBatchSource(const ClassificationDataset* dataset)
+      : dataset_(dataset) {}
+
+  int64_t size() const override { return dataset_->size(); }
+
+  void Fill(const std::vector<int64_t>& indices, Batch* batch) const override {
+    auto [x, labels] = dataset_->GetBatch(indices);
+    batch->x = x;
+    batch->labels = std::move(labels);
+  }
+
+ private:
+  const ClassificationDataset* dataset_;
+};
+
+struct DataLoaderOptions {
+  int64_t batch_size = 32;
+  /// Re-randomize iteration order at each Reset().
+  bool shuffle = false;
+  /// Drop the final short batch instead of yielding it.
+  bool drop_last = false;
+  /// Batches assembled ahead of the consumer. 0 = synchronous (no producer
+  /// thread); < 0 = read TIMEDRL_PREFETCH_DEPTH (default 2).
+  int64_t prefetch_depth = -1;
+  /// Raw-input augmentation producing batch.view1/view2. kNone (the
+  /// TimeDRL default) leaves the views undefined.
+  augment::Kind augmentation = augment::Kind::kNone;
+  augment::AugmentConfig augment_config;
+};
+
+/// Prefetching batch pipeline over a BatchSource. Single-consumer: Next()
+/// and Reset() must be called from one thread at a time.
+class DataLoader {
+ public:
+  /// Serialized shuffle + augmentation streams for checkpointing.
+  struct State {
+    std::string shuffle_rng;
+    std::string augment_rng;
+  };
+
+  /// Forks the loader's two private streams from `rng` (shuffle first, then
+  /// augmentation) and runs an initial Reset(). `source` is borrowed and
+  /// must outlive the loader.
+  DataLoader(const BatchSource& source, const DataLoaderOptions& options,
+             Rng& rng);
+  ~DataLoader();
+
+  DataLoader(const DataLoader&) = delete;
+  DataLoader& operator=(const DataLoader&) = delete;
+
+  /// Starts a new epoch: cancels any in-flight production and reshuffles
+  /// (when enabled) from the identity permutation, so the epoch's order is
+  /// a pure function of the shuffle stream's state.
   void Reset();
 
-  /// Fills `batch` with the next index set; false at epoch end.
-  bool Next(std::vector<int64_t>* batch);
+  /// Produces the next batch; false at epoch end (`out` is left empty).
+  /// The first call after Reset() starts background production.
+  bool Next(Batch* out);
 
   /// Batches per epoch.
   int64_t NumBatches() const;
 
-  /// The iterator's private shuffle stream (a fork of the constructor's
-  /// rng). Exposed so checkpoints can capture and restore it — resuming a
-  /// run must replay the exact shuffle order of the uninterrupted run.
-  Rng& rng() { return rng_; }
+  /// Resolved prefetch depth (0 = synchronous).
+  int64_t prefetch_depth() const { return depth_; }
+
+  /// Snapshot of the shuffle + augmentation streams. Call at a quiescent
+  /// point: after construction, or after Next() returned false — between
+  /// those, prefetched claims may already have advanced the augment stream.
+  State CaptureState() const;
+
+  /// Rewinds both streams to a captured snapshot, cancelling in-flight
+  /// production. False (and no state change) if either stream text is
+  /// malformed. Call Reset() afterwards to start iterating.
+  bool RestoreState(const State& state);
 
  private:
+  /// A unit of work handed to assembly: the recycled batch shell (indices
+  /// already filled) plus the pre-forked augmentation sub-stream.
+  struct Claim {
+    Batch shell;
+    Rng augment;
+    bool has_augment = false;
+    uint64_t generation = 0;
+  };
+
+  bool TakeClaimLocked(Claim* claim);
+  void Assemble(Claim* claim) const;
+  void RecycleLocked(Batch* batch);
+  void CancelLocked();
+  void ProducerLoop();
+
+  const BatchSource* source_;
+  DataLoaderOptions options_;
   int64_t dataset_size_;
-  int64_t batch_size_;
-  bool shuffle_;
-  bool drop_last_;
-  Rng rng_;
+  /// Index count iterated per epoch (excludes a dropped tail).
+  int64_t limit_;
+  int64_t depth_;
+  Rng shuffle_rng_;
+  Rng augment_rng_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable producer_wake_;
+  std::condition_variable consumer_wake_;
   std::vector<int64_t> order_;
   int64_t cursor_ = 0;
+  /// Bumped by Reset()/RestoreState()/shutdown; a producer finishing an
+  /// assembly from an older generation recycles it instead of queueing it.
+  uint64_t generation_ = 0;
+  /// Production starts lazily at the first Next() after a Reset(), so a
+  /// freshly constructed (or restored) loader is quiescent by construction.
+  bool started_ = false;
+  bool shutdown_ = false;
+  /// Claims taken but not yet queued or discarded.
+  int64_t in_flight_ = 0;
+  std::deque<Batch> queue_;
+  /// Consumed batch shells cycling back to assembly. Reusing a shell on the
+  /// producer thread returns its tensor buffers to that thread's pool cache
+  /// immediately before the refill acquires the same geometry — the
+  /// double-buffering that keeps steady-state epochs at zero allocations.
+  std::vector<Batch> spare_;
+  std::thread producer_;
 };
 
 }  // namespace timedrl::data

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "util/env.h"
+
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -68,24 +70,16 @@ std::chrono::steady_clock::time_point TraceEpoch() {
   return epoch;
 }
 
-bool EnvFlagSet(const char* name) {
-  const char* env = std::getenv(name);
-  return env != nullptr && env[0] != '\0' &&
-         !(env[0] == '0' && env[1] == '\0');
-}
-
 void ExportAtExit() {
-  const char* out = std::getenv("TIMEDRL_TRACE_OUT");
-  WriteChromeTraceFile(out != nullptr && out[0] != '\0'
-                           ? out
-                           : "timedrl_trace.json");
+  WriteChromeTraceFile(
+      util::Env::GetString("TIMEDRL_TRACE_OUT", "timedrl_trace.json"));
 }
 
 // Dynamic initializer: seeds the enabled flag from TIMEDRL_TRACE, anchors
 // the epoch, and arranges the end-of-process export for env-driven runs.
 const bool g_env_initialized = [] {
   TraceEpoch();
-  if (EnvFlagSet("TIMEDRL_TRACE")) {
+  if (util::Env::GetBool("TIMEDRL_TRACE", false)) {
     internal::g_trace_enabled.store(true, std::memory_order_relaxed);
     std::atexit(ExportAtExit);
   }

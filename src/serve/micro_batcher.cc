@@ -9,26 +9,15 @@
 #include "obs/trace.h"
 #include "tensor/buffer_pool.h"
 #include "util/check.h"
+#include "util/env.h"
 
 namespace timedrl::serve {
-namespace {
-
-int64_t EnvInt64(const char* name, int64_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  char* end = nullptr;
-  const long long parsed = std::strtoll(value, &end, 10);
-  if (end == value || *end != '\0' || parsed <= 0) return fallback;
-  return static_cast<int64_t>(parsed);
-}
-
-}  // namespace
-
 MicroBatcherOptions MicroBatcherOptions::FromEnv() {
   MicroBatcherOptions options;
-  options.max_batch = EnvInt64("TIMEDRL_SERVE_MAX_BATCH", options.max_batch);
-  options.max_delay_us =
-      EnvInt64("TIMEDRL_SERVE_MAX_DELAY_US", options.max_delay_us);
+  options.max_batch = util::Env::GetInt("TIMEDRL_SERVE_MAX_BATCH",
+                                        options.max_batch, /*min_value=*/1);
+  options.max_delay_us = util::Env::GetInt(
+      "TIMEDRL_SERVE_MAX_DELAY_US", options.max_delay_us, /*min_value=*/1);
   return options;
 }
 

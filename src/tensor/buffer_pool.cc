@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/env.h"
 
 namespace timedrl::pool {
 namespace {
@@ -89,11 +90,7 @@ ThreadCache& thread_cache() {
 }
 
 bool EnvEnabled() {
-  const char* env = std::getenv("TIMEDRL_POOL_DISABLE");
-  if (env == nullptr || env[0] == '\0' || (env[0] == '0' && env[1] == '\0')) {
-    return true;
-  }
-  return false;
+  return !util::Env::GetBool("TIMEDRL_POOL_DISABLE", false);
 }
 
 std::atomic<bool>& enabled_flag() {

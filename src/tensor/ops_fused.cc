@@ -16,6 +16,7 @@
 #include "tensor/kernels/fused.h"
 #include "tensor/ops.h"
 #include "util/check.h"
+#include "util/env.h"
 
 namespace timedrl {
 
@@ -41,8 +42,7 @@ namespace fusion {
 namespace {
 
 std::atomic<bool> g_enabled{[] {
-  const char* env = std::getenv("TIMEDRL_FUSION_DISABLE");
-  return !(env != nullptr && env[0] == '1');
+  return !util::Env::GetBool("TIMEDRL_FUSION_DISABLE", false);
 }()};
 
 }  // namespace

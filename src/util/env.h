@@ -1,0 +1,100 @@
+// Typed environment-variable parsing with defaults and diagnostics.
+//
+// Every TIMEDRL_* toggle goes through this one reader instead of scattered
+// std::getenv + hand-rolled strtol calls. A malformed or out-of-range value
+// never silently half-applies: the fallback wins and a warning naming the
+// variable, the rejected text, and the accepted form goes to the log.
+//
+// Header-only on purpose: timedrl_obs sits *below* timedrl_util in the link
+// order (util links obs, not the other way around), yet obs/trace.cc needs
+// the same parsing for TIMEDRL_TRACE / TIMEDRL_TRACE_OUT. Inline functions
+// with no util .cc dependency keep the layering intact.
+
+#ifndef TIMEDRL_UTIL_ENV_H_
+#define TIMEDRL_UTIL_ENV_H_
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "obs/logging.h"
+
+namespace timedrl::util {
+
+/// Static-only reader for TIMEDRL_* environment variables.
+struct Env {
+  /// Raw value, or `fallback` when the variable is unset or empty.
+  static std::string GetString(const char* name, const std::string& fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || value[0] == '\0') return fallback;
+    return value;
+  }
+
+  /// Base-10 integer. Unset/empty keeps `fallback`; a value that does not
+  /// parse in full or falls outside [min_value, max_value] keeps `fallback`
+  /// with a warning.
+  static int64_t GetInt(
+      const char* name, int64_t fallback,
+      int64_t min_value = std::numeric_limits<int64_t>::min(),
+      int64_t max_value = std::numeric_limits<int64_t>::max()) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || value[0] == '\0') return fallback;
+    char* end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(value, &end, 10);
+    if (end == value || *end != '\0' || errno == ERANGE) {
+      TIMEDRL_LOG_WARNING << name << "=\"" << value
+                          << "\" is not an integer; using " << fallback;
+      return fallback;
+    }
+    if (parsed < min_value || parsed > max_value) {
+      TIMEDRL_LOG_WARNING << name << "=" << parsed << " is outside ["
+                          << min_value << ", " << max_value << "]; using "
+                          << fallback;
+      return fallback;
+    }
+    return static_cast<int64_t>(parsed);
+  }
+
+  /// Boolean flag. Unset/empty keeps `fallback`; "0"/"false"/"off"/"no" are
+  /// false, "1"/"true"/"on"/"yes" are true (case-sensitive lowercase, the
+  /// forms the README documents); anything else keeps `fallback` with a
+  /// warning.
+  static bool GetBool(const char* name, bool fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || value[0] == '\0') return fallback;
+    const std::string text(value);
+    if (text == "0" || text == "false" || text == "off" || text == "no") {
+      return false;
+    }
+    if (text == "1" || text == "true" || text == "on" || text == "yes") {
+      return true;
+    }
+    TIMEDRL_LOG_WARNING << name << "=\"" << text
+                        << "\" is not a boolean (use 0/1/true/false); using "
+                        << (fallback ? "true" : "false");
+    return fallback;
+  }
+
+  /// Floating-point value. Unset/empty keeps `fallback`; a value that does
+  /// not parse in full keeps `fallback` with a warning.
+  static double GetDouble(const char* name, double fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || value[0] == '\0') return fallback;
+    char* end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(value, &end);
+    if (end == value || *end != '\0' || errno == ERANGE) {
+      TIMEDRL_LOG_WARNING << name << "=\"" << value
+                          << "\" is not a number; using " << fallback;
+      return fallback;
+    }
+    return parsed;
+  }
+};
+
+}  // namespace timedrl::util
+
+#endif  // TIMEDRL_UTIL_ENV_H_

@@ -1,5 +1,7 @@
 #include "util/fault_inject.h"
 
+#include "util/env.h"
+
 #include <atomic>
 #include <cstdlib>
 #include <map>
@@ -76,11 +78,11 @@ std::vector<Rule> ParseSpec(const std::string& spec) {
 void EnsureEnvParsed() {
   static std::once_flag once;
   std::call_once(once, [] {
-    const char* env = std::getenv("TIMEDRL_FAULT_INJECT");
-    if (env == nullptr || env[0] == '\0') return;
+    const std::string spec = util::Env::GetString("TIMEDRL_FAULT_INJECT", "");
+    if (spec.empty()) return;
     State& state = GetState();
     std::lock_guard<std::mutex> lock(state.mutex);
-    state.rules = ParseSpec(env);
+    state.rules = ParseSpec(spec);
     g_enabled.store(!state.rules.empty(), std::memory_order_release);
   });
 }

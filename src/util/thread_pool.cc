@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/env.h"
 
 namespace timedrl {
 namespace {
@@ -175,15 +176,11 @@ ThreadPool& ThreadPool::Global() {
 }
 
 int ThreadPool::DefaultSize() {
-  if (const char* env = std::getenv("TIMEDRL_NUM_THREADS")) {
-    char* parse_end = nullptr;
-    const long parsed = std::strtol(env, &parse_end, 10);
-    if (parse_end != env && *parse_end == '\0' && parsed >= 1) {
-      return static_cast<int>(std::min(parsed, 256L));
-    }
-  }
   const unsigned hardware = std::thread::hardware_concurrency();
-  return hardware == 0 ? 1 : static_cast<int>(hardware);
+  const int fallback = hardware == 0 ? 1 : static_cast<int>(hardware);
+  return static_cast<int>(util::Env::GetInt("TIMEDRL_NUM_THREADS", fallback,
+                                            /*min_value=*/1,
+                                            /*max_value=*/256));
 }
 
 int NumThreads() { return ThreadPool::Global().size(); }

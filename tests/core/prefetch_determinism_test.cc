@@ -1,0 +1,162 @@
+// The prefetching data pipeline must be invisible to training numerics:
+// any prefetch depth — including the synchronous depth-0 fallback — gives
+// bitwise-identical pre-training, kill-and-resume with prefetch enabled
+// replays an uninterrupted run exactly, and an aborted run drains the
+// producer queue instead of hanging or leaking.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "core/model.h"
+#include "core/pretrainer.h"
+#include "core/sources.h"
+#include "data/synthetic.h"
+#include "data/windows.h"
+#include "util/fault_inject.h"
+
+namespace timedrl::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+TimeDrlConfig SmallConfig() {
+  TimeDrlConfig config;
+  config.input_channels = 1;
+  config.input_length = 16;
+  config.patch_length = 4;
+  config.patch_stride = 4;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.ff_dim = 16;
+  config.num_layers = 1;
+  return config;
+}
+
+// Fresh objects every run, exactly as a new process would build them.
+PretrainHistory RunPretrainOnce(int64_t epochs, int64_t prefetch_depth,
+                                const std::string& checkpoint_dir, bool resume,
+                                std::unique_ptr<TimeDrlModel>* model_out) {
+  Rng rng(42);
+  data::TimeSeries series = data::MakeEttLike(220, 24, 1, rng);
+  data::ForecastingWindows windows(series, /*input=*/16, /*horizon=*/0,
+                                   /*stride=*/4);
+  ForecastingSource source(&windows, /*channel_independent=*/true);
+
+  Rng model_rng(7);
+  *model_out = std::make_unique<TimeDrlModel>(SmallConfig(), model_rng);
+
+  PretrainConfig config;
+  config.train.epochs = epochs;
+  config.train.batch_size = 8;
+  config.train.prefetch_depth = prefetch_depth;
+  // Jitter views exercise the augment sub-stream forking, the part of the
+  // pipeline most exposed to prefetch reordering.
+  config.augmentation = augment::Kind::kJitter;
+  config.train.checkpoint.directory = checkpoint_dir;
+  config.train.checkpoint.resume = resume;
+  Rng train_rng(99);
+  return Pretrain(model_out->get(), source, config, train_rng);
+}
+
+void ExpectBitwiseEqual(TimeDrlModel& a, TimeDrlModel& b) {
+  auto params_a = a.NamedParameters();
+  auto params_b = b.NamedParameters();
+  ASSERT_EQ(params_a.size(), params_b.size());
+  for (size_t i = 0; i < params_a.size(); ++i) {
+    EXPECT_EQ(params_a[i].second.data(), params_b[i].second.data())
+        << "parameter " << params_a[i].first << " diverged";
+  }
+}
+
+TEST(PrefetchDeterminismTest, PretrainIsBitwiseIdenticalAcrossDepths) {
+  std::unique_ptr<TimeDrlModel> baseline;
+  PretrainHistory baseline_history = RunPretrainOnce(
+      /*epochs=*/3, /*prefetch_depth=*/0, /*checkpoint_dir=*/"",
+      /*resume=*/false, &baseline);
+  ASSERT_FALSE(baseline_history.aborted);
+  ASSERT_EQ(baseline_history.total.size(), 3u);
+
+  for (int64_t depth : {1, 2, 4}) {
+    std::unique_ptr<TimeDrlModel> model;
+    PretrainHistory history = RunPretrainOnce(3, depth, "", false, &model);
+    ASSERT_FALSE(history.aborted);
+    EXPECT_EQ(history.total, baseline_history.total) << "depth " << depth;
+    EXPECT_EQ(history.predictive, baseline_history.predictive)
+        << "depth " << depth;
+    EXPECT_EQ(history.contrastive, baseline_history.contrastive)
+        << "depth " << depth;
+    ExpectBitwiseEqual(*baseline, *model);
+  }
+}
+
+// Kill-and-resume with the producer thread running: train half the epochs
+// with prefetch, throw every object away (the process boundary), resume
+// from the checkpoint — still bitwise equal to an uninterrupted
+// synchronous run.
+TEST(PrefetchDeterminismTest, KillAndResumeWithPrefetchIsBitwise) {
+  const std::string dir = "/tmp/timedrl_prefetch_resume";
+  fs::remove_all(dir);
+  constexpr int64_t kEpochs = 6;
+  constexpr int64_t kHalf = 3;
+
+  std::unique_ptr<TimeDrlModel> straight;
+  PretrainHistory straight_history = RunPretrainOnce(
+      kEpochs, /*prefetch_depth=*/0, /*checkpoint_dir=*/"",
+      /*resume=*/false, &straight);
+  ASSERT_FALSE(straight_history.aborted);
+
+  {
+    std::unique_ptr<TimeDrlModel> first_half;
+    PretrainHistory h = RunPretrainOnce(kHalf, /*prefetch_depth=*/2, dir,
+                                        /*resume=*/false, &first_half);
+    ASSERT_EQ(h.total.size(), static_cast<size_t>(kHalf));
+  }
+
+  std::unique_ptr<TimeDrlModel> resumed;
+  PretrainHistory resumed_history =
+      RunPretrainOnce(kEpochs, /*prefetch_depth=*/2, dir, /*resume=*/true,
+                      &resumed);
+
+  ASSERT_FALSE(resumed_history.aborted);
+  EXPECT_EQ(resumed_history.total, straight_history.total);
+  EXPECT_EQ(resumed_history.predictive, straight_history.predictive);
+  EXPECT_EQ(resumed_history.contrastive, straight_history.contrastive);
+  ExpectBitwiseEqual(*straight, *resumed);
+
+  fs::remove_all(dir);
+}
+
+// An anomaly-guard abort exits the epoch early with batches still queued
+// and possibly in flight; loader teardown must drain them cleanly. The
+// test completing (no deadlock, no crash under sanitizers) is the assert.
+TEST(PrefetchDeterminismTest, AbortWithPrefetchedBatchesDrainsQueue) {
+  fault::SetSpecForTest("pretrain_nan_loss@1x*");  // every step poisoned
+
+  std::unique_ptr<TimeDrlModel> model;
+  Rng rng(42);
+  data::TimeSeries series = data::MakeEttLike(220, 24, 1, rng);
+  data::ForecastingWindows windows(series, 16, 0, /*stride=*/4);
+  ForecastingSource source(&windows, /*channel_independent=*/true);
+  Rng model_rng(7);
+  model = std::make_unique<TimeDrlModel>(SmallConfig(), model_rng);
+
+  PretrainConfig config;
+  config.train.epochs = 2;
+  config.train.batch_size = 8;
+  config.train.prefetch_depth = 4;
+  // No checkpoint directory: the first rollback request becomes an abort.
+  config.train.anomaly.max_consecutive_skips = 2;
+  Rng train_rng(99);
+  PretrainHistory history = Pretrain(model.get(), source, config, train_rng);
+
+  EXPECT_TRUE(history.aborted);
+  EXPECT_FALSE(history.abort_reason.empty());
+  fault::SetSpecForTest("");
+}
+
+}  // namespace
+}  // namespace timedrl::core

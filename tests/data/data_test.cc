@@ -149,53 +149,80 @@ TEST(WindowsTest, TooShortSeriesYieldsNoSamples) {
   EXPECT_EQ(windows.size(), 0);
 }
 
-TEST(BatchIteratorTest, CoversEveryIndexOnce) {
+// The loader populates batch->indices itself; a source with nothing to
+// gather is enough to test the batching semantics.
+class IndexOnlySource : public BatchSource {
+ public:
+  explicit IndexOnlySource(int64_t n) : n_(n) {}
+  int64_t size() const override { return n_; }
+  void Fill(const std::vector<int64_t>&, Batch*) const override {}
+
+ private:
+  int64_t n_;
+};
+
+DataLoaderOptions SyncOptions(int64_t batch_size, bool shuffle,
+                              bool drop_last = false) {
+  DataLoaderOptions options;
+  options.batch_size = batch_size;
+  options.shuffle = shuffle;
+  options.drop_last = drop_last;
+  options.prefetch_depth = 0;
+  return options;
+}
+
+TEST(DataLoaderTest, CoversEveryIndexOnce) {
   Rng rng(4);
-  BatchIterator iterator(10, 3, /*shuffle=*/true, rng);
-  std::vector<int64_t> batch;
+  IndexOnlySource source(10);
+  DataLoader loader(source, SyncOptions(3, /*shuffle=*/true), rng);
+  Batch batch;
   std::set<int64_t> seen;
   int64_t batches = 0;
-  while (iterator.Next(&batch)) {
-    for (int64_t index : batch) {
+  while (loader.Next(&batch)) {
+    for (int64_t index : batch.indices) {
       EXPECT_TRUE(seen.insert(index).second) << "duplicate " << index;
     }
     ++batches;
   }
   EXPECT_EQ(seen.size(), 10u);
   EXPECT_EQ(batches, 4);  // 3+3+3+1
-  EXPECT_EQ(iterator.NumBatches(), 4);
+  EXPECT_EQ(loader.NumBatches(), 4);
 }
 
-TEST(BatchIteratorTest, DropLastSkipsShortTail) {
+TEST(DataLoaderTest, DropLastSkipsShortTail) {
   Rng rng(4);
-  BatchIterator iterator(10, 3, false, rng, /*drop_last=*/true);
-  std::vector<int64_t> batch;
+  IndexOnlySource source(10);
+  DataLoader loader(source, SyncOptions(3, /*shuffle=*/false, /*drop_last=*/true),
+                    rng);
+  Batch batch;
   int64_t batches = 0;
-  while (iterator.Next(&batch)) {
-    EXPECT_EQ(batch.size(), 3u);
+  while (loader.Next(&batch)) {
+    EXPECT_EQ(batch.size(), 3);
     ++batches;
   }
   EXPECT_EQ(batches, 3);
-  EXPECT_EQ(iterator.NumBatches(), 3);
+  EXPECT_EQ(loader.NumBatches(), 3);
 }
 
-TEST(BatchIteratorTest, ShuffleChangesOrderAcrossEpochs) {
+TEST(DataLoaderTest, ShuffleChangesOrderAcrossEpochs) {
   Rng rng(5);
-  BatchIterator iterator(64, 64, /*shuffle=*/true, rng);
-  std::vector<int64_t> first;
-  iterator.Next(&first);
-  iterator.Reset();
-  std::vector<int64_t> second;
-  iterator.Next(&second);
-  EXPECT_NE(first, second);
+  IndexOnlySource source(64);
+  DataLoader loader(source, SyncOptions(64, /*shuffle=*/true), rng);
+  Batch batch;
+  ASSERT_TRUE(loader.Next(&batch));
+  std::vector<int64_t> first = batch.indices;
+  loader.Reset();
+  ASSERT_TRUE(loader.Next(&batch));
+  EXPECT_NE(first, batch.indices);
 }
 
-TEST(BatchIteratorTest, NoShuffleIsSequential) {
+TEST(DataLoaderTest, NoShuffleIsSequential) {
   Rng rng(5);
-  BatchIterator iterator(5, 2, /*shuffle=*/false, rng);
-  std::vector<int64_t> batch;
-  iterator.Next(&batch);
-  EXPECT_EQ(batch, (std::vector<int64_t>{0, 1}));
+  IndexOnlySource source(5);
+  DataLoader loader(source, SyncOptions(2, /*shuffle=*/false), rng);
+  Batch batch;
+  ASSERT_TRUE(loader.Next(&batch));
+  EXPECT_EQ(batch.indices, (std::vector<int64_t>{0, 1}));
 }
 
 TEST(ClassificationDatasetTest, GetBatchShapesAndLabels) {

@@ -1,0 +1,99 @@
+// util::Env: typed environment-variable parsing with warn-and-fallback
+// diagnostics instead of silent misreads.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/env.h"
+
+namespace timedrl::util {
+namespace {
+
+constexpr char kVar[] = "TIMEDRL_ENV_TEST_VAR";
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv(kVar); }
+  void Set(const char* value) { ::setenv(kVar, value, /*overwrite=*/1); }
+};
+
+TEST_F(EnvTest, GetStringUnsetAndEmptyFallBack) {
+  EXPECT_EQ(Env::GetString(kVar, "fallback"), "fallback");
+  Set("");
+  EXPECT_EQ(Env::GetString(kVar, "fallback"), "fallback");
+  Set("value");
+  EXPECT_EQ(Env::GetString(kVar, "fallback"), "value");
+}
+
+TEST_F(EnvTest, GetIntParsesValidValues) {
+  EXPECT_EQ(Env::GetInt(kVar, 7), 7);
+  Set("42");
+  EXPECT_EQ(Env::GetInt(kVar, 7), 42);
+  Set("-3");
+  EXPECT_EQ(Env::GetInt(kVar, 7), -3);
+  Set("  12");  // strtoll skips leading whitespace
+  EXPECT_EQ(Env::GetInt(kVar, 7), 12);
+}
+
+TEST_F(EnvTest, GetIntRejectsPartialParses) {
+  Set("12abc");
+  EXPECT_EQ(Env::GetInt(kVar, 7), 7);
+  Set("abc");
+  EXPECT_EQ(Env::GetInt(kVar, 7), 7);
+  Set("1.5");
+  EXPECT_EQ(Env::GetInt(kVar, 7), 7);
+  Set("12  ");  // trailing junk, even whitespace, is rejected
+  EXPECT_EQ(Env::GetInt(kVar, 7), 7);
+  Set("");
+  EXPECT_EQ(Env::GetInt(kVar, 7), 7);
+}
+
+TEST_F(EnvTest, GetIntEnforcesRangeWithoutClamping) {
+  Set("500");
+  // Out of range is a configuration error: fall back, don't clamp.
+  EXPECT_EQ(Env::GetInt(kVar, 7, /*min_value=*/1, /*max_value=*/256), 7);
+  Set("0");
+  EXPECT_EQ(Env::GetInt(kVar, 7, /*min_value=*/1, /*max_value=*/256), 7);
+  Set("256");
+  EXPECT_EQ(Env::GetInt(kVar, 7, /*min_value=*/1, /*max_value=*/256), 256);
+  Set("99999999999999999999");  // overflows int64
+  EXPECT_EQ(Env::GetInt(kVar, 7), 7);
+}
+
+TEST_F(EnvTest, GetBoolAcceptsCommonSpellings) {
+  EXPECT_FALSE(Env::GetBool(kVar, false));
+  EXPECT_TRUE(Env::GetBool(kVar, true));
+  for (const char* truthy : {"1", "true", "on", "yes"}) {
+    Set(truthy);
+    EXPECT_TRUE(Env::GetBool(kVar, false)) << truthy;
+  }
+  for (const char* falsy : {"0", "false", "off", "no"}) {
+    Set(falsy);
+    EXPECT_FALSE(Env::GetBool(kVar, true)) << falsy;
+  }
+}
+
+TEST_F(EnvTest, GetBoolRejectsGarbage) {
+  Set("2");
+  EXPECT_FALSE(Env::GetBool(kVar, false));
+  Set("maybe");
+  EXPECT_TRUE(Env::GetBool(kVar, true));
+  Set("TRUE");  // the documented forms are lowercase
+  EXPECT_FALSE(Env::GetBool(kVar, false));
+}
+
+TEST_F(EnvTest, GetDoubleParsesAndRejects) {
+  EXPECT_DOUBLE_EQ(Env::GetDouble(kVar, 1.5), 1.5);
+  Set("2.25");
+  EXPECT_DOUBLE_EQ(Env::GetDouble(kVar, 1.5), 2.25);
+  Set("1e-3");
+  EXPECT_DOUBLE_EQ(Env::GetDouble(kVar, 1.5), 1e-3);
+  Set("2.5x");
+  EXPECT_DOUBLE_EQ(Env::GetDouble(kVar, 1.5), 1.5);
+  Set("nope");
+  EXPECT_DOUBLE_EQ(Env::GetDouble(kVar, 1.5), 1.5);
+}
+
+}  // namespace
+}  // namespace timedrl::util

@@ -165,6 +165,18 @@ int Run(const FlagParser& flags) {
                   static_cast<unsigned long long>(stats.count),
                   stats.sum / 1e6, stats.mean() / 1e3);
     }
+
+    // Data-pipeline prefetch histograms (data::DataLoader): assemble time on
+    // the producer thread and the consumer's queue wait. A queue wait far
+    // below the assemble time means prefetching is hiding the input latency.
+    std::printf("\n%-28s %10s %14s %12s\n", "prefetch histogram", "count",
+                "total_ms", "mean_us");
+    for (const auto& [name, stats] : snapshot.histograms) {
+      if (name.rfind("prefetch.", 0) != 0 || stats.count == 0) continue;
+      std::printf("%-28s %10llu %14.3f %12.2f\n", name.c_str(),
+                  static_cast<unsigned long long>(stats.count),
+                  stats.sum / 1e6, stats.mean() / 1e3);
+    }
   }
   return 0;
 }
