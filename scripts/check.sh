@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build and test all three preset configurations.
+#
+#   scripts/check.sh            # default + sanitize + tsan
+#   scripts/check.sh default    # just one preset
+#
+# default  — Release build, full ctest suite (the tier-1 gate)
+# sanitize — ASan+UBSan build, full ctest suite
+# tsan     — TSan build, threaded suites only (label-filtered; single-
+#            threaded numeric suites add hours under TSan for no signal)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+presets=("$@")
+if [ "${#presets[@]}" -eq 0 ]; then
+  presets=(default sanitize tsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==> configure: ${preset}"
+  cmake --preset "${preset}"
+  echo "==> build: ${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "==> test: ${preset}"
+  ctest --preset "${preset}" -j "${jobs}"
+done
+
+echo "All checks passed: ${presets[*]}"

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/logging.h"
 #include "obs/trace.h"
 #include "tensor/buffer_pool.h"
+#include "tensor/kernels/nonfinite.h"
 #include "tensor/ops.h"
 #include "util/check.h"
+#include "util/fault_inject.h"
 
 namespace timedrl::serve {
 
@@ -14,8 +17,18 @@ InferenceSession::InferenceSession(const InferenceSessionConfig& config)
     : config_(config),
       rng_(/*seed=*/1),
       requests_(obs::Registry::Global().GetCounter("serve.requests")),
-      batch_size_(obs::Registry::Global().GetHistogram("serve.batch_size")) {
+      batch_size_(obs::Registry::Global().GetHistogram("serve.batch_size")),
+      reloads_(obs::Registry::Global().GetCounter("serve.reloads")),
+      reload_failures_(
+          obs::Registry::Global().GetCounter("serve.reload_failures")) {
   model_ = std::make_unique<core::TimeDrlModel>(config_.model, rng_);
+  // The canary is a fixed, non-trivial window: reload candidates must map
+  // it to finite embeddings of the declared geometry before they may swap
+  // in. Deterministic so every session holds the same reference input.
+  Rng canary_rng(/*seed=*/7);
+  canary_ = Tensor::Randn(
+      {1, config_.model.input_length, config_.model.input_channels},
+      canary_rng);
 }
 
 Status InferenceSession::Open(const std::string& checkpoint_path,
@@ -64,14 +77,80 @@ void InferenceSession::Warmup() {
   }
 }
 
-Embeddings InferenceSession::Encode(const Tensor& x) {
-  TIMEDRL_TRACE_SCOPE_CAT("serve/encode", "serve");
+Status InferenceSession::Reload(const std::string& checkpoint_path) {
+  TIMEDRL_TRACE_SCOPE_CAT("serve/reload", "serve");
+
+  // Build and load the candidate entirely on the side; the live model_
+  // keeps answering Encode calls on the serving thread throughout.
+  Rng candidate_rng(/*seed=*/1);
+  auto candidate =
+      std::make_unique<core::TimeDrlModel>(config_.model, candidate_rng);
+  core::TrainingState state;  // untouched for v1 files; discarded either way
+  Status status = core::CheckpointManager::LoadFile(checkpoint_path,
+                                                    candidate.get(), &state);
+  if (!status.ok()) {
+    reload_failures_.Increment();
+    return status;
+  }
+  candidate->Eval();
+
+  // Canary validation: the candidate must reproduce the declared output
+  // geometry with finite values on the held reference window.
+  Embeddings canary_out = EncodeWithModel(candidate.get(), canary_);
+  const bool corrupt_injected =
+      fault::Enabled() && fault::At("serve_reload_corrupt");
+  const int64_t non_finite =
+      kernels::CountNonFinite(canary_out.instance.data().data(),
+                              canary_out.instance.numel()) +
+      kernels::CountNonFinite(canary_out.timestamp.data().data(),
+                              canary_out.timestamp.numel());
+  if (canary_out.instance.size(0) != 1 ||
+      canary_out.instance.size(1) != candidate->PooledDim(config_.pooling) ||
+      candidate->PooledDim(config_.pooling) != embedding_dim()) {
+    reload_failures_.Increment();
+    return Status::Error(
+        StatusCode::kInternal,
+        "reload rejected: canary embedding geometry mismatch for " +
+            checkpoint_path);
+  }
+  if (non_finite > 0 || corrupt_injected) {
+    reload_failures_.Increment();
+    TIMEDRL_LOG_WARNING << "reload of " << checkpoint_path
+                        << " rejected: canary produced "
+                        << (corrupt_injected ? "an injected corruption"
+                                             : "non-finite embeddings")
+                        << "; the previous model keeps serving";
+    return Status::Error(StatusCode::kInternal,
+                         "reload rejected: canary encode of " +
+                             checkpoint_path +
+                             " produced non-finite embeddings");
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(reload_mutex_);
+    pending_model_ = std::move(candidate);
+    reload_pending_.store(true, std::memory_order_release);
+  }
+  return Status::Ok();
+}
+
+void InferenceSession::MaybeApplyReload() {
+  if (!reload_pending_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  if (pending_model_ != nullptr) {
+    model_ = std::move(pending_model_);
+    reloads_.Increment();
+    reloads_applied_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  reload_pending_.store(false, std::memory_order_release);
+}
+
+Embeddings InferenceSession::EncodeWithModel(core::TimeDrlModel* model,
+                                             const Tensor& x) {
   TIMEDRL_CHECK_EQ(x.dim(), 3) << "Encode input must be [B, T, C]";
   TIMEDRL_CHECK_EQ(x.size(1), config_.model.input_length);
   TIMEDRL_CHECK_EQ(x.size(2), config_.model.input_channels);
   const int64_t batch = x.size(0);
-  requests_.Increment();
-  batch_size_.Observe(static_cast<double>(batch));
 
   // Pad up to the nearest planned shape so the backbone (and the pool's
   // bucket population) only ever sees planned batch sizes.
@@ -86,15 +165,23 @@ Embeddings InferenceSession::Encode(const Tensor& x) {
                                std::move(padded));
   }
 
-  core::TimeDrlModel::Encoded encoded = model_->Encode(input);
+  core::TimeDrlModel::Encoded encoded = model->Encode(input);
   Embeddings result;
-  result.instance = model_->PooledInstance(encoded, config_.pooling);
+  result.instance = model->PooledInstance(encoded, config_.pooling);
   result.timestamp = encoded.timestamp;
   if (planned != batch) {
     result.instance = Slice(result.instance, 0, 0, batch);
     result.timestamp = Slice(result.timestamp, 0, 0, batch);
   }
   return result;
+}
+
+Embeddings InferenceSession::Encode(const Tensor& x) {
+  TIMEDRL_TRACE_SCOPE_CAT("serve/encode", "serve");
+  MaybeApplyReload();
+  requests_.Increment();
+  batch_size_.Observe(static_cast<double>(x.size(0)));
+  return EncodeWithModel(model_.get(), x);
 }
 
 std::vector<float> InferenceSession::EncodeWindow(

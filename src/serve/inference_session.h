@@ -18,16 +18,36 @@
 // Threading: a session is NOT internally synchronized. One thread (or an
 // external serializer such as serve::MicroBatcher) must own all Encode()
 // calls; Warmup() must run on that serving thread, because the buffer pool
-// caches buffers per thread.
+// caches buffers per thread. The one exception is Reload(): it may be
+// called from any thread while the serving thread keeps encoding — the
+// candidate model is loaded and canary-validated entirely on the side, and
+// the pointer swap is deferred to the serving thread's next Encode().
+//
+// Hot reload protocol (zero downtime):
+//   1. Reload(path) builds a fresh model and loads the checkpoint into it
+//      on the calling thread. Load errors return the loader's Status; the
+//      live model is untouched.
+//   2. The candidate encodes the session's held canary window (on the
+//      calling thread). If the output geometry disagrees with the declared
+//      embedding_dim() or any value is non-finite, Reload returns
+//      kInternal, counts serve.reload_failures, and the live model keeps
+//      serving. Fault point "serve_reload_corrupt" forces this outcome.
+//   3. A validated candidate is staged; the serving thread applies the
+//      pointer swap at the start of its next Encode (between batches, so
+//      no request ever sees half a model). serve.reloads counts applies.
 //
 // Metrics (obs::Registry::Global()): serve.requests (counter),
-// serve.batch_size (histogram of pre-padding request sizes). Each encode
-// records a "serve/encode" trace span in category "serve".
+// serve.batch_size (histogram of pre-padding request sizes), serve.reloads
+// (applied swaps), serve.reload_failures (rejected candidates). Each
+// encode records a "serve/encode" trace span and each Reload a
+// "serve/reload" span, both in category "serve".
 
 #ifndef TIMEDRL_SERVE_INFERENCE_SESSION_H_
 #define TIMEDRL_SERVE_INFERENCE_SESSION_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -80,6 +100,20 @@ class InferenceSession {
   /// steady state is allocation-free.
   void Warmup();
 
+  /// Stages a zero-downtime model swap from `checkpoint_path` (see the
+  /// reload protocol above). Returns the loader's Status for unreadable /
+  /// mismatched checkpoints, kInternal when the canary encode fails
+  /// geometry or finiteness validation, and Ok when the candidate is
+  /// staged. Thread-safe; concurrent Reload calls serialize, last staged
+  /// candidate wins.
+  Status Reload(const std::string& checkpoint_path);
+
+  /// Model swaps applied so far by the serving thread. A caller that saw
+  /// Reload() return Ok can poll this to learn when the swap took effect.
+  uint64_t reloads_applied() const {
+    return reloads_applied_.load(std::memory_order_acquire);
+  }
+
   /// Largest planned batch size.
   int64_t max_batch() const { return config_.planned_batch_sizes.back(); }
 
@@ -95,11 +129,30 @@ class InferenceSession {
   /// Smallest planned batch size >= n (dies if n exceeds max_batch()).
   int64_t PlannedBatch(int64_t n) const;
 
+  /// The encode body, parameterized over which model runs it so a reload
+  /// candidate can be canary-encoded without touching the live model.
+  Embeddings EncodeWithModel(core::TimeDrlModel* model, const Tensor& x);
+
+  /// Applies a staged reload candidate, if any. Called at the top of
+  /// Encode on the serving thread.
+  void MaybeApplyReload();
+
   InferenceSessionConfig config_;
   Rng rng_;  // consumed by model construction; the frozen model draws none
   std::unique_ptr<core::TimeDrlModel> model_;
+  Tensor canary_;  // held reference window for reload validation
+
+  // Reload staging: Reload() fills pending_model_ under reload_mutex_ and
+  // raises reload_pending_; the serving thread consumes it in Encode.
+  std::mutex reload_mutex_;
+  std::unique_ptr<core::TimeDrlModel> pending_model_;
+  std::atomic<bool> reload_pending_{false};
+  std::atomic<uint64_t> reloads_applied_{0};
+
   obs::Counter& requests_;
   obs::Histogram& batch_size_;
+  obs::Counter& reloads_;
+  obs::Counter& reload_failures_;
 };
 
 }  // namespace timedrl::serve

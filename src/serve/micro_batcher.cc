@@ -2,53 +2,163 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
 #include <string>
 #include <utility>
 
+#include "obs/logging.h"
 #include "obs/trace.h"
 #include "tensor/buffer_pool.h"
+#include "tensor/kernels/nonfinite.h"
 #include "util/check.h"
 #include "util/env.h"
+#include "util/fault_inject.h"
 
 namespace timedrl::serve {
+namespace {
+
+/// Steady-clock nanoseconds; the one clock used for enqueue stamps,
+/// deadlines, and the dispatcher heartbeat so comparisons are meaningful.
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+util::StatusOr<Embedding> ErrorResult(StatusCode code, std::string message) {
+  return util::StatusOr<Embedding>(Status::Error(code, std::move(message)));
+}
+
+}  // namespace
+
 MicroBatcherOptions MicroBatcherOptions::FromEnv() {
   MicroBatcherOptions options;
   options.max_batch = util::Env::GetInt("TIMEDRL_SERVE_MAX_BATCH",
                                         options.max_batch, /*min_value=*/1);
   options.max_delay_us = util::Env::GetInt(
-      "TIMEDRL_SERVE_MAX_DELAY_US", options.max_delay_us, /*min_value=*/1);
+      "TIMEDRL_SERVE_MAX_DELAY_US", options.max_delay_us, /*min_value=*/0);
+  options.max_queue = util::Env::GetInt("TIMEDRL_SERVE_MAX_QUEUE",
+                                        options.max_queue, /*min_value=*/1);
+  options.default_deadline_us =
+      util::Env::GetInt("TIMEDRL_SERVE_DEADLINE_US",
+                        options.default_deadline_us, /*min_value=*/0);
+  options.stall_timeout_ms =
+      util::Env::GetInt("TIMEDRL_SERVE_STALL_TIMEOUT_MS",
+                        options.stall_timeout_ms, /*min_value=*/0);
+  options.breaker_threshold =
+      util::Env::GetInt("TIMEDRL_SERVE_BREAKER_THRESHOLD",
+                        options.breaker_threshold, /*min_value=*/1);
+  options.breaker_probe_ms =
+      util::Env::GetInt("TIMEDRL_SERVE_BREAKER_PROBE_MS",
+                        options.breaker_probe_ms, /*min_value=*/1);
   return options;
 }
 
 MicroBatcher::MicroBatcher(InferenceSession* session,
                            MicroBatcherOptions options)
-    : session_(session), options_(options) {
+    : session_(session),
+      options_(options),
+      queue_ns_(obs::Registry::Global().GetHistogram("serve.queue_ns")),
+      deadline_exceeded_(
+          obs::Registry::Global().GetCounter("serve.deadline_exceeded")),
+      shed_(obs::Registry::Global().GetCounter("serve.shed")),
+      breaker_state_(obs::Registry::Global().GetGauge("serve.breaker_state")),
+      heartbeat_gauge_(
+          obs::Registry::Global().GetGauge("serve.dispatcher_heartbeat_ns")) {
   TIMEDRL_CHECK(session_ != nullptr);
   options_.max_batch =
       std::min(std::max<int64_t>(options_.max_batch, 1), session_->max_batch());
+  options_.max_delay_us = std::max<int64_t>(options_.max_delay_us, 0);
+  options_.max_queue = std::max<int64_t>(options_.max_queue, 1);
+  options_.default_deadline_us =
+      std::max<int64_t>(options_.default_deadline_us, 0);
+  options_.stall_timeout_ms = std::max<int64_t>(options_.stall_timeout_ms, 0);
+  options_.breaker_threshold =
+      std::max<int64_t>(options_.breaker_threshold, 1);
+  options_.breaker_probe_ms = std::max<int64_t>(options_.breaker_probe_ms, 1);
+  breaker_state_.Set(0);
+  heartbeat_ns_ = NowNs();
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
 MicroBatcher::~MicroBatcher() { Shutdown(); }
 
-std::future<std::vector<float>> MicroBatcher::Submit(
-    std::vector<float> window) {
+std::future<util::StatusOr<Embedding>> MicroBatcher::Submit(
+    std::vector<float> window, SubmitOptions submit) {
   Request request;
   request.window = std::move(window);
-  request.enqueue_ns = obs::TraceNowNs();
-  std::future<std::vector<float>> future = request.promise.get_future();
+  request.enqueue_ns = NowNs();
+  const int64_t deadline_us = submit.deadline_us < 0
+                                  ? options_.default_deadline_us
+                                  : submit.deadline_us;
+  if (deadline_us > 0) {
+    request.deadline_ns = request.enqueue_ns + deadline_us * 1000;
+  }
+  std::future<util::StatusOr<Embedding>> future =
+      request.promise.get_future();
+
+  const int64_t row = session_->model_config().input_length *
+                      session_->model_config().input_channels;
+  if (static_cast<int64_t>(request.window.size()) != row) {
+    request.promise.set_value(ErrorResult(
+        StatusCode::kStructureMismatch,
+        "window must hold input_length * input_channels = " +
+            std::to_string(row) + " values, got " +
+            std::to_string(request.window.size())));
+    return future;
+  }
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    TIMEDRL_CHECK(!shutdown_) << "Submit after MicroBatcher::Shutdown";
+
+    // Stall watchdog: a batch that has been in flight past the timeout
+    // means the dispatcher is wedged inside an encode. Fail the batcher
+    // into its terminal unavailable state instead of letting clients queue
+    // behind a hang.
+    if (!unavailable_ && options_.stall_timeout_ms > 0 && batch_in_flight_ &&
+        request.enqueue_ns - heartbeat_ns_ >
+            options_.stall_timeout_ms * 1000000) {
+      unavailable_ = true;
+      TIMEDRL_LOG_ERROR
+          << "serve dispatcher stalled (batch in flight for more than "
+          << options_.stall_timeout_ms
+          << "ms); batcher is now unavailable and shedding";
+      FailQueuedLocked(StatusCode::kUnavailable,
+                       "dispatcher stalled; batcher is unavailable");
+    }
+
+    if (shutdown_ || unavailable_) {
+      shed_.Increment();
+      request.promise.set_value(ErrorResult(
+          StatusCode::kUnavailable,
+          shutdown_ ? "MicroBatcher is shut down"
+                    : "batcher unavailable: dispatcher stalled"));
+      return future;
+    }
+    if (breaker_open_) {
+      shed_.Increment();
+      request.promise.set_value(ErrorResult(
+          StatusCode::kUnavailable,
+          "circuit breaker open: recent batches produced non-finite "
+          "embeddings"));
+      return future;
+    }
+    if (static_cast<int64_t>(queue_.size()) >= options_.max_queue) {
+      shed_.Increment();
+      request.promise.set_value(ErrorResult(
+          StatusCode::kResourceExhausted,
+          "serve queue full (max_queue=" +
+              std::to_string(options_.max_queue) + ")"));
+      return future;
+    }
     queue_.push_back(std::move(request));
   }
   wake_.notify_one();
   return future;
 }
 
-std::vector<float> MicroBatcher::Encode(std::vector<float> window) {
-  return Submit(std::move(window)).get();
+util::StatusOr<Embedding> MicroBatcher::Encode(std::vector<float> window,
+                                               SubmitOptions submit) {
+  return Submit(std::move(window), submit).get();
 }
 
 void MicroBatcher::Shutdown() {
@@ -61,6 +171,39 @@ void MicroBatcher::Shutdown() {
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
+bool MicroBatcher::unavailable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return unavailable_;
+}
+
+bool MicroBatcher::breaker_open() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return breaker_open_;
+}
+
+void MicroBatcher::FailQueuedLocked(StatusCode code, const char* message) {
+  while (!queue_.empty()) {
+    queue_.front().promise.set_value(
+        ErrorResult(code, message));
+    queue_.pop_front();
+    shed_.Increment();
+  }
+}
+
+void MicroBatcher::ExpireDeadlinesLocked(int64_t now_ns) {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->deadline_ns != 0 && now_ns >= it->deadline_ns) {
+      it->promise.set_value(ErrorResult(
+          StatusCode::kDeadlineExceeded,
+          "deadline expired before the request was dispatched"));
+      deadline_exceeded_.Increment();
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void MicroBatcher::DispatcherLoop() {
   // The dispatcher owns all session calls, so the pool caches that make
   // encodes allocation-free live on this thread — warm them here, not on
@@ -69,43 +212,103 @@ void MicroBatcher::DispatcherLoop() {
 
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
+    heartbeat_ns_ = NowNs();
+    heartbeat_gauge_.Set(static_cast<double>(heartbeat_ns_));
+
+    if (unavailable_) {
+      // Terminal draining state: nothing is served anymore; Submit sheds
+      // at the gate, so just hold until shutdown.
+      FailQueuedLocked(StatusCode::kUnavailable,
+                       "dispatcher stalled; batcher is unavailable");
+      wake_.wait(lock, [this] { return shutdown_; });
+      FailQueuedLocked(StatusCode::kUnavailable,
+                       "dispatcher stalled; batcher is unavailable");
+      break;
+    }
+
+    if (breaker_open_) {
+      // Shed anything admitted before the breaker opened, then probe the
+      // session with the canary until it comes back finite.
+      FailQueuedLocked(StatusCode::kUnavailable,
+                       "circuit breaker open: recent batches produced "
+                       "non-finite embeddings");
+      wake_.wait_for(lock,
+                     std::chrono::milliseconds(options_.breaker_probe_ms),
+                     [this] { return shutdown_; });
+      if (shutdown_) {
+        FailQueuedLocked(StatusCode::kUnavailable,
+                         "shutting down with circuit breaker open");
+        break;
+      }
+      lock.unlock();
+      const bool healthy = ProbeSessionHealthy();
+      lock.lock();
+      if (healthy) {
+        breaker_open_ = false;
+        consecutive_poisoned_ = 0;
+        breaker_state_.Set(0);
+        TIMEDRL_LOG_INFO << "serve circuit breaker closed after a clean "
+                            "canary probe";
+      }
+      continue;
+    }
+
     wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-    if (queue_.empty()) break;  // shutdown with a drained queue
+    ExpireDeadlinesLocked(NowNs());
+    if (queue_.empty()) {
+      if (shutdown_) break;
+      continue;
+    }
 
     // First request of the batch has arrived; linger briefly for more.
     if (options_.max_delay_us > 0 &&
         static_cast<int64_t>(queue_.size()) < options_.max_batch &&
         !shutdown_) {
-      const auto deadline = std::chrono::steady_clock::now() +
-                            std::chrono::microseconds(options_.max_delay_us);
-      wake_.wait_until(lock, deadline, [this] {
+      const auto linger = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(options_.max_delay_us);
+      wake_.wait_until(lock, linger, [this] {
         return shutdown_ ||
                static_cast<int64_t>(queue_.size()) >= options_.max_batch;
       });
     }
 
-    const int64_t take =
-        std::min<int64_t>(static_cast<int64_t>(queue_.size()),
-                          options_.max_batch);
+    // Expire anything whose deadline passed while we lingered: encoding a
+    // request its caller has already abandoned wastes a batch slot.
+    ExpireDeadlinesLocked(NowNs());
+    if (queue_.empty()) {
+      if (shutdown_) break;
+      continue;
+    }
+
+    const int64_t take = std::min<int64_t>(
+        static_cast<int64_t>(queue_.size()), options_.max_batch);
     std::vector<Request> batch;
     batch.reserve(take);
     for (int64_t i = 0; i < take; ++i) {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    batch_in_flight_ = true;
+    heartbeat_ns_ = NowNs();
+    heartbeat_gauge_.Set(static_cast<double>(heartbeat_ns_));
     lock.unlock();
     RunBatch(std::move(batch));
     lock.lock();
+    batch_in_flight_ = false;
   }
 }
 
 void MicroBatcher::RunBatch(std::vector<Request> batch) {
   TIMEDRL_TRACE_SCOPE_CAT("serve/batch", "serve");
-  static obs::Histogram& queue_ns =
-      obs::Registry::Global().GetHistogram("serve.queue_ns");
-  const int64_t dispatch_ns = obs::TraceNowNs();
+  const int64_t dispatch_ns = NowNs();
   for (const Request& request : batch) {
-    queue_ns.Observe(static_cast<double>(dispatch_ns - request.enqueue_ns));
+    queue_ns_.Observe(static_cast<double>(dispatch_ns - request.enqueue_ns));
+  }
+
+  // Fault point: a wedged/slow model server. Long enough for the stall
+  // watchdog (with a test-sized timeout) and the soak test to observe it.
+  if (fault::Enabled() && fault::At("serve_slow_encode")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
   const int64_t window = session_->model_config().input_length;
@@ -113,22 +316,93 @@ void MicroBatcher::RunBatch(std::vector<Request> batch) {
   const int64_t row = window * channels;
   const int64_t n = static_cast<int64_t>(batch.size());
 
-  std::vector<float> values = pool::AcquireUninit(n * row);
-  for (int64_t i = 0; i < n; ++i) {
-    TIMEDRL_CHECK_EQ(static_cast<int64_t>(batch[i].window.size()), row)
-        << "window must hold input_length * input_channels values";
-    std::copy(batch[i].window.begin(), batch[i].window.end(),
-              values.begin() + i * row);
+  bool batch_failed = false;
+  std::string failure;
+  Embeddings embeddings;
+  // Exceptions are not part of the library's style, but the promise-
+  // fulfillment guarantee must survive whatever the standard library
+  // throws (bad_alloc above all): a request that reached a batch resolves,
+  // period.
+  try {
+    std::vector<float> values = pool::AcquireUninit(n * row);
+    for (int64_t i = 0; i < n; ++i) {
+      std::copy(batch[i].window.begin(), batch[i].window.end(),
+                values.begin() + i * row);
+    }
+    Tensor x = Tensor::FromVector({n, window, channels}, std::move(values));
+    embeddings = session_->Encode(x);
+  } catch (const std::exception& e) {
+    batch_failed = true;
+    failure = e.what();
+  } catch (...) {
+    batch_failed = true;
+    failure = "unknown exception";
   }
-  Tensor x = Tensor::FromVector({n, window, channels}, std::move(values));
 
-  Embeddings embeddings = session_->Encode(x);
-  const std::vector<float>& instance = embeddings.instance.data();
-  const int64_t dim = session_->embedding_dim();
-  for (int64_t i = 0; i < n; ++i) {
-    batch[i].promise.set_value(std::vector<float>(
-        instance.begin() + i * dim, instance.begin() + (i + 1) * dim));
+  bool any_poisoned = false;
+  if (batch_failed) {
+    any_poisoned = true;
+    for (Request& request : batch) {
+      request.promise.set_value(ErrorResult(
+          StatusCode::kInternal, "batch encode failed: " + failure));
+    }
+  } else {
+    // Output guard: scan each row with the anomaly guard's CountNonFinite
+    // kernel; a poisoned row gets a typed error instead of silent garbage.
+    const bool poison_injected =
+        fault::Enabled() && fault::At("serve_nan_embedding");
+    const std::vector<float>& instance = embeddings.instance.data();
+    const int64_t dim = session_->embedding_dim();
+    for (int64_t i = 0; i < n; ++i) {
+      const float* row_values = instance.data() + i * dim;
+      const bool poisoned =
+          poison_injected || kernels::CountNonFinite(row_values, dim) > 0;
+      if (poisoned) {
+        any_poisoned = true;
+        batch[i].promise.set_value(ErrorResult(
+            StatusCode::kInternal,
+            "encode produced a non-finite embedding for this request"));
+      } else {
+        batch[i].promise.set_value(Embedding(
+            instance.begin() + i * dim, instance.begin() + (i + 1) * dim));
+      }
+    }
   }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (any_poisoned) {
+    ++consecutive_poisoned_;
+    if (consecutive_poisoned_ >= options_.breaker_threshold &&
+        !breaker_open_) {
+      breaker_open_ = true;
+      breaker_state_.Set(1);
+      TIMEDRL_LOG_ERROR << "serve circuit breaker opened after "
+                        << consecutive_poisoned_
+                        << " consecutive poisoned batches; shedding until a "
+                           "canary probe succeeds";
+    }
+  } else {
+    consecutive_poisoned_ = 0;
+  }
+}
+
+bool MicroBatcher::ProbeSessionHealthy() {
+  TIMEDRL_TRACE_SCOPE_CAT("serve/probe", "serve");
+  const int64_t window = session_->model_config().input_length;
+  const int64_t channels = session_->model_config().input_channels;
+  Embeddings out;
+  try {
+    Tensor x = Tensor::Zeros({1, window, channels});
+    out = session_->Encode(x);
+  } catch (...) {
+    return false;
+  }
+  // The probe sees the same poisoned world a real batch would: a pending
+  // model reload is applied by Encode, and an open-ended nan-injection
+  // spec keeps the probe failing too.
+  if (fault::Enabled() && fault::At("serve_nan_embedding")) return false;
+  return kernels::CountNonFinite(out.instance.data().data(),
+                                 out.instance.numel()) == 0;
 }
 
 }  // namespace timedrl::serve

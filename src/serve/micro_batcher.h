@@ -1,4 +1,5 @@
-// Request coalescing in front of an InferenceSession.
+// Request coalescing with production hardening in front of an
+// InferenceSession.
 //
 // Concurrent callers submit single windows; a dispatcher thread collects
 // them into one batch of up to `max_batch` requests (waiting at most
@@ -8,15 +9,50 @@
 // batch-of-one forwards — and fans the per-row instance embeddings back
 // out through futures.
 //
-// The dispatcher thread is the only thread that touches the session, so
-// the session's single-threaded contract (and the thread-local buffer
-// pool's zero-miss steady state) is preserved no matter how many client
-// threads submit. The dispatcher warms the session up on its own thread
-// before serving.
+// Every future resolves, on every exit path, to either an embedding or a
+// typed Status:
+//   kResourceExhausted  admission control: the bounded queue (max_queue)
+//                       was full at submit; rejected immediately.
+//   kDeadlineExceeded   the request's deadline passed while queued; the
+//                       dispatcher expires it instead of encoding it.
+//   kUnavailable        the batcher is not serving: shut down, circuit
+//                       breaker open, or tripped into the terminal
+//                       "unavailable" state by the stall watchdog.
+//   kInternal           the encode ran but produced a non-finite embedding
+//                       for this row (or the batch failed outright); the
+//                       payload must not be trusted.
 //
-// Metrics (obs::Registry::Global()): serve.queue_ns histogram — time each
-// request spent queued before its batch was dispatched. Batch composition
-// lands in serve.batch_size via the session.
+// Failure containment:
+//   - Stall watchdog: while a batch is in flight the dispatcher publishes a
+//     heartbeat (serve.dispatcher_heartbeat_ns gauge). If Submit observes a
+//     heartbeat older than stall_timeout_ms with a batch still in flight,
+//     the batcher fails into a draining "unavailable" state: queued
+//     requests fail kUnavailable and new submits are rejected, so clients
+//     never hang on a wedged session.
+//   - Circuit breaker: each batch's embeddings are scanned with the
+//     CountNonFinite kernel; poisoned rows fail kInternal, and
+//     breaker_threshold consecutive poisoned batches open the breaker.
+//     While open, submits shed with kUnavailable and the dispatcher
+//     canary-probes the session every breaker_probe_ms; the first clean
+//     probe closes the breaker.
+//   - Shutdown: the queue drains (remaining requests are encoded); submits
+//     after Shutdown return an immediately-failed kUnavailable future.
+//
+// The dispatcher thread is the only thread that touches the session for
+// encoding, so the session's single-threaded contract (and the thread-local
+// buffer pool's zero-miss steady state) is preserved no matter how many
+// client threads submit. The dispatcher warms the session up on its own
+// thread before serving. InferenceSession::Reload may run concurrently; the
+// dispatcher applies the staged swap between batches.
+//
+// Metrics (obs::Registry::Global()):
+//   serve.queue_ns          histogram — time requests spent queued
+//   serve.deadline_exceeded counter   — requests expired before dispatch
+//   serve.shed              counter   — requests rejected without encoding
+//                                       (queue full, breaker, unavailable,
+//                                       shutdown)
+//   serve.breaker_state     gauge     — 0 closed, 1 open
+//   serve.dispatcher_heartbeat_ns gauge — last dispatcher liveness mark
 
 #ifndef TIMEDRL_SERVE_MICRO_BATCHER_H_
 #define TIMEDRL_SERVE_MICRO_BATCHER_H_
@@ -29,9 +65,14 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/inference_session.h"
+#include "util/status_or.h"
 
 namespace timedrl::serve {
+
+/// One instance embedding: embedding_dim() floats.
+using Embedding = std::vector<float>;
 
 struct MicroBatcherOptions {
   /// Largest coalesced batch; clamped to the session's max planned size.
@@ -39,10 +80,35 @@ struct MicroBatcherOptions {
   /// How long the dispatcher waits for more requests after the first one
   /// of a batch arrives. 0 = dispatch whatever is queued immediately.
   int64_t max_delay_us = 200;
+  /// Admission control: largest number of queued (admitted, not yet
+  /// dispatched) requests. Submits beyond this are rejected immediately
+  /// with kResourceExhausted (reject-newest).
+  int64_t max_queue = 1024;
+  /// Default per-request deadline budget in microseconds, measured from
+  /// submit. 0 disables deadlines. SubmitOptions::deadline_us overrides.
+  int64_t default_deadline_us = 0;
+  /// Stall watchdog: a batch in flight for longer than this trips the
+  /// batcher into the terminal unavailable state. 0 disables the watchdog.
+  int64_t stall_timeout_ms = 5000;
+  /// Consecutive poisoned (non-finite / failed) batches before the circuit
+  /// breaker opens.
+  int64_t breaker_threshold = 3;
+  /// While the breaker is open, a canary probe encode runs at this period.
+  int64_t breaker_probe_ms = 50;
 
-  /// Reads overrides from TIMEDRL_SERVE_MAX_BATCH and
-  /// TIMEDRL_SERVE_MAX_DELAY_US (unset/invalid values keep the defaults).
+  /// Reads overrides from TIMEDRL_SERVE_MAX_BATCH, TIMEDRL_SERVE_MAX_DELAY_US,
+  /// TIMEDRL_SERVE_MAX_QUEUE, TIMEDRL_SERVE_DEADLINE_US,
+  /// TIMEDRL_SERVE_STALL_TIMEOUT_MS, TIMEDRL_SERVE_BREAKER_THRESHOLD, and
+  /// TIMEDRL_SERVE_BREAKER_PROBE_MS, range-validated through util::Env
+  /// (unset/invalid values keep the defaults with a warning).
   static MicroBatcherOptions FromEnv();
+};
+
+/// Per-call submit options.
+struct SubmitOptions {
+  /// Deadline budget in microseconds from submit time. -1 inherits
+  /// MicroBatcherOptions::default_deadline_us; 0 = no deadline.
+  int64_t deadline_us = -1;
 };
 
 class MicroBatcher {
@@ -55,33 +121,70 @@ class MicroBatcher {
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 
   /// Enqueues one window (input_length * input_channels values) and
-  /// returns a future for its instance embedding. Thread-safe.
-  std::future<std::vector<float>> Submit(std::vector<float> window);
+  /// returns a future for its instance embedding. The future always
+  /// resolves — to the embedding or to a typed error (see file comment).
+  /// Thread-safe; never blocks beyond the queue mutex.
+  std::future<util::StatusOr<Embedding>> Submit(std::vector<float> window,
+                                                SubmitOptions submit = {});
 
   /// Submit + wait. Thread-safe.
-  std::vector<float> Encode(std::vector<float> window);
+  util::StatusOr<Embedding> Encode(std::vector<float> window,
+                                   SubmitOptions submit = {});
 
-  /// Drains the queue, then stops the dispatcher. Called by the
-  /// destructor; safe to call more than once. Submit after Shutdown dies.
+  /// Drains the queue (every queued request resolves), then stops the
+  /// dispatcher. Called by the destructor; safe to call more than once.
+  /// Submit after Shutdown returns an immediately-failed kUnavailable
+  /// future.
   void Shutdown();
+
+  /// True once the stall watchdog tripped the batcher into its terminal
+  /// draining state (all submits shed with kUnavailable).
+  bool unavailable() const;
+
+  /// True while the circuit breaker is open (submits shed, canary probes
+  /// running).
+  bool breaker_open() const;
 
  private:
   struct Request {
     std::vector<float> window;
-    std::promise<std::vector<float>> promise;
+    std::promise<util::StatusOr<Embedding>> promise;
     int64_t enqueue_ns = 0;
+    int64_t deadline_ns = 0;  // absolute steady-clock ns; 0 = none
   };
 
   void DispatcherLoop();
   void RunBatch(std::vector<Request> batch);
 
+  /// Encodes the session's canary while the breaker is open. True when the
+  /// probe came back finite (breaker may close).
+  bool ProbeSessionHealthy();
+
+  /// Fails and removes every queued request. Caller holds mutex_.
+  void FailQueuedLocked(StatusCode code, const char* message);
+
+  /// Fails and removes queued requests whose deadline passed. Caller holds
+  /// mutex_.
+  void ExpireDeadlinesLocked(int64_t now_ns);
+
   InferenceSession* session_;
   MicroBatcherOptions options_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::deque<Request> queue_;
   bool shutdown_ = false;
+  bool unavailable_ = false;    // terminal; set by the stall watchdog
+  bool breaker_open_ = false;   // poisoned-output circuit breaker
+  bool batch_in_flight_ = false;
+  int64_t heartbeat_ns_ = 0;    // last dispatcher liveness mark
+  int64_t consecutive_poisoned_ = 0;
+
+  obs::Histogram& queue_ns_;
+  obs::Counter& deadline_exceeded_;
+  obs::Counter& shed_;
+  obs::Gauge& breaker_state_;
+  obs::Gauge& heartbeat_gauge_;
 
   std::thread dispatcher_;
 };

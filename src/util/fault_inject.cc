@@ -24,16 +24,44 @@ struct State {
   std::mutex mutex;
   std::vector<Rule> rules;
   std::map<std::string, uint64_t, std::less<>> counters;
+  std::map<std::string, std::string, std::less<>> registry;
 };
 
 std::atomic<bool> g_enabled{false};
 
+// Every production fault::At call site must have a row here; the CLI's
+// `fault-points` verb prints this table and ParseSpec warns about names
+// missing from it.
+constexpr struct {
+  const char* name;
+  const char* description;
+} kBuiltinPoints[] = {
+    {"pretrain_nan_loss",
+     "flip the pre-training loss to NaN before the anomaly guard sees it"},
+    {"truncate_checkpoint",
+     "truncate the checkpoint payload before its atomic rename (torn write)"},
+    {"serve_slow_encode",
+     "sleep 50ms in the micro-batcher dispatcher before encoding a batch"},
+    {"serve_nan_embedding",
+     "poison a served batch's embeddings with NaN after the encode"},
+    {"serve_reload_corrupt",
+     "make the hot-reload canary non-finite so the model swap is rejected"},
+};
+
 State& GetState() {
-  static State* state = new State();
+  static State* state = [] {
+    State* s = new State();
+    for (const auto& point : kBuiltinPoints) {
+      s->registry.emplace(point.name, point.description);
+    }
+    return s;
+  }();
   return *state;
 }
 
-std::vector<Rule> ParseSpec(const std::string& spec) {
+/// Parses a spec string. `state.mutex` must be held by the caller (the
+/// registry is consulted for unknown-name warnings).
+std::vector<Rule> ParseSpec(const State& state, const std::string& spec) {
   std::vector<Rule> rules;
   size_t pos = 0;
   while (pos < spec.size()) {
@@ -70,6 +98,12 @@ std::vector<Rule> ParseSpec(const std::string& spec) {
                         << "'";
       continue;
     }
+    if (state.registry.find(rule.point) == state.registry.end()) {
+      TIMEDRL_LOG_WARNING
+          << "fault-inject point '" << rule.point
+          << "' is not registered (typo?); run `timedrl fault-points` for "
+             "the known names. The rule is installed anyway.";
+    }
     rules.push_back(std::move(rule));
   }
   return rules;
@@ -82,7 +116,7 @@ void EnsureEnvParsed() {
     if (spec.empty()) return;
     State& state = GetState();
     std::lock_guard<std::mutex> lock(state.mutex);
-    state.rules = ParseSpec(spec);
+    state.rules = ParseSpec(state, spec);
     g_enabled.store(!state.rules.empty(), std::memory_order_release);
   });
 }
@@ -112,9 +146,32 @@ void SetSpecForTest(const std::string& spec) {
   EnsureEnvParsed();
   State& state = GetState();
   std::lock_guard<std::mutex> lock(state.mutex);
-  state.rules = ParseSpec(spec);
+  state.rules = ParseSpec(state, spec);
   state.counters.clear();
   g_enabled.store(!state.rules.empty(), std::memory_order_release);
+}
+
+void RegisterPoint(std::string_view point, std::string_view description) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.registry[std::string(point)] = std::string(description);
+}
+
+bool IsRegisteredPoint(std::string_view point) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.registry.find(point) != state.registry.end();
+}
+
+std::vector<FaultPointInfo> RegisteredPoints() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<FaultPointInfo> points;
+  points.reserve(state.registry.size());
+  for (const auto& [name, description] : state.registry) {
+    points.push_back({name, description});
+  }
+  return points;  // std::map iteration is already name-sorted
 }
 
 void ResetCounters() {

@@ -14,14 +14,26 @@
 //
 // Example: TIMEDRL_FAULT_INJECT="pretrain_nan_loss@12x3,truncate_checkpoint@2"
 
+// Every production fault point is registered (name + what firing does) in
+// the built-in table in fault_inject.cc; specs naming an unknown point log
+// a warning instead of silently never firing, and `timedrl fault-points`
+// prints the table.
+
 #ifndef TIMEDRL_UTIL_FAULT_INJECT_H_
 #define TIMEDRL_UTIL_FAULT_INJECT_H_
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace timedrl::fault {
+
+/// A registered injection point: its spec name and what firing it does.
+struct FaultPointInfo {
+  std::string name;
+  std::string description;
+};
 
 /// True when any fault spec is active (env var or test-installed). Cheap:
 /// one relaxed atomic bool load.
@@ -43,6 +55,20 @@ void ResetCounters();
 
 /// Calls seen so far for `point` (0 when injection is disabled). Test aid.
 uint64_t CallCount(std::string_view point);
+
+/// Adds `point` to the registry of known fault points (idempotent; a
+/// re-registration updates the description). Production points live in the
+/// built-in table in fault_inject.cc; this hook exists for tests and
+/// downstream extensions.
+void RegisterPoint(std::string_view point, std::string_view description);
+
+/// True when `point` is a registered name. Spec parsing warns (but still
+/// installs the rule) when this is false, so a typo'd TIMEDRL_FAULT_INJECT
+/// is visible instead of silently inert.
+bool IsRegisteredPoint(std::string_view point);
+
+/// Every registered point, sorted by name. Backs `timedrl fault-points`.
+std::vector<FaultPointInfo> RegisteredPoints();
 
 }  // namespace timedrl::fault
 

@@ -28,6 +28,14 @@ const char* StatusCodeName(StatusCode code) {
       return "STRUCTURE_MISMATCH";
     case StatusCode::kNotFound:
       return "NOT_FOUND";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
   }
   return "UNKNOWN";
 }

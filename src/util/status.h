@@ -44,6 +44,19 @@ enum class StatusCode {
   kStructureMismatch,
   /// Nothing to load (e.g. no checkpoint exists in the directory yet).
   kNotFound,
+  /// The request's deadline passed before the work was performed; the
+  /// operation was never attempted (a serving queue expired it).
+  kDeadlineExceeded,
+  /// The subsystem is (possibly temporarily) refusing work: shutting down,
+  /// circuit breaker open, or a stalled dispatcher. Safe to retry elsewhere.
+  kUnavailable,
+  /// Admission control rejected the request because a bounded queue or
+  /// budget is full. Retrying immediately will likely fail again.
+  kResourceExhausted,
+  /// The system itself misbehaved (non-finite embedding, exception on the
+  /// serving path). Unlike kUnavailable, retrying may return garbage again;
+  /// the payload should not be trusted.
+  kInternal,
 };
 
 /// Spells the code for logs and error messages, e.g. "RAGGED_ROW".

@@ -1,0 +1,78 @@
+// StatusOr<T>: a value or the typed Status explaining its absence.
+//
+// The serving path hands results across threads through futures; a bare
+// value type would leave "the dispatcher shed your request" representable
+// only as a broken promise or an exception. StatusOr makes every outcome a
+// normal value: callers branch on ok() and read either value() or status(),
+// and a promise can always be fulfilled — there is no exit path that has
+// nothing meaningful to set.
+//
+// Accessing value() on a non-ok StatusOr is a programming error and dies
+// via TIMEDRL_CHECK, mirroring the library's fail-fast stance everywhere
+// else.
+
+#ifndef TIMEDRL_UTIL_STATUS_OR_H_
+#define TIMEDRL_UTIL_STATUS_OR_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace timedrl::util {
+
+template <typename T>
+class StatusOr {
+ public:
+  /// Default: a non-ok placeholder, so a default-constructed StatusOr can
+  /// never masquerade as a success carrying a default value.
+  StatusOr()
+      : status_(Status::Error(StatusCode::kInternal,
+                              "uninitialized StatusOr")) {}
+
+  /// From an error Status. Dies if `status` is ok: an ok StatusOr must
+  /// carry a value.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    TIMEDRL_CHECK(!status_.ok())
+        << "StatusOr constructed from an OK status without a value";
+  }
+
+  /// From a value (implicit, so `return embedding;` works).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The status; Status::Ok() when a value is present.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    TIMEDRL_CHECK(ok()) << "value() on error StatusOr: "
+                        << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    TIMEDRL_CHECK(ok()) << "value() on error StatusOr: "
+                        << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    TIMEDRL_CHECK(ok()) << "value() on error StatusOr: "
+                        << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // Ok iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace timedrl::util
+
+#endif  // TIMEDRL_UTIL_STATUS_OR_H_

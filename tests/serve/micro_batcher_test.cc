@@ -5,14 +5,20 @@
 //  2. Coalescing: with a delay budget, concurrent requests are served in
 //     batches larger than one (observable via the serve.batch_size
 //     histogram's max).
-//  3. Lifecycle: shutdown drains in-flight requests; options come from the
-//     environment with sane fallbacks.
+//  3. Lifecycle: shutdown drains in-flight requests; submits after Shutdown
+//     resolve immediately with kUnavailable instead of aborting; options
+//     come from the environment with sane fallbacks.
+//  4. Hardening: deadlines expire queued requests with kDeadlineExceeded,
+//     the bounded queue sheds with kResourceExhausted, the circuit breaker
+//     opens on consecutive poisoned batches and recovers via canary probes,
+//     and the stall watchdog fails a wedged batcher into kUnavailable.
 //
 // The test is also the TSan target for the serve label: every data path
 // (submit queue, dispatcher, promise fan-out) runs under real contention.
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <future>
 #include <memory>
@@ -25,7 +31,9 @@
 #include "obs/metrics.h"
 #include "serve/inference_session.h"
 #include "serve/micro_batcher.h"
+#include "util/fault_inject.h"
 #include "util/rng.h"
+#include "util/status_or.h"
 
 namespace timedrl::serve {
 namespace {
@@ -41,6 +49,18 @@ core::TimeDrlConfig SmallConfig() {
   config.ff_dim = 16;
   config.num_layers = 1;
   return config;
+}
+
+/// Polls `condition` for up to `budget_ms`, returning whether it held.
+template <typename Condition>
+bool WaitFor(Condition condition, int64_t budget_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(budget_ms);
+  while (!condition()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
 }
 
 class MicroBatcherTest : public ::testing::Test {
@@ -63,7 +83,10 @@ class MicroBatcherTest : public ::testing::Test {
         InferenceSession::Open(path_, session_config, &session_).ok());
   }
 
-  void TearDown() override { std::remove(path_.c_str()); }
+  void TearDown() override {
+    fault::SetSpecForTest("");
+    std::remove(path_.c_str());
+  }
 
   std::vector<float> MakeWindow(uint64_t seed) const {
     const core::TimeDrlConfig& config = session_->model_config();
@@ -90,7 +113,7 @@ TEST_F(MicroBatcherTest, ConcurrentSubmittersGetBitwiseCorrectEmbeddings) {
   for (int t = 0; t < kThreads; ++t) {
     clients.emplace_back([&, t] {
       for (int i = 0; i < kPerThread; ++i) {
-        got[t].push_back(batcher.Encode(MakeWindow(t * 100 + i)));
+        got[t].push_back(batcher.Encode(MakeWindow(t * 100 + i)).value());
       }
     });
   }
@@ -120,12 +143,12 @@ TEST_F(MicroBatcherTest, CoalescesConcurrentRequests) {
 
   // Submit a burst of futures before waiting on any of them, so the
   // dispatcher sees a full queue.
-  std::vector<std::future<std::vector<float>>> futures;
+  std::vector<std::future<util::StatusOr<Embedding>>> futures;
   for (int i = 0; i < 16; ++i) {
     futures.push_back(batcher.Submit(MakeWindow(i)));
   }
   for (auto& future : futures) {
-    EXPECT_FALSE(future.get().empty());
+    EXPECT_FALSE(future.get().value().empty());
   }
 
   const obs::HistogramStats* stats = nullptr;
@@ -141,7 +164,7 @@ TEST_F(MicroBatcherTest, CoalescesConcurrentRequests) {
 }
 
 TEST_F(MicroBatcherTest, ShutdownDrainsOutstandingRequests) {
-  std::vector<std::future<std::vector<float>>> futures;
+  std::vector<std::future<util::StatusOr<Embedding>>> futures;
   {
     MicroBatcherOptions options;
     options.max_batch = 4;
@@ -153,9 +176,29 @@ TEST_F(MicroBatcherTest, ShutdownDrainsOutstandingRequests) {
     batcher.Shutdown();
   }
   for (auto& future : futures) {
-    EXPECT_EQ(future.get().size(),
+    EXPECT_EQ(future.get().value().size(),
               static_cast<size_t>(session_->embedding_dim()));
   }
+}
+
+// Regression: submitting after Shutdown used to die on a TIMEDRL_CHECK in
+// the dispatcher teardown path; the contract is an immediately-failed
+// kUnavailable future, never a process abort.
+TEST_F(MicroBatcherTest, SubmitAfterShutdownReturnsUnavailable) {
+  MicroBatcherOptions options;
+  options.max_delay_us = 0;
+  MicroBatcher batcher(session_.get(), options);
+  EXPECT_TRUE(batcher.Encode(MakeWindow(1)).ok());
+  batcher.Shutdown();
+
+  util::StatusOr<Embedding> result = batcher.Encode(MakeWindow(2));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+
+  // Still true after a second Shutdown (idempotent teardown).
+  batcher.Shutdown();
+  EXPECT_EQ(batcher.Encode(MakeWindow(3)).status().code(),
+            StatusCode::kUnavailable);
 }
 
 TEST_F(MicroBatcherTest, MaxBatchIsClampedToSessionPlan) {
@@ -163,30 +206,172 @@ TEST_F(MicroBatcherTest, MaxBatchIsClampedToSessionPlan) {
   options.max_batch = 1000;  // session only planned up to 8
   options.max_delay_us = 1000;
   MicroBatcher batcher(session_.get(), options);
-  std::vector<std::future<std::vector<float>>> futures;
+  std::vector<std::future<util::StatusOr<Embedding>>> futures;
   for (int i = 0; i < 20; ++i) {
     futures.push_back(batcher.Submit(MakeWindow(i)));
   }
   for (auto& future : futures) {
-    EXPECT_FALSE(future.get().empty());  // would die on an unplanned batch
+    EXPECT_FALSE(
+        future.get().value().empty());  // would die on an unplanned batch
   }
+}
+
+TEST_F(MicroBatcherTest, WrongSizeWindowFailsWithoutReachingDispatcher) {
+  MicroBatcher batcher(session_.get(), MicroBatcherOptions());
+  util::StatusOr<Embedding> result =
+      batcher.Encode(std::vector<float>(3, 0.0f));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kStructureMismatch);
+}
+
+TEST_F(MicroBatcherTest, QueuedRequestPastDeadlineFailsDeadlineExceeded) {
+  MicroBatcherOptions options;
+  options.max_batch = 8;
+  options.max_delay_us = 100000;  // 100ms linger: the deadline passes first
+  MicroBatcher batcher(session_.get(), options);
+
+  SubmitOptions submit;
+  submit.deadline_us = 1000;
+  util::StatusOr<Embedding> result =
+      batcher.Encode(MakeWindow(1), submit);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  // With no deadline the same request is served despite the linger.
+  EXPECT_TRUE(batcher.Encode(MakeWindow(2)).ok());
+}
+
+TEST_F(MicroBatcherTest, FullQueueShedsNewestWithResourceExhausted) {
+  // Hold the dispatcher inside an encode so submits pile up behind it.
+  fault::SetSpecForTest("serve_slow_encode@1x*");
+  MicroBatcherOptions options;
+  options.max_batch = 1;
+  options.max_delay_us = 0;
+  options.max_queue = 2;
+  MicroBatcher batcher(session_.get(), options);
+
+  std::vector<std::future<util::StatusOr<Embedding>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(batcher.Submit(MakeWindow(i)));
+  }
+  int rejected = 0;
+  int served = 0;
+  for (auto& future : futures) {
+    util::StatusOr<Embedding> result = future.get();
+    if (result.ok()) {
+      ++served;
+    } else {
+      ASSERT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  // At most 1 in flight + 2 queued can be admitted from a burst of 8, and
+  // everything admitted is eventually served (Shutdown drains).
+  EXPECT_GE(rejected, 5);
+  EXPECT_EQ(served + rejected, 8);
+  EXPECT_GE(served, 1);
+}
+
+TEST_F(MicroBatcherTest, BreakerOpensOnPoisonedBatchesAndRecovers) {
+  // Open-ended poison: every batch and every canary probe is non-finite
+  // until the spec is cleared, so the breaker deterministically stays open.
+  fault::SetSpecForTest("serve_nan_embedding@1x*");
+  MicroBatcherOptions options;
+  options.max_delay_us = 0;
+  options.breaker_threshold = 3;
+  options.breaker_probe_ms = 2;
+  MicroBatcher batcher(session_.get(), options);
+
+  for (int i = 0; i < 3; ++i) {
+    util::StatusOr<Embedding> result = batcher.Encode(MakeWindow(i));
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  }
+  // The breaker flag is set by the dispatcher just after the third poisoned
+  // promise resolves; give it a beat.
+  ASSERT_TRUE(WaitFor([&] { return batcher.breaker_open(); }));
+
+  // While open, submits shed without touching the session.
+  util::StatusOr<Embedding> shed = batcher.Encode(MakeWindow(100));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+
+  // Heal the model: the next canary probe comes back finite and the
+  // breaker closes without any client traffic.
+  fault::SetSpecForTest("");
+  ASSERT_TRUE(WaitFor([&] { return !batcher.breaker_open(); }));
+  EXPECT_TRUE(batcher.Encode(MakeWindow(101)).ok());
+}
+
+TEST_F(MicroBatcherTest, StallWatchdogTripsBatcherIntoUnavailable) {
+  // Every batch stalls 50ms; with a 5ms stall budget the second submit
+  // observes a stale heartbeat with a batch in flight and trips the
+  // watchdog.
+  fault::SetSpecForTest("serve_slow_encode@1x*");
+  MicroBatcherOptions options;
+  options.max_delay_us = 0;
+  options.stall_timeout_ms = 5;
+  MicroBatcher batcher(session_.get(), options);
+
+  std::future<util::StatusOr<Embedding>> first =
+      batcher.Submit(MakeWindow(1));
+  // Let the dispatcher take the batch and wedge inside the encode.
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+
+  util::StatusOr<Embedding> second = batcher.Encode(MakeWindow(2));
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(batcher.unavailable());
+
+  // The wedged batch still resolves (the encode eventually finished), and
+  // the batcher stays terminal: later submits shed too.
+  EXPECT_TRUE(first.get().ok());
+  EXPECT_EQ(batcher.Encode(MakeWindow(3)).status().code(),
+            StatusCode::kUnavailable);
 }
 
 TEST(MicroBatcherOptionsTest, FromEnvReadsOverridesAndIgnoresGarbage) {
   setenv("TIMEDRL_SERVE_MAX_BATCH", "16", 1);
   setenv("TIMEDRL_SERVE_MAX_DELAY_US", "750", 1);
+  setenv("TIMEDRL_SERVE_MAX_QUEUE", "7", 1);
+  setenv("TIMEDRL_SERVE_DEADLINE_US", "123", 1);
+  setenv("TIMEDRL_SERVE_STALL_TIMEOUT_MS", "9", 1);
+  setenv("TIMEDRL_SERVE_BREAKER_THRESHOLD", "2", 1);
+  setenv("TIMEDRL_SERVE_BREAKER_PROBE_MS", "4", 1);
   MicroBatcherOptions options = MicroBatcherOptions::FromEnv();
   EXPECT_EQ(options.max_batch, 16);
   EXPECT_EQ(options.max_delay_us, 750);
+  EXPECT_EQ(options.max_queue, 7);
+  EXPECT_EQ(options.default_deadline_us, 123);
+  EXPECT_EQ(options.stall_timeout_ms, 9);
+  EXPECT_EQ(options.breaker_threshold, 2);
+  EXPECT_EQ(options.breaker_probe_ms, 4);
 
   setenv("TIMEDRL_SERVE_MAX_BATCH", "not-a-number", 1);
   setenv("TIMEDRL_SERVE_MAX_DELAY_US", "-5", 1);
+  setenv("TIMEDRL_SERVE_MAX_QUEUE", "0", 1);       // below the minimum of 1
+  setenv("TIMEDRL_SERVE_DEADLINE_US", "-1", 1);    // below the minimum of 0
+  setenv("TIMEDRL_SERVE_STALL_TIMEOUT_MS", "ten", 1);
+  setenv("TIMEDRL_SERVE_BREAKER_THRESHOLD", "-3", 1);
+  setenv("TIMEDRL_SERVE_BREAKER_PROBE_MS", "0", 1);
   options = MicroBatcherOptions::FromEnv();
   EXPECT_EQ(options.max_batch, MicroBatcherOptions().max_batch);
   EXPECT_EQ(options.max_delay_us, MicroBatcherOptions().max_delay_us);
+  EXPECT_EQ(options.max_queue, MicroBatcherOptions().max_queue);
+  EXPECT_EQ(options.default_deadline_us,
+            MicroBatcherOptions().default_deadline_us);
+  EXPECT_EQ(options.stall_timeout_ms, MicroBatcherOptions().stall_timeout_ms);
+  EXPECT_EQ(options.breaker_threshold,
+            MicroBatcherOptions().breaker_threshold);
+  EXPECT_EQ(options.breaker_probe_ms, MicroBatcherOptions().breaker_probe_ms);
 
-  unsetenv("TIMEDRL_SERVE_MAX_BATCH");
-  unsetenv("TIMEDRL_SERVE_MAX_DELAY_US");
+  for (const char* name :
+       {"TIMEDRL_SERVE_MAX_BATCH", "TIMEDRL_SERVE_MAX_DELAY_US",
+        "TIMEDRL_SERVE_MAX_QUEUE", "TIMEDRL_SERVE_DEADLINE_US",
+        "TIMEDRL_SERVE_STALL_TIMEOUT_MS", "TIMEDRL_SERVE_BREAKER_THRESHOLD",
+        "TIMEDRL_SERVE_BREAKER_PROBE_MS"}) {
+    unsetenv(name);
+  }
 }
 
 }  // namespace

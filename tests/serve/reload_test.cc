@@ -1,0 +1,197 @@
+// serve::InferenceSession hot-reload contracts:
+//  1. Interop: a session hot-swapped onto a checkpoint — v1 parameter-only
+//     or v2 full training checkpoint — produces embeddings bitwise
+//     identical to a fresh session opened on that same file. Reloading is
+//     not a second code path with its own numerics.
+//  2. Zero downtime: the swap is staged by Reload() and applied at the next
+//     Encode; until then the old model keeps answering, and a rejected
+//     candidate (unreadable file, corrupt canary) leaves the old model
+//     serving bitwise-unchanged.
+//  3. Validation: the canary gate turns a poisoned candidate into a typed
+//     kInternal error ("serve_reload_corrupt" forces this) instead of
+//     swapping garbage into the serving path.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/model.h"
+#include "core/pretrainer.h"
+#include "core/sources.h"
+#include "data/synthetic.h"
+#include "data/windows.h"
+#include "nn/serialize.h"
+#include "serve/inference_session.h"
+#include "util/fault_inject.h"
+#include "util/rng.h"
+
+namespace timedrl::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::TimeDrlConfig SmallConfig() {
+  core::TimeDrlConfig config;
+  config.input_channels = 2;
+  config.input_length = 16;
+  config.patch_length = 4;
+  config.patch_stride = 4;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.ff_dim = 16;
+  config.num_layers = 1;
+  return config;
+}
+
+Tensor TestBatch(int64_t batch, const core::TimeDrlConfig& config,
+                 uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::Randn({batch, config.input_length, config.input_channels},
+                       rng);
+}
+
+void ExpectBitwise(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+  }
+}
+
+/// Saves a freshly initialized model with `seed` as a v1 checkpoint.
+std::string SaveV1(const core::TimeDrlConfig& config, uint64_t seed,
+                   const std::string& name) {
+  Rng rng(seed);
+  core::TimeDrlModel model(config, rng);
+  const std::string path = ::testing::TempDir() + name;
+  EXPECT_TRUE(nn::SaveParameters(model, path).ok());
+  return path;
+}
+
+std::unique_ptr<InferenceSession> OpenSession(
+    const std::string& path, const core::TimeDrlConfig& config) {
+  InferenceSessionConfig session_config;
+  session_config.model = config;
+  session_config.planned_batch_sizes = {1, 4};
+  std::unique_ptr<InferenceSession> session;
+  EXPECT_TRUE(InferenceSession::Open(path, session_config, &session).ok());
+  return session;
+}
+
+TEST(ReloadTest, HotSwappedV1MatchesFreshSessionBitwise) {
+  const core::TimeDrlConfig config = SmallConfig();
+  const std::string path_a = SaveV1(config, 42, "reload_v1_a.ckpt");
+  const std::string path_b = SaveV1(config, 43, "reload_v1_b.ckpt");
+
+  std::unique_ptr<InferenceSession> session = OpenSession(path_a, config);
+  std::unique_ptr<InferenceSession> fresh_a = OpenSession(path_a, config);
+  std::unique_ptr<InferenceSession> fresh_b = OpenSession(path_b, config);
+
+  Tensor x = TestBatch(4, config, /*seed=*/5);
+  ExpectBitwise(fresh_a->Encode(x).instance, session->Encode(x).instance);
+
+  // Stage the swap; it applies at the next Encode, not before.
+  ASSERT_TRUE(session->Reload(path_b).ok());
+  EXPECT_EQ(session->reloads_applied(), 0u);
+
+  Embeddings after = session->Encode(x);
+  EXPECT_EQ(session->reloads_applied(), 1u);
+  ExpectBitwise(fresh_b->Encode(x).instance, after.instance);
+  ExpectBitwise(fresh_b->Encode(x).timestamp, after.timestamp);
+
+  fs::remove(path_a);
+  fs::remove(path_b);
+}
+
+TEST(ReloadTest, HotSwappedV2TrainingCheckpointMatchesFreshSessionBitwise) {
+  const std::string dir = ::testing::TempDir() + "reload_v2_ckpts";
+  fs::remove_all(dir);
+  core::TimeDrlConfig config = SmallConfig();
+  config.input_channels = 1;  // channel-independent training below
+
+  // Real pre-training run writing v2 checkpoints every epoch.
+  Rng data_rng(1);
+  data::TimeSeries series = data::MakeEttLike(200, 24, 1, data_rng);
+  data::ForecastingWindows windows(series, config.input_length, 0, 4);
+  core::ForecastingSource source(&windows, /*channel_independent=*/true);
+  Rng model_rng(7);
+  core::TimeDrlModel model(config, model_rng);
+  core::PretrainConfig pretrain;
+  pretrain.train.epochs = 1;
+  pretrain.train.batch_size = 8;
+  pretrain.train.checkpoint.directory = dir;
+  Rng train_rng(99);
+  core::Pretrain(&model, source, pretrain, train_rng);
+  core::CheckpointManager manager(dir);
+  std::vector<std::string> checkpoints = manager.ListCheckpoints();
+  ASSERT_FALSE(checkpoints.empty());
+  const std::string v2_path = checkpoints.back();
+
+  // Session opened on an untrained v1 file, then hot-swapped to the trained
+  // v2 checkpoint mid-life.
+  const std::string v1_path = SaveV1(config, 42, "reload_v2_start.ckpt");
+  std::unique_ptr<InferenceSession> session = OpenSession(v1_path, config);
+  std::unique_ptr<InferenceSession> fresh = OpenSession(v2_path, config);
+
+  ASSERT_TRUE(session->Reload(v2_path).ok());
+  Tensor x = TestBatch(4, config, /*seed=*/6);
+  Embeddings after = session->Encode(x);
+  EXPECT_EQ(session->reloads_applied(), 1u);
+  ExpectBitwise(fresh->Encode(x).instance, after.instance);
+  ExpectBitwise(fresh->Encode(x).timestamp, after.timestamp);
+
+  fs::remove(v1_path);
+  fs::remove_all(dir);
+}
+
+TEST(ReloadTest, CorruptCanaryRejectsCandidateAndKeepsOldModelServing) {
+  const core::TimeDrlConfig config = SmallConfig();
+  const std::string path_a = SaveV1(config, 42, "reload_corrupt_a.ckpt");
+  const std::string path_b = SaveV1(config, 43, "reload_corrupt_b.ckpt");
+
+  std::unique_ptr<InferenceSession> session = OpenSession(path_a, config);
+  std::unique_ptr<InferenceSession> fresh_a = OpenSession(path_a, config);
+  Tensor x = TestBatch(1, config, /*seed=*/5);
+  Embeddings before = session->Encode(x);
+
+  fault::SetSpecForTest("serve_reload_corrupt@1");
+  Status status = session->Reload(path_b);
+  fault::SetSpecForTest("");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+
+  // Nothing was staged: the old model answers bitwise-identically.
+  Embeddings after = session->Encode(x);
+  EXPECT_EQ(session->reloads_applied(), 0u);
+  ExpectBitwise(before.instance, after.instance);
+  ExpectBitwise(fresh_a->Encode(x).instance, after.instance);
+
+  // A later clean reload of the same file succeeds.
+  EXPECT_TRUE(session->Reload(path_b).ok());
+  (void)session->Encode(x);
+  EXPECT_EQ(session->reloads_applied(), 1u);
+
+  fs::remove(path_a);
+  fs::remove(path_b);
+}
+
+TEST(ReloadTest, UnreadableCheckpointReturnsLoaderErrorAndKeepsServing) {
+  const core::TimeDrlConfig config = SmallConfig();
+  const std::string path = SaveV1(config, 42, "reload_missing_base.ckpt");
+  std::unique_ptr<InferenceSession> session = OpenSession(path, config);
+
+  Tensor x = TestBatch(1, config, /*seed=*/5);
+  Embeddings before = session->Encode(x);
+  Status status =
+      session->Reload(::testing::TempDir() + "reload_does_not_exist.ckpt");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(session->reloads_applied(), 0u);
+  ExpectBitwise(before.instance, session->Encode(x).instance);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace timedrl::serve

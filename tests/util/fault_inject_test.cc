@@ -66,6 +66,47 @@ TEST_F(FaultInjectTest, ResetCountersRearmsTheSpec) {
   EXPECT_TRUE(fault::At("boom"));
 }
 
+TEST_F(FaultInjectTest, BuiltinPointsAreRegistered) {
+  for (const char* name :
+       {"pretrain_nan_loss", "truncate_checkpoint", "serve_slow_encode",
+        "serve_nan_embedding", "serve_reload_corrupt"}) {
+    EXPECT_TRUE(fault::IsRegisteredPoint(name)) << name;
+  }
+  EXPECT_FALSE(fault::IsRegisteredPoint("no_such_point"));
+
+  // RegisteredPoints is sorted by name and every entry carries a
+  // description (the `timedrl fault-points` listing).
+  std::vector<fault::FaultPointInfo> points = fault::RegisteredPoints();
+  ASSERT_GE(points.size(), 5u);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i - 1].name, points[i].name);
+  }
+  for (const fault::FaultPointInfo& point : points) {
+    EXPECT_FALSE(point.description.empty()) << point.name;
+  }
+}
+
+TEST_F(FaultInjectTest, RegisterPointIsIdempotentAndUpdates) {
+  fault::RegisterPoint("test_only_point", "first description");
+  EXPECT_TRUE(fault::IsRegisteredPoint("test_only_point"));
+  fault::RegisterPoint("test_only_point", "second description");
+  bool found = false;
+  for (const fault::FaultPointInfo& point : fault::RegisteredPoints()) {
+    if (point.name == "test_only_point") {
+      found = true;
+      EXPECT_EQ(point.description, "second description");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FaultInjectTest, UnregisteredSpecNamesStillInstall) {
+  // A typo'd point warns (visible in the log) but the rule still works, so
+  // a deliberately unregistered name in a spec is not silently inert.
+  fault::SetSpecForTest("totally_unknown_point@1");
+  EXPECT_TRUE(fault::At("totally_unknown_point"));
+}
+
 TEST(Crc32Test, MatchesKnownVector) {
   // IEEE 802.3 CRC-32 of "123456789" is the classic check value.
   const char data[] = "123456789";

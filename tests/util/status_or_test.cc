@@ -1,0 +1,85 @@
+// util::StatusOr<T> contracts: every instance is either an error Status or
+// a value, never both and never neither; value() on an error dies (the
+// library's fail-fast stance), and the implicit conversions keep serving
+// code free of wrapper boilerplate.
+
+#include "util/status_or.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace timedrl::util {
+namespace {
+
+StatusOr<std::vector<float>> MakeValue() {
+  // Implicit value conversion: `return vec;` with no wrapper spelled out.
+  return std::vector<float>{1.0f, 2.0f};
+}
+
+StatusOr<std::vector<float>> MakeError() {
+  return Status::Error(StatusCode::kUnavailable, "shed");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<std::vector<float>> result = MakeValue();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(static_cast<bool>(result));
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.value().size(), 2u);
+  EXPECT_EQ((*result)[1], 2.0f);
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<std::vector<float>> result = MakeError();
+  ASSERT_FALSE(result.ok());
+  EXPECT_FALSE(static_cast<bool>(result));
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusOrTest, DefaultConstructedIsNotOk) {
+  // A future fulfilled by accident with a default StatusOr must read as an
+  // error, not as an empty success.
+  StatusOr<std::vector<float>> result;
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, RvalueValueMovesOut) {
+  std::vector<float> moved = MakeValue().value();
+  EXPECT_EQ(moved.size(), 2u);
+
+  // Move-only payloads work end to end.
+  StatusOr<std::unique_ptr<int>> boxed(std::make_unique<int>(7));
+  std::unique_ptr<int> out = std::move(boxed).value();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(StatusOrTest, NewServeCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorDies) {
+  StatusOr<std::vector<float>> result = MakeError();
+  EXPECT_DEATH((void)result.value(), "value\\(\\) on error StatusOr");
+}
+
+TEST(StatusOrDeathTest, OkStatusWithoutValueDies) {
+  EXPECT_DEATH(StatusOr<std::vector<float>>{Status::Ok()},
+               "OK status without a value");
+}
+
+}  // namespace
+}  // namespace timedrl::util

@@ -9,8 +9,12 @@
 //   encode    embed windows of a CSV series through a frozen checkpoint
 //             (graph-free inference path) and write them to CSV
 //   serve     load-test the embedding-serving path: client threads submit
-//             windows through the micro-batcher, report p50/p99 latency
-//             and throughput
+//             windows through the micro-batcher, report p50/p99 latency,
+//             throughput, and typed-error counts; supports mid-traffic
+//             zero-downtime model reload (--reload NEW.ckpt swaps in a new
+//             checkpoint, TIMEDRL_SERVE_RELOAD_POLL_MS watches --model for
+//             changes)
+//   fault-points        list the registered fault-injection points
 //   checkpoint-inspect  summarize a checkpoint file (version, CRC, shapes)
 //
 // The --out checkpoint stores parameters only; pass the same architecture
@@ -28,11 +32,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <thread>
 
 #include "core/checkpoint.h"
@@ -50,6 +57,9 @@
 #include "serve/inference_session.h"
 #include "serve/micro_batcher.h"
 #include "tools/flag_parser.h"
+#include "util/env.h"
+#include "util/fault_inject.h"
+#include "util/status_or.h"
 
 namespace timedrl::tools {
 namespace {
@@ -75,9 +85,15 @@ void PrintUsage() {
       "            [--stride N] [--pooling cls|last|gap|all]\n"
       "            [architecture flags]\n"
       "  serve     --csv FILE.csv --model MODEL.ckpt [--threads N]\n"
-      "            [--requests N] [architecture flags]\n"
-      "            (micro-batcher honors TIMEDRL_SERVE_MAX_BATCH and\n"
-      "             TIMEDRL_SERVE_MAX_DELAY_US)\n"
+      "            [--requests N] [--deadline-us D] [--reload NEW.ckpt]\n"
+      "            [architecture flags]\n"
+      "            (micro-batcher honors TIMEDRL_SERVE_MAX_BATCH,\n"
+      "             TIMEDRL_SERVE_MAX_DELAY_US, TIMEDRL_SERVE_MAX_QUEUE,\n"
+      "             TIMEDRL_SERVE_DEADLINE_US, TIMEDRL_SERVE_STALL_TIMEOUT_MS,\n"
+      "             TIMEDRL_SERVE_BREAKER_THRESHOLD; --reload hot-swaps the\n"
+      "             model mid-traffic, TIMEDRL_SERVE_RELOAD_POLL_MS watches\n"
+      "             the --model file for changes instead)\n"
+      "  fault-points        list registered fault-injection points\n"
       "  checkpoint-inspect --file CKPT\n"
       "\n"
       "CSV flags (pretrain/forecast/anomaly):\n"
@@ -455,14 +471,52 @@ int RunServe(const FlagParser& flags) {
       std::max<int64_t>(flags.GetInt("requests", 256), num_threads);
   serve::MicroBatcher batcher(session.get(),
                               serve::MicroBatcherOptions::FromEnv());
+  serve::SubmitOptions submit_options;
+  submit_options.deadline_us = flags.GetInt("deadline-us", -1);
 
   const int64_t window = session->model_config().input_length;
   const int64_t channels = session->model_config().input_channels;
   const int64_t row = window * channels;
 
+  // Zero-downtime reload, two modes: --reload NEW.ckpt swaps once
+  // mid-traffic; TIMEDRL_SERVE_RELOAD_POLL_MS polls the --model file and
+  // swaps whenever its mtime changes. Traffic keeps flowing either way.
+  const std::string model_path = flags.GetString("model");
+  const std::string reload_path = flags.GetString("reload");
+  const int64_t reload_poll_ms =
+      util::Env::GetInt("TIMEDRL_SERVE_RELOAD_POLL_MS", 0, /*min_value=*/0);
+  std::atomic<bool> clients_done{false};
+  std::thread reloader;
+  if (reload_poll_ms > 0) {
+    reloader = std::thread([&] {
+      namespace fs = std::filesystem;
+      std::error_code ec;
+      fs::file_time_type last = fs::last_write_time(model_path, ec);
+      while (!clients_done.load()) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(reload_poll_ms));
+        const fs::file_time_type now = fs::last_write_time(model_path, ec);
+        if (ec || now == last) continue;
+        last = now;
+        Status status = session->Reload(model_path);
+        std::printf("reload of %s: %s\n", model_path.c_str(),
+                    status.ok() ? "staged" : status.ToString().c_str());
+      }
+    });
+  } else if (!reload_path.empty()) {
+    reloader = std::thread([&] {
+      // Let some traffic land on the old model first, then swap.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      Status status = session->Reload(reload_path);
+      std::printf("reload of %s: %s\n", reload_path.c_str(),
+                  status.ok() ? "staged" : status.ToString().c_str());
+    });
+  }
+
   // Each client thread cycles through the dataset's windows and records
-  // per-request wall latency.
+  // per-request wall latency for successes plus typed-error counts.
   std::vector<std::vector<double>> latencies_us(num_threads);
+  std::vector<std::map<StatusCode, int64_t>> errors(num_threads);
   std::vector<std::thread> clients;
   const auto start = std::chrono::steady_clock::now();
   for (int64_t t = 0; t < num_threads; ++t) {
@@ -476,15 +530,22 @@ int RunServe(const FlagParser& flags) {
         std::vector<float> values(x.data().begin(),
                                   x.data().begin() + row);
         const auto submit = std::chrono::steady_clock::now();
-        (void)batcher.Encode(std::move(values));
-        latencies_us[t].push_back(
-            std::chrono::duration<double, std::micro>(
-                std::chrono::steady_clock::now() - submit)
-                .count());
+        util::StatusOr<serve::Embedding> result =
+            batcher.Encode(std::move(values), submit_options);
+        if (result.ok()) {
+          latencies_us[t].push_back(
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - submit)
+                  .count());
+        } else {
+          ++errors[t][result.status().code()];
+        }
       }
     });
   }
   for (std::thread& client : clients) client.join();
+  clients_done.store(true);
+  if (reloader.joinable()) reloader.join();
   const double elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -493,22 +554,58 @@ int RunServe(const FlagParser& flags) {
   for (const auto& per_thread : latencies_us) {
     all.insert(all.end(), per_thread.begin(), per_thread.end());
   }
+  std::map<StatusCode, int64_t> all_errors;
+  for (const auto& per_thread : errors) {
+    for (const auto& [code, count] : per_thread) all_errors[code] += count;
+  }
   std::sort(all.begin(), all.end());
-  auto quantile = [&](double q) {
-    return all[static_cast<size_t>(q * (all.size() - 1))];
-  };
   obs::MetricsSnapshot snapshot = obs::Registry::Global().Snapshot();
   const obs::HistogramStats* batches =
       snapshot.FindHistogram("serve.batch_size");
+  if (all.empty()) {
+    std::printf("served 0 of %lld requests OK in %.2fs\n",
+                static_cast<long long>(total_requests), elapsed_s);
+  } else {
+    auto quantile = [&](double q) {
+      return all[static_cast<size_t>(q * (all.size() - 1))];
+    };
+    std::printf(
+        "served %zu of %lld requests OK on %lld threads in %.2fs: "
+        "%.1f req/s\n"
+        "latency p50 %.0fus  p99 %.0fus  max %.0fus\n"
+        "encode batches: %llu, mean size %.2f\n",
+        all.size(), static_cast<long long>(total_requests),
+        static_cast<long long>(num_threads), elapsed_s,
+        static_cast<double>(all.size()) / elapsed_s, quantile(0.5),
+        quantile(0.99), all.back(),
+        static_cast<unsigned long long>(batches ? batches->count : 0),
+        batches ? batches->mean() : 0.0);
+  }
+  for (const auto& [code, count] : all_errors) {
+    std::printf("errors %s: %lld\n", StatusCodeName(code),
+                static_cast<long long>(count));
+  }
   std::printf(
-      "served %zu requests on %lld threads in %.2fs: %.1f req/s\n"
-      "latency p50 %.0fus  p99 %.0fus  max %.0fus\n"
-      "encode batches: %llu, mean size %.2f\n",
-      all.size(), static_cast<long long>(num_threads), elapsed_s,
-      static_cast<double>(all.size()) / elapsed_s, quantile(0.5),
-      quantile(0.99), all.back(),
-      static_cast<unsigned long long>(batches ? batches->count : 0),
-      batches ? batches->mean() : 0.0);
+      "shed: %llu  deadline_exceeded: %llu  reloads: %llu  "
+      "breaker_state: %.0f\n",
+      static_cast<unsigned long long>(snapshot.CounterValue("serve.shed")),
+      static_cast<unsigned long long>(
+          snapshot.CounterValue("serve.deadline_exceeded")),
+      static_cast<unsigned long long>(
+          snapshot.CounterValue("serve.reloads")),
+      snapshot.GaugeValue("serve.breaker_state"));
+  return 0;
+}
+
+int RunFaultPoints() {
+  std::printf(
+      "registered fault-injection points\n"
+      "(activate with TIMEDRL_FAULT_INJECT=\"<point>@<start>[x<count>|x*]\")"
+      "\n\n");
+  for (const fault::FaultPointInfo& point : fault::RegisteredPoints()) {
+    std::printf("  %-24s %s\n", point.name.c_str(),
+                point.description.c_str());
+  }
   return 0;
 }
 
@@ -565,6 +662,7 @@ int Main(int argc, char** argv) {
   if (flags.command() == "anomaly") return RunAnomaly(flags);
   if (flags.command() == "encode") return RunEncode(flags);
   if (flags.command() == "serve") return RunServe(flags);
+  if (flags.command() == "fault-points") return RunFaultPoints();
   if (flags.command() == "checkpoint-inspect") {
     return RunCheckpointInspect(flags);
   }

@@ -177,6 +177,20 @@ int Run(const FlagParser& flags) {
                   static_cast<unsigned long long>(stats.count),
                   stats.sum / 1e6, stats.mean() / 1e3);
     }
+
+    // Serving robustness counters/gauges: shed and expired requests,
+    // breaker state, and applied/rejected hot reloads. All zeros on a
+    // healthy run with no deadlines configured.
+    std::printf("\n%-28s %10s\n", "serve metric", "value");
+    for (const char* name :
+         {"serve.requests", "serve.shed", "serve.deadline_exceeded",
+          "serve.reloads", "serve.reload_failures"}) {
+      std::printf("%-28s %10llu\n", name,
+                  static_cast<unsigned long long>(
+                      snapshot.CounterValue(name)));
+    }
+    std::printf("%-28s %10.0f\n", "serve.breaker_state",
+                snapshot.GaugeValue("serve.breaker_state"));
   }
   return 0;
 }
