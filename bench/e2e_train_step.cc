@@ -25,6 +25,13 @@
 // fused losses stay within 1e-4 relative of the unfused path and are
 // bitwise identical across thread counts.
 //
+// A simd phase times the same pooled fused step with the runtime-dispatched
+// vector backend (tensor/kernels/dispatch.h) against the forced-scalar
+// reference path, interleaved per segment, and verifies the vector losses
+// stay within 1e-5 relative of scalar. The detected CPU feature string and
+// the auto-selected ISA are recorded so the numbers are interpretable on
+// any machine.
+//
 // A final serve phase freezes a model into a checkpoint, opens a
 // serve::InferenceSession on it, and times graph-free Encode() calls for
 // each planned batch size — fusion on (steady state must show zero pool
@@ -57,6 +64,7 @@
 #include "optim/optimizer.h"
 #include "serve/inference_session.h"
 #include "tensor/buffer_pool.h"
+#include "tensor/kernels/dispatch.h"
 #include "tensor/ops_fused.h"
 #include "tensor/tensor.h"
 #include "util/env.h"
@@ -319,6 +327,58 @@ int Main() {
       (1.0 - fused_med / unfused_med) * 100.0;
   unfused.reset();
   fused.reset();
+
+  // ---- SIMD phase ----------------------------------------------------------
+  // The pooled fused step on the auto-selected vector backend vs the
+  // forced-scalar reference, interleaved per segment like the other phases.
+  // On a machine with no vector ISA both arms run the same scalar path and
+  // the speedup is noise around 1.0; simd_isa says which case this was.
+  // Cross-path losses are tolerance-compared, not bitwise: the vector
+  // kernels reassociate lane reductions and use polynomial exp/tanh.
+  namespace simd = kernels::simd;
+  const simd::Isa simd_isa = simd::ActiveIsa();
+  double simd_scalar_med = 0.0;
+  double simd_med = 0.0;
+  double simd_loss_rel_diff = 0.0;
+  {
+    simd::SetIsa(simd::Isa::kScalar);
+    auto scalar_state = std::make_unique<TrainState>();
+    for (int i = 0; i < kWarmupSteps; ++i) scalar_state->Step(false);
+    simd::SetIsa(simd_isa);
+    auto vector_state = std::make_unique<TrainState>();
+    for (int i = 0; i < kWarmupSteps; ++i) vector_state->Step(false);
+
+    std::vector<double> scalar_ms;
+    std::vector<double> vector_ms;
+    for (int segment = 0; segment < kSegments; ++segment) {
+      simd::SetIsa(simd::Isa::kScalar);
+      scalar_ms.push_back(TimedSegment(*scalar_state, /*pooled=*/true));
+      simd::SetIsa(simd_isa);
+      vector_ms.push_back(TimedSegment(*vector_state, /*pooled=*/true));
+    }
+    simd_scalar_med = Median(scalar_ms);
+    simd_med = Median(vector_ms);
+    const double simd_loss_scale =
+        std::max(std::fabs(double{vector_state->last_loss}),
+                 std::fabs(double{scalar_state->last_loss}));
+    simd_loss_rel_diff =
+        simd_loss_scale == 0.0
+            ? 0.0
+            : std::fabs(double{vector_state->last_loss} -
+                        double{scalar_state->last_loss}) / simd_loss_scale;
+    if (simd_loss_rel_diff > 1e-5) {
+      std::fprintf(stderr,
+                   "FATAL: %s loss %.9g vs scalar loss %.9g (rel diff %.3g > "
+                   "1e-5) — the vector backend changed numerics\n",
+                   simd::IsaName(simd_isa),
+                   double{vector_state->last_loss},
+                   double{scalar_state->last_loss}, simd_loss_rel_diff);
+      return 1;
+    }
+  }
+  const double simd_speedup = simd_scalar_med / simd_med;
+  const double simd_improvement_pct =
+      (1.0 - simd_med / simd_scalar_med) * 100.0;
 
   // ---- Prefetch phase ------------------------------------------------------
   // The data pipeline's background producer (TIMEDRL_PREFETCH_DEPTH,
@@ -588,6 +648,13 @@ int Main() {
       "  \"fusion_improvement_pct\": %.2f,\n"
       "  \"fusion_loss_rel_diff\": %.3g,\n"
       "  \"fusion_losses_bitwise_equal_across_threads\": true,\n"
+      "  \"cpu_features\": \"%s\",\n"
+      "  \"simd_isa\": \"%s\",\n"
+      "  \"simd_scalar_ms_per_step\": %.4f,\n"
+      "  \"simd_ms_per_step\": %.4f,\n"
+      "  \"simd_speedup\": %.4f,\n"
+      "  \"simd_improvement_pct\": %.2f,\n"
+      "  \"simd_loss_rel_diff\": %.3g,\n"
       "  \"prefetch_depth\": %lld,\n"
       "  \"prefetch_sync_ms_per_step\": %.4f,\n"
       "  \"prefetch_ms_per_step\": %.4f,\n"
@@ -612,6 +679,9 @@ int Main() {
       static_cast<unsigned long long>(steady_misses),
       double{pooled->last_loss}, unfused_med, fused_med, fusion_speedup,
       fusion_improvement_pct, fusion_loss_rel_diff,
+      simd::CpuFeatureString().c_str(), simd::IsaName(simd_isa),
+      simd_scalar_med, simd_med, simd_speedup, simd_improvement_pct,
+      simd_loss_rel_diff,
       static_cast<long long>(prefetch_depth), prefetch_sync_med, prefetch_med,
       prefetch_speedup, prefetch_improvement_pct,
       static_cast<unsigned long long>(prefetch_steady_misses), prefetch_cores,

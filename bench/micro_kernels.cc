@@ -7,15 +7,31 @@
 // BM_SeedGemmNN is a faithful copy of the pre-kernel-layer matmul loop
 // (naive triple loop with a per-element sparsity branch) kept here as the
 // baseline the tiled kernels are measured against.
+//
+// A second mode compares the SIMD dispatch backends (kernels/dispatch.h):
+//
+//   ./bench/micro_kernels --json   # emit BENCH_micro_kernels.json content
+//
+// runs every dispatched kernel through every available backend's TableFor()
+// pointers at 1 thread and prints a JSON document with per-kernel GFLOP/s
+// and each vector ISA's speedup over the scalar reference, plus the CPU
+// feature string so numbers are comparable across machines (see
+// bench/run_micro_kernels.sh).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "tensor/kernels/conv1d.h"
+#include "tensor/kernels/dispatch.h"
 #include "tensor/kernels/elementwise.h"
 #include "tensor/kernels/gemm.h"
 #include "util/thread_pool.h"
@@ -166,7 +182,188 @@ void BM_ElementwiseGelu(benchmark::State& state) {
 }
 BENCHMARK(BM_ElementwiseGelu)->Arg(1)->Arg(4);
 
+// --------------------------------------------------------------------------
+// --json mode: per-ISA kernel comparison through the dispatch tables.
+// --------------------------------------------------------------------------
+
+// One dispatched kernel under measurement. `flops` is the NOMINAL flop count
+// per call — fixed per kernel, identical across ISAs, so the reported
+// speedups are exact time ratios even where the per-element op count of the
+// vector path differs from scalar (polynomial exp/tanh).
+struct JsonKernel {
+  const char* name;
+  double flops;
+  std::function<void(const kernels::simd::KernelTable*)> run;
+};
+
+// Fused-kernel shape for the JSON suite: one encoder-block activation,
+// [batch*tokens x d_model] with the repo's default-config sizes scaled up
+// enough that per-call time is measurable.
+constexpr int64_t kJsonRows = 1024;
+constexpr int64_t kJsonFeatures = 256;
+constexpr int64_t kJsonCount = 1 << 20;
+
+std::vector<JsonKernel> BuildJsonKernels() {
+  namespace ks = kernels::simd;
+  const double gemm_flops = 2.0 * kM * kK * kN;
+  const double rf = static_cast<double>(kJsonRows * kJsonFeatures);
+
+  // Shared inputs, sized for the largest consumer of each slot. Static so
+  // the lambdas can capture by reference without lifetime headaches.
+  static const auto a = RandomVector(kM * kK, 11);
+  static const auto b = RandomVector(kK * kN, 12);
+  static const auto ant = RandomVector(kM * kN, 13);  // NT's A: [m x n]
+  static const auto atn = RandomVector(kM * kK, 14);  // TN's A: [m x k]
+  static const auto btn = RandomVector(kM * kN, 15);  // TN's B: [m x n]
+  static std::vector<float> c_nn(kM * kN), c_nt(kM * kK), c_tn(kK * kN);
+  static const auto x = RandomVector(kJsonRows * kJsonFeatures, 16);
+  static const auto g = RandomVector(kJsonRows * kJsonFeatures, 17);
+  static const auto gamma = RandomVector(kJsonFeatures, 18);
+  static const auto beta = RandomVector(kJsonFeatures, 19);
+  static std::vector<float> y(kJsonRows * kJsonFeatures), mean(kJsonRows),
+      rstd(kJsonRows), dx(kJsonRows * kJsonFeatures), dgamma(kJsonFeatures),
+      dbeta(kJsonFeatures), scratch(kJsonRows * kJsonFeatures);
+  static std::vector<float> mask = [] {
+    std::vector<float> m(kJsonRows * kJsonFeatures, 0.0f);
+    for (size_t i = 0; i < m.size(); i += 3) m[i] = 1.0f;
+    return m;
+  }();
+  static const auto nf = RandomVector(kJsonCount, 20);
+
+  return {
+      {"gemm_nn", gemm_flops,
+       [&](const ks::KernelTable* t) {
+         t->gemm_nn(a.data(), b.data(), c_nn.data(), kM, kK, kN, false);
+       }},
+      {"gemm_nt", gemm_flops,
+       [&](const ks::KernelTable* t) {
+         t->gemm_nt(ant.data(), b.data(), c_nt.data(), kM, kN, kK, false);
+       }},
+      {"gemm_tn", gemm_flops,
+       [&](const ks::KernelTable* t) {
+         t->gemm_tn(atn.data(), btn.data(), c_tn.data(), kM, kK, kN, false);
+       }},
+      {"layer_norm_fwd", rf * 8,
+       [&](const ks::KernelTable* t) {
+         t->layer_norm_fwd(x.data(), gamma.data(), beta.data(), 1e-5f,
+                           y.data(), mean.data(), rstd.data(), kJsonRows,
+                           kJsonFeatures);
+       }},
+      {"layer_norm_bwd", rf * 12,
+       [&](const ks::KernelTable* t) {
+         t->layer_norm_bwd(g.data(), x.data(), gamma.data(), mean.data(),
+                           rstd.data(), dx.data(), dgamma.data(),
+                           dbeta.data(), kJsonRows, kJsonFeatures);
+       }},
+      {"softmax_fwd", rf * 8,
+       [&](const ks::KernelTable* t) {
+         t->softmax_fwd(x.data(), mask.data(), kJsonRows, 0.125f, -1e9f,
+                        y.data(), kJsonRows, kJsonFeatures);
+       }},
+      {"softmax_bwd", rf * 6,
+       [&](const ks::KernelTable* t) {
+         t->softmax_bwd(g.data(), y.data(), 0.125f, dx.data(), kJsonRows,
+                        kJsonFeatures);
+       }},
+      {"bias_gelu_fwd", rf * 15,
+       [&](const ks::KernelTable* t) {
+         t->bias_gelu_fwd(x.data(), beta.data(), y.data(), kJsonRows,
+                          kJsonFeatures);
+       }},
+      {"bias_gelu_bwd", rf * 25,
+       [&](const ks::KernelTable* t) {
+         t->bias_gelu_bwd(g.data(), x.data(), beta.data(), dx.data(),
+                          dbeta.data(), scratch.data(), kJsonRows,
+                          kJsonFeatures);
+       }},
+      {"count_nonfinite", static_cast<double>(kJsonCount),
+       [&](const ks::KernelTable* t) {
+         benchmark::DoNotOptimize(
+             t->count_nonfinite(nf.data(), kJsonCount));
+       }},
+  };
+}
+
+// Median-of-repeats self-timer: calibrates an iteration count to ~20 ms,
+// then takes the best of 5 timed repeats (min filters scheduler noise).
+double MeasureMsPerCall(const JsonKernel& k,
+                        const kernels::simd::KernelTable* table) {
+  using Clock = std::chrono::steady_clock;
+  k.run(table);  // warm up caches and the pool's scratch freelist
+  int64_t iters = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    for (int64_t i = 0; i < iters; ++i) k.run(table);
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    if (ms >= 20.0 || iters >= (1 << 20)) break;
+    iters *= 2;
+  }
+  double best_ms = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto t0 = Clock::now();
+    for (int64_t i = 0; i < iters; ++i) k.run(table);
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    best_ms = std::min(best_ms, ms / static_cast<double>(iters));
+  }
+  return best_ms;
+}
+
+int RunJsonMode() {
+  namespace ks = kernels::simd;
+  SetNumThreads(1);  // single-thread: measures the kernels, not the pool
+
+  std::vector<ks::Isa> isas = {ks::Isa::kScalar};
+  for (ks::Isa isa : {ks::Isa::kAvx2, ks::Isa::kAvx512, ks::Isa::kNeon}) {
+    if (ks::Available(isa)) isas.push_back(isa);
+  }
+
+  const auto json_kernels = BuildJsonKernels();
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"micro_kernels\",\n");
+  std::printf("  \"threads\": 1,\n");
+  std::printf("  \"cpu_features\": \"%s\",\n", ks::CpuFeatureString().c_str());
+  std::printf("  \"simd_isa\": \"%s\",\n", ks::IsaName(ks::ActiveIsa()));
+  std::printf("  \"isas\": [");
+  for (size_t i = 0; i < isas.size(); ++i) {
+    std::printf("%s\"%s\"", i ? ", " : "", ks::IsaName(isas[i]));
+  }
+  std::printf("],\n");
+  std::printf("  \"kernels\": {\n");
+  for (size_t ki = 0; ki < json_kernels.size(); ++ki) {
+    const JsonKernel& k = json_kernels[ki];
+    std::printf("    \"%s\": {\n", k.name);
+    std::printf("      \"flops_per_call\": %.0f,\n", k.flops);
+    double scalar_ms = 0.0;
+    for (size_t i = 0; i < isas.size(); ++i) {
+      const ks::KernelTable* table = ks::TableFor(isas[i]);
+      const double ms = MeasureMsPerCall(k, table);
+      if (isas[i] == ks::Isa::kScalar) scalar_ms = ms;
+      const double gflops = k.flops / (ms * 1e6);
+      std::printf(
+          "      \"%s\": {\"ms_per_call\": %.6f, \"gflops\": %.3f, "
+          "\"speedup_vs_scalar\": %.3f}%s\n",
+          ks::IsaName(isas[i]), ms, gflops, scalar_ms / ms,
+          i + 1 < isas.size() ? "," : "");
+    }
+    std::printf("    }%s\n", ki + 1 < json_kernels.size() ? "," : "");
+  }
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace timedrl
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return timedrl::RunJsonMode();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the micro-kernel benchmark in --json mode and records its output at
+# the repo root as BENCH_micro_kernels.json: per-kernel GFLOP/s through every
+# available SIMD dispatch backend (scalar / avx2 / avx512 / neon) at one
+# thread, each vector ISA's speedup over the scalar reference, plus the
+# detected CPU feature string and the auto-selected ISA so numbers are
+# comparable across machines. The classic google-benchmark mode (no flag)
+# is unaffected.
+# Build first:
+#   cmake -B build -S . && cmake --build build -j --target micro_kernels
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+bench_bin="${repo_root}/build/bench/micro_kernels"
+
+if [[ ! -x "${bench_bin}" ]]; then
+  echo "error: ${bench_bin} not built; run:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j --target micro_kernels" >&2
+  exit 1
+fi
+
+out="${repo_root}/BENCH_micro_kernels.json"
+"${bench_bin}" --json | tee "${out}"
+echo "wrote ${out}" >&2

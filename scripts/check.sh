@@ -8,6 +8,12 @@
 # sanitize — ASan+UBSan build, full ctest suite
 # tsan     — TSan build, threaded suites only (label-filtered; single-
 #            threaded numeric suites add hours under TSan for no signal)
+#
+# Each preset's suite then reruns with TIMEDRL_SIMD=scalar, so the scalar
+# reference kernels stay green even on hardware where auto-dispatch never
+# picks them. Finally, on x86 machines whose cpuid advertises AVX2, the
+# script fails if `timedrl simd` reports a scalar active path — that means
+# the vector TUs silently fell out of the build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +23,10 @@ if [ "${#presets[@]}" -eq 0 ]; then
   presets=(default sanitize tsan)
 fi
 
+declare -A build_dirs=(
+  [default]=build [sanitize]=build-asan [tsan]=build-tsan
+)
+
 for preset in "${presets[@]}"; do
   echo "==> configure: ${preset}"
   cmake --preset "${preset}"
@@ -24,6 +34,24 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "${preset}" -j "${jobs}"
   echo "==> test: ${preset}"
   ctest --preset "${preset}" -j "${jobs}"
+  echo "==> test (forced scalar): ${preset}"
+  TIMEDRL_SIMD=scalar ctest --preset "${preset}" -j "${jobs}"
 done
+
+# Dispatch-regression guard: a machine that advertises AVX2 must not end up
+# on the scalar path unless the user forced it.
+if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
+  for preset in "${presets[@]}"; do
+    cli="${build_dirs[${preset}]}/tools/timedrl"
+    [ -x "${cli}" ] || continue
+    active="$("${cli}" simd | awk '/^active_isa:/ {print $2}')"
+    echo "==> simd dispatch (${preset}): active_isa=${active}"
+    if [ "${active}" = "scalar" ]; then
+      echo "FAIL: cpuid advertises AVX2 but ${preset} selected the scalar" \
+           "path — vector TUs missing from the build?" >&2
+      exit 1
+    fi
+  done
+fi
 
 echo "All checks passed: ${presets[*]}"

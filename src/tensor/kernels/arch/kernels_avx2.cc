@@ -1,0 +1,23 @@
+// AVX2+FMA backend TU. This file (alone) is compiled with -mavx2 -mfma on
+// x86 (src/tensor/CMakeLists.txt); on other targets — or if those flags are
+// missing — the guard below compiles the accessor to a nullptr stub and no
+// vector code exists in the TU.
+
+#include "tensor/kernels/arch/simd_kernels.h"
+
+namespace timedrl::kernels::simd::arch {
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+const KernelTable* Avx2Table() {
+  static const KernelTable table = MakeTable<Avx2>("avx2");
+  return &table;
+}
+
+#else
+
+const KernelTable* Avx2Table() { return nullptr; }
+
+#endif
+
+}  // namespace timedrl::kernels::simd::arch

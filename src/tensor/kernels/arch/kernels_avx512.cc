@@ -1,0 +1,24 @@
+// AVX-512 backend TU (F+DQ+VL+BW feature set). This file (alone) is
+// compiled with the -mavx512* flags on x86 (src/tensor/CMakeLists.txt);
+// otherwise the accessor is a nullptr stub and no 512-bit code exists in
+// the binary.
+
+#include "tensor/kernels/arch/simd_kernels.h"
+
+namespace timedrl::kernels::simd::arch {
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && defined(__AVX512VL__) && \
+    defined(__AVX512BW__)
+
+const KernelTable* Avx512Table() {
+  static const KernelTable table = MakeTable<Avx512>("avx512");
+  return &table;
+}
+
+#else
+
+const KernelTable* Avx512Table() { return nullptr; }
+
+#endif
+
+}  // namespace timedrl::kernels::simd::arch

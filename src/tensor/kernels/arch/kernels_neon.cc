@@ -1,0 +1,21 @@
+// NEON backend TU. NEON is baseline on AArch64, so no special flags are
+// needed there; on every other target the accessor is a nullptr stub.
+
+#include "tensor/kernels/arch/simd_kernels.h"
+
+namespace timedrl::kernels::simd::arch {
+
+#if defined(__ARM_NEON) && defined(__aarch64__)
+
+const KernelTable* NeonTable() {
+  static const KernelTable table = MakeTable<Neon>("neon");
+  return &table;
+}
+
+#else
+
+const KernelTable* NeonTable() { return nullptr; }
+
+#endif
+
+}  // namespace timedrl::kernels::simd::arch

@@ -1,0 +1,14 @@
+#include "tensor/kernels/arch/scratch.h"
+
+#include <utility>
+
+#include "tensor/buffer_pool.h"
+
+namespace timedrl::kernels::simd::arch {
+
+PoolScratch::PoolScratch(int64_t n)
+    : buffer_(pool::AcquireUninit(n)), data_(buffer_.data()) {}
+
+PoolScratch::~PoolScratch() { pool::Release(std::move(buffer_)); }
+
+}  // namespace timedrl::kernels::simd::arch

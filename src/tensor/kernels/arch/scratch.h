@@ -1,0 +1,36 @@
+// Pool-backed scratch for the packed GEMM (kernels/arch/simd_kernels.h).
+//
+// A thin RAII wrapper over pool::AcquireUninit / pool::Release whose
+// constructor and destructor are deliberately OUT-OF-LINE (scratch.cc,
+// compiled with baseline flags): the per-ISA TUs must not instantiate
+// std::vector member functions, or the linker could resolve another TU's
+// copy of those comdat symbols to one compiled with -mavx2/-mavx512 and
+// execute vector instructions from a baseline code path.
+
+#ifndef TIMEDRL_TENSOR_KERNELS_ARCH_SCRATCH_H_
+#define TIMEDRL_TENSOR_KERNELS_ARCH_SCRATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace timedrl::kernels::simd::arch {
+
+/// A buffer of `n` floats from the buffer pool, with unspecified contents
+/// (callers overwrite before reading), returned to the pool on destruction.
+class PoolScratch {
+ public:
+  explicit PoolScratch(int64_t n);
+  ~PoolScratch();
+  PoolScratch(const PoolScratch&) = delete;
+  PoolScratch& operator=(const PoolScratch&) = delete;
+
+  float* data() { return data_; }
+
+ private:
+  std::vector<float> buffer_;
+  float* data_;
+};
+
+}  // namespace timedrl::kernels::simd::arch
+
+#endif  // TIMEDRL_TENSOR_KERNELS_ARCH_SCRATCH_H_

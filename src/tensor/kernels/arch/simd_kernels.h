@@ -1,0 +1,779 @@
+// The vector kernel backend, written once over the simd.h traits vocabulary
+// and instantiated per ISA by the TUs in this directory (kernels_avx2.cc,
+// kernels_avx512.cc, kernels_neon.cc) — the only TUs compiled with the
+// matching -m flags, so including this header elsewhere is safe as long as
+// nothing instantiates the templates.
+//
+// Determinism rules these kernels follow (DESIGN.md §16):
+//  * Which elements take the vector body vs the scalar tail is a pure
+//    function of the problem shape — never of ParallelFor chunk boundaries.
+//    Row-parallel kernels get this for free (vectorization lives inside a
+//    fixed-length row); column-parallel reductions (dgamma/dbeta/dbias)
+//    therefore parallelize over feature GROUPS of width V::kWidth rather
+//    than raw feature indices.
+//  * Every horizontal reduction uses the traits' fixed lane tree, and every
+//    per-element accumulation order (k in GEMM, rows in column reductions)
+//    is ascending regardless of tiling, so results within one ISA are
+//    bitwise identical for any thread count.
+//
+// GEMM layout (the packed register-blocked path):
+//  * C row tiles of kMr rows are the parallel unit; tiling is aligned to
+//    kMr from row 0, so the tile map depends only on the shape.
+//  * The inner dimension is blocked by kKc. Per block, each task packs the
+//    B panel once into pool scratch: full 2W-wide column panels first, then
+//    one W-wide panel if >= W columns remain, then one zero-padded W-wide
+//    panel for the ragged tail. Panel p-rows are contiguous, so the
+//    microkernel streams it linearly.
+//  * The A tile (kMr x kKc, k-major) lives in a stack buffer and is
+//    gathered per tile — the same pack routine serves NN (unit inner
+//    stride) and TN (strided) via the two stride parameters.
+//  * Microkernels keep a kMr x 2 register accumulator block (12 FMA
+//    accumulators at kMr = 6), one dedicated accumulator per (row, lane)
+//    for the whole k sweep: the reduction order per C element is k
+//    ascending whatever the blocking, which is what makes the result
+//    thread-count independent.
+
+#ifndef TIMEDRL_TENSOR_KERNELS_ARCH_SIMD_KERNELS_H_
+#define TIMEDRL_TENSOR_KERNELS_ARCH_SIMD_KERNELS_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "tensor/kernels/arch/scratch.h"
+#include "tensor/kernels/dispatch.h"
+#include "tensor/kernels/elementwise.h"
+#include "tensor/kernels/simd.h"
+#include "util/thread_pool.h"
+
+namespace timedrl::kernels::simd::arch {
+
+// Mirrors the scalar kernel layer's grain policy (gemm.cc / fused.cc).
+constexpr int64_t kGemmGrainFlops = int64_t{1} << 15;
+
+inline int64_t Grain(int64_t span) {
+  return std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, span));
+}
+
+// Same constants as the scalar GELU in fused.cc / ops_elementwise.cc.
+constexpr float kGeluAlpha = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluBeta = 0.044715f;
+
+// Scalar tails of the vector GELU loops. Same formulas as the scalar
+// backend, so the tail only differs from it by libm rounding (i.e. not at
+// all) — the vector body is what carries the polynomial tolerance.
+inline float ScalarGeluValue(float x) {
+  const float inner = kGeluAlpha * (x + kGeluBeta * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+inline float ScalarGeluDerivative(float x) {
+  const float inner = kGeluAlpha * (x + kGeluBeta * x * x * x);
+  const float t = std::tanh(inner);
+  const float dinner = kGeluAlpha * (1.0f + 3.0f * kGeluBeta * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+}
+
+template <class V>
+inline typename V::Reg GeluValueV(typename V::Reg u) {
+  using R = typename V::Reg;
+  const R u3 = V::Mul(u, V::Mul(u, u));
+  const R inner =
+      V::Mul(V::Set1(kGeluAlpha), V::Fma(V::Set1(kGeluBeta), u3, u));
+  const R t = Tanh<V>(inner);
+  return V::Mul(V::Mul(V::Set1(0.5f), u), V::Add(V::Set1(1.0f), t));
+}
+
+template <class V>
+inline typename V::Reg GeluDerivativeV(typename V::Reg u) {
+  using R = typename V::Reg;
+  const R u3 = V::Mul(u, V::Mul(u, u));
+  const R inner =
+      V::Mul(V::Set1(kGeluAlpha), V::Fma(V::Set1(kGeluBeta), u3, u));
+  const R t = Tanh<V>(inner);
+  const R dinner = V::Mul(V::Set1(kGeluAlpha),
+                          V::Fma(V::Set1(3.0f * kGeluBeta), V::Mul(u, u),
+                                 V::Set1(1.0f)));
+  const R half = V::Set1(0.5f);
+  const R left = V::Mul(half, V::Add(V::Set1(1.0f), t));
+  const R sech2 = V::Sub(V::Set1(1.0f), V::Mul(t, t));
+  return V::Fma(V::Mul(half, u), V::Mul(sech2, dinner), left);
+}
+
+// ---------------------------------------------------------------------------
+// Packed register-blocked GEMM.
+// ---------------------------------------------------------------------------
+
+/// Rows of C per microkernel tile.
+constexpr int kMr = 6;
+/// Inner-dimension block: the A tile (kMr x kKc floats) stays L1-resident.
+constexpr int64_t kKc = 256;
+
+/// Gathers an A tile into k-major layout: apack[p * mr + r] =
+/// a[(row0 + r) * row_stride + (k0 + p) * inner_stride]. row_stride /
+/// inner_stride express NN (k, 1) and TN (1, k) over the same buffer.
+inline void PackA(float* apack, const float* a, int64_t row0, int64_t mr,
+                  int64_t k0, int64_t kk, int64_t row_stride,
+                  int64_t inner_stride) {
+  for (int64_t r = 0; r < mr; ++r) {
+    const float* src = a + (row0 + r) * row_stride + k0 * inner_stride;
+    for (int64_t p = 0; p < kk; ++p) {
+      apack[p * mr + r] = src[p * inner_stride];
+    }
+  }
+}
+
+/// Layout of one packed B block (see file comment): n2 full 2W panels, then
+/// a W panel when >= W columns remain, then a zero-padded W panel for the
+/// ragged tail. All panels are p-row contiguous.
+struct BPanelLayout {
+  int64_t n2;           // full 2W-wide panels
+  bool has_single;      // one full W-wide panel after them
+  int64_t tail;         // ragged columns in the zero-padded final panel
+  int64_t packed_cols;  // total packed width (allocation unit per p-row)
+
+  static BPanelLayout For(int64_t cols, int width) {
+    BPanelLayout layout;
+    const int64_t pw = 2 * width;
+    layout.n2 = cols / pw;
+    int64_t rem = cols - layout.n2 * pw;
+    layout.has_single = rem >= width;
+    if (layout.has_single) rem -= width;
+    layout.tail = rem;
+    layout.packed_cols = layout.n2 * pw + (layout.has_single ? width : 0) +
+                         (layout.tail > 0 ? width : 0);
+    return layout;
+  }
+  int64_t SingleBase(int64_t kk, int width) const {
+    return n2 * 2 * width * kk;
+  }
+  int64_t TailBase(int64_t kk, int width) const {
+    return SingleBase(kk, width) + (has_single ? width * kk : 0);
+  }
+};
+
+template <class V>
+inline void PackB(float* bpack, const float* b, int64_t k0, int64_t kk,
+                  int64_t cols, const BPanelLayout& layout) {
+  constexpr int W = V::kWidth;
+  constexpr int64_t PW = 2 * W;
+  const int64_t single_base = layout.SingleBase(kk, W);
+  const int64_t tail_base = layout.TailBase(kk, W);
+  for (int64_t p = 0; p < kk; ++p) {
+    const float* src = b + (k0 + p) * cols;
+    for (int64_t d = 0; d < layout.n2; ++d) {
+      float* dst = bpack + d * PW * kk + p * PW;
+      V::Store(dst, V::Load(src + d * PW));
+      V::Store(dst + W, V::Load(src + d * PW + W));
+    }
+    const float* rest = src + layout.n2 * PW;
+    if (layout.has_single) {
+      V::Store(bpack + single_base + p * W, V::Load(rest));
+      rest += W;
+    }
+    if (layout.tail > 0) {
+      float* dst = bpack + tail_base + p * W;
+      int64_t j = 0;
+      for (; j < layout.tail; ++j) dst[j] = rest[j];
+      for (; j < W; ++j) dst[j] = 0.0f;
+    }
+  }
+}
+
+/// MR x (NV*W) register block over one packed panel. One accumulator per
+/// (row, lane) for the whole kk sweep; k ascending.
+template <class V, int MR, int NV>
+inline void MicroKernel(const float* apack, const float* bpanel, int64_t kk,
+                        float* c, int64_t ldc, bool add_c) {
+  using R = typename V::Reg;
+  constexpr int W = V::kWidth;
+  R acc[MR][NV];
+  for (int r = 0; r < MR; ++r) {
+    for (int v = 0; v < NV; ++v) acc[r][v] = V::Zero();
+  }
+  for (int64_t p = 0; p < kk; ++p) {
+    R bv[NV];
+    for (int v = 0; v < NV; ++v) bv[v] = V::Load(bpanel + p * NV * W + v * W);
+    const float* arow = apack + p * MR;
+    for (int r = 0; r < MR; ++r) {
+      const R av = V::Set1(arow[r]);
+      for (int v = 0; v < NV; ++v) acc[r][v] = V::Fma(av, bv[v], acc[r][v]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    float* crow = c + r * ldc;
+    for (int v = 0; v < NV; ++v) {
+      if (add_c) {
+        V::Store(crow + v * W, V::Add(V::Load(crow + v * W), acc[r][v]));
+      } else {
+        V::Store(crow + v * W, acc[r][v]);
+      }
+    }
+  }
+}
+
+/// Ragged-column panel: the packed panel is zero-padded to W, so the
+/// accumulators are exact; only the store is partial (via a bounce buffer —
+/// no out-of-bounds C access).
+template <class V, int MR>
+inline void MicroKernelTail(const float* apack, const float* bpanel,
+                            int64_t kk, float* c, int64_t ldc, int64_t cols,
+                            bool add_c) {
+  using R = typename V::Reg;
+  constexpr int W = V::kWidth;
+  R acc[MR];
+  for (int r = 0; r < MR; ++r) acc[r] = V::Zero();
+  for (int64_t p = 0; p < kk; ++p) {
+    const R bv = V::Load(bpanel + p * W);
+    const float* arow = apack + p * MR;
+    for (int r = 0; r < MR; ++r) acc[r] = V::Fma(V::Set1(arow[r]), bv, acc[r]);
+  }
+  float bounce[W];
+  for (int r = 0; r < MR; ++r) {
+    V::Store(bounce, acc[r]);
+    float* crow = c + r * ldc;
+    if (add_c) {
+      for (int64_t j = 0; j < cols; ++j) crow[j] += bounce[j];
+    } else {
+      for (int64_t j = 0; j < cols; ++j) crow[j] = bounce[j];
+    }
+  }
+}
+
+template <class V, int NV>
+inline void RunPanel(int mr, const float* apack, const float* bpanel,
+                     int64_t kk, float* c, int64_t ldc, bool add_c) {
+  switch (mr) {
+    case 1: MicroKernel<V, 1, NV>(apack, bpanel, kk, c, ldc, add_c); break;
+    case 2: MicroKernel<V, 2, NV>(apack, bpanel, kk, c, ldc, add_c); break;
+    case 3: MicroKernel<V, 3, NV>(apack, bpanel, kk, c, ldc, add_c); break;
+    case 4: MicroKernel<V, 4, NV>(apack, bpanel, kk, c, ldc, add_c); break;
+    case 5: MicroKernel<V, 5, NV>(apack, bpanel, kk, c, ldc, add_c); break;
+    default: MicroKernel<V, 6, NV>(apack, bpanel, kk, c, ldc, add_c); break;
+  }
+}
+
+template <class V>
+inline void RunTailPanel(int mr, const float* apack, const float* bpanel,
+                         int64_t kk, float* c, int64_t ldc, int64_t cols,
+                         bool add_c) {
+  switch (mr) {
+    case 1: MicroKernelTail<V, 1>(apack, bpanel, kk, c, ldc, cols, add_c); break;
+    case 2: MicroKernelTail<V, 2>(apack, bpanel, kk, c, ldc, cols, add_c); break;
+    case 3: MicroKernelTail<V, 3>(apack, bpanel, kk, c, ldc, cols, add_c); break;
+    case 4: MicroKernelTail<V, 4>(apack, bpanel, kk, c, ldc, cols, add_c); break;
+    case 5: MicroKernelTail<V, 5>(apack, bpanel, kk, c, ldc, cols, add_c); break;
+    default: MicroKernelTail<V, 6>(apack, bpanel, kk, c, ldc, cols, add_c); break;
+  }
+}
+
+/// Shared driver for NN and TN: C[rows x cols] (+)= A' * B where
+/// A'[r][p] = a[r * a_row_stride + p * a_inner_stride] and B is row-major
+/// [inner x cols]. Parallel over kMr-aligned row tiles.
+template <class V>
+void GemmPacked(const float* a, int64_t a_row_stride, int64_t a_inner_stride,
+                const float* b, float* c, int64_t rows, int64_t inner,
+                int64_t cols, bool accumulate) {
+  constexpr int W = V::kWidth;
+  constexpr int64_t PW = 2 * W;
+  if (rows <= 0 || cols <= 0) return;
+  if (inner <= 0) {
+    if (!accumulate) {
+      ParallelFor(0, rows, Grain(cols), [=](int64_t begin, int64_t end) {
+        std::fill(c + begin * cols, c + end * cols, 0.0f);
+      });
+    }
+    return;
+  }
+  const BPanelLayout layout = BPanelLayout::For(cols, W);
+  const int64_t tiles = (rows + kMr - 1) / kMr;
+  const int64_t grain = std::max<int64_t>(
+      1, kGemmGrainFlops / std::max<int64_t>(1, kMr * inner * cols));
+  const int64_t kc = std::min<int64_t>(kKc, inner);
+  ParallelFor(0, tiles, grain, [=](int64_t tile_begin, int64_t tile_end) {
+    PoolScratch bpack(kc * layout.packed_cols);
+    float apack[kMr * kKc];
+    for (int64_t k0 = 0; k0 < inner; k0 += kKc) {
+      const int64_t kk = std::min<int64_t>(kKc, inner - k0);
+      PackB<V>(bpack.data(), b, k0, kk, cols, layout);
+      const bool add_c = accumulate || k0 > 0;
+      for (int64_t t = tile_begin; t < tile_end; ++t) {
+        const int64_t row0 = t * kMr;
+        const int mr = static_cast<int>(std::min<int64_t>(kMr, rows - row0));
+        PackA(apack, a, row0, mr, k0, kk, a_row_stride, a_inner_stride);
+        float* ctile = c + row0 * cols;
+        for (int64_t d = 0; d < layout.n2; ++d) {
+          RunPanel<V, 2>(mr, apack, bpack.data() + d * PW * kk, kk,
+                         ctile + d * PW, cols, add_c);
+        }
+        if (layout.has_single) {
+          RunPanel<V, 1>(mr, apack, bpack.data() + layout.SingleBase(kk, W),
+                         kk, ctile + layout.n2 * PW, cols, add_c);
+        }
+        if (layout.tail > 0) {
+          RunTailPanel<V>(mr, apack, bpack.data() + layout.TailBase(kk, W),
+                          kk,
+                          ctile + layout.n2 * PW +
+                              (layout.has_single ? W : 0),
+                          cols, layout.tail, add_c);
+        }
+      }
+    }
+  });
+}
+
+template <class V>
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n, bool accumulate) {
+  GemmPacked<V>(a, /*a_row_stride=*/k, /*a_inner_stride=*/1, b, c, m, k, n,
+                accumulate);
+}
+
+template <class V>
+void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n, bool accumulate) {
+  // C[p][j] = sum_i a[i*k + p] * b[i*n + j]: rows of C index k, the inner
+  // dimension indexes m, and A' strides are (1, k).
+  GemmPacked<V>(a, /*a_row_stride=*/1, /*a_inner_stride=*/k, b, c, k, m, n,
+                accumulate);
+}
+
+/// NT is a row of dot products — no packing wins here; two dedicated vector
+/// accumulators (even/odd W chunks) break the FMA dependence chain, merged
+/// through the fixed lane tree, scalar tail in order.
+template <class V>
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
+            int64_t k, bool accumulate) {
+  using R = typename V::Reg;
+  constexpr int W = V::kWidth;
+  const int64_t grain = std::max<int64_t>(
+      1, kGemmGrainFlops / std::max<int64_t>(1, n * k));
+  ParallelFor(0, m, grain, [=](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = a + i * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float* brow = b + p * n;
+        R acc0 = V::Zero();
+        R acc1 = V::Zero();
+        int64_t j = 0;
+        for (; j + 2 * W <= n; j += 2 * W) {
+          acc0 = V::Fma(V::Load(arow + j), V::Load(brow + j), acc0);
+          acc1 = V::Fma(V::Load(arow + j + W), V::Load(brow + j + W), acc1);
+        }
+        if (j + W <= n) {
+          acc0 = V::Fma(V::Load(arow + j), V::Load(brow + j), acc0);
+          j += W;
+        }
+        float sum = V::ReduceAdd(V::Add(acc0, acc1));
+        for (; j < n; ++j) sum += arow[j] * brow[j];
+        if (accumulate) {
+          c[i * k + p] += sum;
+        } else {
+          c[i * k + p] = sum;
+        }
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fused transformer kernels.
+// ---------------------------------------------------------------------------
+
+template <class V>
+void FusedLayerNormForward(const float* x, const float* gamma,
+                           const float* beta, float eps, float* y,
+                           float* mean, float* rstd, int64_t rows,
+                           int64_t features) {
+  using R = typename V::Reg;
+  constexpr int W = V::kWidth;
+  ParallelFor(0, rows, Grain(features), [=](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const float* row = x + r * features;
+      const int64_t ng = features / W;  // full vector groups
+      float m;
+      float m2;
+      int64_t count;
+      if (ng > 0) {
+        // Per-lane Welford: lane L sees elements g*W + L, g ascending.
+        R vmean = V::Zero();
+        R vm2 = V::Zero();
+        for (int64_t g = 0; g < ng; ++g) {
+          const R v = V::Load(row + g * W);
+          const R delta = V::Sub(v, vmean);
+          vmean = V::Add(vmean,
+                         V::Div(delta, V::Set1(static_cast<float>(g + 1))));
+          vm2 = V::Fma(delta, V::Sub(v, vmean), vm2);
+        }
+        // Chan pairwise lane merge; counts are equal on both sides of every
+        // merge, so the tree is fixed and exact-count weighted.
+        float means[W];
+        float m2s[W];
+        V::Store(means, vmean);
+        V::Store(m2s, vm2);
+        float lane_count = static_cast<float>(ng);
+        for (int half = W / 2; half >= 1; half /= 2) {
+          for (int i = 0; i < half; ++i) {
+            const float d = means[i + half] - means[i];
+            means[i] += 0.5f * d;
+            m2s[i] += m2s[i + half] + d * d * (0.5f * lane_count);
+          }
+          lane_count *= 2.0f;
+        }
+        m = means[0];
+        m2 = m2s[0];
+        count = ng * W;
+      } else {
+        m = 0.0f;
+        m2 = 0.0f;
+        count = 0;
+      }
+      // Scalar Welford continuation over the ragged tail.
+      for (int64_t f = ng * W; f < features; ++f) {
+        const float v = row[f];
+        ++count;
+        const float delta = v - m;
+        m += delta / static_cast<float>(count);
+        m2 += delta * (v - m);
+      }
+      const float var = m2 / static_cast<float>(features);
+      const float rs = 1.0f / std::sqrt(var + eps);
+      if (mean != nullptr) mean[r] = m;
+      if (rstd != nullptr) rstd[r] = rs;
+      float* out = y + r * features;
+      const R vm = V::Set1(m);
+      const R vrs = V::Set1(rs);
+      int64_t f = 0;
+      for (; f + W <= features; f += W) {
+        const R xhat = V::Mul(V::Sub(V::Load(row + f), vm), vrs);
+        V::Store(out + f, V::Fma(xhat, V::Load(gamma + f), V::Load(beta + f)));
+      }
+      for (; f < features; ++f) {
+        out[f] = (row[f] - m) * rs * gamma[f] + beta[f];
+      }
+    }
+  });
+}
+
+template <class V>
+void FusedLayerNormBackward(const float* g, const float* x,
+                            const float* gamma, const float* mean,
+                            const float* rstd, float* dx, float* dgamma,
+                            float* dbeta, int64_t rows, int64_t features) {
+  using R = typename V::Reg;
+  constexpr int W = V::kWidth;
+  if (dx != nullptr) {
+    ParallelFor(0, rows, Grain(features), [=](int64_t begin, int64_t end) {
+      for (int64_t r = begin; r < end; ++r) {
+        const float* grow = g + r * features;
+        const float* row = x + r * features;
+        const R vm = V::Set1(mean[r]);
+        const R vrs = V::Set1(rstd[r]);
+        R vc1 = V::Zero();
+        R vc2 = V::Zero();
+        int64_t f = 0;
+        for (; f + W <= features; f += W) {
+          const R gg = V::Mul(V::Load(grow + f), V::Load(gamma + f));
+          vc1 = V::Add(vc1, gg);
+          const R xhat = V::Mul(V::Sub(V::Load(row + f), vm), vrs);
+          vc2 = V::Fma(gg, xhat, vc2);
+        }
+        float c1 = V::ReduceAdd(vc1);
+        float c2 = V::ReduceAdd(vc2);
+        const float m = mean[r];
+        const float rs = rstd[r];
+        for (; f < features; ++f) {
+          const float gg = grow[f] * gamma[f];
+          c1 += gg;
+          c2 += gg * (row[f] - m) * rs;
+        }
+        c1 /= static_cast<float>(features);
+        c2 /= static_cast<float>(features);
+        float* drow = dx + r * features;
+        const R vC1 = V::Set1(c1);
+        const R vC2 = V::Set1(c2);
+        f = 0;
+        for (; f + W <= features; f += W) {
+          const R gg = V::Mul(V::Load(grow + f), V::Load(gamma + f));
+          const R xhat = V::Mul(V::Sub(V::Load(row + f), vm), vrs);
+          const R d = V::Mul(vrs, V::Sub(V::Sub(gg, vC1), V::Mul(xhat, vC2)));
+          V::Store(drow + f, V::Add(V::Load(drow + f), d));
+        }
+        for (; f < features; ++f) {
+          const float xhat = (row[f] - m) * rs;
+          drow[f] += rs * (grow[f] * gamma[f] - c1 - xhat * c2);
+        }
+      }
+    });
+  }
+  if (dgamma != nullptr || dbeta != nullptr) {
+    // Column reduction, parallel over W-wide feature groups so vector vs
+    // scalar membership is shape-determined (see file comment). Each lane
+    // accumulates its feature over rows ascending — the same order and
+    // association as the scalar backend.
+    const int64_t groups = (features + W - 1) / W;
+    ParallelFor(0, groups, Grain(rows * W), [=](int64_t gb, int64_t ge) {
+      for (int64_t gi = gb; gi < ge; ++gi) {
+        const int64_t f0 = gi * W;
+        if (f0 + W <= features) {
+          R sum_g = V::Zero();
+          R sum_gx = V::Zero();
+          for (int64_t r = 0; r < rows; ++r) {
+            const R gv = V::Load(g + r * features + f0);
+            sum_g = V::Add(sum_g, gv);
+            const R xhat = V::Mul(
+                V::Sub(V::Load(x + r * features + f0), V::Set1(mean[r])),
+                V::Set1(rstd[r]));
+            sum_gx = V::Fma(gv, xhat, sum_gx);
+          }
+          if (dgamma != nullptr) {
+            V::Store(dgamma + f0, V::Add(V::Load(dgamma + f0), sum_gx));
+          }
+          if (dbeta != nullptr) {
+            V::Store(dbeta + f0, V::Add(V::Load(dbeta + f0), sum_g));
+          }
+        } else {
+          for (int64_t f = f0; f < features; ++f) {
+            float sum_g = 0.0f;
+            float sum_gx = 0.0f;
+            for (int64_t r = 0; r < rows; ++r) {
+              const float gv = g[r * features + f];
+              sum_g += gv;
+              sum_gx += gv * (x[r * features + f] - mean[r]) * rstd[r];
+            }
+            if (dgamma != nullptr) dgamma[f] += sum_gx;
+            if (dbeta != nullptr) dbeta[f] += sum_g;
+          }
+        }
+      }
+    });
+  }
+}
+
+template <class V>
+void FusedSoftmaxForward(const float* x, const float* mask, int64_t mask_rows,
+                         float scale, float masked_value, float* y,
+                         int64_t rows, int64_t dim) {
+  using R = typename V::Reg;
+  constexpr int W = V::kWidth;
+  ParallelFor(0, rows, Grain(dim), [=](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const float* row = x + r * dim;
+      const float* mask_row =
+          mask != nullptr ? mask + (r % mask_rows) * dim : nullptr;
+      float* out = y + r * dim;
+      const R vscale = V::Set1(scale);
+      float max_value = -std::numeric_limits<float>::infinity();
+      int64_t d = 0;
+      if (dim >= W) {
+        R vmax = V::Set1(max_value);
+        if (mask_row != nullptr) {
+          const R vmasked = V::Set1(masked_value);
+          for (; d + W <= dim; d += W) {
+            const R v = V::Select(V::CmpNeZero(V::Load(mask_row + d)),
+                                  vmasked, V::Mul(V::Load(row + d), vscale));
+            V::Store(out + d, v);
+            vmax = V::Max(vmax, v);
+          }
+        } else {
+          for (; d + W <= dim; d += W) {
+            const R v = V::Mul(V::Load(row + d), vscale);
+            V::Store(out + d, v);
+            vmax = V::Max(vmax, v);
+          }
+        }
+        max_value = V::ReduceMax(vmax);
+      }
+      for (; d < dim; ++d) {
+        const float v = (mask_row != nullptr && mask_row[d] != 0.0f)
+                            ? masked_value
+                            : row[d] * scale;
+        out[d] = v;
+        max_value = std::max(max_value, v);
+      }
+      float denom = 0.0f;
+      d = 0;
+      if (dim >= W) {
+        const R vm = V::Set1(max_value);
+        R vden = V::Zero();
+        for (; d + W <= dim; d += W) {
+          const R e = Exp<V>(V::Sub(V::Load(out + d), vm));
+          V::Store(out + d, e);
+          vden = V::Add(vden, e);
+        }
+        denom = V::ReduceAdd(vden);
+      }
+      for (; d < dim; ++d) {
+        out[d] = std::exp(out[d] - max_value);
+        denom += out[d];
+      }
+      const R vdenom = V::Set1(denom);
+      d = 0;
+      for (; d + W <= dim; d += W) {
+        V::Store(out + d, V::Div(V::Load(out + d), vdenom));
+      }
+      for (; d < dim; ++d) out[d] /= denom;
+    }
+  });
+}
+
+template <class V>
+void FusedSoftmaxBackward(const float* g, const float* y, float scale,
+                          float* dx, int64_t rows, int64_t dim) {
+  using R = typename V::Reg;
+  constexpr int W = V::kWidth;
+  ParallelFor(0, rows, Grain(dim), [=](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const float* grow = g + r * dim;
+      const float* yrow = y + r * dim;
+      float dot = 0.0f;
+      int64_t d = 0;
+      if (dim >= W) {
+        R vdot = V::Zero();
+        for (; d + W <= dim; d += W) {
+          vdot = V::Fma(V::Load(grow + d), V::Load(yrow + d), vdot);
+        }
+        dot = V::ReduceAdd(vdot);
+      }
+      for (; d < dim; ++d) dot += grow[d] * yrow[d];
+      float* drow = dx + r * dim;
+      const R vscale = V::Set1(scale);
+      const R vdot = V::Set1(dot);
+      d = 0;
+      for (; d + W <= dim; d += W) {
+        const R t = V::Mul(V::Mul(vscale, V::Load(yrow + d)),
+                           V::Sub(V::Load(grow + d), vdot));
+        V::Store(drow + d, V::Add(V::Load(drow + d), t));
+      }
+      for (; d < dim; ++d) {
+        drow[d] += scale * yrow[d] * (grow[d] - dot);
+      }
+    }
+  });
+}
+
+template <class V>
+void FusedBiasGeluForward(const float* x, const float* bias, float* y,
+                          int64_t rows, int64_t features) {
+  using R = typename V::Reg;
+  constexpr int W = V::kWidth;
+  ParallelFor(0, rows, Grain(features), [=](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const float* row = x + r * features;
+      float* out = y + r * features;
+      int64_t f = 0;
+      for (; f + W <= features; f += W) {
+        R u = V::Load(row + f);
+        if (bias != nullptr) u = V::Add(u, V::Load(bias + f));
+        V::Store(out + f, GeluValueV<V>(u));
+      }
+      for (; f < features; ++f) {
+        const float u = bias != nullptr ? row[f] + bias[f] : row[f];
+        out[f] = ScalarGeluValue(u);
+      }
+    }
+  });
+}
+
+template <class V>
+void FusedBiasGeluBackward(const float* g, const float* x, const float* bias,
+                           float* dx, float* dbias, float* scratch,
+                           int64_t rows, int64_t features) {
+  using R = typename V::Reg;
+  constexpr int W = V::kWidth;
+  // Row-parallel (the scalar backend chunks the flat range, but the vector
+  // body must stay aligned to feature groups for bias indexing and for the
+  // shape-determined tail rule, so rows are the parallel unit here).
+  ParallelFor(0, rows, Grain(features), [=](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const float* grow = g + r * features;
+      const float* row = x + r * features;
+      int64_t f = 0;
+      for (; f + W <= features; f += W) {
+        R u = V::Load(row + f);
+        if (bias != nullptr) u = V::Add(u, V::Load(bias + f));
+        const R du = V::Mul(V::Load(grow + f), GeluDerivativeV<V>(u));
+        const int64_t i = r * features + f;
+        if (scratch != nullptr) V::Store(scratch + i, du);
+        if (dx != nullptr) V::Store(dx + i, V::Add(V::Load(dx + i), du));
+      }
+      for (; f < features; ++f) {
+        const float u = bias != nullptr ? row[f] + bias[f] : row[f];
+        const float du = grow[f] * ScalarGeluDerivative(u);
+        const int64_t i = r * features + f;
+        if (scratch != nullptr) scratch[i] = du;
+        if (dx != nullptr) dx[i] += du;
+      }
+    }
+  });
+  if (dbias != nullptr) {
+    // Group-parallel column reduction, rows ascending per lane (same rule
+    // as the LayerNorm dgamma/dbeta reduction above).
+    const int64_t groups = (features + W - 1) / W;
+    ParallelFor(0, groups, Grain(rows * W), [=](int64_t gb, int64_t ge) {
+      for (int64_t gi = gb; gi < ge; ++gi) {
+        const int64_t f0 = gi * W;
+        if (f0 + W <= features) {
+          R sum = V::Zero();
+          for (int64_t r = 0; r < rows; ++r) {
+            sum = V::Add(sum, V::Load(scratch + r * features + f0));
+          }
+          V::Store(dbias + f0, V::Add(V::Load(dbias + f0), sum));
+        } else {
+          for (int64_t f = f0; f < features; ++f) {
+            float sum = 0.0f;
+            for (int64_t r = 0; r < rows; ++r) {
+              sum += scratch[r * features + f];
+            }
+            dbias[f] += sum;
+          }
+        }
+      }
+    });
+  }
+}
+
+template <class V>
+int64_t CountNonFinite(const float* x, int64_t n) {
+  constexpr int W = V::kWidth;
+  std::atomic<int64_t> total{0};
+  // Integer counts are exact under any association, so the vector/tail
+  // split may follow the chunk boundaries here without breaking the
+  // determinism contract.
+  ParallelFor(0, n, kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    int64_t local = 0;
+    int64_t i = begin;
+    for (; i + W <= end; i += W) {
+      local += V::CountNonFinite(V::Load(x + i));
+    }
+    for (; i < end; ++i) {
+      if (!std::isfinite(x[i])) ++local;
+    }
+    if (local != 0) total.fetch_add(local, std::memory_order_relaxed);
+  });
+  return total.load(std::memory_order_relaxed);
+}
+
+/// The dispatch table for one instantiated ISA; called by the per-ISA TUs.
+template <class V>
+KernelTable MakeTable(const char* name) {
+  return KernelTable{
+      name,
+      &GemmNN<V>,
+      &GemmNT<V>,
+      &GemmTN<V>,
+      &FusedLayerNormForward<V>,
+      &FusedLayerNormBackward<V>,
+      &FusedSoftmaxForward<V>,
+      &FusedSoftmaxBackward<V>,
+      &FusedBiasGeluForward<V>,
+      &FusedBiasGeluBackward<V>,
+      &CountNonFinite<V>,
+  };
+}
+
+}  // namespace timedrl::kernels::simd::arch
+
+#endif  // TIMEDRL_TENSOR_KERNELS_ARCH_SIMD_KERNELS_H_

@@ -1,0 +1,240 @@
+#include "tensor/kernels/dispatch.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "obs/logging.h"
+#include "tensor/kernels/scalar_kernels.h"
+#include "util/env.h"
+
+namespace timedrl::kernels::simd {
+
+// Each per-ISA TU (kernels/arch/kernels_<isa>.cc) defines its accessor
+// unconditionally: it returns the table when the TU was compiled with the
+// matching -m flags and nullptr otherwise. dispatch.cc itself is compiled
+// with baseline flags only, so it never touches vector code — it just
+// follows pointers.
+namespace arch {
+const KernelTable* Avx2Table();
+const KernelTable* Avx512Table();
+const KernelTable* NeonTable();
+}  // namespace arch
+
+namespace {
+
+constexpr KernelTable kScalarTable = {
+    "scalar",
+    &scalar::GemmNN,
+    &scalar::GemmNT,
+    &scalar::GemmTN,
+    &scalar::FusedLayerNormForward,
+    &scalar::FusedLayerNormBackward,
+    &scalar::FusedSoftmaxForward,
+    &scalar::FusedSoftmaxBackward,
+    &scalar::FusedBiasGeluForward,
+    &scalar::FusedBiasGeluBackward,
+    &scalar::CountNonFinite,
+};
+
+const KernelTable* CompiledTable(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &kScalarTable;
+    case Isa::kAvx2:
+      return arch::Avx2Table();
+    case Isa::kAvx512:
+      return arch::Avx512Table();
+    case Isa::kNeon:
+      return arch::NeonTable();
+  }
+  return nullptr;
+}
+
+// The active selection: table + ISA published together so a reader never
+// sees a mismatched pair.
+struct Selection {
+  Isa isa;
+  const KernelTable* table;
+};
+
+constexpr int kIsaCount = 4;
+// One static Selection per ISA; g_active flips between them atomically.
+constexpr Selection kSelections[kIsaCount] = {
+    {Isa::kScalar, nullptr},  // table pointers resolved lazily below
+    {Isa::kAvx2, nullptr},
+    {Isa::kAvx512, nullptr},
+    {Isa::kNeon, nullptr},
+};
+
+std::atomic<const Selection*> g_active{nullptr};
+std::once_flag g_init_once;
+
+// kSelections must hold the actual table pointers before first publish;
+// they cannot be constant-initialized because the arch accessors are
+// functions. Resolved into this mutable mirror once.
+Selection g_resolved[kIsaCount];
+
+void ResolveTables() {
+  for (int i = 0; i < kIsaCount; ++i) {
+    g_resolved[i].isa = kSelections[i].isa;
+    g_resolved[i].table = CompiledTable(kSelections[i].isa);
+  }
+}
+
+Isa RequestToIsa(Request request) {
+  switch (request) {
+    case Request::kScalar:
+      return Isa::kScalar;
+    case Request::kAvx2:
+      return Isa::kAvx2;
+    case Request::kAvx512:
+      return Isa::kAvx512;
+    case Request::kNeon:
+      return Isa::kNeon;
+    default:
+      return Isa::kScalar;
+  }
+}
+
+void InitFromEnv() {
+  ResolveTables();
+  const std::string value = util::Env::GetString("TIMEDRL_SIMD", "auto");
+  const Request request = ParseRequest(value);
+  Isa chosen;
+  if (request == Request::kInvalid) {
+    TIMEDRL_LOG_WARNING << "TIMEDRL_SIMD=\"" << value
+                        << "\" is not auto|scalar|avx2|avx512|neon; using "
+                           "auto";
+    chosen = BestAvailable();
+  } else if (request == Request::kAuto) {
+    chosen = BestAvailable();
+  } else {
+    chosen = RequestToIsa(request);
+    if (!Available(chosen)) {
+      const Isa fallback = BestAvailable();
+      TIMEDRL_LOG_WARNING << "TIMEDRL_SIMD=" << IsaName(chosen) << " is not "
+                          << (Compiled(chosen) ? "supported by this CPU"
+                                               : "compiled into this binary")
+                          << "; using " << IsaName(fallback);
+      chosen = fallback;
+    }
+  }
+  g_active.store(&g_resolved[static_cast<int>(chosen)],
+                 std::memory_order_release);
+}
+
+const Selection& ActiveSelection() {
+  const Selection* selection = g_active.load(std::memory_order_acquire);
+  if (selection == nullptr) {
+    std::call_once(g_init_once, InitFromEnv);
+    selection = g_active.load(std::memory_order_acquire);
+  }
+  return *selection;
+}
+
+}  // namespace
+
+Request ParseRequest(const std::string& text) {
+  if (text.empty() || text == "auto") return Request::kAuto;
+  if (text == "scalar") return Request::kScalar;
+  if (text == "avx2") return Request::kAvx2;
+  if (text == "avx512") return Request::kAvx512;
+  if (text == "neon") return Request::kNeon;
+  return Request::kInvalid;
+}
+
+const KernelTable& Active() { return *ActiveSelection().table; }
+
+Isa ActiveIsa() { return ActiveSelection().isa; }
+
+bool SetIsa(Isa isa) {
+  ActiveSelection();  // ensure tables are resolved / env applied first
+  if (!Available(isa)) return false;
+  g_active.store(&g_resolved[static_cast<int>(isa)],
+                 std::memory_order_release);
+  return true;
+}
+
+bool Compiled(Isa isa) { return CompiledTable(isa) != nullptr; }
+
+bool CpuSupports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512vl") &&
+             __builtin_cpu_supports("avx512bw");
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+#if defined(__aarch64__)
+      return true;  // NEON is baseline on AArch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool Available(Isa isa) { return Compiled(isa) && CpuSupports(isa); }
+
+Isa BestAvailable() {
+  if (Available(Isa::kAvx512)) return Isa::kAvx512;
+  if (Available(Isa::kAvx2)) return Isa::kAvx2;
+  if (Available(Isa::kNeon)) return Isa::kNeon;
+  return Isa::kScalar;
+}
+
+const KernelTable* TableFor(Isa isa) {
+  if (!Available(isa)) return nullptr;
+  return CompiledTable(isa);
+}
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::string CpuFeatureString() {
+  std::string features;
+  const auto append = [&features](const char* name) {
+    if (!features.empty()) features += ' ';
+    features += name;
+  };
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("sse2")) append("sse2");
+  if (__builtin_cpu_supports("sse4.2")) append("sse4.2");
+  if (__builtin_cpu_supports("avx")) append("avx");
+  if (__builtin_cpu_supports("fma")) append("fma");
+  if (__builtin_cpu_supports("avx2")) append("avx2");
+  if (__builtin_cpu_supports("avx512f")) append("avx512f");
+  if (__builtin_cpu_supports("avx512dq")) append("avx512dq");
+  if (__builtin_cpu_supports("avx512vl")) append("avx512vl");
+  if (__builtin_cpu_supports("avx512bw")) append("avx512bw");
+#elif defined(__aarch64__)
+  append("neon");
+#endif
+  if (features.empty()) features = "baseline";
+  return features;
+}
+
+}  // namespace timedrl::kernels::simd

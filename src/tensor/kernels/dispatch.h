@@ -1,0 +1,123 @@
+// Runtime ISA dispatch for the hot kernels (GEMM, fused transformer ops,
+// CountNonFinite).
+//
+// The kernel layer's public entry points (kernels/gemm.h, kernels/fused.h,
+// kernels/nonfinite.h) forward through a per-process KernelTable of function
+// pointers. The table is chosen once, on first use: the registry probes the
+// CPU (cpuid via __builtin_cpu_supports on x86; NEON is baseline on
+// AArch64), intersects that with the ISAs actually compiled into the binary
+// (each lives in its own TU under kernels/arch/, built with the matching -m
+// flags — see src/tensor/CMakeLists.txt), and picks the best. The
+// TIMEDRL_SIMD environment variable overrides the choice:
+//
+//   TIMEDRL_SIMD=auto|scalar|avx2|avx512|neon
+//
+// Requesting an ISA the machine cannot run (or that was not compiled in)
+// logs a warning and falls back to the best available one — the registry
+// never selects a path the CPU cannot execute.
+//
+// Determinism contract (DESIGN.md §16): within one dispatch path, every
+// kernel is bitwise deterministic across thread counts. Across paths
+// (scalar vs a vector ISA) results agree to float tolerance only — vector
+// kernels reassociate reductions lane-wise and use polynomial Exp/Tanh —
+// which is the same class of contract the fusion layer already carries
+// (~1e-6, verified by the `simd`-labeled equivalence suite and the
+// scalar-vs-SIMD phase of bench/e2e_train_step).
+
+#ifndef TIMEDRL_TENSOR_KERNELS_DISPATCH_H_
+#define TIMEDRL_TENSOR_KERNELS_DISPATCH_H_
+
+#include <cstdint>
+#include <string>
+
+namespace timedrl::kernels::simd {
+
+enum class Isa : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2, kNeon = 3 };
+
+/// One dispatchable backend: an implementation of every hot kernel. The
+/// signatures mirror the public entry points in kernels/{gemm,fused,
+/// nonfinite}.h exactly; see those headers for parameter semantics.
+struct KernelTable {
+  const char* name;
+  void (*gemm_nn)(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n, bool accumulate);
+  void (*gemm_nt)(const float* a, const float* b, float* c, int64_t m,
+                  int64_t n, int64_t k, bool accumulate);
+  void (*gemm_tn)(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n, bool accumulate);
+  void (*layer_norm_fwd)(const float* x, const float* gamma,
+                         const float* beta, float eps, float* y, float* mean,
+                         float* rstd, int64_t rows, int64_t features);
+  void (*layer_norm_bwd)(const float* g, const float* x, const float* gamma,
+                         const float* mean, const float* rstd, float* dx,
+                         float* dgamma, float* dbeta, int64_t rows,
+                         int64_t features);
+  void (*softmax_fwd)(const float* x, const float* mask, int64_t mask_rows,
+                      float scale, float masked_value, float* y, int64_t rows,
+                      int64_t dim);
+  void (*softmax_bwd)(const float* g, const float* y, float scale, float* dx,
+                      int64_t rows, int64_t dim);
+  void (*bias_gelu_fwd)(const float* x, const float* bias, float* y,
+                        int64_t rows, int64_t features);
+  void (*bias_gelu_bwd)(const float* g, const float* x, const float* bias,
+                        float* dx, float* dbias, float* scratch, int64_t rows,
+                        int64_t features);
+  int64_t (*count_nonfinite)(const float* x, int64_t n);
+};
+
+/// What a TIMEDRL_SIMD value asks for. kInvalid values warn and behave as
+/// kAuto.
+enum class Request : int {
+  kAuto = 0,
+  kScalar,
+  kAvx2,
+  kAvx512,
+  kNeon,
+  kInvalid
+};
+
+/// Parses a TIMEDRL_SIMD value ("auto", "scalar", "avx2", "avx512",
+/// "neon"); anything else is kInvalid. Pure function, exposed for tests.
+Request ParseRequest(const std::string& text);
+
+/// The table every public kernel entry point calls through. Initialized on
+/// first use from cpuid + TIMEDRL_SIMD.
+const KernelTable& Active();
+
+/// The ISA behind Active().
+Isa ActiveIsa();
+
+/// Programmatic override (benchmarks, tests — mirrors fusion::SetEnabled).
+/// Returns false and changes nothing if the ISA is not Available(). Must
+/// not race with running kernels.
+bool SetIsa(Isa isa);
+
+/// Whether this binary contains a backend for `isa` (per-TU compilation —
+/// always true for kScalar).
+bool Compiled(Isa isa);
+
+/// Whether the CPU we are running on can execute `isa`.
+bool CpuSupports(Isa isa);
+
+/// Compiled(isa) && CpuSupports(isa).
+bool Available(Isa isa);
+
+/// The best available ISA: avx512 > avx2 > neon > scalar.
+Isa BestAvailable();
+
+/// The table for a specific ISA, or nullptr unless Available(isa). Lets
+/// tests and benchmarks call a backend directly without flipping the
+/// process-wide active table.
+const KernelTable* TableFor(Isa isa);
+
+/// "scalar" / "avx2" / "avx512" / "neon".
+const char* IsaName(Isa isa);
+
+/// Space-separated summary of the SIMD-relevant CPU features cpuid
+/// advertises (e.g. "sse2 sse4.2 avx fma avx2 avx512f ..."), recorded in
+/// the bench JSONs so perf numbers are comparable across machines.
+std::string CpuFeatureString();
+
+}  // namespace timedrl::kernels::simd
+
+#endif  // TIMEDRL_TENSOR_KERNELS_DISPATCH_H_

@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "obs/trace.h"
+#include "tensor/kernels/dispatch.h"
 #include "tensor/kernels/elementwise.h"
+#include "tensor/kernels/scalar_kernels.h"
 #include "util/thread_pool.h"
 
 namespace timedrl::kernels {
@@ -34,11 +36,15 @@ inline float GeluDerivative(float x) {
 
 }  // namespace
 
+// The scalar backend: the portable reference implementations behind the
+// kScalar dispatch path (kernels/dispatch.h). The vector backends live in
+// kernels/arch/simd_kernels.h.
+namespace scalar {
+
 void FusedLayerNormForward(const float* x, const float* gamma,
                            const float* beta, float eps, float* y,
                            float* mean, float* rstd, int64_t rows,
                            int64_t features) {
-  TIMEDRL_TRACE_SCOPE_CAT("fused_layer_norm_fwd", "kernel");
   ParallelFor(0, rows, Grain(features), [=](int64_t begin, int64_t end) {
     for (int64_t r = begin; r < end; ++r) {
       const float* row = x + r * features;
@@ -67,7 +73,6 @@ void FusedLayerNormBackward(const float* g, const float* x,
                             const float* gamma, const float* mean,
                             const float* rstd, float* dx, float* dgamma,
                             float* dbeta, int64_t rows, int64_t features) {
-  TIMEDRL_TRACE_SCOPE_CAT("fused_layer_norm_bwd", "kernel");
   if (dx != nullptr) {
     ParallelFor(0, rows, Grain(features), [=](int64_t begin, int64_t end) {
       for (int64_t r = begin; r < end; ++r) {
@@ -114,7 +119,6 @@ void FusedLayerNormBackward(const float* g, const float* x,
 void FusedSoftmaxForward(const float* x, const float* mask, int64_t mask_rows,
                          float scale, float masked_value, float* y,
                          int64_t rows, int64_t dim) {
-  TIMEDRL_TRACE_SCOPE_CAT("fused_softmax_fwd", "kernel");
   ParallelFor(0, rows, Grain(dim), [=](int64_t begin, int64_t end) {
     for (int64_t r = begin; r < end; ++r) {
       const float* row = x + r * dim;
@@ -142,7 +146,6 @@ void FusedSoftmaxForward(const float* x, const float* mask, int64_t mask_rows,
 
 void FusedSoftmaxBackward(const float* g, const float* y, float scale,
                           float* dx, int64_t rows, int64_t dim) {
-  TIMEDRL_TRACE_SCOPE_CAT("fused_softmax_bwd", "kernel");
   ParallelFor(0, rows, Grain(dim), [=](int64_t begin, int64_t end) {
     for (int64_t r = begin; r < end; ++r) {
       const float* grow = g + r * dim;
@@ -161,7 +164,6 @@ void FusedSoftmaxBackward(const float* g, const float* y, float scale,
 
 void FusedBiasGeluForward(const float* x, const float* bias, float* y,
                           int64_t rows, int64_t features) {
-  TIMEDRL_TRACE_SCOPE_CAT("fused_bias_gelu_fwd", "kernel");
   ParallelFor(0, rows, Grain(features), [=](int64_t begin, int64_t end) {
     for (int64_t r = begin; r < end; ++r) {
       const float* row = x + r * features;
@@ -177,7 +179,6 @@ void FusedBiasGeluForward(const float* x, const float* bias, float* y,
 void FusedBiasGeluBackward(const float* g, const float* x, const float* bias,
                            float* dx, float* dbias, float* scratch,
                            int64_t rows, int64_t features) {
-  TIMEDRL_TRACE_SCOPE_CAT("fused_bias_gelu_bwd", "kernel");
   const int64_t n = rows * features;
   // Row pass: du = g * gelu'(x + bias), staged into scratch for the column
   // reduction and accumulated into dx. Disjoint writes; parallel.
@@ -199,6 +200,56 @@ void FusedBiasGeluBackward(const float* g, const float* x, const float* bias,
       }
     });
   }
+}
+
+}  // namespace scalar
+
+// Public entry points: trace, then forward through the active dispatch
+// table (scalar or the best vector ISA — see kernels/dispatch.h).
+
+void FusedLayerNormForward(const float* x, const float* gamma,
+                           const float* beta, float eps, float* y,
+                           float* mean, float* rstd, int64_t rows,
+                           int64_t features) {
+  TIMEDRL_TRACE_SCOPE_CAT("fused_layer_norm_fwd", "kernel");
+  simd::Active().layer_norm_fwd(x, gamma, beta, eps, y, mean, rstd, rows,
+                                features);
+}
+
+void FusedLayerNormBackward(const float* g, const float* x,
+                            const float* gamma, const float* mean,
+                            const float* rstd, float* dx, float* dgamma,
+                            float* dbeta, int64_t rows, int64_t features) {
+  TIMEDRL_TRACE_SCOPE_CAT("fused_layer_norm_bwd", "kernel");
+  simd::Active().layer_norm_bwd(g, x, gamma, mean, rstd, dx, dgamma, dbeta,
+                                rows, features);
+}
+
+void FusedSoftmaxForward(const float* x, const float* mask, int64_t mask_rows,
+                         float scale, float masked_value, float* y,
+                         int64_t rows, int64_t dim) {
+  TIMEDRL_TRACE_SCOPE_CAT("fused_softmax_fwd", "kernel");
+  simd::Active().softmax_fwd(x, mask, mask_rows, scale, masked_value, y, rows,
+                             dim);
+}
+
+void FusedSoftmaxBackward(const float* g, const float* y, float scale,
+                          float* dx, int64_t rows, int64_t dim) {
+  TIMEDRL_TRACE_SCOPE_CAT("fused_softmax_bwd", "kernel");
+  simd::Active().softmax_bwd(g, y, scale, dx, rows, dim);
+}
+
+void FusedBiasGeluForward(const float* x, const float* bias, float* y,
+                          int64_t rows, int64_t features) {
+  TIMEDRL_TRACE_SCOPE_CAT("fused_bias_gelu_fwd", "kernel");
+  simd::Active().bias_gelu_fwd(x, bias, y, rows, features);
+}
+
+void FusedBiasGeluBackward(const float* g, const float* x, const float* bias,
+                           float* dx, float* dbias, float* scratch,
+                           int64_t rows, int64_t features) {
+  TIMEDRL_TRACE_SCOPE_CAT("fused_bias_gelu_bwd", "kernel");
+  simd::Active().bias_gelu_bwd(g, x, bias, dx, dbias, scratch, rows, features);
 }
 
 }  // namespace timedrl::kernels

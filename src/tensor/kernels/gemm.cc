@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "obs/trace.h"
+#include "tensor/kernels/dispatch.h"
+#include "tensor/kernels/scalar_kernels.h"
 #include "util/thread_pool.h"
 
 namespace timedrl::kernels {
@@ -23,9 +25,13 @@ int64_t RowGrain(int64_t flops_per_row) {
 
 }  // namespace
 
+// The scalar backend: the portable reference implementations behind the
+// kScalar dispatch path (kernels/dispatch.h). The vector backends live in
+// kernels/arch/simd_kernels.h.
+namespace scalar {
+
 void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
             int64_t n, bool accumulate) {
-  TIMEDRL_TRACE_SCOPE_CAT("gemm_nn", "kernel");
   ParallelFor(0, m, RowGrain(k * n), [=](int64_t row_begin, int64_t row_end) {
     // Overwrite mode: zero this worker's rows just before accumulating into
     // them (cache-hot), instead of a cold zero-fill pass by the caller.
@@ -69,7 +75,6 @@ void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
 
 void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
             int64_t k, bool accumulate) {
-  TIMEDRL_TRACE_SCOPE_CAT("gemm_nt", "kernel");
   ParallelFor(0, m, RowGrain(n * k), [=](int64_t row_begin, int64_t row_end) {
     for (int64_t i = row_begin; i < row_end; ++i) {
       const float* __restrict__ arow = a + i * n;
@@ -101,7 +106,6 @@ void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
 
 void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
             int64_t n, bool accumulate) {
-  TIMEDRL_TRACE_SCOPE_CAT("gemm_tn", "kernel");
   // Parallel over rows of C (index p in [0, k)); the reduction over rows of
   // A/B (index i) runs inside, so each thread's writes are disjoint.
   ParallelFor(0, k, RowGrain(m * n), [=](int64_t row_begin, int64_t row_end) {
@@ -138,6 +142,29 @@ void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
       }
     }
   });
+}
+
+}  // namespace scalar
+
+// Public entry points: trace, then forward through the active dispatch
+// table (scalar or the best vector ISA — see kernels/dispatch.h).
+
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n, bool accumulate) {
+  TIMEDRL_TRACE_SCOPE_CAT("gemm_nn", "kernel");
+  simd::Active().gemm_nn(a, b, c, m, k, n, accumulate);
+}
+
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
+            int64_t k, bool accumulate) {
+  TIMEDRL_TRACE_SCOPE_CAT("gemm_nt", "kernel");
+  simd::Active().gemm_nt(a, b, c, m, n, k, accumulate);
+}
+
+void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n, bool accumulate) {
+  TIMEDRL_TRACE_SCOPE_CAT("gemm_tn", "kernel");
+  simd::Active().gemm_tn(a, b, c, m, k, n, accumulate);
 }
 
 }  // namespace timedrl::kernels

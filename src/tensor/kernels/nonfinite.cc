@@ -4,13 +4,16 @@
 #include <cmath>
 
 #include "obs/trace.h"
+#include "tensor/kernels/dispatch.h"
 #include "tensor/kernels/elementwise.h"
+#include "tensor/kernels/scalar_kernels.h"
 #include "util/thread_pool.h"
 
 namespace timedrl::kernels {
 
+namespace scalar {
+
 int64_t CountNonFinite(const float* x, int64_t n) {
-  TIMEDRL_TRACE_SCOPE_CAT("count_nonfinite", "kernel");
   std::atomic<int64_t> total{0};
   ParallelFor(0, n, kElementwiseGrain, [&](int64_t begin, int64_t end) {
     int64_t local = 0;
@@ -20,6 +23,13 @@ int64_t CountNonFinite(const float* x, int64_t n) {
     if (local != 0) total.fetch_add(local, std::memory_order_relaxed);
   });
   return total.load(std::memory_order_relaxed);
+}
+
+}  // namespace scalar
+
+int64_t CountNonFinite(const float* x, int64_t n) {
+  TIMEDRL_TRACE_SCOPE_CAT("count_nonfinite", "kernel");
+  return simd::Active().count_nonfinite(x, n);
 }
 
 }  // namespace timedrl::kernels

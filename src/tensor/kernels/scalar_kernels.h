@@ -1,0 +1,50 @@
+// The scalar kernel backend — the portable reference implementations that
+// back the kScalar dispatch path (kernels/dispatch.h) and the baseline the
+// vector backends are verified against (tolerance contract, `simd` test
+// label).
+//
+// These are the original kernel-layer implementations, unchanged: the
+// definitions live where they always did (gemm.cc, fused.cc, nonfinite.cc)
+// so their threading and determinism guarantees carry over verbatim; this
+// header only names them so dispatch.cc can build the scalar KernelTable.
+// Signatures and semantics match the public entry points in
+// kernels/{gemm,fused,nonfinite}.h exactly.
+
+#ifndef TIMEDRL_TENSOR_KERNELS_SCALAR_KERNELS_H_
+#define TIMEDRL_TENSOR_KERNELS_SCALAR_KERNELS_H_
+
+#include <cstdint>
+
+namespace timedrl::kernels::scalar {
+
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n, bool accumulate);
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
+            int64_t k, bool accumulate);
+void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n, bool accumulate);
+
+void FusedLayerNormForward(const float* x, const float* gamma,
+                           const float* beta, float eps, float* y,
+                           float* mean, float* rstd, int64_t rows,
+                           int64_t features);
+void FusedLayerNormBackward(const float* g, const float* x,
+                            const float* gamma, const float* mean,
+                            const float* rstd, float* dx, float* dgamma,
+                            float* dbeta, int64_t rows, int64_t features);
+void FusedSoftmaxForward(const float* x, const float* mask, int64_t mask_rows,
+                         float scale, float masked_value, float* y,
+                         int64_t rows, int64_t dim);
+void FusedSoftmaxBackward(const float* g, const float* y, float scale,
+                          float* dx, int64_t rows, int64_t dim);
+void FusedBiasGeluForward(const float* x, const float* bias, float* y,
+                          int64_t rows, int64_t features);
+void FusedBiasGeluBackward(const float* g, const float* x, const float* bias,
+                           float* dx, float* dbias, float* scratch,
+                           int64_t rows, int64_t features);
+
+int64_t CountNonFinite(const float* x, int64_t n);
+
+}  // namespace timedrl::kernels::scalar
+
+#endif  // TIMEDRL_TENSOR_KERNELS_SCALAR_KERNELS_H_

@@ -1,0 +1,284 @@
+// Portable SIMD vector abstraction for the kernel backend.
+//
+// Each ISA is a traits struct (Avx2 / Avx512 / Neon) over a native register
+// type, exposing the fixed op vocabulary the templated kernels in
+// kernels/arch/simd_kernels.h are written against: unaligned load/store,
+// arithmetic, FMA, compare/select, and FIXED-ORDER horizontal reductions.
+// Traits are only defined when the matching ISA macros are set, so this
+// header is safe to include from any TU — but vector code must only be
+// INSTANTIATED inside the per-ISA TUs under kernels/arch/, which are the
+// only TUs compiled with the matching -m flags (see src/tensor/CMakeLists).
+// That per-TU isolation is what guarantees e.g. AVX-512 instructions never
+// exist outside kernels_avx512.cc, so baseline hardware can run the binary
+// and the dispatch registry (kernels/dispatch.h) alone decides what runs.
+//
+// Determinism: every horizontal reduction (ReduceAdd / ReduceMax) uses a
+// fixed lane tree, and the transcendental helpers (Exp / Tanh) are pure
+// polynomial pipelines — for a given ISA the result of any op sequence is a
+// pure function of its inputs. Combined with the kernel-layer rule that
+// which elements take the vector body vs the scalar tail depends only on
+// the problem shape (never on thread-chunk boundaries), results within one
+// dispatch path are bitwise identical for any thread count. Across ISAs
+// (scalar vs avx2 vs avx512) results agree only to float tolerance: lane
+// trees reassociate sums and Exp/Tanh round differently from libm.
+
+#ifndef TIMEDRL_TENSOR_KERNELS_SIMD_H_
+#define TIMEDRL_TENSOR_KERNELS_SIMD_H_
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#elif defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace timedrl::kernels::simd {
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+/// 8-lane single-precision AVX2+FMA.
+struct Avx2 {
+  static constexpr int kWidth = 8;
+  using Reg = __m256;
+  using Mask = __m256;  // all-ones / all-zeros lanes from a compare
+
+  static Reg Load(const float* p) { return _mm256_loadu_ps(p); }
+  static void Store(float* p, Reg v) { _mm256_storeu_ps(p, v); }
+  static Reg Set1(float x) { return _mm256_set1_ps(x); }
+  static Reg Zero() { return _mm256_setzero_ps(); }
+  static Reg Add(Reg a, Reg b) { return _mm256_add_ps(a, b); }
+  static Reg Sub(Reg a, Reg b) { return _mm256_sub_ps(a, b); }
+  static Reg Mul(Reg a, Reg b) { return _mm256_mul_ps(a, b); }
+  static Reg Div(Reg a, Reg b) { return _mm256_div_ps(a, b); }
+  static Reg Max(Reg a, Reg b) { return _mm256_max_ps(a, b); }
+  static Reg Min(Reg a, Reg b) { return _mm256_min_ps(a, b); }
+  /// a * b + c with a single rounding (matches std::fma).
+  static Reg Fma(Reg a, Reg b, Reg c) { return _mm256_fmadd_ps(a, b, c); }
+  static Reg Round(Reg v) {
+    return _mm256_round_ps(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  }
+  /// 2^v for integral-valued v within the float exponent range.
+  static Reg Pow2(Reg v) {
+    __m256i n = _mm256_cvtps_epi32(v);
+    n = _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23);
+    return _mm256_castsi256_ps(n);
+  }
+  static Mask CmpLt(Reg a, Reg b) { return _mm256_cmp_ps(a, b, _CMP_LT_OQ); }
+  /// Lane-true where v != 0.0f (NaN counts as nonzero, like the scalar !=).
+  static Mask CmpNeZero(Reg v) {
+    return _mm256_cmp_ps(v, _mm256_setzero_ps(), _CMP_NEQ_UQ);
+  }
+  static Reg Select(Mask m, Reg if_true, Reg if_false) {
+    return _mm256_blendv_ps(if_false, if_true, m);
+  }
+  static Reg Abs(Reg v) { return _mm256_andnot_ps(Set1(-0.0f), v); }
+  static Reg CopySign(Reg magnitude, Reg sign_of) {
+    const Reg sign_mask = Set1(-0.0f);
+    return _mm256_or_ps(_mm256_andnot_ps(sign_mask, magnitude),
+                        _mm256_and_ps(sign_mask, sign_of));
+  }
+  /// Fixed lane tree: ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)) shape.
+  static float ReduceAdd(Reg v) {
+    __m128 s = _mm_add_ps(_mm256_castps256_ps128(v),
+                          _mm256_extractf128_ps(v, 1));
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));
+    return _mm_cvtss_f32(s);
+  }
+  static float ReduceMax(Reg v) {
+    __m128 s = _mm_max_ps(_mm256_castps256_ps128(v),
+                          _mm256_extractf128_ps(v, 1));
+    s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 0x1));
+    return _mm_cvtss_f32(s);
+  }
+  /// Lanes whose exponent field is all-ones (Inf or NaN).
+  static int CountNonFinite(Reg v) {
+    const __m256i exponent = _mm256_set1_epi32(0x7f800000);
+    const __m256i masked =
+        _mm256_and_si256(_mm256_castps_si256(v), exponent);
+    const __m256i hit = _mm256_cmpeq_epi32(masked, exponent);
+    return __builtin_popcount(
+        _mm256_movemask_ps(_mm256_castsi256_ps(hit)));
+  }
+};
+
+#endif  // __AVX2__ && __FMA__
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && defined(__AVX512VL__) && \
+    defined(__AVX512BW__)
+
+/// 16-lane single-precision AVX-512 (F+DQ+VL+BW feature set).
+struct Avx512 {
+  static constexpr int kWidth = 16;
+  using Reg = __m512;
+  using Mask = __mmask16;
+
+  static Reg Load(const float* p) { return _mm512_loadu_ps(p); }
+  static void Store(float* p, Reg v) { _mm512_storeu_ps(p, v); }
+  static Reg Set1(float x) { return _mm512_set1_ps(x); }
+  static Reg Zero() { return _mm512_setzero_ps(); }
+  static Reg Add(Reg a, Reg b) { return _mm512_add_ps(a, b); }
+  static Reg Sub(Reg a, Reg b) { return _mm512_sub_ps(a, b); }
+  static Reg Mul(Reg a, Reg b) { return _mm512_mul_ps(a, b); }
+  static Reg Div(Reg a, Reg b) { return _mm512_div_ps(a, b); }
+  static Reg Max(Reg a, Reg b) { return _mm512_max_ps(a, b); }
+  static Reg Min(Reg a, Reg b) { return _mm512_min_ps(a, b); }
+  static Reg Fma(Reg a, Reg b, Reg c) { return _mm512_fmadd_ps(a, b, c); }
+  static Reg Round(Reg v) {
+    return _mm512_roundscale_ps(
+        v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  }
+  static Reg Pow2(Reg v) {
+    __m512i n = _mm512_cvtps_epi32(v);
+    n = _mm512_slli_epi32(_mm512_add_epi32(n, _mm512_set1_epi32(127)), 23);
+    return _mm512_castsi512_ps(n);
+  }
+  static Mask CmpLt(Reg a, Reg b) {
+    return _mm512_cmp_ps_mask(a, b, _CMP_LT_OQ);
+  }
+  static Mask CmpNeZero(Reg v) {
+    return _mm512_cmp_ps_mask(v, _mm512_setzero_ps(), _CMP_NEQ_UQ);
+  }
+  static Reg Select(Mask m, Reg if_true, Reg if_false) {
+    return _mm512_mask_blend_ps(m, if_false, if_true);
+  }
+  static Reg Abs(Reg v) { return _mm512_abs_ps(v); }
+  static Reg CopySign(Reg magnitude, Reg sign_of) {
+    const Reg sign_mask = Set1(-0.0f);
+    return _mm512_or_ps(_mm512_andnot_ps(sign_mask, magnitude),
+                        _mm512_and_ps(sign_mask, sign_of));
+  }
+  /// Fixed tree: halves to 256, then the AVX2-shaped 128-bit tree.
+  static float ReduceAdd(Reg v) {
+    __m256 h = _mm256_add_ps(_mm512_castps512_ps256(v),
+                             _mm512_extractf32x8_ps(v, 1));
+    __m128 s = _mm_add_ps(_mm256_castps256_ps128(h),
+                          _mm256_extractf128_ps(h, 1));
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));
+    return _mm_cvtss_f32(s);
+  }
+  static float ReduceMax(Reg v) {
+    __m256 h = _mm256_max_ps(_mm512_castps512_ps256(v),
+                             _mm512_extractf32x8_ps(v, 1));
+    __m128 s = _mm_max_ps(_mm256_castps256_ps128(h),
+                          _mm256_extractf128_ps(h, 1));
+    s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 0x1));
+    return _mm_cvtss_f32(s);
+  }
+  static int CountNonFinite(Reg v) {
+    const __m512i exponent = _mm512_set1_epi32(0x7f800000);
+    const __m512i masked =
+        _mm512_and_si512(_mm512_castps_si512(v), exponent);
+    return __builtin_popcount(static_cast<unsigned>(
+        _mm512_cmpeq_epi32_mask(masked, exponent)));
+  }
+};
+
+#endif  // AVX-512 F+DQ+VL+BW
+
+#if defined(__ARM_NEON) && defined(__aarch64__)
+
+/// 4-lane single-precision NEON (AArch64, where NEON is baseline).
+struct Neon {
+  static constexpr int kWidth = 4;
+  using Reg = float32x4_t;
+  using Mask = uint32x4_t;
+
+  static Reg Load(const float* p) { return vld1q_f32(p); }
+  static void Store(float* p, Reg v) { vst1q_f32(p, v); }
+  static Reg Set1(float x) { return vdupq_n_f32(x); }
+  static Reg Zero() { return vdupq_n_f32(0.0f); }
+  static Reg Add(Reg a, Reg b) { return vaddq_f32(a, b); }
+  static Reg Sub(Reg a, Reg b) { return vsubq_f32(a, b); }
+  static Reg Mul(Reg a, Reg b) { return vmulq_f32(a, b); }
+  static Reg Div(Reg a, Reg b) { return vdivq_f32(a, b); }
+  static Reg Max(Reg a, Reg b) { return vmaxq_f32(a, b); }
+  static Reg Min(Reg a, Reg b) { return vminq_f32(a, b); }
+  static Reg Fma(Reg a, Reg b, Reg c) { return vfmaq_f32(c, a, b); }
+  static Reg Round(Reg v) { return vrndnq_f32(v); }
+  static Reg Pow2(Reg v) {
+    int32x4_t n = vcvtnq_s32_f32(v);
+    n = vshlq_n_s32(vaddq_s32(n, vdupq_n_s32(127)), 23);
+    return vreinterpretq_f32_s32(n);
+  }
+  static Mask CmpLt(Reg a, Reg b) { return vcltq_f32(a, b); }
+  static Mask CmpNeZero(Reg v) {
+    return vmvnq_u32(vceqq_f32(v, Zero()));
+  }
+  static Reg Select(Mask m, Reg if_true, Reg if_false) {
+    return vbslq_f32(m, if_true, if_false);
+  }
+  static Reg Abs(Reg v) { return vabsq_f32(v); }
+  static Reg CopySign(Reg magnitude, Reg sign_of) {
+    return vbslq_f32(vdupq_n_u32(0x80000000u), sign_of, magnitude);
+  }
+  /// Fixed tree: (l0+l2) + (l1+l3).
+  static float ReduceAdd(Reg v) {
+    float32x2_t s = vadd_f32(vget_low_f32(v), vget_high_f32(v));
+    return vget_lane_f32(vpadd_f32(s, s), 0);
+  }
+  static float ReduceMax(Reg v) {
+    float32x2_t s = vmax_f32(vget_low_f32(v), vget_high_f32(v));
+    return vget_lane_f32(vpmax_f32(s, s), 0);
+  }
+  static int CountNonFinite(Reg v) {
+    const uint32x4_t exponent = vdupq_n_u32(0x7f800000u);
+    const uint32x4_t masked =
+        vandq_u32(vreinterpretq_u32_f32(v), exponent);
+    const uint32x4_t hit = vceqq_u32(masked, exponent);
+    return static_cast<int>(vaddvq_u32(vshrq_n_u32(hit, 31)));
+  }
+};
+
+#endif  // __ARM_NEON && __aarch64__
+
+// ---------------------------------------------------------------------------
+// Vector transcendentals, written once over the traits vocabulary.
+// ---------------------------------------------------------------------------
+
+/// e^x per lane. Cephes-style: n = round(x*log2e), Cody–Waite reduction to
+/// r in [-ln2/2, ln2/2], degree-5 polynomial for e^r, scale by 2^n.
+/// Relative error is a few ulps against libm; lanes below the flush cutoff
+/// (where libm underflows toward denormals) return exactly 0.0f, so
+/// softmax's masked positions stay exactly zero like the scalar path.
+template <class V>
+inline typename V::Reg Exp(typename V::Reg x) {
+  using R = typename V::Reg;
+  const R hi = V::Set1(88.3762626647949f);
+  const R lo = V::Set1(-87.33654475055310f);
+  const typename V::Mask flush = V::CmpLt(x, lo);
+  R v = V::Max(V::Min(x, hi), lo);
+  const R n = V::Round(V::Mul(v, V::Set1(1.44269504088896341f)));
+  R r = V::Fma(n, V::Set1(-0.693359375f), v);
+  r = V::Fma(n, V::Set1(2.12194440e-4f), r);
+  R p = V::Set1(1.9875691500e-4f);
+  p = V::Fma(p, r, V::Set1(1.3981999507e-3f));
+  p = V::Fma(p, r, V::Set1(8.3334519073e-3f));
+  p = V::Fma(p, r, V::Set1(4.1665795894e-2f));
+  p = V::Fma(p, r, V::Set1(1.6666665459e-1f));
+  p = V::Fma(p, r, V::Set1(5.0000001201e-1f));
+  R y = V::Fma(V::Mul(r, r), p, V::Add(r, V::Set1(1.0f)));
+  y = V::Mul(y, V::Pow2(n));
+  return V::Select(flush, V::Zero(), y);
+}
+
+/// tanh(x) per lane via e^{-2|x|}: (1 - e) / (1 + e) with the sign of x.
+/// Absolute error stays within a few float ulps of 1.0 across the range
+/// (near zero the quotient's absolute error is ~1e-8, which is what the
+/// GELU pipeline cares about since it adds 1 to the result).
+template <class V>
+inline typename V::Reg Tanh(typename V::Reg x) {
+  using R = typename V::Reg;
+  const R one = V::Set1(1.0f);
+  const R e = Exp<V>(V::Mul(V::Abs(x), V::Set1(-2.0f)));
+  const R r = V::Div(V::Sub(one, e), V::Add(one, e));
+  return V::CopySign(r, x);
+}
+
+}  // namespace timedrl::kernels::simd
+
+#endif  // TIMEDRL_TENSOR_KERNELS_SIMD_H_

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "nn/transformer.h"
+#include "tensor/kernels/dispatch.h"
 #include "tensor/ops.h"
 #include "tensor/ops_fused.h"
 #include "tensor/tensor.h"
@@ -18,6 +19,23 @@
 
 namespace timedrl {
 namespace {
+
+// Pins the kernel dispatch path for the duration of a test. The fused-vs-
+// composed BITWISE assertions below only hold on the scalar path: the
+// composed fallback is built from elementwise ops that never dispatch, so
+// against a vector ISA the comparison is tolerance-only (see
+// kernels/dispatch.h and the simd-labeled equivalence suite).
+class IsaGuard {
+ public:
+  explicit IsaGuard(kernels::simd::Isa isa)
+      : previous_(kernels::simd::ActiveIsa()) {
+    kernels::simd::SetIsa(isa);
+  }
+  ~IsaGuard() { kernels::simd::SetIsa(previous_); }
+
+ private:
+  kernels::simd::Isa previous_;
+};
 
 // Restores the fusion flag (and optionally the thread count) on scope exit
 // so one test cannot leak configuration into the next.
@@ -84,6 +102,7 @@ TEST(FusedLayerNorm, ForwardMatchesComposed) {
 }
 
 TEST(FusedSoftmax, ForwardBitwiseMatchesComposed) {
+  IsaGuard scalar_path(kernels::simd::Isa::kScalar);
   Tensor x = RandomTensor({2, 3, 4, 4}, 4);
   Tensor mask = CausalMask(4);
   const float scale = 0.5f;
@@ -101,6 +120,7 @@ TEST(FusedSoftmax, ForwardBitwiseMatchesComposed) {
 }
 
 TEST(FusedSoftmax, UnmaskedForwardBitwiseMatchesComposed) {
+  IsaGuard scalar_path(kernels::simd::Isa::kScalar);
   Tensor x = RandomTensor({3, 7}, 5);
   Tensor fused, composed;
   {
@@ -121,6 +141,7 @@ TEST(FusedSoftmax, UnmaskedForwardBitwiseMatchesComposed) {
 }
 
 TEST(FusedBiasGelu, ForwardBitwiseMatchesComposed) {
+  IsaGuard scalar_path(kernels::simd::Isa::kScalar);
   Tensor x = RandomTensor({5, 12}, 6);
   Tensor bias = RandomTensor({12}, 7);
   Tensor fused, composed;

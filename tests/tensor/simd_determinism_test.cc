@@ -1,0 +1,141 @@
+// The bitwise half of the DESIGN.md §16 contract: within ONE dispatch path
+// (scalar or any vector ISA), every dispatched kernel produces bitwise
+// identical results for thread counts {1, 2, 4}. Shapes are chosen so the
+// parallel tiling actually varies across thread counts AND every tail case
+// is live: partial kMr row tiles, multiple kKc blocks, ragged column
+// panels, and partial feature groups in the column reductions.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "tensor/kernels/dispatch.h"
+#include "util/thread_pool.h"
+
+namespace timedrl::kernels::simd {
+namespace {
+
+std::vector<float> RandomVec(int64_t n, uint32_t seed) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<float> v(n);
+  for (auto& x : v) x = dist(gen);
+  return v;
+}
+
+std::vector<Isa> AllAvailableIsas() {
+  std::vector<Isa> isas = {Isa::kScalar};
+  for (Isa isa : {Isa::kAvx2, Isa::kAvx512, Isa::kNeon}) {
+    if (Available(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+// Runs every dispatched kernel once through `table` and returns all output
+// buffers, concatenated in a fixed order.
+std::vector<std::vector<float>> RunAllKernels(const KernelTable* table) {
+  std::vector<std::vector<float>> outputs;
+
+  // GEMM: m=23 (3 full kMr tiles + a 5-row tail), k=300 (2 kKc blocks),
+  // n=61 (ragged against W=8 and W=16).
+  constexpr int64_t m = 23, k = 300, n = 61;
+  const auto a = RandomVec(m * k, 100);
+  const auto b = RandomVec(k * n, 101);
+  const auto at = RandomVec(k * m, 102);   // [k x m]: TN's untransposed A
+  const auto ant = RandomVec(m * n, 104);  // [m x n]: NT's A
+  for (bool accumulate : {false, true}) {
+    std::vector<float> c_nn = RandomVec(m * n, 105);
+    table->gemm_nn(a.data(), b.data(), c_nn.data(), m, k, n, accumulate);
+    outputs.push_back(std::move(c_nn));
+    std::vector<float> c_nt = RandomVec(m * k, 106);
+    table->gemm_nt(ant.data(), b.data(), c_nt.data(), m, n, k, accumulate);
+    outputs.push_back(std::move(c_nt));
+    // TN reduces over its first argument's rows — k of them here, so the
+    // k > kKc multi-block path is live: C[m x n] = at^T[m x k] * b[k x n].
+    std::vector<float> c_tn = RandomVec(m * n, 107);
+    table->gemm_tn(at.data(), b.data(), c_tn.data(), k, m, n, accumulate);
+    outputs.push_back(std::move(c_tn));
+  }
+
+  // Fused kernels: enough rows that ParallelFor actually splits, features
+  // ragged against both vector widths (so the partial feature group in the
+  // column reductions is live).
+  constexpr int64_t rows = 64, features = 61;
+  const auto x = RandomVec(rows * features, 108);
+  const auto gamma = RandomVec(features, 109);
+  const auto beta = RandomVec(features, 110);
+  const auto g = RandomVec(rows * features, 111);
+  std::vector<float> y(rows * features), mean(rows), rstd(rows);
+  table->layer_norm_fwd(x.data(), gamma.data(), beta.data(), 1e-5f, y.data(),
+                        mean.data(), rstd.data(), rows, features);
+  std::vector<float> dx(rows * features, 0.0f), dgamma(features, 0.0f),
+      dbeta(features, 0.0f);
+  table->layer_norm_bwd(g.data(), x.data(), gamma.data(), mean.data(),
+                        rstd.data(), dx.data(), dgamma.data(), dbeta.data(),
+                        rows, features);
+  outputs.push_back(y);
+  outputs.push_back(mean);
+  outputs.push_back(rstd);
+  outputs.push_back(std::move(dx));
+  outputs.push_back(std::move(dgamma));
+  outputs.push_back(std::move(dbeta));
+
+  constexpr int64_t mask_rows = 16;
+  std::vector<float> mask(mask_rows * features, 0.0f);
+  for (size_t i = 0; i < mask.size(); i += 3) mask[i] = 1.0f;
+  std::vector<float> sm(rows * features);
+  table->softmax_fwd(x.data(), mask.data(), mask_rows, 0.5f, -1e9f,
+                     sm.data(), rows, features);
+  std::vector<float> dsm(rows * features, 0.0f);
+  table->softmax_bwd(g.data(), sm.data(), 0.5f, dsm.data(), rows, features);
+  outputs.push_back(std::move(sm));
+  outputs.push_back(std::move(dsm));
+
+  std::vector<float> bg(rows * features);
+  table->bias_gelu_fwd(x.data(), beta.data(), bg.data(), rows, features);
+  std::vector<float> dbg(rows * features, 0.0f), dbias(features, 0.0f),
+      scratch(rows * features);
+  table->bias_gelu_bwd(g.data(), x.data(), beta.data(), dbg.data(),
+                       dbias.data(), scratch.data(), rows, features);
+  outputs.push_back(std::move(bg));
+  outputs.push_back(std::move(dbg));
+  outputs.push_back(std::move(dbias));
+
+  auto nf = RandomVec(10007, 112);
+  nf[3] = std::numeric_limits<float>::quiet_NaN();
+  outputs.push_back({static_cast<float>(
+      table->count_nonfinite(nf.data(), static_cast<int64_t>(nf.size())))});
+
+  return outputs;
+}
+
+TEST(SimdDeterminism, EveryKernelBitwiseStableAcrossThreadCounts) {
+  const int original_threads = NumThreads();
+  for (Isa isa : AllAvailableIsas()) {
+    const KernelTable* table = TableFor(isa);
+    ASSERT_NE(table, nullptr);
+    SetNumThreads(1);
+    const auto reference = RunAllKernels(table);
+    for (int threads : {2, 4}) {
+      SetNumThreads(threads);
+      const auto repeat = RunAllKernels(table);
+      ASSERT_EQ(reference.size(), repeat.size());
+      for (size_t i = 0; i < reference.size(); ++i) {
+        ASSERT_EQ(reference[i].size(), repeat[i].size());
+        for (size_t j = 0; j < reference[i].size(); ++j) {
+          // Bitwise: EQ on floats, deliberately not NEAR. (NaN never
+          // reaches an output buffer in these fixtures.)
+          ASSERT_EQ(reference[i][j], repeat[i][j])
+              << IsaName(isa) << " buffer " << i << " index " << j << " with "
+              << threads << " threads";
+        }
+      }
+    }
+  }
+  SetNumThreads(original_threads);
+}
+
+}  // namespace
+}  // namespace timedrl::kernels::simd

@@ -1,0 +1,115 @@
+// The runtime ISA dispatch registry (tensor/kernels/dispatch.h): request
+// parsing, compiled/supported/available consistency, programmatic override,
+// and the guarantee that the registry never selects a path the machine
+// cannot execute.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "tensor/kernels/dispatch.h"
+
+namespace timedrl::kernels::simd {
+namespace {
+
+class IsaGuard {
+ public:
+  IsaGuard() : previous_(ActiveIsa()) {}
+  ~IsaGuard() { SetIsa(previous_); }
+
+ private:
+  Isa previous_;
+};
+
+TEST(SimdDispatch, ParseRequestCoversTheDocumentedValues) {
+  EXPECT_EQ(ParseRequest("auto"), Request::kAuto);
+  EXPECT_EQ(ParseRequest(""), Request::kAuto);
+  EXPECT_EQ(ParseRequest("scalar"), Request::kScalar);
+  EXPECT_EQ(ParseRequest("avx2"), Request::kAvx2);
+  EXPECT_EQ(ParseRequest("avx512"), Request::kAvx512);
+  EXPECT_EQ(ParseRequest("neon"), Request::kNeon);
+  EXPECT_EQ(ParseRequest("AVX2"), Request::kInvalid);
+  EXPECT_EQ(ParseRequest("sse"), Request::kInvalid);
+  EXPECT_EQ(ParseRequest("bogus"), Request::kInvalid);
+}
+
+TEST(SimdDispatch, ScalarBackendIsAlwaysAvailable) {
+  EXPECT_TRUE(Compiled(Isa::kScalar));
+  EXPECT_TRUE(CpuSupports(Isa::kScalar));
+  EXPECT_TRUE(Available(Isa::kScalar));
+  const KernelTable* table = TableFor(Isa::kScalar);
+  ASSERT_NE(table, nullptr);
+  EXPECT_STREQ(table->name, "scalar");
+  EXPECT_NE(table->gemm_nn, nullptr);
+  EXPECT_NE(table->count_nonfinite, nullptr);
+}
+
+TEST(SimdDispatch, AvailableImpliesCompiledAndSupported) {
+  for (Isa isa :
+       {Isa::kScalar, Isa::kAvx2, Isa::kAvx512, Isa::kNeon}) {
+    EXPECT_EQ(Available(isa), Compiled(isa) && CpuSupports(isa))
+        << IsaName(isa);
+    if (Available(isa)) {
+      const KernelTable* table = TableFor(isa);
+      ASSERT_NE(table, nullptr) << IsaName(isa);
+      EXPECT_STREQ(table->name, IsaName(isa));
+    } else {
+      EXPECT_EQ(TableFor(isa), nullptr) << IsaName(isa);
+    }
+  }
+}
+
+TEST(SimdDispatch, ActiveMatchesActiveIsaAndIsExecutable) {
+  const Isa isa = ActiveIsa();
+  EXPECT_TRUE(Available(isa)) << "registry selected " << IsaName(isa)
+                              << " which this machine cannot run";
+  EXPECT_STREQ(Active().name, IsaName(isa));
+}
+
+TEST(SimdDispatch, BestAvailableIsAvailableAndBeatsScalarWhenVectorExists) {
+  const Isa best = BestAvailable();
+  EXPECT_TRUE(Available(best));
+  const bool any_vector = Available(Isa::kAvx2) || Available(Isa::kAvx512) ||
+                          Available(Isa::kNeon);
+  if (any_vector) {
+    EXPECT_NE(best, Isa::kScalar)
+        << "a vector backend is available but BestAvailable chose scalar";
+  }
+  if (Available(Isa::kAvx512)) EXPECT_EQ(best, Isa::kAvx512);
+}
+
+TEST(SimdDispatch, SetIsaOverridesAndRefusesUnavailable) {
+  IsaGuard restore;
+  ASSERT_TRUE(SetIsa(Isa::kScalar));
+  EXPECT_EQ(ActiveIsa(), Isa::kScalar);
+  EXPECT_STREQ(Active().name, "scalar");
+  for (Isa isa : {Isa::kAvx2, Isa::kAvx512, Isa::kNeon}) {
+    if (Available(isa)) {
+      EXPECT_TRUE(SetIsa(isa));
+      EXPECT_EQ(ActiveIsa(), isa);
+    } else {
+      const Isa before = ActiveIsa();
+      EXPECT_FALSE(SetIsa(isa)) << IsaName(isa);
+      EXPECT_EQ(ActiveIsa(), before)
+          << "failed SetIsa must not change the active path";
+    }
+  }
+}
+
+TEST(SimdDispatch, CpuFeatureStringIsNonEmptyAndConsistent) {
+  const std::string features = CpuFeatureString();
+  EXPECT_FALSE(features.empty());
+  // If cpuid says AVX2+FMA, the feature string must mention avx2 — the
+  // bench JSONs rely on this field to explain perf numbers.
+  if (CpuSupports(Isa::kAvx2)) {
+    EXPECT_NE(features.find("avx2"), std::string::npos) << features;
+    EXPECT_NE(features.find("fma"), std::string::npos) << features;
+  }
+  if (CpuSupports(Isa::kAvx512)) {
+    EXPECT_NE(features.find("avx512f"), std::string::npos) << features;
+  }
+}
+
+}  // namespace
+}  // namespace timedrl::kernels::simd

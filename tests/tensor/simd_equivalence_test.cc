@@ -1,0 +1,332 @@
+// Scalar-vs-SIMD equivalence for every dispatched kernel (the tolerance
+// half of the DESIGN.md §16 contract): each available vector backend is run
+// directly through its TableFor() pointers against the scalar reference on
+// shapes chosen to exercise full vector panels, the single-W panel, and
+// ragged tails. Also: the masked-softmax exact-zero contract, the exactness
+// of CountNonFinite, and fused-op gradchecks with the scalar path forced via
+// SetIsa (the TIMEDRL_SIMD=scalar configuration).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "tensor/kernels/dispatch.h"
+#include "tensor/ops.h"
+#include "tensor/ops_fused.h"
+#include "tensor/tensor.h"
+#include "testing/gradcheck.h"
+#include "util/rng.h"
+
+namespace timedrl::kernels::simd {
+namespace {
+
+std::vector<float> RandomVec(int64_t n, uint32_t seed, float scale = 1.0f) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<float> dist(0.0f, scale);
+  std::vector<float> v(n);
+  for (auto& x : v) x = dist(gen);
+  return v;
+}
+
+void ExpectAllClose(const std::vector<float>& a, const std::vector<float>& b,
+                    float rtol, float atol, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const float scale = std::max(std::fabs(a[i]), std::fabs(b[i]));
+    ASSERT_NEAR(a[i], b[i], atol + rtol * scale)
+        << what << " at index " << i;
+  }
+}
+
+std::vector<Isa> VectorIsas() {
+  std::vector<Isa> isas;
+  for (Isa isa : {Isa::kAvx2, Isa::kAvx512, Isa::kNeon}) {
+    if (Available(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+// Shapes with ragged tails relative to every vector width in play (8/16):
+// m exercises partial kMr row tiles, k spans two kKc blocks, n covers full
+// 2W panels plus a single-W panel plus a ragged tail.
+constexpr int64_t kM = 23;
+constexpr int64_t kK = 300;
+constexpr int64_t kN = 61;
+
+TEST(SimdEquivalence, GemmNN) {
+  const KernelTable* ref = TableFor(Isa::kScalar);
+  const auto a = RandomVec(kM * kK, 1);
+  const auto b = RandomVec(kK * kN, 2);
+  for (bool accumulate : {false, true}) {
+    std::vector<float> expected = RandomVec(kM * kN, 3);
+    std::vector<float> seed_c = expected;
+    ref->gemm_nn(a.data(), b.data(), expected.data(), kM, kK, kN, accumulate);
+    for (Isa isa : VectorIsas()) {
+      std::vector<float> actual = seed_c;
+      TableFor(isa)->gemm_nn(a.data(), b.data(), actual.data(), kM, kK, kN,
+                             accumulate);
+      // k = 300 terms of O(1) magnitude: sums are O(sqrt(k)), so a relative
+      // tolerance on the element magnitude plus a small absolute floor for
+      // cancellation covers the FMA/lane-tree reassociation.
+      ExpectAllClose(expected, actual, 1e-4f, 1e-4f, IsaName(isa));
+    }
+  }
+}
+
+TEST(SimdEquivalence, GemmNT) {
+  const KernelTable* ref = TableFor(Isa::kScalar);
+  const auto a = RandomVec(kM * kN, 4);
+  const auto b = RandomVec(kK * kN, 5);
+  for (bool accumulate : {false, true}) {
+    std::vector<float> expected = RandomVec(kM * kK, 6);
+    std::vector<float> seed_c = expected;
+    ref->gemm_nt(a.data(), b.data(), expected.data(), kM, kN, kK, accumulate);
+    for (Isa isa : VectorIsas()) {
+      std::vector<float> actual = seed_c;
+      TableFor(isa)->gemm_nt(a.data(), b.data(), actual.data(), kM, kN, kK,
+                             accumulate);
+      ExpectAllClose(expected, actual, 1e-4f, 1e-4f, IsaName(isa));
+    }
+  }
+}
+
+TEST(SimdEquivalence, GemmTN) {
+  const KernelTable* ref = TableFor(Isa::kScalar);
+  const auto a = RandomVec(kM * kK, 7);
+  const auto b = RandomVec(kM * kN, 8);
+  for (bool accumulate : {false, true}) {
+    std::vector<float> expected = RandomVec(kK * kN, 9);
+    std::vector<float> seed_c = expected;
+    ref->gemm_tn(a.data(), b.data(), expected.data(), kM, kK, kN, accumulate);
+    for (Isa isa : VectorIsas()) {
+      std::vector<float> actual = seed_c;
+      TableFor(isa)->gemm_tn(a.data(), b.data(), actual.data(), kM, kK, kN,
+                             accumulate);
+      ExpectAllClose(expected, actual, 1e-4f, 1e-4f, IsaName(isa));
+    }
+  }
+}
+
+TEST(SimdEquivalence, LayerNormForward) {
+  constexpr int64_t rows = 17;
+  constexpr int64_t features = 61;  // ragged for W = 8 and 16
+  const KernelTable* ref = TableFor(Isa::kScalar);
+  const auto x = RandomVec(rows * features, 10);
+  const auto gamma = RandomVec(features, 11);
+  const auto beta = RandomVec(features, 12);
+  std::vector<float> y_ref(rows * features), mean_ref(rows), rstd_ref(rows);
+  ref->layer_norm_fwd(x.data(), gamma.data(), beta.data(), 1e-5f,
+                      y_ref.data(), mean_ref.data(), rstd_ref.data(), rows,
+                      features);
+  for (Isa isa : VectorIsas()) {
+    std::vector<float> y(rows * features), mean(rows), rstd(rows);
+    TableFor(isa)->layer_norm_fwd(x.data(), gamma.data(), beta.data(), 1e-5f,
+                                  y.data(), mean.data(), rstd.data(), rows,
+                                  features);
+    ExpectAllClose(y_ref, y, 1e-4f, 1e-5f, IsaName(isa));
+    ExpectAllClose(mean_ref, mean, 1e-5f, 1e-6f, IsaName(isa));
+    ExpectAllClose(rstd_ref, rstd, 1e-4f, 1e-5f, IsaName(isa));
+  }
+}
+
+TEST(SimdEquivalence, LayerNormBackward) {
+  constexpr int64_t rows = 17;
+  constexpr int64_t features = 61;
+  const KernelTable* ref = TableFor(Isa::kScalar);
+  const auto x = RandomVec(rows * features, 13);
+  const auto gamma = RandomVec(features, 14);
+  const auto beta = RandomVec(features, 15);
+  const auto g = RandomVec(rows * features, 16);
+  std::vector<float> y(rows * features), mean(rows), rstd(rows);
+  ref->layer_norm_fwd(x.data(), gamma.data(), beta.data(), 1e-5f, y.data(),
+                      mean.data(), rstd.data(), rows, features);
+  std::vector<float> dx_ref(rows * features), dgamma_ref(features),
+      dbeta_ref(features);
+  ref->layer_norm_bwd(g.data(), x.data(), gamma.data(), mean.data(),
+                      rstd.data(), dx_ref.data(), dgamma_ref.data(),
+                      dbeta_ref.data(), rows, features);
+  for (Isa isa : VectorIsas()) {
+    std::vector<float> dx(rows * features), dgamma(features), dbeta(features);
+    TableFor(isa)->layer_norm_bwd(g.data(), x.data(), gamma.data(),
+                                  mean.data(), rstd.data(), dx.data(),
+                                  dgamma.data(), dbeta.data(), rows,
+                                  features);
+    ExpectAllClose(dx_ref, dx, 1e-4f, 1e-5f, IsaName(isa));
+    ExpectAllClose(dgamma_ref, dgamma, 1e-4f, 1e-4f, IsaName(isa));
+    ExpectAllClose(dbeta_ref, dbeta, 1e-4f, 1e-4f, IsaName(isa));
+  }
+}
+
+TEST(SimdEquivalence, SoftmaxForwardMaskedAndUnmasked) {
+  constexpr int64_t rows = 24;
+  constexpr int64_t dim = 37;
+  constexpr int64_t mask_rows = 12;
+  const KernelTable* ref = TableFor(Isa::kScalar);
+  const auto x = RandomVec(rows * dim, 17, 2.0f);
+  std::vector<float> mask(mask_rows * dim, 0.0f);
+  std::mt19937 gen(18);
+  std::bernoulli_distribution coin(0.3);
+  for (auto& m : mask) m = coin(gen) ? 1.0f : 0.0f;
+  for (bool use_mask : {false, true}) {
+    const float* mask_ptr = use_mask ? mask.data() : nullptr;
+    std::vector<float> y_ref(rows * dim);
+    ref->softmax_fwd(x.data(), mask_ptr, mask_rows, 0.5f, -1e9f,
+                     y_ref.data(), rows, dim);
+    for (Isa isa : VectorIsas()) {
+      std::vector<float> y(rows * dim);
+      TableFor(isa)->softmax_fwd(x.data(), mask_ptr, mask_rows, 0.5f, -1e9f,
+                                 y.data(), rows, dim);
+      ExpectAllClose(y_ref, y, 1e-5f, 1e-7f, IsaName(isa));
+      if (mask_ptr != nullptr) {
+        // Masked positions must be EXACTLY zero on every path (the vector
+        // Exp flushes below the underflow cutoff instead of producing
+        // denormals) — the softmax backward relies on y == 0 there.
+        for (int64_t r = 0; r < rows; ++r) {
+          for (int64_t d = 0; d < dim; ++d) {
+            if (mask[(r % mask_rows) * dim + d] != 0.0f) {
+              ASSERT_EQ(y[r * dim + d], 0.0f)
+                  << IsaName(isa) << " row " << r << " dim " << d;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdEquivalence, SoftmaxBackward) {
+  constexpr int64_t rows = 24;
+  constexpr int64_t dim = 37;
+  const KernelTable* ref = TableFor(Isa::kScalar);
+  const auto x = RandomVec(rows * dim, 19, 2.0f);
+  const auto g = RandomVec(rows * dim, 20);
+  std::vector<float> y(rows * dim);
+  ref->softmax_fwd(x.data(), nullptr, 1, 0.5f, -1e9f, y.data(), rows, dim);
+  std::vector<float> dx_ref(rows * dim);
+  ref->softmax_bwd(g.data(), y.data(), 0.5f, dx_ref.data(), rows, dim);
+  for (Isa isa : VectorIsas()) {
+    std::vector<float> dx(rows * dim);
+    TableFor(isa)->softmax_bwd(g.data(), y.data(), 0.5f, dx.data(), rows,
+                               dim);
+    ExpectAllClose(dx_ref, dx, 1e-5f, 1e-7f, IsaName(isa));
+  }
+}
+
+TEST(SimdEquivalence, BiasGeluForwardAndBackward) {
+  constexpr int64_t rows = 21;
+  constexpr int64_t features = 53;
+  const KernelTable* ref = TableFor(Isa::kScalar);
+  const auto x = RandomVec(rows * features, 21, 2.0f);
+  const auto bias = RandomVec(features, 22);
+  const auto g = RandomVec(rows * features, 23);
+  for (const float* bias_ptr : {static_cast<const float*>(nullptr),
+                                bias.data()}) {
+    std::vector<float> y_ref(rows * features);
+    ref->bias_gelu_fwd(x.data(), bias_ptr, y_ref.data(), rows, features);
+    std::vector<float> dx_ref(rows * features), dbias_ref(features),
+        scratch(rows * features);
+    ref->bias_gelu_bwd(g.data(), x.data(), bias_ptr, dx_ref.data(),
+                       dbias_ref.data(), scratch.data(), rows, features);
+    for (Isa isa : VectorIsas()) {
+      std::vector<float> y(rows * features);
+      TableFor(isa)->bias_gelu_fwd(x.data(), bias_ptr, y.data(), rows,
+                                   features);
+      ExpectAllClose(y_ref, y, 1e-5f, 1e-6f, IsaName(isa));
+      std::vector<float> dx(rows * features), dbias(features),
+          scratch2(rows * features);
+      TableFor(isa)->bias_gelu_bwd(g.data(), x.data(), bias_ptr, dx.data(),
+                                   dbias.data(), scratch2.data(), rows,
+                                   features);
+      ExpectAllClose(dx_ref, dx, 1e-4f, 1e-5f, IsaName(isa));
+      ExpectAllClose(dbias_ref, dbias, 1e-4f, 1e-4f, IsaName(isa));
+    }
+  }
+}
+
+TEST(SimdEquivalence, CountNonFiniteIsExactOnEveryPath) {
+  constexpr int64_t n = 10007;  // prime: ragged against every width
+  auto x = RandomVec(n, 24);
+  x[0] = std::numeric_limits<float>::infinity();
+  x[7] = -std::numeric_limits<float>::infinity();
+  x[500] = std::numeric_limits<float>::quiet_NaN();
+  x[n - 1] = std::numeric_limits<float>::quiet_NaN();
+  x[n - 2] = std::numeric_limits<float>::denorm_min();  // finite
+  const int64_t expected =
+      TableFor(Isa::kScalar)->count_nonfinite(x.data(), n);
+  EXPECT_EQ(expected, 4);
+  for (Isa isa : VectorIsas()) {
+    EXPECT_EQ(TableFor(isa)->count_nonfinite(x.data(), n), expected)
+        << IsaName(isa);
+  }
+}
+
+// ---- Forced-scalar gradchecks (the TIMEDRL_SIMD=scalar configuration) ----
+
+class ScalarIsaGuard {
+ public:
+  ScalarIsaGuard() : previous_(ActiveIsa()) { SetIsa(Isa::kScalar); }
+  ~ScalarIsaGuard() { SetIsa(previous_); }
+
+ private:
+  Isa previous_;
+};
+
+Tensor RandomTensor(const Shape& shape, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::Randn(shape, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+}
+
+TEST(SimdForcedScalar, FusedOpGradChecksPassOnTheScalarPath) {
+  ScalarIsaGuard scalar_path;
+  ASSERT_EQ(ActiveIsa(), Isa::kScalar);
+
+  auto ln = [](const std::vector<Tensor>& xs) {
+    return FusedLayerNorm(xs[0], xs[1], xs[2], 1e-5f);
+  };
+  auto ln_result = testing::GradCheck(
+      ln, {RandomTensor({3, 8}, 30), RandomTensor({8}, 31),
+           RandomTensor({8}, 32)});
+  EXPECT_TRUE(ln_result.ok) << ln_result.message;
+
+  auto sm = [](const std::vector<Tensor>& xs) {
+    return FusedAttentionSoftmax(xs[0], 0.7f, Tensor());
+  };
+  auto sm_result = testing::GradCheck(sm, {RandomTensor({2, 3, 5}, 33)});
+  EXPECT_TRUE(sm_result.ok) << sm_result.message;
+
+  auto bg = [](const std::vector<Tensor>& xs) {
+    return FusedBiasGelu(xs[0], xs[1]);
+  };
+  auto bg_result = testing::GradCheck(
+      bg, {RandomTensor({4, 6}, 34), RandomTensor({6}, 35)});
+  EXPECT_TRUE(bg_result.ok) << bg_result.message;
+}
+
+// And the same gradchecks on the best vector path, so the polynomial
+// Exp/Tanh error budget is covered by finite differences too.
+TEST(SimdVectorPath, FusedOpGradChecksPassOnTheActivePath) {
+  if (VectorIsas().empty()) GTEST_SKIP() << "no vector backend available";
+  ASSERT_TRUE(SetIsa(BestAvailable()));
+
+  auto ln = [](const std::vector<Tensor>& xs) {
+    return FusedLayerNorm(xs[0], xs[1], xs[2], 1e-5f);
+  };
+  auto ln_result = testing::GradCheck(
+      ln, {RandomTensor({3, 24}, 40), RandomTensor({24}, 41),
+           RandomTensor({24}, 42)});
+  EXPECT_TRUE(ln_result.ok) << ln_result.message;
+
+  auto bg = [](const std::vector<Tensor>& xs) {
+    return FusedBiasGelu(xs[0], xs[1]);
+  };
+  auto bg_result = testing::GradCheck(
+      bg, {RandomTensor({4, 18}, 43), RandomTensor({18}, 44)});
+  EXPECT_TRUE(bg_result.ok) << bg_result.message;
+}
+
+}  // namespace
+}  // namespace timedrl::kernels::simd

@@ -14,6 +14,8 @@
 //             zero-downtime model reload (--reload NEW.ckpt swaps in a new
 //             checkpoint, TIMEDRL_SERVE_RELOAD_POLL_MS watches --model for
 //             changes)
+//   simd      report the SIMD dispatch decision (active backend, compiled/
+//             supported/available ISAs, CPU feature string)
 //   fault-points        list the registered fault-injection points
 //   checkpoint-inspect  summarize a checkpoint file (version, CRC, shapes)
 //
@@ -56,6 +58,7 @@
 #include "obs/observer.h"
 #include "serve/inference_session.h"
 #include "serve/micro_batcher.h"
+#include "tensor/kernels/dispatch.h"
 #include "tools/flag_parser.h"
 #include "util/env.h"
 #include "util/fault_inject.h"
@@ -93,6 +96,10 @@ void PrintUsage() {
       "             TIMEDRL_SERVE_BREAKER_THRESHOLD; --reload hot-swaps the\n"
       "             model mid-traffic, TIMEDRL_SERVE_RELOAD_POLL_MS watches\n"
       "             the --model file for changes instead)\n"
+      "  simd                report the SIMD dispatch decision: active\n"
+      "                      backend, compiled/supported/available ISAs,\n"
+      "                      CPU feature string (override: TIMEDRL_SIMD=\n"
+      "                      auto|scalar|avx2|avx512|neon)\n"
       "  fault-points        list registered fault-injection points\n"
       "  checkpoint-inspect --file CKPT\n"
       "\n"
@@ -597,6 +604,29 @@ int RunServe(const FlagParser& flags) {
   return 0;
 }
 
+// Reports what the SIMD dispatch registry decided on this machine: the
+// active backend (after TIMEDRL_SIMD is applied), which backends this build
+// compiled, which ones cpuid says the CPU can run, and the raw feature
+// string. scripts/check.sh parses the "active_isa:" line to catch builds
+// that silently fall back to scalar on vector-capable hardware.
+int RunSimd() {
+  namespace simd = kernels::simd;
+  std::printf("active_isa: %s\n", simd::IsaName(simd::ActiveIsa()));
+  std::string compiled, supported, available;
+  for (simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2,
+                        simd::Isa::kAvx512, simd::Isa::kNeon}) {
+    const char* name = simd::IsaName(isa);
+    if (simd::Compiled(isa)) compiled += std::string(" ") + name;
+    if (simd::CpuSupports(isa)) supported += std::string(" ") + name;
+    if (simd::Available(isa)) available += std::string(" ") + name;
+  }
+  std::printf("compiled:%s\n", compiled.c_str());
+  std::printf("cpu_supports:%s\n", supported.c_str());
+  std::printf("available:%s\n", available.c_str());
+  std::printf("cpu_features: %s\n", simd::CpuFeatureString().c_str());
+  return 0;
+}
+
 int RunFaultPoints() {
   std::printf(
       "registered fault-injection points\n"
@@ -662,6 +692,7 @@ int Main(int argc, char** argv) {
   if (flags.command() == "anomaly") return RunAnomaly(flags);
   if (flags.command() == "encode") return RunEncode(flags);
   if (flags.command() == "serve") return RunServe(flags);
+  if (flags.command() == "simd") return RunSimd();
   if (flags.command() == "fault-points") return RunFaultPoints();
   if (flags.command() == "checkpoint-inspect") {
     return RunCheckpointInspect(flags);
